@@ -1,0 +1,58 @@
+//! The ablation suite as a bench target, plus a cluster-scale run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fvs_bench::bench_settings;
+use fvs_cluster::{ClusterConfig, ClusterSim};
+use fvs_harness::experiments::{ablations, migration, predictors};
+
+fn bench_ablations(c: &mut Criterion) {
+    let settings = bench_settings();
+    println!("{}", ablations::run(&settings).render());
+    let mut g = c.benchmark_group("ablation_suite");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| ablations::run(&settings)));
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let settings = bench_settings();
+    println!("{}", predictors::run(&settings).render());
+    let mut g = c.benchmark_group("predictor_variants");
+    g.sample_size(10);
+    g.bench_function("miscalibration_sweep", |b| {
+        b.iter(|| predictors::run(&settings))
+    });
+    g.finish();
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let settings = bench_settings();
+    println!("{}", migration::run(&settings).render());
+    let mut g = c.benchmark_group("frequency_vs_work_scheduling");
+    g.sample_size(10);
+    g.bench_function("comparison", |b| b.iter(|| migration::run(&settings)));
+    g.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_three_tier");
+    g.sample_size(10);
+    for nodes in [4usize, 16] {
+        g.bench_function(format!("{nodes}_nodes_1s"), |b| {
+            b.iter(|| {
+                let mut sim = ClusterSim::three_tier(nodes, 7, ClusterConfig::default_rack());
+                sim.run_for(1.0)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablation_benches,
+    bench_ablations,
+    bench_predictors,
+    bench_migration,
+    bench_cluster
+);
+criterion_main!(ablation_benches);

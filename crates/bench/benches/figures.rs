@@ -1,0 +1,95 @@
+//! One bench per paper *figure*: running the group regenerates the
+//! figure's series (printed once per run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fvs_bench::bench_settings;
+use fvs_harness::experiments::{example5, fig1, fig4, fig5, fig6, fig7, fig8, fig9};
+
+fn bench_fig1(c: &mut Criterion) {
+    let settings = bench_settings();
+    println!("{}", fig1::run(&settings).render());
+    let mut g = c.benchmark_group("fig1_saturation");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| fig1::run(&settings)));
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let settings = bench_settings();
+    println!("{}", fig4::run(&settings).render());
+    let mut g = c.benchmark_group("fig4_overhead");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| fig4::run(&settings)));
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let settings = bench_settings();
+    let r = fig5::run(&settings);
+    println!(
+        "fig5: cpu-phase mean {:.0} MHz, mem-phase mean {:.0} MHz\n",
+        r.cpu_phase_mean_mhz, r.mem_phase_mean_mhz
+    );
+    let mut g = c.benchmark_group("fig5_phase_tracking");
+    g.sample_size(10);
+    g.bench_function("trace", |b| b.iter(|| fig5::run(&settings)));
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let settings = bench_settings();
+    println!("{}", fig6::run(&settings).render());
+    let mut g = c.benchmark_group("fig6_power_limits");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| fig6::run(&settings)));
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let settings = bench_settings();
+    println!("{}", fig7::run(&settings).render());
+    let mut g = c.benchmark_group("fig7_constrained_residency");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| fig7::run(&settings)));
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let settings = bench_settings();
+    println!("{}", fig8::run(&settings).render());
+    let mut g = c.benchmark_group("fig8_app_residency");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| fig8::run(&settings)));
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let settings = bench_settings();
+    let r = fig9::run(&settings);
+    println!(
+        "fig9: desired exceeded the 750 MHz cap in {:.0}% of samples\n",
+        r.desired_above_cap * 100.0
+    );
+    let mut g = c.benchmark_group("fig9_gap_trace");
+    g.sample_size(10);
+    g.bench_function("trace", |b| b.iter(|| fig9::run(&settings)));
+    g.finish();
+}
+
+fn bench_example5(c: &mut Criterion) {
+    println!("{}", example5::run().render());
+    c.bench_function("example5_worked_example", |b| b.iter(example5::run));
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_example5
+);
+criterion_main!(figures);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the scheduler hot path: the costs a production
+//! deployment pays every dispatch tick and every scheduling period.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fvs_model::{
+    counters::synthesize_delta, CpiModel, Estimator, FreqMhz, FrequencySet, MemoryLatencies,
+    PerfLossTable,
+};
+use fvs_sched::{FvsstAlgorithm, ProcInput};
+use fvs_sim::MachineBuilder;
+use fvs_workloads::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_estimator(c: &mut Criterion) {
+    let est = Estimator::new(MemoryLatencies::P630);
+    let model = CpiModel::from_components(1.2, 5.0e-9);
+    let delta = synthesize_delta(&model, 0.01, 0.004, 0.012, 1.0e7, FreqMhz(1000));
+    c.bench_function("estimator_fit", |b| {
+        b.iter(|| est.estimate(black_box(&delta), FreqMhz(1000)).unwrap())
+    });
+}
+
+fn bench_perf_loss_table(c: &mut Criterion) {
+    let set = FrequencySet::p630();
+    let model = CpiModel::from_components(1.2, 5.0e-9);
+    c.bench_function("perf_loss_table_build", |b| {
+        b.iter(|| PerfLossTable::build(black_box(&model), &set))
+    });
+}
+
+fn bench_schedule_scaling(c: &mut Criterion) {
+    let alg = FvsstAlgorithm::p630();
+    let mut g = c.benchmark_group("schedule_two_pass");
+    for n_procs in [4usize, 16, 64, 256, 1024] {
+        let procs: Vec<ProcInput> = (0..n_procs)
+            .map(|i| ProcInput {
+                model: Some(CpiModel::from_components(
+                    1.0 + (i % 7) as f64 * 0.1,
+                    (i % 11) as f64 * 1.0e-9,
+                )),
+                idle: i % 13 == 0,
+                current: FreqMhz(1000),
+            })
+            .collect();
+        // A budget forcing roughly half the demotions possible.
+        let budget = n_procs as f64 * 70.0;
+        g.bench_with_input(BenchmarkId::from_parameter(n_procs), &procs, |b, procs| {
+            b.iter(|| alg.schedule(black_box(procs), budget))
+        });
+    }
+    g.finish();
+}
+
+fn bench_machine_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_step_10ms");
+    for cores in [1usize, 4, 16] {
+        let mut b = MachineBuilder::p630().cores(cores);
+        for i in 0..cores {
+            b = b.workload(
+                i,
+                WorkloadSpec::synthetic((i % 5) as f64 * 25.0, 1.0e15).looping(),
+            );
+        }
+        let mut machine = b.build();
+        g.bench_with_input(BenchmarkId::from_parameter(cores), &(), |bch, _| {
+            bch.iter(|| machine.step(0.01))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_estimator,
+    bench_perf_loss_table,
+    bench_schedule_scaling,
+    bench_machine_tick
+);
+criterion_main!(micro);

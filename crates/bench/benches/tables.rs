@@ -1,0 +1,33 @@
+//! One bench per paper *table*: running the group regenerates the
+//! table's data (the rendered output is printed once per run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fvs_bench::bench_settings;
+use fvs_harness::experiments::{table1, table2, table3};
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table once, then measure the computation.
+    println!("{}", table1::run().render());
+    c.bench_function("table1_freq_power", |b| b.iter(table1::run));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let settings = bench_settings();
+    println!("{}", table2::run(&settings).render());
+    let mut g = c.benchmark_group("table2_predictor_error");
+    g.sample_size(10);
+    g.bench_function("all_intensities", |b| b.iter(|| table2::run(&settings)));
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let settings = bench_settings();
+    println!("{}", table3::run(&settings).render());
+    let mut g = c.benchmark_group("table3_apps_under_budgets");
+    g.sample_size(10);
+    g.bench_function("all_apps", |b| b.iter(|| table3::run(&settings)));
+    g.finish();
+}
+
+criterion_group!(tables, bench_table1, bench_table2, bench_table3);
+criterion_main!(tables);

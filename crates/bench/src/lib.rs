@@ -1,0 +1,14 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! The benches wrap the `fvs-harness` experiments (one bench group per
+//! paper table/figure — run them to regenerate every result) plus
+//! micro-benchmarks of the scheduler hot path. All experiment benches
+//! run in the harness's fast mode so `cargo bench` completes in minutes;
+//! use `fvsst-exp <id>` for full-fidelity numbers.
+
+use fvs_harness::runs::RunSettings;
+
+/// The settings every experiment bench uses.
+pub fn bench_settings() -> RunSettings {
+    RunSettings::fast()
+}

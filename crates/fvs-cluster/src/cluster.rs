@@ -1,0 +1,503 @@
+//! The cluster simulation: nodes + coordinator + delayed messaging.
+
+use crate::coordinator::{FrequencyCommand, GlobalCoordinator, NodeSummary};
+use crate::message::DelayQueue;
+use crate::node::ClusterNode;
+use fvs_power::BudgetSchedule;
+use fvs_sched::FvsstAlgorithm;
+use fvs_sim::MachineBuilder;
+use fvs_workloads::{MixConfig, WorkloadGenerator};
+use serde::{Deserialize, Serialize};
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Dispatch period per node (s).
+    pub t_s: f64,
+    /// Scheduling period multiplier (summaries every `n` ticks).
+    pub n: u32,
+    /// One-way message latency node↔coordinator (s).
+    pub latency_s: f64,
+    /// The scheduling algorithm.
+    pub algorithm: FvsstAlgorithm,
+    /// Global budget over time.
+    pub budget: BudgetSchedule,
+}
+
+impl ClusterConfig {
+    /// Paper-style defaults: t = 10 ms, T = 100 ms, 2 ms one-way latency
+    /// (same-rack TCP), unlimited budget.
+    pub fn default_rack() -> Self {
+        ClusterConfig {
+            t_s: 0.010,
+            n: 10,
+            latency_s: 0.002,
+            algorithm: FvsstAlgorithm::p630(),
+            budget: BudgetSchedule::constant(f64::INFINITY),
+        }
+    }
+}
+
+/// Summary of a cluster run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Simulated seconds.
+    pub duration_s: f64,
+    /// Final aggregate processor power across all nodes (W).
+    pub final_power_w: f64,
+    /// Peak aggregate power (W).
+    pub peak_power_w: f64,
+    /// Seconds over budget.
+    pub violation_s: f64,
+    /// Time from the most recent budget *decrease* until compliance (s);
+    /// None when no decrease occurred or compliance was never reached.
+    pub response_s: Option<f64>,
+    /// Per-node final power (W).
+    pub node_power_w: Vec<f64>,
+    /// Per-node mean effective frequency of core 0 over the run (MHz) —
+    /// a cheap diversity fingerprint.
+    pub node_mean_mhz: Vec<f64>,
+    /// Global scheduling rounds executed.
+    pub rounds: u64,
+}
+
+/// A scripted node availability change: machines crash, get drained for
+/// maintenance, and come back — the coordinator must keep the rest of
+/// the cluster compliant throughout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeEvent {
+    /// When the change takes effect (s).
+    pub at_s: f64,
+    /// Affected node.
+    pub node: usize,
+    /// `true` = the node (re)joins; `false` = it goes offline (cores
+    /// powered down, no summaries sent, commands ignored).
+    pub online: bool,
+}
+
+/// A cluster of machines under one global budget.
+pub struct ClusterSim {
+    nodes: Vec<ClusterNode>,
+    coordinator: GlobalCoordinator,
+    config: ClusterConfig,
+    uplink: DelayQueue<NodeSummary>,
+    downlink: DelayQueue<FrequencyCommand>,
+    tick: u64,
+    last_budget_w: Option<f64>,
+    violation_s: f64,
+    peak_power_w: f64,
+    rounds: u64,
+    budget_drop_at: Option<f64>,
+    compliance_at: Option<f64>,
+    node_events: Vec<NodeEvent>,
+    next_node_event: usize,
+    online: Vec<bool>,
+}
+
+impl ClusterSim {
+    /// Build from explicit nodes.
+    pub fn new(nodes: Vec<ClusterNode>, config: ClusterConfig) -> Self {
+        let coordinator = GlobalCoordinator::new(config.algorithm.clone(), nodes.len());
+        let n = nodes.len();
+        ClusterSim {
+            nodes,
+            coordinator,
+            config,
+            uplink: DelayQueue::new(),
+            downlink: DelayQueue::new(),
+            tick: 0,
+            last_budget_w: None,
+            violation_s: 0.0,
+            peak_power_w: 0.0,
+            rounds: 0,
+            budget_drop_at: None,
+            compliance_at: None,
+            node_events: Vec::new(),
+            next_node_event: 0,
+            online: vec![true; n],
+        }
+    }
+
+    /// Script node availability changes (sorted by time internally).
+    pub fn with_node_events(mut self, mut events: Vec<NodeEvent>) -> Self {
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        self.node_events = events;
+        self
+    }
+
+    /// Whether node `i` is currently online.
+    pub fn is_online(&self, i: usize) -> bool {
+        self.online[i]
+    }
+
+    /// A three-tier cluster of `nodes` single-socket 4-core machines
+    /// with seeded synthetic workloads (web/app/db bands).
+    pub fn three_tier(nodes: usize, seed: u64, config: ClusterConfig) -> Self {
+        let mut gen = WorkloadGenerator::new(seed, MixConfig::default());
+        let placement = gen.three_tier_placement(nodes);
+        let built = placement
+            .into_iter()
+            .enumerate()
+            .map(|(id, (tier, spec))| {
+                // One looping tier workload per core, staggered seeds.
+                let mut b = MachineBuilder::p630().seed(seed ^ (id as u64) << 8);
+                b = b.workload(0, spec);
+                for core in 1..4 {
+                    b = b.workload(core, gen.for_tier(tier));
+                }
+                ClusterNode::new(id, b.build(), Some(tier))
+            })
+            .collect();
+        ClusterSim::new(built, config)
+    }
+
+    /// A heterogeneous cluster: one entry per node giving its workloads
+    /// (one per core; the node's core count is the vector's length).
+    /// Clusters in the field rarely have uniform machines — the
+    /// coordinator must handle mixed sizes, and this constructor
+    /// exercises that.
+    pub fn heterogeneous(
+        node_workloads: Vec<Vec<fvs_workloads::WorkloadSpec>>,
+        seed: u64,
+        config: ClusterConfig,
+    ) -> Self {
+        let built = node_workloads
+            .into_iter()
+            .enumerate()
+            .map(|(id, workloads)| {
+                assert!(!workloads.is_empty(), "node {id} needs at least one core");
+                let mut b = MachineBuilder::p630()
+                    .cores(workloads.len())
+                    .seed(seed ^ ((id as u64) << 8));
+                for (core, w) in workloads.into_iter().enumerate() {
+                    b = b.workload(core, w);
+                }
+                ClusterNode::new(id, b.build(), None)
+            })
+            .collect();
+        ClusterSim::new(built, config)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node access.
+    pub fn node(&self, i: usize) -> &ClusterNode {
+        &self.nodes[i]
+    }
+
+    /// Current cluster time (all nodes advance in lockstep).
+    pub fn now_s(&self) -> f64 {
+        self.nodes
+            .first()
+            .map(|n| n.machine().now_s())
+            .unwrap_or(0.0)
+    }
+
+    /// Aggregate processor power right now.
+    pub fn total_power_w(&self) -> f64 {
+        self.nodes.iter().map(ClusterNode::power_w).sum()
+    }
+
+    /// Advance the whole cluster one dispatch tick.
+    pub fn step_tick(&mut self) {
+        let t_s = self.config.t_s;
+        // Apply any availability events due by the end of this tick.
+        let end = self.now_s() + t_s;
+        while self.next_node_event < self.node_events.len()
+            && self.node_events[self.next_node_event].at_s <= end
+        {
+            let ev = self.node_events[self.next_node_event];
+            self.next_node_event += 1;
+            if ev.node < self.nodes.len() {
+                self.online[ev.node] = ev.online;
+                let f_min = self.config.algorithm.freq_set.min();
+                let machine = self.nodes[ev.node].machine_mut();
+                for core in 0..machine.num_cores() {
+                    machine.set_powered(core, ev.online);
+                    if ev.online {
+                        // Rejoin conservatively: the cluster has long
+                        // since redistributed this node's power budget,
+                        // so come back at f_min and wait for the
+                        // coordinator's next round.
+                        machine.set_frequency(core, f_min);
+                    }
+                }
+            }
+        }
+        // Every machine's clock advances (offline cores execute and draw
+        // nothing).
+        for node in &mut self.nodes {
+            node.tick(t_s);
+        }
+        let now = self.now_s();
+        let budget_w = self.config.budget.budget_at(now);
+
+        // Track budget decreases for response-time measurement.
+        if let Some(last) = self.last_budget_w {
+            if budget_w < last - 1e-9 {
+                self.budget_drop_at = Some(now);
+                self.compliance_at = None;
+            }
+        }
+        let budget_changed = self
+            .last_budget_w
+            .map(|b| (b - budget_w).abs() > 1e-9)
+            .unwrap_or(false);
+        self.last_budget_w = Some(budget_w);
+
+        // Compliance accounting.
+        let power = self.total_power_w();
+        self.peak_power_w = self.peak_power_w.max(power);
+        if power > budget_w {
+            self.violation_s += t_s;
+        } else if self.budget_drop_at.is_some() && self.compliance_at.is_none() {
+            self.compliance_at = Some(now);
+        }
+
+        // Periodic summaries ride the uplink (offline nodes are silent).
+        self.tick += 1;
+        if self.tick.is_multiple_of(u64::from(self.config.n)) {
+            for node in &mut self.nodes {
+                if self.online[node.id] {
+                    let s = node.summarize();
+                    self.uplink.send(now + self.config.latency_s, s);
+                }
+            }
+        }
+
+        // Coordinator ingests what has arrived and schedules on its
+        // timer or on a budget change.
+        for s in self.uplink.recv_ready(now) {
+            self.coordinator.ingest(s);
+        }
+        let timer_fires = self.tick.is_multiple_of(u64::from(self.config.n));
+        if (timer_fires || budget_changed) && self.coordinator.nodes_reporting() > 0 {
+            self.rounds += 1;
+            for cmd in self.coordinator.schedule(budget_w) {
+                self.downlink.send(now + self.config.latency_s, cmd);
+            }
+        }
+
+        // Nodes apply arriving commands (offline nodes drop theirs).
+        for cmd in self.downlink.recv_ready(now) {
+            if self.online[cmd.node] {
+                self.nodes[cmd.node].apply(&cmd.freqs);
+            }
+        }
+    }
+
+    /// Run for `duration` seconds and return the cumulative report.
+    pub fn run_for(&mut self, duration: f64) -> ClusterReport {
+        let ticks = (duration / self.config.t_s).round().max(1.0) as u64;
+        for _ in 0..ticks {
+            self.step_tick();
+        }
+        self.report()
+    }
+
+    /// Snapshot the report.
+    pub fn report(&self) -> ClusterReport {
+        ClusterReport {
+            duration_s: self.now_s(),
+            final_power_w: self.total_power_w(),
+            peak_power_w: self.peak_power_w,
+            violation_s: self.violation_s,
+            response_s: match (self.budget_drop_at, self.compliance_at) {
+                (Some(drop), Some(ok)) => Some(ok - drop),
+                _ => None,
+            },
+            node_power_w: self.nodes.iter().map(ClusterNode::power_w).collect(),
+            node_mean_mhz: self
+                .nodes
+                .iter()
+                .map(|n| n.machine().residency(0).mean_mhz())
+                .collect(),
+            rounds: self.rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvs_workloads::Tier;
+    use fvs_power::BudgetEvent;
+
+    #[test]
+    fn three_tier_cluster_develops_frequency_diversity() {
+        let mut sim = ClusterSim::three_tier(6, 42, ClusterConfig::default_rack());
+        sim.run_for(2.0);
+        let report = sim.report();
+        // Db nodes (memory-bound) should sit at lower frequencies than
+        // app nodes (CPU-bound).
+        let tier_of = |i: usize| sim.node(i).tier.unwrap();
+        let mut db_mean = 0.0;
+        let mut db_n = 0.0;
+        let mut app_mean = 0.0;
+        let mut app_n = 0.0;
+        for i in 0..sim.num_nodes() {
+            let f = sim.node(i).machine().effective_frequency(0).0 as f64;
+            match tier_of(i) {
+                Tier::Db => {
+                    db_mean += f;
+                    db_n += 1.0;
+                }
+                Tier::App => {
+                    app_mean += f;
+                    app_n += 1.0;
+                }
+                Tier::Web => {}
+            }
+        }
+        db_mean /= db_n;
+        app_mean /= app_n;
+        assert!(
+            app_mean > db_mean + 100.0,
+            "app {app_mean} MHz vs db {db_mean} MHz"
+        );
+        assert!(report.rounds > 0);
+    }
+
+    #[test]
+    fn cluster_meets_global_budget_after_drop() {
+        let mut config = ClusterConfig::default_rack();
+        // 6 nodes × 4 cores × 140 W = 3360 W unconstrained.
+        config.budget = BudgetSchedule::with_events(
+            f64::INFINITY,
+            vec![BudgetEvent {
+                at_s: 1.0,
+                budget_w: 1800.0,
+            }],
+        );
+        let mut sim = ClusterSim::three_tier(6, 7, config);
+        let report = sim.run_for(3.0);
+        assert!(
+            report.final_power_w <= 1800.0,
+            "final {}",
+            report.final_power_w
+        );
+        let response = report.response_s.expect("compliance reached");
+        // Summaries and commands each ride a 2 ms link and the timer is
+        // 100 ms: response should be well under a second.
+        assert!(response < 0.5, "response {response}s");
+    }
+
+    #[test]
+    fn node_failure_and_rejoin_keep_cluster_compliant() {
+        let mut config = ClusterConfig::default_rack();
+        // 4 nodes × 4 cores; budget forces scheduling throughout.
+        config.budget = BudgetSchedule::constant(1200.0);
+        let mut sim = ClusterSim::three_tier(4, 21, config).with_node_events(vec![
+            NodeEvent {
+                at_s: 1.0,
+                node: 0,
+                online: false,
+            },
+            NodeEvent {
+                at_s: 2.0,
+                node: 0,
+                online: true,
+            },
+        ]);
+        // Before the failure.
+        sim.run_for(0.9);
+        assert!(sim.is_online(0));
+        let with_all = sim.total_power_w();
+        assert!(with_all > 0.0);
+        // During the outage the node draws nothing.
+        sim.run_for(0.9); // now ≈ 1.8 s
+        assert!(!sim.is_online(0));
+        assert_eq!(sim.node(0).power_w(), 0.0);
+        let violation_before_rejoin = sim.report().violation_s;
+        // After rejoin it draws power again and the cluster still
+        // complies — the node comes back at f_min, so the rejoin itself
+        // adds no violation.
+        let report = sim.run_for(1.5); // past 2.0 s
+        assert!(sim.is_online(0));
+        assert!(sim.node(0).power_w() > 0.0);
+        assert!(report.final_power_w <= 1200.0);
+        assert!(
+            report.violation_s - violation_before_rejoin < 0.02,
+            "rejoin added violation: {} → {}",
+            violation_before_rejoin,
+            report.violation_s
+        );
+    }
+
+    #[test]
+    fn offline_node_does_not_execute_work() {
+        let mut sim = ClusterSim::three_tier(2, 3, ClusterConfig::default_rack())
+            .with_node_events(vec![NodeEvent {
+                at_s: 0.5,
+                node: 1,
+                online: false,
+            }]);
+        sim.run_for(0.5);
+        let before = sim.node(1).machine().core(0).stats().body_instructions;
+        sim.run_for(1.0);
+        let after = sim.node(1).machine().core(0).stats().body_instructions;
+        assert_eq!(before, after, "offline node must not retire work");
+    }
+
+    #[test]
+    fn heterogeneous_node_sizes_schedule_under_one_budget() {
+        use fvs_workloads::WorkloadSpec;
+        let nodes = vec![
+            // 2-core node, CPU-bound.
+            vec![
+                WorkloadSpec::synthetic(100.0, 1.0e13).looping(),
+                WorkloadSpec::synthetic(100.0, 1.0e13).looping(),
+            ],
+            // 8-core node, memory-bound.
+            (0..8)
+                .map(|_| WorkloadSpec::synthetic(10.0, 1.0e13).looping())
+                .collect(),
+            // 1-core node.
+            vec![WorkloadSpec::synthetic(50.0, 1.0e13).looping()],
+        ];
+        let mut config = ClusterConfig::default_rack();
+        // 11 cores; give them 500 W total — requires real trade-offs.
+        config.budget = BudgetSchedule::constant(500.0);
+        let mut sim = ClusterSim::heterogeneous(nodes, 5, config);
+        let report = sim.run_for(2.0);
+        assert!(
+            report.final_power_w <= 500.0,
+            "power {}",
+            report.final_power_w
+        );
+        assert_eq!(report.node_power_w.len(), 3);
+        // The CPU-bound 2-core node keeps higher clocks than the
+        // memory-bound 8-core node's cores.
+        let f_cpu = sim.node(0).machine().effective_frequency(0);
+        let f_mem = sim.node(1).machine().effective_frequency(0);
+        assert!(f_cpu > f_mem, "{f_cpu} vs {f_mem}");
+    }
+
+    #[test]
+    fn message_latency_delays_commands() {
+        let mut slow = ClusterConfig::default_rack();
+        slow.latency_s = 0.2; // pathological WAN latency
+        // Deep cut well below the unconstrained steady-state draw so both
+        // clusters must actually demote (response > 0).
+        slow.budget = BudgetSchedule::with_events(
+            f64::INFINITY,
+            vec![BudgetEvent {
+                at_s: 1.0,
+                budget_w: 700.0,
+            }],
+        );
+        let mut fast = ClusterConfig::default_rack();
+        fast.budget = slow.budget.clone();
+        let r_slow = ClusterSim::three_tier(6, 7, slow).run_for(3.0);
+        let r_fast = ClusterSim::three_tier(6, 7, fast).run_for(3.0);
+        assert!(
+            r_slow.response_s.unwrap() > r_fast.response_s.unwrap(),
+            "slow {:?} fast {:?}",
+            r_slow.response_s,
+            r_fast.response_s
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The global coordinator: Figure 3 across all nodes.
+
+use fvs_model::{CpiModel, FreqMhz};
+use fvs_sched::{FvsstAlgorithm, ProcInput};
+use serde::{Deserialize, Serialize};
+
+/// What a node ships to the coordinator each scheduling period.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSummary {
+    /// Sending node.
+    pub node: usize,
+    /// Send timestamp (s).
+    pub sent_at_s: f64,
+    /// Per-processor fitted models (None = uninformative window).
+    pub models: Vec<Option<CpiModel>>,
+    /// Per-processor idle signals.
+    pub idle: Vec<bool>,
+    /// Per-processor current frequencies.
+    pub current: Vec<FreqMhz>,
+    /// Node aggregate power at send time (W) — the coordinator's
+    /// compliance telemetry.
+    pub power_w: f64,
+}
+
+/// What the coordinator ships back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyCommand {
+    /// Target node.
+    pub node: usize,
+    /// Frequency per processor of that node.
+    pub freqs: Vec<FreqMhz>,
+}
+
+/// Runs the two-pass algorithm over every processor of every node under
+/// the single global budget.
+#[derive(Debug)]
+pub struct GlobalCoordinator {
+    algorithm: FvsstAlgorithm,
+    latest: Vec<Option<NodeSummary>>,
+}
+
+impl GlobalCoordinator {
+    /// Coordinator for `nodes` nodes.
+    pub fn new(algorithm: FvsstAlgorithm, nodes: usize) -> Self {
+        GlobalCoordinator {
+            algorithm,
+            latest: vec![None; nodes],
+        }
+    }
+
+    /// Ingest a (possibly stale) node summary; newer summaries replace
+    /// older ones.
+    pub fn ingest(&mut self, summary: NodeSummary) {
+        let slot = &mut self.latest[summary.node];
+        let newer = slot
+            .as_ref()
+            .map(|old| summary.sent_at_s >= old.sent_at_s)
+            .unwrap_or(true);
+        if newer {
+            *slot = Some(summary);
+        }
+    }
+
+    /// How many nodes have reported at least once.
+    pub fn nodes_reporting(&self) -> usize {
+        self.latest.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Sum of the latest reported node powers (telemetry view; lags
+    /// reality by the message latency).
+    pub fn reported_power_w(&self) -> f64 {
+        self.latest
+            .iter()
+            .flatten()
+            .map(|s| s.power_w)
+            .sum()
+    }
+
+    /// Run the global computation and emit one command per reporting
+    /// node. Nodes that never reported are skipped and keep their
+    /// current frequencies.
+    pub fn schedule(&self, budget_w: f64) -> Vec<FrequencyCommand> {
+        // Flatten all reporting processors into one ProcInput list,
+        // remembering (node, proc) coordinates.
+        let mut coords = Vec::new();
+        let mut procs = Vec::new();
+        for (node_idx, slot) in self.latest.iter().enumerate() {
+            if let Some(s) = slot {
+                for p in 0..s.models.len() {
+                    coords.push((node_idx, p));
+                    procs.push(ProcInput {
+                        model: s.models[p],
+                        idle: s.idle[p],
+                        current: s.current[p],
+                    });
+                }
+            }
+        }
+        let d = self.algorithm.schedule(&procs, budget_w);
+        // Regroup per node.
+        let mut commands: Vec<FrequencyCommand> = Vec::new();
+        for ((node, _p), f) in coords.into_iter().zip(d.freqs) {
+            match commands.last_mut() {
+                Some(cmd) if cmd.node == node => cmd.freqs.push(f),
+                _ => commands.push(FrequencyCommand {
+                    node,
+                    freqs: vec![f],
+                }),
+            }
+        }
+        commands
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(node: usize, at: f64, mem_times: &[f64]) -> NodeSummary {
+        NodeSummary {
+            node,
+            sent_at_s: at,
+            models: mem_times
+                .iter()
+                .map(|m| Some(CpiModel::from_components(1.0, *m)))
+                .collect(),
+            idle: vec![false; mem_times.len()],
+            current: vec![FreqMhz(1000); mem_times.len()],
+            power_w: 140.0 * mem_times.len() as f64,
+        }
+    }
+
+    #[test]
+    fn stale_summaries_do_not_replace_fresh_ones() {
+        let mut c = GlobalCoordinator::new(FvsstAlgorithm::p630(), 2);
+        c.ingest(summary(0, 2.0, &[0.0]));
+        c.ingest(summary(0, 1.0, &[10.0e-9])); // older: ignored
+        let cmds = c.schedule(f64::INFINITY);
+        assert_eq!(cmds.len(), 1);
+        // The fresh (CPU-bound) summary wins: high frequency.
+        assert!(cmds[0].freqs[0] >= FreqMhz(950));
+    }
+
+    #[test]
+    fn global_budget_spans_nodes() {
+        let mut c = GlobalCoordinator::new(FvsstAlgorithm::p630(), 2);
+        // Node 0 CPU-bound, node 1 memory-bound, 2 procs each.
+        c.ingest(summary(0, 1.0, &[0.0, 0.0]));
+        c.ingest(summary(1, 1.0, &[10.0e-9, 10.0e-9]));
+        // Budget forces trade-offs: 4 procs, 300 W total.
+        let cmds = c.schedule(300.0);
+        let table = fvs_power::FreqPowerTable::p630_table1();
+        let total: f64 = cmds
+            .iter()
+            .flat_map(|c| c.freqs.iter())
+            .map(|f| table.power_interpolated(*f))
+            .sum();
+        assert!(total <= 300.0);
+        // Diversity: the memory-bound node ended lower than the
+        // CPU-bound node.
+        let f_cpu = cmds.iter().find(|c| c.node == 0).unwrap().freqs[0];
+        let f_mem = cmds.iter().find(|c| c.node == 1).unwrap().freqs[0];
+        assert!(f_cpu > f_mem, "{f_cpu} vs {f_mem}");
+    }
+
+    #[test]
+    fn missing_nodes_are_skipped() {
+        let mut c = GlobalCoordinator::new(FvsstAlgorithm::p630(), 3);
+        c.ingest(summary(1, 1.0, &[0.0]));
+        let cmds = c.schedule(f64::INFINITY);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].node, 1);
+        assert_eq!(c.nodes_reporting(), 1);
+    }
+}

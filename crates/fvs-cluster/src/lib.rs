@@ -1,0 +1,35 @@
+//! Cluster-scale frequency/voltage scheduling.
+//!
+//! The paper prototypes on a single SMP and leaves the cluster
+//! implementation as future work, while claiming the algorithm carries
+//! over unchanged: Figure 3 already iterates `for n in Nodes, for p in
+//! Procs(n)` under one *global* power limit. This crate implements that
+//! claim and the parts the paper says make clusters interesting:
+//!
+//! - work cannot migrate between nodes (the premise motivating frequency
+//!   scheduling over work scheduling),
+//! - tiered placement (web / app / db) creates *stable* workload
+//!   diversity across nodes (§4.2),
+//! - the coordinator and nodes exchange messages with latency, so the
+//!   scheduling period `T` must amortise "the inter-processor
+//!   communication required" (§5).
+//!
+//! Structure: each [`node::ClusterNode`] owns a machine and a local
+//! measurement agent that ships per-processor model summaries to the
+//! [`coordinator::GlobalCoordinator`] every scheduling period; the
+//! coordinator runs the same two-pass algorithm over *all* processors of
+//! *all* nodes against the global budget and ships frequency vectors
+//! back. Both directions ride a [`message::DelayQueue`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod coordinator;
+pub mod message;
+pub mod node;
+
+pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, NodeEvent};
+pub use coordinator::{FrequencyCommand, GlobalCoordinator, NodeSummary};
+pub use message::DelayQueue;
+pub use node::ClusterNode;

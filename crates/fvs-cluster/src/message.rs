@@ -1,0 +1,110 @@
+//! Latency-modelling message delivery.
+
+use std::collections::BinaryHeap;
+
+/// An entry ordered by delivery time (earliest first).
+#[derive(Debug)]
+struct Pending<T> {
+    deliver_at_s: f64,
+    seq: u64,
+    msg: T,
+}
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at_s == other.deliver_at_s && self.seq == other.seq
+    }
+}
+impl<T> Eq for Pending<T> {}
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .deliver_at_s
+            .total_cmp(&self.deliver_at_s)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A queue that delivers messages after a simulated network delay,
+/// preserving send order among messages with equal delivery times.
+#[derive(Debug)]
+pub struct DelayQueue<T> {
+    heap: BinaryHeap<Pending<T>>,
+    seq: u64,
+}
+
+impl<T> DelayQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        DelayQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Enqueue `msg` for delivery at `deliver_at_s`.
+    pub fn send(&mut self, deliver_at_s: f64, msg: T) {
+        self.heap.push(Pending {
+            deliver_at_s,
+            seq: self.seq,
+            msg,
+        });
+        self.seq += 1;
+    }
+
+    /// Pop every message whose delivery time has arrived.
+    pub fn recv_ready(&mut self, now_s: f64) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(p) = self.heap.peek() {
+            if p.deliver_at_s <= now_s {
+                out.push(self.heap.pop().expect("peeked").msg);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<T> Default for DelayQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = DelayQueue::new();
+        q.send(0.3, "c");
+        q.send(0.1, "a");
+        q.send(0.2, "b");
+        assert_eq!(q.recv_ready(0.05), Vec::<&str>::new());
+        assert_eq!(q.recv_ready(0.15), vec!["a"]);
+        assert_eq!(q.recv_ready(0.35), vec!["b", "c"]);
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn equal_times_preserve_send_order() {
+        let mut q = DelayQueue::new();
+        q.send(1.0, 1);
+        q.send(1.0, 2);
+        q.send(1.0, 3);
+        assert_eq!(q.recv_ready(1.0), vec![1, 2, 3]);
+    }
+}

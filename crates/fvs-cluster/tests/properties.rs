@@ -1,0 +1,118 @@
+//! Property-based tests of the cluster layer's messaging and
+//! coordination invariants.
+
+use fvs_cluster::{ClusterConfig, ClusterSim, DelayQueue, GlobalCoordinator, NodeSummary};
+use fvs_model::{CpiModel, FreqMhz};
+use fvs_power::{BudgetSchedule, FreqPowerTable};
+use fvs_sched::FvsstAlgorithm;
+use proptest::prelude::*;
+
+proptest! {
+    /// DelayQueue delivers every message exactly once, in delivery-time
+    /// order, never early.
+    #[test]
+    fn delay_queue_delivers_everything_in_order(
+        sends in prop::collection::vec((0.0f64..10.0, 0u32..1000), 1..50),
+        polls in prop::collection::vec(0.0f64..12.0, 1..30),
+    ) {
+        let mut q = DelayQueue::new();
+        for (at, msg) in &sends {
+            q.send(*at, (*at, *msg));
+        }
+        let mut polls = polls.clone();
+        polls.sort_by(f64::total_cmp);
+        polls.push(11.0); // final drain
+        let mut received = Vec::new();
+        for now in polls {
+            for (deliver_at, msg) in q.recv_ready(now) {
+                prop_assert!(deliver_at <= now, "early delivery");
+                received.push((deliver_at, msg));
+            }
+        }
+        prop_assert_eq!(received.len(), sends.len());
+        // Delivery-time ordering.
+        for w in received.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0 + 1e-12);
+        }
+        prop_assert_eq!(q.in_flight(), 0);
+    }
+
+    /// The coordinator's commands always cover exactly the reporting
+    /// nodes, with one frequency per reported processor, all within the
+    /// schedulable set and the budget.
+    #[test]
+    fn coordinator_commands_are_complete_and_compliant(
+        node_sizes in prop::collection::vec(1usize..6, 1..6),
+        reporting in prop::collection::vec(any::<bool>(), 6),
+        budget in 50.0f64..3000.0,
+    ) {
+        let n_nodes = node_sizes.len();
+        let alg = FvsstAlgorithm::p630();
+        let set = alg.freq_set.clone();
+        let mut coord = GlobalCoordinator::new(alg, n_nodes);
+        let mut expected_nodes = Vec::new();
+        for (i, &size) in node_sizes.iter().enumerate() {
+            if reporting[i] {
+                expected_nodes.push(i);
+                coord.ingest(NodeSummary {
+                    node: i,
+                    sent_at_s: 1.0,
+                    models: (0..size)
+                        .map(|p| Some(CpiModel::from_components(
+                            0.5 + p as f64 * 0.3,
+                            (p as f64) * 2.0e-9,
+                        )))
+                        .collect(),
+                    idle: vec![false; size],
+                    current: vec![FreqMhz(1000); size],
+                    power_w: 140.0 * size as f64,
+                });
+            }
+        }
+        let cmds = coord.schedule(budget);
+        let covered: Vec<usize> = cmds.iter().map(|c| c.node).collect();
+        prop_assert_eq!(&covered, &expected_nodes);
+        let table = FreqPowerTable::p630_table1();
+        let mut total = 0.0;
+        for cmd in &cmds {
+            let size = node_sizes[cmd.node];
+            prop_assert_eq!(cmd.freqs.len(), size);
+            for f in &cmd.freqs {
+                prop_assert!(set.contains(*f));
+                total += table.power_interpolated(*f);
+            }
+        }
+        // Either compliant or floored at f_min everywhere.
+        if total > budget {
+            prop_assert!(cmds
+                .iter()
+                .flat_map(|c| c.freqs.iter())
+                .all(|f| *f == set.min()));
+        }
+    }
+}
+
+// End-to-end cluster property: random three-tier clusters under random
+// feasible budgets end up compliant.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_clusters_comply(
+        nodes in 2usize..8,
+        budget_frac in 0.2f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let mut config = ClusterConfig::default_rack();
+        let budget = nodes as f64 * 4.0 * 140.0 * budget_frac;
+        config.budget = BudgetSchedule::constant(budget);
+        let mut sim = ClusterSim::three_tier(nodes, seed, config);
+        let report = sim.run_for(2.0);
+        prop_assert!(
+            report.final_power_w <= budget + 1e-9,
+            "{} nodes at frac {budget_frac}: {} > {budget}",
+            nodes,
+            report.final_power_w
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! `fvsst-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR]
+//! fvsst-exp all [--fast]
+//! fvsst-exp list
+//! ```
+//!
+//! `--json DIR` additionally writes `<DIR>/<experiment>.json` with the
+//! structured result.
+//!
+//! Experiments: table1 fig1 table2 fig4 fig5 fig6 fig7 table3 fig8 fig9
+//! example5 ablation.
+
+use fvs_harness::experiments::{run_by_name, ALL_EXPERIMENTS};
+use fvs_harness::runs::RunSettings;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut settings = RunSettings::full();
+    let mut targets: Vec<String> = Vec::new();
+    let mut json_dir: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => settings.fast = true,
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => json_dir = Some(dir.into()),
+                    None => {
+                        eprintln!("--json requires a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(seed) => settings.seed = seed,
+                    None => {
+                        eprintln!("--seed requires an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "list" => {
+                for e in ALL_EXPERIMENTS {
+                    println!("{e}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => targets.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other => targets.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        eprintln!(
+            "usage: fvsst-exp <experiment>... [--fast] [--seed N]\n       fvsst-exp all | list\nexperiments: {}",
+            ALL_EXPERIMENTS.join(" ")
+        );
+        return ExitCode::FAILURE;
+    }
+    for t in targets {
+        let outcome = match &json_dir {
+            Some(dir) => match fvs_harness::export::run_and_write_json(&t, &settings, dir) {
+                Ok(rendered) => rendered,
+                Err(e) => {
+                    eprintln!("failed to write JSON for '{t}': {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => run_by_name(&t, &settings),
+        };
+        match outcome {
+            Some(report) => {
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment '{t}' (try: fvsst-exp list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

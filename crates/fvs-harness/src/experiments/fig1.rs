@@ -1,0 +1,115 @@
+//! Figure 1: performance saturation.
+//!
+//! Normalised throughput versus frequency for synthetic workloads of
+//! varying CPU intensity. Computed two ways: analytically from the CPI
+//! model, and measured by actually running the simulator at each fixed
+//! frequency — agreement between the two validates the substrate.
+
+use crate::render::Series;
+use crate::runs::RunSettings;
+use fvs_model::{CpiModel, FreqMhz, FrequencySet, MemoryLatencies};
+use fvs_sim::MachineBuilder;
+use fvs_workloads::{intensity_profile, SyntheticConfig};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Intensities plotted (100 = CPU-bound … 10 = heavily memory-bound).
+pub const INTENSITIES: [f64; 5] = [100.0, 75.0, 50.0, 25.0, 10.0];
+
+/// Result of the Figure 1 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// Analytic normalised-throughput series, one per intensity.
+    pub analytic: Vec<Series>,
+    /// Simulated normalised-throughput series, one per intensity.
+    pub simulated: Vec<Series>,
+}
+
+/// Measured throughput (instructions/s) of an intensity at a fixed
+/// frequency.
+fn simulate_throughput(intensity: f64, f: FreqMhz, settings: &RunSettings) -> f64 {
+    let spec = SyntheticConfig::single(intensity, 1.0e12)
+        .body_only()
+        .looping()
+        .build();
+    let mut machine = MachineBuilder::p630()
+        .cores(1)
+        .workload(0, spec)
+        .seed(settings.seed)
+        .initial_frequency(f)
+        .build();
+    let dur = if settings.fast { 0.05 } else { 0.2 };
+    machine.run_for(dur, 0.01);
+    machine.core(0).stats().body_instructions / dur
+}
+
+/// Run the experiment.
+pub fn run(settings: &RunSettings) -> Fig1Result {
+    let set = FrequencySet::p630();
+    let lat = MemoryLatencies::P630;
+    let analytic = INTENSITIES
+        .iter()
+        .map(|&c| {
+            let m = CpiModel::from_profile(&intensity_profile(c), &lat);
+            let p_max = m.perf_at(set.max());
+            let mut s = Series::new(format!("analytic c={c:.0}"));
+            for f in set.iter() {
+                s.push(f64::from(f.0), m.perf_at(f) / p_max);
+            }
+            s
+        })
+        .collect();
+    // Each (intensity, frequency) point is an independent simulation:
+    // fan out with rayon.
+    let simulated = INTENSITIES
+        .par_iter()
+        .map(|&c| {
+            let p_max = simulate_throughput(c, set.max(), settings);
+            let mut s = Series::new(format!("simulated c={c:.0}"));
+            for f in set.iter() {
+                s.push(f64::from(f.0), simulate_throughput(c, f, settings) / p_max);
+            }
+            s
+        })
+        .collect();
+    Fig1Result {
+        analytic,
+        simulated,
+    }
+}
+
+impl Fig1Result {
+    /// Render both series families.
+    pub fn render(&self) -> String {
+        let mut all = self.analytic.clone();
+        all.extend(self.simulated.iter().cloned());
+        Series::render_table(
+            "Figure 1: performance saturation (normalised throughput vs MHz)",
+            &all,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_shape() {
+        let r = run(&RunSettings::fast());
+        // CPU-bound: near-linear (value at 250 MHz ≈ 0.25–0.31).
+        let cpu = &r.analytic[0];
+        let v250 = cpu.value_at(250.0).unwrap();
+        assert!((0.2..0.35).contains(&v250), "cpu-bound at 250 MHz: {v250}");
+        // Heavily memory-bound: saturates (≥ 0.8 at half clock).
+        let mem = &r.analytic[4];
+        let v500 = mem.value_at(500.0).unwrap();
+        assert!(v500 > 0.8, "mem-bound at 500 MHz: {v500}");
+        // Simulation agrees with the analytic curves within a few %.
+        for (a, s) in r.analytic.iter().zip(&r.simulated) {
+            for ((_, ya), (_, ys)) in a.points.iter().zip(&s.points) {
+                assert!((ya - ys).abs() < 0.05, "{} vs {}", ya, ys);
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 5: fvsst response to phase behaviour.
+//!
+//! A two-phase looping synthetic benchmark (CPU-intensive ↔
+//! memory-intensive) runs under fvsst; the experiment emits the
+//! time-series of observed IPC, scheduled frequency and core power. The
+//! paper's claim: with T = 100 ms and phases longer than that, frequency
+//! tracks the IPC phase structure, and power tracks frequency.
+
+use crate::render::Series;
+use crate::runs::RunSettings;
+use fvs_power::BudgetSchedule;
+use fvs_sched::{ScheduledSimulation, SchedulerConfig};
+use fvs_sim::MachineBuilder;
+use fvs_workloads::SyntheticConfig;
+use serde::{Deserialize, Serialize};
+
+/// Result of the Figure 5 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// `(t, observed IPC)`.
+    pub ipc: Series,
+    /// `(t, scheduled MHz)`.
+    pub freq: Series,
+    /// `(t, core power W)`.
+    pub power: Series,
+    /// Mean scheduled frequency during CPU-intensive phases (MHz).
+    pub cpu_phase_mean_mhz: f64,
+    /// Mean scheduled frequency during memory-intensive phases (MHz).
+    pub mem_phase_mean_mhz: f64,
+}
+
+/// Run the experiment.
+pub fn run(settings: &RunSettings) -> Fig5Result {
+    // Phase lengths ≈ 0.5 s at 1 GHz — well above T = 100 ms.
+    let cpu_len = 6.0e8;
+    let mem_len = 1.0e8; // memory phase runs slower per instruction
+    let spec = SyntheticConfig::two_phase(95.0, cpu_len, 10.0, mem_len)
+        .body_only()
+        .looping()
+        .build();
+    let machine = MachineBuilder::p630()
+        .cores(1)
+        .workload(0, spec)
+        .seed(settings.seed)
+        .build();
+    let config =
+        SchedulerConfig::p630().with_budget(BudgetSchedule::constant(f64::INFINITY));
+    let mut sim = ScheduledSimulation::new(machine, config);
+    let dur = if settings.fast { 2.0 } else { 6.0 };
+    sim.run_for(dur);
+
+    let mut ipc = Series::new("ipc");
+    let mut freq = Series::new("mhz");
+    let mut power = Series::new("watts");
+    let mut cpu_sum = 0.0;
+    let mut cpu_n = 0.0;
+    let mut mem_sum = 0.0;
+    let mut mem_n = 0.0;
+    for s in sim.trace().for_core(0) {
+        ipc.push(s.t_s, s.observed_ipc);
+        freq.push(s.t_s, f64::from(s.requested_mhz));
+        power.push(s.t_s, s.power_w);
+        // Phase labels come from the workload spec ("phase0-c95" etc.).
+        if s.phase.contains("c95") {
+            cpu_sum += f64::from(s.requested_mhz);
+            cpu_n += 1.0;
+        } else if s.phase.contains("c10") {
+            mem_sum += f64::from(s.requested_mhz);
+            mem_n += 1.0;
+        }
+    }
+    Fig5Result {
+        ipc,
+        freq,
+        power,
+        cpu_phase_mean_mhz: if cpu_n > 0.0 { cpu_sum / cpu_n } else { 0.0 },
+        mem_phase_mean_mhz: if mem_n > 0.0 { mem_sum / mem_n } else { 0.0 },
+    }
+}
+
+impl Fig5Result {
+    /// Render the three series (downsampled) plus the phase means.
+    pub fn render(&self) -> String {
+        let ds = |s: &Series| Series {
+            name: s.name.clone(),
+            points: s.points.iter().copied().step_by(5).collect(),
+        };
+        format!(
+            "{}\nmean frequency: CPU-intensive phases {:.0} MHz, memory-intensive phases {:.0} MHz\n",
+            Series::render_table(
+                "Figure 5: fvsst response to phase behaviour (downsampled 5x)",
+                &[ds(&self.ipc), ds(&self.freq), ds(&self.power)],
+            ),
+            self.cpu_phase_mean_mhz,
+            self.mem_phase_mean_mhz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_tracks_phases() {
+        let r = run(&RunSettings::fast());
+        assert!(
+            r.cpu_phase_mean_mhz > r.mem_phase_mean_mhz + 150.0,
+            "cpu {} vs mem {}",
+            r.cpu_phase_mean_mhz,
+            r.mem_phase_mean_mhz
+        );
+        // Power tracks frequency: correlation of the two series must be
+        // strongly positive.
+        let xs: Vec<f64> = r.freq.points.iter().map(|(_, y)| *y).collect();
+        let ys: Vec<f64> = r.power.points.iter().map(|(_, y)| *y).collect();
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        let corr = cov / (vx.sqrt() * vy.sqrt()).max(1e-12);
+        assert!(corr > 0.9, "freq/power correlation {corr}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 6: performance impact of power limits.
+//!
+//! Single processor; the synthetic benchmark's two phase types (100 %
+//! CPU intensity and 20 % intensity, i.e. memory-intensive) are run to
+//! completion under a sweep of power limits. Performance is normalised
+//! to the full-power run. The paper's shape: the memory-intensive phase
+//! shows no degradation across the studied limits; the CPU-intensive
+//! phase degrades slightly less than one-to-one with frequency.
+
+use crate::render::Series;
+use crate::runs::{run_capped_app, RunSettings};
+use fvs_workloads::SyntheticConfig;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Power limits swept (W) — the schedulable power grid of Table 1.
+pub const LIMITS: [f64; 8] = [140.0, 123.0, 109.0, 95.0, 84.0, 75.0, 48.0, 35.0];
+
+/// Result of the Figure 6 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// `(limit W, normalised perf)` for the CPU-intensive phase.
+    pub cpu_phase: Series,
+    /// `(limit W, normalised perf)` for the memory-intensive phase.
+    pub mem_phase: Series,
+}
+
+fn normalised_perf(intensity: f64, settings: &RunSettings) -> Series {
+    let instr = settings.instructions(2.0e9);
+    let make = || {
+        SyntheticConfig::single(intensity, instr)
+            .body_only()
+            .build()
+    };
+    let runs: Vec<(f64, f64)> = LIMITS
+        .par_iter()
+        .map(|&limit| {
+            let r = run_capped_app(make(), limit, settings, 600.0);
+            (limit, r.completion_s)
+        })
+        .collect();
+    let t_full = runs
+        .iter()
+        .find(|(l, _)| *l == 140.0)
+        .map(|(_, t)| *t)
+        .expect("full-power point present");
+    let mut s = Series::new(format!("c={intensity:.0}"));
+    for (limit, t) in runs {
+        s.push(limit, t_full / t);
+    }
+    s
+}
+
+/// Run the experiment.
+pub fn run(settings: &RunSettings) -> Fig6Result {
+    Fig6Result {
+        cpu_phase: normalised_perf(100.0, settings),
+        mem_phase: normalised_perf(20.0, settings),
+    }
+}
+
+impl Fig6Result {
+    /// Render both series.
+    pub fn render(&self) -> String {
+        Series::render_table(
+            "Figure 6: normalised performance vs power limit (W)",
+            &[self.cpu_phase.clone(), self.mem_phase.clone()],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_phase_free_cpu_phase_pays() {
+        let r = run(&RunSettings::fast());
+        // Memory-intensive: essentially no degradation down to 35 W.
+        let mem35 = r.mem_phase.value_at(35.0).unwrap();
+        assert!(mem35 > 0.93, "mem @35 W: {mem35}");
+        // CPU-intensive at 35 W (500 MHz): a bit above the 0.50 clock
+        // ratio ("slightly less than one-to-one").
+        let cpu35 = r.cpu_phase.value_at(35.0).unwrap();
+        assert!((0.50..0.70).contains(&cpu35), "cpu @35 W: {cpu35}");
+        // And the ordering holds everywhere.
+        for (limit, cpu) in &r.cpu_phase.points {
+            let mem = r.mem_phase.value_at(*limit).unwrap();
+            assert!(mem >= cpu - 0.03, "limit {limit}: mem {mem} cpu {cpu}");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Figure 7: scheduled frequencies under power constraints.
+//!
+//! A two-phase synthetic benchmark (100 % and 75 % CPU intensity) under
+//! budgets of 140, 75 and 35 W on a single processor. At full power both
+//! phases get their ε-constrained frequencies; at 75 W (750 MHz cap) the
+//! high-intensity phases saturate at the cap; at 35 W (500 MHz) both
+//! phases pin to the constrained frequency.
+
+use crate::render::TableBuilder;
+use crate::runs::RunSettings;
+use fvs_model::FreqMhz;
+use fvs_power::BudgetSchedule;
+use fvs_sched::{ScheduledSimulation, SchedulerConfig};
+use fvs_sim::{MachineBuilder, ResidencyHistogram};
+use fvs_workloads::SyntheticConfig;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Budgets studied (W).
+pub const BUDGETS: [f64; 3] = [140.0, 75.0, 35.0];
+
+/// Result of the Figure 7 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// Per budget: requested-frequency residency.
+    pub residency: Vec<(f64, ResidencyHistogram)>,
+}
+
+fn run_one(budget: f64, settings: &RunSettings) -> (f64, ResidencyHistogram) {
+    let instr = settings.instructions(8.0e8);
+    let spec = SyntheticConfig::two_phase(100.0, instr, 75.0, instr)
+        .body_only()
+        .looping()
+        .build();
+    let machine = MachineBuilder::p630()
+        .cores(1)
+        .workload(0, spec)
+        .seed(settings.seed)
+        .build();
+    let config = SchedulerConfig::p630().with_budget(BudgetSchedule::constant(budget));
+    let mut sim = ScheduledSimulation::new(machine, config).without_trace();
+    let dur = if settings.fast { 2.0 } else { 6.0 };
+    let report = sim.run_for(dur);
+    (budget, report.residency[0].clone())
+}
+
+/// Run the experiment.
+pub fn run(settings: &RunSettings) -> Fig7Result {
+    let residency = BUDGETS
+        .par_iter()
+        .map(|&b| run_one(b, settings))
+        .collect();
+    Fig7Result { residency }
+}
+
+impl Fig7Result {
+    /// Render residency percentages per budget.
+    pub fn render(&self) -> String {
+        let mut t = TableBuilder::new(
+            "Figure 7: % time at each frequency, 100%/75% phases under budgets",
+        )
+        .header(
+            std::iter::once("MHz".to_string())
+                .chain(self.residency.iter().map(|(b, _)| format!("{b:.0} W"))),
+        );
+        let freqs: Vec<u32> = (5..=20).map(|k| k * 50).collect();
+        for f in freqs {
+            let mut row = vec![format!("{f}")];
+            for (_, h) in &self.residency {
+                row.push(format!("{:.1}%", h.fraction_at(FreqMhz(f)) * 100.0));
+            }
+            t.row(row);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_pin_high_intensity_phases() {
+        let r = run(&RunSettings::fast());
+        let h140 = &r.residency[0].1;
+        let h75 = &r.residency[1].1;
+        let h35 = &r.residency[2].1;
+        // Unconstrained: substantial time at or above 900 MHz (the
+        // CPU-intensive phase's desire).
+        assert!(
+            h140.fraction_at_or_above(FreqMhz(900)) > 0.4,
+            "@140 W high-freq share {}",
+            h140.fraction_at_or_above(FreqMhz(900))
+        );
+        // 75 W: nothing above 750 MHz bar the single bootstrap tick.
+        assert!(h75.fraction_at_or_above(FreqMhz(800)) < 0.02);
+        assert!(h75.fraction_at(FreqMhz(750)) > 0.5, "pinned at the cap");
+        // 35 W: nothing above 500 MHz, both phases at the cap.
+        assert!(h35.fraction_at_or_above(FreqMhz(550)) < 0.02);
+        assert!(h35.fraction_at(FreqMhz(500)) > 0.8);
+    }
+}

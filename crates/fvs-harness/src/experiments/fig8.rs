@@ -1,0 +1,140 @@
+//! Figure 8: percentage of time at each frequency.
+//!
+//! Each application under frequency caps of 1000 MHz (unconstrained),
+//! 750 MHz (75 W) and 500 MHz (35 W). The paper's shape: gzip/gap divide
+//! their time between 1000 and 950 MHz and get squashed onto the cap
+//! when constrained; mcf/health spend the majority of time near 650 MHz
+//! and barely notice the 750 MHz cap.
+
+use crate::render::TableBuilder;
+use crate::runs::RunSettings;
+use fvs_model::FreqMhz;
+use fvs_power::BudgetSchedule;
+use fvs_sched::{ScheduledSimulation, SchedulerConfig};
+use fvs_sim::{MachineBuilder, ResidencyHistogram};
+use fvs_workloads::{AppBenchmark, APP_BENCHMARKS};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Budgets studied, expressed as (W, equivalent cap MHz).
+pub const LEVELS: [(f64, u32); 3] = [(140.0, 1000), (75.0, 750), (35.0, 500)];
+
+/// Result of the Figure 8 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Result {
+    /// `(app, cap MHz, residency)` for every app × level.
+    pub cells: Vec<(String, u32, ResidencyHistogram)>,
+}
+
+/// Residency of a looping instance of `app` under `budget` over a fixed
+/// duration (long enough to cycle through every phase several times).
+fn residency_run(
+    app: AppBenchmark,
+    budget: f64,
+    settings: &RunSettings,
+) -> ResidencyHistogram {
+    let mut spec = app.workload(2.0e9);
+    spec.loop_body = true;
+    let machine = MachineBuilder::p630()
+        .cores(1)
+        .workload(0, spec)
+        .seed(settings.seed)
+        .build();
+    let config = SchedulerConfig::p630().with_budget(BudgetSchedule::constant(budget));
+    let mut sim = ScheduledSimulation::new(machine, config).without_trace();
+    let dur = if settings.fast { 3.0 } else { 12.0 };
+    let report = sim.run_for(dur);
+    report.residency[0].clone()
+}
+
+/// Run the experiment.
+pub fn run(settings: &RunSettings) -> Fig8Result {
+    let jobs: Vec<(AppBenchmark, (f64, u32))> = APP_BENCHMARKS
+        .iter()
+        .flat_map(|&a| LEVELS.iter().map(move |&l| (a, l)))
+        .collect();
+    let cells = jobs
+        .par_iter()
+        .map(|&(app, (budget, cap))| {
+            (
+                app.name().to_string(),
+                cap,
+                residency_run(app, budget, settings),
+            )
+        })
+        .collect();
+    Fig8Result { cells }
+}
+
+impl Fig8Result {
+    /// The residency for one app/cap pair.
+    pub fn residency(&self, app: &str, cap: u32) -> Option<&ResidencyHistogram> {
+        self.cells
+            .iter()
+            .find(|(a, c, _)| a == app && *c == cap)
+            .map(|(_, _, h)| h)
+    }
+
+    /// Render one table per cap level.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (_, cap) in LEVELS {
+            let mut t = TableBuilder::new(format!(
+                "Figure 8: % time at each frequency (cap {cap} MHz)"
+            ))
+            .header(
+                std::iter::once("MHz".to_string())
+                    .chain(APP_BENCHMARKS.iter().map(|a| a.name().to_string())),
+            );
+            for f in (5..=20).map(|k| k * 50) {
+                let mut row = vec![format!("{f}")];
+                for a in APP_BENCHMARKS {
+                    let cell = self
+                        .residency(a.name(), cap)
+                        .map(|h| format!("{:.1}%", h.fraction_at(FreqMhz(f)) * 100.0))
+                        .unwrap_or_default();
+                    row.push(cell);
+                }
+                t.row(row);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residency_shape_matches_paper() {
+        let r = run(&RunSettings::fast());
+        // gzip unconstrained: dominated by 950/1000 MHz.
+        let gzip = r.residency("gzip", 1000).unwrap();
+        assert!(
+            gzip.fraction_at_or_above(FreqMhz(950)) > 0.7,
+            "gzip high-freq share {}",
+            gzip.fraction_at_or_above(FreqMhz(950))
+        );
+        // gzip at 750 cap: squashed onto the cap (allowing the one
+        // bootstrap tick at f_max).
+        let gzip750 = r.residency("gzip", 750).unwrap();
+        assert!(gzip750.fraction_at(FreqMhz(750)) > 0.7);
+        assert!(gzip750.fraction_at_or_above(FreqMhz(800)) < 0.02);
+        // mcf unconstrained: majority of time at ≈650 MHz.
+        let mcf = r.residency("mcf", 1000).unwrap();
+        assert!(
+            mcf.fraction_at(FreqMhz(650)) > 0.4,
+            "mcf at 650: {}",
+            mcf.fraction_at(FreqMhz(650))
+        );
+        // mcf at 750: nearly unchanged mode.
+        let mcf750 = r.residency("mcf", 750).unwrap();
+        assert_eq!(mcf750.mode(), Some(FreqMhz(650)));
+        // health at 500: pinned at/below the cap.
+        let health500 = r.residency("health", 500).unwrap();
+        assert!(health500.fraction_at_or_above(FreqMhz(550)) < 0.02);
+    }
+}

@@ -1,0 +1,65 @@
+//! One module per paper table/figure, plus the ablation suite.
+//!
+//! | id        | paper artifact                                   |
+//! |-----------|--------------------------------------------------|
+//! | `table1`  | Table 1 — frequency/power table + model fit      |
+//! | `fig1`    | Figure 1 — performance saturation                |
+//! | `table2`  | Table 2 — predictor IPC deviation                |
+//! | `fig4`    | Figure 4 — fvsst overhead on throughput          |
+//! | `fig5`    | Figure 5 — phase tracking time series            |
+//! | `fig6`    | Figure 6 — performance vs power limit            |
+//! | `fig7`    | Figure 7 — residency under power constraints     |
+//! | `table3`  | Table 3 — app performance & energy under budgets |
+//! | `fig8`    | Figure 8 — % time at each frequency per app      |
+//! | `fig9`    | Figures 9/10 — actual vs desired frequency (gap) |
+//! | `example5`| Section 5 worked example                         |
+//! | `ablation`| baselines / cascade / idle / actuator / demotion |
+//! | `predictors` | footnote-1 predictor-variant study |
+//! | `migration` | frequency vs work scheduling comparator |
+//! | `cluster` | budget response vs cluster size and latency |
+
+pub mod ablations;
+pub mod cluster_scale;
+pub mod example5;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod migration;
+pub mod predictors;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use crate::runs::RunSettings;
+
+/// Experiment ids accepted by the `fvsst-exp` binary, in paper order.
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "table1", "fig1", "table2", "fig4", "fig5", "fig6", "fig7", "table3", "fig8", "fig9",
+    "example5", "ablation", "predictors", "migration", "cluster",
+];
+
+/// Run one experiment by id and return its rendered report.
+pub fn run_by_name(name: &str, settings: &RunSettings) -> Option<String> {
+    Some(match name {
+        "table1" => table1::run().render(),
+        "fig1" => fig1::run(settings).render(),
+        "table2" => table2::run(settings).render(),
+        "fig4" => fig4::run(settings).render(),
+        "fig5" => fig5::run(settings).render(),
+        "fig6" => fig6::run(settings).render(),
+        "fig7" => fig7::run(settings).render(),
+        "table3" => table3::run(settings).render(),
+        "fig8" => fig8::run(settings).render(),
+        "fig9" => fig9::run(settings).render(),
+        "example5" => example5::run().render(),
+        "ablation" => ablations::run(settings).render(),
+        "predictors" => predictors::run(settings).render(),
+        "migration" => migration::run(settings).render(),
+        "cluster" => cluster_scale::run(settings).render(),
+        _ => return None,
+    })
+}

@@ -1,0 +1,251 @@
+//! Predictor-variant study (paper footnote 1).
+//!
+//! The production predictor assumes constant, correctly-measured memory
+//! latencies; the paper admits this "is a source of error" and sketches
+//! two alternatives — two-frequency calibration and best/worst-case
+//! latency bounds. This experiment quantifies the trade under **latency
+//! miscalibration**: the machine's true latencies are the nominal ones
+//! scaled by `k` (unknown to the scheduler), and each scheme picks an
+//! ε-frequency from the same observed windows.
+//!
+//! The error is asymmetric. When the true latency is *lower* than
+//! believed (`k < 1`), the point estimator over-attributes cycles to the
+//! memory term, believes in saturation that isn't there, under-clocks,
+//! and **busts ε**. When it is *higher* (`k > 1`), the estimator is
+//! conservative and **wastes power**. Two-point calibration never
+//! consults latencies and matches the oracle either way; the bounded
+//! scheme stays ε-safe whenever the truth lies inside its envelope, at
+//! some power cost.
+
+use crate::render::TableBuilder;
+use crate::runs::RunSettings;
+use fvs_model::{
+    calibrate_two_point, BoundedCpiModel, CpiModel, Estimator, FreqMhz, FrequencySet,
+    LatencyBounds, MemoryLatencies, Observation, PerfLossTable,
+};
+use fvs_power::FreqPowerTable;
+use fvs_sim::{MachineBuilder, MachineConfig, NoiseModel};
+use fvs_workloads::SyntheticConfig;
+use serde::{Deserialize, Serialize};
+
+/// Latency miscalibration factors studied (true latency = nominal × k).
+pub const MISCALIBRATION: [f64; 5] = [0.7, 0.85, 1.0, 1.25, 1.5];
+
+/// CPU intensity of the probe workload (moderately memory-bound, so the
+/// ε-frequency sits mid-table where miscalibration moves it).
+const INTENSITY: f64 = 70.0;
+
+/// One row of the study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictorRow {
+    /// Latency scale factor applied to the machine.
+    pub latency_scale: f64,
+    /// ε-frequency from the constant-latency point estimator (MHz).
+    pub point_mhz: u32,
+    /// ε-frequency from two-point calibration (MHz).
+    pub two_point_mhz: u32,
+    /// Conservative ε-frequency from the bounded estimator (MHz).
+    pub bounded_mhz: u32,
+    /// The ground-truth ε-frequency (MHz).
+    pub oracle_mhz: u32,
+    /// True performance loss of each pick (vs f_max), `(point, bounded)`.
+    pub true_loss: (f64, f64),
+    /// Table power of the point and oracle picks (W) — the waste when
+    /// the point estimator is conservative.
+    pub power_w: (f64, f64),
+}
+
+/// Result of the predictor study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictorsResult {
+    /// One row per miscalibration factor.
+    pub rows: Vec<PredictorRow>,
+    /// ε used.
+    pub epsilon: f64,
+}
+
+fn scaled_latencies(k: f64) -> MemoryLatencies {
+    let n = MemoryLatencies::P630;
+    MemoryLatencies {
+        l1_cycles: n.l1_cycles,
+        l2_s: n.l2_s * k,
+        l3_s: n.l3_s * k,
+        mem_s: n.mem_s * k,
+    }
+}
+
+fn run_one(k: f64, settings: &RunSettings) -> PredictorRow {
+    let epsilon = 0.048;
+    let set = FrequencySet::p630();
+    let f_max = set.max();
+    let power_table = FreqPowerTable::p630_table1();
+    // The machine's true latencies are scaled; every scheme below still
+    // believes the nominal P630 numbers (or an envelope around them).
+    let mut config = MachineConfig::p630();
+    config.latencies = scaled_latencies(k);
+    config.noise = NoiseModel::NONE; // isolate the calibration error
+    let window = |f: FreqMhz| {
+        let mut m = MachineBuilder::p630()
+            .cores(1)
+            .config(config.clone())
+            .workload(
+                0,
+                SyntheticConfig::single(INTENSITY, 1.0e15)
+                    .body_only()
+                    .looping()
+                    .build(),
+            )
+            .seed(settings.seed)
+            .initial_frequency(f)
+            .build();
+        m.run_for(0.1, 0.01);
+        m.sample(0)
+    };
+    let at_max = window(f_max);
+    let at_low = window(FreqMhz(600));
+
+    // Scheme 1: constant-latency point estimator (nominal latencies).
+    let point_model = Estimator::new(MemoryLatencies::P630)
+        .estimate(&at_max, f_max)
+        .expect("informative window");
+    let point_pick = PerfLossTable::build(&point_model, &set).epsilon_constrained(epsilon);
+
+    // Scheme 2: two-point calibration (latency-free).
+    let two_point_model = calibrate_two_point(
+        &Observation::new(f_max, at_max),
+        &Observation::new(FreqMhz(600), at_low),
+    )
+    .expect("consistent observations");
+    let two_point_pick =
+        PerfLossTable::build(&two_point_model, &set).epsilon_constrained(epsilon);
+
+    // Scheme 3: bounded estimator whose envelope covers the studied
+    // miscalibration range, conservative pick.
+    let bounds = LatencyBounds::new(scaled_latencies(0.7), scaled_latencies(1.5));
+    let bounded = BoundedCpiModel::estimate(&at_max, f_max, &bounds, 0.05).unwrap();
+    let bounded_pick = bounded.conservative_epsilon_frequency(&set, epsilon);
+
+    // Ground truth.
+    let truth = CpiModel::from_profile(
+        &fvs_workloads::intensity_profile(INTENSITY),
+        &config.latencies,
+    );
+    let oracle_pick = PerfLossTable::build(&truth, &set).epsilon_constrained(epsilon);
+    let true_loss = |f: FreqMhz| fvs_model::perf_loss(&truth, f_max, f);
+
+    PredictorRow {
+        latency_scale: k,
+        point_mhz: point_pick.0,
+        two_point_mhz: two_point_pick.0,
+        bounded_mhz: bounded_pick.0,
+        oracle_mhz: oracle_pick.0,
+        true_loss: (true_loss(point_pick), true_loss(bounded_pick)),
+        power_w: (
+            power_table.power_interpolated(point_pick),
+            power_table.power_interpolated(oracle_pick),
+        ),
+    }
+}
+
+/// Run the study.
+pub fn run(settings: &RunSettings) -> PredictorsResult {
+    PredictorsResult {
+        rows: MISCALIBRATION
+            .iter()
+            .map(|&k| run_one(k, settings))
+            .collect(),
+        epsilon: 0.048,
+    }
+}
+
+impl PredictorsResult {
+    /// Render the comparison table.
+    pub fn render(&self) -> String {
+        let mut t = TableBuilder::new(
+            "Predictor variants under latency miscalibration (footnote 1)",
+        )
+        .header([
+            "true latency ×",
+            "point",
+            "two-point",
+            "bounded",
+            "oracle",
+            "point true loss",
+            "bounded true loss",
+            "point W / oracle W",
+        ]);
+        for r in &self.rows {
+            t.row([
+                format!("{:.2}", r.latency_scale),
+                format!("{} MHz", r.point_mhz),
+                format!("{} MHz", r.two_point_mhz),
+                format!("{} MHz", r.bounded_mhz),
+                format!("{} MHz", r.oracle_mhz),
+                format!("{:.3}", r.true_loss.0),
+                format!("{:.3}", r.true_loss.1),
+                format!("{:.0} / {:.0}", r.power_w.0, r.power_w.1),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_point_is_immune_to_miscalibration() {
+        let r = run(&RunSettings::fast());
+        for row in &r.rows {
+            assert_eq!(
+                row.two_point_mhz, row.oracle_mhz,
+                "two-point must match the oracle at ×{}",
+                row.latency_scale
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_is_epsilon_safe_inside_its_envelope() {
+        let r = run(&RunSettings::fast());
+        for row in &r.rows {
+            assert!(
+                row.true_loss.1 < r.epsilon + 1e-9,
+                "×{}: bounded pick truly lost {}",
+                row.latency_scale,
+                row.true_loss.1
+            );
+            // Conservative: never below the oracle pick.
+            assert!(row.bounded_mhz >= row.oracle_mhz);
+        }
+    }
+
+    #[test]
+    fn point_estimator_error_is_asymmetric() {
+        let r = run(&RunSettings::fast());
+        let at = |k: f64| {
+            r.rows
+                .iter()
+                .find(|row| (row.latency_scale - k).abs() < 1e-9)
+                .unwrap()
+        };
+        // Exact calibration: matches the oracle, within ε.
+        let exact = at(1.0);
+        assert_eq!(exact.point_mhz, exact.oracle_mhz);
+        assert!(exact.true_loss.0 < r.epsilon);
+        // True latency lower than believed: under-clocks and busts ε.
+        let fast_mem = at(0.7);
+        assert!(fast_mem.point_mhz < fast_mem.oracle_mhz);
+        assert!(
+            fast_mem.true_loss.0 > r.epsilon,
+            "expected ε bust, got {}",
+            fast_mem.true_loss.0
+        );
+        // True latency higher than believed: conservative, wastes power.
+        let slow_mem = at(1.5);
+        assert!(slow_mem.point_mhz > slow_mem.oracle_mhz);
+        assert!(slow_mem.true_loss.0 < r.epsilon);
+        assert!(slow_mem.power_w.0 > slow_mem.power_w.1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Table 2: predictor accuracy.
+//!
+//! The synthetic benchmark runs on CPU 3 at each CPU intensity while
+//! CPUs 0–2 run the hot idle loop (the paper's prototype had no idle
+//! detection, so all four processors are predicted). The metric is the
+//! mean |predicted − observed| IPC per scheduling window; the starred
+//! column excludes windows overlapping the benchmark's initialization
+//! and termination phases.
+
+use crate::render::TableBuilder;
+use crate::runs::RunSettings;
+use fvs_power::BudgetSchedule;
+use fvs_sched::{ScheduledSimulation, SchedulerConfig};
+use fvs_sim::MachineBuilder;
+use fvs_workloads::SyntheticConfig;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// CPU intensities studied, as in the paper.
+pub const INTENSITIES: [f64; 4] = [100.0, 75.0, 50.0, 25.0];
+
+/// One row: intensity plus per-CPU deviations and the steady-state CPU3
+/// figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Benchmark CPU intensity.
+    pub intensity: f64,
+    /// Mean |ΔIPC| for CPU0..CPU3 (all windows).
+    pub cpu_dev: [f64; 4],
+    /// Mean |ΔIPC| for CPU3 excluding init/exit windows (`CPU3*`).
+    pub cpu3_steady: f64,
+}
+
+/// Result of the Table 2 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// One row per intensity.
+    pub rows: Vec<Table2Row>,
+}
+
+fn run_one(intensity: f64, settings: &RunSettings) -> Table2Row {
+    let instr = settings.instructions(3.0e9);
+    let mut spec_cfg = SyntheticConfig::single(intensity, instr);
+    // Init/exit phases proportional to the body so fast mode keeps the
+    // paper's relative phase structure.
+    spec_cfg.init_instructions = instr * 0.05;
+    spec_cfg.exit_instructions = instr * 0.02;
+    let spec = spec_cfg.build();
+    let machine = MachineBuilder::p630()
+        .workload(3, spec)
+        .seed(settings.seed ^ intensity.to_bits())
+        .build();
+    // Match the prototype: no idle detection, unconstrained budget.
+    let config = SchedulerConfig::p630()
+        .with_idle_detection(false)
+        .with_budget(BudgetSchedule::constant(f64::INFINITY));
+    let mut sim = ScheduledSimulation::new(machine, config).without_trace();
+    sim.run_to_completion(120.0);
+    let s = sim.policy();
+    Table2Row {
+        intensity,
+        cpu_dev: [
+            s.error_stats(0).mean_abs(),
+            s.error_stats(1).mean_abs(),
+            s.error_stats(2).mean_abs(),
+            s.error_stats(3).mean_abs(),
+        ],
+        cpu3_steady: s.steady_error_stats(3).mean_abs(),
+    }
+}
+
+/// Run the experiment (one independent simulation per intensity).
+pub fn run(settings: &RunSettings) -> Table2Result {
+    let rows = INTENSITIES
+        .par_iter()
+        .map(|&c| run_one(c, settings))
+        .collect();
+    Table2Result { rows }
+}
+
+impl Table2Result {
+    /// Render the paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TableBuilder::new("Table 2: predictor error (mean |ΔIPC| per window)")
+            .header(["CPU intensity", "CPU0", "CPU1", "CPU2", "CPU3", "CPU3*"]);
+        for r in &self.rows {
+            t.row([
+                format!("{:.0}", r.intensity),
+                format!("{:.3}", r.cpu_dev[0]),
+                format!("{:.3}", r.cpu_dev[1]),
+                format!("{:.3}", r.cpu_dev[2]),
+                format!("{:.3}", r.cpu_dev[3]),
+                format!("{:.3}", r.cpu3_steady),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictor_error_is_small_in_steady_state() {
+        let r = run(&RunSettings::fast());
+        assert_eq!(r.rows.len(), 4);
+        for row in &r.rows {
+            // Paper Table 2: steady-state deviations of 0.008–0.038 IPC;
+            // idle-loop CPUs are near-perfectly predictable too. Allow a
+            // loose ceiling — the shape claim is "small, ≪ observed IPC".
+            for d in row.cpu_dev.iter().take(3) {
+                assert!(*d < 0.08, "idle cpu dev {d}");
+            }
+            assert!(row.cpu3_steady < 0.08, "steady dev {}", row.cpu3_steady);
+            assert!(row.cpu_dev[3] < 0.30, "all-windows dev {}", row.cpu_dev[3]);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Table 3: performance and energy of gzip, gap, mcf and health under
+//! power constraints.
+//!
+//! Each application model runs alone on a single processor under fvsst
+//! at 140 W (unconstrained), 75 W and 35 W. Performance is completion
+//! time normalised to an unmanaged full-speed run; energy is normalised
+//! to a system drawing full power for the same duration (the paper's
+//! metric — 1.0 means "no better than a non-fvsst system").
+
+use crate::render::TableBuilder;
+use crate::runs::{run_capped_app, RunSettings};
+use fvs_workloads::{AppBenchmark, APP_BENCHMARKS};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Budgets studied (W).
+pub const BUDGETS: [f64; 3] = [140.0, 75.0, 35.0];
+
+/// Per-application results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Column {
+    /// Application name.
+    pub app: String,
+    /// Normalised performance at each budget (BUDGETS order).
+    pub perf: [f64; 3],
+    /// Normalised energy at each budget.
+    pub energy: [f64; 3],
+}
+
+/// Result of the Table 3 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Result {
+    /// One column per application.
+    pub columns: Vec<Table3Column>,
+}
+
+fn run_app(app: AppBenchmark, settings: &RunSettings) -> Table3Column {
+    // Completion times are measured at dispatch-tick (10 ms) granularity,
+    // so runs must stay long enough that quantisation is ≪ the effects
+    // measured — hence a higher fast-mode floor than other experiments.
+    let instr = settings.instructions(2.0e9).max(1.0e9);
+    let runs: Vec<_> = BUDGETS
+        .par_iter()
+        .map(|&b| run_capped_app(app.workload(instr), b, settings, 600.0))
+        .collect();
+    // Performance is normalised against the *unconstrained fvsst* run —
+    // the paper's Table 3 has Perf@140W ≡ 1 for every application, so
+    // its baseline is the managed full-budget system, not a bare one.
+    // Energy is normalised against a non-fvsst system doing the same
+    // work: 140 W for the full-budget run's duration. (This is the only
+    // reading that reproduces the paper's own arithmetic, e.g. mcf's
+    // 0.31 at 35 W = 0.25 / 0.81.)
+    let reference_s = runs[0].completion_s;
+    let reference_j = 140.0 * reference_s;
+    let mut perf = [0.0; 3];
+    let mut energy = [0.0; 3];
+    for (i, r) in runs.iter().enumerate() {
+        perf[i] = reference_s / r.completion_s;
+        energy[i] = r.energy_j / reference_j;
+    }
+    Table3Column {
+        app: app.name().to_string(),
+        perf,
+        energy,
+    }
+}
+
+/// Run the experiment.
+pub fn run(settings: &RunSettings) -> Table3Result {
+    let columns = APP_BENCHMARKS
+        .par_iter()
+        .map(|&a| run_app(a, settings))
+        .collect();
+    Table3Result { columns }
+}
+
+impl Table3Result {
+    /// Column for one app by name.
+    pub fn column(&self, name: &str) -> Option<&Table3Column> {
+        self.columns.iter().find(|c| c.app == name)
+    }
+
+    /// Render the paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TableBuilder::new("Table 3: performance and energy under constraint")
+            .header(
+                std::iter::once("".to_string())
+                    .chain(self.columns.iter().map(|c| c.app.clone())),
+            );
+        for (i, b) in BUDGETS.iter().enumerate() {
+            let mut row = vec![format!("Perf @ {b:.0}W")];
+            for c in &self.columns {
+                row.push(format!("{:.2}", c.perf[i]));
+            }
+            t.row(row);
+        }
+        for (i, b) in BUDGETS.iter().enumerate() {
+            let mut row = vec![format!("Energy @ {b:.0}W")];
+            for c in &self.columns {
+                row.push(format!("{:.2}", c.energy[i]));
+            }
+            t.row(row);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let r = run(&RunSettings::fast());
+        let gzip = r.column("gzip").unwrap();
+        let gap = r.column("gap").unwrap();
+        let mcf = r.column("mcf").unwrap();
+        let health = r.column("health").unwrap();
+
+        // Unconstrained: everyone ≈ full performance (within overhead).
+        for c in &r.columns {
+            assert!(c.perf[0] > 0.95, "{}: perf@140 {}", c.app, c.perf[0]);
+        }
+        // CPU apps: noticeable sub-linear loss at 75 W, ≈half at 35 W.
+        for c in [gzip, gap] {
+            assert!(
+                (0.70..0.92).contains(&c.perf[1]),
+                "{}: perf@75 {}",
+                c.app,
+                c.perf[1]
+            );
+            assert!(
+                (0.45..0.70).contains(&c.perf[2]),
+                "{}: perf@35 {}",
+                c.app,
+                c.perf[2]
+            );
+        }
+        // Memory apps: ~no loss at 75 W, significant at 35 W.
+        for c in [mcf, health] {
+            assert!(c.perf[1] > 0.93, "{}: perf@75 {}", c.app, c.perf[1]);
+            assert!(
+                (0.70..0.97).contains(&c.perf[2]),
+                "{}: perf@35 {}",
+                c.app,
+                c.perf[2]
+            );
+            assert!(c.perf[2] < c.perf[1], "{}: 35W must cost more", c.app);
+            // The headline energy claim: memory apps burn ≈0.4–0.5 of a
+            // non-fvsst system even unconstrained.
+            assert!(
+                (0.35..0.60).contains(&c.energy[0]),
+                "{}: energy@140 {}",
+                c.app,
+                c.energy[0]
+            );
+        }
+        // CPU apps save little energy unconstrained (>0.8).
+        for c in [gzip, gap] {
+            assert!(c.energy[0] > 0.80, "{}: energy@140 {}", c.app, c.energy[0]);
+        }
+        // Energy decreases (weakly) as the budget tightens.
+        for c in &r.columns {
+            assert!(c.energy[2] <= c.energy[0] + 0.02, "{}", c.app);
+        }
+        // Memory apps retain more performance than CPU apps at 35 W.
+        assert!(mcf.perf[2] > gzip.perf[2] + 0.1);
+        assert!(health.perf[2] > gap.perf[2] + 0.1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Structured (JSON) export of experiment results.
+//!
+//! Every experiment result type is `Serialize`, so downstream analysis
+//! (plotting the figures, regression-tracking the tables) can consume
+//! machine-readable output instead of scraping the rendered text:
+//!
+//! ```sh
+//! fvsst-exp table3 --json out/
+//! ```
+//!
+//! writes `out/table3.json` alongside the text report on stdout.
+
+use crate::experiments::{
+    ablations, cluster_scale, example5, fig1, fig4, fig5, fig6, fig7, fig8, fig9, migration, predictors, table1, table2,
+    table3,
+};
+use crate::runs::RunSettings;
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+
+/// A rendered report plus its JSON form.
+pub struct ExportedResult {
+    /// Human-readable report (same as the non-JSON path prints).
+    pub rendered: String,
+    /// JSON document of the result struct.
+    pub json: String,
+}
+
+fn pack<T: Serialize>(rendered: String, value: &T) -> serde_json::Result<ExportedResult> {
+    Ok(ExportedResult {
+        rendered,
+        json: serde_json::to_string_pretty(value)?,
+    })
+}
+
+/// Run one experiment by id, returning both renderings. `None` for an
+/// unknown id.
+pub fn run_exported(name: &str, settings: &RunSettings) -> Option<serde_json::Result<ExportedResult>> {
+    Some(match name {
+        "table1" => {
+            let r = table1::run();
+            pack(r.render(), &r)
+        }
+        "fig1" => {
+            let r = fig1::run(settings);
+            pack(r.render(), &r)
+        }
+        "table2" => {
+            let r = table2::run(settings);
+            pack(r.render(), &r)
+        }
+        "fig4" => {
+            let r = fig4::run(settings);
+            pack(r.render(), &r)
+        }
+        "fig5" => {
+            let r = fig5::run(settings);
+            pack(r.render(), &r)
+        }
+        "fig6" => {
+            let r = fig6::run(settings);
+            pack(r.render(), &r)
+        }
+        "fig7" => {
+            let r = fig7::run(settings);
+            pack(r.render(), &r)
+        }
+        "table3" => {
+            let r = table3::run(settings);
+            pack(r.render(), &r)
+        }
+        "fig8" => {
+            let r = fig8::run(settings);
+            pack(r.render(), &r)
+        }
+        "fig9" => {
+            let r = fig9::run(settings);
+            pack(r.render(), &r)
+        }
+        "example5" => {
+            let r = example5::run();
+            pack(r.render(), &r)
+        }
+        "ablation" => {
+            let r = ablations::run(settings);
+            pack(r.render(), &r)
+        }
+        "predictors" => {
+            let r = predictors::run(settings);
+            pack(r.render(), &r)
+        }
+        "migration" => {
+            let r = migration::run(settings);
+            pack(r.render(), &r)
+        }
+        "cluster" => {
+            let r = cluster_scale::run(settings);
+            pack(r.render(), &r)
+        }
+        _ => return None,
+    })
+}
+
+/// Run an experiment and write `<dir>/<name>.json`; returns the rendered
+/// text for stdout.
+pub fn run_and_write_json(
+    name: &str,
+    settings: &RunSettings,
+    dir: &Path,
+) -> io::Result<Option<String>> {
+    let Some(result) = run_exported(name, settings) else {
+        return Ok(None);
+    };
+    let result = result.map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{name}.json")), &result.json)?;
+    Ok(Some(result.rendered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_exports_valid_json() {
+        let settings = RunSettings::fast();
+        // Keep the cheap ones in the unit test; the expensive ones are
+        // covered by their own experiment tests and the integration run.
+        for name in ["table1", "example5"] {
+            let r = run_exported(name, &settings)
+                .expect("known id")
+                .expect("serializes");
+            let parsed: serde_json::Value = serde_json::from_str(&r.json).unwrap();
+            assert!(parsed.is_object() || parsed.is_array());
+            assert!(!r.rendered.is_empty());
+        }
+        assert!(run_exported("nope", &settings).is_none());
+    }
+
+    #[test]
+    fn json_files_land_on_disk() {
+        let dir = std::env::temp_dir().join("fvsst-export-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let rendered = run_and_write_json("table1", &RunSettings::fast(), &dir)
+            .unwrap()
+            .expect("known id");
+        assert!(rendered.contains("Table 1"));
+        let json = std::fs::read_to_string(dir.join("table1.json")).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["rows"].as_array().unwrap().len(), 16);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared run helpers used by several experiments.
+
+use fvs_model::FreqMhz;
+use fvs_power::BudgetSchedule;
+use fvs_sched::{ScheduledSimulation, SchedulerConfig};
+use fvs_sim::{MachineBuilder, ResidencyHistogram};
+use fvs_workloads::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// Global experiment settings.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunSettings {
+    /// Shrink instruction budgets for quick runs (benches, CI smoke).
+    pub fast: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl RunSettings {
+    /// Full-fidelity settings.
+    pub fn full() -> Self {
+        RunSettings {
+            fast: false,
+            seed: 0xF05,
+        }
+    }
+
+    /// Reduced-work settings for benches and smoke tests.
+    pub fn fast() -> Self {
+        RunSettings {
+            fast: true,
+            seed: 0xF05,
+        }
+    }
+
+    /// Scale an instruction budget by the fidelity mode.
+    pub fn instructions(&self, full: f64) -> f64 {
+        if self.fast {
+            full / 10.0
+        } else {
+            full
+        }
+    }
+}
+
+/// Outcome of one capped single-benchmark run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CappedRun {
+    /// Budget applied (W).
+    pub budget_w: f64,
+    /// Wall-clock (simulated) completion time of the workload (s).
+    pub completion_s: f64,
+    /// Energy normalised against a full-power (140 W/core) system
+    /// running for the same duration.
+    pub norm_energy: f64,
+    /// Raw processor energy over the run (J), for normalisations against
+    /// a *different* run's duration (paper Table 3 divides by the
+    /// full-budget run's 140 W × T).
+    pub energy_j: f64,
+    /// Requested-frequency residency over the run.
+    pub residency: ResidencyHistogram,
+    /// Seconds the aggregate power exceeded the budget.
+    pub violation_s: f64,
+}
+
+/// Run `workload` alone on a single-core P630 under fvsst with the given
+/// budget; returns completion time, normalised energy and residency.
+///
+/// This is the configuration of the paper's sections 8.3/8.4: "the
+/// system configured to use only a single processor", budget levels 140,
+/// 75 and 35 W.
+pub fn run_capped_app(
+    workload: WorkloadSpec,
+    budget_w: f64,
+    settings: &RunSettings,
+    max_s: f64,
+) -> CappedRun {
+    let machine = MachineBuilder::p630()
+        .cores(1)
+        .workload(0, workload)
+        .seed(settings.seed)
+        .build();
+    let config = SchedulerConfig::p630().with_budget(BudgetSchedule::constant(budget_w));
+    let mut sim = ScheduledSimulation::new(machine, config).without_trace();
+    let report = sim.run_to_completion(max_s);
+    let completion_s = report.completed_at_s[0].unwrap_or(report.duration_s);
+    // Energy accrued up to completion (the meter runs for the whole sim;
+    // with run_to_completion the sim stops at completion + ≤1 tick).
+    let norm_energy = report.core_energy[0].normalised_against(140.0);
+    CappedRun {
+        budget_w,
+        completion_s,
+        norm_energy,
+        energy_j: report.core_energy[0].joules(),
+        // Effective == requested under the instant-DVFS actuator, so the
+        // machine's residency is the "time at each frequency" of Fig. 8.
+        residency: report.residency[0].clone(),
+        violation_s: report.violation_s,
+    }
+}
+
+/// Completion time of `workload` on a single core pinned at `f` with no
+/// management at all — the reference for performance normalisation.
+pub fn run_reference(workload: WorkloadSpec, f: FreqMhz, settings: &RunSettings, max_s: f64) -> f64 {
+    let mut machine = MachineBuilder::p630()
+        .cores(1)
+        .workload(0, workload)
+        .seed(settings.seed)
+        .initial_frequency(f)
+        .build();
+    let tick = 0.001;
+    let mut t = 0.0;
+    while !machine.core(0).is_finished() && t < max_s {
+        machine.step(tick);
+        t += tick;
+    }
+    machine
+        .core(0)
+        .stats()
+        .completed_at_s
+        .unwrap_or(max_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvs_workloads::AppBenchmark;
+
+    #[test]
+    fn capped_run_completes_and_tracks_energy() {
+        let s = RunSettings::fast();
+        let w = AppBenchmark::Mcf.workload(s.instructions(2.0e8));
+        let run = run_capped_app(w, 140.0, &s, 60.0);
+        assert!(run.completion_s > 0.0);
+        assert!(run.norm_energy > 0.0 && run.norm_energy < 1.0);
+        assert!(run.residency.total() > 0.0);
+    }
+
+    #[test]
+    fn reference_run_is_frequency_sensitive() {
+        let s = RunSettings::fast();
+        let w = |_| AppBenchmark::Gzip.workload(s.instructions(2.0e8));
+        let fast = run_reference(w(()), FreqMhz(1000), &s, 60.0);
+        let slow = run_reference(w(()), FreqMhz(500), &s, 60.0);
+        assert!(slow > fast * 1.5);
+    }
+}

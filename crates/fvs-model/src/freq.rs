@@ -1,0 +1,278 @@
+//! Frequency newtypes and the discrete frequency set the scheduler picks from.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A processor core frequency in megahertz.
+///
+/// The paper's platform exposes a small fixed set of settings
+/// (250 MHz … 1000 MHz in 50 MHz steps, paper Table 1); a `u32` in MHz
+/// represents every setting exactly and keeps comparisons exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FreqMhz(pub u32);
+
+impl FreqMhz {
+    /// Frequency in hertz, for use in the time-domain CPI equation.
+    #[inline]
+    pub fn hz(self) -> f64 {
+        f64::from(self.0) * 1.0e6
+    }
+
+    /// Clock period in seconds.
+    #[inline]
+    pub fn period_s(self) -> f64 {
+        1.0 / self.hz()
+    }
+
+    /// Fraction of `other`'s clock rate that this frequency represents.
+    #[inline]
+    pub fn ratio_to(self, other: FreqMhz) -> f64 {
+        f64::from(self.0) / f64::from(other.0)
+    }
+}
+
+impl fmt::Display for FreqMhz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MHz", self.0)
+    }
+}
+
+/// Errors constructing a [`FrequencySet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrequencySetError {
+    /// The set contained no frequencies.
+    Empty,
+    /// A frequency of 0 MHz was supplied.
+    ZeroFrequency,
+}
+
+impl fmt::Display for FrequencySetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrequencySetError::Empty => write!(f, "frequency set must not be empty"),
+            FrequencySetError::ZeroFrequency => write!(f, "frequency of 0 MHz is not schedulable"),
+        }
+    }
+}
+
+impl std::error::Error for FrequencySetError {}
+
+/// The ordered, deduplicated set of frequencies available for scheduling.
+///
+/// Mirrors `F = f_0, f_1, …, f_max` from the paper's Figure 3: ascending
+/// order, with `min()` the deepest power-saving setting and `max()` the
+/// nominal full-speed setting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequencySet {
+    freqs: Vec<FreqMhz>,
+}
+
+impl FrequencySet {
+    /// Build a set from arbitrary frequencies; sorts and deduplicates.
+    pub fn new(mut freqs: Vec<FreqMhz>) -> Result<Self, FrequencySetError> {
+        if freqs.iter().any(|f| f.0 == 0) {
+            return Err(FrequencySetError::ZeroFrequency);
+        }
+        freqs.sort_unstable();
+        freqs.dedup();
+        if freqs.is_empty() {
+            return Err(FrequencySetError::Empty);
+        }
+        Ok(FrequencySet { freqs })
+    }
+
+    /// The 16-step 250–1000 MHz set of the paper's P630 platform (Table 1).
+    pub fn p630() -> Self {
+        FrequencySet {
+            freqs: (5..=20).map(|k| FreqMhz(k * 50)).collect(),
+        }
+    }
+
+    /// The 5-step 0.6–1.0 GHz set used in the paper's section 5 worked
+    /// example.
+    pub fn example_section5() -> Self {
+        FrequencySet {
+            freqs: vec![
+                FreqMhz(600),
+                FreqMhz(700),
+                FreqMhz(800),
+                FreqMhz(900),
+                FreqMhz(1000),
+            ],
+        }
+    }
+
+    /// Lowest available frequency.
+    #[inline]
+    pub fn min(&self) -> FreqMhz {
+        self.freqs[0]
+    }
+
+    /// Highest (nominal) frequency, `f_max` in the paper.
+    #[inline]
+    pub fn max(&self) -> FreqMhz {
+        *self.freqs.last().expect("non-empty by construction")
+    }
+
+    /// Number of settings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Whether the set is empty. Always false for a constructed set; kept
+    /// for API completeness with clippy's `len_without_is_empty`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Ascending iterator over the settings.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = FreqMhz> + '_ {
+        self.freqs.iter().copied()
+    }
+
+    /// Ascending slice of the settings.
+    #[inline]
+    pub fn as_slice(&self) -> &[FreqMhz] {
+        &self.freqs
+    }
+
+    /// True if `f` is one of the schedulable settings.
+    pub fn contains(&self, f: FreqMhz) -> bool {
+        self.freqs.binary_search(&f).is_ok()
+    }
+
+    /// The next setting strictly below `f` (`f_less` in Figure 3 of the
+    /// paper), or `None` if `f` is already the minimum or not in the set.
+    pub fn step_down(&self, f: FreqMhz) -> Option<FreqMhz> {
+        match self.freqs.binary_search(&f) {
+            Ok(0) | Err(_) => None,
+            Ok(i) => Some(self.freqs[i - 1]),
+        }
+    }
+
+    /// The next setting strictly above `f`, or `None` at the top or if `f`
+    /// is not in the set.
+    pub fn step_up(&self, f: FreqMhz) -> Option<FreqMhz> {
+        match self.freqs.binary_search(&f) {
+            Ok(i) if i + 1 < self.freqs.len() => Some(self.freqs[i + 1]),
+            _ => None,
+        }
+    }
+
+    /// Highest setting `≤ cap`, used to apply a frequency cap derived from
+    /// a power budget. Returns `None` when even the minimum exceeds `cap`.
+    pub fn highest_at_most(&self, cap: FreqMhz) -> Option<FreqMhz> {
+        match self.freqs.binary_search(&cap) {
+            Ok(i) => Some(self.freqs[i]),
+            Err(0) => None,
+            Err(i) => Some(self.freqs[i - 1]),
+        }
+    }
+
+    /// Lowest setting `≥ floor`, or `None` when every setting is below it.
+    pub fn lowest_at_least(&self, floor: FreqMhz) -> Option<FreqMhz> {
+        match self.freqs.binary_search(&floor) {
+            Ok(i) | Err(i) if i < self.freqs.len() => Some(self.freqs[i]),
+            _ => None,
+        }
+    }
+
+    /// Snap an arbitrary (e.g. continuous `f_ideal`) frequency to the
+    /// lowest available setting that is at least as fast, falling back to
+    /// the maximum when `f` exceeds every setting.
+    pub fn snap_up(&self, f: FreqMhz) -> FreqMhz {
+        self.lowest_at_least(f).unwrap_or_else(|| self.max())
+    }
+}
+
+impl<'a> IntoIterator for &'a FrequencySet {
+    type Item = FreqMhz;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, FreqMhz>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.freqs.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p630_set_matches_table1() {
+        let set = FrequencySet::p630();
+        assert_eq!(set.len(), 16);
+        assert_eq!(set.min(), FreqMhz(250));
+        assert_eq!(set.max(), FreqMhz(1000));
+        assert!(set.contains(FreqMhz(650)));
+        assert!(!set.contains(FreqMhz(675)));
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let set =
+            FrequencySet::new(vec![FreqMhz(800), FreqMhz(600), FreqMhz(800), FreqMhz(1000)])
+                .unwrap();
+        assert_eq!(
+            set.as_slice(),
+            &[FreqMhz(600), FreqMhz(800), FreqMhz(1000)]
+        );
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        assert_eq!(FrequencySet::new(vec![]), Err(FrequencySetError::Empty));
+    }
+
+    #[test]
+    fn zero_frequency_rejected() {
+        assert_eq!(
+            FrequencySet::new(vec![FreqMhz(0), FreqMhz(100)]),
+            Err(FrequencySetError::ZeroFrequency)
+        );
+    }
+
+    #[test]
+    fn step_down_walks_table() {
+        let set = FrequencySet::p630();
+        assert_eq!(set.step_down(FreqMhz(1000)), Some(FreqMhz(950)));
+        assert_eq!(set.step_down(FreqMhz(250)), None);
+        assert_eq!(set.step_down(FreqMhz(999)), None, "not in set");
+    }
+
+    #[test]
+    fn step_up_walks_table() {
+        let set = FrequencySet::p630();
+        assert_eq!(set.step_up(FreqMhz(250)), Some(FreqMhz(300)));
+        assert_eq!(set.step_up(FreqMhz(1000)), None);
+    }
+
+    #[test]
+    fn highest_at_most_handles_gaps_and_bounds() {
+        let set = FrequencySet::p630();
+        assert_eq!(set.highest_at_most(FreqMhz(760)), Some(FreqMhz(750)));
+        assert_eq!(set.highest_at_most(FreqMhz(750)), Some(FreqMhz(750)));
+        assert_eq!(set.highest_at_most(FreqMhz(249)), None);
+        assert_eq!(set.highest_at_most(FreqMhz(5000)), Some(FreqMhz(1000)));
+    }
+
+    #[test]
+    fn lowest_at_least_and_snap_up() {
+        let set = FrequencySet::p630();
+        assert_eq!(set.lowest_at_least(FreqMhz(601)), Some(FreqMhz(650)));
+        assert_eq!(set.lowest_at_least(FreqMhz(1001)), None);
+        assert_eq!(set.snap_up(FreqMhz(601)), FreqMhz(650));
+        assert_eq!(set.snap_up(FreqMhz(1200)), FreqMhz(1000));
+        assert_eq!(set.snap_up(FreqMhz(1)), FreqMhz(250));
+    }
+
+    #[test]
+    fn freq_conversions() {
+        let f = FreqMhz(1000);
+        assert_eq!(f.hz(), 1.0e9);
+        assert!((f.period_s() - 1.0e-9).abs() < 1e-18);
+        assert!((FreqMhz(500).ratio_to(f) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,119 @@
+//! The continuous `f_ideal` extension of the paper's section 5.
+//!
+//! Instead of scanning a discrete frequency table, the scheduler can solve
+//! directly for the frequency at which the workload retains a `(1 − ε)`
+//! fraction of its full-speed performance. The paper presents the closed
+//! form in terms of `α` and raw counter values; here it is expressed in
+//! terms of the fitted [`CpiModel`], which is algebraically identical:
+//!
+//! ```text
+//! target  = Perf(f_max) · (1 − ε)
+//! f_ideal = target · cpi0 / (1 − target · M)
+//! ```
+//!
+//! For CPU-bound work (`M = 0`) this degenerates to
+//! `f_ideal = f_max · (1 − ε)`; for memory-bound work the denominator term
+//! captures saturation and `f_ideal` falls far below `f_max`. The paper
+//! also short-circuits `f_ideal = f_max` when `IPC > 1` (work is clearly
+//! core-limited); that guard is reproduced in
+//! [`ideal_frequency`].
+
+use crate::cpi::CpiModel;
+use crate::freq::FreqMhz;
+
+/// Continuous ideal frequency in Hz for tolerated loss `epsilon` against
+/// reference `f_max`.
+///
+/// Always within `(0, f_max.hz()]` for `epsilon ∈ [0, 1)` and a valid
+/// model; clamped to `f_max` against floating-point excursions.
+pub fn ideal_frequency_hz(model: &CpiModel, f_max: FreqMhz, epsilon: f64) -> f64 {
+    let target = model.perf_at(f_max) * (1.0 - epsilon);
+    match model.frequency_for_perf_hz(target) {
+        Some(f) => f.min(f_max.hz()),
+        // Unreachable for epsilon >= 0 since target < Perf(f_max) <
+        // asymptote, but keep a safe fallback for epsilon < 0 misuse.
+        None => f_max.hz(),
+    }
+}
+
+/// The paper's `f_ideal` rule: if observed IPC at `f_max` exceeds 1 the
+/// workload is treated as core-limited and pinned to `f_max`; otherwise
+/// the closed form is evaluated and rounded up to the next whole MHz
+/// (never exceeding `f_max`).
+pub fn ideal_frequency(model: &CpiModel, f_max: FreqMhz, epsilon: f64) -> FreqMhz {
+    if model.ipc_at(f_max) > 1.0 {
+        return f_max;
+    }
+    let f_hz = ideal_frequency_hz(model, f_max, epsilon);
+    let mhz = (f_hz / 1.0e6).ceil() as u32;
+    FreqMhz(mhz.min(f_max.0).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::MemoryLatencies;
+    use crate::profile::AccessRates;
+
+    fn mem_model(mem_per_instr: f64) -> CpiModel {
+        let rates = AccessRates {
+            l2_per_instr: 0.0,
+            l3_per_instr: 0.0,
+            mem_per_instr,
+        };
+        CpiModel::from_components(1.0, rates.stall_time_per_instr(&MemoryLatencies::P630))
+    }
+
+    #[test]
+    fn cpu_bound_ideal_scales_linearly_with_epsilon() {
+        let m = CpiModel::from_components(1.2, 0.0);
+        let f = ideal_frequency_hz(&m, FreqMhz(1000), 0.05);
+        assert!((f - 0.95e9).abs() / 1e9 < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_ideal_falls_well_below_max() {
+        let m = mem_model(0.02); // heavily memory-bound, IPC(1GHz) ≈ 0.11
+        // Closed form: target = 0.95·Perf(1 GHz); f = target·cpi0/(1−target·M)
+        // ≈ 682 MHz for this profile.
+        let f = ideal_frequency(&m, FreqMhz(1000), 0.05);
+        assert!(f.0 < 700, "ideal was {f}");
+        // A larger tolerated loss admits a much lower clock.
+        let f20 = ideal_frequency(&m, FreqMhz(1000), 0.20);
+        assert!(f20.0 < 350, "ideal at eps=0.2 was {f20}");
+    }
+
+    #[test]
+    fn perf_at_ideal_matches_target() {
+        let m = mem_model(0.01);
+        let eps = 0.05;
+        let f_hz = ideal_frequency_hz(&m, FreqMhz(1000), eps);
+        let p = m.perf_at_hz(f_hz);
+        let target = m.perf_at(FreqMhz(1000)) * (1.0 - eps);
+        assert!((p - target).abs() / target < 1e-9);
+    }
+
+    #[test]
+    fn high_ipc_work_pinned_to_fmax() {
+        // alpha high, no stalls: IPC(1GHz) = 2 > 1.
+        let m = CpiModel::from_components(0.5, 0.0);
+        assert_eq!(ideal_frequency(&m, FreqMhz(1000), 0.10), FreqMhz(1000));
+    }
+
+    #[test]
+    fn zero_epsilon_gives_fmax() {
+        let m = mem_model(0.01);
+        let f = ideal_frequency_hz(&m, FreqMhz(1000), 0.0);
+        assert!((f - 1.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn ideal_never_exceeds_fmax() {
+        let m = mem_model(0.001);
+        for eps in [0.0, 0.01, 0.05, 0.2, 0.5] {
+            let f = ideal_frequency(&m, FreqMhz(1000), eps);
+            assert!(f <= FreqMhz(1000));
+            assert!(f.0 >= 1);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Two-frequency calibration (footnote 1, first alternative).
+//!
+//! The production predictor assumes constant memory latencies measured
+//! once per platform. The paper's footnote describes an alternative from
+//! its companion work \[2\]: take counter measurements at **two different
+//! frequencies** and solve for the model directly, with no latency
+//! constants at all. With `CPI(f) = cpi0 + M·f` and two observations
+//! `(f₁, cpi₁)` and `(f₂, cpi₂)`:
+//!
+//! ```text
+//! M    = (cpi₂ − cpi₁) / (f₂ − f₁)
+//! cpi0 = cpi₁ − M·f₁
+//! ```
+//!
+//! This sidesteps latency mis-calibration entirely but needs the
+//! workload to hold still across both measurement windows — its own
+//! source of error that the fixed-latency scheme avoids. Both are
+//! provided so the trade can be measured.
+
+use crate::counters::CounterDelta;
+use crate::cpi::CpiModel;
+use crate::freq::FreqMhz;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why two-point calibration failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TwoPointError {
+    /// The two observations were taken at the same frequency.
+    SameFrequency,
+    /// An observation had no retired instructions.
+    EmptyObservation,
+    /// The solved model was invalid (negative `M` beyond tolerance or
+    /// non-positive `cpi0`) — the workload shifted between windows.
+    Inconsistent,
+}
+
+impl fmt::Display for TwoPointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwoPointError::SameFrequency => {
+                write!(f, "two-point calibration needs two distinct frequencies")
+            }
+            TwoPointError::EmptyObservation => {
+                write!(f, "an observation window retired no instructions")
+            }
+            TwoPointError::Inconsistent => write!(
+                f,
+                "observations are inconsistent with CPI(f) = cpi0 + M*f (workload shifted?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TwoPointError {}
+
+/// One measurement: counter deltas taken while running at a known
+/// frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The frequency the core ran at.
+    pub freq: FreqMhz,
+    /// The counters accumulated over the window.
+    pub delta: CounterDelta,
+}
+
+impl Observation {
+    /// Construct from a sample.
+    pub fn new(freq: FreqMhz, delta: CounterDelta) -> Self {
+        Observation { freq, delta }
+    }
+
+    fn cpi(&self) -> Option<f64> {
+        if self.delta.instructions > 0.0 {
+            Some(self.delta.cycles / self.delta.instructions)
+        } else {
+            None
+        }
+    }
+}
+
+/// Tolerance for a slightly negative solved `M` (measurement noise on a
+/// CPU-bound workload legitimately straddles zero); anything below is
+/// rejected as a phase shift.
+const NEGATIVE_M_TOLERANCE: f64 = 1.0e-10;
+
+/// Solve `CPI(f) = cpi0 + M·f` from two observations at distinct
+/// frequencies.
+pub fn calibrate_two_point(a: &Observation, b: &Observation) -> Result<CpiModel, TwoPointError> {
+    if a.freq == b.freq {
+        return Err(TwoPointError::SameFrequency);
+    }
+    let (cpi_a, cpi_b) = match (a.cpi(), b.cpi()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return Err(TwoPointError::EmptyObservation),
+    };
+    let m = (cpi_b - cpi_a) / (b.freq.hz() - a.freq.hz());
+    if m < -NEGATIVE_M_TOLERANCE {
+        return Err(TwoPointError::Inconsistent);
+    }
+    let m = m.max(0.0);
+    let cpi0 = cpi_a - m * a.freq.hz();
+    if !(cpi0.is_finite() && cpi0 > 0.0) {
+        return Err(TwoPointError::Inconsistent);
+    }
+    Ok(CpiModel::from_components(cpi0, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::synthesize_delta;
+
+    fn observe(model: &CpiModel, f: FreqMhz) -> Observation {
+        Observation::new(f, synthesize_delta(model, 0.0, 0.0, 0.0, 1.0e7, f))
+    }
+
+    #[test]
+    fn recovers_model_exactly_from_clean_observations() {
+        let truth = CpiModel::from_components(1.2, 6.0e-9);
+        let a = observe(&truth, FreqMhz(600));
+        let b = observe(&truth, FreqMhz(1000));
+        let fitted = calibrate_two_point(&a, &b).unwrap();
+        assert!((fitted.cpi0 - truth.cpi0).abs() < 1e-9);
+        assert!((fitted.mem_time_per_instr - truth.mem_time_per_instr).abs() < 1e-18);
+    }
+
+    #[test]
+    fn works_without_any_latency_knowledge() {
+        // Unlike the Estimator, access counts are never consulted — only
+        // instructions and cycles.
+        let truth = CpiModel::from_components(0.8, 15.0e-9);
+        let mut a = observe(&truth, FreqMhz(500));
+        let mut b = observe(&truth, FreqMhz(900));
+        // Corrupt the access counters completely: must not matter.
+        a.delta.mem_accesses = 1.0e12;
+        b.delta.l2_accesses = f64::NAN;
+        let fitted = calibrate_two_point(&a, &b).unwrap();
+        assert!((fitted.cpi0 - truth.cpi0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_bound_yields_zero_m() {
+        let truth = CpiModel::from_components(0.77, 0.0);
+        let a = observe(&truth, FreqMhz(250));
+        let b = observe(&truth, FreqMhz(1000));
+        let fitted = calibrate_two_point(&a, &b).unwrap();
+        assert_eq!(fitted.mem_time_per_instr, 0.0);
+        assert!((fitted.cpi0 - 0.77).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_frequency_rejected() {
+        let truth = CpiModel::from_components(1.0, 1.0e-9);
+        let a = observe(&truth, FreqMhz(800));
+        let b = observe(&truth, FreqMhz(800));
+        assert_eq!(
+            calibrate_two_point(&a, &b),
+            Err(TwoPointError::SameFrequency)
+        );
+    }
+
+    #[test]
+    fn empty_window_rejected() {
+        let truth = CpiModel::from_components(1.0, 1.0e-9);
+        let a = observe(&truth, FreqMhz(800));
+        let b = Observation::new(FreqMhz(1000), CounterDelta::default());
+        assert_eq!(
+            calibrate_two_point(&a, &b),
+            Err(TwoPointError::EmptyObservation)
+        );
+    }
+
+    #[test]
+    fn phase_shift_detected_as_inconsistent() {
+        // Window A: memory-bound at high f. Window B: CPU-bound at low f.
+        // Solved M comes out strongly negative → inconsistent.
+        let mem = CpiModel::from_components(1.0, 20.0e-9);
+        let cpu = CpiModel::from_components(1.0, 0.0);
+        let a = observe(&mem, FreqMhz(1000));
+        let b = observe(&cpu, FreqMhz(500));
+        assert_eq!(
+            calibrate_two_point(&a, &b),
+            Err(TwoPointError::Inconsistent)
+        );
+    }
+
+    #[test]
+    fn agrees_with_latency_based_estimator_on_clean_data() {
+        use crate::counters::Estimator;
+        use crate::latency::MemoryLatencies;
+        let lat = MemoryLatencies::P630;
+        let rates = crate::profile::AccessRates {
+            l2_per_instr: 0.01,
+            l3_per_instr: 0.002,
+            mem_per_instr: 0.008,
+        };
+        let truth = CpiModel::from_components(1.1, rates.stall_time_per_instr(&lat));
+        let mk = |f: FreqMhz| {
+            synthesize_delta(
+                &truth,
+                rates.l2_per_instr,
+                rates.l3_per_instr,
+                rates.mem_per_instr,
+                1.0e7,
+                f,
+            )
+        };
+        let two_point = calibrate_two_point(
+            &Observation::new(FreqMhz(600), mk(FreqMhz(600))),
+            &Observation::new(FreqMhz(1000), mk(FreqMhz(1000))),
+        )
+        .unwrap();
+        let latency_based = Estimator::new(lat)
+            .estimate(&mk(FreqMhz(1000)), FreqMhz(1000))
+            .unwrap();
+        assert!((two_point.cpi0 - latency_based.cpi0).abs() < 1e-6);
+        assert!(
+            (two_point.mem_time_per_instr - latency_based.mem_time_per_instr).abs() < 1e-15
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the model invariants the scheduler relies on.
+
+use fvs_model::{
+    ideal_frequency_hz, perf_loss, CounterDelta, CpiModel, Estimator, FreqMhz, FrequencySet,
+    MemoryLatencies, PerfLossTable,
+};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = CpiModel> {
+    // cpi0 in [0.2, 10] cycles/instr; M in [0, 50 ns]/instr.
+    (0.2f64..10.0, 0.0f64..50.0e-9)
+        .prop_map(|(cpi0, m)| CpiModel::from_components(cpi0, m))
+}
+
+fn arb_freq() -> impl Strategy<Value = FreqMhz> {
+    (250u32..=1000).prop_map(FreqMhz)
+}
+
+proptest! {
+    /// Perf(f) is strictly increasing in f: more clock never hurts in the
+    /// model (saturation flattens, never inverts).
+    #[test]
+    fn perf_monotone_in_frequency(m in arb_model(), a in arb_freq(), b in arb_freq()) {
+        prop_assume!(a < b);
+        prop_assert!(m.perf_at(a) < m.perf_at(b));
+    }
+
+    /// IPC(f) is non-increasing in f (memory stalls cost more cycles at
+    /// higher clocks).
+    #[test]
+    fn ipc_non_increasing_in_frequency(m in arb_model(), a in arb_freq(), b in arb_freq()) {
+        prop_assume!(a < b);
+        prop_assert!(m.ipc_at(a) >= m.ipc_at(b) - 1e-12);
+    }
+
+    /// Perf never exceeds the saturation asymptote 1/M.
+    #[test]
+    fn perf_below_asymptote(m in arb_model(), f in arb_freq()) {
+        prop_assert!(m.perf_at(f) < m.perf_asymptote());
+    }
+
+    /// perf_loss(f_max, f) ∈ [0, 1) for f ≤ f_max, and 0 at f_max itself.
+    #[test]
+    fn perf_loss_bounded(m in arb_model(), f in arb_freq()) {
+        let f_max = FreqMhz(1000);
+        let loss = perf_loss(&m, f_max, f);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(loss < 1.0);
+    }
+
+    /// CPU-bound bound: loss from f_max to f can never exceed the clock
+    /// ratio loss 1 − f/f_max (memory stalls only soften the blow).
+    #[test]
+    fn loss_never_exceeds_clock_ratio(m in arb_model(), f in arb_freq()) {
+        let f_max = FreqMhz(1000);
+        let loss = perf_loss(&m, f_max, f);
+        let clock_loss = 1.0 - f.ratio_to(f_max);
+        prop_assert!(loss <= clock_loss + 1e-12);
+    }
+
+    /// The ε-constrained pick from a PerfLossTable is admissible and
+    /// minimal within the set.
+    #[test]
+    fn epsilon_pick_admissible_and_minimal(m in arb_model(), eps in 0.005f64..0.5) {
+        let set = FrequencySet::p630();
+        let table = PerfLossTable::build(&m, &set);
+        let pick = table.epsilon_constrained(eps);
+        prop_assert!(table.entry(pick).unwrap().loss_vs_ref < eps);
+        if let Some(lower) = set.step_down(pick) {
+            prop_assert!(table.entry(lower).unwrap().loss_vs_ref >= eps);
+        }
+    }
+
+    /// Continuous f_ideal delivers performance within floating-point slack
+    /// of the (1 − ε) target, and never exceeds f_max.
+    #[test]
+    fn ideal_frequency_hits_target(m in arb_model(), eps in 0.0f64..0.5) {
+        let f_max = FreqMhz(1000);
+        let f_hz = ideal_frequency_hz(&m, f_max, eps);
+        prop_assert!(f_hz <= f_max.hz() + 1.0);
+        let target = m.perf_at(f_max) * (1.0 - eps);
+        let got = m.perf_at_hz(f_hz);
+        prop_assert!((got - target).abs() <= target * 1e-9 + 1e-6);
+    }
+
+    /// Estimator round-trip: noise-free counters at any frequency recover
+    /// the generating model (above the cpi0 floor).
+    #[test]
+    fn estimator_roundtrip(m in arb_model(), f in arb_freq(),
+                           n_l2 in 0.0f64..0.05, n_l3 in 0.0f64..0.02, n_mem in 0.0f64..0.02) {
+        prop_assume!(m.cpi0 >= 0.2);
+        let lat = MemoryLatencies::P630;
+        // Make a model whose M actually derives from the drawn rates so
+        // the synthesized counters are self-consistent.
+        let mem_time = n_l2 * lat.l2_s + n_l3 * lat.l3_s + n_mem * lat.mem_s;
+        let truth = CpiModel::from_components(m.cpi0, mem_time);
+        let instr = 1.0e7;
+        let delta = CounterDelta {
+            instructions: instr,
+            cycles: truth.cpi_at(f) * instr,
+            l2_accesses: n_l2 * instr,
+            l3_accesses: n_l3 * instr,
+            mem_accesses: n_mem * instr,
+        };
+        let est = Estimator::new(lat);
+        let fitted = est.estimate(&delta, f).unwrap();
+        prop_assert!((fitted.cpi0 - truth.cpi0).abs() < 1e-6);
+        prop_assert!((fitted.mem_time_per_instr - truth.mem_time_per_instr).abs() < 1e-15);
+        // And the fitted model predicts the same perf at every other freq.
+        for g in FrequencySet::p630().iter() {
+            let rel = (fitted.perf_at(g) - truth.perf_at(g)).abs() / truth.perf_at(g);
+            prop_assert!(rel < 1e-6);
+        }
+    }
+
+    /// frequency_for_perf_hz inverts perf_at_hz on its valid domain.
+    #[test]
+    fn frequency_perf_inverse(m in arb_model(), f in arb_freq()) {
+        let target = m.perf_at(f);
+        let solved = m.frequency_for_perf_hz(target).unwrap();
+        prop_assert!((solved - f.hz()).abs() / f.hz() < 1e-9);
+    }
+
+    /// FrequencySet navigation is internally consistent.
+    #[test]
+    fn frequency_set_navigation(idx in 0usize..16) {
+        let set = FrequencySet::p630();
+        let f = set.as_slice()[idx];
+        if let Some(d) = set.step_down(f) {
+            prop_assert_eq!(set.step_up(d), Some(f));
+        }
+        prop_assert_eq!(set.highest_at_most(f), Some(f));
+        prop_assert_eq!(set.lowest_at_least(f), Some(f));
+        prop_assert_eq!(set.snap_up(f), f);
+    }
+}

@@ -1,0 +1,128 @@
+//! Time-varying global power budgets.
+//!
+//! The scheduler's budget `P_max` is not a constant: it changes when a
+//! supply fails or is restored, when the site operator requests a cap, or
+//! when a margin of safety is applied. A [`BudgetSchedule`] scripts those
+//! changes for an experiment; the scheduler queries the budget in force at
+//! each scheduling instant.
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduled budget change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetEvent {
+    /// Time the new budget takes effect, seconds.
+    pub at_s: f64,
+    /// The new aggregate processor power budget, watts.
+    pub budget_w: f64,
+}
+
+/// A piecewise-constant budget over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSchedule {
+    initial_w: f64,
+    events: Vec<BudgetEvent>,
+    /// Safety margin subtracted from every queried budget (the paper:
+    /// "the global limit may contain a margin of safety").
+    margin_w: f64,
+}
+
+impl BudgetSchedule {
+    /// A constant budget.
+    pub fn constant(budget_w: f64) -> Self {
+        BudgetSchedule {
+            initial_w: budget_w,
+            events: Vec::new(),
+            margin_w: 0.0,
+        }
+    }
+
+    /// A budget with scripted step changes (events are sorted by time).
+    pub fn with_events(initial_w: f64, mut events: Vec<BudgetEvent>) -> Self {
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        BudgetSchedule {
+            initial_w,
+            events,
+            margin_w: 0.0,
+        }
+    }
+
+    /// Apply a safety margin subtracted from every queried value.
+    pub fn with_margin(mut self, margin_w: f64) -> Self {
+        self.margin_w = margin_w;
+        self
+    }
+
+    /// The paper's section-8.3 sweep levels for a single CPU: 140 W
+    /// (unconstrained), 75 W, 35 W.
+    pub fn paper_levels() -> [f64; 3] {
+        [140.0, 75.0, 35.0]
+    }
+
+    /// The budget in force at time `t_s`, margin applied, floored at zero.
+    pub fn budget_at(&self, t_s: f64) -> f64 {
+        let raw = self
+            .events
+            .iter()
+            .take_while(|e| e.at_s <= t_s)
+            .last()
+            .map(|e| e.budget_w)
+            .unwrap_or(self.initial_w);
+        (raw - self.margin_w).max(0.0)
+    }
+
+    /// Times at which the budget changes — the scheduler treats each as an
+    /// immediate re-scheduling trigger (paper section 5, first trigger).
+    pub fn change_times(&self) -> impl Iterator<Item = f64> + '_ {
+        self.events.iter().map(|e| e.at_s)
+    }
+
+    /// Next change strictly after `t_s`, if any.
+    pub fn next_change_after(&self, t_s: f64) -> Option<f64> {
+        self.events.iter().map(|e| e.at_s).find(|at| *at > t_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_budget() {
+        let b = BudgetSchedule::constant(294.0);
+        assert_eq!(b.budget_at(0.0), 294.0);
+        assert_eq!(b.budget_at(1.0e6), 294.0);
+        assert_eq!(b.next_change_after(0.0), None);
+    }
+
+    #[test]
+    fn step_changes_apply_in_order() {
+        let b = BudgetSchedule::with_events(
+            560.0,
+            vec![
+                BudgetEvent {
+                    at_s: 10.0,
+                    budget_w: 294.0,
+                },
+                BudgetEvent {
+                    at_s: 5.0,
+                    budget_w: 400.0,
+                },
+            ],
+        );
+        assert_eq!(b.budget_at(0.0), 560.0);
+        assert_eq!(b.budget_at(5.0), 400.0);
+        assert_eq!(b.budget_at(9.99), 400.0);
+        assert_eq!(b.budget_at(10.0), 294.0);
+        assert_eq!(b.next_change_after(5.0), Some(10.0));
+        assert_eq!(b.next_change_after(10.0), None);
+    }
+
+    #[test]
+    fn margin_subtracts_and_floors() {
+        let b = BudgetSchedule::constant(100.0).with_margin(20.0);
+        assert_eq!(b.budget_at(0.0), 80.0);
+        let tight = BudgetSchedule::constant(10.0).with_margin(20.0);
+        assert_eq!(tight.budget_at(0.0), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Power, voltage and energy models for frequency/voltage scheduling.
+//!
+//! Implements the power side of Kotla et al. (2005):
+//!
+//! - the **frequency→power table** the scheduler consults (paper Table 1,
+//!   generated on the original system by the Lava circuit-level estimator
+//!   — reproduced here verbatim as [`FreqPowerTable::p630_table1`]),
+//! - the **minimum-voltage table** (`MinVoltage(f)` of Figure 3 step 3),
+//!   with optional per-processor process variation,
+//! - the **analytic model** `P = C·V²·f + B·V²` of section 4.4, with a
+//!   least-squares calibration against any (f, V, P) table,
+//! - **energy accounting** (the paper's Table 3 reports normalised
+//!   energy), and
+//! - the **power-supply failure scenario** of section 2: supplies with
+//!   finite capacity, a failure at `T0`, and a cascade deadline `ΔT` by
+//!   which the system must be back under the surviving capacity.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod energy;
+pub mod model;
+pub mod supply;
+pub mod table;
+pub mod voltage;
+
+pub use budget::{BudgetEvent, BudgetSchedule};
+pub use energy::EnergyMeter;
+pub use model::{AnalyticPowerModel, CalibrationReport};
+pub use supply::{CascadeOutcome, PowerSupply, SupplyBank, SupplyEvent};
+pub use table::FreqPowerTable;
+pub use voltage::VoltageTable;

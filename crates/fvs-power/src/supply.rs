@@ -1,0 +1,271 @@
+//! Power supplies, supply failure, and the cascade deadline of section 2.
+//!
+//! The paper's motivating scenario: a system with redundant supplies loses
+//! one at time `T0`. The survivors can tolerate the overload only for
+//! `ΔT` seconds (a characteristic of the supply); if the system is not
+//! back under the surviving capacity by `T0 + ΔT`, the next supply fails
+//! too — a cascade. The scheduler must therefore bring aggregate power
+//! under the new limit within `ΔT`.
+
+use serde::{Deserialize, Serialize};
+
+/// One power supply.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSupply {
+    /// Rated capacity in watts (the paper's example: 480 W each).
+    pub capacity_w: f64,
+    /// Seconds of overload the supply survives before failing.
+    pub overload_tolerance_s: f64,
+    /// Whether the supply has failed.
+    pub failed: bool,
+}
+
+impl PowerSupply {
+    /// A healthy supply with the paper's example rating.
+    pub fn p630_example() -> Self {
+        PowerSupply {
+            capacity_w: 480.0,
+            overload_tolerance_s: 1.0,
+            failed: false,
+        }
+    }
+
+    /// A healthy supply with a given rating and tolerance.
+    pub fn new(capacity_w: f64, overload_tolerance_s: f64) -> Self {
+        PowerSupply {
+            capacity_w,
+            overload_tolerance_s,
+            failed: false,
+        }
+    }
+}
+
+/// Timeline events the bank can experience.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SupplyEvent {
+    /// Supply `index` fails at `at_s` seconds.
+    Fail {
+        /// Index of the failing supply.
+        index: usize,
+        /// Simulation time of the failure in seconds.
+        at_s: f64,
+    },
+    /// Supply `index` is restored at `at_s` seconds.
+    Restore {
+        /// Index of the restored supply.
+        index: usize,
+        /// Simulation time of the restoration in seconds.
+        at_s: f64,
+    },
+}
+
+impl SupplyEvent {
+    /// When the event fires.
+    pub fn at(&self) -> f64 {
+        match self {
+            SupplyEvent::Fail { at_s, .. } | SupplyEvent::Restore { at_s, .. } => *at_s,
+        }
+    }
+}
+
+/// Outcome of driving a [`SupplyBank`] through a load history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CascadeOutcome {
+    /// Load stayed within surviving capacity (or overloads were shorter
+    /// than the tolerance).
+    Survived,
+    /// A cascading failure occurred at the given time: an overload
+    /// persisted past a surviving supply's tolerance.
+    Cascaded {
+        /// Time at which the cascade tripped, in seconds.
+        at_s: f64,
+    },
+}
+
+/// A bank of supplies feeding the system, with a scripted event timeline.
+///
+/// Drive it forward with [`SupplyBank::advance`], reporting the system
+/// load for each interval; the bank tracks how long the load has exceeded
+/// the surviving capacity and declares a cascade when the continuous
+/// overload outlives the (minimum) tolerance of the loaded supplies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupplyBank {
+    supplies: Vec<PowerSupply>,
+    events: Vec<SupplyEvent>,
+    next_event: usize,
+    now_s: f64,
+    overload_since: Option<f64>,
+    cascaded_at: Option<f64>,
+}
+
+impl SupplyBank {
+    /// Bank from supplies and a timeline (events are sorted by time).
+    pub fn new(supplies: Vec<PowerSupply>, mut events: Vec<SupplyEvent>) -> Self {
+        events.sort_by(|a, b| a.at().total_cmp(&b.at()));
+        SupplyBank {
+            supplies,
+            events,
+            next_event: 0,
+            now_s: 0.0,
+            overload_since: None,
+            cascaded_at: None,
+        }
+    }
+
+    /// The paper's section-2 system: two 480 W supplies, one failing at
+    /// `t0_s`.
+    pub fn p630_scenario(t0_s: f64) -> Self {
+        SupplyBank::new(
+            vec![PowerSupply::p630_example(), PowerSupply::p630_example()],
+            vec![SupplyEvent::Fail {
+                index: 0,
+                at_s: t0_s,
+            }],
+        )
+    }
+
+    /// Current aggregate capacity of the non-failed supplies.
+    pub fn capacity_w(&self) -> f64 {
+        self.supplies
+            .iter()
+            .filter(|s| !s.failed)
+            .map(|s| s.capacity_w)
+            .sum()
+    }
+
+    /// Shortest overload tolerance among surviving supplies — the `ΔT`
+    /// deadline the scheduler must beat. Infinite when nothing survives.
+    pub fn cascade_deadline_s(&self) -> f64 {
+        self.supplies
+            .iter()
+            .filter(|s| !s.failed)
+            .map(|s| s.overload_tolerance_s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Current simulation time.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Whether (and when) a cascade has tripped.
+    pub fn cascaded_at(&self) -> Option<f64> {
+        self.cascaded_at
+    }
+
+    /// Advance by `dt` seconds with the system drawing `load_w`.
+    /// Applies any timeline events whose time falls inside the interval
+    /// (at interval granularity), then updates the overload clock.
+    pub fn advance(&mut self, load_w: f64, dt: f64) -> CascadeOutcome {
+        let end = self.now_s + dt;
+        while self.next_event < self.events.len() && self.events[self.next_event].at() <= end {
+            match self.events[self.next_event] {
+                SupplyEvent::Fail { index, .. } => {
+                    if let Some(s) = self.supplies.get_mut(index) {
+                        s.failed = true;
+                    }
+                }
+                SupplyEvent::Restore { index, .. } => {
+                    if let Some(s) = self.supplies.get_mut(index) {
+                        s.failed = false;
+                    }
+                }
+            }
+            self.next_event += 1;
+        }
+        self.now_s = end;
+        if let Some(at_s) = self.cascaded_at {
+            return CascadeOutcome::Cascaded { at_s };
+        }
+        if load_w > self.capacity_w() {
+            let since = *self.overload_since.get_or_insert(self.now_s - dt);
+            if self.now_s - since >= self.cascade_deadline_s() {
+                self.cascaded_at = Some(self.now_s);
+                return CascadeOutcome::Cascaded { at_s: self.now_s };
+            }
+        } else {
+            self.overload_since = None;
+        }
+        CascadeOutcome::Survived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_drops_on_failure() {
+        let mut bank = SupplyBank::p630_scenario(1.0);
+        assert_eq!(bank.capacity_w(), 960.0);
+        bank.advance(700.0, 0.5); // before failure
+        assert_eq!(bank.capacity_w(), 960.0);
+        bank.advance(700.0, 0.6); // crosses t0 = 1.0
+        assert_eq!(bank.capacity_w(), 480.0);
+    }
+
+    #[test]
+    fn fast_response_survives() {
+        // Load drops under the surviving capacity before ΔT = 1 s elapses.
+        let mut bank = SupplyBank::p630_scenario(0.0);
+        assert_eq!(bank.advance(700.0, 0.5), CascadeOutcome::Survived);
+        assert_eq!(bank.advance(400.0, 0.5), CascadeOutcome::Survived);
+        assert_eq!(bank.advance(400.0, 10.0), CascadeOutcome::Survived);
+        assert_eq!(bank.cascaded_at(), None);
+    }
+
+    #[test]
+    fn slow_response_cascades() {
+        let mut bank = SupplyBank::p630_scenario(0.0);
+        assert_eq!(bank.advance(700.0, 0.5), CascadeOutcome::Survived);
+        // Still overloaded past the 1 s tolerance: cascade.
+        match bank.advance(700.0, 0.6) {
+            CascadeOutcome::Cascaded { at_s } => assert!((at_s - 1.1).abs() < 1e-9),
+            CascadeOutcome::Survived => panic!("expected cascade"),
+        }
+        // Cascade is sticky.
+        assert!(matches!(
+            bank.advance(100.0, 1.0),
+            CascadeOutcome::Cascaded { .. }
+        ));
+    }
+
+    #[test]
+    fn overload_clock_resets_when_load_recovers() {
+        let mut bank = SupplyBank::p630_scenario(0.0);
+        bank.advance(700.0, 0.9);
+        bank.advance(400.0, 0.1); // back under: clock resets
+        bank.advance(700.0, 0.9); // new overload, under tolerance again
+        assert_eq!(bank.cascaded_at(), None);
+    }
+
+    #[test]
+    fn restore_event_recovers_capacity() {
+        let mut bank = SupplyBank::new(
+            vec![PowerSupply::new(480.0, 1.0), PowerSupply::new(480.0, 1.0)],
+            vec![
+                SupplyEvent::Fail {
+                    index: 0,
+                    at_s: 1.0,
+                },
+                SupplyEvent::Restore {
+                    index: 0,
+                    at_s: 5.0,
+                },
+            ],
+        );
+        bank.advance(400.0, 2.0);
+        assert_eq!(bank.capacity_w(), 480.0);
+        bank.advance(400.0, 4.0);
+        assert_eq!(bank.capacity_w(), 960.0);
+    }
+
+    #[test]
+    fn deadline_is_min_tolerance_of_survivors() {
+        let bank = SupplyBank::new(
+            vec![PowerSupply::new(480.0, 1.0), PowerSupply::new(480.0, 0.25)],
+            vec![],
+        );
+        assert_eq!(bank.cascade_deadline_s(), 0.25);
+    }
+}

@@ -1,0 +1,248 @@
+//! The frequency→power lookup table of paper Table 1.
+
+use fvs_model::{FreqMhz, FrequencySet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Peak processor power at each schedulable frequency, in watts.
+///
+/// The paper computes this table in advance (section 4.4): at each
+/// available frequency the minimum reliable voltage is assumed, and the
+/// resulting worst-case (clock-gating-ignored) power is stored. Scheduling
+/// then reduces to table lookups: power for a chosen frequency, or the
+/// highest frequency whose power fits a per-processor cap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreqPowerTable {
+    entries: Vec<(FreqMhz, f64)>,
+}
+
+/// Error from [`FreqPowerTable::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// No entries supplied.
+    Empty,
+    /// Power values must be strictly increasing with frequency (CMOS power
+    /// is monotone in f at min-voltage-per-f).
+    NotMonotone,
+    /// A non-finite or non-positive power value was supplied.
+    BadPower,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Empty => write!(f, "power table must not be empty"),
+            TableError::NotMonotone => {
+                write!(f, "power must increase strictly with frequency")
+            }
+            TableError::BadPower => write!(f, "power values must be finite and positive"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl FreqPowerTable {
+    /// Build from (frequency, watts) pairs; sorted by frequency, must be
+    /// strictly monotone in power.
+    pub fn new(mut entries: Vec<(FreqMhz, f64)>) -> Result<Self, TableError> {
+        if entries.is_empty() {
+            return Err(TableError::Empty);
+        }
+        if entries.iter().any(|(_, p)| !p.is_finite() || *p <= 0.0) {
+            return Err(TableError::BadPower);
+        }
+        entries.sort_by_key(|(f, _)| *f);
+        entries.dedup_by_key(|(f, _)| *f);
+        if entries.windows(2).any(|w| w[1].1 <= w[0].1) {
+            return Err(TableError::NotMonotone);
+        }
+        Ok(FreqPowerTable { entries })
+    }
+
+    /// Paper Table 1, verbatim: the Lava-estimated peak power of one
+    /// Power4+ core at each of the sixteen 250–1000 MHz settings.
+    pub fn p630_table1() -> Self {
+        const TABLE1: [(u32, f64); 16] = [
+            (250, 9.0),
+            (300, 13.0),
+            (350, 18.0),
+            (400, 22.0),
+            (450, 28.0),
+            (500, 35.0),
+            (550, 41.0),
+            (600, 48.0),
+            (650, 57.0),
+            (700, 66.0),
+            (750, 75.0),
+            (800, 84.0),
+            (850, 95.0),
+            (900, 109.0),
+            (950, 123.0),
+            (1000, 140.0),
+        ];
+        FreqPowerTable {
+            entries: TABLE1.iter().map(|&(f, p)| (FreqMhz(f), p)).collect(),
+        }
+    }
+
+    /// The subset of the table covering the section-5 worked example
+    /// (0.6–1.0 GHz in 100 MHz steps).
+    pub fn section5_example() -> Self {
+        let full = Self::p630_table1();
+        FreqPowerTable {
+            entries: full
+                .entries
+                .into_iter()
+                .filter(|(f, _)| f.0 >= 600 && f.0 % 100 == 0)
+                .collect(),
+        }
+    }
+
+    /// The frequency set this table covers.
+    pub fn frequency_set(&self) -> FrequencySet {
+        FrequencySet::new(self.entries.iter().map(|(f, _)| *f).collect())
+            .expect("table is non-empty and has no zero frequencies")
+    }
+
+    /// Exact lookup: watts at frequency `f`.
+    pub fn power_at(&self, f: FreqMhz) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&f, |(g, _)| *g)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Watts at `f`, linearly interpolating between table entries and
+    /// clamping outside the covered range. Used to estimate power at a
+    /// continuous `f_ideal`.
+    pub fn power_interpolated(&self, f: FreqMhz) -> f64 {
+        let (first, last) = (self.entries[0], self.entries[self.entries.len() - 1]);
+        if f <= first.0 {
+            return first.1;
+        }
+        if f >= last.0 {
+            return last.1;
+        }
+        match self.entries.binary_search_by_key(&f, |(g, _)| *g) {
+            Ok(i) => self.entries[i].1,
+            Err(i) => {
+                let (f0, p0) = self.entries[i - 1];
+                let (f1, p1) = self.entries[i];
+                let w = (f.0 - f0.0) as f64 / (f1.0 - f0.0) as f64;
+                p0 + (p1 - p0) * w
+            }
+        }
+    }
+
+    /// Highest frequency whose table power is `≤ cap_watts` — the "select
+    /// the highest frequency that yields a power value less than the
+    /// maximum" rule of section 4.4. `None` when even the lowest setting
+    /// exceeds the cap.
+    pub fn max_freq_under(&self, cap_watts: f64) -> Option<FreqMhz> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(_, p)| *p <= cap_watts)
+            .map(|(f, _)| *f)
+    }
+
+    /// Lowest power in the table (the floor one core can reach without
+    /// being powered off entirely).
+    pub fn min_power(&self) -> f64 {
+        self.entries[0].1
+    }
+
+    /// Highest power in the table (one core flat out).
+    pub fn max_power(&self) -> f64 {
+        self.entries[self.entries.len() - 1].1
+    }
+
+    /// Iterate `(frequency, watts)` ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (FreqMhz, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_spot_values() {
+        let t = FreqPowerTable::p630_table1();
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.power_at(FreqMhz(250)), Some(9.0));
+        assert_eq!(t.power_at(FreqMhz(600)), Some(48.0));
+        assert_eq!(t.power_at(FreqMhz(700)), Some(66.0));
+        assert_eq!(t.power_at(FreqMhz(900)), Some(109.0));
+        assert_eq!(t.power_at(FreqMhz(1000)), Some(140.0));
+        assert_eq!(t.power_at(FreqMhz(975)), None);
+    }
+
+    #[test]
+    fn max_freq_under_cap() {
+        let t = FreqPowerTable::p630_table1();
+        // 75 W cap admits exactly 750 MHz (paper section 8.3).
+        assert_eq!(t.max_freq_under(75.0), Some(FreqMhz(750)));
+        // 35 W cap admits exactly 500 MHz (paper section 8.3).
+        assert_eq!(t.max_freq_under(35.0), Some(FreqMhz(500)));
+        assert_eq!(t.max_freq_under(8.9), None);
+        assert_eq!(t.max_freq_under(1000.0), Some(FreqMhz(1000)));
+    }
+
+    #[test]
+    fn interpolation_brackets_neighbours() {
+        let t = FreqPowerTable::p630_table1();
+        let p = t.power_interpolated(FreqMhz(625));
+        assert!(p > 48.0 && p < 57.0);
+        assert_eq!(t.power_interpolated(FreqMhz(100)), 9.0);
+        assert_eq!(t.power_interpolated(FreqMhz(2000)), 140.0);
+        assert_eq!(t.power_interpolated(FreqMhz(650)), 57.0);
+    }
+
+    #[test]
+    fn section5_subset() {
+        let t = FreqPowerTable::section5_example();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.power_at(FreqMhz(600)), Some(48.0));
+        assert_eq!(t.power_at(FreqMhz(1000)), Some(140.0));
+        assert_eq!(t.power_at(FreqMhz(650)), None);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(FreqPowerTable::new(vec![]), Err(TableError::Empty));
+        assert_eq!(
+            FreqPowerTable::new(vec![(FreqMhz(100), 5.0), (FreqMhz(200), 5.0)]),
+            Err(TableError::NotMonotone)
+        );
+        assert_eq!(
+            FreqPowerTable::new(vec![(FreqMhz(100), -5.0)]),
+            Err(TableError::BadPower)
+        );
+        assert_eq!(
+            FreqPowerTable::new(vec![(FreqMhz(100), f64::NAN)]),
+            Err(TableError::BadPower)
+        );
+    }
+
+    #[test]
+    fn frequency_set_roundtrip() {
+        let t = FreqPowerTable::p630_table1();
+        let set = t.frequency_set();
+        assert_eq!(set.len(), 16);
+        assert_eq!(set.min(), FreqMhz(250));
+        assert_eq!(set.max(), FreqMhz(1000));
+    }
+}

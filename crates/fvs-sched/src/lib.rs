@@ -1,0 +1,53 @@
+//! The `fvsst` frequency/voltage scheduler — the paper's contribution.
+//!
+//! Given per-processor performance-counter observations, a discrete
+//! frequency set, a frequency→power table and a global power budget, the
+//! scheduler assigns each processor the lowest frequency (and matching
+//! minimum voltage) that
+//!
+//! 1. keeps that processor's predicted performance loss under `ε`
+//!    whenever the budget allows (**pass 1**, the ε pass), and
+//! 2. keeps *aggregate* power under the budget, shedding frequency where
+//!    it predictably hurts least when it does not (**pass 2**, the budget
+//!    pass), then
+//! 3. looks up the minimum voltage for each chosen frequency
+//!    (**pass 3**).
+//!
+//! The crate is layered exactly like the paper's prototype:
+//!
+//! - [`algorithm`] — the pure two-pass algorithm of Figure 3 (plus the
+//!   continuous `f_ideal` variant of section 5), independent of any
+//!   simulator: feed it models, get a [`algorithm::ScheduleDecision`].
+//! - [`predictor`] — per-core counter windows, model estimation, and the
+//!   prediction-error tracking behind Table 2.
+//! - [`policy`] — the [`policy::Policy`] trait every power-management
+//!   policy (fvsst itself, and the baselines crate) implements, plus the
+//!   dispatch-tick context.
+//! - [`scheduler`] — [`FvsstScheduler`]: the stateful daemon. Timer
+//!   trigger every `T = n·t`, immediate trigger on budget change, idle
+//!   edges, optional idle detection, daemon overhead accounting.
+//! - [`sim_loop`] — [`ScheduledSimulation`]: drives a
+//!   [`fvs_sim::Machine`] under any policy and produces a [`RunReport`]
+//!   (energy, budget compliance, completion times, full trace).
+//! - [`daemon`] — a thread-hosted wrapper mirroring the prototype's
+//!   privileged user-level daemon process, communicating over channels.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algorithm;
+pub mod daemon;
+pub mod feedback;
+pub mod mt_daemon;
+pub mod policy;
+pub mod predictor;
+pub mod scheduler;
+pub mod sim_loop;
+
+pub use algorithm::{DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleDecision, SchedulingMode};
+pub use feedback::{FeedbackConfig, FeedbackGuard};
+pub use mt_daemon::{CoreCommand, CoreSample, MtDaemon, MtSummary};
+pub use policy::{Decision, OverheadModel, PlatformView, Policy, TickContext};
+pub use predictor::{ErrorStats, PredictionTracker, Predictor};
+pub use scheduler::{FvsstScheduler, SchedulerConfig};
+pub use sim_loop::{RunReport, ScheduledSimulation};

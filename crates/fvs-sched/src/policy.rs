@@ -1,0 +1,176 @@
+//! The policy interface every power-management strategy implements.
+//!
+//! [`crate::sim_loop::ScheduledSimulation`] drives a machine tick by tick
+//! and consults a [`Policy`] each dispatch period. The fvsst scheduler,
+//! every baseline in `fvs-baselines`, and the cluster coordinator's
+//! per-node agents are all `Policy` implementations, so experiments can
+//! swap strategies without touching the harness.
+
+use fvs_model::{CounterDelta, CpiModel, FreqMhz, FrequencySet, MemoryLatencies};
+use fvs_power::{FreqPowerTable, VoltageTable};
+use serde::{Deserialize, Serialize};
+
+/// Immutable platform facts a policy may consult.
+#[derive(Debug, Clone)]
+pub struct PlatformView {
+    /// Schedulable frequencies.
+    pub freq_set: FrequencySet,
+    /// Frequency→power table.
+    pub power_table: FreqPowerTable,
+    /// Voltage table.
+    pub voltage_table: VoltageTable,
+    /// Memory latencies (for estimation).
+    pub latencies: MemoryLatencies,
+}
+
+impl PlatformView {
+    /// The P630 platform.
+    pub fn p630() -> Self {
+        let power_table = FreqPowerTable::p630_table1();
+        PlatformView {
+            freq_set: power_table.frequency_set(),
+            power_table,
+            voltage_table: VoltageTable::p630(),
+            latencies: MemoryLatencies::P630,
+        }
+    }
+}
+
+/// Everything a policy sees on one dispatch tick.
+#[derive(Debug)]
+pub struct TickContext<'a> {
+    /// Simulation time at the *end* of the tick (s).
+    pub now_s: f64,
+    /// Dispatch tick index (0-based).
+    pub tick: u64,
+    /// The global power budget currently in force (W).
+    pub budget_w: f64,
+    /// Measured aggregate processor power over the tick (W) — the
+    /// "power measurement" input of the paper's Figure 2. Policies that
+    /// close the loop (e.g. [`crate::feedback::FeedbackGuard`]) compare
+    /// it against `budget_w`; the open-loop scheduler ignores it.
+    pub measured_power_w: f64,
+    /// Per-core counter deltas over the tick (noise applied).
+    pub samples: &'a [CounterDelta],
+    /// Per-core idle signals.
+    pub idle: &'a [bool],
+    /// Per-core ground-truth "this window overlapped an init/exit phase"
+    /// flags. Provided by the harness purely for prediction-error
+    /// bookkeeping (the paper's Table 2 separates these); policies MUST
+    /// NOT use it for decisions — real hardware has no such signal.
+    pub transitional: &'a [bool],
+    /// Per-core currently-requested frequencies.
+    pub current: &'a [FreqMhz],
+    /// Per-core ground-truth timing models of the phase currently
+    /// executing. Harness-provided for *oracle baselines only* — the
+    /// fvsst scheduler and every realistic policy must ignore it, since
+    /// no hardware exposes it.
+    pub ground_truth: &'a [CpiModel],
+    /// Platform facts.
+    pub platform: &'a PlatformView,
+}
+
+/// A frequency assignment produced by a policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Final frequency per core.
+    pub freqs: Vec<FreqMhz>,
+    /// Pre-budget "desired" frequency per core (= `freqs` for policies
+    /// without the concept).
+    pub desired: Vec<FreqMhz>,
+    /// Predicted IPC per core at the final frequency, when the policy
+    /// predicts at all.
+    pub predicted_ipc: Vec<Option<f64>>,
+    /// Per-core power state (`false` = powered down; the node power-down
+    /// baseline uses this — fvsst never does).
+    pub powered_on: Vec<bool>,
+    /// Whether the policy believes the budget is met.
+    pub feasible: bool,
+}
+
+impl Decision {
+    /// A decision that simply sets every core to `f`.
+    pub fn uniform(n: usize, f: FreqMhz) -> Self {
+        Decision {
+            freqs: vec![f; n],
+            desired: vec![f; n],
+            predicted_ipc: vec![None; n],
+            powered_on: vec![true; n],
+            feasible: true,
+        }
+    }
+}
+
+/// CPU-time cost of running the management software itself, charged to
+/// the core hosting the daemon (paper Figure 4 measures this).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Core the single-threaded daemon runs on.
+    pub host_core: usize,
+    /// Seconds charged per dispatch tick per sampled core (counter read
+    /// syscalls).
+    pub per_sample_s: f64,
+    /// Seconds charged per scheduling computation (the two-pass
+    /// algorithm plus actuation syscalls).
+    pub per_schedule_s: f64,
+}
+
+impl OverheadModel {
+    /// No overhead (idealised policies, oracle baselines).
+    pub const FREE: OverheadModel = OverheadModel {
+        host_core: 0,
+        per_sample_s: 0.0,
+        per_schedule_s: 0.0,
+    };
+
+    /// Calibrated to the paper's unoptimised prototype: ≲3 % throughput
+    /// impact at t = 10 ms, T = 100 ms on 4 cores.
+    pub const PROTOTYPE: OverheadModel = OverheadModel {
+        host_core: 0,
+        per_sample_s: 25.0e-6,
+        per_schedule_s: 1.2e-3,
+    };
+}
+
+/// A power-management policy.
+pub trait Policy: Send {
+    /// Short display name for reports.
+    fn name(&self) -> &str;
+
+    /// Consulted once per dispatch tick; return `Some` to (re)assign
+    /// frequencies.
+    fn on_tick(&mut self, ctx: &TickContext<'_>) -> Option<Decision>;
+
+    /// The daemon-overhead model the harness should charge. Defaults to
+    /// free.
+    fn overhead(&self) -> OverheadModel {
+        OverheadModel::FREE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_decision() {
+        let d = Decision::uniform(3, FreqMhz(500));
+        assert_eq!(d.freqs, vec![FreqMhz(500); 3]);
+        assert_eq!(d.desired, d.freqs);
+        assert!(d.feasible);
+    }
+
+    #[test]
+    fn overhead_presets() {
+        assert_eq!(OverheadModel::FREE.per_schedule_s, 0.0);
+        let proto = OverheadModel::PROTOTYPE;
+        assert!(proto.per_schedule_s > 0.0);
+    }
+
+    #[test]
+    fn platform_view_p630() {
+        let p = PlatformView::p630();
+        assert_eq!(p.freq_set.len(), 16);
+        assert_eq!(p.power_table.max_power(), 140.0);
+    }
+}

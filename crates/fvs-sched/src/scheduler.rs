@@ -1,0 +1,445 @@
+//! The stateful fvsst scheduler daemon: triggers, windows, and the
+//! policy implementation.
+
+use crate::algorithm::{FvsstAlgorithm, ProcInput, ScheduleDecision, SchedulingMode};
+use crate::policy::{Decision, OverheadModel, Policy, TickContext};
+use crate::predictor::{ErrorStats, PredictionTracker, Predictor};
+use fvs_power::BudgetSchedule;
+use serde::{Deserialize, Serialize};
+
+/// Why the scheduler ran a scheduling computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// The periodic timer (every `T = n·t`).
+    Timer,
+    /// The global power limit changed (e.g. a supply failed).
+    BudgetChange,
+    /// A processor entered or left the idle loop.
+    IdleEdge,
+}
+
+/// Configuration of the fvsst daemon.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// The scheduling algorithm (frequency set, tables, ε, mode).
+    pub algorithm: FvsstAlgorithm,
+    /// Dispatch period `t` in seconds (counter sampling interval). The
+    /// paper uses 10 ms — the Linux scheduler makes shorter intervals
+    /// unreliable.
+    pub t_s: f64,
+    /// Scheduling period multiplier `n` (`T = n·t`); the paper uses 10.
+    pub n: u32,
+    /// Global power budget over time.
+    pub budget: BudgetSchedule,
+    /// Daemon overhead model.
+    pub overhead: OverheadModel,
+    /// React to idle edges immediately (in addition to pinning idle
+    /// processors at scheduling time).
+    pub idle_edge_trigger: bool,
+    /// Minimum dispatch ticks between idle-edge-triggered computations.
+    /// A core whose work arrives in sub-tick bursts flaps its idle
+    /// signal; without a floor, every flap would pay the full scheduling
+    /// overhead. Budget changes are never rate-limited — ΔT is a hard
+    /// deadline.
+    pub idle_edge_min_spacing: u32,
+    /// Memory-latency constants the predictor inverts the CPI equation
+    /// with (measured once per platform, paper §7.1).
+    pub latencies: fvs_model::MemoryLatencies,
+}
+
+impl SchedulerConfig {
+    /// The paper's configuration: P630 platform, the default ε of
+    /// [`FvsstAlgorithm::p630`], t = 10 ms, T = 100 ms, prototype
+    /// overhead, effectively-unlimited budget.
+    pub fn p630() -> Self {
+        SchedulerConfig {
+            algorithm: FvsstAlgorithm::p630(),
+            t_s: 0.010,
+            n: 10,
+            budget: BudgetSchedule::constant(f64::INFINITY),
+            overhead: OverheadModel::PROTOTYPE,
+            idle_edge_trigger: true,
+            idle_edge_min_spacing: 2,
+            latencies: fvs_model::MemoryLatencies::P630,
+        }
+    }
+
+    /// Set ε.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.algorithm.epsilon = epsilon;
+        self
+    }
+
+    /// Set the budget schedule.
+    pub fn with_budget(mut self, budget: BudgetSchedule) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Switch pass-1 mode.
+    pub fn with_mode(mut self, mode: SchedulingMode) -> Self {
+        self.algorithm.mode = mode;
+        self
+    }
+
+    /// Enable/disable idle detection (both the pinning and the edge
+    /// trigger).
+    pub fn with_idle_detection(mut self, enabled: bool) -> Self {
+        self.algorithm.idle_detection = enabled;
+        self.idle_edge_trigger = enabled;
+        self
+    }
+
+    /// Replace the overhead model.
+    pub fn with_overhead(mut self, overhead: OverheadModel) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// The scheduling period `T` in seconds.
+    pub fn period_s(&self) -> f64 {
+        self.t_s * f64::from(self.n)
+    }
+}
+
+/// The fvsst scheduling daemon, as a [`Policy`].
+#[derive(Debug)]
+pub struct FvsstScheduler {
+    config: SchedulerConfig,
+    predictor: Predictor,
+    tracker: PredictionTracker,
+    ticks_since_schedule: u32,
+    last_budget_w: Option<f64>,
+    last_idle: Vec<bool>,
+    /// An idle edge arrived during the rate-limit window and is waiting
+    /// to be served.
+    pending_idle_edge: bool,
+    last_decision: Option<ScheduleDecision>,
+    schedules_run: u64,
+    triggers: Vec<(f64, Trigger)>,
+}
+
+impl FvsstScheduler {
+    /// Daemon for `n_cores` cores.
+    pub fn new(n_cores: usize, config: SchedulerConfig) -> Self {
+        FvsstScheduler {
+            predictor: Predictor::new(n_cores, config.latencies),
+            tracker: PredictionTracker::new(n_cores),
+            config,
+            ticks_since_schedule: 0,
+            last_budget_w: None,
+            last_idle: vec![false; n_cores],
+            pending_idle_edge: false,
+            last_decision: None,
+            schedules_run: 0,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Scheduling computations performed so far.
+    pub fn schedules_run(&self) -> u64 {
+        self.schedules_run
+    }
+
+    /// The `(time, trigger)` log.
+    pub fn trigger_log(&self) -> &[(f64, Trigger)] {
+        &self.triggers
+    }
+
+    /// All-samples prediction-error stats for core `i`.
+    pub fn error_stats(&self, i: usize) -> &ErrorStats {
+        self.tracker.stats(i)
+    }
+
+    /// Steady-state prediction-error stats for core `i` (excludes
+    /// init/exit windows — Table 2's starred column).
+    pub fn steady_error_stats(&self, i: usize) -> &ErrorStats {
+        self.tracker.steady_stats(i)
+    }
+
+    /// The most recent decision.
+    pub fn last_decision(&self) -> Option<&ScheduleDecision> {
+        self.last_decision.as_ref()
+    }
+
+    fn run_schedule(&mut self, ctx: &TickContext<'_>, trigger: Trigger) -> Decision {
+        self.triggers.push((ctx.now_s, trigger));
+        self.schedules_run += 1;
+        self.ticks_since_schedule = 0;
+        let n = ctx.samples.len();
+        // Score the predictions made at the previous schedule against the
+        // window that just closed (before refit drains it).
+        for i in 0..n {
+            if let Some(observed) = self.predictor.window_ipc(i) {
+                self.tracker.observe(i, observed, ctx.transitional[i]);
+            }
+        }
+        let procs: Vec<ProcInput> = (0..n)
+            .map(|i| ProcInput {
+                model: self.predictor.refit(i, ctx.current[i]),
+                idle: ctx.idle[i],
+                current: ctx.current[i],
+            })
+            .collect();
+        let d = self.config.algorithm.schedule(&procs, ctx.budget_w);
+        for i in 0..n {
+            self.tracker.predict(i, d.predicted_ipc[i]);
+        }
+        let out = Decision {
+            freqs: d.freqs.clone(),
+            desired: d.desired.clone(),
+            predicted_ipc: d.predicted_ipc.clone(),
+            powered_on: vec![true; n],
+            feasible: d.feasible,
+        };
+        self.last_decision = Some(d);
+        out
+    }
+}
+
+impl Policy for FvsstScheduler {
+    fn name(&self) -> &str {
+        "fvsst"
+    }
+
+    fn on_tick(&mut self, ctx: &TickContext<'_>) -> Option<Decision> {
+        let n = ctx.samples.len();
+        for (i, s) in ctx.samples.iter().enumerate() {
+            self.predictor.push(i, s);
+        }
+        self.ticks_since_schedule += 1;
+
+        // Trigger 1: budget change — respond immediately; ΔT is short.
+        let budget_changed = self
+            .last_budget_w
+            .map(|b| (b - ctx.budget_w).abs() > 1e-9)
+            .unwrap_or(false);
+        self.last_budget_w = Some(ctx.budget_w);
+
+        // Trigger 3: idle edges (deferred while rate-limited, never
+        // dropped — the pending flag survives until served or until a
+        // schedule runs for another reason).
+        let idle_changed = self.config.idle_edge_trigger
+            && (0..n).any(|i| ctx.idle[i] != self.last_idle[i]);
+        self.last_idle.clear();
+        self.last_idle.extend_from_slice(ctx.idle);
+        if idle_changed {
+            self.pending_idle_edge = true;
+        }
+
+        if budget_changed {
+            self.pending_idle_edge = false;
+            return Some(self.run_schedule(ctx, Trigger::BudgetChange));
+        }
+        if self.pending_idle_edge
+            && self.ticks_since_schedule >= self.config.idle_edge_min_spacing
+        {
+            self.pending_idle_edge = false;
+            return Some(self.run_schedule(ctx, Trigger::IdleEdge));
+        }
+        // Bootstrap: enforce the budget as soon as the first window has
+        // data, rather than idling at f_max for a full period.
+        if self.last_decision.is_none() {
+            self.pending_idle_edge = false;
+            return Some(self.run_schedule(ctx, Trigger::Timer));
+        }
+        // Trigger 2: the periodic timer.
+        if self.ticks_since_schedule >= self.config.n {
+            self.pending_idle_edge = false;
+            return Some(self.run_schedule(ctx, Trigger::Timer));
+        }
+        None
+    }
+
+    fn overhead(&self) -> OverheadModel {
+        self.config.overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvs_model::FreqMhz;
+    use crate::policy::PlatformView;
+    use fvs_model::counters::synthesize_delta;
+    use fvs_model::CpiModel;
+
+    fn ctx<'a>(
+        now_s: f64,
+        tick: u64,
+        budget: f64,
+        samples: &'a [fvs_model::CounterDelta],
+        idle: &'a [bool],
+        current: &'a [FreqMhz],
+        platform: &'a PlatformView,
+    ) -> TickContext<'a> {
+        const NOT_TRANSITIONAL: [bool; 8] = [false; 8];
+        const GROUND_TRUTH: [CpiModel; 8] = [CpiModel {
+            cpi0: 1.0,
+            mem_time_per_instr: 0.0,
+        }; 8];
+        TickContext {
+            now_s,
+            tick,
+            budget_w: budget,
+            measured_power_w: 0.0,
+            samples,
+            idle,
+            transitional: &NOT_TRANSITIONAL[..samples.len()],
+            current,
+            ground_truth: &GROUND_TRUTH[..samples.len()],
+            platform,
+        }
+    }
+
+    fn sample_for(model: &CpiModel, mem_rate: f64, f: FreqMhz, dt: f64) -> fvs_model::CounterDelta {
+        let instr = model.perf_at(f) * dt;
+        synthesize_delta(model, 0.0, 0.0, mem_rate, instr, f)
+    }
+
+    #[test]
+    fn timer_fires_every_n_ticks() {
+        let platform = PlatformView::p630();
+        let cfg = SchedulerConfig::p630();
+        let mut s = FvsstScheduler::new(1, cfg);
+        let model = CpiModel::from_components(1.0, 4.0e-9);
+        let current = [FreqMhz(1000)];
+        let idle = [false];
+        let mut decisions = 0;
+        for tick in 0..30u64 {
+            let samples = [sample_for(&model, 4.0e-9 / 393.0e-9, FreqMhz(1000), 0.01)];
+            let c = ctx(
+                tick as f64 * 0.01,
+                tick,
+                f64::INFINITY,
+                &samples,
+                &idle,
+                &current,
+                &platform,
+            );
+            if s.on_tick(&c).is_some() {
+                decisions += 1;
+            }
+        }
+        assert_eq!(decisions, 3, "30 ticks / n=10");
+        assert!(s
+            .trigger_log()
+            .iter()
+            .all(|(_, t)| *t == Trigger::Timer));
+    }
+
+    #[test]
+    fn budget_change_triggers_immediately() {
+        let platform = PlatformView::p630();
+        let mut s = FvsstScheduler::new(1, SchedulerConfig::p630());
+        let model = CpiModel::from_components(1.0, 0.0);
+        let current = [FreqMhz(1000)];
+        let idle = [false];
+        // Tick 0 establishes the budget (bootstrap decision); tick 1
+        // changes it.
+        let samples = [sample_for(&model, 0.0, FreqMhz(1000), 0.01)];
+        let c0 = ctx(0.01, 0, 560.0, &samples, &idle, &current, &platform);
+        assert!(s.on_tick(&c0).is_some(), "bootstrap decision");
+        let samples = [sample_for(&model, 0.0, FreqMhz(1000), 0.01)];
+        let c1 = ctx(0.02, 1, 294.0, &samples, &idle, &current, &platform);
+        let d = s.on_tick(&c1).expect("budget change must trigger");
+        assert_eq!(s.trigger_log()[1].1, Trigger::BudgetChange);
+        // One core, 294 W: unconstrained for a single processor.
+        assert!(d.feasible);
+    }
+
+    #[test]
+    fn idle_edge_triggers_and_pins_to_min() {
+        let platform = PlatformView::p630();
+        let mut s = FvsstScheduler::new(1, SchedulerConfig::p630());
+        let model = CpiModel::from_components(1.0 / 1.3, 0.0);
+        let current = [FreqMhz(1000)];
+        let samples = [sample_for(&model, 0.0, FreqMhz(1000), 0.01)];
+        let c0 = ctx(0.01, 0, f64::INFINITY, &samples, &[false], &current, &platform);
+        assert!(s.on_tick(&c0).is_some(), "bootstrap decision");
+        // The edge arrives one tick after the bootstrap: deferred by the
+        // rate limiter (min spacing 2)…
+        let samples = [sample_for(&model, 0.0, FreqMhz(1000), 0.01)];
+        let c1 = ctx(0.02, 1, f64::INFINITY, &samples, &[true], &current, &platform);
+        assert!(s.on_tick(&c1).is_none(), "edge deferred inside the window");
+        // …and served on the next tick, not dropped.
+        let samples = [sample_for(&model, 0.0, FreqMhz(1000), 0.01)];
+        let c2 = ctx(0.03, 2, f64::INFINITY, &samples, &[true], &current, &platform);
+        let d = s.on_tick(&c2).expect("idle edge must trigger");
+        assert_eq!(d.freqs[0], FreqMhz(250));
+        assert_eq!(s.trigger_log()[1].1, Trigger::IdleEdge);
+    }
+
+    #[test]
+    fn flapping_idle_signal_is_rate_limited() {
+        let platform = PlatformView::p630();
+        let mut s = FvsstScheduler::new(1, SchedulerConfig::p630());
+        let model = CpiModel::from_components(1.0, 0.0);
+        let current = [FreqMhz(1000)];
+        let mut decisions = 0u32;
+        // The idle signal flips EVERY tick for 40 ticks.
+        for tick in 0..40u64 {
+            let samples = [sample_for(&model, 0.0, FreqMhz(1000), 0.01)];
+            let idle = [tick % 2 == 0];
+            let c = ctx(
+                (tick + 1) as f64 * 0.01,
+                tick,
+                f64::INFINITY,
+                &samples,
+                &idle,
+                &current,
+                &platform,
+            );
+            if s.on_tick(&c).is_some() {
+                decisions += 1;
+            }
+        }
+        // Unlimited, this would be ~40 decisions; the 2-tick spacing
+        // caps it at ~20, and edges are never silently lost (each
+        // deferred edge is served).
+        assert!(
+            decisions <= 21,
+            "rate limiter failed: {decisions} decisions in 40 ticks"
+        );
+        assert!(decisions >= 15, "edges must still be served: {decisions}");
+    }
+
+    #[test]
+    fn memory_bound_core_gets_low_frequency_on_timer() {
+        let platform = PlatformView::p630();
+        let mut s = FvsstScheduler::new(1, SchedulerConfig::p630());
+        // Heavily memory-bound: β = 10 at cpi0 = 1.
+        let model = CpiModel::from_components(1.0, 10.0e-9);
+        let mem_rate = 10.0e-9 / 393.0e-9;
+        let current = [FreqMhz(1000)];
+        let idle = [false];
+        let mut last = None;
+        for tick in 0..10u64 {
+            let samples = [sample_for(&model, mem_rate, FreqMhz(1000), 0.01)];
+            let c = ctx(
+                (tick + 1) as f64 * 0.01,
+                tick,
+                f64::INFINITY,
+                &samples,
+                &idle,
+                &current,
+                &platform,
+            );
+            if let Some(d) = s.on_tick(&c) {
+                last = Some(d);
+            }
+        }
+        let d = last.expect("timer fired");
+        assert!(
+            d.freqs[0] <= FreqMhz(700),
+            "memory-bound desired {}",
+            d.freqs[0]
+        );
+        assert_eq!(d.desired[0], d.freqs[0], "no budget pressure");
+    }
+}

@@ -1,0 +1,499 @@
+//! Drives a [`fvs_sim::Machine`] under a [`Policy`] and reports what the
+//! paper's evaluation measures.
+
+use crate::policy::{PlatformView, Policy, TickContext};
+use crate::scheduler::{FvsstScheduler, SchedulerConfig};
+use fvs_model::FreqMhz;
+use fvs_power::{BudgetSchedule, EnergyMeter, SupplyBank};
+use fvs_sim::{Machine, ResidencyHistogram, TraceRecorder, TraceSample};
+use fvs_workloads::PhaseKind;
+use serde::{Deserialize, Serialize};
+
+/// Where the global power budget comes from.
+#[derive(Debug)]
+enum BudgetSource {
+    /// A scripted schedule of budget values.
+    Schedule(BudgetSchedule),
+    /// A bank of power supplies: the budget is the surviving capacity
+    /// minus the non-processor power draw, and the bank tracks cascade
+    /// deadlines against the *actual* total draw.
+    Supplies {
+        bank: SupplyBank,
+        non_cpu_w: f64,
+    },
+}
+
+/// Outcome summary of a managed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Policy that produced the run.
+    pub policy: String,
+    /// Simulated seconds.
+    pub duration_s: f64,
+    /// Aggregate processor power at the end of the run (W).
+    pub final_power_w: f64,
+    /// Highest tick-level aggregate power (W).
+    pub peak_power_w: f64,
+    /// Time-averaged aggregate power (W).
+    pub avg_power_w: f64,
+    /// Total processor energy (J).
+    pub energy_j: f64,
+    /// Per-core energy meters.
+    pub core_energy: Vec<EnergyMeter>,
+    /// Seconds during which aggregate power exceeded the budget.
+    pub violation_s: f64,
+    /// Worst overshoot above the budget (W).
+    pub max_overshoot_w: f64,
+    /// Per-core workload completion times (None = still running).
+    pub completed_at_s: Vec<Option<f64>>,
+    /// Per-core body instructions retired.
+    pub body_instructions: Vec<f64>,
+    /// Per-core effective-frequency residency.
+    pub residency: Vec<ResidencyHistogram>,
+    /// Whether a supply cascade occurred, and when.
+    pub cascaded_at_s: Option<f64>,
+    /// Scheduling decisions taken.
+    pub decisions: u64,
+    /// Total per-core frequency *changes* applied (a stability metric:
+    /// each change costs actuator settling and, on real hardware,
+    /// voltage-ramp time).
+    pub frequency_switches: u64,
+}
+
+/// A machine + policy + budget, stepped at the dispatch period.
+pub struct ScheduledSimulation<P: Policy = FvsstScheduler> {
+    machine: Machine,
+    policy: P,
+    budget: BudgetSource,
+    platform: PlatformView,
+    t_s: f64,
+    tick: u64,
+    trace: TraceRecorder,
+    trace_enabled: bool,
+    violation_s: f64,
+    max_overshoot_w: f64,
+    peak_power_w: f64,
+    power_time_integral: f64,
+    decisions: u64,
+    frequency_switches: u64,
+    last_desired: Vec<FreqMhz>,
+    last_ipc: Vec<f64>,
+    /// Per-core "this scheduling window overlapped an init/exit phase or
+    /// a workload completion" flags, OR-accumulated across ticks and
+    /// reset whenever the policy takes a decision (= closes its window).
+    window_transitional: Vec<bool>,
+    was_finished: Vec<bool>,
+}
+
+impl ScheduledSimulation<FvsstScheduler> {
+    /// The canonical setup: an fvsst daemon built from `config` managing
+    /// `machine`, with the budget taken from `config.budget`.
+    pub fn new(machine: Machine, config: SchedulerConfig) -> Self {
+        let budget = config.budget.clone();
+        let t_s = config.t_s;
+        let scheduler = FvsstScheduler::new(machine.num_cores(), config);
+        Self::with_policy(machine, scheduler, budget, t_s)
+    }
+}
+
+impl<P: Policy> ScheduledSimulation<P> {
+    /// A machine under an arbitrary policy (baselines, ablations).
+    pub fn with_policy(
+        machine: Machine,
+        policy: P,
+        budget: BudgetSchedule,
+        t_s: f64,
+    ) -> Self {
+        let n = machine.num_cores();
+        let cfg = machine.config();
+        let platform = PlatformView {
+            freq_set: cfg.power_table.frequency_set(),
+            power_table: cfg.power_table.clone(),
+            voltage_table: cfg.voltage_table.clone(),
+            latencies: cfg.latencies,
+        };
+        let f_max = platform.freq_set.max();
+        ScheduledSimulation {
+            machine,
+            policy,
+            budget: BudgetSource::Schedule(budget),
+            platform,
+            t_s,
+            tick: 0,
+            trace: TraceRecorder::new(),
+            trace_enabled: true,
+            violation_s: 0.0,
+            max_overshoot_w: 0.0,
+            peak_power_w: 0.0,
+            power_time_integral: 0.0,
+            decisions: 0,
+            frequency_switches: 0,
+            last_desired: vec![f_max; n],
+            last_ipc: vec![0.0; n],
+            window_transitional: vec![false; n],
+            was_finished: vec![false; n],
+        }
+    }
+
+    /// Replace the budget schedule with a supply bank: the budget becomes
+    /// the surviving capacity minus `non_cpu_w`, and cascade deadlines
+    /// are enforced against actual draw (the section-2 scenario).
+    pub fn with_supply_bank(mut self, bank: SupplyBank, non_cpu_w: f64) -> Self {
+        self.budget = BudgetSource::Supplies { bank, non_cpu_w };
+        self
+    }
+
+    /// Disable per-tick trace recording (large sweeps).
+    pub fn without_trace(mut self) -> Self {
+        self.trace_enabled = false;
+        self
+    }
+
+    /// The managed machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The policy (concrete type — e.g. to read fvsst's error stats).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Current simulation time.
+    pub fn now_s(&self) -> f64 {
+        self.machine.now_s()
+    }
+
+    /// The budget in force right now.
+    pub fn budget_w(&self) -> f64 {
+        match &self.budget {
+            BudgetSource::Schedule(s) => s.budget_at(self.machine.now_s()),
+            BudgetSource::Supplies { bank, non_cpu_w } => {
+                (bank.capacity_w() - non_cpu_w).max(0.0)
+            }
+        }
+    }
+
+    /// Advance one dispatch tick.
+    pub fn step_tick(&mut self) {
+        let t_s = self.t_s;
+        let n = self.machine.num_cores();
+
+        // Capture ground-truth transitional flags *before* stepping so a
+        // window that started in init/exit is flagged.
+        for i in 0..n {
+            if matches!(
+                self.machine.core(i).current_phase_kind(),
+                PhaseKind::Init | PhaseKind::Exit
+            ) {
+                self.window_transitional[i] = true;
+            }
+        }
+
+        self.machine.step(t_s);
+        let now = self.machine.now_s();
+
+        // Advance the supply bank against actual total draw.
+        let total_power = self.machine.total_power_w();
+        if let BudgetSource::Supplies { bank, non_cpu_w } = &mut self.budget {
+            bank.advance(total_power + *non_cpu_w, t_s);
+        }
+        let budget_w = self.budget_w();
+
+        // Compliance accounting.
+        self.peak_power_w = self.peak_power_w.max(total_power);
+        self.power_time_integral += total_power * t_s;
+        if total_power > budget_w {
+            self.violation_s += t_s;
+            self.max_overshoot_w = self.max_overshoot_w.max(total_power - budget_w);
+        }
+
+        // Flag windows that ended in a transitional phase, or in which
+        // the workload ran to completion (the exit→idle hand-off can
+        // happen entirely inside one tick, so completion is tracked
+        // explicitly).
+        for i in 0..n {
+            let finished = self.machine.core(i).is_finished();
+            if matches!(
+                self.machine.core(i).current_phase_kind(),
+                PhaseKind::Init | PhaseKind::Exit
+            ) || (finished && !self.was_finished[i])
+            {
+                self.window_transitional[i] = true;
+            }
+            self.was_finished[i] = finished;
+        }
+        let transitional = self.window_transitional.clone();
+
+        // Observe.
+        let samples = self.machine.sample_all();
+        let idle: Vec<bool> = (0..n).map(|i| self.machine.idle_signal(i)).collect();
+        let current: Vec<FreqMhz> = (0..n)
+            .map(|i| self.machine.core(i).requested_frequency())
+            .collect();
+        for (i, s) in samples.iter().enumerate() {
+            self.last_ipc[i] = s.observed_ipc();
+        }
+
+        // Ground-truth models of the currently-executing phases, for
+        // oracle baselines only.
+        let ground_truth: Vec<fvs_model::CpiModel> = (0..n)
+            .map(|i| {
+                fvs_model::CpiModel::from_profile(
+                    self.machine.core(i).current_profile(),
+                    &self.platform.latencies,
+                )
+            })
+            .collect();
+
+        // Consult the policy.
+        let ctx = TickContext {
+            now_s: now,
+            tick: self.tick,
+            budget_w,
+            measured_power_w: total_power,
+            samples: &samples,
+            idle: &idle,
+            transitional: &transitional,
+            current: &current,
+            ground_truth: &ground_truth,
+            platform: &self.platform,
+        };
+        let overhead = self.policy.overhead();
+        // Sampling cost is paid every tick the daemon runs.
+        if overhead.per_sample_s > 0.0 {
+            self.machine
+                .core_mut(overhead.host_core)
+                .steal(overhead.per_sample_s * n as f64);
+        }
+        if let Some(decision) = self.policy.on_tick(&ctx) {
+            // The policy closed its measurement window: start a fresh
+            // transitional-flag accumulation.
+            self.window_transitional.iter_mut().for_each(|f| *f = false);
+            self.decisions += 1;
+            for (i, f) in decision.freqs.iter().enumerate() {
+                if self.machine.core(i).requested_frequency() != *f {
+                    self.frequency_switches += 1;
+                }
+                self.machine.set_frequency(i, *f);
+            }
+            for (i, on) in decision.powered_on.iter().enumerate() {
+                self.machine.set_powered(i, *on);
+            }
+            self.last_desired.clone_from(&decision.desired);
+            if overhead.per_schedule_s > 0.0 {
+                self.machine
+                    .core_mut(overhead.host_core)
+                    .steal(overhead.per_schedule_s);
+            }
+        }
+
+        // Trace.
+        if self.trace_enabled {
+            for i in 0..n {
+                self.trace.push(TraceSample {
+                    t_s: now,
+                    core: i,
+                    effective_mhz: self.machine.effective_frequency(i).0,
+                    requested_mhz: self.machine.core(i).requested_frequency().0,
+                    desired_mhz: self.last_desired[i].0,
+                    observed_ipc: self.last_ipc[i],
+                    power_w: self.machine.core_power_w(i),
+                    phase: self.machine.core(i).current_phase_name().to_string(),
+                });
+            }
+        }
+        self.tick += 1;
+    }
+
+    /// Run for `duration` seconds of simulated time and return the
+    /// cumulative report.
+    pub fn run_for(&mut self, duration: f64) -> RunReport {
+        let ticks = (duration / self.t_s).round().max(1.0) as u64;
+        for _ in 0..ticks {
+            self.step_tick();
+        }
+        self.report()
+    }
+
+    /// Run until every core's workload has completed (or `max_s` of
+    /// simulated time elapses).
+    pub fn run_to_completion(&mut self, max_s: f64) -> RunReport {
+        let max_ticks = (max_s / self.t_s).round() as u64;
+        for _ in 0..max_ticks {
+            if (0..self.machine.num_cores()).all(|i| {
+                self.machine.core(i).is_finished() || self.machine.core(i).workload().is_idle_loop
+            }) {
+                break;
+            }
+            self.step_tick();
+        }
+        self.report()
+    }
+
+    /// Snapshot the cumulative report.
+    pub fn report(&self) -> RunReport {
+        let n = self.machine.num_cores();
+        let now = self.machine.now_s();
+        let cascaded_at_s = match &self.budget {
+            BudgetSource::Supplies { bank, .. } => bank.cascaded_at(),
+            BudgetSource::Schedule(_) => None,
+        };
+        RunReport {
+            policy: self.policy.name().to_string(),
+            duration_s: now,
+            final_power_w: self.machine.total_power_w(),
+            peak_power_w: self.peak_power_w,
+            avg_power_w: if now > 0.0 {
+                self.power_time_integral / now
+            } else {
+                0.0
+            },
+            energy_j: self.machine.total_energy_j(),
+            core_energy: (0..n).map(|i| self.machine.energy(i).clone()).collect(),
+            violation_s: self.violation_s,
+            max_overshoot_w: self.max_overshoot_w,
+            completed_at_s: (0..n)
+                .map(|i| self.machine.core(i).stats().completed_at_s)
+                .collect(),
+            body_instructions: (0..n)
+                .map(|i| self.machine.core(i).stats().body_instructions)
+                .collect(),
+            residency: (0..n).map(|i| self.machine.residency(i).clone()).collect(),
+            cascaded_at_s,
+            decisions: self.decisions,
+            frequency_switches: self.frequency_switches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvs_power::BudgetEvent;
+    use fvs_sim::MachineBuilder;
+    use fvs_workloads::WorkloadSpec;
+
+    fn machine_with(intensities: [f64; 4]) -> Machine {
+        let mut b = MachineBuilder::p630();
+        for (i, c) in intensities.iter().enumerate() {
+            b = b.workload(i, WorkloadSpec::synthetic(*c, 1.0e12));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn unconstrained_run_saves_power_on_memory_bound_cores() {
+        let machine = machine_with([100.0, 20.0, 20.0, 20.0]);
+        let config = SchedulerConfig::p630();
+        let mut sim = ScheduledSimulation::new(machine, config);
+        let report = sim.run_for(1.0);
+        // Memory-bound cores dropped well below 140 W; CPU core stayed
+        // near full speed.
+        assert!(report.final_power_w < 4.0 * 140.0 * 0.7);
+        assert!(report.decisions >= 9);
+        let cpu_freq = sim.machine().effective_frequency(0);
+        let mem_freq = sim.machine().effective_frequency(1);
+        assert!(cpu_freq >= FreqMhz(950), "cpu core at {cpu_freq}");
+        assert!(mem_freq <= FreqMhz(700), "mem core at {mem_freq}");
+    }
+
+    #[test]
+    fn budget_drop_is_honored_quickly() {
+        let machine = machine_with([100.0, 100.0, 100.0, 100.0]);
+        let budget = BudgetSchedule::with_events(
+            560.0,
+            vec![BudgetEvent {
+                at_s: 0.5,
+                budget_w: 294.0,
+            }],
+        );
+        let config = SchedulerConfig::p630().with_budget(budget);
+        let mut sim = ScheduledSimulation::new(machine, config);
+        let report = sim.run_for(1.0);
+        assert!(
+            report.final_power_w <= 294.0,
+            "final power {}",
+            report.final_power_w
+        );
+        // Violation window: at most a couple of dispatch ticks after the
+        // drop (the budget-change trigger fires on the next tick).
+        assert!(
+            report.violation_s <= 0.05,
+            "violated for {}s",
+            report.violation_s
+        );
+    }
+
+    #[test]
+    fn idle_cores_pinned_to_minimum() {
+        let machine = MachineBuilder::p630().build(); // all hot-idle
+        let config = SchedulerConfig::p630();
+        let mut sim = ScheduledSimulation::new(machine, config);
+        sim.run_for(0.5);
+        for i in 0..4 {
+            assert_eq!(sim.machine().effective_frequency(i), FreqMhz(250));
+        }
+    }
+
+    #[test]
+    fn without_idle_detection_idle_burns_full_power() {
+        let machine = MachineBuilder::p630().build();
+        let config = SchedulerConfig::p630().with_idle_detection(false);
+        let mut sim = ScheduledSimulation::new(machine, config);
+        let report = sim.run_for(0.5);
+        // Hot idle looks CPU-bound (IPC 1.3): stays at/near f_max.
+        assert!(
+            report.final_power_w > 4.0 * 120.0,
+            "power {}",
+            report.final_power_w
+        );
+    }
+
+    #[test]
+    fn supply_failure_scenario_survives_with_fvsst() {
+        // Section 2: 4 CPUs (560 W) + 186 W non-CPU = 746 W; two 480 W
+        // supplies; one fails at t=0.5 s; ΔT = 1 s.
+        let machine = machine_with([100.0, 60.0, 30.0, 10.0]);
+        let config = SchedulerConfig::p630();
+        let bank = SupplyBank::p630_scenario(0.5);
+        let mut sim =
+            ScheduledSimulation::new(machine, config).with_supply_bank(bank, 186.0);
+        let report = sim.run_for(3.0);
+        assert_eq!(report.cascaded_at_s, None, "fvsst must beat the deadline");
+        assert!(report.final_power_w <= 294.0 + 1e-9);
+    }
+
+    #[test]
+    fn trace_records_all_cores_every_tick() {
+        let machine = machine_with([50.0, 50.0, 50.0, 50.0]);
+        let mut sim = ScheduledSimulation::new(machine, SchedulerConfig::p630());
+        sim.run_for(0.2);
+        // 20 ticks × 4 cores.
+        assert_eq!(sim.trace().len(), 80);
+        let series = sim.trace().frequency_series(2);
+        assert_eq!(series.len(), 20);
+    }
+
+    #[test]
+    fn without_trace_records_nothing() {
+        let machine = machine_with([50.0; 4]);
+        let mut sim =
+            ScheduledSimulation::new(machine, SchedulerConfig::p630()).without_trace();
+        sim.run_for(0.2);
+        assert!(sim.trace().is_empty());
+    }
+
+    #[test]
+    fn report_average_power_is_consistent_with_energy() {
+        let machine = machine_with([100.0; 4]);
+        let mut sim = ScheduledSimulation::new(machine, SchedulerConfig::p630());
+        let report = sim.run_for(1.0);
+        assert!((report.avg_power_w * report.duration_s - report.energy_j).abs() < 1.0);
+    }
+}

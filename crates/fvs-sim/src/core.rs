@@ -1,0 +1,554 @@
+//! A single simulated processor core.
+
+use crate::actuator::Actuator;
+use fvs_model::{CounterDelta, CpiModel, ExecutionProfile, FreqMhz, MemoryLatencies};
+use fvs_workloads::{PhaseKind, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Position within a workload's phase list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCursor {
+    /// Index into the workload's phases.
+    pub phase: usize,
+    /// Instructions already retired in the current phase.
+    pub done_in_phase: f64,
+}
+
+/// Aggregate statistics a core keeps about its own execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// All instructions retired (workload + idle loop).
+    pub total_instructions: f64,
+    /// Instructions retired in the workload's *body* phases — the
+    /// throughput the synthetic benchmark reports.
+    pub body_instructions: f64,
+    /// Simulation time at which the (non-looping) workload completed.
+    pub completed_at_s: Option<f64>,
+    /// Total busy (non-idle-loop) seconds.
+    pub busy_s: f64,
+}
+
+/// One core: a workload cursor, a frequency actuator, and counters.
+#[derive(Debug)]
+pub struct Core {
+    /// Core index within its machine.
+    pub id: usize,
+    workload: WorkloadSpec,
+    idle_loop: WorkloadSpec,
+    cursor: PhaseCursor,
+    finished: bool,
+    actuator: Box<dyn Actuator>,
+    /// Ground-truth cumulative counters.
+    counters: CounterDelta,
+    /// Snapshot at the last sample, for delta computation.
+    last_sample: CounterDelta,
+    stats: CoreStats,
+    /// Seconds of pending CPU time stolen by management software (the
+    /// fvsst daemon); consumed before workload execution resumes.
+    pending_steal_s: f64,
+    /// When false the core is powered down: it executes nothing and
+    /// draws no power (the "power down some nodes" alternative the paper
+    /// compares against).
+    powered_on: bool,
+    /// Completed body-loop iterations (drives workload drift).
+    loop_count: u64,
+}
+
+impl Core {
+    /// A core running `workload` through `actuator`. When a non-looping
+    /// workload completes, the core falls into the platform's hot-idle
+    /// spin loop, exactly as the P630 does.
+    pub fn new(id: usize, workload: WorkloadSpec, actuator: Box<dyn Actuator>) -> Self {
+        debug_assert!(workload.is_valid(), "invalid workload for core {id}");
+        Core {
+            id,
+            workload,
+            idle_loop: WorkloadSpec::hot_idle(),
+            cursor: PhaseCursor {
+                phase: 0,
+                done_in_phase: 0.0,
+            },
+            finished: false,
+            actuator,
+            counters: CounterDelta::default(),
+            last_sample: CounterDelta::default(),
+            stats: CoreStats::default(),
+            pending_steal_s: 0.0,
+            powered_on: true,
+            loop_count: 0,
+        }
+    }
+
+    /// The drift factor applied to off-core rates this loop iteration:
+    /// `1 + amp·sin(k·φ)` with φ the golden angle — deterministic,
+    /// aperiodic, mean ≈ 1.
+    fn drift_factor(&self) -> f64 {
+        let amp = self.workload.loop_drift_amplitude;
+        if amp == 0.0 || self.finished {
+            1.0
+        } else {
+            const GOLDEN_ANGLE: f64 = 2.399_963_229_728_653;
+            1.0 + amp * (self.loop_count as f64 * GOLDEN_ANGLE).sin()
+        }
+    }
+
+    /// Power the core on or off. A powered-off core retires nothing and
+    /// draws nothing; its workload resumes where it stopped on power-up.
+    pub fn set_powered(&mut self, on: bool) {
+        self.powered_on = on;
+    }
+
+    /// Whether the core is powered on.
+    pub fn is_powered(&self) -> bool {
+        self.powered_on
+    }
+
+    /// Charge `dt` seconds of management-software CPU time to this core.
+    /// The stolen time is consumed at the start of subsequent steps,
+    /// executing a daemon-like profile instead of the workload — this is
+    /// how the fvsst prototype's own overhead (paper Figure 4) shows up
+    /// in workload throughput.
+    pub fn steal(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.pending_steal_s += dt;
+    }
+
+    /// The workload this core was assigned.
+    pub fn workload(&self) -> &WorkloadSpec {
+        &self.workload
+    }
+
+    /// Replace the workload (used by cluster experiments when work
+    /// arrives at a node); resets the cursor, keeps counters and stats.
+    pub fn assign(&mut self, workload: WorkloadSpec) {
+        debug_assert!(workload.is_valid());
+        self.workload = workload;
+        self.cursor = PhaseCursor {
+            phase: 0,
+            done_in_phase: 0.0,
+        };
+        self.finished = false;
+    }
+
+    /// Swap the executing work (workload + progress) with another core —
+    /// the primitive a *work-scheduling* policy uses instead of
+    /// frequency scaling. Counters, stats and the actuator stay with the
+    /// core; the job carries its cursor. `penalty_s` of cold-start time
+    /// (cache refill, migration bookkeeping) is charged to **both**
+    /// cores — the "overhead of moving work from one processor to
+    /// another" the paper's introduction cites against this approach.
+    pub fn swap_work_with(&mut self, other: &mut Core, penalty_s: f64) {
+        std::mem::swap(&mut self.workload, &mut other.workload);
+        std::mem::swap(&mut self.cursor, &mut other.cursor);
+        std::mem::swap(&mut self.finished, &mut other.finished);
+        self.steal(penalty_s);
+        other.steal(penalty_s);
+    }
+
+    /// Whether the core is in the idle loop: either its assigned workload
+    /// *is* the idle loop, or the workload has completed. This is the
+    /// signal the paper's idle-detection mechanism would deliver.
+    pub fn is_idle(&self) -> bool {
+        self.finished || self.workload.is_idle_loop
+    }
+
+    /// Whether a non-looping workload has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The ground-truth profile currently executing (idle loop when
+    /// finished). Experiments use this for oracle baselines and error
+    /// measurement; the scheduler must never touch it.
+    pub fn current_profile(&self) -> &ExecutionProfile {
+        if self.finished {
+            &self.idle_loop.phases[0].profile
+        } else {
+            &self.workload.phases[self.cursor.phase].profile
+        }
+    }
+
+    /// Name of the current phase, for traces.
+    pub fn current_phase_name(&self) -> &str {
+        if self.finished {
+            "idle"
+        } else {
+            &self.workload.phases[self.cursor.phase].name
+        }
+    }
+
+    /// Kind of the current phase (idle counts as `Body` of the idle
+    /// loop).
+    pub fn current_phase_kind(&self) -> PhaseKind {
+        if self.finished {
+            PhaseKind::Body
+        } else {
+            self.workload.phases[self.cursor.phase].kind
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Request an operating frequency (delegates to the actuator).
+    pub fn set_frequency(&mut self, f: FreqMhz, now_s: f64) {
+        self.actuator.request(f, now_s);
+    }
+
+    /// The frequency actually in effect at `now_s`.
+    pub fn effective_frequency(&self, now_s: f64) -> FreqMhz {
+        self.actuator.effective(now_s)
+    }
+
+    /// The most recently requested frequency.
+    pub fn requested_frequency(&self) -> FreqMhz {
+        self.actuator.requested()
+    }
+
+    /// Processor power at `now_s` given the platform's table (zero when
+    /// powered off).
+    pub fn power_w(&self, now_s: f64, table: &fvs_power::FreqPowerTable) -> f64 {
+        if self.powered_on {
+            self.actuator.power_w(now_s, table)
+        } else {
+            0.0
+        }
+    }
+
+    /// Advance the core by `dt` seconds starting at `now_s`, retiring
+    /// instructions at the effective frequency under the platform
+    /// latencies. Handles phase boundaries, body looping, and completion.
+    pub fn step(&mut self, now_s: f64, dt: f64, lat: &MemoryLatencies) {
+        if !self.powered_on {
+            return;
+        }
+        let f = self.actuator.effective(now_s);
+        let mut remaining = dt;
+        if !self.is_idle() {
+            self.stats.busy_s += dt;
+        }
+        // Management-software time runs first, displacing the workload.
+        if self.pending_steal_s > 0.0 {
+            let steal = self.pending_steal_s.min(remaining);
+            let daemon = ExecutionProfile {
+                alpha: 1.0,
+                l1_stall_cycles_per_instr: 0.3,
+                rates: fvs_model::AccessRates {
+                    l2_per_instr: 0.01,
+                    l3_per_instr: 0.002,
+                    mem_per_instr: 0.002,
+                },
+            };
+            let model = CpiModel::from_profile(&daemon, lat);
+            let instr = model.perf_at(f) * steal;
+            self.retire(&daemon, &model, instr, f);
+            self.pending_steal_s -= steal;
+            remaining -= steal;
+        }
+        // Execute across phase boundaries until the tick is used up.
+        while remaining > 1e-15 {
+            let (mut profile, budget_left, in_workload) = if self.finished {
+                (self.idle_loop.phases[0].profile, f64::INFINITY, false)
+            } else {
+                let phase = &self.workload.phases[self.cursor.phase];
+                (
+                    phase.profile,
+                    phase.instructions - self.cursor.done_in_phase,
+                    true,
+                )
+            };
+            // Iteration drift: scale the off-core behaviour of body
+            // phases by this loop's factor.
+            if in_workload
+                && self.workload.loop_drift_amplitude > 0.0
+                && self.workload.phases[self.cursor.phase].kind == PhaseKind::Body
+            {
+                profile.rates = profile.rates.scaled(self.drift_factor());
+            }
+            let model = CpiModel::from_profile(&profile, lat);
+            let rate = model.perf_at(f); // instructions/second
+            let time_to_boundary = budget_left / rate;
+            let run = remaining.min(time_to_boundary);
+            let instr = rate * run;
+            self.retire(&profile, &model, instr, f);
+            if in_workload {
+                self.cursor.done_in_phase += instr;
+                if self.workload.phases[self.cursor.phase].kind == PhaseKind::Body {
+                    self.stats.body_instructions += instr;
+                }
+                if time_to_boundary <= remaining {
+                    self.advance_phase(now_s + (dt - remaining) + time_to_boundary);
+                }
+            }
+            remaining -= run;
+        }
+        self.stats.total_instructions = self.counters.instructions;
+    }
+
+    fn retire(&mut self, profile: &ExecutionProfile, model: &CpiModel, instr: f64, f: FreqMhz) {
+        self.counters.instructions += instr;
+        self.counters.cycles += model.cpi_at(f) * instr;
+        self.counters.l2_accesses += profile.rates.l2_per_instr * instr;
+        self.counters.l3_accesses += profile.rates.l3_per_instr * instr;
+        self.counters.mem_accesses += profile.rates.mem_per_instr * instr;
+    }
+
+    fn advance_phase(&mut self, at_s: f64) {
+        self.cursor.done_in_phase = 0.0;
+        let next = self.cursor.phase + 1;
+        if next < self.workload.phases.len() {
+            self.cursor.phase = next;
+            return;
+        }
+        if self.workload.loop_body {
+            // Restart at the first body phase; init runs once.
+            let first_body = self
+                .workload
+                .phases
+                .iter()
+                .position(|p| p.kind == PhaseKind::Body)
+                .unwrap_or(0);
+            self.cursor.phase = first_body;
+            self.loop_count += 1;
+        } else {
+            self.finished = true;
+            if self.stats.completed_at_s.is_none() {
+                self.stats.completed_at_s = Some(at_s);
+            }
+        }
+    }
+
+    /// Ground-truth cumulative counters (no noise).
+    pub fn counters(&self) -> &CounterDelta {
+        &self.counters
+    }
+
+    /// Counter delta since the previous sample. The machine wraps this
+    /// with noise; the raw version exists for oracle experiments.
+    pub fn sample_raw(&mut self) -> CounterDelta {
+        let d = CounterDelta {
+            instructions: self.counters.instructions - self.last_sample.instructions,
+            cycles: self.counters.cycles - self.last_sample.cycles,
+            l2_accesses: self.counters.l2_accesses - self.last_sample.l2_accesses,
+            l3_accesses: self.counters.l3_accesses - self.last_sample.l3_accesses,
+            mem_accesses: self.counters.mem_accesses - self.last_sample.mem_accesses,
+        };
+        self.last_sample = self.counters;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actuator::DvfsActuator;
+    use fvs_workloads::SyntheticConfig;
+
+    fn core_with(workload: WorkloadSpec, f: FreqMhz) -> Core {
+        Core::new(0, workload, Box::new(DvfsActuator::instant(f)))
+    }
+
+    #[test]
+    fn cpu_bound_core_retires_at_alpha_times_frequency() {
+        // Pure CPU work at alpha=1.3, 1 GHz → 1.3e9 instr/s.
+        let w = WorkloadSpec::hot_idle();
+        let mut c = core_with(w, FreqMhz(1000));
+        let lat = MemoryLatencies::P630;
+        c.step(0.0, 1.0, &lat);
+        let got = c.counters().instructions;
+        assert!((got - 1.3e9).abs() / 1.3e9 < 1e-9, "got {got}");
+        // Cycles equal wall time × frequency.
+        assert!((c.counters().cycles - 1.0e9).abs() / 1.0e9 < 1e-9);
+    }
+
+    #[test]
+    fn workload_completes_and_falls_into_idle() {
+        let w = WorkloadSpec::synthetic(100.0, 1.0e8);
+        let mut c = core_with(w, FreqMhz(1000));
+        let lat = MemoryLatencies::P630;
+        assert!(!c.is_idle());
+        // 1e8 instructions at ~1.2e9 instr/s: finishes well within 1 s.
+        c.step(0.0, 1.0, &lat);
+        assert!(c.is_finished());
+        assert!(c.is_idle());
+        let done_at = c.stats().completed_at_s.unwrap();
+        assert!(done_at > 0.0 && done_at < 0.2, "completed at {done_at}");
+        // Idle loop keeps retiring instructions afterwards.
+        let before = c.counters().instructions;
+        c.step(1.0, 0.1, &lat);
+        assert!(c.counters().instructions > before);
+    }
+
+    #[test]
+    fn looping_workload_never_finishes() {
+        let w = SyntheticConfig::single(50.0, 1.0e6).body_only().looping().build();
+        let mut c = core_with(w, FreqMhz(1000));
+        let lat = MemoryLatencies::P630;
+        for i in 0..100 {
+            c.step(i as f64 * 0.01, 0.01, &lat);
+        }
+        assert!(!c.is_finished());
+        assert!(c.stats().body_instructions > 1.0e6, "looped at least once");
+    }
+
+    #[test]
+    fn slower_clock_stretches_completion_time() {
+        let lat = MemoryLatencies::P630;
+        let run = |mhz: u32| -> f64 {
+            let w = WorkloadSpec::synthetic(100.0, 1.0e8);
+            let mut c = core_with(w, FreqMhz(mhz));
+            let mut t = 0.0;
+            while !c.is_finished() {
+                c.step(t, 0.001, &lat);
+                t += 0.001;
+            }
+            c.stats().completed_at_s.unwrap()
+        };
+        let fast = run(1000);
+        let slow = run(500);
+        let ratio = slow / fast;
+        // The 100%-intensity profile keeps a residual memory rate (paper:
+        // "some memory-related stalls even in the CPU-intensive phase"),
+        // so the slowdown is slightly below the 2.0 clock ratio.
+        assert!(
+            (1.7..2.01).contains(&ratio),
+            "CPU-bound slowdown should be just under 2x, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn memory_bound_completion_barely_stretches() {
+        let lat = MemoryLatencies::P630;
+        let run = |mhz: u32| -> f64 {
+            let w = WorkloadSpec::synthetic(0.0, 1.0e8);
+            let mut c = core_with(w, FreqMhz(mhz));
+            let mut t = 0.0;
+            while !c.is_finished() {
+                c.step(t, 0.001, &lat);
+                t += 0.001;
+            }
+            c.stats().completed_at_s.unwrap()
+        };
+        let ratio = run(500) / run(1000);
+        assert!(ratio < 1.1, "memory-bound slowdown should be small: {ratio}");
+    }
+
+    #[test]
+    fn sample_raw_deltas_reset() {
+        let mut c = core_with(WorkloadSpec::hot_idle(), FreqMhz(1000));
+        let lat = MemoryLatencies::P630;
+        c.step(0.0, 0.01, &lat);
+        let d1 = c.sample_raw();
+        assert!(d1.instructions > 0.0);
+        let d2 = c.sample_raw();
+        assert_eq!(d2.instructions, 0.0, "no work between samples");
+        c.step(0.01, 0.01, &lat);
+        let d3 = c.sample_raw();
+        assert!((d3.instructions - d1.instructions).abs() / d1.instructions < 1e-9);
+    }
+
+    #[test]
+    fn phase_transitions_cross_tick_boundaries() {
+        // Two body phases of 1e6 instructions each; step in large ticks so
+        // both phase transitions happen inside single ticks.
+        let w = SyntheticConfig::two_phase(100.0, 1.0e6, 0.0, 1.0e6)
+            .body_only()
+            .build();
+        let mut c = core_with(w, FreqMhz(1000));
+        let lat = MemoryLatencies::P630;
+        c.step(0.0, 1.0, &lat);
+        assert!(c.is_finished());
+        // Both phases' instructions retired exactly.
+        assert!((c.stats().body_instructions - 2.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn loop_drift_varies_iterations_without_changing_totals() {
+        let lat = MemoryLatencies::P630;
+        // Short looping body so many iterations fit in the run.
+        let base = SyntheticConfig::single(40.0, 2.0e6)
+            .body_only()
+            .looping()
+            .build();
+        let run = |amp: f64| -> Vec<f64> {
+            let mut c = core_with(base.clone().with_drift(amp), FreqMhz(1000));
+            // Per-iteration memory-access rate fingerprints.
+            let mut rates = Vec::new();
+            let mut prev = (0.0, 0.0);
+            for k in 0..200 {
+                c.step(k as f64 * 0.01, 0.01, &lat);
+                let m = c.counters().mem_accesses - prev.0;
+                let i = c.counters().instructions - prev.1;
+                prev = (c.counters().mem_accesses, c.counters().instructions);
+                rates.push(m / i);
+            }
+            rates
+        };
+        let steady = run(0.0);
+        let drifting = run(0.4);
+        let spread = |v: &[f64]| {
+            let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            max - min
+        };
+        assert!(spread(&steady) < 1e-9, "no drift → constant rate");
+        assert!(
+            spread(&drifting) > 0.2 * steady[0],
+            "drift must be visible: spread {}",
+            spread(&drifting)
+        );
+    }
+
+    #[test]
+    fn powered_off_core_does_nothing() {
+        let lat = MemoryLatencies::P630;
+        let mut c = core_with(WorkloadSpec::synthetic(100.0, 1.0e8), FreqMhz(1000));
+        c.set_powered(false);
+        c.step(0.0, 1.0, &lat);
+        assert_eq!(c.counters().instructions, 0.0);
+        assert_eq!(
+            c.power_w(0.0, &fvs_power::FreqPowerTable::p630_table1()),
+            0.0
+        );
+        // Power back on: resumes and completes.
+        c.set_powered(true);
+        c.step(1.0, 1.0, &lat);
+        assert!(c.is_finished());
+    }
+
+    #[test]
+    fn stolen_time_delays_workload_completion() {
+        let lat = MemoryLatencies::P630;
+        let run = |steal_per_tick: f64| -> f64 {
+            let w = WorkloadSpec::synthetic(100.0, 1.0e8);
+            let mut c = core_with(w, FreqMhz(1000));
+            let mut t = 0.0;
+            while !c.is_finished() {
+                c.steal(steal_per_tick);
+                c.step(t, 0.01, &lat);
+                t += 0.01;
+            }
+            c.stats().completed_at_s.unwrap()
+        };
+        let clean = run(0.0);
+        let stolen = run(0.0005); // 5% of each 10 ms tick
+        let slowdown = stolen / clean;
+        assert!(
+            (1.03..1.10).contains(&slowdown),
+            "5% theft should slow completion ~5%, got {slowdown}"
+        );
+    }
+
+    #[test]
+    fn assign_resets_cursor() {
+        let mut c = core_with(WorkloadSpec::synthetic(100.0, 1.0e6), FreqMhz(1000));
+        let lat = MemoryLatencies::P630;
+        c.step(0.0, 1.0, &lat);
+        assert!(c.is_finished());
+        c.assign(WorkloadSpec::synthetic(50.0, 1.0e6));
+        assert!(!c.is_finished());
+        assert!(!c.is_idle());
+    }
+}

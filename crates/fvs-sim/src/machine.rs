@@ -1,0 +1,450 @@
+//! The simulated machine: cores + platform + bookkeeping.
+
+use crate::actuator::{Actuator, DvfsActuator, ThrottleActuator, ThrottlePowerModel};
+use crate::core::Core;
+use crate::noise::NoiseModel;
+use crate::trace::ResidencyHistogram;
+use fvs_model::{CounterDelta, FreqMhz, FrequencySet, MemoryLatencies};
+use fvs_power::{EnergyMeter, FreqPowerTable, VoltageTable};
+use fvs_workloads::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Platform-level configuration shared by all cores.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Memory-hierarchy latencies.
+    pub latencies: MemoryLatencies,
+    /// Frequency→power table (per core).
+    pub power_table: FreqPowerTable,
+    /// Minimum-voltage table.
+    pub voltage_table: VoltageTable,
+    /// Counter sampling noise.
+    pub noise: NoiseModel,
+}
+
+impl MachineConfig {
+    /// The paper's P630 platform.
+    pub fn p630() -> Self {
+        MachineConfig {
+            latencies: MemoryLatencies::P630,
+            power_table: FreqPowerTable::p630_table1(),
+            voltage_table: VoltageTable::p630(),
+            noise: NoiseModel::DEFAULT,
+        }
+    }
+}
+
+/// Which actuator the builder installs per core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ActuatorKind {
+    DvfsInstant,
+    Dvfs { settle_s: f64 },
+    Throttle { power_model: ThrottlePowerModel },
+}
+
+/// Builder for a [`Machine`].
+#[derive(Debug)]
+pub struct MachineBuilder {
+    config: MachineConfig,
+    n_cores: usize,
+    workloads: Vec<Option<WorkloadSpec>>,
+    actuator: ActuatorKind,
+    seed: u64,
+    initial_freq: FreqMhz,
+}
+
+impl MachineBuilder {
+    /// A 4-core P630-like machine; unassigned cores run the hot-idle
+    /// loop, actuators are instantaneous DVFS at 1 GHz.
+    pub fn p630() -> Self {
+        MachineBuilder {
+            config: MachineConfig::p630(),
+            n_cores: 4,
+            workloads: vec![None; 4],
+            actuator: ActuatorKind::DvfsInstant,
+            seed: 0xF0_55_7E,
+            initial_freq: FreqMhz(1000),
+        }
+    }
+
+    /// Change the core count (resets per-core workload assignments that
+    /// fall outside the new range).
+    pub fn cores(mut self, n: usize) -> Self {
+        assert!(n > 0, "a machine needs at least one core");
+        self.n_cores = n;
+        self.workloads.resize(n, None);
+        self
+    }
+
+    /// Assign a workload to core `i`.
+    pub fn workload(mut self, i: usize, spec: WorkloadSpec) -> Self {
+        assert!(i < self.n_cores, "core index {i} out of range");
+        self.workloads[i] = Some(spec);
+        self
+    }
+
+    /// Use DVFS actuators with a settling time.
+    pub fn dvfs_settling(mut self, settle_s: f64) -> Self {
+        self.actuator = ActuatorKind::Dvfs { settle_s };
+        self
+    }
+
+    /// Use fetch-throttle actuators (the paper's prototype mechanism).
+    pub fn throttling(mut self, power_model: ThrottlePowerModel) -> Self {
+        self.actuator = ActuatorKind::Throttle { power_model };
+        self
+    }
+
+    /// Override the sampling-noise model.
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.config.noise = noise;
+        self
+    }
+
+    /// Override the RNG seed (noise reproducibility).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the platform config wholesale.
+    pub fn config(mut self, config: MachineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Initial operating frequency of every core.
+    pub fn initial_frequency(mut self, f: FreqMhz) -> Self {
+        self.initial_freq = f;
+        self
+    }
+
+    /// Materialise the machine.
+    pub fn build(self) -> Machine {
+        let cores = self
+            .workloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let actuator: Box<dyn Actuator> = match self.actuator {
+                    ActuatorKind::DvfsInstant => {
+                        Box::new(DvfsActuator::instant(self.initial_freq))
+                    }
+                    ActuatorKind::Dvfs { settle_s } => {
+                        Box::new(DvfsActuator::new(self.initial_freq, settle_s))
+                    }
+                    ActuatorKind::Throttle { power_model } => {
+                        let mut t = ThrottleActuator::p630(power_model);
+                        t.request(self.initial_freq, 0.0);
+                        Box::new(t)
+                    }
+                };
+                Core::new(i, w.unwrap_or_else(WorkloadSpec::hot_idle), actuator)
+            })
+            .collect::<Vec<_>>();
+        let n = cores.len();
+        Machine {
+            config: self.config,
+            cores,
+            now_s: 0.0,
+            rng: StdRng::seed_from_u64(self.seed),
+            energy: vec![EnergyMeter::new(); n],
+            residency: vec![ResidencyHistogram::new(); n],
+        }
+    }
+}
+
+/// A multi-core machine advancing in discrete time.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    cores: Vec<Core>,
+    now_s: f64,
+    rng: StdRng,
+    energy: Vec<EnergyMeter>,
+    residency: Vec<ResidencyHistogram>,
+}
+
+impl Machine {
+    /// Current simulation time (s).
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Platform configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The discrete frequency set the platform supports.
+    pub fn frequency_set(&self) -> FrequencySet {
+        self.config.power_table.frequency_set()
+    }
+
+    /// Immutable core access.
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Mutable core access (workload reassignment in cluster tests).
+    pub fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i]
+    }
+
+    /// Iterate cores.
+    pub fn cores(&self) -> impl Iterator<Item = &Core> {
+        self.cores.iter()
+    }
+
+    /// Request frequency `f` on core `i`, effective per its actuator.
+    pub fn set_frequency(&mut self, i: usize, f: FreqMhz) {
+        let now = self.now_s;
+        self.cores[i].set_frequency(f, now);
+    }
+
+    /// Set every core to `f`.
+    pub fn set_all_frequencies(&mut self, f: FreqMhz) {
+        for i in 0..self.cores.len() {
+            self.set_frequency(i, f);
+        }
+    }
+
+    /// Effective frequency of core `i` right now.
+    pub fn effective_frequency(&self, i: usize) -> FreqMhz {
+        self.cores[i].effective_frequency(self.now_s)
+    }
+
+    /// Power core `i` up or down (the node power-down baseline).
+    pub fn set_powered(&mut self, i: usize, on: bool) {
+        self.cores[i].set_powered(on);
+    }
+
+    /// Swap the work executing on cores `i` and `j`, charging each
+    /// `penalty_s` of migration cost (see
+    /// [`Core::swap_work_with`]).
+    pub fn swap_workloads(&mut self, i: usize, j: usize, penalty_s: f64) {
+        assert_ne!(i, j, "cannot swap a core with itself");
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let (a, b) = self.cores.split_at_mut(hi);
+        a[lo].swap_work_with(&mut b[0], penalty_s);
+    }
+
+    /// Instantaneous power of core `i` (W).
+    pub fn core_power_w(&self, i: usize) -> f64 {
+        self.cores[i].power_w(self.now_s, &self.config.power_table)
+    }
+
+    /// Instantaneous aggregate processor power (W).
+    pub fn total_power_w(&self) -> f64 {
+        (0..self.cores.len()).map(|i| self.core_power_w(i)).sum()
+    }
+
+    /// The idle signal for core `i` — what the paper's firmware/OS idle
+    /// indicator would deliver to the scheduler.
+    pub fn idle_signal(&self, i: usize) -> bool {
+        self.cores[i].is_idle()
+    }
+
+    /// Per-core accumulated energy.
+    pub fn energy(&self, i: usize) -> &EnergyMeter {
+        &self.energy[i]
+    }
+
+    /// Total energy across cores.
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.iter().map(EnergyMeter::joules).sum()
+    }
+
+    /// Per-core frequency residency (time spent at each effective
+    /// frequency).
+    pub fn residency(&self, i: usize) -> &ResidencyHistogram {
+        &self.residency[i]
+    }
+
+    /// Advance the whole machine by `dt` seconds.
+    pub fn step(&mut self, dt: f64) {
+        debug_assert!(dt > 0.0);
+        let now = self.now_s;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let p = core.power_w(now, &self.config.power_table);
+            self.energy[i].record(p, dt);
+            self.residency[i].add(core.effective_frequency(now), dt);
+            core.step(now, dt, &self.config.latencies);
+        }
+        self.now_s += dt;
+    }
+
+    /// Run unmanaged (no scheduler) for `duration` in `tick`-second
+    /// steps.
+    pub fn run_for(&mut self, duration: f64, tick: f64) {
+        let steps = (duration / tick).round() as u64;
+        for _ in 0..steps {
+            self.step(tick);
+        }
+    }
+
+    /// Sample core `i`'s counters since the last sample, with platform
+    /// noise applied — the scheduler-visible observation.
+    pub fn sample(&mut self, i: usize) -> CounterDelta {
+        let raw = self.cores[i].sample_raw();
+        self.config.noise.perturb(&raw, &mut self.rng)
+    }
+
+    /// Sample every core.
+    pub fn sample_all(&mut self) -> Vec<CounterDelta> {
+        (0..self.cores.len()).map(|i| self.sample(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvs_workloads::SyntheticConfig;
+
+    #[test]
+    fn builder_defaults_to_hot_idle() {
+        let m = MachineBuilder::p630().build();
+        assert_eq!(m.num_cores(), 4);
+        for i in 0..4 {
+            assert!(m.idle_signal(i));
+            assert_eq!(m.effective_frequency(i), FreqMhz(1000));
+        }
+    }
+
+    #[test]
+    fn full_speed_power_matches_paper_motivation() {
+        // Four 140 W CPUs flat out: the motivating example's 560 W of
+        // processor power.
+        let m = MachineBuilder::p630().build();
+        assert_eq!(m.total_power_w(), 560.0);
+    }
+
+    #[test]
+    fn frequency_changes_reduce_power() {
+        let mut m = MachineBuilder::p630().build();
+        m.set_all_frequencies(FreqMhz(600));
+        assert_eq!(m.total_power_w(), 4.0 * 48.0);
+        m.set_frequency(0, FreqMhz(1000));
+        assert_eq!(m.total_power_w(), 140.0 + 3.0 * 48.0);
+    }
+
+    #[test]
+    fn energy_accumulates_with_time() {
+        let mut m = MachineBuilder::p630().build();
+        m.run_for(1.0, 0.01);
+        // 4 cores at 140 W for 1 s = 560 J.
+        assert!((m.total_energy_j() - 560.0).abs() < 1e-6);
+        assert!((m.energy(0).joules() - 140.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn residency_tracks_frequency_time() {
+        let mut m = MachineBuilder::p630().build();
+        m.run_for(0.5, 0.01);
+        m.set_all_frequencies(FreqMhz(500));
+        m.run_for(0.5, 0.01);
+        let h = m.residency(0);
+        assert!((h.fraction_at(FreqMhz(1000)) - 0.5).abs() < 1e-9);
+        assert!((h.fraction_at(FreqMhz(500)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_is_noisy_but_close() {
+        let mut m = MachineBuilder::p630()
+            .workload(0, SyntheticConfig::single(50.0, 1.0e12).body_only().build())
+            .build();
+        m.run_for(0.1, 0.01);
+        let d = m.sample(0);
+        let truth = m.core(0).counters();
+        // One sample over the whole run: ratio within noise bounds.
+        let rel = (d.instructions - truth.instructions).abs() / truth.instructions;
+        assert!(rel <= 0.015 + 1e-9, "rel error {rel}");
+        assert!(d.instructions > 0.0);
+    }
+
+    #[test]
+    fn noiseless_machine_samples_exactly() {
+        let mut m = MachineBuilder::p630().noise(NoiseModel::NONE).build();
+        m.run_for(0.1, 0.01);
+        let d = m.sample(0);
+        // Hot idle at 1 GHz, IPC 1.3 → 1.3e8 instructions in 0.1 s.
+        assert!((d.instructions - 1.3e8).abs() / 1.3e8 < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut m = MachineBuilder::p630()
+                .workload(0, WorkloadSpec::synthetic(30.0, 1.0e9))
+                .seed(77)
+                .build();
+            m.run_for(0.2, 0.01);
+            m.sample(0)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn swap_workloads_moves_jobs_with_progress() {
+        // The memory-bound job is kept small: at ~1.5e7 instructions/s
+        // it dominates the wall-clock either way.
+        let mut m = MachineBuilder::p630()
+            .workload(0, WorkloadSpec::synthetic(100.0, 1.0e9))
+            .workload(1, WorkloadSpec::synthetic(0.0, 2.0e8))
+            .build();
+        m.run_for(0.1, 0.01);
+        let done0 = m.core(0).stats().body_instructions;
+        let name0 = m.core(0).workload().name.clone();
+        m.swap_workloads(0, 1, 0.0);
+        // The jobs changed places, carrying their cursors.
+        assert_eq!(m.core(1).workload().name, name0);
+        // Core 1 now runs the CPU-bound job: after the remaining budget
+        // is retired, total body work across both cores equals both
+        // jobs' budgets, with no instruction lost in the move.
+        m.run_for(30.0, 0.01);
+        let total =
+            m.core(0).stats().body_instructions + m.core(1).stats().body_instructions;
+        assert!((total - 1.2e9).abs() < 1.0, "total {total}, done0 was {done0}");
+    }
+
+    #[test]
+    fn swap_penalty_delays_both_cores() {
+        let run = |penalty: f64| -> f64 {
+            let mut m = MachineBuilder::p630()
+                .workload(0, WorkloadSpec::synthetic(100.0, 5.0e8))
+                .workload(1, WorkloadSpec::synthetic(100.0, 5.0e8))
+                .build();
+            m.run_for(0.1, 0.01);
+            m.swap_workloads(0, 1, penalty);
+            for _ in 0..100_000 {
+                if m.core(0).is_finished() && m.core(1).is_finished() {
+                    break;
+                }
+                m.step(0.01);
+            }
+            m.core(0)
+                .stats()
+                .completed_at_s
+                .unwrap()
+                .max(m.core(1).stats().completed_at_s.unwrap())
+        };
+        let free = run(0.0);
+        let costly = run(0.05);
+        assert!(costly > free + 0.03, "{costly} vs {free}");
+    }
+
+    #[test]
+    fn throttled_machine_quantises_frequencies() {
+        let mut m = MachineBuilder::p630()
+            .throttling(ThrottlePowerModel::AsDvfs)
+            .build();
+        m.set_all_frequencies(FreqMhz(700));
+        assert_eq!(m.effective_frequency(0), FreqMhz(687));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the simulation substrate's conservation and
+//! consistency invariants.
+
+use fvs_model::{CpiModel, FreqMhz, MemoryLatencies};
+use fvs_sim::{MachineBuilder, NoiseModel};
+use fvs_workloads::{intensity_profile, SyntheticConfig, WorkloadSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Counter consistency: on a noiseless machine, the sampled window's
+    /// observed CPI equals the analytic CPI of the executing profile at
+    /// the running frequency.
+    #[test]
+    fn sampled_cpi_matches_analytic_model(
+        intensity in 0.0f64..100.0,
+        mhz in prop::sample::select(vec![250u32, 500, 750, 1000]),
+    ) {
+        let spec = SyntheticConfig::single(intensity, 1.0e15)
+            .body_only()
+            .looping()
+            .build();
+        let mut m = MachineBuilder::p630()
+            .cores(1)
+            .workload(0, spec)
+            .noise(NoiseModel::NONE)
+            .initial_frequency(FreqMhz(mhz))
+            .build();
+        m.run_for(0.1, 0.01);
+        let d = m.sample(0);
+        let truth = CpiModel::from_profile(&intensity_profile(intensity), &MemoryLatencies::P630);
+        let observed_cpi = d.cycles / d.instructions;
+        let expected = truth.cpi_at(FreqMhz(mhz));
+        prop_assert!((observed_cpi - expected).abs() / expected < 1e-9);
+    }
+
+    /// Instruction conservation: a fixed-budget workload retires exactly
+    /// its budget, no matter the tick size or frequency.
+    #[test]
+    fn instruction_budget_is_conserved(
+        intensity in 0.0f64..100.0,
+        mhz in prop::sample::select(vec![250u32, 650, 1000]),
+        tick_ms in 1u32..20,
+    ) {
+        let budget = 5.0e7;
+        let spec = SyntheticConfig::single(intensity, budget).body_only().build();
+        let mut m = MachineBuilder::p630()
+            .cores(1)
+            .workload(0, spec)
+            .initial_frequency(FreqMhz(mhz))
+            .build();
+        let tick = f64::from(tick_ms) * 1e-3;
+        for _ in 0..100_000 {
+            if m.core(0).is_finished() {
+                break;
+            }
+            m.step(tick);
+        }
+        prop_assert!(m.core(0).is_finished());
+        let done = m.core(0).stats().body_instructions;
+        prop_assert!((done - budget).abs() < 1.0, "retired {done}");
+    }
+
+    /// Tick-size invariance: total instructions over a fixed horizon are
+    /// the same whether stepped coarsely or finely.
+    #[test]
+    fn stepping_granularity_does_not_change_execution(
+        intensity in 0.0f64..100.0,
+    ) {
+        let mk = || {
+            MachineBuilder::p630()
+                .cores(1)
+                .workload(
+                    0,
+                    SyntheticConfig::single(intensity, 1.0e15).body_only().looping().build(),
+                )
+                .noise(NoiseModel::NONE)
+                .build()
+        };
+        let mut coarse = mk();
+        coarse.run_for(0.4, 0.1);
+        let mut fine = mk();
+        fine.run_for(0.4, 0.001);
+        let a = coarse.core(0).counters().instructions;
+        let b = fine.core(0).counters().instructions;
+        prop_assert!((a - b).abs() / b < 1e-9, "{a} vs {b}");
+    }
+
+    /// Residency conservation: per-core residency weights sum to the
+    /// machine's elapsed time.
+    #[test]
+    fn residency_sums_to_elapsed_time(
+        switches in prop::collection::vec(prop::sample::select(vec![250u32, 500, 750, 1000]), 1..8),
+    ) {
+        let mut m = MachineBuilder::p630().build();
+        for f in &switches {
+            m.set_all_frequencies(FreqMhz(*f));
+            m.run_for(0.05, 0.01);
+        }
+        let elapsed = m.now_s();
+        for i in 0..m.num_cores() {
+            prop_assert!((m.residency(i).total() - elapsed).abs() < 1e-9);
+        }
+    }
+
+    /// Energy equals the integral of the per-tick power: switching
+    /// frequencies mid-run never loses or invents joules.
+    #[test]
+    fn energy_matches_power_integral(
+        freqs in prop::collection::vec(prop::sample::select(vec![250u32, 600, 1000]), 1..6),
+    ) {
+        let mut m = MachineBuilder::p630().cores(1).build();
+        let mut expected = 0.0;
+        for f in &freqs {
+            m.set_frequency(0, FreqMhz(*f));
+            let p = m.core_power_w(0);
+            m.run_for(0.1, 0.01);
+            expected += p * 0.1;
+        }
+        prop_assert!((m.energy(0).joules() - expected).abs() < 1e-6);
+    }
+
+    /// Noise never changes ground truth: the core's own counters are
+    /// identical across noise seeds; only samples differ.
+    #[test]
+    fn noise_affects_samples_not_truth(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let mk = |seed| {
+            let mut m = MachineBuilder::p630()
+                .cores(1)
+                .workload(0, WorkloadSpec::synthetic(37.0, 1.0e12).looping())
+                .seed(seed)
+                .build();
+            m.run_for(0.1, 0.01);
+            (m.core(0).counters().instructions, m.sample(0).instructions)
+        };
+        let (truth_a, _) = mk(seed_a);
+        let (truth_b, _) = mk(seed_b);
+        prop_assert_eq!(truth_a, truth_b);
+    }
+}

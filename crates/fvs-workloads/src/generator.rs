@@ -1,0 +1,207 @@
+//! Randomised workload mixes for cluster-scale experiments.
+//!
+//! The paper argues (section 4.2) that clusters exhibit *stable workload
+//! diversity*: tiers (web front-ends, application logic, databases) give
+//! different nodes persistently different memory intensities, and the
+//! lack of migration keeps it that way. This module generates such
+//! placements reproducibly from a seed.
+
+use crate::spec::WorkloadSpec;
+use crate::synthetic::SyntheticConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A cluster tier with a characteristic CPU-intensity band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tier {
+    /// Web front-end: protocol parsing and string handling — moderately
+    /// CPU-intensive.
+    Web,
+    /// Application/business logic: the most CPU-intensive tier.
+    App,
+    /// Database: index walks and buffer-pool misses — memory-intensive.
+    Db,
+}
+
+impl Tier {
+    /// The `(low, high)` CPU-intensity band the tier draws from.
+    pub fn intensity_band(&self) -> (f64, f64) {
+        match self {
+            Tier::Web => (55.0, 80.0),
+            Tier::App => (75.0, 100.0),
+            Tier::Db => (5.0, 35.0),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tier::Web => "web",
+            Tier::App => "app",
+            Tier::Db => "db",
+        }
+    }
+}
+
+/// Configuration for a generated workload mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixConfig {
+    /// Body instructions per generated workload.
+    pub instructions: f64,
+    /// Number of body phases per workload.
+    pub phases: usize,
+    /// Whether generated workloads loop forever (server processes).
+    pub looping: bool,
+}
+
+impl Default for MixConfig {
+    fn default() -> Self {
+        MixConfig {
+            instructions: 5.0e9,
+            phases: 2,
+            looping: true,
+        }
+    }
+}
+
+/// Seeded generator of synthetic workloads.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    rng: StdRng,
+    config: MixConfig,
+}
+
+impl WorkloadGenerator {
+    /// Generator with a fixed seed for reproducible experiments.
+    pub fn new(seed: u64, config: MixConfig) -> Self {
+        WorkloadGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// One workload whose phases draw intensities from `tier`'s band.
+    pub fn for_tier(&mut self, tier: Tier) -> WorkloadSpec {
+        let (lo, hi) = tier.intensity_band();
+        self.with_band(lo, hi, tier.name())
+    }
+
+    /// One workload with phase intensities drawn uniformly from
+    /// `[lo, hi]`.
+    pub fn with_band(&mut self, lo: f64, hi: f64, label: &str) -> WorkloadSpec {
+        let per_phase = self.config.instructions / self.config.phases as f64;
+        let phases: Vec<(f64, f64)> = (0..self.config.phases)
+            .map(|_| {
+                let intensity = self.rng.gen_range(lo..=hi);
+                // Vary phase lengths ±40% around the mean.
+                let jitter = self.rng.gen_range(0.6..=1.4);
+                (intensity, per_phase * jitter)
+            })
+            .collect();
+        let mut cfg = SyntheticConfig {
+            phases,
+            with_init: false,
+            with_exit: false,
+            init_instructions: 0.0,
+            exit_instructions: 0.0,
+            loop_body: self.config.looping,
+        };
+        if !self.config.looping {
+            cfg.with_init = true;
+            cfg.with_exit = true;
+            cfg.init_instructions = self.config.instructions * 0.01;
+            cfg.exit_instructions = self.config.instructions * 0.005;
+        }
+        let mut w = cfg.build();
+        w.name = format!("{label}-{}", w.name);
+        w
+    }
+
+    /// A classic three-tier placement over `nodes` nodes: the first third
+    /// web, the middle third app, the rest database — the paper's "assign
+    /// work in a cluster by tiers" diversity scenario.
+    pub fn three_tier_placement(&mut self, nodes: usize) -> Vec<(Tier, WorkloadSpec)> {
+        (0..nodes)
+            .map(|i| {
+                let tier = match 3 * i / nodes.max(1) {
+                    0 => Tier::Web,
+                    1 => Tier::App,
+                    _ => Tier::Db,
+                };
+                (tier, self.for_tier(tier))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvs_model::{CpiModel, FreqMhz, MemoryLatencies};
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let mut a = WorkloadGenerator::new(7, MixConfig::default());
+        let mut b = WorkloadGenerator::new(7, MixConfig::default());
+        assert_eq!(a.for_tier(Tier::Web), b.for_tier(Tier::Web));
+        assert_eq!(a.for_tier(Tier::Db), b.for_tier(Tier::Db));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = WorkloadGenerator::new(1, MixConfig::default());
+        let mut b = WorkloadGenerator::new(2, MixConfig::default());
+        assert_ne!(a.for_tier(Tier::App), b.for_tier(Tier::App));
+    }
+
+    #[test]
+    fn db_tier_is_more_memory_bound_than_app_tier() {
+        let lat = MemoryLatencies::P630;
+        let mut g = WorkloadGenerator::new(42, MixConfig::default());
+        let sat = |w: &WorkloadSpec| -> f64 {
+            // average perf retention at half clock across phases
+            w.phases
+                .iter()
+                .map(|p| {
+                    let m = CpiModel::from_profile(&p.profile, &lat);
+                    m.perf_at(FreqMhz(500)) / m.perf_at(FreqMhz(1000))
+                })
+                .sum::<f64>()
+                / w.phases.len() as f64
+        };
+        let db = sat(&g.for_tier(Tier::Db));
+        let app = sat(&g.for_tier(Tier::App));
+        assert!(
+            db > app,
+            "db retention {db} should exceed app retention {app}"
+        );
+    }
+
+    #[test]
+    fn three_tier_placement_covers_all_tiers() {
+        let mut g = WorkloadGenerator::new(3, MixConfig::default());
+        let placement = g.three_tier_placement(9);
+        assert_eq!(placement.len(), 9);
+        let webs = placement.iter().filter(|(t, _)| *t == Tier::Web).count();
+        let apps = placement.iter().filter(|(t, _)| *t == Tier::App).count();
+        let dbs = placement.iter().filter(|(t, _)| *t == Tier::Db).count();
+        assert_eq!((webs, apps, dbs), (3, 3, 3));
+    }
+
+    #[test]
+    fn looping_config_produces_looping_workloads() {
+        let mut g = WorkloadGenerator::new(5, MixConfig::default());
+        assert!(g.for_tier(Tier::Web).loop_body);
+        let mut once = WorkloadGenerator::new(
+            5,
+            MixConfig {
+                looping: false,
+                ..MixConfig::default()
+            },
+        );
+        let w = once.for_tier(Tier::Web);
+        assert!(!w.loop_body);
+        assert!(w.phases.len() > 2, "batch workloads get init/exit phases");
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload models for the frequency/voltage scheduling experiments.
+//!
+//! Three families, mirroring the paper's section 7.3:
+//!
+//! - [`synthetic`] — the adjustable synthetic benchmark of Kotla et al.:
+//!   a single-threaded program whose ratio of memory-intensive to
+//!   CPU-intensive work is a parameter (0–100 % "CPU intensity"), with
+//!   configurable phases plus the initialization and termination phases
+//!   whose prediction error the paper's Table 2 calls out.
+//! - [`apps`] — phase-profile models of the four real applications the
+//!   paper studies: `gzip` and `gap` (CPU-intensive, SPEC CPU2000), `mcf`
+//!   (memory-intensive, SPEC CPU2000) and `health` (memory-intensive,
+//!   Olden). We do not execute the programs; we reproduce their
+//!   counter-visible behaviour — per-phase `α` and memory access rates
+//!   calibrated so saturation frequencies and frequency-residency
+//!   histograms match the paper's Figure 8 / Table 3 shape.
+//! - [`generator`] — randomised workload mixes for cluster-scale
+//!   experiments (tiered web/app/db placements and arbitrary diversity
+//!   sweeps).
+//!
+//! A workload is a sequence of [`PhaseSpec`]s, each a fixed instruction
+//! budget executed under one [`fvs_model::ExecutionProfile`]. Because
+//! phases are denominated in *instructions*, slowing the clock stretches
+//! a phase's wall-clock footprint exactly as it would on hardware.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod generator;
+pub mod spec;
+pub mod synthetic;
+
+pub use apps::{AppBenchmark, APP_BENCHMARKS};
+pub use generator::{MixConfig, Tier, WorkloadGenerator};
+pub use spec::{PhaseKind, PhaseSpec, WorkloadSpec};
+pub use synthetic::{intensity_profile, SyntheticConfig};

@@ -1,0 +1,208 @@
+//! Phase and workload specifications.
+
+use fvs_model::ExecutionProfile;
+use serde::{Deserialize, Serialize};
+
+/// What a phase represents, for reporting and for error analyses that
+/// exclude startup/teardown (paper Table 2's `CPU3*` column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Program initialization (memory allocation, file reads).
+    Init,
+    /// Steady-state body work.
+    Body,
+    /// Program termination (result write-out, frees).
+    Exit,
+}
+
+/// One execution phase: a fixed budget of instructions retired under a
+/// single counter-visible behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Human-readable label for traces and logs.
+    pub name: String,
+    /// Phase classification.
+    pub kind: PhaseKind,
+    /// Ground-truth execution behaviour during the phase.
+    pub profile: ExecutionProfile,
+    /// Instructions the phase retires before the workload advances.
+    pub instructions: f64,
+}
+
+impl PhaseSpec {
+    /// A body phase.
+    pub fn body(name: impl Into<String>, profile: ExecutionProfile, instructions: f64) -> Self {
+        PhaseSpec {
+            name: name.into(),
+            kind: PhaseKind::Body,
+            profile,
+            instructions,
+        }
+    }
+
+    /// An init phase.
+    pub fn init(profile: ExecutionProfile, instructions: f64) -> Self {
+        PhaseSpec {
+            name: "init".to_string(),
+            kind: PhaseKind::Init,
+            profile,
+            instructions,
+        }
+    }
+
+    /// An exit phase.
+    pub fn exit(profile: ExecutionProfile, instructions: f64) -> Self {
+        PhaseSpec {
+            name: "exit".to_string(),
+            kind: PhaseKind::Exit,
+            profile,
+            instructions,
+        }
+    }
+
+    /// Validity for simulator ingestion.
+    pub fn is_valid(&self) -> bool {
+        self.profile.is_valid() && self.instructions.is_finite() && self.instructions > 0.0
+    }
+}
+
+/// A complete workload: an ordered list of phases, optionally looping the
+/// body phases forever (servers run until stopped; batch jobs run once).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload label for traces.
+    pub name: String,
+    /// The phases, in execution order.
+    pub phases: Vec<PhaseSpec>,
+    /// When true, body phases repeat after the last one finishes (init
+    /// phases run once; exit phases are skipped while looping).
+    pub loop_body: bool,
+    /// Marks the hot-idle loop so idle detection can be modelled: the
+    /// firmware/OS "this processor is idle" signal of paper section 5.
+    pub is_idle_loop: bool,
+    /// Iteration-to-iteration drift of the memory behaviour: on the
+    /// k-th loop of the body, all off-core access rates are scaled by
+    /// `1 + amplitude·sin(k·φ)` (φ = the golden angle, so the sequence
+    /// never repeats). Real programs' phases are not identical across
+    /// iterations — input-dependent working sets drift — and this is the
+    /// prediction stressor beyond sampling noise. `0.0` disables drift.
+    pub loop_drift_amplitude: f64,
+}
+
+impl WorkloadSpec {
+    /// A workload from explicit phases, run once.
+    pub fn new(name: impl Into<String>, phases: Vec<PhaseSpec>) -> Self {
+        WorkloadSpec {
+            name: name.into(),
+            phases,
+            loop_body: false,
+            is_idle_loop: false,
+            loop_drift_amplitude: 0.0,
+        }
+    }
+
+    /// Enable iteration-to-iteration drift (see
+    /// [`WorkloadSpec::loop_drift_amplitude`]).
+    pub fn with_drift(mut self, amplitude: f64) -> Self {
+        debug_assert!((0.0..1.0).contains(&amplitude));
+        self.loop_drift_amplitude = amplitude;
+        self
+    }
+
+    /// Make the body phases repeat indefinitely.
+    pub fn looping(mut self) -> Self {
+        self.loop_body = true;
+        self
+    }
+
+    /// The Power4+ "hot idle" loop (paper §7.1): a tight CPU-bound spin
+    /// with an observed IPC of about 1.3 and essentially no off-core
+    /// traffic — the pathological input that motivates explicit idle
+    /// detection, because to the predictor it looks like important
+    /// CPU-bound work that deserves `f_max`.
+    pub fn hot_idle() -> Self {
+        let profile = ExecutionProfile::cpu_bound(1.3);
+        WorkloadSpec {
+            name: "hot-idle".to_string(),
+            phases: vec![PhaseSpec::body("spin", profile, 1.0e12)],
+            loop_body: true,
+            is_idle_loop: true,
+            loop_drift_amplitude: 0.0,
+        }
+    }
+
+    /// Shorthand used across examples/tests: a single-phase synthetic
+    /// workload at the given CPU intensity (0–100) and instruction budget,
+    /// without init/exit phases.
+    pub fn synthetic(cpu_intensity: f64, instructions: f64) -> Self {
+        let profile = crate::synthetic::intensity_profile(cpu_intensity);
+        WorkloadSpec::new(
+            format!("synthetic-{cpu_intensity:.0}"),
+            vec![PhaseSpec::body(
+                format!("c{cpu_intensity:.0}"),
+                profile,
+                instructions,
+            )],
+        )
+    }
+
+    /// Total instructions across one pass of all phases.
+    pub fn total_instructions(&self) -> f64 {
+        self.phases.iter().map(|p| p.instructions).sum()
+    }
+
+    /// Instructions in body phases only.
+    pub fn body_instructions(&self) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.kind == PhaseKind::Body)
+            .map(|p| p.instructions)
+            .sum()
+    }
+
+    /// Validity for simulator ingestion.
+    pub fn is_valid(&self) -> bool {
+        !self.phases.is_empty() && self.phases.iter().all(PhaseSpec::is_valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_idle_looks_cpu_bound() {
+        let w = WorkloadSpec::hot_idle();
+        assert!(w.is_idle_loop);
+        assert!(w.loop_body);
+        assert!(w.is_valid());
+        let p = &w.phases[0].profile;
+        assert_eq!(p.rates.mem_per_instr, 0.0);
+        assert!((p.alpha - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_sum_phases() {
+        let prof = ExecutionProfile::cpu_bound(1.0);
+        let w = WorkloadSpec::new(
+            "w",
+            vec![
+                PhaseSpec::init(prof, 100.0),
+                PhaseSpec::body("b1", prof, 200.0),
+                PhaseSpec::body("b2", prof, 300.0),
+                PhaseSpec::exit(prof, 50.0),
+            ],
+        );
+        assert_eq!(w.total_instructions(), 650.0);
+        assert_eq!(w.body_instructions(), 500.0);
+    }
+
+    #[test]
+    fn validity_checks() {
+        let prof = ExecutionProfile::cpu_bound(1.0);
+        assert!(!WorkloadSpec::new("empty", vec![]).is_valid());
+        let bad = PhaseSpec::body("b", prof, 0.0);
+        assert!(!bad.is_valid());
+        assert!(!WorkloadSpec::new("w", vec![bad]).is_valid());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based integration tests: scheduler invariants over random
+//! workloads, budgets and platform states.
+
+use fvsst::model::{CpiModel, FreqMhz};
+use fvsst::power::{FreqPowerTable, VoltageTable};
+use fvsst::sched::{FvsstAlgorithm, ProcInput};
+use proptest::prelude::*;
+
+fn arb_proc() -> impl Strategy<Value = ProcInput> {
+    (
+        0.3f64..4.0,     // cpi0
+        0.0f64..40.0e-9, // M
+        any::<bool>(),   // idle
+        prop::sample::select(vec![250u32, 500, 650, 800, 1000]),
+        any::<bool>(), // has model
+    )
+        .prop_map(|(cpi0, m, idle, cur, has_model)| ProcInput {
+            model: has_model.then(|| CpiModel::from_components(cpi0, m)),
+            idle,
+            current: FreqMhz(cur),
+        })
+}
+
+fn table_power(freqs: &[FreqMhz]) -> f64 {
+    let t = FreqPowerTable::p630_table1();
+    freqs.iter().map(|f| t.power_interpolated(*f)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Feasible decisions always respect the budget; infeasible ones pin
+    /// everything at f_min.
+    #[test]
+    fn budget_respected_or_floored(
+        procs in prop::collection::vec(arb_proc(), 1..12),
+        budget in 5.0f64..2000.0,
+    ) {
+        let alg = FvsstAlgorithm::p630();
+        let d = alg.schedule(&procs, budget);
+        prop_assert!((d.predicted_power_w - table_power(&d.freqs)).abs() < 1e-9);
+        if d.feasible {
+            prop_assert!(d.predicted_power_w <= budget + 1e-9);
+        } else {
+            prop_assert!(d.freqs.iter().all(|f| *f == FreqMhz(250)));
+            prop_assert!(d.predicted_power_w > budget);
+        }
+    }
+
+    /// Every assigned frequency is schedulable and every voltage is the
+    /// table minimum for it.
+    #[test]
+    fn frequencies_in_set_and_voltages_minimal(
+        procs in prop::collection::vec(arb_proc(), 1..12),
+        budget in 5.0f64..2000.0,
+    ) {
+        let alg = FvsstAlgorithm::p630();
+        let set = alg.freq_set.clone();
+        let volts = VoltageTable::p630();
+        let d = alg.schedule(&procs, budget);
+        for (f, v) in d.freqs.iter().zip(&d.voltages) {
+            prop_assert!(set.contains(*f));
+            prop_assert!((v - volts.min_voltage(*f)).abs() < 1e-12);
+        }
+    }
+
+    /// Final frequencies never exceed the ε-desired ones (pass 2 only
+    /// demotes), and with an infinite budget they are exactly equal.
+    #[test]
+    fn budget_pass_only_demotes(
+        procs in prop::collection::vec(arb_proc(), 1..12),
+        budget in 5.0f64..2000.0,
+    ) {
+        let alg = FvsstAlgorithm::p630();
+        let constrained = alg.schedule(&procs, budget);
+        for (f, want) in constrained.freqs.iter().zip(&constrained.desired) {
+            prop_assert!(f <= want);
+        }
+        let free = alg.schedule(&procs, f64::INFINITY);
+        prop_assert_eq!(free.freqs, free.desired);
+        prop_assert_eq!(free.demotions, 0);
+    }
+
+    /// Monotonicity: a smaller budget never yields more predicted power.
+    #[test]
+    fn power_monotone_in_budget(
+        procs in prop::collection::vec(arb_proc(), 1..10),
+        b1 in 5.0f64..2000.0,
+        b2 in 5.0f64..2000.0,
+    ) {
+        let alg = FvsstAlgorithm::p630();
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let d_lo = alg.schedule(&procs, lo);
+        let d_hi = alg.schedule(&procs, hi);
+        prop_assert!(d_lo.predicted_power_w <= d_hi.predicted_power_w + 1e-9);
+    }
+
+    /// Determinism: the same inputs give the same decision.
+    #[test]
+    fn scheduling_is_deterministic(
+        procs in prop::collection::vec(arb_proc(), 1..10),
+        budget in 5.0f64..2000.0,
+    ) {
+        let alg = FvsstAlgorithm::p630();
+        prop_assert_eq!(alg.schedule(&procs, budget), alg.schedule(&procs, budget));
+    }
+
+    /// Idle processors are pinned at f_min whenever idle detection is on,
+    /// regardless of what their (stale) model claims.
+    #[test]
+    fn idle_always_pinned(
+        cpi0 in 0.3f64..4.0,
+        budget in 100.0f64..2000.0,
+    ) {
+        let alg = FvsstAlgorithm::p630();
+        let p = ProcInput {
+            model: Some(CpiModel::from_components(cpi0, 0.0)),
+            idle: true,
+            current: FreqMhz(1000),
+        };
+        let d = alg.schedule(&[p], budget);
+        prop_assert_eq!(d.freqs[0], FreqMhz(250));
+    }
+
+    /// The ε-pass result is per-processor independent: scheduling
+    /// processors together (unconstrained) equals scheduling them alone.
+    #[test]
+    fn pass1_is_per_processor(
+        procs in prop::collection::vec(arb_proc(), 2..8),
+    ) {
+        let alg = FvsstAlgorithm::p630();
+        let joint = alg.schedule(&procs, f64::INFINITY);
+        for (i, p) in procs.iter().enumerate() {
+            let solo = alg.schedule(std::slice::from_ref(p), f64::INFINITY);
+            prop_assert_eq!(joint.freqs[i], solo.freqs[0]);
+        }
+    }
+}
+
+/// End-to-end property: random diverse machines under random budgets
+/// always end up compliant (or floored) after a second of simulation.
+mod end_to_end {
+    use super::*;
+    use fvsst::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn random_machines_converge_to_compliance(
+            intensities in prop::collection::vec(0.0f64..100.0, 4),
+            budget in 40.0f64..560.0,
+            seed in any::<u64>(),
+        ) {
+            let mut b = MachineBuilder::p630().seed(seed);
+            for (i, c) in intensities.iter().enumerate() {
+                b = b.workload(i, WorkloadSpec::synthetic(*c, 1.0e12).looping());
+            }
+            let config = SchedulerConfig::p630()
+                .with_budget(BudgetSchedule::constant(budget));
+            let mut sim = ScheduledSimulation::new(b.build(), config).without_trace();
+            let report = sim.run_for(1.0);
+            prop_assert!(
+                report.final_power_w <= budget + 1e-9,
+                "power {} over budget {budget}",
+                report.final_power_w
+            );
+        }
+    }
+}
