@@ -1,12 +1,21 @@
 //! Micro-benchmarks of the scheduler hot path: the costs a production
 //! deployment pays every dispatch tick and every scheduling period.
+//!
+//! `schedule_two_pass` vs `schedule_reference` measures the tentpole
+//! optimisation: the heap-based incremental pass 2 (`O(d log n)`)
+//! against the naive full-rescan loop (`O(d·n)`), under a demotion-heavy
+//! budget drop where pass 2 dominates. Run
+//! `cargo run -p fvs-bench --bin collect_bench` afterwards to gather the
+//! medians into `BENCH_scheduler.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fvs_cluster::{ClusterConfig, ClusterSim};
 use fvs_model::{
     counters::synthesize_delta, CpiModel, Estimator, FreqMhz, FrequencySet, MemoryLatencies,
     PerfLossTable,
 };
-use fvs_sched::{FvsstAlgorithm, ProcInput};
+use fvs_power::BudgetSchedule;
+use fvs_sched::{FvsstAlgorithm, ProcInput, ScheduleScratch};
 use fvs_sim::MachineBuilder;
 use fvs_workloads::WorkloadSpec;
 use std::hint::black_box;
@@ -28,24 +37,52 @@ fn bench_perf_loss_table(c: &mut Criterion) {
     });
 }
 
+/// The workload mix used by the scheduling-scale benchmarks: varied
+/// models, a sprinkle of idle and unmodelled processors.
+fn proc_mix(n_procs: usize) -> Vec<ProcInput> {
+    (0..n_procs)
+        .map(|i| ProcInput {
+            model: (i % 17 != 0).then(|| {
+                CpiModel::from_components(1.0 + (i % 7) as f64 * 0.1, (i % 11) as f64 * 1.0e-9)
+            }),
+            idle: i % 13 == 0,
+            current: FreqMhz(1000),
+        })
+        .collect()
+}
+
+/// A budget-drop scenario where pass 2 dominates: just above the
+/// 9 W/processor floor, so nearly every processor walks most of the way
+/// down the frequency table (~14 demotion steps each).
+fn demotion_heavy_budget(n_procs: usize) -> f64 {
+    n_procs as f64 * 10.0
+}
+
 fn bench_schedule_scaling(c: &mut Criterion) {
     let alg = FvsstAlgorithm::p630();
     let mut g = c.benchmark_group("schedule_two_pass");
     for n_procs in [4usize, 16, 64, 256, 1024] {
-        let procs: Vec<ProcInput> = (0..n_procs)
-            .map(|i| ProcInput {
-                model: Some(CpiModel::from_components(
-                    1.0 + (i % 7) as f64 * 0.1,
-                    (i % 11) as f64 * 1.0e-9,
-                )),
-                idle: i % 13 == 0,
-                current: FreqMhz(1000),
-            })
-            .collect();
-        // A budget forcing roughly half the demotions possible.
-        let budget = n_procs as f64 * 70.0;
+        let procs = proc_mix(n_procs);
+        let budget = demotion_heavy_budget(n_procs);
+        let mut scratch = ScheduleScratch::new();
         g.bench_with_input(BenchmarkId::from_parameter(n_procs), &procs, |b, procs| {
-            b.iter(|| alg.schedule(black_box(procs), budget))
+            b.iter(|| {
+                let d = alg.schedule_with_scratch(&mut scratch, black_box(procs), budget);
+                black_box(d.demotions)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedule_reference(c: &mut Criterion) {
+    let alg = FvsstAlgorithm::p630();
+    let mut g = c.benchmark_group("schedule_reference");
+    for n_procs in [4usize, 16, 64, 256, 1024] {
+        let procs = proc_mix(n_procs);
+        let budget = demotion_heavy_budget(n_procs);
+        g.bench_with_input(BenchmarkId::from_parameter(n_procs), &procs, |b, procs| {
+            b.iter(|| alg.schedule_reference(black_box(procs), budget))
         });
     }
     g.finish();
@@ -69,11 +106,29 @@ fn bench_machine_tick(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cluster_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_tick");
+    g.sample_size(10);
+    for nodes in [8usize, 32, 128] {
+        // Budget forces real scheduling work every round (~70 W/core of
+        // a 140 W/core unconstrained draw).
+        let mut config = ClusterConfig::default_rack();
+        config.budget = BudgetSchedule::constant(nodes as f64 * 4.0 * 70.0);
+        let mut sim = ClusterSim::three_tier(nodes, 42, config);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &(), |b, _| {
+            b.iter(|| sim.step_tick())
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     micro,
     bench_estimator,
     bench_perf_loss_table,
     bench_schedule_scaling,
-    bench_machine_tick
+    bench_schedule_reference,
+    bench_machine_tick,
+    bench_cluster_tick
 );
 criterion_main!(micro);

@@ -1,0 +1,118 @@
+//! Collect criterion medians into `BENCH_scheduler.json`.
+//!
+//! Run after the scheduler micro-benchmarks:
+//!
+//! ```text
+//! cargo bench -p fvs-bench --bench scheduler_micro
+//! cargo run -p fvs-bench --bin collect_bench
+//! ```
+//!
+//! Reads `target/criterion/<group>/<id>/estimates.json` for the
+//! `schedule_two_pass` and `schedule_reference` groups plus
+//! `cluster_tick`, and writes a flat summary (median ns/iter and the
+//! naive/heap speedup per size) to `BENCH_scheduler.json` in the
+//! workspace root.
+
+use std::path::{Path, PathBuf};
+
+const SIZES: &[usize] = &[4, 16, 64, 256, 1024];
+const CLUSTER_SIZES: &[usize] = &[8, 32, 128];
+
+fn workspace_root() -> PathBuf {
+    // The binary runs from anywhere inside the workspace; walk upward to
+    // the directory holding the workspace Cargo.lock.
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            eprintln!("workspace root with Cargo.lock not found — run from inside the workspace");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn median_ns(criterion_dir: &Path, group: &str, id: &str) -> Option<f64> {
+    let path = criterion_dir.join(group).join(id).join("estimates.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = serde_json::from_str(&text).ok()?;
+    v.get("median")?.get("point_estimate")?.as_f64()
+}
+
+fn main() {
+    let root = workspace_root();
+    let criterion_dir = root.join("target").join("criterion");
+    let mut entries = Vec::new();
+    let mut missing = Vec::new();
+    for &n in SIZES {
+        let id = n.to_string();
+        let heap = median_ns(&criterion_dir, "schedule_two_pass", &id);
+        let naive = median_ns(&criterion_dir, "schedule_reference", &id);
+        match (heap, naive) {
+            (Some(h), Some(r)) => entries.push((n, h, Some(r), Some(r / h))),
+            (Some(h), None) => entries.push((n, h, None, None)),
+            _ => missing.push(format!("schedule_two_pass/{n}")),
+        }
+    }
+    let mut cluster = Vec::new();
+    for &n in CLUSTER_SIZES {
+        if let Some(ns) = median_ns(&criterion_dir, "cluster_tick", &n.to_string()) {
+            cluster.push((n, ns));
+        }
+    }
+    if entries.is_empty() {
+        eprintln!(
+            "no criterion estimates found under {} — run \
+             `cargo bench -p fvs-bench --bench scheduler_micro` first",
+            criterion_dir.display()
+        );
+        std::process::exit(1);
+    }
+    if !missing.is_empty() {
+        eprintln!("warning: missing benchmark results: {missing:?}");
+    }
+
+    // Hand-assemble the JSON so the report shape is stable regardless of
+    // serializer behaviour for optional fields.
+    let mut out = String::from("{\n  \"benchmark\": \"schedule_two_pass\",\n");
+    out.push_str("  \"units\": \"ns/iter (median)\",\n");
+    out.push_str("  \"scenario\": \"demotion-heavy budget drop (10 W/processor)\",\n");
+    out.push_str("  \"sizes\": [\n");
+    for (i, (n, heap, naive, speedup)) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n_procs\": {n}, \"heap_median_ns\": {heap:.1}"
+        ));
+        if let Some(r) = naive {
+            out.push_str(&format!(", \"naive_median_ns\": {r:.1}"));
+        }
+        if let Some(s) = speedup {
+            out.push_str(&format!(", \"speedup\": {s:.2}"));
+        }
+        out.push('}');
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"cluster_tick\": [\n");
+    for (i, (n, ns)) in cluster.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {n}, \"median_ns\": {ns:.1}}}{}\n",
+            if i + 1 < cluster.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    let out_path = root.join("BENCH_scheduler.json");
+    std::fs::write(&out_path, &out).expect("write BENCH_scheduler.json");
+    println!("wrote {}", out_path.display());
+    for (n, heap, naive, speedup) in &entries {
+        match (naive, speedup) {
+            (Some(r), Some(s)) => {
+                println!("n={n:<5} heap {heap:>12.1} ns  naive {r:>14.1} ns  speedup {s:.2}x")
+            }
+            _ => println!("n={n:<5} heap {heap:>12.1} ns"),
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! The ground-truth oracle: fvsst without prediction error.
 
-use fvs_sched::{Decision, FvsstAlgorithm, Policy, ProcInput, TickContext};
+use fvs_sched::{Decision, FvsstAlgorithm, Policy, ProcInput, ScheduleScratch, TickContext};
 
 /// Runs the exact two-pass fvsst algorithm, but feeds it the *ground
 /// truth* timing model of whatever each core is executing right now
@@ -14,6 +14,8 @@ pub struct Oracle {
     period_ticks: u64,
     ticks: u64,
     last_budget: Option<f64>,
+    scratch: ScheduleScratch,
+    proc_buf: Vec<ProcInput>,
 }
 
 impl Oracle {
@@ -25,6 +27,8 @@ impl Oracle {
             period_ticks: period_ticks.max(1),
             ticks: 0,
             last_budget: None,
+            scratch: ScheduleScratch::new(),
+            proc_buf: Vec::new(),
         }
     }
 
@@ -51,18 +55,21 @@ impl Policy for Oracle {
         if self.ticks > 1 && !budget_changed && !self.ticks.is_multiple_of(self.period_ticks) {
             return None;
         }
-        let procs: Vec<ProcInput> = (0..ctx.samples.len())
-            .map(|i| ProcInput {
+        self.proc_buf.clear();
+        for i in 0..ctx.samples.len() {
+            self.proc_buf.push(ProcInput {
                 model: Some(ctx.ground_truth[i]),
                 idle: ctx.idle[i],
                 current: ctx.current[i],
-            })
-            .collect();
-        let d = self.algorithm.schedule(&procs, ctx.budget_w);
+            });
+        }
+        let d =
+            self.algorithm
+                .schedule_with_scratch(&mut self.scratch, &self.proc_buf, ctx.budget_w);
         Some(Decision {
-            freqs: d.freqs,
-            desired: d.desired,
-            predicted_ipc: d.predicted_ipc,
+            freqs: d.freqs.clone(),
+            desired: d.desired.clone(),
+            predicted_ipc: d.predicted_ipc.clone(),
             powered_on: vec![true; ctx.samples.len()],
             feasible: d.feasible,
         })

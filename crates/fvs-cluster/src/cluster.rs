@@ -7,7 +7,12 @@ use fvs_power::BudgetSchedule;
 use fvs_sched::FvsstAlgorithm;
 use fvs_sim::MachineBuilder;
 use fvs_workloads::{MixConfig, WorkloadGenerator};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Below this node count the cluster tick runs sequentially: each node's
+/// tick is microseconds of work, and fork/join overhead would dominate.
+const PARALLEL_TICK_THRESHOLD: usize = 8;
 
 /// Cluster-wide configuration.
 #[derive(Debug, Clone)]
@@ -228,9 +233,15 @@ impl ClusterSim {
             }
         }
         // Every machine's clock advances (offline cores execute and draw
-        // nothing).
-        for node in &mut self.nodes {
-            node.tick(t_s);
+        // nothing). Nodes are independent within a tick — they interact
+        // only through the coordinator messages handled below — so large
+        // clusters fan the per-node work out across threads.
+        if self.nodes.len() >= PARALLEL_TICK_THRESHOLD {
+            self.nodes.par_iter_mut().for_each(|node| node.tick(t_s));
+        } else {
+            for node in &mut self.nodes {
+                node.tick(t_s);
+            }
         }
         let now = self.now_s();
         let budget_w = self.config.budget.budget_at(now);
@@ -323,8 +334,8 @@ impl ClusterSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fvs_workloads::Tier;
     use fvs_power::BudgetEvent;
+    use fvs_workloads::Tier;
 
     #[test]
     fn three_tier_cluster_develops_frequency_diversity() {
@@ -429,12 +440,14 @@ mod tests {
 
     #[test]
     fn offline_node_does_not_execute_work() {
-        let mut sim = ClusterSim::three_tier(2, 3, ClusterConfig::default_rack())
-            .with_node_events(vec![NodeEvent {
-                at_s: 0.5,
-                node: 1,
-                online: false,
-            }]);
+        let mut sim =
+            ClusterSim::three_tier(2, 3, ClusterConfig::default_rack()).with_node_events(vec![
+                NodeEvent {
+                    at_s: 0.5,
+                    node: 1,
+                    online: false,
+                },
+            ]);
         sim.run_for(0.5);
         let before = sim.node(1).machine().core(0).stats().body_instructions;
         sim.run_for(1.0);
@@ -480,8 +493,8 @@ mod tests {
     fn message_latency_delays_commands() {
         let mut slow = ClusterConfig::default_rack();
         slow.latency_s = 0.2; // pathological WAN latency
-        // Deep cut well below the unconstrained steady-state draw so both
-        // clusters must actually demote (response > 0).
+                              // Deep cut well below the unconstrained steady-state draw so both
+                              // clusters must actually demote (response > 0).
         slow.budget = BudgetSchedule::with_events(
             f64::INFINITY,
             vec![BudgetEvent {

@@ -1,7 +1,7 @@
 //! The global coordinator: Figure 3 across all nodes.
 
 use fvs_model::{CpiModel, FreqMhz};
-use fvs_sched::{FvsstAlgorithm, ProcInput};
+use fvs_sched::{FvsstAlgorithm, ProcInput, ScheduleScratch};
 use serde::{Deserialize, Serialize};
 
 /// What a node ships to the coordinator each scheduling period.
@@ -37,6 +37,11 @@ pub struct FrequencyCommand {
 pub struct GlobalCoordinator {
     algorithm: FvsstAlgorithm,
     latest: Vec<Option<NodeSummary>>,
+    // Reused across rounds so the steady-state global computation does
+    // not allocate.
+    scratch: ScheduleScratch,
+    coords: Vec<(usize, usize)>,
+    procs: Vec<ProcInput>,
 }
 
 impl GlobalCoordinator {
@@ -45,6 +50,9 @@ impl GlobalCoordinator {
         GlobalCoordinator {
             algorithm,
             latest: vec![None; nodes],
+            scratch: ScheduleScratch::new(),
+            coords: Vec::new(),
+            procs: Vec::new(),
         }
     }
 
@@ -69,26 +77,22 @@ impl GlobalCoordinator {
     /// Sum of the latest reported node powers (telemetry view; lags
     /// reality by the message latency).
     pub fn reported_power_w(&self) -> f64 {
-        self.latest
-            .iter()
-            .flatten()
-            .map(|s| s.power_w)
-            .sum()
+        self.latest.iter().flatten().map(|s| s.power_w).sum()
     }
 
     /// Run the global computation and emit one command per reporting
     /// node. Nodes that never reported are skipped and keep their
     /// current frequencies.
-    pub fn schedule(&self, budget_w: f64) -> Vec<FrequencyCommand> {
+    pub fn schedule(&mut self, budget_w: f64) -> Vec<FrequencyCommand> {
         // Flatten all reporting processors into one ProcInput list,
-        // remembering (node, proc) coordinates.
-        let mut coords = Vec::new();
-        let mut procs = Vec::new();
+        // remembering (node, proc) coordinates. Buffers are reused.
+        self.coords.clear();
+        self.procs.clear();
         for (node_idx, slot) in self.latest.iter().enumerate() {
             if let Some(s) = slot {
                 for p in 0..s.models.len() {
-                    coords.push((node_idx, p));
-                    procs.push(ProcInput {
+                    self.coords.push((node_idx, p));
+                    self.procs.push(ProcInput {
                         model: s.models[p],
                         idle: s.idle[p],
                         current: s.current[p],
@@ -96,15 +100,18 @@ impl GlobalCoordinator {
                 }
             }
         }
-        let d = self.algorithm.schedule(&procs, budget_w);
-        // Regroup per node.
+        let d = self
+            .algorithm
+            .schedule_with_scratch(&mut self.scratch, &self.procs, budget_w);
+        // Regroup per node (the command vectors are shipped, so they are
+        // allocated fresh).
         let mut commands: Vec<FrequencyCommand> = Vec::new();
-        for ((node, _p), f) in coords.into_iter().zip(d.freqs) {
+        for ((node, _p), f) in self.coords.iter().zip(&d.freqs) {
             match commands.last_mut() {
-                Some(cmd) if cmd.node == node => cmd.freqs.push(f),
+                Some(cmd) if cmd.node == *node => cmd.freqs.push(*f),
                 _ => commands.push(FrequencyCommand {
-                    node,
-                    freqs: vec![f],
+                    node: *node,
+                    freqs: vec![*f],
                 }),
             }
         }

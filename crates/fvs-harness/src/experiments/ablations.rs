@@ -137,13 +137,9 @@ fn policy_row<P: Policy>(
     dur: f64,
     reference: &[f64],
 ) -> PolicyRow {
-    let mut sim = ScheduledSimulation::with_policy(
-        diverse_machine(settings),
-        policy,
-        tight_budget(),
-        0.01,
-    )
-    .without_trace();
+    let mut sim =
+        ScheduledSimulation::with_policy(diverse_machine(settings), policy, tight_budget(), 0.01)
+            .without_trace();
     let report = sim.run_for(dur);
     PolicyRow {
         policy: name.to_string(),
@@ -170,8 +166,20 @@ fn run_policies(settings: &RunSettings, dur: f64) -> Vec<PolicyRow> {
     vec![
         fvsst,
         policy_row("oracle", Oracle::p630(), settings, dur, &reference),
-        policy_row("uniform-scaling", UniformScaling::new(), settings, dur, &reference),
-        policy_row("node-powerdown", NodePowerDown::new(), settings, dur, &reference),
+        policy_row(
+            "uniform-scaling",
+            UniformScaling::new(),
+            settings,
+            dur,
+            &reference,
+        ),
+        policy_row(
+            "node-powerdown",
+            NodePowerDown::new(),
+            settings,
+            dur,
+            &reference,
+        ),
         policy_row(
             "utilization-dvfs",
             UtilizationDriven::default(),
@@ -263,8 +271,7 @@ fn run_actuators(settings: &RunSettings, dur: f64) -> Vec<(String, f64, f64)> {
         .iter()
         .enumerate()
         .map(|(k, name)| {
-            let config = SchedulerConfig::p630()
-                .with_budget(BudgetSchedule::constant(294.0));
+            let config = SchedulerConfig::p630().with_budget(BudgetSchedule::constant(294.0));
             let mut sim = ScheduledSimulation::new(build(k as u8), config).without_trace();
             let report = sim.run_for(dur);
             (name.to_string(), report.avg_power_w, report.violation_s)
@@ -280,8 +287,7 @@ fn run_demotion(settings: &RunSettings, dur: f64) -> Vec<(String, f64)> {
     .iter()
     .map(|(name, order)| {
         let machine = diverse_machine(settings);
-        let mut config =
-            SchedulerConfig::p630().with_budget(BudgetSchedule::constant(250.0));
+        let mut config = SchedulerConfig::p630().with_budget(BudgetSchedule::constant(250.0));
         config.algorithm.demotion_order = *order;
         let mut sim = ScheduledSimulation::new(machine, config).without_trace();
         let report = sim.run_for(dur);
@@ -411,8 +417,7 @@ fn run_drift(settings: &RunSettings, dur: f64) -> Vec<(f64, f64, f64)> {
                 .workload(3, drifting(10.0))
                 .seed(settings.seed)
                 .build();
-            let config =
-                SchedulerConfig::p630().with_budget(BudgetSchedule::constant(294.0));
+            let config = SchedulerConfig::p630().with_budget(BudgetSchedule::constant(294.0));
             let mut sim = ScheduledSimulation::new(machine, config).without_trace();
             let report = sim.run_for(dur);
             let err = (0..4)
@@ -464,8 +469,11 @@ impl AblationResult {
         }
         out.push_str(&t.render());
 
-        let mut t = TableBuilder::new("Ablation 2: supply-failure cascade (section 2)")
-            .header(["policy", "cascaded", "final power (W)"]);
+        let mut t = TableBuilder::new("Ablation 2: supply-failure cascade (section 2)").header([
+            "policy",
+            "cascaded",
+            "final power (W)",
+        ]);
         for c in &self.cascade {
             t.row([
                 c.policy.clone(),
@@ -483,8 +491,11 @@ impl AblationResult {
             self.idle_power_w.0, self.idle_power_w.1
         ));
 
-        let mut t = TableBuilder::new("Ablation 4: actuator under a 294 W budget")
-            .header(["actuator", "avg power (W)", "violation (s)"]);
+        let mut t = TableBuilder::new("Ablation 4: actuator under a 294 W budget").header([
+            "actuator",
+            "avg power (W)",
+            "violation (s)",
+        ]);
         for (name, p, v) in &self.actuators {
             t.row([name.clone(), format!("{p:.0}"), format!("{v:.2}")]);
         }
@@ -499,8 +510,11 @@ impl AblationResult {
         out.push('\n');
         out.push_str(&t.render());
 
-        let mut t = TableBuilder::new("Ablation 6: ε sweep (unconstrained)")
-            .header(["ε", "avg power (W)", "throughput (Ginstr)"]);
+        let mut t = TableBuilder::new("Ablation 6: ε sweep (unconstrained)").header([
+            "ε",
+            "avg power (W)",
+            "throughput (Ginstr)",
+        ]);
         for (e, p, thr) in &self.epsilon {
             t.row([
                 format!("{e:.2}"),
@@ -538,10 +552,9 @@ impl AblationResult {
         out.push('\n');
         out.push_str(&t.render());
 
-        let mut t = TableBuilder::new(
-            "Ablation 9: measured-power feedback on honest throttling @294 W",
-        )
-        .header(["control", "final power (W)", "violation (s)"]);
+        let mut t =
+            TableBuilder::new("Ablation 9: measured-power feedback on honest throttling @294 W")
+                .header(["control", "final power (W)", "violation (s)"]);
         for (name, p, v) in &self.feedback {
             t.row([name.clone(), format!("{p:.0}"), format!("{v:.2}")]);
         }
@@ -549,13 +562,13 @@ impl AblationResult {
         out.push_str(&t.render());
 
         let mut t = TableBuilder::new("Ablation 10: predictor robustness to workload drift")
-            .header(["drift amplitude", "worst mean |ΔIPC|", "violation (s) @294 W"]);
-        for (amp, err, v) in &self.drift {
-            t.row([
-                format!("{amp:.1}"),
-                format!("{err:.3}"),
-                format!("{v:.2}"),
+            .header([
+                "drift amplitude",
+                "worst mean |ΔIPC|",
+                "violation (s) @294 W",
             ]);
+        for (amp, err, v) in &self.drift {
+            t.row([format!("{amp:.1}"), format!("{err:.3}"), format!("{v:.2}")]);
         }
         out.push('\n');
         out.push_str(&t.render());
@@ -628,7 +641,10 @@ mod tests {
         // 10. Drift raises prediction error but never budget violations.
         let err0 = r.drift.first().unwrap().1;
         let err_max = r.drift.last().unwrap().1;
-        assert!(err_max > err0, "drift must raise error: {err0} vs {err_max}");
+        assert!(
+            err_max > err0,
+            "drift must raise error: {err0} vs {err_max}"
+        );
         for (amp, _, v) in &r.drift {
             assert!(*v <= 0.05, "drift {amp}: violated {v}s");
         }

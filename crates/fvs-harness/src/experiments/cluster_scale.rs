@@ -71,10 +71,7 @@ fn run_one(nodes: usize, latency_s: f64, settings: &RunSettings) -> ScaleCell {
     let mut sim = ClusterSim::three_tier(nodes, settings.seed ^ nodes as u64, config);
     let report = sim.run_for(dur);
     let mean_mhz: Vec<f64> = report.node_mean_mhz.clone();
-    let diversity = mean_mhz
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let diversity = mean_mhz.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - mean_mhz.iter().cloned().fold(f64::INFINITY, f64::min);
     ScaleCell {
         nodes,
@@ -109,17 +106,16 @@ impl ClusterScaleResult {
 
     /// Render the study.
     pub fn render(&self) -> String {
-        let mut t = TableBuilder::new(
-            "Cluster scaling: budget-cut response vs size and network latency",
-        )
-        .header([
-            "nodes",
-            "latency",
-            "response (s)",
-            "violation (s)",
-            "budget use",
-            "diversity (MHz)",
-        ]);
+        let mut t =
+            TableBuilder::new("Cluster scaling: budget-cut response vs size and network latency")
+                .header([
+                    "nodes",
+                    "latency",
+                    "response (s)",
+                    "violation (s)",
+                    "budget use",
+                    "diversity (MHz)",
+                ]);
         for c in &self.cells {
             t.row([
                 format!("{}", c.nodes),
@@ -156,7 +152,11 @@ mod tests {
             );
             // And the budget ends up respected and well-utilised.
             assert!(c.budget_utilisation <= 1.0 + 1e-9);
-            assert!(c.budget_utilisation > 0.5, "under-utilised: {}", c.budget_utilisation);
+            assert!(
+                c.budget_utilisation > 0.5,
+                "under-utilised: {}",
+                c.budget_utilisation
+            );
         }
         // Same latency, different sizes: response within a couple of
         // ticks of each other.

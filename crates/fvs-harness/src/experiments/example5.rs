@@ -90,13 +90,25 @@ impl Example5Result {
     /// Render both scheduling instants.
     pub fn render(&self) -> String {
         let fmt = |d: &ScheduleDecision| {
-            let freqs: Vec<String> = d.freqs.iter().map(|f| format!("{:.1}", f.0 as f64 / 1000.0)).collect();
-            let desired: Vec<String> =
-                d.desired.iter().map(|f| format!("{:.1}", f.0 as f64 / 1000.0)).collect();
+            let freqs: Vec<String> = d
+                .freqs
+                .iter()
+                .map(|f| format!("{:.1}", f.0 as f64 / 1000.0))
+                .collect();
+            let desired: Vec<String> = d
+                .desired
+                .iter()
+                .map(|f| format!("{:.1}", f.0 as f64 / 1000.0))
+                .collect();
             (freqs.join(", "), desired.join(", "))
         };
-        let mut t = TableBuilder::new("Section 5 worked example (294 W budget)")
-            .header(["instant", "ε-vector (GHz)", "final (GHz)", "power (W)", "demotions"]);
+        let mut t = TableBuilder::new("Section 5 worked example (294 W budget)").header([
+            "instant",
+            "ε-vector (GHz)",
+            "final (GHz)",
+            "power (W)",
+            "demotions",
+        ]);
         let (f0, d0) = fmt(&self.at_t0);
         t.row([
             "T0".to_string(),

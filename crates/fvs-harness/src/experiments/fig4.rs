@@ -52,12 +52,13 @@ fn completion_under_fvsst(intensity: f64, instr: f64, settings: &RunSettings) ->
         .cores(1)
         .workload(
             0,
-            SyntheticConfig::single(intensity, instr).body_only().build(),
+            SyntheticConfig::single(intensity, instr)
+                .body_only()
+                .build(),
         )
         .seed(settings.seed ^ intensity.to_bits())
         .build();
-    let config =
-        SchedulerConfig::p630().with_budget(BudgetSchedule::constant(f64::INFINITY));
+    let config = SchedulerConfig::p630().with_budget(BudgetSchedule::constant(f64::INFINITY));
     let mut sim = ScheduledSimulation::new(machine, config).without_trace();
     let report = sim.run_to_completion(600.0);
     report.completed_at_s[0].unwrap_or(report.duration_s)
@@ -68,7 +69,9 @@ fn completion_under_oracle(intensity: f64, instr: f64, settings: &RunSettings) -
         .cores(1)
         .workload(
             0,
-            SyntheticConfig::single(intensity, instr).body_only().build(),
+            SyntheticConfig::single(intensity, instr)
+                .body_only()
+                .build(),
         )
         .seed(settings.seed ^ intensity.to_bits())
         .build();
@@ -86,7 +89,9 @@ fn completion_under_oracle(intensity: f64, instr: f64, settings: &RunSettings) -
 fn run_one(intensity: f64, settings: &RunSettings) -> Fig4Row {
     let instr = settings.instructions(3.0e9);
     let bare_s = run_reference(
-        SyntheticConfig::single(intensity, instr).body_only().build(),
+        SyntheticConfig::single(intensity, instr)
+            .body_only()
+            .build(),
         FreqMhz(1000),
         settings,
         600.0,

@@ -43,8 +43,7 @@ pub fn run(settings: &RunSettings) -> Fig5Result {
         .workload(0, spec)
         .seed(settings.seed)
         .build();
-    let config =
-        SchedulerConfig::p630().with_budget(BudgetSchedule::constant(f64::INFINITY));
+    let config = SchedulerConfig::p630().with_budget(BudgetSchedule::constant(f64::INFINITY));
     let mut sim = ScheduledSimulation::new(machine, config);
     let dur = if settings.fast { 2.0 } else { 6.0 };
     sim.run_for(dur);

@@ -46,23 +46,19 @@ fn run_one(budget: f64, settings: &RunSettings) -> (f64, ResidencyHistogram) {
 
 /// Run the experiment.
 pub fn run(settings: &RunSettings) -> Fig7Result {
-    let residency = BUDGETS
-        .par_iter()
-        .map(|&b| run_one(b, settings))
-        .collect();
+    let residency = BUDGETS.par_iter().map(|&b| run_one(b, settings)).collect();
     Fig7Result { residency }
 }
 
 impl Fig7Result {
     /// Render residency percentages per budget.
     pub fn render(&self) -> String {
-        let mut t = TableBuilder::new(
-            "Figure 7: % time at each frequency, 100%/75% phases under budgets",
-        )
-        .header(
-            std::iter::once("MHz".to_string())
-                .chain(self.residency.iter().map(|(b, _)| format!("{b:.0} W"))),
-        );
+        let mut t =
+            TableBuilder::new("Figure 7: % time at each frequency, 100%/75% phases under budgets")
+                .header(
+                    std::iter::once("MHz".to_string())
+                        .chain(self.residency.iter().map(|(b, _)| format!("{b:.0} W"))),
+                );
         let freqs: Vec<u32> = (5..=20).map(|k| k * 50).collect();
         for f in freqs {
             let mut row = vec![format!("{f}")];

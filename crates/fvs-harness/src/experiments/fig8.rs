@@ -28,11 +28,7 @@ pub struct Fig8Result {
 
 /// Residency of a looping instance of `app` under `budget` over a fixed
 /// duration (long enough to cycle through every phase several times).
-fn residency_run(
-    app: AppBenchmark,
-    budget: f64,
-    settings: &RunSettings,
-) -> ResidencyHistogram {
+fn residency_run(app: AppBenchmark, budget: f64, settings: &RunSettings) -> ResidencyHistogram {
     let mut spec = app.workload(2.0e9);
     spec.loop_body = true;
     let machine = MachineBuilder::p630()

@@ -58,9 +58,7 @@ pub fn greedy_ladder(
     budget_w: f64,
 ) -> Vec<FreqMhz> {
     let mut ladder = vec![set.min(); n];
-    let power = |fs: &[FreqMhz]| -> f64 {
-        fs.iter().map(|f| table.power_interpolated(*f)).sum()
-    };
+    let power = |fs: &[FreqMhz]| -> f64 { fs.iter().map(|f| table.power_interpolated(*f)).sum() };
     loop {
         let mut best: Option<(usize, FreqMhz, f64)> = None;
         for (i, f) in ladder.iter().enumerate() {
@@ -244,10 +242,7 @@ mod tests {
         let set = FrequencySet::p630();
         let table = FreqPowerTable::p630_table1();
         let ladder = greedy_ladder(&set, &table, 4, 250.0);
-        let power: f64 = ladder
-            .iter()
-            .map(|f| table.power_at(*f).unwrap())
-            .sum();
+        let power: f64 = ladder.iter().map(|f| table.power_at(*f).unwrap()).sum();
         assert!(power <= 250.0);
         // Maximal: no single core can step up within the budget.
         for (i, f) in ladder.iter().enumerate() {
@@ -255,11 +250,7 @@ mod tests {
                 let bumped: f64 = ladder
                     .iter()
                     .enumerate()
-                    .map(|(j, g)| {
-                        table
-                            .power_at(if i == j { up } else { *g })
-                            .unwrap()
-                    })
+                    .map(|(j, g)| table.power_at(if i == j { up } else { *g }).unwrap())
                     .sum();
                 assert!(bumped > 250.0, "core {i} could still step up");
             }

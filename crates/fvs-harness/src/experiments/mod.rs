@@ -38,8 +38,21 @@ use crate::runs::RunSettings;
 
 /// Experiment ids accepted by the `fvsst-exp` binary, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 15] = [
-    "table1", "fig1", "table2", "fig4", "fig5", "fig6", "fig7", "table3", "fig8", "fig9",
-    "example5", "ablation", "predictors", "migration", "cluster",
+    "table1",
+    "fig1",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table3",
+    "fig8",
+    "fig9",
+    "example5",
+    "ablation",
+    "predictors",
+    "migration",
+    "cluster",
 ];
 
 /// Run one experiment by id and return its rendered report.

@@ -116,8 +116,7 @@ fn run_one(k: f64, settings: &RunSettings) -> PredictorRow {
         &Observation::new(FreqMhz(600), at_low),
     )
     .expect("consistent observations");
-    let two_point_pick =
-        PerfLossTable::build(&two_point_model, &set).epsilon_constrained(epsilon);
+    let two_point_pick = PerfLossTable::build(&two_point_model, &set).epsilon_constrained(epsilon);
 
     // Scheme 3: bounded estimator whose envelope covers the studied
     // miscalibration range, conservative pick.
@@ -161,19 +160,18 @@ pub fn run(settings: &RunSettings) -> PredictorsResult {
 impl PredictorsResult {
     /// Render the comparison table.
     pub fn render(&self) -> String {
-        let mut t = TableBuilder::new(
-            "Predictor variants under latency miscalibration (footnote 1)",
-        )
-        .header([
-            "true latency ×",
-            "point",
-            "two-point",
-            "bounded",
-            "oracle",
-            "point true loss",
-            "bounded true loss",
-            "point W / oracle W",
-        ]);
+        let mut t =
+            TableBuilder::new("Predictor variants under latency miscalibration (footnote 1)")
+                .header([
+                    "true latency ×",
+                    "point",
+                    "two-point",
+                    "bounded",
+                    "oracle",
+                    "point true loss",
+                    "bounded true loss",
+                    "point W / oracle W",
+                ]);
         for r in &self.rows {
             t.row([
                 format!("{:.2}", r.latency_scale),

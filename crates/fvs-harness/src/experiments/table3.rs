@@ -82,11 +82,9 @@ impl Table3Result {
 
     /// Render the paper-style table.
     pub fn render(&self) -> String {
-        let mut t = TableBuilder::new("Table 3: performance and energy under constraint")
-            .header(
-                std::iter::once("".to_string())
-                    .chain(self.columns.iter().map(|c| c.app.clone())),
-            );
+        let mut t = TableBuilder::new("Table 3: performance and energy under constraint").header(
+            std::iter::once("".to_string()).chain(self.columns.iter().map(|c| c.app.clone())),
+        );
         for (i, b) in BUDGETS.iter().enumerate() {
             let mut row = vec![format!("Perf @ {b:.0}W")];
             for c in &self.columns {

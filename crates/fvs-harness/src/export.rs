@@ -11,8 +11,8 @@
 //! writes `out/table3.json` alongside the text report on stdout.
 
 use crate::experiments::{
-    ablations, cluster_scale, example5, fig1, fig4, fig5, fig6, fig7, fig8, fig9, migration, predictors, table1, table2,
-    table3,
+    ablations, cluster_scale, example5, fig1, fig4, fig5, fig6, fig7, fig8, fig9, migration,
+    predictors, table1, table2, table3,
 };
 use crate::runs::RunSettings;
 use serde::Serialize;
@@ -36,7 +36,10 @@ fn pack<T: Serialize>(rendered: String, value: &T) -> serde_json::Result<Exporte
 
 /// Run one experiment by id, returning both renderings. `None` for an
 /// unknown id.
-pub fn run_exported(name: &str, settings: &RunSettings) -> Option<serde_json::Result<ExportedResult>> {
+pub fn run_exported(
+    name: &str,
+    settings: &RunSettings,
+) -> Option<serde_json::Result<ExportedResult>> {
     Some(match name {
         "table1" => {
             let r = table1::run();

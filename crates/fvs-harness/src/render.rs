@@ -107,7 +107,11 @@ impl TableBuilder {
             let _ = writeln!(
                 out,
                 "{}",
-                self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+                self.header
+                    .iter()
+                    .map(|c| esc(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
         }
         for row in &self.rows {
@@ -161,9 +165,8 @@ impl Series {
             .collect();
         xs.sort_by(f64::total_cmp);
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
-        let mut t = TableBuilder::new(title).header(
-            std::iter::once("x".to_string()).chain(series.iter().map(|s| s.name.clone())),
-        );
+        let mut t = TableBuilder::new(title)
+            .header(std::iter::once("x".to_string()).chain(series.iter().map(|s| s.name.clone())));
         for x in xs {
             let mut row = vec![format!("{x:.4}")];
             for s in series {

@@ -101,7 +101,12 @@ pub fn run_capped_app(
 
 /// Completion time of `workload` on a single core pinned at `f` with no
 /// management at all — the reference for performance normalisation.
-pub fn run_reference(workload: WorkloadSpec, f: FreqMhz, settings: &RunSettings, max_s: f64) -> f64 {
+pub fn run_reference(
+    workload: WorkloadSpec,
+    f: FreqMhz,
+    settings: &RunSettings,
+    max_s: f64,
+) -> f64 {
     let mut machine = MachineBuilder::p630()
         .cores(1)
         .workload(0, workload)
@@ -114,11 +119,7 @@ pub fn run_reference(workload: WorkloadSpec, f: FreqMhz, settings: &RunSettings,
         machine.step(tick);
         t += tick;
     }
-    machine
-        .core(0)
-        .stats()
-        .completed_at_s
-        .unwrap_or(max_s)
+    machine.core(0).stats().completed_at_s.unwrap_or(max_s)
 }
 
 #[cfg(test)]

@@ -157,8 +157,7 @@ mod tests {
         };
         let truth = CpiModel::from_components(1.0, 0.01 * true_lat.mem_s);
         let delta = synthesize_delta(&truth, 0.0, 0.0, 0.01, 1.0e7, FreqMhz(1000));
-        let b =
-            BoundedCpiModel::estimate(&delta, FreqMhz(1000), &bounds, 0.05).unwrap();
+        let b = BoundedCpiModel::estimate(&delta, FreqMhz(1000), &bounds, 0.05).unwrap();
         for f in FrequencySet::p630().iter() {
             let (lo, hi) = b.perf_interval(f);
             let p = truth.perf_at(f);
@@ -177,7 +176,10 @@ mod tests {
         // Both variants reproduce the observed CPI at the measurement
         // frequency by construction.
         let (lo, hi) = b.perf_interval(FreqMhz(800));
-        assert!((hi - lo) / hi < 1e-9, "interval should collapse: {lo}..{hi}");
+        assert!(
+            (hi - lo) / hi < 1e-9,
+            "interval should collapse: {lo}..{hi}"
+        );
     }
 
     #[test]
@@ -186,8 +188,7 @@ mod tests {
         let set = FrequencySet::p630();
         for mem_rate in [0.002, 0.01, 0.05, 0.12] {
             let delta = window(mem_rate, FreqMhz(1000));
-            let b =
-                BoundedCpiModel::estimate(&delta, FreqMhz(1000), &bounds, 0.05).unwrap();
+            let b = BoundedCpiModel::estimate(&delta, FreqMhz(1000), &bounds, 0.05).unwrap();
             let conservative = b.conservative_epsilon_frequency(&set, 0.048);
             // Point model with best-case (nominal) latencies.
             let point = crate::counters::Estimator::new(bounds.best)
@@ -215,12 +216,9 @@ mod tests {
     #[test]
     fn estimate_guards_empty_input() {
         let bounds = LatencyBounds::p630();
-        assert!(BoundedCpiModel::estimate(
-            &CounterDelta::default(),
-            FreqMhz(1000),
-            &bounds,
-            0.05
-        )
-        .is_err());
+        assert!(
+            BoundedCpiModel::estimate(&CounterDelta::default(), FreqMhz(1000), &bounds, 0.05)
+                .is_err()
+        );
     }
 }

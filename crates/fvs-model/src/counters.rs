@@ -174,11 +174,7 @@ impl Estimator {
     }
 
     /// Fit a model from `delta` observed while the core ran at `freq`.
-    pub fn estimate(
-        &self,
-        delta: &CounterDelta,
-        freq: FreqMhz,
-    ) -> Result<CpiModel, EstimateError> {
+    pub fn estimate(&self, delta: &CounterDelta, freq: FreqMhz) -> Result<CpiModel, EstimateError> {
         if !delta.is_sane() {
             return Err(EstimateError::CorruptCounters);
         }

@@ -143,6 +143,23 @@ impl FrequencySet {
         self.freqs.binary_search(&f).is_ok()
     }
 
+    /// Position of `f` in the ascending set, or `None` if `f` is not a
+    /// member. Lets schedulers work in index space (one step down is
+    /// `index − 1`) instead of repeated frequency searches.
+    #[inline]
+    pub fn index_of(&self, f: FreqMhz) -> Option<usize> {
+        self.freqs.binary_search(&f).ok()
+    }
+
+    /// The setting at ascending position `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn at(&self, idx: usize) -> FreqMhz {
+        self.freqs[idx]
+    }
+
     /// The next setting strictly below `f` (`f_less` in Figure 3 of the
     /// paper), or `None` if `f` is already the minimum or not in the set.
     pub fn step_down(&self, f: FreqMhz) -> Option<FreqMhz> {
@@ -212,13 +229,14 @@ mod tests {
 
     #[test]
     fn construction_sorts_and_dedups() {
-        let set =
-            FrequencySet::new(vec![FreqMhz(800), FreqMhz(600), FreqMhz(800), FreqMhz(1000)])
-                .unwrap();
-        assert_eq!(
-            set.as_slice(),
-            &[FreqMhz(600), FreqMhz(800), FreqMhz(1000)]
-        );
+        let set = FrequencySet::new(vec![
+            FreqMhz(800),
+            FreqMhz(600),
+            FreqMhz(800),
+            FreqMhz(1000),
+        ])
+        .unwrap();
+        assert_eq!(set.as_slice(), &[FreqMhz(600), FreqMhz(800), FreqMhz(1000)]);
     }
 
     #[test]
@@ -232,6 +250,16 @@ mod tests {
             FrequencySet::new(vec![FreqMhz(0), FreqMhz(100)]),
             Err(FrequencySetError::ZeroFrequency)
         );
+    }
+
+    #[test]
+    fn index_of_and_at_round_trip() {
+        let set = FrequencySet::p630();
+        for (i, f) in set.iter().enumerate() {
+            assert_eq!(set.index_of(f), Some(i));
+            assert_eq!(set.at(i), f);
+        }
+        assert_eq!(set.index_of(FreqMhz(675)), None);
     }
 
     #[test]

@@ -74,8 +74,8 @@ mod tests {
     #[test]
     fn memory_bound_ideal_falls_well_below_max() {
         let m = mem_model(0.02); // heavily memory-bound, IPC(1GHz) ≈ 0.11
-        // Closed form: target = 0.95·Perf(1 GHz); f = target·cpi0/(1−target·M)
-        // ≈ 682 MHz for this profile.
+                                 // Closed form: target = 0.95·Perf(1 GHz); f = target·cpi0/(1−target·M)
+                                 // ≈ 682 MHz for this profile.
         let f = ideal_frequency(&m, FreqMhz(1000), 0.05);
         assert!(f.0 < 700, "ideal was {f}");
         // A larger tolerated loss admits a much lower clock.

@@ -58,21 +58,41 @@ pub struct PerfLossTable {
 impl PerfLossTable {
     /// Evaluate `model` at every frequency in `set`, against `set.max()`.
     pub fn build(model: &CpiModel, set: &FrequencySet) -> Self {
-        let reference = set.max();
-        let p_ref = model.perf_at(reference);
-        let entries = set
-            .iter()
-            .map(|f| {
-                let perf = model.perf_at(f);
-                PerfLossEntry {
-                    freq: f,
-                    ipc: model.ipc_at(f),
-                    perf,
-                    loss_vs_ref: (p_ref - perf) / p_ref,
-                }
-            })
-            .collect();
-        PerfLossTable { reference, entries }
+        let mut table = PerfLossTable {
+            reference: set.max(),
+            entries: Vec::with_capacity(set.len()),
+        };
+        table.rebuild(model, set);
+        table
+    }
+
+    /// Re-evaluate this table in place for a new model (and/or set),
+    /// reusing the entry storage. Allocation-free once `entries` has
+    /// capacity for `set.len()` rows — the steady-state path for daemons
+    /// that reschedule every window with a freshly fitted model.
+    pub fn rebuild(&mut self, model: &CpiModel, set: &FrequencySet) {
+        self.reference = set.max();
+        let p_ref = model.perf_at(self.reference);
+        self.entries.clear();
+        self.entries.extend(set.iter().map(|f| {
+            let perf = model.perf_at(f);
+            PerfLossEntry {
+                freq: f,
+                ipc: model.ipc_at(f),
+                perf,
+                loss_vs_ref: (p_ref - perf) / p_ref,
+            }
+        }));
+    }
+
+    /// An empty placeholder table (no entries); fill with [`rebuild`].
+    ///
+    /// [`rebuild`]: PerfLossTable::rebuild
+    pub fn placeholder() -> Self {
+        PerfLossTable {
+            reference: FreqMhz(1),
+            entries: Vec::new(),
+        }
     }
 
     /// Pass 1 of the paper's Figure 3: the **lowest** frequency whose
@@ -190,6 +210,18 @@ mod tests {
         let m = CpiModel::from_components(1.0, 0.0);
         let table = PerfLossTable::build(&m, &set);
         assert_eq!(table.epsilon_constrained(0.02), FreqMhz(1000));
+    }
+
+    #[test]
+    fn rebuild_matches_build_and_reuses_storage() {
+        let set = FrequencySet::p630();
+        let mut table = PerfLossTable::placeholder();
+        table.rebuild(&model(0.01), &set);
+        assert_eq!(table, PerfLossTable::build(&model(0.01), &set));
+        let cap = table.entries.capacity();
+        table.rebuild(&model(0.03), &set);
+        assert_eq!(table, PerfLossTable::build(&model(0.03), &set));
+        assert_eq!(table.entries.capacity(), cap, "storage must be reused");
     }
 
     #[test]

@@ -215,8 +215,6 @@ mod tests {
             .estimate(&mk(FreqMhz(1000)), FreqMhz(1000))
             .unwrap();
         assert!((two_point.cpi0 - latency_based.cpi0).abs() < 1e-6);
-        assert!(
-            (two_point.mem_time_per_instr - latency_based.mem_time_per_instr).abs() < 1e-15
-        );
+        assert!((two_point.mem_time_per_instr - latency_based.mem_time_per_instr).abs() < 1e-15);
     }
 }

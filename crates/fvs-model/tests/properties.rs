@@ -8,8 +8,7 @@ use proptest::prelude::*;
 
 fn arb_model() -> impl Strategy<Value = CpiModel> {
     // cpi0 in [0.2, 10] cycles/instr; M in [0, 50 ns]/instr.
-    (0.2f64..10.0, 0.0f64..50.0e-9)
-        .prop_map(|(cpi0, m)| CpiModel::from_components(cpi0, m))
+    (0.2f64..10.0, 0.0f64..50.0e-9).prop_map(|(cpi0, m)| CpiModel::from_components(cpi0, m))
 }
 
 fn arb_freq() -> impl Strategy<Value = FreqMhz> {

@@ -98,7 +98,7 @@ mod tests {
     fn normalisation_matches_hand_calc() {
         let mut m = EnergyMeter::new();
         m.record(70.0, 10.0); // 700 J over 10 s
-        // Against a 140 W reference: 700 / 1400 = 0.5.
+                              // Against a 140 W reference: 700 / 1400 = 0.5.
         assert!((m.normalised_against(140.0) - 0.5).abs() < 1e-12);
         assert_eq!(EnergyMeter::new().normalised_against(140.0), 0.0);
     }

@@ -20,6 +20,7 @@
 
 pub mod budget;
 pub mod energy;
+pub mod index;
 pub mod model;
 pub mod supply;
 pub mod table;
@@ -27,6 +28,7 @@ pub mod voltage;
 
 pub use budget::{BudgetEvent, BudgetSchedule};
 pub use energy::EnergyMeter;
+pub use index::PowerVoltageIndex;
 pub use model::{AnalyticPowerModel, CalibrationReport};
 pub use supply::{CascadeOutcome, PowerSupply, SupplyBank, SupplyEvent};
 pub use table::FreqPowerTable;

@@ -79,10 +79,7 @@ impl AnalyticPowerModel {
         let (c, b) = if det.abs() < f64::EPSILON {
             (0.0, 0.0)
         } else {
-            (
-                (s1y * s22 - s2y * s12) / det,
-                (s2y * s11 - s1y * s12) / det,
-            )
+            ((s1y * s22 - s2y * s12) / det, (s2y * s11 - s1y * s12) / det)
         };
         let model = AnalyticPowerModel { c, b };
         let mut residuals = Vec::with_capacity(table.len());

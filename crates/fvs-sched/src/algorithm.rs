@@ -1,8 +1,27 @@
 //! The pure two-pass scheduling algorithm of the paper's Figure 3.
+//!
+//! Two implementations of the budget pass are provided:
+//!
+//! - [`FvsstAlgorithm::schedule`] / [`FvsstAlgorithm::schedule_with_scratch`]
+//!   — the production path. Pass 2 keeps the running total power updated
+//!   by per-step deltas from a per-index power table and selects each
+//!   demotion victim from a binary heap keyed on the next-step predicted
+//!   loss, with lazy invalidation of stale entries. For `d` demotions
+//!   over `n` processors this is `O(d log n)` instead of the naive
+//!   `O(d·n)` (which also re-summed power, `O(d·n)` again on top).
+//! - [`FvsstAlgorithm::schedule_reference`] — the naive loop, kept as the
+//!   executable specification. Both implementations share the exact same
+//!   power accounting (initial sum in processor order plus per-step
+//!   deltas) and the same victim tie-break (smallest loss by
+//!   `f64::total_cmp`, then lowest processor index), so their decisions
+//!   are bit-identical; `tests/scheduler_properties.rs` asserts this
+//!   differentially.
 
 use fvs_model::{ideal_frequency, CpiModel, FreqMhz, FrequencySet, PerfLossTable};
-use fvs_power::{FreqPowerTable, VoltageTable};
+use fvs_power::{FreqPowerTable, PowerVoltageIndex, VoltageTable};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// How pass 1 picks the per-processor candidate frequency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -32,7 +51,7 @@ pub struct ProcInput {
 }
 
 /// The outcome of one scheduling computation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleDecision {
     /// Final frequency per processor (after the budget pass).
     pub freqs: Vec<FreqMhz>,
@@ -49,7 +68,8 @@ pub struct ScheduleDecision {
     pub predicted_power_w: f64,
     /// Whether the budget could be met. `false` means every processor is
     /// already at `f_min` and the floor still exceeds the budget — the
-    /// system must escalate (e.g. power nodes off).
+    /// system must escalate (e.g. power nodes off). An empty processor
+    /// list is feasible by definition (nothing draws power).
     pub feasible: bool,
     /// Number of single-step demotions pass 2 performed.
     pub demotions: usize,
@@ -64,6 +84,102 @@ pub enum DemotionOrder {
     /// Ablation comparator: rotate through processors regardless of
     /// predicted cost.
     RoundRobin,
+}
+
+/// Sentinel index for a processor whose current frequency is not a member
+/// of the schedulable set (possible only for unmodelled, non-idle
+/// processors). Such a processor keeps its frequency: it cannot be
+/// demoted, and its power contribution is interpolated once.
+const OFFGRID: usize = usize::MAX;
+
+/// One heap entry of the incremental pass 2: "processor `proc`, sitting
+/// at set index `idx_at_push`, would have absolute predicted loss `loss`
+/// after one step down".
+///
+/// Ordering is inverted (BinaryHeap is a max-heap) so the smallest
+/// `(loss, proc)` pops first — exactly the winner of the reference
+/// implementation's first-minimum linear scan. Entries are invalidated
+/// lazily: after a processor is demoted, its older entries remain in the
+/// heap and are discarded on pop when `idx_at_push` no longer matches
+/// the processor's current index.
+#[derive(Debug, Clone, Copy)]
+struct DemotionCandidate {
+    loss: f64,
+    proc: usize,
+    idx_at_push: usize,
+}
+
+impl PartialEq for DemotionCandidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for DemotionCandidate {}
+
+impl PartialOrd for DemotionCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DemotionCandidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // NaN losses sort after +∞ under total_cmp, so a processor whose
+        // model degenerated is only ever demoted once every finite-loss
+        // candidate is exhausted — in both implementations.
+        other
+            .loss
+            .total_cmp(&self.loss)
+            .then_with(|| other.proc.cmp(&self.proc))
+    }
+}
+
+/// Reusable storage for [`FvsstAlgorithm::schedule_with_scratch`].
+///
+/// Holds the per-index platform tables, the per-processor performance
+/// tables, the demotion heap, and the output vectors. After a warm-up
+/// call at a given processor count, subsequent calls perform **zero**
+/// heap allocations — the steady-state property the daemon tick paths
+/// rely on (asserted by `tests/zero_alloc.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleScratch {
+    index: PowerVoltageIndex,
+    tables: Vec<PerfLossTable>,
+    has_table: Vec<bool>,
+    idx: Vec<usize>,
+    heap: BinaryHeap<DemotionCandidate>,
+    decision: ScheduleDecision,
+}
+
+impl ScheduleScratch {
+    /// Empty scratch; storage grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The decision computed by the most recent
+    /// [`FvsstAlgorithm::schedule_with_scratch`] call.
+    pub fn decision(&self) -> &ScheduleDecision {
+        &self.decision
+    }
+
+    /// Consume the scratch, keeping only the last decision.
+    pub fn into_decision(self) -> ScheduleDecision {
+        self.decision
+    }
+}
+
+/// The paper's pass-2 selection key for processor `i` at set index `at`:
+/// the *absolute* predicted loss vs `f_max` after one step down
+/// (Figure 3 step 2, "smallest PerfLoss(f_max, f_less)"). Processors
+/// without a model are free to demote (zero predicted loss).
+#[inline]
+fn demotion_key(table: Option<&PerfLossTable>, at: usize) -> f64 {
+    match table {
+        Some(t) => t.entries[at - 1].loss_vs_ref,
+        None => 0.0,
+    }
 }
 
 /// The algorithm object: platform tables + parameters.
@@ -137,30 +253,254 @@ impl FvsstAlgorithm {
         }
     }
 
+    /// Pass 1 in index space: the desired set index (or [`OFFGRID`]) and
+    /// frequency for one processor. `table` must be the processor's
+    /// evaluated [`PerfLossTable`] whenever it has a model.
+    fn desired_slot(&self, input: &ProcInput, table: Option<&PerfLossTable>) -> (usize, FreqMhz) {
+        let set = &self.freq_set;
+        if input.idle && self.idle_detection {
+            return (0, set.min());
+        }
+        if let Some(model) = &input.model {
+            let t = table.expect("a modelled processor always has a table");
+            match self.mode {
+                SchedulingMode::DiscreteEpsilon => {
+                    // Lowest setting with loss < ε; loss is monotone
+                    // non-increasing in frequency, so the first
+                    // admissible ascending entry is the answer. Falls
+                    // back to f_max (loss 0 by construction).
+                    let k = t
+                        .entries
+                        .iter()
+                        .position(|e| e.loss_vs_ref < self.epsilon)
+                        .unwrap_or(set.len() - 1);
+                    (k, set.at(k))
+                }
+                SchedulingMode::ContinuousIdeal => {
+                    let f = set.snap_up(ideal_frequency(model, set.max(), self.epsilon));
+                    let k = set.index_of(f).expect("snap_up returns a set member");
+                    (k, f)
+                }
+            }
+        } else {
+            match set.index_of(input.current) {
+                Some(k) => (k, input.current),
+                None => (OFFGRID, input.current),
+            }
+        }
+    }
+
+    /// One processor's contribution to total power at its current slot.
+    #[inline]
+    fn slot_power(&self, index: &PowerVoltageIndex, idx: usize, current: FreqMhz) -> f64 {
+        if idx == OFFGRID {
+            self.power_table.power_interpolated(current)
+        } else {
+            index.power_w(idx)
+        }
+    }
+
     /// Run the full computation for `procs` under `budget_w`.
+    ///
+    /// One-shot convenience over [`schedule_with_scratch`]; allocates a
+    /// fresh [`ScheduleScratch`] per call. Steady-state callers (daemon
+    /// ticks) should hold a scratch and call the `_with_scratch` variant
+    /// directly.
+    ///
+    /// [`schedule_with_scratch`]: FvsstAlgorithm::schedule_with_scratch
     pub fn schedule(&self, procs: &[ProcInput], budget_w: f64) -> ScheduleDecision {
+        let mut scratch = ScheduleScratch::new();
+        self.schedule_with_scratch(&mut scratch, procs, budget_w);
+        scratch.into_decision()
+    }
+
+    /// Run the full computation for `procs` under `budget_w`, reusing
+    /// `scratch` for every intermediate and the output. Returns a
+    /// reference to the decision stored in the scratch.
+    ///
+    /// After one warm-up call at a given processor count, this performs
+    /// no heap allocation at all.
+    pub fn schedule_with_scratch<'a>(
+        &self,
+        scratch: &'a mut ScheduleScratch,
+        procs: &[ProcInput],
+        budget_w: f64,
+    ) -> &'a ScheduleDecision {
         let n = procs.len();
+        let set = &self.freq_set;
+        scratch
+            .index
+            .rebuild(&self.power_table, &self.voltage_table, set);
+        if scratch.tables.len() < n {
+            scratch.tables.resize_with(n, PerfLossTable::placeholder);
+        }
+        scratch.has_table.clear();
+        scratch.idx.clear();
+        scratch.decision.freqs.clear();
+        scratch.decision.desired.clear();
+        scratch.decision.voltages.clear();
+        scratch.decision.predicted_ipc.clear();
+        scratch.decision.predicted_loss.clear();
+
         // ---- Pass 1: per-processor ε-constrained frequencies. ----
-        let desired: Vec<FreqMhz> = procs.iter().map(|p| self.epsilon_frequency(p)).collect();
-        let tables: Vec<Option<PerfLossTable>> = procs
-            .iter()
-            .map(|p| {
-                p.model
-                    .map(|m| PerfLossTable::build(&m, &self.freq_set))
-            })
-            .collect();
-        let mut freqs = desired.clone();
+        for (i, p) in procs.iter().enumerate() {
+            let has = match p.model {
+                Some(m) => {
+                    scratch.tables[i].rebuild(&m, set);
+                    true
+                }
+                None => false,
+            };
+            scratch.has_table.push(has);
+            let (k, f) = self.desired_slot(p, has.then(|| &scratch.tables[i]));
+            scratch.idx.push(k);
+            scratch.decision.desired.push(f);
+        }
 
         // ---- Pass 2: demote least-painful steps until under budget. ----
-        let power = |fs: &[FreqMhz]| -> f64 {
-            fs.iter()
-                .map(|f| self.power_table.power_interpolated(*f))
-                .sum()
-        };
+        // Running total updated by per-step deltas; victims from the heap.
+        let mut power = 0.0;
+        for (&k, p) in scratch.idx.iter().zip(procs) {
+            power += self.slot_power(&scratch.index, k, p.current);
+        }
+        let mut demotions = 0usize;
+        let mut feasible = true;
+        if n > 0 {
+            match self.demotion_order {
+                DemotionOrder::LeastPredictedLoss => {
+                    scratch.heap.clear();
+                    for i in 0..n {
+                        let k = scratch.idx[i];
+                        if k != OFFGRID && k > 0 {
+                            scratch.heap.push(DemotionCandidate {
+                                loss: demotion_key(
+                                    scratch.has_table[i].then(|| &scratch.tables[i]),
+                                    k,
+                                ),
+                                proc: i,
+                                idx_at_push: k,
+                            });
+                        }
+                    }
+                    while power > budget_w {
+                        let victim = loop {
+                            match scratch.heap.pop() {
+                                None => break None,
+                                Some(c) if scratch.idx[c.proc] == c.idx_at_push => {
+                                    break Some(c.proc)
+                                }
+                                Some(_) => {} // stale: the processor moved on
+                            }
+                        };
+                        let Some(i) = victim else {
+                            // Everything at f_min and still over budget.
+                            feasible = false;
+                            break;
+                        };
+                        let k = scratch.idx[i];
+                        power += scratch.index.power_w(k - 1) - scratch.index.power_w(k);
+                        scratch.idx[i] = k - 1;
+                        demotions += 1;
+                        if k - 1 > 0 {
+                            scratch.heap.push(DemotionCandidate {
+                                loss: demotion_key(
+                                    scratch.has_table[i].then(|| &scratch.tables[i]),
+                                    k - 1,
+                                ),
+                                proc: i,
+                                idx_at_push: k - 1,
+                            });
+                        }
+                    }
+                }
+                DemotionOrder::RoundRobin => {
+                    // Rotate through demotable processors, cost-blind.
+                    let mut rr_cursor = 0usize;
+                    while power > budget_w {
+                        let mut found = None;
+                        for step in 0..n {
+                            let i = (rr_cursor + step) % n;
+                            if scratch.idx[i] != OFFGRID && scratch.idx[i] > 0 {
+                                rr_cursor = (i + 1) % n;
+                                found = Some(i);
+                                break;
+                            }
+                        }
+                        let Some(i) = found else {
+                            feasible = false;
+                            break;
+                        };
+                        let k = scratch.idx[i];
+                        power += scratch.index.power_w(k - 1) - scratch.index.power_w(k);
+                        scratch.idx[i] = k - 1;
+                        demotions += 1;
+                    }
+                }
+            }
+        }
+
+        // ---- Pass 3: minimum voltages + predictions. ----
+        for (i, p) in procs.iter().enumerate() {
+            let k = scratch.idx[i];
+            let (f, v) = if k == OFFGRID {
+                (p.current, self.voltage_table.min_voltage(p.current))
+            } else {
+                (set.at(k), scratch.index.voltage_v(k))
+            };
+            scratch.decision.freqs.push(f);
+            scratch.decision.voltages.push(v);
+            if scratch.has_table[i] {
+                let e = &scratch.tables[i].entries[k];
+                scratch.decision.predicted_ipc.push(Some(e.ipc));
+                scratch.decision.predicted_loss.push(e.loss_vs_ref);
+            } else {
+                scratch.decision.predicted_ipc.push(None);
+                scratch.decision.predicted_loss.push(0.0);
+            }
+        }
+        let mut predicted_power_w = 0.0;
+        for (&k, p) in scratch.idx.iter().zip(procs) {
+            predicted_power_w += self.slot_power(&scratch.index, k, p.current);
+        }
+        scratch.decision.predicted_power_w = predicted_power_w;
+        scratch.decision.feasible = feasible;
+        scratch.decision.demotions = demotions;
+        &scratch.decision
+    }
+
+    /// The naive `O(d·n)` implementation: a full linear scan over all
+    /// processors for every single demotion step. Kept as the executable
+    /// specification of pass 2 — the differential property tests assert
+    /// the heap-based [`schedule`](FvsstAlgorithm::schedule) produces
+    /// bit-identical decisions, and the benchmarks use it as the
+    /// baseline.
+    pub fn schedule_reference(&self, procs: &[ProcInput], budget_w: f64) -> ScheduleDecision {
+        let n = procs.len();
+        let set = &self.freq_set;
+        let index = PowerVoltageIndex::build(&self.power_table, &self.voltage_table, set);
+
+        // ---- Pass 1 ----
+        let tables: Vec<Option<PerfLossTable>> = procs
+            .iter()
+            .map(|p| p.model.map(|m| PerfLossTable::build(&m, set)))
+            .collect();
+        let mut idx = Vec::with_capacity(n);
+        let mut desired = Vec::with_capacity(n);
+        for (p, t) in procs.iter().zip(&tables) {
+            let (k, f) = self.desired_slot(p, t.as_ref());
+            idx.push(k);
+            desired.push(f);
+        }
+
+        // ---- Pass 2 (naive: rescan every processor per demotion) ----
+        let mut power = 0.0;
+        for i in 0..n {
+            power += self.slot_power(&index, idx[i], procs[i].current);
+        }
         let mut demotions = 0usize;
         let mut feasible = true;
         let mut rr_cursor = 0usize;
-        while power(&freqs) > budget_w {
+        while n > 0 && power > budget_w {
             let victim = match self.demotion_order {
                 DemotionOrder::LeastPredictedLoss => {
                     // Figure 3 step 2: "select n, p with smallest
@@ -169,73 +509,78 @@ impl FvsstAlgorithm {
                     // (Not the incremental cost: the absolute key is what
                     // makes the paper's section-5 example demote the
                     // CPU-bound processor from 1.0 to 0.9 GHz last.)
-                    // Processors without a model (or idle ones) are
-                    // treated as free to demote (zero predicted loss) —
-                    // only the predictor's data informs the choice.
-                    let mut best: Option<(usize, FreqMhz, f64)> = None;
-                    for (i, f) in freqs.iter().enumerate() {
-                        let Some(lower) = self.freq_set.step_down(*f) else {
+                    let mut best: Option<(usize, f64)> = None;
+                    for i in 0..n {
+                        if idx[i] == OFFGRID || idx[i] == 0 {
                             continue;
+                        }
+                        let loss = demotion_key(tables[i].as_ref(), idx[i]);
+                        let better = match best {
+                            None => true,
+                            Some((_, bl)) => loss.total_cmp(&bl) == Ordering::Less,
                         };
-                        let loss = match &tables[i] {
-                            Some(t) => t
-                                .demotion_loss(&self.freq_set, *f)
-                                .map(|(_, l)| l)
-                                .unwrap_or(0.0),
-                            None => 0.0,
-                        };
-                        if best.map(|(_, _, bl)| loss < bl).unwrap_or(true) {
-                            best = Some((i, lower, loss));
+                        if better {
+                            best = Some((i, loss));
                         }
                     }
-                    best.map(|(i, lower, _)| (i, lower))
+                    best.map(|(i, _)| i)
                 }
                 DemotionOrder::RoundRobin => {
-                    // Rotate through demotable processors, cost-blind.
                     let mut found = None;
-                    for k in 0..n {
-                        let i = (rr_cursor + k) % n;
-                        if let Some(lower) = self.freq_set.step_down(freqs[i]) {
-                            rr_cursor = (i + 1) % n.max(1);
-                            found = Some((i, lower));
+                    for step in 0..n {
+                        let i = (rr_cursor + step) % n;
+                        if idx[i] != OFFGRID && idx[i] > 0 {
+                            rr_cursor = (i + 1) % n;
+                            found = Some(i);
                             break;
                         }
                     }
                     found
                 }
             };
-            match victim {
-                Some((i, lower)) => {
-                    freqs[i] = lower;
-                    demotions += 1;
+            let Some(i) = victim else {
+                feasible = false;
+                break;
+            };
+            let k = idx[i];
+            power += index.power_w(k - 1) - index.power_w(k);
+            idx[i] = k - 1;
+            demotions += 1;
+        }
+
+        // ---- Pass 3 ----
+        let mut freqs = Vec::with_capacity(n);
+        let mut voltages = Vec::with_capacity(n);
+        let mut predicted_ipc = Vec::with_capacity(n);
+        let mut predicted_loss = Vec::with_capacity(n);
+        for i in 0..n {
+            let k = idx[i];
+            let (f, v) = if k == OFFGRID {
+                (
+                    procs[i].current,
+                    self.voltage_table.min_voltage(procs[i].current),
+                )
+            } else {
+                (set.at(k), index.voltage_v(k))
+            };
+            freqs.push(f);
+            voltages.push(v);
+            match &tables[i] {
+                Some(t) => {
+                    let e = &t.entries[k];
+                    predicted_ipc.push(Some(e.ipc));
+                    predicted_loss.push(e.loss_vs_ref);
                 }
                 None => {
-                    // Everything at f_min and still over budget.
-                    feasible = false;
-                    break;
+                    predicted_ipc.push(None);
+                    predicted_loss.push(0.0);
                 }
             }
         }
-
-        // ---- Pass 3: minimum voltages. ----
-        let voltages = freqs
-            .iter()
-            .map(|f| self.voltage_table.min_voltage(*f))
-            .collect();
-
-        let predicted_ipc = (0..n)
-            .map(|i| procs[i].model.map(|m| m.ipc_at(freqs[i])))
-            .collect();
-        let f_max = self.freq_set.max();
-        let predicted_loss = (0..n)
-            .map(|i| {
-                procs[i]
-                    .model
-                    .map(|m| fvs_model::perf_loss(&m, f_max, freqs[i]))
-                    .unwrap_or(0.0)
-            })
-            .collect();
-        let predicted_power_w = power(&freqs);
+        let mut predicted_power_w = 0.0;
+        for i in 0..n {
+            predicted_power_w += self.slot_power(&index, idx[i], procs[i].current);
+        }
         ScheduleDecision {
             freqs,
             desired,
@@ -325,6 +670,88 @@ mod tests {
     }
 
     #[test]
+    fn empty_proc_list_is_feasible() {
+        let alg = FvsstAlgorithm::p630();
+        for order in [DemotionOrder::LeastPredictedLoss, DemotionOrder::RoundRobin] {
+            let mut a = alg.clone();
+            a.demotion_order = order;
+            let d = a.schedule(&[], 50.0);
+            assert!(d.feasible, "an empty system meets any budget");
+            assert!(d.freqs.is_empty());
+            assert_eq!(d.predicted_power_w, 0.0);
+            assert_eq!(d.demotions, 0);
+            let r = a.schedule_reference(&[], 50.0);
+            assert_eq!(d, r);
+        }
+    }
+
+    #[test]
+    fn nan_loss_is_demoted_last() {
+        let alg = FvsstAlgorithm::p630();
+        // A degenerate model (NaN stall component) predicts NaN loss;
+        // under total_cmp ordering it must yield the victim slot to any
+        // processor with a finite predicted loss.
+        let nan_proc = ProcInput {
+            model: Some(CpiModel::from_components(1.0, f64::NAN)),
+            idle: false,
+            current: FreqMhz(1000),
+        };
+        let procs = vec![nan_proc, busy(60.0)];
+        let unconstrained = alg.schedule(&procs, f64::INFINITY);
+        assert!(
+            unconstrained.freqs[1] > FreqMhz(250),
+            "finite-loss processor must be demotable for this test"
+        );
+        let d = alg.schedule(&procs, unconstrained.predicted_power_w - 1.0);
+        assert_eq!(
+            d.freqs[0], unconstrained.freqs[0],
+            "NaN-loss processor must not be the first victim"
+        );
+        assert!(d.freqs[1] < unconstrained.freqs[1]);
+        // NaN != NaN under PartialEq, so bit-compare the float fields.
+        let r = alg.schedule_reference(&procs, unconstrained.predicted_power_w - 1.0);
+        assert_eq!(d.freqs, r.freqs);
+        assert_eq!(d.desired, r.desired);
+        assert_eq!(d.demotions, r.demotions);
+        assert_eq!(d.feasible, r.feasible);
+        assert_eq!(d.predicted_power_w.to_bits(), r.predicted_power_w.to_bits());
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&d.predicted_loss), bits(&r.predicted_loss));
+        assert_eq!(bits(&d.voltages), bits(&r.voltages));
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let alg = FvsstAlgorithm::p630();
+        let mut scratch = ScheduleScratch::new();
+        let procs = vec![busy(100.0), busy(40.0), busy(10.0)];
+        let first = alg
+            .schedule_with_scratch(&mut scratch, &procs, 200.0)
+            .clone();
+        // Different shape in between must not perturb later results.
+        alg.schedule_with_scratch(&mut scratch, &[busy(5.0)], f64::INFINITY);
+        let second = alg
+            .schedule_with_scratch(&mut scratch, &procs, 200.0)
+            .clone();
+        assert_eq!(first, second);
+        assert_eq!(first, alg.schedule(&procs, 200.0));
+    }
+
+    #[test]
+    fn heap_matches_reference_across_budget_sweep() {
+        let alg = FvsstAlgorithm::p630();
+        let procs = vec![busy(100.0), busy(75.0), busy(50.0), busy(25.0), busy(0.0)];
+        let top = alg.schedule(&procs, f64::INFINITY).predicted_power_w;
+        let mut budget = top + 10.0;
+        while budget > 0.0 {
+            let fast = alg.schedule(&procs, budget);
+            let naive = alg.schedule_reference(&procs, budget);
+            assert_eq!(fast, naive, "diverged at budget {budget}");
+            budget -= 7.0;
+        }
+    }
+
+    #[test]
     fn idle_detection_pins_idle_to_min() {
         let alg = FvsstAlgorithm::p630();
         let idle_proc = ProcInput {
@@ -365,6 +792,23 @@ mod tests {
         let d = alg.schedule(&[p], f64::INFINITY);
         assert_eq!(d.freqs[0], FreqMhz(700));
         assert_eq!(d.predicted_ipc[0], None);
+    }
+
+    #[test]
+    fn off_grid_processor_is_fixed_load() {
+        let alg = FvsstAlgorithm::p630();
+        // 675 MHz is not a P630 setting: the processor keeps it and is
+        // never demoted, even under an infeasible budget.
+        let p = ProcInput {
+            model: None,
+            idle: false,
+            current: FreqMhz(675),
+        };
+        let d = alg.schedule(&[p, busy(100.0)], 30.0);
+        assert_eq!(d.freqs[0], FreqMhz(675));
+        assert_eq!(d.freqs[1], FreqMhz(250));
+        assert!(!d.feasible);
+        assert_eq!(d, alg.schedule_reference(&[p, busy(100.0)], 30.0));
     }
 
     #[test]
@@ -474,7 +918,11 @@ mod tests {
             vec![FreqMhz(1000), FreqMhz(700), FreqMhz(800), FreqMhz(800)],
             "ε-constrained vector"
         );
-        assert!(d.predicted_power_w <= 294.0, "power {}", d.predicted_power_w);
+        assert!(
+            d.predicted_power_w <= 294.0,
+            "power {}",
+            d.predicted_power_w
+        );
         assert!(d.feasible);
         // The demoted total should land at the example's 289 W
         // (maximality: adding one step back anywhere would exceed 294 W
@@ -484,5 +932,6 @@ mod tests {
             "should not over-demote: {}",
             d.predicted_power_w
         );
+        assert_eq!(d, alg.schedule_reference(&procs, 294.0));
     }
 }

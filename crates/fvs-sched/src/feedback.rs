@@ -173,8 +173,7 @@ mod tests {
         // Fetch throttling cannot drop the voltage, so real power exceeds
         // the table and the open-loop scheduler settles over budget.
         let config = SchedulerConfig::p630().with_budget(BudgetSchedule::constant(294.0));
-        let mut sim =
-            ScheduledSimulation::new(honest_throttle_machine(), config).without_trace();
+        let mut sim = ScheduledSimulation::new(honest_throttle_machine(), config).without_trace();
         let report = sim.run_for(3.0);
         assert!(
             report.final_power_w > 294.0,
@@ -230,13 +229,9 @@ mod tests {
             .workload(2, WorkloadSpec::synthetic(100.0, 3.0e8))
             .workload(3, WorkloadSpec::synthetic(100.0, 3.0e8))
             .build();
-        let mut sim = ScheduledSimulation::with_policy(
-            machine,
-            guard,
-            BudgetSchedule::constant(294.0),
-            0.01,
-        )
-        .without_trace();
+        let mut sim =
+            ScheduledSimulation::with_policy(machine, guard, BudgetSchedule::constant(294.0), 0.01)
+                .without_trace();
         sim.run_for(1.0);
         let mid_margin = sim.policy().margin_w();
         sim.run_for(8.0);
@@ -254,13 +249,9 @@ mod tests {
             .workload(0, WorkloadSpec::synthetic(50.0, 1.0e13).looping())
             .build();
         let guard = FeedbackGuard::new(FvsstScheduler::new(4, SchedulerConfig::p630()));
-        let mut sim = ScheduledSimulation::with_policy(
-            machine,
-            guard,
-            BudgetSchedule::constant(294.0),
-            0.01,
-        )
-        .without_trace();
+        let mut sim =
+            ScheduledSimulation::with_policy(machine, guard, BudgetSchedule::constant(294.0), 0.01)
+                .without_trace();
         let report = sim.run_for(2.0);
         assert_eq!(sim.policy().margin_w(), 0.0);
         assert!(report.final_power_w <= 294.0);

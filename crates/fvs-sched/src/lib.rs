@@ -44,7 +44,9 @@ pub mod predictor;
 pub mod scheduler;
 pub mod sim_loop;
 
-pub use algorithm::{DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleDecision, SchedulingMode};
+pub use algorithm::{
+    DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleDecision, ScheduleScratch, SchedulingMode,
+};
 pub use feedback::{FeedbackConfig, FeedbackGuard};
 pub use mt_daemon::{CoreCommand, CoreSample, MtDaemon, MtSummary};
 pub use policy::{Decision, OverheadModel, PlatformView, Policy, TickContext};

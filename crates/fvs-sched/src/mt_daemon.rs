@@ -23,7 +23,7 @@
 //! with [`MtDaemon::submit`] and drains [`MtDaemon::poll_commands`]
 //! whenever convenient.
 
-use crate::algorithm::{FvsstAlgorithm, ProcInput};
+use crate::algorithm::{FvsstAlgorithm, ProcInput, ScheduleScratch};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fvs_model::{CounterDelta, CounterWindow, CpiModel, Estimator, FreqMhz, MemoryLatencies};
 use std::thread::JoinHandle;
@@ -140,26 +140,34 @@ impl MtDaemon {
                 let mut fresh = 0usize;
                 let mut budget_w = f64::INFINITY;
                 let mut schedules: u64 = 0;
-                let run =
+                // Reused across rounds: the scheduling computation itself
+                // allocates nothing in steady state.
+                let mut scratch = ScheduleScratch::new();
+                let mut procs: Vec<ProcInput> = Vec::with_capacity(n_cores);
+                let mut run =
                     |latest: &[Option<ProcUpdate>], budget_w: f64, schedules: &mut u64| {
-                        let procs: Vec<ProcInput> = latest
-                            .iter()
-                            .map(|u| match u {
-                                Some(u) => ProcInput {
-                                    model: u.model,
-                                    idle: u.idle,
-                                    current: u.current,
-                                },
-                                None => ProcInput {
-                                    model: None,
-                                    idle: false,
-                                    current: algorithm.freq_set.max(),
-                                },
-                            })
-                            .collect();
-                        let d = algorithm.schedule(&procs, budget_w);
+                        procs.clear();
+                        procs.extend(latest.iter().map(|u| match u {
+                            Some(u) => ProcInput {
+                                model: u.model,
+                                idle: u.idle,
+                                current: u.current,
+                            },
+                            None => ProcInput {
+                                model: None,
+                                idle: false,
+                                current: algorithm.freq_set.max(),
+                            },
+                        }));
+                        let d = algorithm.schedule_with_scratch(&mut scratch, &procs, budget_w);
                         *schedules += 1;
-                        d
+                        for (core, (f, v)) in d.freqs.iter().zip(&d.voltages).enumerate() {
+                            let _ = cmd_tx.send(CoreCommand {
+                                core,
+                                freq: *f,
+                                voltage: *v,
+                            });
+                        }
                     };
                 loop {
                     crossbeam::select! {
@@ -170,16 +178,7 @@ impl MtDaemon {
                                 // A full round of updates → timer tick.
                                 if fresh >= n_cores {
                                     fresh = 0;
-                                    let d = run(&latest, budget_w, &mut schedules);
-                                    for (core, (f, v)) in
-                                        d.freqs.iter().zip(&d.voltages).enumerate()
-                                    {
-                                        let _ = cmd_tx.send(CoreCommand {
-                                            core,
-                                            freq: *f,
-                                            voltage: *v,
-                                        });
-                                    }
+                                    run(&latest, budget_w, &mut schedules);
                                 }
                             }
                             Err(_) => break,
@@ -191,16 +190,7 @@ impl MtDaemon {
                                     // Budget signal: immediate round with
                                     // whatever data is on hand.
                                     if latest.iter().any(Option::is_some) {
-                                        let d = run(&latest, budget_w, &mut schedules);
-                                        for (core, (f, v)) in
-                                            d.freqs.iter().zip(&d.voltages).enumerate()
-                                        {
-                                            let _ = cmd_tx.send(CoreCommand {
-                                                core,
-                                                freq: *f,
-                                                voltage: *v,
-                                            });
-                                        }
+                                        run(&latest, budget_w, &mut schedules);
                                     }
                                 }
                             }
@@ -312,8 +302,16 @@ mod tests {
             }
         }
         cmds.sort_by_key(|c| c.core);
-        assert!(cmds[0].freq >= FreqMhz(950), "cpu-bound core: {:?}", cmds[0]);
-        assert!(cmds[1].freq <= FreqMhz(700), "memory-bound core: {:?}", cmds[1]);
+        assert!(
+            cmds[0].freq >= FreqMhz(950),
+            "cpu-bound core: {:?}",
+            cmds[0]
+        );
+        assert!(
+            cmds[1].freq <= FreqMhz(700),
+            "memory-bound core: {:?}",
+            cmds[1]
+        );
         // Voltages carried with the commands.
         assert!(cmds[0].voltage > cmds[1].voltage);
         let summary = daemon.shutdown();
@@ -355,7 +353,15 @@ mod tests {
     #[test]
     fn shutdown_and_drop_are_clean() {
         let daemon = MtDaemon::spawn(4, FvsstAlgorithm::p630(), 10);
-        daemon.submit(0, sample(&CpiModel::from_components(1.0, 0.0), 0.0, FreqMhz(1000), false));
+        daemon.submit(
+            0,
+            sample(
+                &CpiModel::from_components(1.0, 0.0),
+                0.0,
+                FreqMhz(1000),
+                false,
+            ),
+        );
         let summary = daemon.shutdown();
         assert_eq!(summary.schedules_run, 0, "no full round happened");
         assert_eq!(summary.samples_per_core[0], 1);
@@ -374,7 +380,10 @@ mod tests {
         let rounds = 5;
         for _ in 0..(10 * rounds) {
             for core in 0..n_cores {
-                daemon.submit(core, sample(&model, 2.0e-9 / 393.0e-9, FreqMhz(1000), false));
+                daemon.submit(
+                    core,
+                    sample(&model, 2.0e-9 / 393.0e-9, FreqMhz(1000), false),
+                );
             }
         }
         let mut received = 0;

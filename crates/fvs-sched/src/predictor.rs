@@ -201,8 +201,7 @@ mod tests {
         let lat = MemoryLatencies::P630;
         let mut p = Predictor::new(2, lat);
         let truth = CpiModel::from_components(1.0, 4.0e-9);
-        let delta =
-            synthesize_delta(&truth, 0.0, 0.0, 4.0e-9 / 393.0e-9, 1.0e7, FreqMhz(1000));
+        let delta = synthesize_delta(&truth, 0.0, 0.0, 4.0e-9 / 393.0e-9, 1.0e7, FreqMhz(1000));
         p.push(0, &delta);
         let m = p.refit(0, FreqMhz(1000)).unwrap();
         assert!((m.cpi0 - truth.cpi0).abs() < 1e-6);

@@ -1,7 +1,9 @@
 //! The stateful fvsst scheduler daemon: triggers, windows, and the
 //! policy implementation.
 
-use crate::algorithm::{FvsstAlgorithm, ProcInput, ScheduleDecision, SchedulingMode};
+use crate::algorithm::{
+    FvsstAlgorithm, ProcInput, ScheduleDecision, ScheduleScratch, SchedulingMode,
+};
 use crate::policy::{Decision, OverheadModel, Policy, TickContext};
 use crate::predictor::{ErrorStats, PredictionTracker, Predictor};
 use fvs_power::BudgetSchedule;
@@ -117,6 +119,8 @@ pub struct FvsstScheduler {
     last_decision: Option<ScheduleDecision>,
     schedules_run: u64,
     triggers: Vec<(f64, Trigger)>,
+    scratch: ScheduleScratch,
+    proc_buf: Vec<ProcInput>,
 }
 
 impl FvsstScheduler {
@@ -133,6 +137,8 @@ impl FvsstScheduler {
             last_decision: None,
             schedules_run: 0,
             triggers: Vec::new(),
+            scratch: ScheduleScratch::new(),
+            proc_buf: Vec::with_capacity(n_cores),
         }
     }
 
@@ -179,14 +185,21 @@ impl FvsstScheduler {
                 self.tracker.observe(i, observed, ctx.transitional[i]);
             }
         }
-        let procs: Vec<ProcInput> = (0..n)
-            .map(|i| ProcInput {
+        self.proc_buf.clear();
+        for i in 0..n {
+            self.proc_buf.push(ProcInput {
                 model: self.predictor.refit(i, ctx.current[i]),
                 idle: ctx.idle[i],
                 current: ctx.current[i],
-            })
-            .collect();
-        let d = self.config.algorithm.schedule(&procs, ctx.budget_w);
+            });
+        }
+        // Steady-state path: the scratch is reused across rounds, so the
+        // computation itself performs no allocation after warm-up.
+        let d = self.config.algorithm.schedule_with_scratch(
+            &mut self.scratch,
+            &self.proc_buf,
+            ctx.budget_w,
+        );
         for i in 0..n {
             self.tracker.predict(i, d.predicted_ipc[i]);
         }
@@ -197,7 +210,10 @@ impl FvsstScheduler {
             powered_on: vec![true; n],
             feasible: d.feasible,
         };
-        self.last_decision = Some(d);
+        match &mut self.last_decision {
+            Some(prev) => prev.clone_from(d),
+            None => self.last_decision = Some(d.clone()),
+        }
         out
     }
 }
@@ -224,8 +240,8 @@ impl Policy for FvsstScheduler {
         // Trigger 3: idle edges (deferred while rate-limited, never
         // dropped — the pending flag survives until served or until a
         // schedule runs for another reason).
-        let idle_changed = self.config.idle_edge_trigger
-            && (0..n).any(|i| ctx.idle[i] != self.last_idle[i]);
+        let idle_changed =
+            self.config.idle_edge_trigger && (0..n).any(|i| ctx.idle[i] != self.last_idle[i]);
         self.last_idle.clear();
         self.last_idle.extend_from_slice(ctx.idle);
         if idle_changed {
@@ -236,8 +252,7 @@ impl Policy for FvsstScheduler {
             self.pending_idle_edge = false;
             return Some(self.run_schedule(ctx, Trigger::BudgetChange));
         }
-        if self.pending_idle_edge
-            && self.ticks_since_schedule >= self.config.idle_edge_min_spacing
+        if self.pending_idle_edge && self.ticks_since_schedule >= self.config.idle_edge_min_spacing
         {
             self.pending_idle_edge = false;
             return Some(self.run_schedule(ctx, Trigger::IdleEdge));
@@ -264,10 +279,10 @@ impl Policy for FvsstScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fvs_model::FreqMhz;
     use crate::policy::PlatformView;
     use fvs_model::counters::synthesize_delta;
     use fvs_model::CpiModel;
+    use fvs_model::FreqMhz;
 
     fn ctx<'a>(
         now_s: f64,
@@ -327,10 +342,7 @@ mod tests {
             }
         }
         assert_eq!(decisions, 3, "30 ticks / n=10");
-        assert!(s
-            .trigger_log()
-            .iter()
-            .all(|(_, t)| *t == Trigger::Timer));
+        assert!(s.trigger_log().iter().all(|(_, t)| *t == Trigger::Timer));
     }
 
     #[test]
@@ -360,16 +372,40 @@ mod tests {
         let model = CpiModel::from_components(1.0 / 1.3, 0.0);
         let current = [FreqMhz(1000)];
         let samples = [sample_for(&model, 0.0, FreqMhz(1000), 0.01)];
-        let c0 = ctx(0.01, 0, f64::INFINITY, &samples, &[false], &current, &platform);
+        let c0 = ctx(
+            0.01,
+            0,
+            f64::INFINITY,
+            &samples,
+            &[false],
+            &current,
+            &platform,
+        );
         assert!(s.on_tick(&c0).is_some(), "bootstrap decision");
         // The edge arrives one tick after the bootstrap: deferred by the
         // rate limiter (min spacing 2)…
         let samples = [sample_for(&model, 0.0, FreqMhz(1000), 0.01)];
-        let c1 = ctx(0.02, 1, f64::INFINITY, &samples, &[true], &current, &platform);
+        let c1 = ctx(
+            0.02,
+            1,
+            f64::INFINITY,
+            &samples,
+            &[true],
+            &current,
+            &platform,
+        );
         assert!(s.on_tick(&c1).is_none(), "edge deferred inside the window");
         // …and served on the next tick, not dropped.
         let samples = [sample_for(&model, 0.0, FreqMhz(1000), 0.01)];
-        let c2 = ctx(0.03, 2, f64::INFINITY, &samples, &[true], &current, &platform);
+        let c2 = ctx(
+            0.03,
+            2,
+            f64::INFINITY,
+            &samples,
+            &[true],
+            &current,
+            &platform,
+        );
         let d = s.on_tick(&c2).expect("idle edge must trigger");
         assert_eq!(d.freqs[0], FreqMhz(250));
         assert_eq!(s.trigger_log()[1].1, Trigger::IdleEdge);

@@ -17,10 +17,7 @@ enum BudgetSource {
     /// A bank of power supplies: the budget is the surviving capacity
     /// minus the non-processor power draw, and the bank tracks cascade
     /// deadlines against the *actual* total draw.
-    Supplies {
-        bank: SupplyBank,
-        non_cpu_w: f64,
-    },
+    Supplies { bank: SupplyBank, non_cpu_w: f64 },
 }
 
 /// Outcome summary of a managed run.
@@ -98,12 +95,7 @@ impl ScheduledSimulation<FvsstScheduler> {
 
 impl<P: Policy> ScheduledSimulation<P> {
     /// A machine under an arbitrary policy (baselines, ablations).
-    pub fn with_policy(
-        machine: Machine,
-        policy: P,
-        budget: BudgetSchedule,
-        t_s: f64,
-    ) -> Self {
+    pub fn with_policy(machine: Machine, policy: P, budget: BudgetSchedule, t_s: f64) -> Self {
         let n = machine.num_cores();
         let cfg = machine.config();
         let platform = PlatformView {
@@ -173,9 +165,7 @@ impl<P: Policy> ScheduledSimulation<P> {
     pub fn budget_w(&self) -> f64 {
         match &self.budget {
             BudgetSource::Schedule(s) => s.budget_at(self.machine.now_s()),
-            BudgetSource::Supplies { bank, non_cpu_w } => {
-                (bank.capacity_w() - non_cpu_w).max(0.0)
-            }
+            BudgetSource::Supplies { bank, non_cpu_w } => (bank.capacity_w() - non_cpu_w).max(0.0),
         }
     }
 
@@ -462,8 +452,7 @@ mod tests {
         let machine = machine_with([100.0, 60.0, 30.0, 10.0]);
         let config = SchedulerConfig::p630();
         let bank = SupplyBank::p630_scenario(0.5);
-        let mut sim =
-            ScheduledSimulation::new(machine, config).with_supply_bank(bank, 186.0);
+        let mut sim = ScheduledSimulation::new(machine, config).with_supply_bank(bank, 186.0);
         let report = sim.run_for(3.0);
         assert_eq!(report.cascaded_at_s, None, "fvsst must beat the deadline");
         assert!(report.final_power_w <= 294.0 + 1e-9);
@@ -483,8 +472,7 @@ mod tests {
     #[test]
     fn without_trace_records_nothing() {
         let machine = machine_with([50.0; 4]);
-        let mut sim =
-            ScheduledSimulation::new(machine, SchedulerConfig::p630()).without_trace();
+        let mut sim = ScheduledSimulation::new(machine, SchedulerConfig::p630()).without_trace();
         sim.run_for(0.2);
         assert!(sim.trace().is_empty());
     }

@@ -1,0 +1,89 @@
+//! Counting-allocator proof of the scratch path's steady-state claim:
+//! after warm-up, `schedule_with_scratch` performs zero heap
+//! allocations per call.
+//!
+//! The counting `#[global_allocator]` applies to this whole test binary,
+//! so the file holds only this test — any other test running
+//! concurrently would perturb the counters.
+
+use fvs_model::{CpiModel, FreqMhz};
+use fvs_sched::{DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleScratch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn mixed_procs(n: usize) -> Vec<ProcInput> {
+    (0..n)
+        .map(|i| ProcInput {
+            model: (i % 17 != 0).then(|| {
+                CpiModel::from_components(1.0 + (i % 7) as f64 * 0.1, (i % 11) as f64 * 1.0e-9)
+            }),
+            idle: i % 13 == 0,
+            current: FreqMhz(1000),
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_schedule_with_scratch_does_not_allocate() {
+    for order in [DemotionOrder::LeastPredictedLoss, DemotionOrder::RoundRobin] {
+        let mut alg = FvsstAlgorithm::p630();
+        alg.demotion_order = order;
+        let procs = mixed_procs(64);
+        // Demotion-heavy: just above the 9 W/processor floor, so pass 2
+        // walks nearly every processor down the whole table — the heap
+        // sees its maximum churn.
+        let budget = 64.0 * 10.0;
+        let mut scratch = ScheduleScratch::new();
+
+        // Warm-up sizes every buffer (tables, heap, output vectors).
+        for _ in 0..3 {
+            alg.schedule_with_scratch(&mut scratch, &procs, budget);
+        }
+
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..50 {
+            let d = alg.schedule_with_scratch(&mut scratch, &procs, budget);
+            assert!(d.feasible);
+            assert!(d.demotions > 0, "budget must actually force demotions");
+        }
+        // Also vary the budget (different demotion counts, same shapes).
+        for step in 0..50 {
+            let d = alg.schedule_with_scratch(&mut scratch, &procs, budget + step as f64 * 40.0);
+            std::hint::black_box(d.predicted_power_w);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state schedule_with_scratch allocated ({order:?})"
+        );
+    }
+}

@@ -145,8 +145,10 @@ impl ThrottleActuator {
 
     /// The quantised effective frequency for the current duty setting.
     fn quantised(&self) -> FreqMhz {
-        FreqMhz((u64::from(self.f_nom.0) * u64::from(self.duty_steps) / u64::from(self.steps))
-            .max(1) as u32)
+        FreqMhz(
+            (u64::from(self.f_nom.0) * u64::from(self.duty_steps) / u64::from(self.steps)).max(1)
+                as u32,
+        )
     }
 }
 

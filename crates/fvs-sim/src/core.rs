@@ -383,7 +383,10 @@ mod tests {
 
     #[test]
     fn looping_workload_never_finishes() {
-        let w = SyntheticConfig::single(50.0, 1.0e6).body_only().looping().build();
+        let w = SyntheticConfig::single(50.0, 1.0e6)
+            .body_only()
+            .looping()
+            .build();
         let mut c = core_with(w, FreqMhz(1000));
         let lat = MemoryLatencies::P630;
         for i in 0..100 {
@@ -432,7 +435,10 @@ mod tests {
             c.stats().completed_at_s.unwrap()
         };
         let ratio = run(500) / run(1000);
-        assert!(ratio < 1.1, "memory-bound slowdown should be small: {ratio}");
+        assert!(
+            ratio < 1.1,
+            "memory-bound slowdown should be small: {ratio}"
+        );
     }
 
     #[test]

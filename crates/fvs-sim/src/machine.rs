@@ -128,9 +128,7 @@ impl MachineBuilder {
             .enumerate()
             .map(|(i, w)| {
                 let actuator: Box<dyn Actuator> = match self.actuator {
-                    ActuatorKind::DvfsInstant => {
-                        Box::new(DvfsActuator::instant(self.initial_freq))
-                    }
+                    ActuatorKind::DvfsInstant => Box::new(DvfsActuator::instant(self.initial_freq)),
                     ActuatorKind::Dvfs { settle_s } => {
                         Box::new(DvfsActuator::new(self.initial_freq, settle_s))
                     }
@@ -408,9 +406,11 @@ mod tests {
         // is retired, total body work across both cores equals both
         // jobs' budgets, with no instruction lost in the move.
         m.run_for(30.0, 0.01);
-        let total =
-            m.core(0).stats().body_instructions + m.core(1).stats().body_instructions;
-        assert!((total - 1.2e9).abs() < 1.0, "total {total}, done0 was {done0}");
+        let total = m.core(0).stats().body_instructions + m.core(1).stats().body_instructions;
+        assert!(
+            (total - 1.2e9).abs() < 1.0,
+            "total {total}, done0 was {done0}"
+        );
     }
 
     #[test]

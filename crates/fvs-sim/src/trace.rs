@@ -133,11 +133,7 @@ impl ResidencyHistogram {
         if self.total <= 0.0 {
             return 0.0;
         }
-        self.weights
-            .range(f.0..)
-            .map(|(_, w)| *w)
-            .sum::<f64>()
-            / self.total
+        self.weights.range(f.0..).map(|(_, w)| *w).sum::<f64>() / self.total
     }
 
     /// The frequency with the greatest weight, if any.

@@ -206,16 +206,8 @@ mod tests {
         for app in [AppBenchmark::Gzip, AppBenchmark::Gap] {
             let p750 = capped_perf_ratio(app, FreqMhz(750));
             let p500 = capped_perf_ratio(app, FreqMhz(500));
-            assert!(
-                (0.75..0.85).contains(&p750),
-                "{} @750: {p750}",
-                app.name()
-            );
-            assert!(
-                (0.50..0.62).contains(&p500),
-                "{} @500: {p500}",
-                app.name()
-            );
+            assert!((0.75..0.85).contains(&p750), "{} @750: {p750}", app.name());
+            assert!((0.50..0.62).contains(&p500), "{} @500: {p500}", app.name());
         }
     }
 
@@ -225,11 +217,7 @@ mod tests {
             let p750 = capped_perf_ratio(app, FreqMhz(750));
             let p500 = capped_perf_ratio(app, FreqMhz(500));
             assert!(p750 > 0.93, "{} @750: {p750}", app.name());
-            assert!(
-                (0.78..0.93).contains(&p500),
-                "{} @500: {p500}",
-                app.name()
-            );
+            assert!((0.78..0.93).contains(&p500), "{} @500: {p500}", app.name());
             // Order: 35 W hurts more than 75 W.
             assert!(p500 < p750);
         }

@@ -126,10 +126,7 @@ impl SyntheticConfig {
         instructions_b: f64,
     ) -> Self {
         SyntheticConfig {
-            phases: vec![
-                (intensity_a, instructions_a),
-                (intensity_b, instructions_b),
-            ],
+            phases: vec![(intensity_a, instructions_a), (intensity_b, instructions_b)],
             with_init: true,
             with_exit: true,
             init_instructions: 2.0e8,

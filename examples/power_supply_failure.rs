@@ -13,8 +13,8 @@
 //! ```
 
 use fvs_baselines::NoDvfs;
-use fvsst::prelude::*;
 use fvsst::power::SupplyBank;
+use fvsst::prelude::*;
 
 const NON_CPU_W: f64 = 186.0;
 

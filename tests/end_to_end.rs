@@ -1,8 +1,8 @@
 //! End-to-end integration tests across the whole crate stack: machine
 //! substrate + scheduler + power models together.
 
-use fvsst::prelude::*;
 use fvsst::power::BudgetEvent;
+use fvsst::prelude::*;
 
 fn diverse_machine() -> Machine {
     MachineBuilder::p630()
@@ -20,7 +20,11 @@ fn budget_is_enforced_end_to_end() {
     let report = sim.run_for(2.0);
     assert!(report.final_power_w <= 294.0);
     // Only the bootstrap tick may be over budget.
-    assert!(report.violation_s <= 0.02, "violated {}s", report.violation_s);
+    assert!(
+        report.violation_s <= 0.02,
+        "violated {}s",
+        report.violation_s
+    );
 }
 
 #[test]
@@ -51,7 +55,11 @@ fn sudden_budget_drop_is_honored_within_two_ticks() {
     assert!(report.final_power_w <= 200.0);
     // The drop lands mid-run; the scheduler reacts on the next dispatch
     // tick (10 ms), so the violation window is at most ~2 ticks.
-    assert!(report.violation_s <= 0.03, "violated {}s", report.violation_s);
+    assert!(
+        report.violation_s <= 0.03,
+        "violated {}s",
+        report.violation_s
+    );
 }
 
 #[test]
@@ -157,7 +165,11 @@ fn drifting_workloads_stay_tracked_and_compliant() {
     let mut sim = ScheduledSimulation::new(machine, config);
     let report = sim.run_for(3.0);
     assert!(report.final_power_w <= 294.0);
-    assert!(report.violation_s <= 0.05, "violated {}s", report.violation_s);
+    assert!(
+        report.violation_s <= 0.05,
+        "violated {}s",
+        report.violation_s
+    );
     // Prediction error grows under drift but stays bounded (drift is
     // slow relative to T).
     for i in 0..4 {

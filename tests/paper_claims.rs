@@ -134,7 +134,10 @@ fn hot_idle_pathology_and_cure() {
     };
     let cured = run(true);
     let sick = run(false);
-    assert!((cured - 36.0).abs() < 1e-6, "4 × 9 W at 250 MHz, got {cured}");
+    assert!(
+        (cured - 36.0).abs() < 1e-6,
+        "4 × 9 W at 250 MHz, got {cured}"
+    );
     assert!(sick > 500.0, "hot idle at f_max, got {sick}");
 }
 

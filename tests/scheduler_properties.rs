@@ -3,7 +3,7 @@
 
 use fvsst::model::{CpiModel, FreqMhz};
 use fvsst::power::{FreqPowerTable, VoltageTable};
-use fvsst::sched::{FvsstAlgorithm, ProcInput};
+use fvsst::sched::{DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleScratch};
 use proptest::prelude::*;
 
 fn arb_proc() -> impl Strategy<Value = ProcInput> {
@@ -13,6 +13,24 @@ fn arb_proc() -> impl Strategy<Value = ProcInput> {
         any::<bool>(),   // idle
         prop::sample::select(vec![250u32, 500, 650, 800, 1000]),
         any::<bool>(), // has model
+    )
+        .prop_map(|(cpi0, m, idle, cur, has_model)| ProcInput {
+            model: has_model.then(|| CpiModel::from_components(cpi0, m)),
+            idle,
+            current: FreqMhz(cur),
+        })
+}
+
+/// Like [`arb_proc`] but the current frequency may fall *between* the
+/// schedulable settings (an unmodelled processor then acts as a fixed,
+/// undemotable load) — the differential tests must cover that path too.
+fn arb_proc_offgrid() -> impl Strategy<Value = ProcInput> {
+    (
+        0.3f64..4.0,
+        0.0f64..40.0e-9,
+        any::<bool>(),
+        prop::sample::select(vec![250u32, 500, 675, 800, 990, 1000]),
+        any::<bool>(),
     )
         .prop_map(|(cpi0, m, idle, cur, has_model)| ProcInput {
             model: has_model.then(|| CpiModel::from_components(cpi0, m)),
@@ -133,6 +151,42 @@ proptest! {
         for (i, p) in procs.iter().enumerate() {
             let solo = alg.schedule(std::slice::from_ref(p), f64::INFINITY);
             prop_assert_eq!(joint.freqs[i], solo.freqs[0]);
+        }
+    }
+
+    /// Differential: the heap-based incremental pass 2 produces decisions
+    /// bit-identical to the naive O(d·n) reference loop — every field,
+    /// across random mixes (including off-grid currents and empty
+    /// processor lists), random budgets, and both demotion orders.
+    #[test]
+    fn heap_pass2_matches_naive_reference(
+        procs in prop::collection::vec(arb_proc_offgrid(), 0..16),
+        budget in 5.0f64..2000.0,
+        round_robin in any::<bool>(),
+    ) {
+        let mut alg = FvsstAlgorithm::p630();
+        if round_robin {
+            alg.demotion_order = DemotionOrder::RoundRobin;
+        }
+        let fast = alg.schedule(&procs, budget);
+        let naive = alg.schedule_reference(&procs, budget);
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// A reused scratch gives the same decisions as fresh one-shot calls,
+    /// for any interleaving of processor counts and budgets.
+    #[test]
+    fn scratch_reuse_matches_one_shot(
+        rounds in prop::collection::vec(
+            (prop::collection::vec(arb_proc_offgrid(), 0..12), 5.0f64..2000.0),
+            1..6,
+        ),
+    ) {
+        let alg = FvsstAlgorithm::p630();
+        let mut scratch = ScheduleScratch::new();
+        for (procs, budget) in &rounds {
+            let reused = alg.schedule_with_scratch(&mut scratch, procs, *budget).clone();
+            prop_assert_eq!(reused, alg.schedule_reference(procs, *budget));
         }
     }
 }

@@ -1,0 +1,273 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Measures real wall-clock time: each `Bencher::iter` call calibrates an
+//! iteration count so one sample lasts a few milliseconds, collects
+//! `sample_size` samples, reports the median, and writes
+//! `target/criterion/<group>/<id>/estimates.json` in (a subset of)
+//! criterion's on-disk format so downstream tooling can collect medians.
+//! No statistical analysis beyond median/min/max, no HTML reports.
+#![allow(clippy::all)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(60);
+const SAMPLE_TARGET: Duration = Duration::from_millis(8);
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id that is just the parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Runs the measured routine; handed to the bench closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`, calibrating iteration count first.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate cost per iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / iters as f64);
+        }
+    }
+}
+
+fn target_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() || dir.join("target").is_dir() {
+            return dir.join("target");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target");
+        }
+    }
+}
+
+fn sanitize(component: &str) -> String {
+    component
+        .chars()
+        .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+        .collect()
+}
+
+fn run_one(full_id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{full_id:<40} (no measurement: iter was never called)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    println!(
+        "{full_id:<40} time: [{} {} {}]",
+        format_ns(lo),
+        format_ns(median),
+        format_ns(hi)
+    );
+
+    // Subset of criterion's estimates.json: enough for tooling that
+    // reads `.median.point_estimate` (nanoseconds).
+    let mut dir = target_dir().join("criterion");
+    for part in full_id.split('/') {
+        dir.push(sanitize(part));
+    }
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let json = format!(
+            "{{\n  \"median\": {{\"point_estimate\": {median}}},\n  \
+             \"min\": {{\"point_estimate\": {lo}}},\n  \
+             \"max\": {{\"point_estimate\": {hi}}},\n  \
+             \"sample_size\": {}\n}}\n",
+            samples.len()
+        );
+        if let Ok(mut file) = std::fs::File::create(dir.join("estimates.json")) {
+            let _ = file.write_all(json.as_bytes());
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, DEFAULT_SAMPLE_SIZE, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare a bench group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_samples() {
+        let mut bencher = Bencher {
+            sample_size: 3,
+            samples: Vec::new(),
+        };
+        bencher.iter(|| black_box(1u64 + 1));
+        assert_eq!(bencher.samples.len(), 3);
+        assert!(bencher.samples.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+        assert_eq!(BenchmarkId::new("tick", 8).id, "tick/8");
+    }
+}

@@ -1,0 +1,427 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Implements the channel subset this workspace uses: `bounded` /
+//! `unbounded` mpmc channels with blocking `send`/`recv`,
+//! non-blocking `try_recv`/`try_iter`, disconnect-on-drop semantics, and
+//! a two/three-arm `select!` macro over `recv(rx) -> msg` arms. The
+//! select is a short-interval poll rather than a true waker-based wait —
+//! adequate for the daemon control paths that use it.
+#![allow(clippy::all)]
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: Option<usize>,
+    }
+
+    /// Sending half. Clonable; the channel disconnects when every sender
+    /// is dropped.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half. Clonable; `send` fails once every receiver is
+    /// dropped.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// The message could not be delivered: all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// The channel is empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Outcome of a non-blocking receive attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is ready, but senders remain.
+        Empty,
+        /// No message is ready and all senders are gone.
+        Disconnected,
+    }
+
+    /// Channel with a maximum capacity; `send` blocks when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap))
+    }
+
+    /// Channel with unlimited capacity; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver `msg`, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.shared.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self.shared.not_full.wait(inner).expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut inner = self.shared.inner.lock().expect("channel lock");
+                inner.senders -= 1;
+                inner.senders
+            };
+            if remaining == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Take the next message, blocking until one arrives or every
+        /// sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.not_empty.wait(inner).expect("channel lock");
+            }
+        }
+
+        /// Take the next message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock");
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Drain currently-queued messages without blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut inner = self.shared.inner.lock().expect("channel lock");
+                inner.receivers -= 1;
+                inner.receivers
+            };
+            if remaining == 0 {
+                // Wake blocked senders so they observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Iterator over [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+}
+
+/// Wait on several `recv(rx) -> msg => body` arms at once.
+///
+/// Poll-based: each pass tries the arms in order and sleeps ~50µs when
+/// nothing is ready. The winning arm's result is captured first and its
+/// body runs *outside* the polling loop, so `break`/`continue` inside a
+/// body bind to the caller's enclosing loop, exactly as with real
+/// crossbeam.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($rx0:expr) -> $msg0:pat => $body0:expr,
+        recv($rx1:expr) -> $msg1:pat => $body1:expr $(,)?
+    ) => {{
+        let mut __sel_res0 = ::core::option::Option::None;
+        let mut __sel_res1 = ::core::option::Option::None;
+        loop {
+            match $rx0.try_recv() {
+                ::core::result::Result::Ok(v) => {
+                    __sel_res0 = ::core::option::Option::Some(::core::result::Result::Ok(v));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __sel_res0 = ::core::option::Option::Some(::core::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match $rx1.try_recv() {
+                ::core::result::Result::Ok(v) => {
+                    __sel_res1 = ::core::option::Option::Some(::core::result::Result::Ok(v));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __sel_res1 = ::core::option::Option::Some(::core::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(50));
+        }
+        if let ::core::option::Option::Some($msg0) = __sel_res0 {
+            $body0
+        } else if let ::core::option::Option::Some($msg1) = __sel_res1 {
+            $body1
+        } else {
+            ::core::unreachable!("select! polling loop exited without a ready arm")
+        }
+    }};
+    (
+        recv($rx0:expr) -> $msg0:pat => $body0:expr,
+        recv($rx1:expr) -> $msg1:pat => $body1:expr,
+        recv($rx2:expr) -> $msg2:pat => $body2:expr $(,)?
+    ) => {{
+        let mut __sel_res0 = ::core::option::Option::None;
+        let mut __sel_res1 = ::core::option::Option::None;
+        let mut __sel_res2 = ::core::option::Option::None;
+        loop {
+            match $rx0.try_recv() {
+                ::core::result::Result::Ok(v) => {
+                    __sel_res0 = ::core::option::Option::Some(::core::result::Result::Ok(v));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __sel_res0 = ::core::option::Option::Some(::core::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match $rx1.try_recv() {
+                ::core::result::Result::Ok(v) => {
+                    __sel_res1 = ::core::option::Option::Some(::core::result::Result::Ok(v));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __sel_res1 = ::core::option::Option::Some(::core::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            match $rx2.try_recv() {
+                ::core::result::Result::Ok(v) => {
+                    __sel_res2 = ::core::option::Option::Some(::core::result::Result::Ok(v));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                    __sel_res2 = ::core::option::Option::Some(::core::result::Result::Err(
+                        $crate::channel::RecvError,
+                    ));
+                    break;
+                }
+                ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(50));
+        }
+        if let ::core::option::Option::Some($msg0) = __sel_res0 {
+            $body0
+        } else if let ::core::option::Option::Some($msg1) = __sel_res1 {
+            $body1
+        } else if let ::core::option::Option::Some($msg2) = __sel_res2 {
+            $body2
+        } else {
+            ::core::unreachable!("select! polling loop exited without a ready arm")
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError, TryRecvError};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(10).unwrap();
+        let handle = thread::spawn(move || {
+            tx.send(20).unwrap(); // blocks until the first recv
+            30
+        });
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(10));
+        assert_eq!(rx.recv(), Ok(20));
+        assert_eq!(handle.join().unwrap(), 30);
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+
+    #[test]
+    fn try_iter_drains_queue() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let drained: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn select_breaks_bind_to_user_loop() {
+        let (data_tx, data_rx) = unbounded::<u32>();
+        let (ctl_tx, ctl_rx) = unbounded::<&'static str>();
+        let handle = thread::spawn(move || {
+            let mut total = 0u32;
+            loop {
+                crate::select! {
+                    recv(data_rx) -> msg => match msg {
+                        Ok(v) => total += v,
+                        Err(_) => break,
+                    },
+                    recv(ctl_rx) -> msg => match msg {
+                        Ok("stop") | Err(_) => break,
+                        Ok(_) => {}
+                    },
+                }
+            }
+            total
+        });
+        data_tx.send(3).unwrap();
+        data_tx.send(4).unwrap();
+        thread::sleep(Duration::from_millis(20));
+        ctl_tx.send("stop").unwrap();
+        assert_eq!(handle.join().unwrap(), 7);
+    }
+}

@@ -1,0 +1,607 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Deterministic random property testing covering the subset this
+//! workspace uses: `proptest!` blocks with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, strategies over
+//! numeric ranges, tuples, `Just`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop::sample::select`, `any::<bool/u64/...>()`, `.prop_map`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its seed instead), and value streams are not compatible with
+//! upstream's. Each test's RNG seed is derived from its name, so runs
+//! are reproducible.
+#![allow(clippy::all)]
+
+/// Core strategy abstraction and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    /// Box a strategy (inference-friendly helper for `prop_oneof!`).
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+        Box::new(strategy)
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the alternative strategies.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.usize_inclusive(0, self.options.len() - 1);
+            self.options[idx].generate(rng)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 strategy range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (a, b) = (*self.start(), *self.end());
+            assert!(a <= b, "empty f64 strategy range");
+            a + rng.unit_f64() * (b - a)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (a, b) = (*self.start(), *self.end());
+                    assert!(a <= b, "empty integer strategy range");
+                    let span = (b as i128 - a as i128) as u128 + 1;
+                    (a as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $S:ident),+))+) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for `Self`.
+        type Strategy: Strategy<Value = Self>;
+        /// Build that strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-domain strategy for a primitive (see [`Arbitrary`] impls).
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+    macro_rules! any_primitive {
+        ($($t:ty => |$rng:ident| $gen:expr;)*) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+                fn generate(&self, $rng: &mut TestRng) -> $t {
+                    $gen
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+    any_primitive! {
+        bool => |rng| rng.next_u64() & 1 == 1;
+        u8 => |rng| rng.next_u64() as u8;
+        u16 => |rng| rng.next_u64() as u16;
+        u32 => |rng| rng.next_u64() as u32;
+        u64 => |rng| rng.next_u64();
+        usize => |rng| rng.next_u64() as usize;
+        i32 => |rng| rng.next_u64() as i32;
+        i64 => |rng| rng.next_u64() as i64;
+        f64 => |rng| rng.unit_f64();
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Anything usable as a vec-length specification.
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` length bounds.
+        fn size_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn size_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy yielding `Vec`s of another strategy's values.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.size_bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_inclusive(self.min, self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Strategy drawing uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.usize_inclusive(0, self.options.len() - 1);
+            self.options[idx].clone()
+        }
+    }
+}
+
+/// Test-loop plumbing: config, RNG, and case outcomes.
+pub mod test_runner {
+    /// Run configuration. `ProptestConfig` in the prelude.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case does not count.
+        Reject(String),
+        /// `prop_assert!`-style failure; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A rejection (input filtered out).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// A real assertion failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Deterministic SplitMix64 stream used for all generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded RNG; the `proptest!` macro seeds from the test name.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform draw from `[min, max]`.
+        pub fn usize_inclusive(&mut self, min: usize, max: usize) -> usize {
+            debug_assert!(min <= max);
+            let span = (max - min) as u64 + 1;
+            min + (self.next_u64() % span) as usize
+        }
+
+        /// FNV-1a hash of a test path, for per-test seeds.
+        pub fn seed_from_name(name: &str) -> u64 {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` / `prop::sample::select`
+/// work with `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fail the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Reject (skip) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Define property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::__proptest_run!(@cfg($cfg) @name($name) @params($($params)*) @body($body));
+        }
+        $crate::__proptest_each! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    (@cfg($cfg:expr) @name($name:ident) @params($($pname:pat in $strat:expr),+ $(,)?) @body($body:block)) => {{
+        let __config: $crate::test_runner::Config = $cfg;
+        let __seed = $crate::test_runner::TestRng::seed_from_name(
+            concat!(module_path!(), "::", stringify!($name)),
+        );
+        let mut __rng = $crate::test_runner::TestRng::new(__seed);
+        let mut __accepted: u32 = 0;
+        let mut __attempts: u64 = 0;
+        while __accepted < __config.cases {
+            __attempts += 1;
+            assert!(
+                __attempts <= __config.cases as u64 * 100 + 1000,
+                "proptest `{}`: too many rejected cases ({} attempts for {} accepted)",
+                stringify!($name),
+                __attempts,
+                __accepted,
+            );
+            let __case_seed = __rng.next_u64();
+            let __vals = {
+                let mut __case_rng = $crate::test_runner::TestRng::new(__case_seed);
+                ($( $crate::strategy::Strategy::generate(&($strat), &mut __case_rng), )+)
+            };
+            let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (move || {
+                    let ($($pname,)+) = __vals;
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+            match __result {
+                ::core::result::Result::Ok(()) => __accepted += 1,
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{}` failed (case seed {:#x}): {}",
+                        stringify!($name),
+                        __case_seed,
+                        msg,
+                    );
+                }
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 0.0f64..10.0,
+            n in 250u32..=1000,
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((0.0..10.0).contains(&x));
+            prop_assert!((250..=1000).contains(&n));
+            prop_assert!(flag || !flag);
+        }
+
+        #[test]
+        fn vec_and_select_and_map(
+            mut v in prop::collection::vec(prop::sample::select(vec![1u32, 2, 3]), 2..6),
+            fixed in prop::collection::vec(any::<u64>(), 4),
+            mapped in (0u32..5).prop_map(|x| x * 2),
+        ) {
+            v.push(1);
+            prop_assert!(v.len() >= 3 && v.len() <= 6);
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!(v.iter().all(|&x| (1..=3).contains(&x)));
+            prop_assert_eq!(mapped % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_assume(choice in prop_oneof![Just(0.0f64), 1.0f64..2.0, Just(f64::NAN)]) {
+            prop_assume!(!choice.is_nan());
+            prop_assert!(choice == 0.0 || (1.0..2.0).contains(&choice));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let seed = crate::test_runner::TestRng::seed_from_name("x");
+        let mut a = crate::test_runner::TestRng::new(seed);
+        let mut b = crate::test_runner::TestRng::new(seed);
+        let s = 0.0f64..1.0e9;
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn unsatisfiable_assume_panics() {
+        crate::proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0u32..10) {
+                prop_assume!(x > 100);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,271 @@
+//! Offline stand-in for `rand`.
+//!
+//! Implements the subset this workspace uses: `SeedableRng::seed_from_u64`,
+//! `rngs::{StdRng, SmallRng}`, and `Rng::gen_range` over float and integer
+//! ranges. The core generator is xoshiro256++ seeded through SplitMix64 —
+//! deterministic, fast, and statistically solid for simulation noise.
+#![allow(clippy::all)]
+
+/// Low-level entropy source.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte buffer with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-size byte array for the provided RNGs).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a single `u64`, expanded via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ core shared by [`rngs::StdRng`] and [`rngs::SmallRng`].
+#[derive(Debug, Clone)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // An all-zero state is the one fixed point; nudge off it.
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+/// Sampling from a range, implemented per range/element type.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty f64 range");
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64; // [0, 1]
+        start + unit * (end - start)
+    }
+}
+
+macro_rules! sample_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty integer range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+sample_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Uniform draw from `[0, 1)` for floats / full width for ints.
+    fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types `Rng::gen` can produce.
+pub trait FromRng {
+    /// Draw one value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Seedable RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256PlusPlus};
+
+    /// Stand-in for rand's `StdRng` (xoshiro256++ here; determinism per
+    /// seed is all the workspace relies on, not cross-crate stream
+    /// compatibility).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(Xoshiro256PlusPlus);
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: Self::Seed) -> Self {
+            StdRng(Xoshiro256PlusPlus::from_seed(seed))
+        }
+    }
+
+    /// Small, fast RNG (same core as [`StdRng`] in this stand-in).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(Xoshiro256PlusPlus);
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: Self::Seed) -> Self {
+            SmallRng(Xoshiro256PlusPlus::from_seed(seed))
+        }
+    }
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-0.5f64..=0.5);
+            assert!((-0.5..=0.5).contains(&x));
+            let y = rng.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..4);
+            seen[v] = true;
+            let w = rng.gen_range(250u32..=1000);
+            assert!((250..=1000).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides `.par_iter()` / `.par_iter_mut()` / `.into_par_iter()` over
+//! slices and `Vec`s with `map` + `collect` and `for_each`, executed on
+//! `std::thread::scope` with one chunk per available core. Ordering
+//! matches the sequential iterator (results are collected per-chunk and
+//! concatenated in order). Small inputs run inline without spawning.
+#![allow(clippy::all)]
+
+use std::num::NonZeroUsize;
+
+/// Threshold below which parallel dispatch is pure overhead.
+const INLINE_THRESHOLD: usize = 2;
+
+fn worker_count(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Run `f` on disjoint index chunks of `0..len`, in parallel.
+fn chunked<F: Fn(std::ops::Range<usize>) + Sync>(len: usize, f: F) {
+    let workers = worker_count(len);
+    if len < INLINE_THRESHOLD || workers == 1 {
+        f(0..len);
+        return;
+    }
+    let per = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let start = w * per;
+            let end = ((w + 1) * per).min(len);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            scope.spawn(move || f(start..end));
+        }
+    });
+}
+
+/// Parallel iterator over `&T` items.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// Parallel iterator over `&mut T` items.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+/// Mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Transform each item; evaluation happens at `collect`.
+    pub fn map<U, F: Fn(&'a T) -> U + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Apply `f` to every item in parallel.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let items = self.items;
+        chunked(items.len(), |range| {
+            for item in &items[range] {
+                f(item);
+            }
+        });
+    }
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, F> {
+    /// Evaluate the map in parallel, preserving input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        let n = self.items.len();
+        if n < INLINE_THRESHOLD || worker_count(n) == 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        {
+            let slots = std::sync::Mutex::new(&mut out);
+            let items = self.items;
+            let f = &self.f;
+            let workers = worker_count(n);
+            let per = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let start = w * per;
+                    let end = ((w + 1) * per).min(n);
+                    if start >= end {
+                        break;
+                    }
+                    let slots = &slots;
+                    scope.spawn(move || {
+                        let chunk: Vec<U> = items[start..end].iter().map(f).collect();
+                        let mut guard = slots.lock().expect("rayon stand-in slots poisoned");
+                        for (i, v) in chunk.into_iter().enumerate() {
+                            guard[start + i] = Some(v);
+                        }
+                    });
+                }
+            });
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every index filled"))
+            .collect()
+    }
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Apply `f` to every item in parallel, through mutable references.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        let len = self.items.len();
+        let workers = worker_count(len);
+        if len < INLINE_THRESHOLD || workers == 1 {
+            for item in self.items.iter_mut() {
+                f(item);
+            }
+            return;
+        }
+        let per = len.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let f = &f;
+            for chunk in self.items.chunks_mut(per) {
+                scope.spawn(move || {
+                    for item in chunk {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `.par_iter()` — shared-reference parallel iteration.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by reference.
+    type Item: 'a;
+    /// Create the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+/// `.par_iter_mut()` — mutable-reference parallel iteration.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type yielded by mutable reference.
+    type Item: 'a;
+    /// Create the parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, expected);
+    }
+
+    #[test]
+    fn for_each_mut_touches_everything() {
+        let mut v: Vec<u64> = vec![1; 517];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn tiny_inputs_run_inline() {
+        let v = vec![7u32];
+        let out: Vec<u32> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+    }
+}
