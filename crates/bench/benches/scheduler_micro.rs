@@ -15,7 +15,7 @@ use fvs_model::{
     PerfLossTable,
 };
 use fvs_power::BudgetSchedule;
-use fvs_sched::{FvsstAlgorithm, ProcInput, ScheduleScratch};
+use fvs_sched::{FvsstAlgorithm, ProcInput, ScheduleCache, ScheduleScratch};
 use fvs_sim::MachineBuilder;
 use fvs_workloads::WorkloadSpec;
 use std::hint::black_box;
@@ -75,6 +75,31 @@ fn bench_schedule_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_schedule_cached(c: &mut Criterion) {
+    // Steady state of the fingerprint cache: the same processor set and
+    // budget every round, so after warm-up each call is a full hit that
+    // returns the previous decision without rebuilding anything. Uses
+    // the same mix and budget as `schedule_two_pass`, so the ratio of
+    // the two medians is the cache-hit speedup collect_bench reports.
+    let alg = FvsstAlgorithm::p630();
+    let mut g = c.benchmark_group("schedule_cached_steady");
+    for n_procs in [4usize, 16, 64, 256, 1024] {
+        let procs = proc_mix(n_procs);
+        let budget = demotion_heavy_budget(n_procs);
+        let mut cache = ScheduleCache::new();
+        for _ in 0..3 {
+            alg.schedule_cached(&mut cache, &procs, budget);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n_procs), &procs, |b, procs| {
+            b.iter(|| {
+                let d = alg.schedule_cached(&mut cache, black_box(procs), budget);
+                black_box(d.demotions)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_schedule_reference(c: &mut Criterion) {
     let alg = FvsstAlgorithm::p630();
     let mut g = c.benchmark_group("schedule_reference");
@@ -127,6 +152,7 @@ criterion_group!(
     bench_estimator,
     bench_perf_loss_table,
     bench_schedule_scaling,
+    bench_schedule_cached,
     bench_schedule_reference,
     bench_machine_tick,
     bench_cluster_tick

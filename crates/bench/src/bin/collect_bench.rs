@@ -8,12 +8,22 @@
 //! ```
 //!
 //! Reads `target/criterion/<group>/<id>/estimates.json` for the
-//! `schedule_two_pass` and `schedule_reference` groups plus
-//! `cluster_tick`, and writes a flat summary (median ns/iter and the
-//! naive/heap speedup per size) to `BENCH_scheduler.json` in the
-//! workspace root.
+//! `schedule_two_pass`, `schedule_cached_steady` and
+//! `schedule_reference` groups plus `cluster_tick`, times the harness
+//! fast suite (every experiment, run in parallel), and writes a flat
+//! summary (median ns/iter, the naive/heap speedup, and the cache-hit
+//! speedup per size) to `BENCH_scheduler.json` in the workspace root.
+//!
+//! `collect_bench --check` instead validates an existing
+//! `BENCH_scheduler.json`: it must parse as JSON and carry the expected
+//! shape. Exit status is non-zero on failure, so CI can gate on it
+//! without having run the benchmarks.
 
+use fvs_harness::experiments::{run_by_name, ALL_EXPERIMENTS};
+use fvs_harness::runs::RunSettings;
+use rayon::prelude::*;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 const SIZES: &[usize] = &[4, 16, 64, 256, 1024];
 const CLUSTER_SIZES: &[usize] = &[8, 32, 128];
@@ -40,8 +50,96 @@ fn median_ns(criterion_dir: &Path, group: &str, id: &str) -> Option<f64> {
     v.get("median")?.get("point_estimate")?.as_f64()
 }
 
+/// One row of the per-size table.
+struct SizeEntry {
+    n: usize,
+    heap: f64,
+    naive: Option<f64>,
+    speedup: Option<f64>,
+    cached: Option<f64>,
+    cache_speedup: Option<f64>,
+}
+
+/// Validate an existing `BENCH_scheduler.json`: parseable, and shaped
+/// the way the README/DESIGN tables and downstream tooling expect.
+fn check(root: &Path) -> i32 {
+    let path = root.join("BENCH_scheduler.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return 1;
+        }
+    };
+    let v: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{} is not valid JSON: {e}", path.display());
+            return 1;
+        }
+    };
+    let mut errors = Vec::new();
+    if v.get("benchmark").and_then(|b| b.as_str()).is_none() {
+        errors.push("missing string field 'benchmark'".to_string());
+    }
+    match v.get("sizes").and_then(|s| s.as_array()) {
+        None => errors.push("missing array field 'sizes'".to_string()),
+        Some(sizes) if sizes.is_empty() => errors.push("'sizes' is empty".to_string()),
+        Some(sizes) => {
+            for (i, row) in sizes.iter().enumerate() {
+                if row.get("n_procs").and_then(|n| n.as_u64()).is_none() {
+                    errors.push(format!("sizes[{i}] missing integer 'n_procs'"));
+                }
+                if row.get("heap_median_ns").and_then(|n| n.as_f64()).is_none() {
+                    errors.push(format!("sizes[{i}] missing number 'heap_median_ns'"));
+                }
+            }
+        }
+    }
+    if v.get("cluster_tick").and_then(|s| s.as_array()).is_none() {
+        errors.push("missing array field 'cluster_tick'".to_string());
+    }
+    if errors.is_empty() {
+        println!("{} OK", path.display());
+        0
+    } else {
+        for e in &errors {
+            eprintln!("{}: {e}", path.display());
+        }
+        1
+    }
+}
+
+/// Run every experiment once with fast settings, in parallel, and
+/// return the wall time. This is the number the README quotes for "how
+/// long does regenerating everything take".
+fn time_fast_suite() -> (usize, f64) {
+    let settings = RunSettings::fast();
+    let start = Instant::now();
+    let reports: Vec<Option<String>> = ALL_EXPERIMENTS
+        .par_iter()
+        .map(|name| run_by_name(name, &settings))
+        .collect();
+    let wall_s = start.elapsed().as_secs_f64();
+    let ran = reports
+        .iter()
+        .flatten()
+        .filter(|r| !r.trim().is_empty())
+        .count();
+    if ran != ALL_EXPERIMENTS.len() {
+        eprintln!(
+            "warning: fast suite produced {ran}/{} non-empty reports",
+            ALL_EXPERIMENTS.len()
+        );
+    }
+    (ran, wall_s)
+}
+
 fn main() {
     let root = workspace_root();
+    if std::env::args().skip(1).any(|a| a == "--check") {
+        std::process::exit(check(&root));
+    }
     let criterion_dir = root.join("target").join("criterion");
     let mut entries = Vec::new();
     let mut missing = Vec::new();
@@ -49,10 +147,17 @@ fn main() {
         let id = n.to_string();
         let heap = median_ns(&criterion_dir, "schedule_two_pass", &id);
         let naive = median_ns(&criterion_dir, "schedule_reference", &id);
-        match (heap, naive) {
-            (Some(h), Some(r)) => entries.push((n, h, Some(r), Some(r / h))),
-            (Some(h), None) => entries.push((n, h, None, None)),
-            _ => missing.push(format!("schedule_two_pass/{n}")),
+        let cached = median_ns(&criterion_dir, "schedule_cached_steady", &id);
+        match heap {
+            Some(h) => entries.push(SizeEntry {
+                n,
+                heap: h,
+                naive,
+                speedup: naive.map(|r| r / h),
+                cached,
+                cache_speedup: cached.map(|cc| h / cc),
+            }),
+            None => missing.push(format!("schedule_two_pass/{n}")),
         }
     }
     let mut cluster = Vec::new();
@@ -73,21 +178,35 @@ fn main() {
         eprintln!("warning: missing benchmark results: {missing:?}");
     }
 
+    println!(
+        "timing harness fast suite ({} experiments, {} workers)...",
+        ALL_EXPERIMENTS.len(),
+        rayon::current_num_threads()
+    );
+    let (suite_ran, suite_wall_s) = time_fast_suite();
+
     // Hand-assemble the JSON so the report shape is stable regardless of
     // serializer behaviour for optional fields.
     let mut out = String::from("{\n  \"benchmark\": \"schedule_two_pass\",\n");
     out.push_str("  \"units\": \"ns/iter (median)\",\n");
     out.push_str("  \"scenario\": \"demotion-heavy budget drop (10 W/processor)\",\n");
     out.push_str("  \"sizes\": [\n");
-    for (i, (n, heap, naive, speedup)) in entries.iter().enumerate() {
+    for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"n_procs\": {n}, \"heap_median_ns\": {heap:.1}"
+            "    {{\"n_procs\": {}, \"heap_median_ns\": {:.1}",
+            e.n, e.heap
         ));
-        if let Some(r) = naive {
+        if let Some(r) = e.naive {
             out.push_str(&format!(", \"naive_median_ns\": {r:.1}"));
         }
-        if let Some(s) = speedup {
+        if let Some(s) = e.speedup {
             out.push_str(&format!(", \"speedup\": {s:.2}"));
+        }
+        if let Some(cc) = e.cached {
+            out.push_str(&format!(", \"cached_median_ns\": {cc:.1}"));
+        }
+        if let Some(s) = e.cache_speedup {
+            out.push_str(&format!(", \"cache_speedup\": {s:.2}"));
         }
         out.push('}');
         if i + 1 < entries.len() {
@@ -102,17 +221,36 @@ fn main() {
             if i + 1 < cluster.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  \"harness_fast_suite\": {\n");
+    out.push_str(&format!("    \"experiments\": {suite_ran},\n"));
+    out.push_str(&format!(
+        "    \"jobs\": {},\n",
+        rayon::current_num_threads()
+    ));
+    out.push_str(&format!("    \"wall_s\": {suite_wall_s:.2}\n"));
+    out.push_str("  }\n}\n");
 
     let out_path = root.join("BENCH_scheduler.json");
     std::fs::write(&out_path, &out).expect("write BENCH_scheduler.json");
     println!("wrote {}", out_path.display());
-    for (n, heap, naive, speedup) in &entries {
-        match (naive, speedup) {
-            (Some(r), Some(s)) => {
-                println!("n={n:<5} heap {heap:>12.1} ns  naive {r:>14.1} ns  speedup {s:.2}x")
+    for e in &entries {
+        let mut line = format!("n={:<5} heap {:>12.1} ns", e.n, e.heap);
+        if let (Some(r), Some(s)) = (e.naive, e.speedup) {
+            line.push_str(&format!("  naive {r:>14.1} ns  speedup {s:.2}x"));
+        }
+        if let (Some(cc), Some(s)) = (e.cached, e.cache_speedup) {
+            line.push_str(&format!("  cached {cc:>10.1} ns  cache-hit {s:.2}x"));
+        }
+        println!("{line}");
+    }
+    println!("harness fast suite: {suite_ran} experiments in {suite_wall_s:.2}s wall");
+    // The tentpole target: a steady-state round with an unchanged model
+    // set must be at least 5x cheaper than rebuilding at n=256.
+    if let Some(e) = entries.iter().find(|e| e.n == 256) {
+        if let Some(s) = e.cache_speedup {
+            if s < 5.0 {
+                eprintln!("warning: cache-hit speedup at n=256 is {s:.2}x (< 5x target)");
             }
-            _ => println!("n={n:<5} heap {heap:>12.1} ns"),
         }
     }
 }

@@ -23,18 +23,18 @@ impl Policy for NoDvfs {
         "no-dvfs"
     }
 
-    fn on_tick(&mut self, ctx: &TickContext<'_>) -> Option<Decision> {
+    fn decide(&mut self, ctx: &TickContext<'_>, out: &mut Decision) -> bool {
         if self.configured {
-            return None;
+            return false;
         }
         self.configured = true;
         let n = ctx.samples.len();
         let f_max = ctx.platform.freq_set.max();
-        let mut d = Decision::uniform(n, f_max);
+        out.set_uniform(n, f_max);
         // Honest reporting: it has no way to meet a finite budget below
         // n × max_power.
-        d.feasible = n as f64 * ctx.platform.power_table.max_power() <= ctx.budget_w;
-        Some(d)
+        out.feasible = n as f64 * ctx.platform.power_table.max_power() <= ctx.budget_w;
+        true
     }
 }
 

@@ -1,6 +1,6 @@
 //! The ground-truth oracle: fvsst without prediction error.
 
-use fvs_sched::{Decision, FvsstAlgorithm, Policy, ProcInput, ScheduleScratch, TickContext};
+use fvs_sched::{Decision, FvsstAlgorithm, Policy, ProcInput, ScheduleCache, TickContext};
 
 /// Runs the exact two-pass fvsst algorithm, but feeds it the *ground
 /// truth* timing model of whatever each core is executing right now
@@ -14,7 +14,7 @@ pub struct Oracle {
     period_ticks: u64,
     ticks: u64,
     last_budget: Option<f64>,
-    scratch: ScheduleScratch,
+    cache: ScheduleCache,
     proc_buf: Vec<ProcInput>,
 }
 
@@ -27,7 +27,9 @@ impl Oracle {
             period_ticks: period_ticks.max(1),
             ticks: 0,
             last_budget: None,
-            scratch: ScheduleScratch::new(),
+            // EXACT tolerance: the cache is a pure memoisation layer, so
+            // the oracle's decisions stay bit-identical to a fresh run.
+            cache: ScheduleCache::new(),
             proc_buf: Vec::new(),
         }
     }
@@ -43,7 +45,7 @@ impl Policy for Oracle {
         "oracle"
     }
 
-    fn on_tick(&mut self, ctx: &TickContext<'_>) -> Option<Decision> {
+    fn decide(&mut self, ctx: &TickContext<'_>, out: &mut Decision) -> bool {
         self.ticks += 1;
         let budget_changed = self
             .last_budget
@@ -53,7 +55,7 @@ impl Policy for Oracle {
         // Bootstrap on the first tick (mirrors FvsstScheduler), then on
         // the timer or a budget change.
         if self.ticks > 1 && !budget_changed && !self.ticks.is_multiple_of(self.period_ticks) {
-            return None;
+            return false;
         }
         self.proc_buf.clear();
         for i in 0..ctx.samples.len() {
@@ -63,16 +65,21 @@ impl Policy for Oracle {
                 current: ctx.current[i],
             });
         }
-        let d =
-            self.algorithm
-                .schedule_with_scratch(&mut self.scratch, &self.proc_buf, ctx.budget_w);
-        Some(Decision {
-            freqs: d.freqs.clone(),
-            desired: d.desired.clone(),
-            predicted_ipc: d.predicted_ipc.clone(),
-            powered_on: vec![true; ctx.samples.len()],
-            feasible: d.feasible,
-        })
+        let n = ctx.samples.len();
+        let d = self
+            .algorithm
+            .schedule_cached(&mut self.cache, &self.proc_buf, ctx.budget_w);
+        out.freqs.clone_from(&d.freqs);
+        out.desired.clone_from(&d.desired);
+        out.predicted_ipc.clone_from(&d.predicted_ipc);
+        out.powered_on.clear();
+        out.powered_on.resize(n, true);
+        out.feasible = d.feasible;
+        true
+    }
+
+    fn wants_ground_truth(&self) -> bool {
+        true
     }
 }
 

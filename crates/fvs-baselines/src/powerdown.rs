@@ -24,9 +24,9 @@ impl Policy for NodePowerDown {
         "node-powerdown"
     }
 
-    fn on_tick(&mut self, ctx: &TickContext<'_>) -> Option<Decision> {
+    fn decide(&mut self, ctx: &TickContext<'_>, out: &mut Decision) -> bool {
         if self.last_budget == Some(ctx.budget_w) {
-            return None;
+            return false;
         }
         self.last_budget = Some(ctx.budget_w);
         let n = ctx.samples.len();
@@ -34,15 +34,15 @@ impl Policy for NodePowerDown {
         let p_max = ctx.platform.power_table.max_power();
         // How many cores fit at full speed?
         let fit = ((ctx.budget_w / p_max).floor() as usize).min(n);
-        let mut d = Decision::uniform(n, f_max);
+        out.set_uniform(n, f_max);
         for i in fit..n {
-            d.powered_on[i] = false;
+            out.powered_on[i] = false;
         }
-        d.feasible = fit > 0 || ctx.budget_w >= 0.0 && n == 0;
+        out.feasible = fit > 0 || ctx.budget_w >= 0.0 && n == 0;
         if fit == 0 {
-            d.feasible = ctx.budget_w <= 0.0;
+            out.feasible = ctx.budget_w <= 0.0;
         }
-        Some(d)
+        true
     }
 }
 

@@ -41,11 +41,11 @@ impl Policy for UniformScaling {
         "uniform-scaling"
     }
 
-    fn on_tick(&mut self, ctx: &TickContext<'_>) -> Option<Decision> {
+    fn decide(&mut self, ctx: &TickContext<'_>, out: &mut Decision) -> bool {
         // Recompute only when the budget changes (the assignment is
         // workload-independent).
         if self.last_budget == Some(ctx.budget_w) {
-            return None;
+            return false;
         }
         self.last_budget = Some(ctx.budget_w);
         let n = ctx.samples.len();
@@ -55,13 +55,13 @@ impl Policy for UniformScaling {
             n,
             ctx.budget_w,
         ) {
-            Some(f) => Some(Decision::uniform(n, f)),
+            Some(f) => out.set_uniform(n, f),
             None => {
-                let mut d = Decision::uniform(n, ctx.platform.freq_set.min());
-                d.feasible = false;
-                Some(d)
+                out.set_uniform(n, ctx.platform.freq_set.min());
+                out.feasible = false;
             }
         }
+        true
     }
 }
 

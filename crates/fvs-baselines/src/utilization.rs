@@ -36,10 +36,10 @@ impl Policy for UtilizationDriven {
         "utilization-dvfs"
     }
 
-    fn on_tick(&mut self, ctx: &TickContext<'_>) -> Option<Decision> {
+    fn decide(&mut self, ctx: &TickContext<'_>, out: &mut Decision) -> bool {
         self.ticks += 1;
         if !self.ticks.is_multiple_of(self.period_ticks) {
-            return None;
+            return false;
         }
         let set = &ctx.platform.freq_set;
         let table = &ctx.platform.power_table;
@@ -47,7 +47,7 @@ impl Policy for UtilizationDriven {
         // Budget → per-core uniform cap.
         let cap = crate::uniform::uniform_cap_frequency(set, table, n, ctx.budget_w)
             .unwrap_or_else(|| set.min());
-        let mut freqs = Vec::with_capacity(n);
+        out.freqs.clear();
         for i in 0..n {
             let cur = ctx.current[i];
             let next = if ctx.idle[i] {
@@ -55,16 +55,15 @@ impl Policy for UtilizationDriven {
             } else {
                 set.step_up(cur).unwrap_or_else(|| set.max())
             };
-            freqs.push(next.min(cap));
+            out.freqs.push(next.min(cap));
         }
-        let desired = freqs.clone();
-        Some(Decision {
-            freqs,
-            desired,
-            predicted_ipc: vec![None; n],
-            powered_on: vec![true; n],
-            feasible: true,
-        })
+        out.desired.clone_from(&out.freqs);
+        out.predicted_ipc.clear();
+        out.predicted_ipc.resize(n, None);
+        out.powered_on.clear();
+        out.powered_on.resize(n, true);
+        out.feasible = true;
+        true
     }
 }
 

@@ -1,7 +1,7 @@
 //! The global coordinator: Figure 3 across all nodes.
 
 use fvs_model::{CpiModel, FreqMhz};
-use fvs_sched::{FvsstAlgorithm, ProcInput, ScheduleScratch};
+use fvs_sched::{CacheStats, FvsstAlgorithm, ModelTolerance, ProcInput, ScheduleCache};
 use serde::{Deserialize, Serialize};
 
 /// What a node ships to the coordinator each scheduling period.
@@ -38,8 +38,9 @@ pub struct GlobalCoordinator {
     algorithm: FvsstAlgorithm,
     latest: Vec<Option<NodeSummary>>,
     // Reused across rounds so the steady-state global computation does
-    // not allocate.
-    scratch: ScheduleScratch,
+    // not allocate; nodes with phase-stable models hit the fingerprint
+    // cache and skip their per-processor rebuild entirely.
+    cache: ScheduleCache,
     coords: Vec<(usize, usize)>,
     procs: Vec<ProcInput>,
 }
@@ -50,10 +51,15 @@ impl GlobalCoordinator {
         GlobalCoordinator {
             algorithm,
             latest: vec![None; nodes],
-            scratch: ScheduleScratch::new(),
+            cache: ScheduleCache::with_tolerance(ModelTolerance::PHASE_DEFAULT),
             coords: Vec::new(),
             procs: Vec::new(),
         }
+    }
+
+    /// Cache effectiveness counters for the global computation.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Ingest a (possibly stale) node summary; newer summaries replace
@@ -102,7 +108,7 @@ impl GlobalCoordinator {
         }
         let d = self
             .algorithm
-            .schedule_with_scratch(&mut self.scratch, &self.procs, budget_w);
+            .schedule_cached(&mut self.cache, &self.procs, budget_w);
         // Regroup per node (the command vectors are shipped, so they are
         // allocated fresh).
         let mut commands: Vec<FrequencyCommand> = Vec::new();

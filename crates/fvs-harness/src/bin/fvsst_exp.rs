@@ -1,26 +1,41 @@
 //! `fvsst-exp` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR]
+//! fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR] [--jobs N]
 //! fvsst-exp all [--fast]
 //! fvsst-exp list
 //! ```
 //!
-//! `--json DIR` additionally writes `<DIR>/<experiment>.json` with the
-//! structured result.
+//! Experiments run in parallel (one rayon task each; `--jobs N` caps the
+//! worker count, `--jobs 1` forces sequential execution). Reports are
+//! printed in the order the experiments were requested, regardless of
+//! completion order, each with its wall time; a total harness wall time
+//! closes the run. `--json DIR` additionally writes
+//! `<DIR>/<experiment>.json` with the structured result.
 //!
 //! Experiments: table1 fig1 table2 fig4 fig5 fig6 fig7 table3 fig8 fig9
-//! example5 ablation.
+//! example5 ablation predictors migration cluster.
 
 use fvs_harness::experiments::{run_by_name, ALL_EXPERIMENTS};
 use fvs_harness::runs::RunSettings;
+use rayon::prelude::*;
 use std::process::ExitCode;
+use std::time::Instant;
+
+enum Outcome {
+    /// Rendered report + wall seconds.
+    Report(String, f64),
+    Unknown,
+    Empty,
+    JsonError(String),
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut settings = RunSettings::full();
     let mut targets: Vec<String> = Vec::new();
     let mut json_dir: Option<std::path::PathBuf> = None;
+    let mut jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -45,6 +60,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => jobs = Some(n),
+                    _ => {
+                        eprintln!("--jobs requires an integer >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "list" => {
                 for e in ALL_EXPERIMENTS {
                     println!("{e}");
@@ -58,31 +83,73 @@ fn main() -> ExitCode {
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: fvsst-exp <experiment>... [--fast] [--seed N]\n       fvsst-exp all | list\nexperiments: {}",
+            "usage: fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR] [--jobs N]\n       fvsst-exp all | list\nexperiments: {}",
             ALL_EXPERIMENTS.join(" ")
         );
         return ExitCode::FAILURE;
     }
-    for t in targets {
-        let outcome = match &json_dir {
-            Some(dir) => match fvs_harness::export::run_and_write_json(&t, &settings, dir) {
-                Ok(rendered) => rendered,
-                Err(e) => {
-                    eprintln!("failed to write JSON for '{t}': {e}");
-                    return ExitCode::FAILURE;
-                }
-            },
-            None => run_by_name(&t, &settings),
-        };
-        match outcome {
-            Some(report) => {
-                println!("{report}");
+    if let Some(n) = jobs {
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global();
+    }
+    // Create the output directory once, up front, instead of racing
+    // per-experiment create_dir_all calls.
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let total_start = Instant::now();
+    // One rayon task per experiment; collect preserves request order, so
+    // the rendered output is deterministic however the tasks interleave.
+    let outcomes: Vec<Outcome> = targets
+        .par_iter()
+        .map(|t| {
+            let start = Instant::now();
+            let outcome = match &json_dir {
+                Some(dir) => match fvs_harness::export::run_and_write_json(t, &settings, dir) {
+                    Ok(rendered) => rendered,
+                    Err(e) => return Outcome::JsonError(e.to_string()),
+                },
+                None => run_by_name(t, &settings),
+            };
+            match outcome {
+                Some(report) if report.trim().is_empty() => Outcome::Empty,
+                Some(report) => Outcome::Report(report, start.elapsed().as_secs_f64()),
+                None => Outcome::Unknown,
             }
-            None => {
+        })
+        .collect();
+    let total_s = total_start.elapsed().as_secs_f64();
+
+    let mut failed = false;
+    for (t, outcome) in targets.iter().zip(&outcomes) {
+        match outcome {
+            Outcome::Report(report, secs) => {
+                println!("{report}");
+                println!("[{t}: {secs:.2}s]\n");
+            }
+            Outcome::Unknown => {
                 eprintln!("unknown experiment '{t}' (try: fvsst-exp list)");
-                return ExitCode::FAILURE;
+                failed = true;
+            }
+            Outcome::Empty => {
+                eprintln!("experiment '{t}' produced an empty report");
+                failed = true;
+            }
+            Outcome::JsonError(e) => {
+                eprintln!("failed to write JSON for '{t}': {e}");
+                failed = true;
             }
         }
     }
-    ExitCode::SUCCESS
+    println!("[{} experiment(s) in {total_s:.2}s wall]", targets.len());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

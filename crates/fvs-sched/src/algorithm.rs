@@ -16,6 +16,14 @@
 //!   `f64::total_cmp`, then lowest processor index), so their decisions
 //!   are bit-identical; `tests/scheduler_properties.rs` asserts this
 //!   differentially.
+//!
+//! On top of the scratch path, [`FvsstAlgorithm::schedule_cached`] adds
+//! the *incremental* pass 1: a [`ScheduleCache`] keyed on quantized
+//! per-processor model fingerprints. A processor's [`PerfLossTable`] and
+//! desired slot are recomputed only when its fitted model moves beyond
+//! the cache's [`ModelTolerance`], and when no processor, nor the budget,
+//! changed at all — and the previous decision was feasible — the cached
+//! decision is returned without re-running any pass.
 
 use fvs_model::{ideal_frequency, CpiModel, FreqMhz, FrequencySet, PerfLossTable};
 use fvs_power::{FreqPowerTable, PowerVoltageIndex, VoltageTable};
@@ -51,7 +59,7 @@ pub struct ProcInput {
 }
 
 /// The outcome of one scheduling computation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleDecision {
     /// Final frequency per processor (after the budget pass).
     pub freqs: Vec<FreqMhz>,
@@ -73,6 +81,35 @@ pub struct ScheduleDecision {
     pub feasible: bool,
     /// Number of single-step demotions pass 2 performed.
     pub demotions: usize,
+}
+
+impl Clone for ScheduleDecision {
+    fn clone(&self) -> Self {
+        ScheduleDecision {
+            freqs: self.freqs.clone(),
+            desired: self.desired.clone(),
+            voltages: self.voltages.clone(),
+            predicted_ipc: self.predicted_ipc.clone(),
+            predicted_loss: self.predicted_loss.clone(),
+            predicted_power_w: self.predicted_power_w,
+            feasible: self.feasible,
+            demotions: self.demotions,
+        }
+    }
+
+    // The derived default would reallocate every vector; field-wise
+    // `clone_from` keeps a warm destination allocation-free, which the
+    // daemon's steady-state tick relies on.
+    fn clone_from(&mut self, source: &Self) {
+        self.freqs.clone_from(&source.freqs);
+        self.desired.clone_from(&source.desired);
+        self.voltages.clone_from(&source.voltages);
+        self.predicted_ipc.clone_from(&source.predicted_ipc);
+        self.predicted_loss.clone_from(&source.predicted_loss);
+        self.predicted_power_w = source.predicted_power_w;
+        self.feasible = source.feasible;
+        self.demotions = source.demotions;
+    }
 }
 
 /// How pass 2 chooses which processor to demote next.
@@ -170,6 +207,179 @@ impl ScheduleScratch {
     }
 }
 
+/// Quantization steps for the model fingerprint of [`ScheduleCache`].
+///
+/// A processor's cached [`PerfLossTable`] and desired slot are reused as
+/// long as both fitted coefficients stay inside their quantization
+/// bucket; a move beyond half a step across a bucket boundary triggers a
+/// rebuild. Steps of `0.0` mean bit-exact comparison (every coefficient
+/// change invalidates). Non-finite coefficients always compare by bit
+/// pattern, so a model degenerating to NaN/∞ is never confused with a
+/// nearby finite one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelTolerance {
+    /// Bucket width for the base CPI coefficient (cycles/instruction).
+    pub cpi0_step: f64,
+    /// Bucket width for the memory-time coefficient (seconds/instruction).
+    /// `mem_time_per_instr · f` is in cycles, so a step of `1e-13`
+    /// contributes the same CPI resolution at 1 GHz as `cpi0_step = 1e-4`.
+    pub mem_step_s: f64,
+}
+
+impl ModelTolerance {
+    /// Bit-exact fingerprints: any coefficient change invalidates. With
+    /// this tolerance the cached path is *exactly* equivalent to
+    /// rebuilding every round.
+    pub const EXACT: ModelTolerance = ModelTolerance {
+        cpi0_step: 0.0,
+        mem_step_s: 0.0,
+    };
+
+    /// The default phase-stability tolerance: ≈ 10⁻⁴ CPI of resolution at
+    /// 1 GHz — far below the ε = 4.8 % decision granularity, so refit
+    /// jitter from an unchanged phase is absorbed while any real phase
+    /// change lands well outside the bucket.
+    pub const PHASE_DEFAULT: ModelTolerance = ModelTolerance {
+        cpi0_step: 1.0e-4,
+        mem_step_s: 1.0e-13,
+    };
+
+    fn quantize(x: f64, step: f64) -> u64 {
+        if step > 0.0 && x.is_finite() {
+            let q = (x / step).round();
+            // Stay within the exactly-representable integer range; an
+            // absurdly large coefficient falls back to bit identity.
+            if q.abs() < 9.0e15 {
+                return (q as i64) as u64;
+            }
+        }
+        x.to_bits()
+    }
+}
+
+impl Default for ModelTolerance {
+    fn default() -> Self {
+        ModelTolerance::EXACT
+    }
+}
+
+/// One processor's cache fingerprint: everything pass 1 depends on.
+///
+/// `current` participates only for non-idle unmodelled processors — the
+/// only case where the current frequency influences the decision (it is
+/// kept, and an off-grid value fixes the power contribution).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ProcKey {
+    /// Never computed / explicitly invalidated; matches nothing.
+    Stale,
+    /// Idle-pinned (idle signal set and idle detection on), no model.
+    IdleUnmodelled,
+    /// Idle-pinned with a model (the table still feeds pass 3).
+    IdleModel { cpi0: u64, mem: u64 },
+    /// No model: the processor keeps `current` through pass 1.
+    Unmodelled(FreqMhz),
+    /// Quantized fitted model.
+    Model { cpi0: u64, mem: u64 },
+}
+
+impl ProcKey {
+    fn of(p: &ProcInput, idle_detection: bool, tol: &ModelTolerance) -> Self {
+        let pinned = p.idle && idle_detection;
+        match (p.model, pinned) {
+            (Some(m), true) => ProcKey::IdleModel {
+                cpi0: ModelTolerance::quantize(m.cpi0, tol.cpi0_step),
+                mem: ModelTolerance::quantize(m.mem_time_per_instr, tol.mem_step_s),
+            },
+            (Some(m), false) => ProcKey::Model {
+                cpi0: ModelTolerance::quantize(m.cpi0, tol.cpi0_step),
+                mem: ModelTolerance::quantize(m.mem_time_per_instr, tol.mem_step_s),
+            },
+            (None, true) => ProcKey::IdleUnmodelled,
+            (None, false) => ProcKey::Unmodelled(p.current),
+        }
+    }
+}
+
+/// Cache effectiveness counters (cumulative since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// `schedule_cached` invocations.
+    pub rounds: u64,
+    /// Rounds answered entirely from the cached decision (no pass ran).
+    pub full_hits: u64,
+    /// Per-processor pass-1 evaluations skipped (fingerprint unchanged).
+    pub proc_hits: u64,
+    /// Per-processor pass-1 evaluations performed (fingerprint changed).
+    pub proc_rebuilds: u64,
+}
+
+/// Incremental-scheduling state for [`FvsstAlgorithm::schedule_cached`].
+///
+/// Persists per-processor model fingerprints, `PerfLossTable`s and
+/// desired slots across rounds so pass 1 runs only for processors whose
+/// fitted model moved beyond the [`ModelTolerance`], and keeps the last
+/// decision so a fully-unchanged round is answered without running any
+/// pass. Like [`ScheduleScratch`], the steady state allocates nothing.
+///
+/// The cache watches its inputs: a different processor count, a mutated
+/// algorithm configuration (frequency set, tables, ε, mode, idle
+/// detection, demotion order), or [`ScheduleCache::invalidate`] flush it
+/// wholesale.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleCache {
+    tolerance: ModelTolerance,
+    /// The algorithm configuration the cached state was computed under.
+    alg: Option<FvsstAlgorithm>,
+    index: PowerVoltageIndex,
+    keys: Vec<ProcKey>,
+    tables: Vec<PerfLossTable>,
+    has_table: Vec<bool>,
+    desired_idx: Vec<usize>,
+    desired_freq: Vec<FreqMhz>,
+    work_idx: Vec<usize>,
+    heap: BinaryHeap<DemotionCandidate>,
+    decision: ScheduleDecision,
+    last_budget_bits: u64,
+    valid: bool,
+    stats: CacheStats,
+}
+
+impl ScheduleCache {
+    /// Cache with bit-exact fingerprints ([`ModelTolerance::EXACT`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache with an explicit tolerance.
+    pub fn with_tolerance(tolerance: ModelTolerance) -> Self {
+        ScheduleCache {
+            tolerance,
+            ..Self::default()
+        }
+    }
+
+    /// The fingerprint tolerance in force.
+    pub fn tolerance(&self) -> ModelTolerance {
+        self.tolerance
+    }
+
+    /// Cumulative hit/rebuild counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The decision computed (or reused) by the most recent
+    /// [`FvsstAlgorithm::schedule_cached`] call.
+    pub fn decision(&self) -> &ScheduleDecision {
+        &self.decision
+    }
+
+    /// Drop all cached state; the next round recomputes everything.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+}
+
 /// The paper's pass-2 selection key for processor `i` at set index `at`:
 /// the *absolute* predicted loss vs `f_max` after one step down
 /// (Figure 3 step 2, "smallest PerfLoss(f_max, f_less)"). Processors
@@ -235,22 +445,18 @@ impl FvsstAlgorithm {
     }
 
     /// Pass 1 for one processor: the ε-constrained frequency.
+    ///
+    /// One-shot convenience over [`desired_slot`] — the single pass-1
+    /// implementation every scheduling path shares (idle pinning, the ε
+    /// boundary scan, the continuous `f_ideal` snap, and the unmodelled
+    /// fallback all live there).
+    ///
+    /// [`desired_slot`]: Self::desired_slot
     pub fn epsilon_frequency(&self, input: &ProcInput) -> FreqMhz {
-        if input.idle && self.idle_detection {
-            return self.freq_set.min();
-        }
-        match input.model {
-            None => input.current,
-            Some(model) => match self.mode {
-                SchedulingMode::DiscreteEpsilon => {
-                    PerfLossTable::build(&model, &self.freq_set).epsilon_constrained(self.epsilon)
-                }
-                SchedulingMode::ContinuousIdeal => {
-                    let f = ideal_frequency(&model, self.freq_set.max(), self.epsilon);
-                    self.freq_set.snap_up(f)
-                }
-            },
-        }
+        let table = input
+            .model
+            .map(|model| PerfLossTable::build(&model, &self.freq_set));
+        self.desired_slot(input, table.as_ref()).1
     }
 
     /// Pass 1 in index space: the desired set index (or [`OFFGRID`]) and
@@ -336,11 +542,7 @@ impl FvsstAlgorithm {
         }
         scratch.has_table.clear();
         scratch.idx.clear();
-        scratch.decision.freqs.clear();
         scratch.decision.desired.clear();
-        scratch.decision.voltages.clear();
-        scratch.decision.predicted_ipc.clear();
-        scratch.decision.predicted_loss.clear();
 
         // ---- Pass 1: per-processor ε-constrained frequencies. ----
         for (i, p) in procs.iter().enumerate() {
@@ -357,26 +559,185 @@ impl FvsstAlgorithm {
             scratch.decision.desired.push(f);
         }
 
-        // ---- Pass 2: demote least-painful steps until under budget. ----
-        // Running total updated by per-step deltas; victims from the heap.
+        let (demotions, feasible) = self.budget_pass(
+            &scratch.index,
+            &scratch.tables,
+            &scratch.has_table,
+            &mut scratch.idx,
+            &mut scratch.heap,
+            procs,
+            budget_w,
+        );
+        self.finish_pass(
+            &scratch.index,
+            &scratch.tables,
+            &scratch.has_table,
+            &scratch.idx,
+            procs,
+            &mut scratch.decision,
+            demotions,
+            feasible,
+        );
+        &scratch.decision
+    }
+
+    /// Run the full computation for `procs` under `budget_w` through the
+    /// incremental cache.
+    ///
+    /// Pass 1 is evaluated only for processors whose fingerprint (model
+    /// quantized by the cache's [`ModelTolerance`], idle pinning, and —
+    /// for unmodelled processors — the current frequency) changed since
+    /// the previous round; unchanged processors keep their cached
+    /// [`PerfLossTable`] and desired slot, so a within-tolerance model
+    /// wobble schedules against the previously fitted coefficients (the
+    /// *effective* model). When no fingerprint changed, the budget is
+    /// bit-identical, and the previous decision was feasible, the cached
+    /// decision is returned without running any pass at all.
+    ///
+    /// With [`ModelTolerance::EXACT`] the result is always bit-identical
+    /// to [`schedule_reference`] on the same inputs; with a wider
+    /// tolerance it is bit-identical to `schedule_reference` over the
+    /// effective models. Steady-state calls perform no heap allocation.
+    ///
+    /// [`schedule_reference`]: Self::schedule_reference
+    pub fn schedule_cached<'a>(
+        &self,
+        cache: &'a mut ScheduleCache,
+        procs: &[ProcInput],
+        budget_w: f64,
+    ) -> &'a ScheduleDecision {
+        let n = procs.len();
+        let set = &self.freq_set;
+        cache.stats.rounds += 1;
+
+        // Configuration watch: any change to the platform tables or the
+        // algorithm parameters flushes the whole cache (the comparison is
+        // O(|F|) and allocation-free; the clone only happens on change).
+        if cache.alg.as_ref() != Some(self) {
+            cache.alg = Some(self.clone());
+            cache
+                .index
+                .rebuild(&self.power_table, &self.voltage_table, set);
+            cache.valid = false;
+        }
+        if cache.keys.len() != n {
+            cache.keys.clear();
+            cache.keys.resize(n, ProcKey::Stale);
+            if cache.tables.len() < n {
+                cache.tables.resize_with(n, PerfLossTable::placeholder);
+            }
+            cache.has_table.resize(n, false);
+            cache.desired_idx.resize(n, 0);
+            cache.desired_freq.resize(n, FreqMhz(0));
+            cache.valid = false;
+        } else if !cache.valid {
+            for k in &mut cache.keys {
+                *k = ProcKey::Stale;
+            }
+        }
+
+        // ---- Incremental pass 1: rebuild only what moved. ----
+        let mut changed = false;
+        for (i, p) in procs.iter().enumerate() {
+            let key = ProcKey::of(p, self.idle_detection, &cache.tolerance);
+            if cache.keys[i] == key {
+                cache.stats.proc_hits += 1;
+                continue;
+            }
+            changed = true;
+            cache.stats.proc_rebuilds += 1;
+            cache.keys[i] = key;
+            let has = match p.model {
+                Some(m) => {
+                    cache.tables[i].rebuild(&m, set);
+                    true
+                }
+                None => false,
+            };
+            cache.has_table[i] = has;
+            let (k, f) = self.desired_slot(p, has.then(|| &cache.tables[i]));
+            cache.desired_idx[i] = k;
+            cache.desired_freq[i] = f;
+        }
+
+        let budget_bits = budget_w.to_bits();
+        // An infeasible round is recomputed even when nothing changed:
+        // the caller is expected to escalate, and the cheap re-run keeps
+        // the "return cached only when feasible" contract simple.
+        if cache.valid
+            && !changed
+            && budget_bits == cache.last_budget_bits
+            && cache.decision.feasible
+        {
+            cache.stats.full_hits += 1;
+            return &cache.decision;
+        }
+        cache.last_budget_bits = budget_bits;
+
+        // ---- Passes 2 + 3 from the cached desired state. ----
+        // Pass 2 demotes in place, so the cached desired indices are
+        // copied to a working vector first.
+        cache.work_idx.clear();
+        cache.work_idx.extend_from_slice(&cache.desired_idx[..n]);
+        let (demotions, feasible) = self.budget_pass(
+            &cache.index,
+            &cache.tables,
+            &cache.has_table,
+            &mut cache.work_idx,
+            &mut cache.heap,
+            procs,
+            budget_w,
+        );
+        cache.decision.desired.clear();
+        cache
+            .decision
+            .desired
+            .extend_from_slice(&cache.desired_freq[..n]);
+        self.finish_pass(
+            &cache.index,
+            &cache.tables,
+            &cache.has_table,
+            &cache.work_idx,
+            procs,
+            &mut cache.decision,
+            demotions,
+            feasible,
+        );
+        cache.valid = true;
+        &cache.decision
+    }
+
+    /// Pass 2: demote least-painful steps until under budget. `idx` is
+    /// mutated in place; the running power total is updated by per-step
+    /// deltas and victims come from the heap (or the round-robin cursor).
+    /// Returns `(demotions, feasible)`.
+    #[allow(clippy::too_many_arguments)]
+    fn budget_pass(
+        &self,
+        index: &PowerVoltageIndex,
+        tables: &[PerfLossTable],
+        has_table: &[bool],
+        idx: &mut [usize],
+        heap: &mut BinaryHeap<DemotionCandidate>,
+        procs: &[ProcInput],
+        budget_w: f64,
+    ) -> (usize, bool) {
+        let n = procs.len();
         let mut power = 0.0;
-        for (&k, p) in scratch.idx.iter().zip(procs) {
-            power += self.slot_power(&scratch.index, k, p.current);
+        for (&k, p) in idx.iter().zip(procs) {
+            power += self.slot_power(index, k, p.current);
         }
         let mut demotions = 0usize;
         let mut feasible = true;
         if n > 0 {
             match self.demotion_order {
                 DemotionOrder::LeastPredictedLoss => {
-                    scratch.heap.clear();
+                    heap.clear();
                     for i in 0..n {
-                        let k = scratch.idx[i];
+                        let k = idx[i];
                         if k != OFFGRID && k > 0 {
-                            scratch.heap.push(DemotionCandidate {
-                                loss: demotion_key(
-                                    scratch.has_table[i].then(|| &scratch.tables[i]),
-                                    k,
-                                ),
+                            heap.push(DemotionCandidate {
+                                loss: demotion_key(has_table[i].then(|| &tables[i]), k),
                                 proc: i,
                                 idx_at_push: k,
                             });
@@ -384,11 +745,9 @@ impl FvsstAlgorithm {
                     }
                     while power > budget_w {
                         let victim = loop {
-                            match scratch.heap.pop() {
+                            match heap.pop() {
                                 None => break None,
-                                Some(c) if scratch.idx[c.proc] == c.idx_at_push => {
-                                    break Some(c.proc)
-                                }
+                                Some(c) if idx[c.proc] == c.idx_at_push => break Some(c.proc),
                                 Some(_) => {} // stale: the processor moved on
                             }
                         };
@@ -397,16 +756,13 @@ impl FvsstAlgorithm {
                             feasible = false;
                             break;
                         };
-                        let k = scratch.idx[i];
-                        power += scratch.index.power_w(k - 1) - scratch.index.power_w(k);
-                        scratch.idx[i] = k - 1;
+                        let k = idx[i];
+                        power += index.power_w(k - 1) - index.power_w(k);
+                        idx[i] = k - 1;
                         demotions += 1;
                         if k - 1 > 0 {
-                            scratch.heap.push(DemotionCandidate {
-                                loss: demotion_key(
-                                    scratch.has_table[i].then(|| &scratch.tables[i]),
-                                    k - 1,
-                                ),
+                            heap.push(DemotionCandidate {
+                                loss: demotion_key(has_table[i].then(|| &tables[i]), k - 1),
                                 proc: i,
                                 idx_at_push: k - 1,
                             });
@@ -420,7 +776,7 @@ impl FvsstAlgorithm {
                         let mut found = None;
                         for step in 0..n {
                             let i = (rr_cursor + step) % n;
-                            if scratch.idx[i] != OFFGRID && scratch.idx[i] > 0 {
+                            if idx[i] != OFFGRID && idx[i] > 0 {
                                 rr_cursor = (i + 1) % n;
                                 found = Some(i);
                                 break;
@@ -430,42 +786,62 @@ impl FvsstAlgorithm {
                             feasible = false;
                             break;
                         };
-                        let k = scratch.idx[i];
-                        power += scratch.index.power_w(k - 1) - scratch.index.power_w(k);
-                        scratch.idx[i] = k - 1;
+                        let k = idx[i];
+                        power += index.power_w(k - 1) - index.power_w(k);
+                        idx[i] = k - 1;
                         demotions += 1;
                     }
                 }
             }
         }
+        (demotions, feasible)
+    }
 
-        // ---- Pass 3: minimum voltages + predictions. ----
+    /// Pass 3: minimum voltages + predictions, written into `decision`
+    /// (which must already carry the desired frequencies; every other
+    /// field is overwritten).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_pass(
+        &self,
+        index: &PowerVoltageIndex,
+        tables: &[PerfLossTable],
+        has_table: &[bool],
+        idx: &[usize],
+        procs: &[ProcInput],
+        decision: &mut ScheduleDecision,
+        demotions: usize,
+        feasible: bool,
+    ) {
+        let set = &self.freq_set;
+        decision.freqs.clear();
+        decision.voltages.clear();
+        decision.predicted_ipc.clear();
+        decision.predicted_loss.clear();
         for (i, p) in procs.iter().enumerate() {
-            let k = scratch.idx[i];
+            let k = idx[i];
             let (f, v) = if k == OFFGRID {
                 (p.current, self.voltage_table.min_voltage(p.current))
             } else {
-                (set.at(k), scratch.index.voltage_v(k))
+                (set.at(k), index.voltage_v(k))
             };
-            scratch.decision.freqs.push(f);
-            scratch.decision.voltages.push(v);
-            if scratch.has_table[i] {
-                let e = &scratch.tables[i].entries[k];
-                scratch.decision.predicted_ipc.push(Some(e.ipc));
-                scratch.decision.predicted_loss.push(e.loss_vs_ref);
+            decision.freqs.push(f);
+            decision.voltages.push(v);
+            if has_table[i] {
+                let e = &tables[i].entries[k];
+                decision.predicted_ipc.push(Some(e.ipc));
+                decision.predicted_loss.push(e.loss_vs_ref);
             } else {
-                scratch.decision.predicted_ipc.push(None);
-                scratch.decision.predicted_loss.push(0.0);
+                decision.predicted_ipc.push(None);
+                decision.predicted_loss.push(0.0);
             }
         }
         let mut predicted_power_w = 0.0;
-        for (&k, p) in scratch.idx.iter().zip(procs) {
-            predicted_power_w += self.slot_power(&scratch.index, k, p.current);
+        for (&k, p) in idx.iter().zip(procs) {
+            predicted_power_w += self.slot_power(index, k, p.current);
         }
-        scratch.decision.predicted_power_w = predicted_power_w;
-        scratch.decision.feasible = feasible;
-        scratch.decision.demotions = demotions;
-        &scratch.decision
+        decision.predicted_power_w = predicted_power_w;
+        decision.feasible = feasible;
+        decision.demotions = demotions;
     }
 
     /// The naive `O(d·n)` implementation: a full linear scan over all

@@ -100,7 +100,7 @@ impl<P: Policy> Policy for FeedbackGuard<P> {
         "feedback-guard"
     }
 
-    fn on_tick(&mut self, ctx: &TickContext<'_>) -> Option<Decision> {
+    fn decide(&mut self, ctx: &TickContext<'_>, out: &mut Decision) -> bool {
         let cfg = self.config;
         if ctx.budget_w.is_finite() {
             let overshoot = ctx.measured_power_w - ctx.budget_w;
@@ -141,7 +141,11 @@ impl<P: Policy> Policy for FeedbackGuard<P> {
             ground_truth: ctx.ground_truth,
             platform: ctx.platform,
         };
-        self.inner.on_tick(&adjusted)
+        self.inner.decide(&adjusted, out)
+    }
+
+    fn wants_ground_truth(&self) -> bool {
+        self.inner.wants_ground_truth()
     }
 
     fn overhead(&self) -> OverheadModel {

@@ -45,7 +45,8 @@ pub mod scheduler;
 pub mod sim_loop;
 
 pub use algorithm::{
-    DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleDecision, ScheduleScratch, SchedulingMode,
+    CacheStats, DemotionOrder, FvsstAlgorithm, ModelTolerance, ProcInput, ScheduleCache,
+    ScheduleDecision, ScheduleScratch, SchedulingMode,
 };
 pub use feedback::{FeedbackConfig, FeedbackGuard};
 pub use mt_daemon::{CoreCommand, CoreSample, MtDaemon, MtSummary};

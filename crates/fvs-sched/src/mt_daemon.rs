@@ -23,7 +23,7 @@
 //! with [`MtDaemon::submit`] and drains [`MtDaemon::poll_commands`]
 //! whenever convenient.
 
-use crate::algorithm::{FvsstAlgorithm, ProcInput, ScheduleScratch};
+use crate::algorithm::{FvsstAlgorithm, ModelTolerance, ProcInput, ScheduleCache};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fvs_model::{CounterDelta, CounterWindow, CpiModel, Estimator, FreqMhz, MemoryLatencies};
 use std::thread::JoinHandle;
@@ -141,8 +141,9 @@ impl MtDaemon {
                 let mut budget_w = f64::INFINITY;
                 let mut schedules: u64 = 0;
                 // Reused across rounds: the scheduling computation itself
-                // allocates nothing in steady state.
-                let mut scratch = ScheduleScratch::new();
+                // allocates nothing in steady state, and phase-stable
+                // cores hit the fingerprint cache.
+                let mut cache = ScheduleCache::with_tolerance(ModelTolerance::PHASE_DEFAULT);
                 let mut procs: Vec<ProcInput> = Vec::with_capacity(n_cores);
                 let mut run =
                     |latest: &[Option<ProcUpdate>], budget_w: f64, schedules: &mut u64| {
@@ -159,7 +160,7 @@ impl MtDaemon {
                                 current: algorithm.freq_set.max(),
                             },
                         }));
-                        let d = algorithm.schedule_with_scratch(&mut scratch, &procs, budget_w);
+                        let d = algorithm.schedule_cached(&mut cache, &procs, budget_w);
                         *schedules += 1;
                         for (core, (f, v)) in d.freqs.iter().zip(&d.voltages).enumerate() {
                             let _ = cmd_tx.send(CoreCommand {

@@ -64,14 +64,16 @@ pub struct TickContext<'a> {
     /// Per-core ground-truth timing models of the phase currently
     /// executing. Harness-provided for *oracle baselines only* — the
     /// fvsst scheduler and every realistic policy must ignore it, since
-    /// no hardware exposes it.
+    /// no hardware exposes it. Computing these models costs real work,
+    /// so the harness only fills the slice for policies that declare
+    /// [`Policy::wants_ground_truth`]; everyone else sees it empty.
     pub ground_truth: &'a [CpiModel],
     /// Platform facts.
     pub platform: &'a PlatformView,
 }
 
 /// A frequency assignment produced by a policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Decision {
     /// Final frequency per core.
     pub freqs: Vec<FreqMhz>,
@@ -91,13 +93,23 @@ pub struct Decision {
 impl Decision {
     /// A decision that simply sets every core to `f`.
     pub fn uniform(n: usize, f: FreqMhz) -> Self {
-        Decision {
-            freqs: vec![f; n],
-            desired: vec![f; n],
-            predicted_ipc: vec![None; n],
-            powered_on: vec![true; n],
-            feasible: true,
-        }
+        let mut d = Decision::default();
+        d.set_uniform(n, f);
+        d
+    }
+
+    /// Overwrite this decision with "every core at `f`", reusing the
+    /// existing buffers (allocation-free once they have capacity `n`).
+    pub fn set_uniform(&mut self, n: usize, f: FreqMhz) {
+        self.freqs.clear();
+        self.freqs.resize(n, f);
+        self.desired.clear();
+        self.desired.resize(n, f);
+        self.predicted_ipc.clear();
+        self.predicted_ipc.resize(n, None);
+        self.powered_on.clear();
+        self.powered_on.resize(n, true);
+        self.feasible = true;
     }
 }
 
@@ -137,9 +149,29 @@ pub trait Policy: Send {
     /// Short display name for reports.
     fn name(&self) -> &str;
 
-    /// Consulted once per dispatch tick; return `Some` to (re)assign
-    /// frequencies.
-    fn on_tick(&mut self, ctx: &TickContext<'_>) -> Option<Decision>;
+    /// Consulted once per dispatch tick. To (re)assign frequencies,
+    /// write the assignment into `out` and return `true`; otherwise
+    /// return `false` (the contents of `out` are then ignored).
+    ///
+    /// `out` is a buffer the harness reuses across ticks — implementors
+    /// should overwrite it with `clear` + `extend`/`resize` (or
+    /// [`Decision::set_uniform`]) rather than allocate fresh vectors, so
+    /// the steady-state dispatch tick stays allocation-free.
+    fn decide(&mut self, ctx: &TickContext<'_>, out: &mut Decision) -> bool;
+
+    /// Allocating convenience wrapper around [`decide`](Self::decide).
+    fn on_tick(&mut self, ctx: &TickContext<'_>) -> Option<Decision> {
+        let mut out = Decision::default();
+        self.decide(ctx, &mut out).then_some(out)
+    }
+
+    /// Whether this policy reads [`TickContext::ground_truth`]. The
+    /// harness computes the ground-truth models (a real per-tick cost)
+    /// only when this returns `true`; oracle baselines opt in, everyone
+    /// else keeps the default `false` and sees an empty slice.
+    fn wants_ground_truth(&self) -> bool {
+        false
+    }
 
     /// The daemon-overhead model the harness should charge. Defaults to
     /// free.

@@ -2,7 +2,8 @@
 //! policy implementation.
 
 use crate::algorithm::{
-    FvsstAlgorithm, ProcInput, ScheduleDecision, ScheduleScratch, SchedulingMode,
+    CacheStats, FvsstAlgorithm, ModelTolerance, ProcInput, ScheduleCache, ScheduleDecision,
+    SchedulingMode,
 };
 use crate::policy::{Decision, OverheadModel, Policy, TickContext};
 use crate::predictor::{ErrorStats, PredictionTracker, Predictor};
@@ -47,6 +48,14 @@ pub struct SchedulerConfig {
     /// Memory-latency constants the predictor inverts the CPI equation
     /// with (measured once per platform, paper §7.1).
     pub latencies: fvs_model::MemoryLatencies,
+    /// Fingerprint tolerance of the incremental scheduling cache: a
+    /// processor's performance tables and desired slot are rebuilt only
+    /// when the freshly fitted model moves beyond this quantization.
+    pub model_tolerance: ModelTolerance,
+    /// Record `(time, trigger)` entries for every scheduling computation.
+    /// The log grows for the lifetime of the daemon; long-running
+    /// allocation-sensitive hosts can switch it off.
+    pub log_triggers: bool,
 }
 
 impl SchedulerConfig {
@@ -63,6 +72,8 @@ impl SchedulerConfig {
             idle_edge_trigger: true,
             idle_edge_min_spacing: 2,
             latencies: fvs_model::MemoryLatencies::P630,
+            model_tolerance: ModelTolerance::PHASE_DEFAULT,
+            log_triggers: true,
         }
     }
 
@@ -98,6 +109,20 @@ impl SchedulerConfig {
         self
     }
 
+    /// Replace the incremental-cache fingerprint tolerance
+    /// ([`ModelTolerance::EXACT`] disables within-tolerance reuse).
+    pub fn with_model_tolerance(mut self, tolerance: ModelTolerance) -> Self {
+        self.model_tolerance = tolerance;
+        self
+    }
+
+    /// Disable the `(time, trigger)` log (its growth is the only
+    /// steady-state allocation the daemon performs).
+    pub fn without_trigger_log(mut self) -> Self {
+        self.log_triggers = false;
+        self
+    }
+
     /// The scheduling period `T` in seconds.
     pub fn period_s(&self) -> f64 {
         self.t_s * f64::from(self.n)
@@ -119,13 +144,14 @@ pub struct FvsstScheduler {
     last_decision: Option<ScheduleDecision>,
     schedules_run: u64,
     triggers: Vec<(f64, Trigger)>,
-    scratch: ScheduleScratch,
+    cache: ScheduleCache,
     proc_buf: Vec<ProcInput>,
 }
 
 impl FvsstScheduler {
     /// Daemon for `n_cores` cores.
     pub fn new(n_cores: usize, config: SchedulerConfig) -> Self {
+        let cache = ScheduleCache::with_tolerance(config.model_tolerance);
         FvsstScheduler {
             predictor: Predictor::new(n_cores, config.latencies),
             tracker: PredictionTracker::new(n_cores),
@@ -137,7 +163,7 @@ impl FvsstScheduler {
             last_decision: None,
             schedules_run: 0,
             triggers: Vec::new(),
-            scratch: ScheduleScratch::new(),
+            cache,
             proc_buf: Vec::with_capacity(n_cores),
         }
     }
@@ -173,8 +199,15 @@ impl FvsstScheduler {
         self.last_decision.as_ref()
     }
 
-    fn run_schedule(&mut self, ctx: &TickContext<'_>, trigger: Trigger) -> Decision {
-        self.triggers.push((ctx.now_s, trigger));
+    /// Hit/rebuild counters of the incremental scheduling cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn run_schedule(&mut self, ctx: &TickContext<'_>, trigger: Trigger, out: &mut Decision) {
+        if self.config.log_triggers {
+            self.triggers.push((ctx.now_s, trigger));
+        }
         self.schedules_run += 1;
         self.ticks_since_schedule = 0;
         let n = ctx.samples.len();
@@ -193,28 +226,27 @@ impl FvsstScheduler {
                 current: ctx.current[i],
             });
         }
-        // Steady-state path: the scratch is reused across rounds, so the
-        // computation itself performs no allocation after warm-up.
-        let d = self.config.algorithm.schedule_with_scratch(
-            &mut self.scratch,
-            &self.proc_buf,
-            ctx.budget_w,
-        );
+        // Steady-state path: the cache skips pass 1 for every processor
+        // whose fitted model stayed inside the fingerprint tolerance, and
+        // skips the round entirely when nothing (and no budget) changed;
+        // either way the computation allocates nothing after warm-up.
+        let d =
+            self.config
+                .algorithm
+                .schedule_cached(&mut self.cache, &self.proc_buf, ctx.budget_w);
         for i in 0..n {
             self.tracker.predict(i, d.predicted_ipc[i]);
         }
-        let out = Decision {
-            freqs: d.freqs.clone(),
-            desired: d.desired.clone(),
-            predicted_ipc: d.predicted_ipc.clone(),
-            powered_on: vec![true; n],
-            feasible: d.feasible,
-        };
+        out.freqs.clone_from(&d.freqs);
+        out.desired.clone_from(&d.desired);
+        out.predicted_ipc.clone_from(&d.predicted_ipc);
+        out.powered_on.clear();
+        out.powered_on.resize(n, true);
+        out.feasible = d.feasible;
         match &mut self.last_decision {
             Some(prev) => prev.clone_from(d),
             None => self.last_decision = Some(d.clone()),
         }
-        out
     }
 }
 
@@ -223,7 +255,7 @@ impl Policy for FvsstScheduler {
         "fvsst"
     }
 
-    fn on_tick(&mut self, ctx: &TickContext<'_>) -> Option<Decision> {
+    fn decide(&mut self, ctx: &TickContext<'_>, out: &mut Decision) -> bool {
         let n = ctx.samples.len();
         for (i, s) in ctx.samples.iter().enumerate() {
             self.predictor.push(i, s);
@@ -250,25 +282,29 @@ impl Policy for FvsstScheduler {
 
         if budget_changed {
             self.pending_idle_edge = false;
-            return Some(self.run_schedule(ctx, Trigger::BudgetChange));
+            self.run_schedule(ctx, Trigger::BudgetChange, out);
+            return true;
         }
         if self.pending_idle_edge && self.ticks_since_schedule >= self.config.idle_edge_min_spacing
         {
             self.pending_idle_edge = false;
-            return Some(self.run_schedule(ctx, Trigger::IdleEdge));
+            self.run_schedule(ctx, Trigger::IdleEdge, out);
+            return true;
         }
         // Bootstrap: enforce the budget as soon as the first window has
         // data, rather than idling at f_max for a full period.
         if self.last_decision.is_none() {
             self.pending_idle_edge = false;
-            return Some(self.run_schedule(ctx, Trigger::Timer));
+            self.run_schedule(ctx, Trigger::Timer, out);
+            return true;
         }
         // Trigger 2: the periodic timer.
         if self.ticks_since_schedule >= self.config.n {
             self.pending_idle_edge = false;
-            return Some(self.run_schedule(ctx, Trigger::Timer));
+            self.run_schedule(ctx, Trigger::Timer, out);
+            return true;
         }
-        None
+        false
     }
 
     fn overhead(&self) -> OverheadModel {

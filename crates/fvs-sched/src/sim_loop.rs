@@ -1,9 +1,9 @@
 //! Drives a [`fvs_sim::Machine`] under a [`Policy`] and reports what the
 //! paper's evaluation measures.
 
-use crate::policy::{PlatformView, Policy, TickContext};
+use crate::policy::{Decision, PlatformView, Policy, TickContext};
 use crate::scheduler::{FvsstScheduler, SchedulerConfig};
-use fvs_model::FreqMhz;
+use fvs_model::{CounterDelta, CpiModel, FreqMhz};
 use fvs_power::{BudgetSchedule, EnergyMeter, SupplyBank};
 use fvs_sim::{Machine, ResidencyHistogram, TraceRecorder, TraceSample};
 use fvs_workloads::PhaseKind;
@@ -80,6 +80,18 @@ pub struct ScheduledSimulation<P: Policy = FvsstScheduler> {
     /// reset whenever the policy takes a decision (= closes its window).
     window_transitional: Vec<bool>,
     was_finished: Vec<bool>,
+    /// Whether the policy declared [`Policy::wants_ground_truth`] at
+    /// construction; computing the per-core ground-truth models is real
+    /// per-tick work, so it is skipped entirely otherwise.
+    wants_ground_truth: bool,
+    // Per-tick scratch, reused so the steady-state tick allocates
+    // nothing.
+    samples_buf: Vec<CounterDelta>,
+    idle_buf: Vec<bool>,
+    current_buf: Vec<FreqMhz>,
+    transitional_buf: Vec<bool>,
+    ground_truth_buf: Vec<CpiModel>,
+    decision_buf: Decision,
 }
 
 impl ScheduledSimulation<FvsstScheduler> {
@@ -105,6 +117,7 @@ impl<P: Policy> ScheduledSimulation<P> {
             latencies: cfg.latencies,
         };
         let f_max = platform.freq_set.max();
+        let wants_ground_truth = policy.wants_ground_truth();
         ScheduledSimulation {
             machine,
             policy,
@@ -124,6 +137,13 @@ impl<P: Policy> ScheduledSimulation<P> {
             last_ipc: vec![0.0; n],
             window_transitional: vec![false; n],
             was_finished: vec![false; n],
+            wants_ground_truth,
+            samples_buf: Vec::with_capacity(n),
+            idle_buf: Vec::with_capacity(n),
+            current_buf: Vec::with_capacity(n),
+            transitional_buf: Vec::with_capacity(n),
+            ground_truth_buf: Vec::with_capacity(n),
+            decision_buf: Decision::default(),
         }
     }
 
@@ -218,28 +238,38 @@ impl<P: Policy> ScheduledSimulation<P> {
             }
             self.was_finished[i] = finished;
         }
-        let transitional = self.window_transitional.clone();
+        // The window flags accumulate until a decision closes the window,
+        // which happens while the context still borrows them — so the
+        // policy sees a snapshot (buffer reused across ticks).
+        self.transitional_buf.clone_from(&self.window_transitional);
 
-        // Observe.
-        let samples = self.machine.sample_all();
-        let idle: Vec<bool> = (0..n).map(|i| self.machine.idle_signal(i)).collect();
-        let current: Vec<FreqMhz> = (0..n)
-            .map(|i| self.machine.core(i).requested_frequency())
-            .collect();
-        for (i, s) in samples.iter().enumerate() {
+        // Observe (into reusable buffers: the steady-state tick allocates
+        // nothing).
+        self.machine.sample_all_into(&mut self.samples_buf);
+        self.idle_buf.clear();
+        self.current_buf.clear();
+        for i in 0..n {
+            self.idle_buf.push(self.machine.idle_signal(i));
+            self.current_buf
+                .push(self.machine.core(i).requested_frequency());
+        }
+        for (i, s) in self.samples_buf.iter().enumerate() {
             self.last_ipc[i] = s.observed_ipc();
         }
 
-        // Ground-truth models of the currently-executing phases, for
-        // oracle baselines only.
-        let ground_truth: Vec<fvs_model::CpiModel> = (0..n)
-            .map(|i| {
-                fvs_model::CpiModel::from_profile(
+        // Ground-truth models of the currently-executing phases — real
+        // per-tick work, computed only for policies that declared
+        // `wants_ground_truth` (oracle baselines); everyone else sees an
+        // empty slice.
+        self.ground_truth_buf.clear();
+        if self.wants_ground_truth {
+            for i in 0..n {
+                self.ground_truth_buf.push(CpiModel::from_profile(
                     self.machine.core(i).current_profile(),
                     &self.platform.latencies,
-                )
-            })
-            .collect();
+                ));
+            }
+        }
 
         // Consult the policy.
         let ctx = TickContext {
@@ -247,11 +277,11 @@ impl<P: Policy> ScheduledSimulation<P> {
             tick: self.tick,
             budget_w,
             measured_power_w: total_power,
-            samples: &samples,
-            idle: &idle,
-            transitional: &transitional,
-            current: &current,
-            ground_truth: &ground_truth,
+            samples: &self.samples_buf,
+            idle: &self.idle_buf,
+            transitional: &self.transitional_buf,
+            current: &self.current_buf,
+            ground_truth: &self.ground_truth_buf,
             platform: &self.platform,
         };
         let overhead = self.policy.overhead();
@@ -261,21 +291,21 @@ impl<P: Policy> ScheduledSimulation<P> {
                 .core_mut(overhead.host_core)
                 .steal(overhead.per_sample_s * n as f64);
         }
-        if let Some(decision) = self.policy.on_tick(&ctx) {
+        if self.policy.decide(&ctx, &mut self.decision_buf) {
             // The policy closed its measurement window: start a fresh
             // transitional-flag accumulation.
             self.window_transitional.iter_mut().for_each(|f| *f = false);
             self.decisions += 1;
-            for (i, f) in decision.freqs.iter().enumerate() {
+            for (i, f) in self.decision_buf.freqs.iter().enumerate() {
                 if self.machine.core(i).requested_frequency() != *f {
                     self.frequency_switches += 1;
                 }
                 self.machine.set_frequency(i, *f);
             }
-            for (i, on) in decision.powered_on.iter().enumerate() {
+            for (i, on) in self.decision_buf.powered_on.iter().enumerate() {
                 self.machine.set_powered(i, *on);
             }
-            self.last_desired.clone_from(&decision.desired);
+            self.last_desired.clone_from(&self.decision_buf.desired);
             if overhead.per_schedule_s > 0.0 {
                 self.machine
                     .core_mut(overhead.host_core)

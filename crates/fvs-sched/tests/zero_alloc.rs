@@ -1,13 +1,15 @@
-//! Counting-allocator proof of the scratch path's steady-state claim:
-//! after warm-up, `schedule_with_scratch` performs zero heap
-//! allocations per call.
+//! Counting-allocator proof of the scheduling paths' steady-state claim:
+//! after warm-up, `schedule_with_scratch` and `schedule_cached` perform
+//! zero heap allocations per call.
 //!
-//! The counting `#[global_allocator]` applies to this whole test binary,
-//! so the file holds only this test — any other test running
-//! concurrently would perturb the counters.
+//! Runs as a `harness = false` binary: libtest's runner waits on a
+//! channel from the main thread while the test thread measures, and the
+//! channel's lazy thread-local setup allocates at a timing-dependent
+//! moment inside the measured window. A plain `main` keeps the whole
+//! process single-threaded, so the allocation counters are exact.
 
 use fvs_model::{CpiModel, FreqMhz};
-use fvs_sched::{DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleScratch};
+use fvs_sched::{DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleCache, ScheduleScratch};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -51,8 +53,7 @@ fn mixed_procs(n: usize) -> Vec<ProcInput> {
         .collect()
 }
 
-#[test]
-fn steady_state_schedule_with_scratch_does_not_allocate() {
+fn main() {
     for order in [DemotionOrder::LeastPredictedLoss, DemotionOrder::RoundRobin] {
         let mut alg = FvsstAlgorithm::p630();
         alg.demotion_order = order;
@@ -85,5 +86,45 @@ fn steady_state_schedule_with_scratch_does_not_allocate() {
             0,
             "steady-state schedule_with_scratch allocated ({order:?})"
         );
+
+        // The cached path must also be allocation-free once warm — on
+        // full hits (nothing at all runs), on budget changes (pass 2/3
+        // rerun on cached tables), and on model changes (per-processor
+        // rebuild into the cached table slots).
+        let mut cache = ScheduleCache::new();
+        let mut wobbled = procs.clone();
+        for _ in 0..3 {
+            alg.schedule_cached(&mut cache, &procs, budget);
+            alg.schedule_cached(&mut cache, &wobbled, budget);
+        }
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..50 {
+            let d = alg.schedule_cached(&mut cache, &procs, budget);
+            assert!(d.feasible);
+        }
+        for step in 0..50 {
+            let d = alg.schedule_cached(&mut cache, &procs, budget + step as f64 * 40.0);
+            std::hint::black_box(d.predicted_power_w);
+        }
+        for step in 0..50 {
+            // Move every model far past any tolerance: full per-processor
+            // rebuild, still allocation-free.
+            for (i, p) in wobbled.iter_mut().enumerate() {
+                p.model = procs[i].model.map(|m| {
+                    CpiModel::from_components(m.cpi0 + step as f64 * 0.5, m.mem_time_per_instr)
+                });
+            }
+            let d = alg.schedule_cached(&mut cache, &wobbled, budget);
+            std::hint::black_box(d.predicted_power_w);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state schedule_cached allocated ({order:?})"
+        );
+        let stats = cache.stats();
+        assert!(stats.full_hits >= 49, "expected full hits, got {stats:?}");
     }
+    println!("zero_alloc: ok");
 }

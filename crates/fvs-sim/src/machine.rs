@@ -296,7 +296,19 @@ impl Machine {
 
     /// Sample every core.
     pub fn sample_all(&mut self) -> Vec<CounterDelta> {
-        (0..self.cores.len()).map(|i| self.sample(i)).collect()
+        let mut out = Vec::with_capacity(self.cores.len());
+        self.sample_all_into(&mut out);
+        out
+    }
+
+    /// Sample every core into a caller-provided buffer (cleared first),
+    /// so a steady-state sampling loop allocates nothing.
+    pub fn sample_all_into(&mut self, out: &mut Vec<CounterDelta>) {
+        out.clear();
+        for i in 0..self.cores.len() {
+            let s = self.sample(i);
+            out.push(s);
+        }
     }
 }
 

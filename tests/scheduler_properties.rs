@@ -3,7 +3,7 @@
 
 use fvsst::model::{CpiModel, FreqMhz};
 use fvsst::power::{FreqPowerTable, VoltageTable};
-use fvsst::sched::{DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleScratch};
+use fvsst::sched::{DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleCache, ScheduleScratch};
 use proptest::prelude::*;
 
 fn arb_proc() -> impl Strategy<Value = ProcInput> {
@@ -171,6 +171,62 @@ proptest! {
         let fast = alg.schedule(&procs, budget);
         let naive = alg.schedule_reference(&procs, budget);
         prop_assert_eq!(fast, naive);
+    }
+
+    /// Differential: the fingerprint cache (bit-exact tolerance) is a
+    /// pure memoisation layer. Across random sequences of phase changes
+    /// (model drift), idle flips, budget drops, repeated identical
+    /// rounds (the full-hit short circuit) and explicit invalidations,
+    /// every cached decision equals a fresh naive reference run — every
+    /// field, including the floating-point predictions.
+    #[test]
+    fn cached_schedule_matches_reference_across_sequences(
+        procs in prop::collection::vec(arb_proc_offgrid(), 1..12),
+        rounds in prop::collection::vec(
+            (
+                0.0f64..0.4,   // cpi0 drift (applied when > 0.2)
+                any::<bool>(), // flip one processor's idle bit
+                any::<usize>(),// which processor to mutate
+                5.0f64..2000.0,
+                any::<bool>(), // invalidate the cache first
+            ),
+            1..10,
+        ),
+        round_robin in any::<bool>(),
+    ) {
+        let mut alg = FvsstAlgorithm::p630();
+        if round_robin {
+            alg.demotion_order = DemotionOrder::RoundRobin;
+        }
+        let mut cache = ScheduleCache::new();
+        let mut procs = procs;
+        let mut feasible_repeats = 0u32;
+        for (drift, flip, which, budget, invalidate) in rounds {
+            let i = which % procs.len();
+            if flip {
+                procs[i].idle = !procs[i].idle;
+            }
+            if drift > 0.2 {
+                procs[i].model = procs[i].model.map(|m| {
+                    CpiModel::from_components(m.cpi0 + drift, m.mem_time_per_instr)
+                });
+            }
+            if invalidate {
+                cache.invalidate();
+            }
+            let fresh = alg.schedule_reference(&procs, budget);
+            prop_assert_eq!(alg.schedule_cached(&mut cache, &procs, budget), &fresh);
+            // Same inputs again: the full-hit path returns the cached
+            // decision, which must still be the reference decision.
+            prop_assert_eq!(alg.schedule_cached(&mut cache, &procs, budget), &fresh);
+            if fresh.feasible {
+                feasible_repeats += 1;
+            }
+        }
+        // Each feasible repeated round must have taken the short
+        // circuit, not silently rebuilt (infeasible decisions are never
+        // served from cache, so those rounds don't count).
+        prop_assert!(cache.stats().full_hits >= u64::from(feasible_repeats));
     }
 
     /// A reused scratch gives the same decisions as fresh one-shot calls,

@@ -8,15 +8,72 @@
 #![allow(clippy::all)]
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Threshold below which parallel dispatch is pure overhead.
 const INLINE_THRESHOLD: usize = 2;
 
+/// 0 = no explicit cap (use available parallelism).
+static GLOBAL_THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
 fn worker_count(len: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = match GLOBAL_THREAD_CAP.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        cap => cap,
+    };
     cores.min(len).max(1)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`]. The
+/// stand-in never actually fails; real rayon errors when the global pool
+/// was already initialised, and callers that ignore the result keep
+/// working either way.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool already initialised")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirror of `rayon::ThreadPoolBuilder`, supporting the `num_threads` +
+/// `build_global` subset. The stand-in has no persistent pool; the
+/// configured thread count caps the workers each parallel call spawns.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start configuring the (process-global) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use exactly `n` worker threads; 0 restores the default
+    /// (available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally. Unlike real rayon this can be
+    /// called repeatedly; the latest setting wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREAD_CAP.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The number of worker threads parallel calls currently use for large
+/// inputs (`rayon::current_num_threads` equivalent).
+pub fn current_num_threads() -> usize {
+    worker_count(usize::MAX)
 }
 
 /// Run `f` on disjoint index chunks of `0..len`, in parallel.
@@ -206,6 +263,27 @@ mod tests {
         let mut v: Vec<u64> = vec![1; 517];
         v.par_iter_mut().for_each(|x| *x += 1);
         assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn thread_cap_is_respected_and_reversible() {
+        // Other tests in this binary share the global cap, so restore it.
+        super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .unwrap();
+        assert_eq!(super::current_num_threads(), 1);
+        // Capped to one worker, parallel calls still produce full,
+        // ordered results (inline path).
+        let input: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[99], 100);
+        super::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(super::current_num_threads() >= 1);
     }
 
     #[test]
