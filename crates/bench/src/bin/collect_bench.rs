@@ -21,9 +21,9 @@
 
 use fvs_harness::experiments::{run_by_name, ALL_EXPERIMENTS};
 use fvs_harness::runs::RunSettings;
+use fvs_telemetry::RoundTimer;
 use rayon::prelude::*;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 const SIZES: &[usize] = &[4, 16, 64, 256, 1024];
 const CLUSTER_SIZES: &[usize] = &[8, 32, 128];
@@ -115,12 +115,12 @@ fn check(root: &Path) -> i32 {
 /// long does regenerating everything take".
 fn time_fast_suite() -> (usize, f64) {
     let settings = RunSettings::fast();
-    let start = Instant::now();
+    let timer = RoundTimer::start();
     let reports: Vec<Option<String>> = ALL_EXPERIMENTS
         .par_iter()
         .map(|name| run_by_name(name, &settings))
         .collect();
-    let wall_s = start.elapsed().as_secs_f64();
+    let wall_s = timer.elapsed_s();
     let ran = reports
         .iter()
         .flatten()

@@ -6,6 +6,7 @@ use crate::node::ClusterNode;
 use fvs_power::BudgetSchedule;
 use fvs_sched::FvsstAlgorithm;
 use fvs_sim::MachineBuilder;
+use fvs_telemetry::Telemetry;
 use fvs_workloads::{MixConfig, WorkloadGenerator};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -27,6 +28,8 @@ pub struct ClusterConfig {
     pub algorithm: FvsstAlgorithm,
     /// Global budget over time.
     pub budget: BudgetSchedule,
+    /// Telemetry handle passed to the coordinator (disabled by default).
+    pub telemetry: Telemetry,
 }
 
 impl ClusterConfig {
@@ -39,7 +42,15 @@ impl ClusterConfig {
             latency_s: 0.002,
             algorithm: FvsstAlgorithm::p630(),
             budget: BudgetSchedule::constant(f64::INFINITY),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle (journals coordinator rounds and keeps
+    /// `cluster.*` metrics).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -102,7 +113,11 @@ pub struct ClusterSim {
 impl ClusterSim {
     /// Build from explicit nodes.
     pub fn new(nodes: Vec<ClusterNode>, config: ClusterConfig) -> Self {
-        let coordinator = GlobalCoordinator::new(config.algorithm.clone(), nodes.len());
+        let coordinator = GlobalCoordinator::with_telemetry(
+            config.algorithm.clone(),
+            nodes.len(),
+            config.telemetry.clone(),
+        );
         let n = nodes.len();
         ClusterSim {
             nodes,

@@ -2,6 +2,7 @@
 
 use fvs_model::{CpiModel, FreqMhz};
 use fvs_sched::{CacheStats, FvsstAlgorithm, ModelTolerance, ProcInput, ScheduleCache};
+use fvs_telemetry::{Counter, Gauge, SchedEvent, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// What a node ships to the coordinator each scheduling period.
@@ -43,17 +44,54 @@ pub struct GlobalCoordinator {
     cache: ScheduleCache,
     coords: Vec<(usize, usize)>,
     procs: Vec<ProcInput>,
+    rounds: u64,
+    telemetry: Telemetry,
+    metrics: Option<CoordMetrics>,
+}
+
+/// Metric handles, created once at construction so scheduling rounds
+/// never touch the registry mutex.
+#[derive(Debug)]
+struct CoordMetrics {
+    rounds: std::sync::Arc<Counter>,
+    summaries_ingested: std::sync::Arc<Counter>,
+    summaries_stale: std::sync::Arc<Counter>,
+    commands_sent: std::sync::Arc<Counter>,
+    reported_power_watts: std::sync::Arc<Gauge>,
+    nodes_reporting: std::sync::Arc<Gauge>,
 }
 
 impl GlobalCoordinator {
     /// Coordinator for `nodes` nodes.
     pub fn new(algorithm: FvsstAlgorithm, nodes: usize) -> Self {
+        Self::with_telemetry(algorithm, nodes, Telemetry::disabled())
+    }
+
+    /// Coordinator that journals one [`SchedEvent::ClusterRound`] per
+    /// global round and keeps `cluster.*` counters/gauges (summaries
+    /// ingested and dropped as stale, commands fanned out, reported
+    /// aggregate power).
+    pub fn with_telemetry(algorithm: FvsstAlgorithm, nodes: usize, telemetry: Telemetry) -> Self {
+        let metrics = telemetry.registry().map(|r| {
+            let scope = r.scoped("cluster");
+            CoordMetrics {
+                rounds: scope.counter("rounds"),
+                summaries_ingested: scope.counter("summaries_ingested"),
+                summaries_stale: scope.counter("summaries_stale"),
+                commands_sent: scope.counter("commands_sent"),
+                reported_power_watts: scope.gauge("reported_power_watts"),
+                nodes_reporting: scope.gauge("nodes_reporting"),
+            }
+        });
         GlobalCoordinator {
             algorithm,
             latest: vec![None; nodes],
             cache: ScheduleCache::with_tolerance(ModelTolerance::PHASE_DEFAULT),
             coords: Vec::new(),
             procs: Vec::new(),
+            rounds: 0,
+            telemetry,
+            metrics,
         }
     }
 
@@ -70,6 +108,13 @@ impl GlobalCoordinator {
             .as_ref()
             .map(|old| summary.sent_at_s >= old.sent_at_s)
             .unwrap_or(true);
+        if let Some(m) = &self.metrics {
+            if newer {
+                m.summaries_ingested.inc();
+            } else {
+                m.summaries_stale.inc();
+            }
+        }
         if newer {
             *slot = Some(summary);
         }
@@ -109,6 +154,7 @@ impl GlobalCoordinator {
         let d = self
             .algorithm
             .schedule_cached(&mut self.cache, &self.procs, budget_w);
+        let (feasible, predicted_power_w) = (d.feasible, d.predicted_power_w);
         // Regroup per node (the command vectors are shipped, so they are
         // allocated fresh).
         let mut commands: Vec<FrequencyCommand> = Vec::new();
@@ -119,6 +165,24 @@ impl GlobalCoordinator {
                     node: *node,
                     freqs: vec![*f],
                 }),
+            }
+        }
+        let round = self.rounds;
+        self.rounds += 1;
+        if self.telemetry.enabled() {
+            self.telemetry.emit(SchedEvent::ClusterRound {
+                round,
+                nodes: self.nodes_reporting() as u32,
+                procs: self.procs.len() as u32,
+                budget_w,
+                predicted_power_w,
+                feasible,
+            });
+            if let Some(m) = &self.metrics {
+                m.rounds.inc();
+                m.commands_sent.add(commands.len() as u64);
+                m.reported_power_watts.set(self.reported_power_w());
+                m.nodes_reporting.set(self.nodes_reporting() as f64);
             }
         }
         commands

@@ -1,7 +1,7 @@
 //! `fvsst-exp` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR] [--jobs N]
+//! fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR] [--telemetry DIR] [--jobs N]
 //! fvsst-exp all [--fast]
 //! fvsst-exp list
 //! ```
@@ -11,16 +11,19 @@
 //! printed in the order the experiments were requested, regardless of
 //! completion order, each with its wall time; a total harness wall time
 //! closes the run. `--json DIR` additionally writes
-//! `<DIR>/<experiment>.json` with the structured result.
+//! `<DIR>/<experiment>.json` with the structured result, and
+//! `--telemetry DIR` writes `<DIR>/<experiment>.telemetry.jsonl`
+//! scheduling traces for the instrumented experiments (fig9, cluster).
+//! Every artifact written is listed on stdout when the run succeeds.
 //!
 //! Experiments: table1 fig1 table2 fig4 fig5 fig6 fig7 table3 fig8 fig9
 //! example5 ablation predictors migration cluster.
 
 use fvs_harness::experiments::{run_by_name, ALL_EXPERIMENTS};
 use fvs_harness::runs::RunSettings;
+use fvs_telemetry::RoundTimer;
 use rayon::prelude::*;
 use std::process::ExitCode;
-use std::time::Instant;
 
 enum Outcome {
     /// Rendered report + wall seconds.
@@ -46,6 +49,16 @@ fn main() -> ExitCode {
                     Some(dir) => json_dir = Some(dir.into()),
                     None => {
                         eprintln!("--json requires a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--telemetry" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => settings.telemetry_dir = Some(dir.clone()),
+                    None => {
+                        eprintln!("--telemetry requires a directory");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -83,7 +96,7 @@ fn main() -> ExitCode {
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR] [--jobs N]\n       fvsst-exp all | list\nexperiments: {}",
+            "usage: fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR] [--telemetry DIR] [--jobs N]\n       fvsst-exp all | list\nexperiments: {}",
             ALL_EXPERIMENTS.join(" ")
         );
         return ExitCode::FAILURE;
@@ -93,22 +106,26 @@ fn main() -> ExitCode {
             .num_threads(n)
             .build_global();
     }
-    // Create the output directory once, up front, instead of racing
+    // Create the output directories once, up front, instead of racing
     // per-experiment create_dir_all calls.
-    if let Some(dir) = &json_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
+    for dir in json_dir
+        .iter()
+        .cloned()
+        .chain(settings.telemetry_dir.iter().map(std::path::PathBuf::from))
+    {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("cannot create {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
 
-    let total_start = Instant::now();
+    let total_timer = RoundTimer::start();
     // One rayon task per experiment; collect preserves request order, so
     // the rendered output is deterministic however the tasks interleave.
     let outcomes: Vec<Outcome> = targets
         .par_iter()
         .map(|t| {
-            let start = Instant::now();
+            let timer = RoundTimer::start();
             let outcome = match &json_dir {
                 Some(dir) => match fvs_harness::export::run_and_write_json(t, &settings, dir) {
                     Ok(rendered) => rendered,
@@ -118,19 +135,33 @@ fn main() -> ExitCode {
             };
             match outcome {
                 Some(report) if report.trim().is_empty() => Outcome::Empty,
-                Some(report) => Outcome::Report(report, start.elapsed().as_secs_f64()),
+                Some(report) => Outcome::Report(report, timer.elapsed_s()),
                 None => Outcome::Unknown,
             }
         })
         .collect();
-    let total_s = total_start.elapsed().as_secs_f64();
+    let total_s = total_timer.elapsed_s();
 
     let mut failed = false;
     for (t, outcome) in targets.iter().zip(&outcomes) {
         match outcome {
             Outcome::Report(report, secs) => {
                 println!("{report}");
-                println!("[{t}: {secs:.2}s]\n");
+                println!("[{t}: {secs:.2}s]");
+                // List the artifacts this experiment actually produced,
+                // so scripted callers don't have to reconstruct paths.
+                if let Some(dir) = &json_dir {
+                    let json = dir.join(format!("{t}.json"));
+                    if json.is_file() {
+                        println!("[{t}: wrote {}]", json.display());
+                    }
+                }
+                if let Some(trace) = settings.telemetry_path(t) {
+                    if trace.is_file() {
+                        println!("[{t}: wrote {}]", trace.display());
+                    }
+                }
+                println!();
             }
             Outcome::Unknown => {
                 eprintln!("unknown experiment '{t}' (try: fvsst-exp list)");

@@ -60,6 +60,11 @@ fn run_one(nodes: usize, latency_s: f64, settings: &RunSettings) -> ScaleCell {
     let cut_w = unconstrained_w * 0.4;
     let mut config = ClusterConfig::default_rack();
     config.latency_s = latency_s;
+    // Trace one representative cell; every cell writing to the same
+    // JSONL file would interleave the parallel runs.
+    if nodes == SIZES[0] && latency_s == LATENCIES[0] {
+        config.telemetry = settings.telemetry_for("cluster");
+    }
     config.budget = BudgetSchedule::with_events(
         f64::INFINITY,
         vec![BudgetEvent {

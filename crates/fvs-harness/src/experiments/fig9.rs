@@ -36,7 +36,9 @@ pub fn run(settings: &RunSettings) -> Fig9Result {
         .workload(0, spec)
         .seed(settings.seed)
         .build();
-    let config = SchedulerConfig::p630().with_budget(BudgetSchedule::constant(75.0));
+    let config = SchedulerConfig::p630()
+        .with_budget(BudgetSchedule::constant(75.0))
+        .with_telemetry(settings.telemetry_for("fig9"));
     let mut sim = ScheduledSimulation::new(machine, config);
     let dur = if settings.fast { 2.0 } else { 8.0 };
     sim.run_for(dur);

@@ -4,16 +4,22 @@ use fvs_model::FreqMhz;
 use fvs_power::BudgetSchedule;
 use fvs_sched::{ScheduledSimulation, SchedulerConfig};
 use fvs_sim::{MachineBuilder, ResidencyHistogram};
+use fvs_telemetry::Telemetry;
 use fvs_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
 /// Global experiment settings.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunSettings {
     /// Shrink instruction budgets for quick runs (benches, CI smoke).
     pub fast: bool,
     /// Base RNG seed.
     pub seed: u64,
+    /// Directory for per-experiment telemetry traces
+    /// (`<dir>/<experiment>.telemetry.jsonl`); `None` disables telemetry
+    /// entirely. Stored as a `String` because the vendored serde has no
+    /// `PathBuf` impl.
+    pub telemetry_dir: Option<String>,
 }
 
 impl RunSettings {
@@ -22,6 +28,7 @@ impl RunSettings {
         RunSettings {
             fast: false,
             seed: 0xF05,
+            telemetry_dir: None,
         }
     }
 
@@ -30,6 +37,7 @@ impl RunSettings {
         RunSettings {
             fast: true,
             seed: 0xF05,
+            telemetry_dir: None,
         }
     }
 
@@ -39,6 +47,30 @@ impl RunSettings {
             full / 10.0
         } else {
             full
+        }
+    }
+
+    /// Where `experiment`'s telemetry trace lands, if enabled.
+    pub fn telemetry_path(&self, experiment: &str) -> Option<std::path::PathBuf> {
+        self.telemetry_dir
+            .as_ref()
+            .map(|d| std::path::Path::new(d).join(format!("{experiment}.telemetry.jsonl")))
+    }
+
+    /// A telemetry handle for `experiment`: a JSONL sink under
+    /// `telemetry_dir` when tracing is on, the zero-cost disabled handle
+    /// otherwise. A sink that cannot be opened degrades to disabled with
+    /// a note on stderr — a missing trace should not fail the science.
+    pub fn telemetry_for(&self, experiment: &str) -> Telemetry {
+        match self.telemetry_path(experiment) {
+            Some(path) => Telemetry::jsonl(&path).unwrap_or_else(|e| {
+                eprintln!(
+                    "telemetry disabled for {experiment}: {}: {e}",
+                    path.display()
+                );
+                Telemetry::disabled()
+            }),
+            None => Telemetry::disabled(),
         }
     }
 }

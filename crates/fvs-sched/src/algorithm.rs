@@ -112,6 +112,26 @@ impl Clone for ScheduleDecision {
     }
 }
 
+/// One pass-2 single-step demotion, as recorded by the budget pass.
+///
+/// The sequence of records for a round is a faithful trace: applying
+/// the steps, in order, to the pass-1 desired frequencies reproduces the
+/// final [`ScheduleDecision::freqs`] exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemotionRecord {
+    /// The demoted processor.
+    pub proc: usize,
+    /// Frequency before the step.
+    pub from: FreqMhz,
+    /// Frequency after the step.
+    pub to: FreqMhz,
+    /// Predicted loss vs `f_max` *after* the step (0 for unmodelled
+    /// processors).
+    pub predicted_loss: f64,
+    /// Power change of the step (W; negative — demotions shed power).
+    pub power_delta_w: f64,
+}
+
 /// How pass 2 chooses which processor to demote next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DemotionOrder {
@@ -187,6 +207,7 @@ pub struct ScheduleScratch {
     idx: Vec<usize>,
     heap: BinaryHeap<DemotionCandidate>,
     decision: ScheduleDecision,
+    demotion_log: Vec<DemotionRecord>,
 }
 
 impl ScheduleScratch {
@@ -204,6 +225,12 @@ impl ScheduleScratch {
     /// Consume the scratch, keeping only the last decision.
     pub fn into_decision(self) -> ScheduleDecision {
         self.decision
+    }
+
+    /// The pass-2 demotion steps of the most recent call, in the order
+    /// they were taken.
+    pub fn demotion_log(&self) -> &[DemotionRecord] {
+        &self.demotion_log
     }
 }
 
@@ -339,6 +366,7 @@ pub struct ScheduleCache {
     work_idx: Vec<usize>,
     heap: BinaryHeap<DemotionCandidate>,
     decision: ScheduleDecision,
+    demotion_log: Vec<DemotionRecord>,
     last_budget_bits: u64,
     valid: bool,
     stats: CacheStats,
@@ -372,6 +400,14 @@ impl ScheduleCache {
     /// [`FvsstAlgorithm::schedule_cached`] call.
     pub fn decision(&self) -> &ScheduleDecision {
         &self.decision
+    }
+
+    /// The pass-2 demotion steps behind the current decision, in the
+    /// order they were taken. On a full-hit round the cached decision —
+    /// and therefore this log — is carried forward unchanged, so the log
+    /// always describes [`ScheduleCache::decision`].
+    pub fn demotion_log(&self) -> &[DemotionRecord] {
+        &self.demotion_log
     }
 
     /// Drop all cached state; the next round recomputes everything.
@@ -565,6 +601,7 @@ impl FvsstAlgorithm {
             &scratch.has_table,
             &mut scratch.idx,
             &mut scratch.heap,
+            &mut scratch.demotion_log,
             procs,
             budget_w,
         );
@@ -685,6 +722,7 @@ impl FvsstAlgorithm {
             &cache.has_table,
             &mut cache.work_idx,
             &mut cache.heap,
+            &mut cache.demotion_log,
             procs,
             budget_w,
         );
@@ -710,6 +748,8 @@ impl FvsstAlgorithm {
     /// Pass 2: demote least-painful steps until under budget. `idx` is
     /// mutated in place; the running power total is updated by per-step
     /// deltas and victims come from the heap (or the round-robin cursor).
+    /// Every step taken is appended to `log` (cleared first; capacity is
+    /// reserved for the worst case so steady-state calls never grow it).
     /// Returns `(demotions, feasible)`.
     #[allow(clippy::too_many_arguments)]
     fn budget_pass(
@@ -719,10 +759,15 @@ impl FvsstAlgorithm {
         has_table: &[bool],
         idx: &mut [usize],
         heap: &mut BinaryHeap<DemotionCandidate>,
+        log: &mut Vec<DemotionRecord>,
         procs: &[ProcInput],
         budget_w: f64,
     ) -> (usize, bool) {
         let n = procs.len();
+        let set = &self.freq_set;
+        log.clear();
+        // Worst case: every processor walks from f_max to f_min.
+        log.reserve(n * set.len().saturating_sub(1));
         let mut power = 0.0;
         for (&k, p) in idx.iter().zip(procs) {
             power += self.slot_power(index, k, p.current);
@@ -757,9 +802,17 @@ impl FvsstAlgorithm {
                             break;
                         };
                         let k = idx[i];
-                        power += index.power_w(k - 1) - index.power_w(k);
+                        let delta = index.power_w(k - 1) - index.power_w(k);
+                        power += delta;
                         idx[i] = k - 1;
                         demotions += 1;
+                        log.push(DemotionRecord {
+                            proc: i,
+                            from: set.at(k),
+                            to: set.at(k - 1),
+                            predicted_loss: demotion_key(has_table[i].then(|| &tables[i]), k),
+                            power_delta_w: delta,
+                        });
                         if k - 1 > 0 {
                             heap.push(DemotionCandidate {
                                 loss: demotion_key(has_table[i].then(|| &tables[i]), k - 1),
@@ -787,9 +840,17 @@ impl FvsstAlgorithm {
                             break;
                         };
                         let k = idx[i];
-                        power += index.power_w(k - 1) - index.power_w(k);
+                        let delta = index.power_w(k - 1) - index.power_w(k);
+                        power += delta;
                         idx[i] = k - 1;
                         demotions += 1;
+                        log.push(DemotionRecord {
+                            proc: i,
+                            from: set.at(k),
+                            to: set.at(k - 1),
+                            predicted_loss: demotion_key(has_table[i].then(|| &tables[i]), k),
+                            power_delta_w: delta,
+                        });
                     }
                 }
             }

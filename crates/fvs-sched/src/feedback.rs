@@ -20,6 +20,7 @@
 //! margin change lands as an ordinary budget-change trigger.
 
 use crate::policy::{Decision, OverheadModel, Policy, TickContext};
+use fvs_telemetry::{Counter, Gauge, SchedEvent, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Tuning of the adaptive margin.
@@ -63,6 +64,16 @@ pub struct FeedbackGuard<P: Policy> {
     margin_w: f64,
     compliant_ticks: u32,
     overshoot_ticks: u32,
+    telemetry: Telemetry,
+    metrics: Option<GuardMetrics>,
+}
+
+/// Metric handles for the guard, created once at construction so the
+/// per-tick path never touches the registry mutex.
+#[derive(Debug)]
+struct GuardMetrics {
+    clamps: std::sync::Arc<Counter>,
+    margin_watts: std::sync::Arc<Gauge>,
 }
 
 impl<P: Policy> FeedbackGuard<P> {
@@ -79,7 +90,25 @@ impl<P: Policy> FeedbackGuard<P> {
             margin_w: 0.0,
             compliant_ticks: 0,
             overshoot_ticks: 0,
+            telemetry: Telemetry::disabled(),
+            metrics: None,
         }
+    }
+
+    /// Attach a telemetry handle: every margin growth (a clamp of the
+    /// inner budget) emits a [`SchedEvent::FeedbackClamp`] and bumps a
+    /// `feedback.clamps` counter; the live margin is exported as a
+    /// `feedback.margin_watts` gauge.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.metrics = telemetry.registry().map(|r| {
+            let scope = r.scoped("feedback");
+            GuardMetrics {
+                clamps: scope.counter("clamps"),
+                margin_watts: scope.gauge("margin_watts"),
+            }
+        });
+        self.telemetry = telemetry;
+        self
     }
 
     /// The current safety margin (W).
@@ -115,6 +144,14 @@ impl<P: Policy> Policy for FeedbackGuard<P> {
                     let quantised = (target / cfg.quantum_w).ceil() * cfg.quantum_w;
                     self.margin_w = quantised.min(cfg.max_margin_w);
                     self.overshoot_ticks = 0;
+                    self.telemetry.emit(SchedEvent::FeedbackClamp {
+                        t_s: ctx.now_s,
+                        margin_w: self.margin_w,
+                        overshoot_w: overshoot,
+                    });
+                    if let Some(m) = &self.metrics {
+                        m.clamps.inc();
+                    }
                 }
             } else if -overshoot >= cfg.quantum_w && self.margin_w > 0.0 {
                 self.overshoot_ticks = 0;
@@ -128,6 +165,9 @@ impl<P: Policy> Policy for FeedbackGuard<P> {
                 self.compliant_ticks = 0;
                 self.overshoot_ticks = 0;
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.margin_watts.set(self.margin_w);
         }
         let adjusted = TickContext {
             now_s: ctx.now_s,

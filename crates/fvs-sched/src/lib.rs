@@ -45,8 +45,8 @@ pub mod scheduler;
 pub mod sim_loop;
 
 pub use algorithm::{
-    CacheStats, DemotionOrder, FvsstAlgorithm, ModelTolerance, ProcInput, ScheduleCache,
-    ScheduleDecision, ScheduleScratch, SchedulingMode,
+    CacheStats, DemotionOrder, DemotionRecord, FvsstAlgorithm, ModelTolerance, ProcInput,
+    ScheduleCache, ScheduleDecision, ScheduleScratch, SchedulingMode,
 };
 pub use feedback::{FeedbackConfig, FeedbackGuard};
 pub use mt_daemon::{CoreCommand, CoreSample, MtDaemon, MtSummary};

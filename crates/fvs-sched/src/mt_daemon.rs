@@ -26,6 +26,7 @@
 use crate::algorithm::{FvsstAlgorithm, ModelTolerance, ProcInput, ScheduleCache};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fvs_model::{CounterDelta, CounterWindow, CpiModel, Estimator, FreqMhz, MemoryLatencies};
+use fvs_telemetry::{RoundTimer, SchedEvent, Telemetry};
 use std::thread::JoinHandle;
 
 /// One dispatch-tick observation for one processor.
@@ -89,6 +90,19 @@ impl MtDaemon {
     /// `n` is the scheduling window length in samples, as in the
     /// single-threaded daemon (`T = n·t`).
     pub fn spawn(n_cores: usize, algorithm: FvsstAlgorithm, n: u32) -> Self {
+        Self::spawn_with_telemetry(n_cores, algorithm, n, Telemetry::disabled())
+    }
+
+    /// Like [`spawn`](MtDaemon::spawn), with a telemetry pipeline: the
+    /// scheduler thread journals one [`SchedEvent::DaemonRound`] per
+    /// round and records round latencies in an `mt.round_wall_s`
+    /// histogram.
+    pub fn spawn_with_telemetry(
+        n_cores: usize,
+        algorithm: FvsstAlgorithm,
+        n: u32,
+        telemetry: Telemetry,
+    ) -> Self {
         let latencies = MemoryLatencies::P630;
         let (update_tx, update_rx) = unbounded::<ProcUpdate>();
         let (cmd_tx, cmd_rx) = unbounded::<CoreCommand>();
@@ -145,8 +159,18 @@ impl MtDaemon {
                 // cores hit the fingerprint cache.
                 let mut cache = ScheduleCache::with_tolerance(ModelTolerance::PHASE_DEFAULT);
                 let mut procs: Vec<ProcInput> = Vec::with_capacity(n_cores);
+                // Warm metric handles (cold-path registration happens
+                // here, once, not inside the round).
+                let mt_metrics = telemetry.registry().map(|r| {
+                    let scope = r.scoped("mt");
+                    (
+                        scope.counter("rounds"),
+                        scope.histogram("round_wall_s", &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2]),
+                    )
+                });
                 let mut run =
                     |latest: &[Option<ProcUpdate>], budget_w: f64, schedules: &mut u64| {
+                        let timer = telemetry.enabled().then(RoundTimer::start);
                         procs.clear();
                         procs.extend(latest.iter().map(|u| match u {
                             Some(u) => ProcInput {
@@ -161,6 +185,7 @@ impl MtDaemon {
                             },
                         }));
                         let d = algorithm.schedule_cached(&mut cache, &procs, budget_w);
+                        let round = *schedules;
                         *schedules += 1;
                         for (core, (f, v)) in d.freqs.iter().zip(&d.voltages).enumerate() {
                             let _ = cmd_tx.send(CoreCommand {
@@ -168,6 +193,17 @@ impl MtDaemon {
                                 freq: *f,
                                 voltage: *v,
                             });
+                        }
+                        if let Some(timer) = timer {
+                            telemetry.emit(SchedEvent::DaemonRound {
+                                round,
+                                procs: n_cores as u32,
+                                wall_ns: timer.elapsed_ns(),
+                            });
+                            if let Some((rounds, wall)) = &mt_metrics {
+                                rounds.inc();
+                                wall.observe(timer.elapsed_s());
+                            }
                         }
                     };
                 loop {

@@ -8,7 +8,12 @@ use crate::algorithm::{
 use crate::policy::{Decision, OverheadModel, Policy, TickContext};
 use crate::predictor::{ErrorStats, PredictionTracker, Predictor};
 use fvs_power::BudgetSchedule;
+use fvs_telemetry::{
+    BudgetDeadlineTracker, Counter, Gauge, Histogram, RoundTimer, SchedEvent, Telemetry,
+    TriggerKind,
+};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Why the scheduler ran a scheduling computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -19,6 +24,16 @@ pub enum Trigger {
     BudgetChange,
     /// A processor entered or left the idle loop.
     IdleEdge,
+}
+
+impl Trigger {
+    fn kind(self) -> TriggerKind {
+        match self {
+            Trigger::Timer => TriggerKind::Timer,
+            Trigger::BudgetChange => TriggerKind::BudgetChange,
+            Trigger::IdleEdge => TriggerKind::IdleEdge,
+        }
+    }
 }
 
 /// Configuration of the fvsst daemon.
@@ -56,6 +71,15 @@ pub struct SchedulerConfig {
     /// The log grows for the lifetime of the daemon; long-running
     /// allocation-sensitive hosts can switch it off.
     pub log_triggers: bool,
+    /// Telemetry pipeline: structured round events, metrics, and the
+    /// budget-deadline journal all flow through this handle. Disabled by
+    /// default — the disabled handle costs one branch per emission point
+    /// and keeps the zero-allocation steady state intact.
+    pub telemetry: Telemetry,
+    /// The budget-drop compliance deadline `ΔT` (s) used by the
+    /// telemetry deadline accounting. The paper's section-2 scenario
+    /// gives the survivors 1 s of overload tolerance.
+    pub deadline_s: f64,
 }
 
 impl SchedulerConfig {
@@ -74,7 +98,21 @@ impl SchedulerConfig {
             latencies: fvs_model::MemoryLatencies::P630,
             model_tolerance: ModelTolerance::PHASE_DEFAULT,
             log_triggers: true,
+            telemetry: Telemetry::disabled(),
+            deadline_s: 1.0,
         }
+    }
+
+    /// Attach a telemetry pipeline (journal sink + metrics registry).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Set the budget-drop compliance deadline `ΔT` (s).
+    pub fn with_deadline_s(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = deadline_s;
+        self
     }
 
     /// Set ε.
@@ -129,6 +167,34 @@ impl SchedulerConfig {
     }
 }
 
+/// Metric handles the daemon keeps warm (created once at construction
+/// so the hot path never touches the registry's mutex).
+#[derive(Debug)]
+struct SchedMetrics {
+    rounds: Arc<Counter>,
+    demotions: Arc<Counter>,
+    cache_full_hits: Arc<Counter>,
+    budget_headroom_watts: Arc<Gauge>,
+    budget_violations: Arc<Counter>,
+    budget_compliances: Arc<Counter>,
+    round_wall_s: Arc<Histogram>,
+}
+
+impl SchedMetrics {
+    fn from_telemetry(telemetry: &Telemetry) -> Option<Self> {
+        let scope = telemetry.registry()?.scoped("sched");
+        Some(SchedMetrics {
+            rounds: scope.counter("rounds"),
+            demotions: scope.counter("demotions"),
+            cache_full_hits: scope.counter("cache_full_hits"),
+            budget_headroom_watts: scope.gauge("budget_headroom_watts"),
+            budget_violations: scope.counter("budget_violations"),
+            budget_compliances: scope.counter("budget_compliances"),
+            round_wall_s: scope.histogram("round_wall_s", &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2]),
+        })
+    }
+}
+
 /// The fvsst scheduling daemon, as a [`Policy`].
 #[derive(Debug)]
 pub struct FvsstScheduler {
@@ -146,12 +212,16 @@ pub struct FvsstScheduler {
     triggers: Vec<(f64, Trigger)>,
     cache: ScheduleCache,
     proc_buf: Vec<ProcInput>,
+    budget_tracker: BudgetDeadlineTracker,
+    metrics: Option<SchedMetrics>,
 }
 
 impl FvsstScheduler {
     /// Daemon for `n_cores` cores.
     pub fn new(n_cores: usize, config: SchedulerConfig) -> Self {
         let cache = ScheduleCache::with_tolerance(config.model_tolerance);
+        let budget_tracker = BudgetDeadlineTracker::new(config.deadline_s);
+        let metrics = SchedMetrics::from_telemetry(&config.telemetry);
         FvsstScheduler {
             predictor: Predictor::new(n_cores, config.latencies),
             tracker: PredictionTracker::new(n_cores),
@@ -165,6 +235,8 @@ impl FvsstScheduler {
             triggers: Vec::new(),
             cache,
             proc_buf: Vec::with_capacity(n_cores),
+            budget_tracker,
+            metrics,
         }
     }
 
@@ -204,12 +276,36 @@ impl FvsstScheduler {
         self.cache.stats()
     }
 
+    /// The telemetry handle in use (disabled unless configured).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.config.telemetry
+    }
+
+    /// Budget-drop deadline accounting (rounds/wall-time to compliance,
+    /// violation counts).
+    pub fn budget_deadline(&self) -> &BudgetDeadlineTracker {
+        &self.budget_tracker
+    }
+
     fn run_schedule(&mut self, ctx: &TickContext<'_>, trigger: Trigger, out: &mut Decision) {
         if self.config.log_triggers {
             self.triggers.push((ctx.now_s, trigger));
         }
+        let round = self.schedules_run;
         self.schedules_run += 1;
         self.ticks_since_schedule = 0;
+        self.budget_tracker.on_round();
+        let telemetry_on = self.config.telemetry.enabled();
+        let timer = telemetry_on.then(RoundTimer::start);
+        let stats_before = self.cache.stats();
+        if telemetry_on {
+            self.config.telemetry.emit(SchedEvent::RoundStart {
+                round,
+                t_s: ctx.now_s,
+                trigger: trigger.kind(),
+                budget_w: ctx.budget_w,
+            });
+        }
         let n = ctx.samples.len();
         // Score the predictions made at the previous schedule against the
         // window that just closed (before refit drains it).
@@ -247,6 +343,60 @@ impl FvsstScheduler {
             Some(prev) => prev.clone_from(d),
             None => self.last_decision = Some(d.clone()),
         }
+        if telemetry_on {
+            // `d`'s borrow of the cache has ended; journal the round from
+            // the retained decision and the cache's demotion log (which
+            // always describes the decision in force, full hits
+            // included).
+            let telemetry = &self.config.telemetry;
+            let d = self.last_decision.as_ref().expect("decision just stored");
+            for (i, f) in d.desired.iter().enumerate() {
+                telemetry.emit(SchedEvent::Desired {
+                    round,
+                    proc: i as u32,
+                    desired_mhz: f.0,
+                    idle: ctx.idle[i],
+                });
+            }
+            for r in self.cache.demotion_log() {
+                telemetry.emit(SchedEvent::Demotion {
+                    round,
+                    proc: r.proc as u32,
+                    from_mhz: r.from.0,
+                    to_mhz: r.to.0,
+                    predicted_loss: r.predicted_loss,
+                    power_delta_w: r.power_delta_w,
+                });
+            }
+            let stats = self.cache.stats();
+            let full_hit = stats.full_hits > stats_before.full_hits;
+            telemetry.emit(SchedEvent::CacheOutcome {
+                round,
+                full_hit,
+                proc_hits: (stats.proc_hits - stats_before.proc_hits) as u32,
+                proc_rebuilds: (stats.proc_rebuilds - stats_before.proc_rebuilds) as u32,
+            });
+            let wall_ns = timer.map(|t| t.elapsed_ns()).unwrap_or(0);
+            telemetry.emit(SchedEvent::RoundEnd {
+                round,
+                feasible: d.feasible,
+                demotions: d.demotions as u32,
+                predicted_power_w: d.predicted_power_w,
+                budget_w: ctx.budget_w,
+                headroom_w: ctx.budget_w - d.predicted_power_w,
+                wall_ns,
+            });
+            if let Some(m) = &self.metrics {
+                m.rounds.inc();
+                m.demotions.add(d.demotions as u64);
+                if full_hit {
+                    m.cache_full_hits.inc();
+                }
+                if let Some(t) = &timer {
+                    m.round_wall_s.observe(t.elapsed_s());
+                }
+            }
+        }
     }
 }
 
@@ -263,11 +413,42 @@ impl Policy for FvsstScheduler {
         self.ticks_since_schedule += 1;
 
         // Trigger 1: budget change — respond immediately; ΔT is short.
-        let budget_changed = self
-            .last_budget_w
+        let prev_budget_w = self.last_budget_w;
+        let budget_changed = prev_budget_w
             .map(|b| (b - ctx.budget_w).abs() > 1e-9)
             .unwrap_or(false);
         self.last_budget_w = Some(ctx.budget_w);
+
+        // Budget-deadline accounting: stamp drops, then judge this
+        // tick's *measured* power against any open episode. Pure scalar
+        // bookkeeping; the emits are no-ops when telemetry is disabled.
+        if budget_changed {
+            if let Some(ev) = self.budget_tracker.on_budget_change(
+                ctx.now_s,
+                prev_budget_w.expect("budget_changed implies a previous budget"),
+                ctx.budget_w,
+            ) {
+                self.config.telemetry.emit(ev);
+            }
+        }
+        let violations_before = self.budget_tracker.violations();
+        if let Some(ev) = self
+            .budget_tracker
+            .on_power_sample(ctx.now_s, ctx.measured_power_w)
+        {
+            if let Some(m) = &self.metrics {
+                if let SchedEvent::BudgetCompliance { .. } = ev {
+                    m.budget_compliances.inc();
+                }
+                m.budget_violations
+                    .add(self.budget_tracker.violations() - violations_before);
+            }
+            self.config.telemetry.emit(ev);
+        }
+        if let Some(m) = &self.metrics {
+            m.budget_headroom_watts
+                .set(ctx.budget_w - ctx.measured_power_w);
+        }
 
         // Trigger 3: idle edges (deferred while rate-limited, never
         // dropped — the pending flag survives until served or until a

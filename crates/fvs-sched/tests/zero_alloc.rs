@@ -10,6 +10,7 @@
 
 use fvs_model::{CpiModel, FreqMhz};
 use fvs_sched::{DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleCache, ScheduleScratch};
+use fvs_telemetry::{SchedEvent, Telemetry};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -125,6 +126,73 @@ fn main() {
         );
         let stats = cache.stats();
         assert!(stats.full_hits >= 49, "expected full hits, got {stats:?}");
+
+        // Telemetry enabled: journalling every demotion into a
+        // preallocated memory ring and updating live instruments must
+        // not allocate either — the emit path is lock-light atomics
+        // plus in-place ring writes.
+        let telemetry = Telemetry::memory(4096);
+        let registry = telemetry.registry().expect("enabled");
+        let scope = registry.scoped("sched");
+        let rounds = scope.counter("rounds");
+        let headroom = scope.gauge("budget_headroom_watts");
+        let wall = scope.histogram("round_wall_s", &[1e-6, 1e-5, 1e-4, 1e-3]);
+        // Warm: the ring is preallocated at construction, but let the
+        // first emits touch every instrument once.
+        for _ in 0..3 {
+            let d = alg.schedule_cached(&mut cache, &procs, budget);
+            std::hint::black_box(d.predicted_power_w);
+            for rec in cache.demotion_log() {
+                telemetry.emit(SchedEvent::Demotion {
+                    round: 0,
+                    proc: rec.proc as u32,
+                    from_mhz: rec.from.0,
+                    to_mhz: rec.to.0,
+                    predicted_loss: rec.predicted_loss,
+                    power_delta_w: rec.power_delta_w,
+                });
+            }
+        }
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for step in 0..50 {
+            let budget_w = budget + (step % 7) as f64 * 40.0;
+            let d = alg.schedule_cached(&mut cache, &procs, budget_w);
+            let (feasible, power) = (d.feasible, d.predicted_power_w);
+            rounds.inc();
+            headroom.set(budget_w - power);
+            wall.observe(1.0e-5);
+            for rec in cache.demotion_log() {
+                telemetry.emit(SchedEvent::Demotion {
+                    round: step,
+                    proc: rec.proc as u32,
+                    from_mhz: rec.from.0,
+                    to_mhz: rec.to.0,
+                    predicted_loss: rec.predicted_loss,
+                    power_delta_w: rec.power_delta_w,
+                });
+            }
+            telemetry.emit(SchedEvent::RoundEnd {
+                round: step,
+                feasible,
+                demotions: cache.demotion_log().len() as u32,
+                predicted_power_w: power,
+                budget_w,
+                headroom_w: budget_w - power,
+                wall_ns: 10_000,
+            });
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state emit path allocated ({order:?})"
+        );
+        assert!(
+            telemetry.events_emitted() > 50,
+            "events: {}",
+            telemetry.events_emitted()
+        );
+        assert!(rounds.get() >= 50);
     }
     println!("zero_alloc: ok");
 }

@@ -4,6 +4,11 @@
 //! handling, the cached scheduling computation, and decision application
 //! all run out of reused buffers.
 //!
+//! The proof runs twice: with telemetry disabled (the zero-cost branch)
+//! and with a preallocated in-memory ring sink plus live metrics — the
+//! journal and the instruments must ride the hot path without touching
+//! the allocator either.
+//!
 //! Runs as a `harness = false` binary: libtest's runner waits on a
 //! channel from the main thread while the test thread measures, and the
 //! channel's lazy thread-local setup allocates at a timing-dependent
@@ -13,6 +18,7 @@
 use fvs_power::BudgetSchedule;
 use fvs_sched::{ScheduledSimulation, SchedulerConfig};
 use fvs_sim::MachineBuilder;
+use fvs_telemetry::Telemetry;
 use fvs_workloads::WorkloadSpec;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -45,7 +51,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
-fn main() {
+fn prove(label: &str, telemetry: Telemetry) {
     // A mixed steady load: CPU-bound, memory-bound, and in-between, with
     // instruction budgets far beyond the run length so no workload
     // completes (completion edges are transitions, not steady state).
@@ -60,7 +66,8 @@ fn main() {
     // allocation-sensitive host would configure it.
     let config = SchedulerConfig::p630()
         .with_budget(BudgetSchedule::constant(294.0))
-        .without_trigger_log();
+        .without_trigger_log()
+        .with_telemetry(telemetry.clone());
     let mut sim = ScheduledSimulation::new(machine, config).without_trace();
 
     // Warm-up: buffers size themselves, the residency histogram visits
@@ -75,7 +82,11 @@ fn main() {
         sim.step_tick();
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
-    assert_eq!(after - before, 0, "steady-state step_tick allocated");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state step_tick allocated ({label})"
+    );
 
     // The run must actually have been scheduling (not inert): decisions
     // kept firing and the cache saw the rounds.
@@ -88,5 +99,21 @@ fn main() {
         "budget held: {}",
         report.final_power_w
     );
+    if telemetry.enabled() {
+        // The journal must have been live during the measured window,
+        // not silently dropped.
+        assert!(
+            telemetry.events_emitted() > 300,
+            "telemetry recorded: {}",
+            telemetry.events_emitted()
+        );
+    }
+}
+
+fn main() {
+    prove("telemetry disabled", Telemetry::disabled());
+    // The ring wraps in place once full, so a modest capacity still
+    // exercises steady-state overwrites within the measured window.
+    prove("memory-ring telemetry", Telemetry::memory(4096));
     println!("zero_alloc_tick: ok");
 }

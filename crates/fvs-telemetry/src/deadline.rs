@@ -1,0 +1,243 @@
+//! Budget-deadline accounting: the paper's `ΔT` made measurable.
+//!
+//! When the global budget *drops* (a supply failed, an operator cut the
+//! cap), the system has `ΔT` seconds to bring measured power under the
+//! new budget before the survivors' overload tolerance expires. The
+//! [`BudgetDeadlineTracker`] stamps each drop, counts scheduling rounds
+//! and elapsed time until measured power first complies, and flags the
+//! episodes that missed the deadline.
+//!
+//! The tracker is pure bookkeeping — a handful of scalar fields, no
+//! allocation — and returns the [`SchedEvent`]s to publish, so the
+//! caller decides where (if anywhere) they go.
+
+use crate::event::SchedEvent;
+
+/// Summary of the most recently closed compliance episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComplianceRecord {
+    /// Scheduling rounds between the drop and first compliance.
+    pub rounds: u32,
+    /// Elapsed time between the drop and first compliance (s).
+    pub wall_s: f64,
+    /// Whether compliance arrived within the deadline.
+    pub within_deadline: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Episode {
+    dropped_at_s: f64,
+    budget_w: f64,
+    rounds: u32,
+    violation_emitted: bool,
+}
+
+/// Tracks rounds-to-compliance and wall-time-to-compliance for budget
+/// drops against a configurable deadline `ΔT`.
+#[derive(Debug, Clone)]
+pub struct BudgetDeadlineTracker {
+    deadline_s: f64,
+    episode: Option<Episode>,
+    compliances: u64,
+    violations: u64,
+    last: Option<ComplianceRecord>,
+}
+
+impl BudgetDeadlineTracker {
+    /// Tracker with deadline `ΔT = deadline_s`.
+    pub fn new(deadline_s: f64) -> Self {
+        BudgetDeadlineTracker {
+            deadline_s,
+            episode: None,
+            compliances: 0,
+            violations: 0,
+            last: None,
+        }
+    }
+
+    /// The deadline in force (s).
+    pub fn deadline_s(&self) -> f64 {
+        self.deadline_s
+    }
+
+    /// Compliance episodes closed so far.
+    pub fn compliances(&self) -> u64 {
+        self.compliances
+    }
+
+    /// Deadline violations so far (episodes whose `ΔT` expired before
+    /// measured power complied).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The most recently closed episode.
+    pub fn last_compliance(&self) -> Option<ComplianceRecord> {
+        self.last
+    }
+
+    /// Whether a drop is currently awaiting compliance.
+    pub fn episode_open(&self) -> bool {
+        self.episode.is_some()
+    }
+
+    /// Inform the tracker of a budget change at `now_s`. A *drop* opens
+    /// a compliance episode (replacing any open one — the new, tighter
+    /// deadline is what matters) and returns a [`SchedEvent::BudgetDrop`]
+    /// to publish; a raise closes any open episode silently (the old
+    /// target is moot).
+    pub fn on_budget_change(&mut self, now_s: f64, from_w: f64, to_w: f64) -> Option<SchedEvent> {
+        if to_w < from_w {
+            self.episode = Some(Episode {
+                dropped_at_s: now_s,
+                budget_w: to_w,
+                rounds: 0,
+                violation_emitted: false,
+            });
+            Some(SchedEvent::BudgetDrop {
+                t_s: now_s,
+                from_w,
+                to_w,
+                deadline_s: self.deadline_s,
+            })
+        } else {
+            self.episode = None;
+            None
+        }
+    }
+
+    /// Count one scheduling round toward the open episode (no-op
+    /// otherwise).
+    pub fn on_round(&mut self) {
+        if let Some(ep) = &mut self.episode {
+            ep.rounds += 1;
+        }
+    }
+
+    /// Feed one measured-power sample. Returns at most one event:
+    /// [`SchedEvent::BudgetViolation`] the first time the deadline
+    /// expires with power still over the dropped budget, or
+    /// [`SchedEvent::BudgetCompliance`] when measured power first comes
+    /// under it (closing the episode).
+    pub fn on_power_sample(&mut self, now_s: f64, measured_w: f64) -> Option<SchedEvent> {
+        let ep = self.episode.as_mut()?;
+        let wall_s = now_s - ep.dropped_at_s;
+        if measured_w <= ep.budget_w {
+            let within_deadline = wall_s <= self.deadline_s;
+            let record = ComplianceRecord {
+                rounds: ep.rounds,
+                wall_s,
+                within_deadline,
+            };
+            self.compliances += 1;
+            if !within_deadline && !ep.violation_emitted {
+                // The deadline was missed and no violation fired yet
+                // (compliance and expiry landed on the same sample).
+                self.violations += 1;
+            }
+            self.last = Some(record);
+            let rounds = ep.rounds;
+            self.episode = None;
+            return Some(SchedEvent::BudgetCompliance {
+                t_s: now_s,
+                rounds,
+                wall_s,
+                within_deadline,
+            });
+        }
+        if wall_s > self.deadline_s && !ep.violation_emitted {
+            ep.violation_emitted = true;
+            self.violations += 1;
+            return Some(SchedEvent::BudgetViolation {
+                t_s: now_s,
+                deadline_s: self.deadline_s,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_then_prompt_compliance_is_within_deadline() {
+        let mut t = BudgetDeadlineTracker::new(1.0);
+        let ev = t.on_budget_change(0.5, 560.0, 294.0);
+        assert!(matches!(ev, Some(SchedEvent::BudgetDrop { .. })));
+        assert!(t.episode_open());
+        t.on_round();
+        // Still over at the next sample…
+        assert_eq!(t.on_power_sample(0.51, 400.0), None);
+        t.on_round();
+        // …compliant one tick later.
+        let ev = t.on_power_sample(0.52, 290.0).unwrap();
+        match ev {
+            SchedEvent::BudgetCompliance {
+                rounds,
+                wall_s,
+                within_deadline,
+                ..
+            } => {
+                assert_eq!(rounds, 2);
+                assert!((wall_s - 0.02).abs() < 1e-12);
+                assert!(within_deadline);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(t.compliances(), 1);
+        assert_eq!(t.violations(), 0);
+        assert!(!t.episode_open());
+    }
+
+    #[test]
+    fn impossibly_small_deadline_counts_a_violation() {
+        let mut t = BudgetDeadlineTracker::new(1e-6);
+        t.on_budget_change(0.5, 560.0, 294.0);
+        let ev = t.on_power_sample(0.51, 400.0).unwrap();
+        assert!(matches!(ev, SchedEvent::BudgetViolation { .. }));
+        assert_eq!(t.violations(), 1);
+        // Only one violation per episode.
+        assert_eq!(t.on_power_sample(0.52, 400.0), None);
+        assert_eq!(t.violations(), 1);
+        // Late compliance closes the episode as not-within-deadline.
+        let ev = t.on_power_sample(0.53, 290.0).unwrap();
+        assert!(matches!(
+            ev,
+            SchedEvent::BudgetCompliance {
+                within_deadline: false,
+                ..
+            }
+        ));
+        assert_eq!(t.violations(), 1, "violation already counted");
+        assert!(!t.last_compliance().unwrap().within_deadline);
+    }
+
+    #[test]
+    fn budget_raise_cancels_the_episode() {
+        let mut t = BudgetDeadlineTracker::new(1.0);
+        t.on_budget_change(0.5, 560.0, 294.0);
+        assert!(t.episode_open());
+        assert_eq!(t.on_budget_change(0.6, 294.0, 560.0), None);
+        assert!(!t.episode_open());
+        assert_eq!(t.on_power_sample(0.7, 400.0), None);
+    }
+
+    #[test]
+    fn simultaneous_expiry_and_compliance_counts_both() {
+        let mut t = BudgetDeadlineTracker::new(0.005);
+        t.on_budget_change(0.5, 560.0, 294.0);
+        // First sample after the drop is already compliant but late.
+        let ev = t.on_power_sample(0.51, 290.0).unwrap();
+        assert!(matches!(
+            ev,
+            SchedEvent::BudgetCompliance {
+                within_deadline: false,
+                ..
+            }
+        ));
+        assert_eq!(t.compliances(), 1);
+        assert_eq!(t.violations(), 1);
+    }
+}

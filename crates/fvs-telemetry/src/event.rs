@@ -1,0 +1,472 @@
+//! The structured scheduling-event stream.
+//!
+//! Every event is a plain-old-data `Copy` value so the ring-buffer sink
+//! can record it without allocating. The JSONL encoding is flat —
+//! `{"kind":"demotion",...}` — so traces can be filtered with nothing
+//! fancier than `grep '"kind":"demotion"'` or `jq 'select(.kind==…)'`.
+
+use core::fmt::Write;
+
+/// Why a scheduling round ran (mirror of the daemon's trigger enum,
+/// kept dependency-free here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// The periodic timer (`T = n·t`).
+    Timer,
+    /// The global power limit changed.
+    BudgetChange,
+    /// A processor entered or left the idle loop.
+    IdleEdge,
+}
+
+impl TriggerKind {
+    /// Stable lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TriggerKind::Timer => "timer",
+            TriggerKind::BudgetChange => "budget_change",
+            TriggerKind::IdleEdge => "idle_edge",
+        }
+    }
+}
+
+/// One structured scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedEvent {
+    /// A scheduling round began.
+    RoundStart {
+        /// Round sequence number (the daemon's `schedules_run`).
+        round: u64,
+        /// Simulation/wall time of the round (s).
+        t_s: f64,
+        /// What fired the round.
+        trigger: TriggerKind,
+        /// Budget in force (W).
+        budget_w: f64,
+    },
+    /// Pass 1's ε choice for one processor.
+    Desired {
+        /// Round sequence number.
+        round: u64,
+        /// Processor index.
+        proc: u32,
+        /// The ε-constrained desired frequency (MHz).
+        desired_mhz: u32,
+        /// Whether the processor was idle-pinned.
+        idle: bool,
+    },
+    /// One pass-2 single-step demotion.
+    Demotion {
+        /// Round sequence number.
+        round: u64,
+        /// Demoted processor.
+        proc: u32,
+        /// Frequency before the step (MHz).
+        from_mhz: u32,
+        /// Frequency after the step (MHz).
+        to_mhz: u32,
+        /// Predicted loss vs `f_max` *after* the step.
+        predicted_loss: f64,
+        /// Power change of the step (W, negative).
+        power_delta_w: f64,
+    },
+    /// Cache outcome of the round.
+    CacheOutcome {
+        /// Round sequence number.
+        round: u64,
+        /// The round was answered entirely from the cached decision.
+        full_hit: bool,
+        /// Per-processor pass-1 evaluations skipped this round.
+        proc_hits: u32,
+        /// Per-processor pass-1 evaluations performed this round.
+        proc_rebuilds: u32,
+    },
+    /// A scheduling round completed.
+    RoundEnd {
+        /// Round sequence number.
+        round: u64,
+        /// Whether the budget could be met.
+        feasible: bool,
+        /// Demotions pass 2 performed.
+        demotions: u32,
+        /// Σ table power of the final assignment (W).
+        predicted_power_w: f64,
+        /// Budget in force (W).
+        budget_w: f64,
+        /// `budget_w - predicted_power_w`.
+        headroom_w: f64,
+        /// Wall time of the round (ns).
+        wall_ns: u64,
+    },
+    /// The budget dropped (e.g. a supply failed).
+    BudgetDrop {
+        /// When the drop was observed (s).
+        t_s: f64,
+        /// Budget before (W).
+        from_w: f64,
+        /// Budget after (W).
+        to_w: f64,
+        /// The compliance deadline `ΔT` in force (s).
+        deadline_s: f64,
+    },
+    /// Measured power first came back under the dropped budget.
+    BudgetCompliance {
+        /// When compliance was observed (s).
+        t_s: f64,
+        /// Scheduling rounds between the drop and compliance.
+        rounds: u32,
+        /// Wall time between the drop and compliance (s).
+        wall_s: f64,
+        /// Whether compliance arrived within `ΔT`.
+        within_deadline: bool,
+    },
+    /// `ΔT` expired with measured power still over the dropped budget.
+    BudgetViolation {
+        /// When the deadline expired (s).
+        t_s: f64,
+        /// The deadline that was missed (s).
+        deadline_s: f64,
+    },
+    /// The feedback guard grew its safety margin.
+    FeedbackClamp {
+        /// When the clamp fired (s).
+        t_s: f64,
+        /// The new margin (W).
+        margin_w: f64,
+        /// The measured overshoot that triggered it (W).
+        overshoot_w: f64,
+    },
+    /// One global (cluster-coordinator) scheduling round.
+    ClusterRound {
+        /// Coordinator round sequence number.
+        round: u64,
+        /// Nodes that have reported at least once.
+        nodes: u32,
+        /// Processors scheduled in this round.
+        procs: u32,
+        /// Global budget (W).
+        budget_w: f64,
+        /// Σ table power of the global assignment (W).
+        predicted_power_w: f64,
+        /// Whether the global budget could be met.
+        feasible: bool,
+    },
+    /// One multi-threaded-daemon scheduler-thread round.
+    DaemonRound {
+        /// Round sequence number.
+        round: u64,
+        /// Processors commanded.
+        procs: u32,
+        /// Wall time of the round (ns).
+        wall_ns: u64,
+    },
+}
+
+/// Write `x` as a JSON number, mapping non-finite values (an unlimited
+/// budget is `+∞`) to `null`.
+fn jnum(buf: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(buf, "{x}");
+    } else {
+        buf.push_str("null");
+    }
+}
+
+impl SchedEvent {
+    /// Stable lowercase event-kind name (the JSONL `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SchedEvent::RoundStart { .. } => "round_start",
+            SchedEvent::Desired { .. } => "desired",
+            SchedEvent::Demotion { .. } => "demotion",
+            SchedEvent::CacheOutcome { .. } => "cache",
+            SchedEvent::RoundEnd { .. } => "round_end",
+            SchedEvent::BudgetDrop { .. } => "budget_drop",
+            SchedEvent::BudgetCompliance { .. } => "budget_compliance",
+            SchedEvent::BudgetViolation { .. } => "budget_violation",
+            SchedEvent::FeedbackClamp { .. } => "feedback_clamp",
+            SchedEvent::ClusterRound { .. } => "cluster_round",
+            SchedEvent::DaemonRound { .. } => "daemon_round",
+        }
+    }
+
+    /// Append the event as one JSON object (no trailing newline) to
+    /// `buf`. Reuses the caller's buffer so the JSONL sink formats
+    /// without allocating in steady state.
+    pub fn write_jsonl(&self, buf: &mut String) {
+        let _ = write!(buf, "{{\"kind\":\"{}\"", self.kind());
+        match *self {
+            SchedEvent::RoundStart {
+                round,
+                t_s,
+                trigger,
+                budget_w,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"round\":{round},\"t_s\":{t_s},\"trigger\":\"{}\"",
+                    trigger.as_str()
+                );
+                buf.push_str(",\"budget_w\":");
+                jnum(buf, budget_w);
+            }
+            SchedEvent::Desired {
+                round,
+                proc,
+                desired_mhz,
+                idle,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"round\":{round},\"proc\":{proc},\"desired_mhz\":{desired_mhz},\"idle\":{idle}"
+                );
+            }
+            SchedEvent::Demotion {
+                round,
+                proc,
+                from_mhz,
+                to_mhz,
+                predicted_loss,
+                power_delta_w,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"round\":{round},\"proc\":{proc},\"from_mhz\":{from_mhz},\"to_mhz\":{to_mhz}"
+                );
+                buf.push_str(",\"predicted_loss\":");
+                jnum(buf, predicted_loss);
+                buf.push_str(",\"power_delta_w\":");
+                jnum(buf, power_delta_w);
+            }
+            SchedEvent::CacheOutcome {
+                round,
+                full_hit,
+                proc_hits,
+                proc_rebuilds,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"round\":{round},\"full_hit\":{full_hit},\"proc_hits\":{proc_hits},\"proc_rebuilds\":{proc_rebuilds}"
+                );
+            }
+            SchedEvent::RoundEnd {
+                round,
+                feasible,
+                demotions,
+                predicted_power_w,
+                budget_w,
+                headroom_w,
+                wall_ns,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"round\":{round},\"feasible\":{feasible},\"demotions\":{demotions}"
+                );
+                buf.push_str(",\"predicted_power_w\":");
+                jnum(buf, predicted_power_w);
+                buf.push_str(",\"budget_w\":");
+                jnum(buf, budget_w);
+                buf.push_str(",\"headroom_w\":");
+                jnum(buf, headroom_w);
+                let _ = write!(buf, ",\"wall_ns\":{wall_ns}");
+            }
+            SchedEvent::BudgetDrop {
+                t_s,
+                from_w,
+                to_w,
+                deadline_s,
+            } => {
+                let _ = write!(buf, ",\"t_s\":{t_s}");
+                buf.push_str(",\"from_w\":");
+                jnum(buf, from_w);
+                buf.push_str(",\"to_w\":");
+                jnum(buf, to_w);
+                let _ = write!(buf, ",\"deadline_s\":{deadline_s}");
+            }
+            SchedEvent::BudgetCompliance {
+                t_s,
+                rounds,
+                wall_s,
+                within_deadline,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"t_s\":{t_s},\"rounds\":{rounds},\"wall_s\":{wall_s},\"within_deadline\":{within_deadline}"
+                );
+            }
+            SchedEvent::BudgetViolation { t_s, deadline_s } => {
+                let _ = write!(buf, ",\"t_s\":{t_s},\"deadline_s\":{deadline_s}");
+            }
+            SchedEvent::FeedbackClamp {
+                t_s,
+                margin_w,
+                overshoot_w,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"t_s\":{t_s},\"margin_w\":{margin_w},\"overshoot_w\":{overshoot_w}"
+                );
+            }
+            SchedEvent::ClusterRound {
+                round,
+                nodes,
+                procs,
+                budget_w,
+                predicted_power_w,
+                feasible,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"round\":{round},\"nodes\":{nodes},\"procs\":{procs}"
+                );
+                buf.push_str(",\"budget_w\":");
+                jnum(buf, budget_w);
+                buf.push_str(",\"predicted_power_w\":");
+                jnum(buf, predicted_power_w);
+                let _ = write!(buf, ",\"feasible\":{feasible}");
+            }
+            SchedEvent::DaemonRound {
+                round,
+                procs,
+                wall_ns,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"round\":{round},\"procs\":{procs},\"wall_ns\":{wall_ns}"
+                );
+            }
+        }
+        buf.push('}');
+    }
+
+    /// The event as one JSON line (fresh allocation; tests/tools).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        self.write_jsonl(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<SchedEvent> {
+        vec![
+            SchedEvent::RoundStart {
+                round: 1,
+                t_s: 0.1,
+                trigger: TriggerKind::Timer,
+                budget_w: 294.0,
+            },
+            SchedEvent::Desired {
+                round: 1,
+                proc: 0,
+                desired_mhz: 950,
+                idle: false,
+            },
+            SchedEvent::Demotion {
+                round: 1,
+                proc: 2,
+                from_mhz: 1000,
+                to_mhz: 950,
+                predicted_loss: 0.05,
+                power_delta_w: -13.4,
+            },
+            SchedEvent::CacheOutcome {
+                round: 1,
+                full_hit: false,
+                proc_hits: 3,
+                proc_rebuilds: 1,
+            },
+            SchedEvent::RoundEnd {
+                round: 1,
+                feasible: true,
+                demotions: 2,
+                predicted_power_w: 280.0,
+                budget_w: 294.0,
+                headroom_w: 14.0,
+                wall_ns: 12345,
+            },
+            SchedEvent::BudgetDrop {
+                t_s: 0.5,
+                from_w: 560.0,
+                to_w: 294.0,
+                deadline_s: 1.0,
+            },
+            SchedEvent::BudgetCompliance {
+                t_s: 0.52,
+                rounds: 1,
+                wall_s: 0.02,
+                within_deadline: true,
+            },
+            SchedEvent::BudgetViolation {
+                t_s: 0.51,
+                deadline_s: 1e-6,
+            },
+            SchedEvent::FeedbackClamp {
+                t_s: 1.0,
+                margin_w: 10.0,
+                overshoot_w: 4.2,
+            },
+            SchedEvent::ClusterRound {
+                round: 3,
+                nodes: 4,
+                procs: 16,
+                budget_w: 1000.0,
+                predicted_power_w: 950.0,
+                feasible: true,
+            },
+            SchedEvent::DaemonRound {
+                round: 7,
+                procs: 4,
+                wall_ns: 999,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_serializes_to_parseable_json_with_kind() {
+        for ev in all_variants() {
+            let line = ev.to_jsonl();
+            let v: serde_json::Value = serde_json::from_str(&line)
+                .unwrap_or_else(|e| panic!("bad JSON for {ev:?}: {e}\n{line}"));
+            assert_eq!(
+                v.get("kind").and_then(|k| k.as_str()),
+                Some(ev.kind()),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_budget_encodes_as_null() {
+        let ev = SchedEvent::RoundStart {
+            round: 0,
+            t_s: 0.0,
+            trigger: TriggerKind::BudgetChange,
+            budget_w: f64::INFINITY,
+        };
+        let line = ev.to_jsonl();
+        assert!(line.contains("\"budget_w\":null"), "{line}");
+        let _: serde_json::Value = serde_json::from_str(&line).unwrap();
+    }
+
+    #[test]
+    fn writer_reuses_buffer_without_clearing() {
+        let mut buf = String::new();
+        SchedEvent::BudgetViolation {
+            t_s: 1.0,
+            deadline_s: 0.5,
+        }
+        .write_jsonl(&mut buf);
+        let first = buf.len();
+        buf.clear();
+        SchedEvent::BudgetViolation {
+            t_s: 1.0,
+            deadline_s: 0.5,
+        }
+        .write_jsonl(&mut buf);
+        assert_eq!(buf.len(), first);
+    }
+}

@@ -1,0 +1,45 @@
+//! Telemetry for the fvsst scheduler stack.
+//!
+//! The paper's operational claims — the budget pass honors a dropped
+//! `P_max` within the deadline `ΔT`, per-processor predicted loss stays
+//! under ε — are only claims until they are observable. This crate turns
+//! them into signals, in three pieces:
+//!
+//! - [`metrics`] — a lock-light registry of named counters, gauges and
+//!   fixed-bucket histograms. Updates are plain atomics (no locks, no
+//!   allocation); registration and snapshotting take a mutex on the
+//!   cold path only. A process-wide handle lives at
+//!   [`MetricsRegistry::global`], and per-scheduler scoped views come
+//!   from [`MetricsRegistry::scoped`].
+//! - [`event`] + [`sink`] — the structured [`SchedEvent`] journal: every
+//!   scheduling round records its trigger, pass-1 ε choices, each pass-2
+//!   demotion (processor, frequency step, predicted loss, power delta),
+//!   the cache outcome, budget headroom and wall time, through a
+//!   [`Telemetry`] handle feeding one of three sinks (preallocated
+//!   in-memory ring, JSONL file, human-readable summary). The disabled
+//!   handle costs one branch per emit and allocates nothing — the
+//!   counting-allocator proofs in `fvs-sched` run against both the
+//!   disabled handle and an enabled preallocated ring.
+//! - [`deadline`] — [`BudgetDeadlineTracker`]: stamps budget drops,
+//!   measures rounds-to-compliance and wall-time-to-compliance against a
+//!   configurable `ΔT`, and counts violations.
+//!
+//! [`RoundTimer`] is the shared monotonic stopwatch used for round and
+//! experiment wall times.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod deadline;
+pub mod event;
+pub mod metrics;
+pub mod sink;
+pub mod timer;
+
+pub use deadline::{BudgetDeadlineTracker, ComplianceRecord};
+pub use event::{SchedEvent, TriggerKind};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricSnapshot, MetricValue, MetricsRegistry, ScopedMetrics,
+};
+pub use sink::Telemetry;
+pub use timer::RoundTimer;

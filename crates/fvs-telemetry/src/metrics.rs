@@ -1,0 +1,403 @@
+//! Lock-light metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! Updates are plain atomic operations — no locks, no allocation — so
+//! instruments can sit directly on the scheduler's hot path. The
+//! registry itself takes a mutex only on the *cold* path (registration
+//! and snapshotting); handed-out instruments are `Arc`s the caller keeps
+//! and updates lock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge (stored as `f64` bits).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// New gauge at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram.
+///
+/// Bucket `i` counts observations `x <= bounds[i]`; one implicit
+/// overflow bucket counts the rest. Bounds are fixed at construction so
+/// `observe` is a bounded scan plus two atomic adds — no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, x: f64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|b| x <= *b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Lock-free f64 accumulation: CAS loop over the bit pattern.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + x).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// The configured upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last = overflow).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    instrument: Instrument,
+}
+
+/// A point-in-time reading of one instrument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram `(count, sum)`.
+    Histogram {
+        /// Observations recorded.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+    },
+}
+
+/// A named point-in-time reading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Full (prefixed) metric name.
+    pub name: String,
+    /// The reading.
+    pub value: MetricValue,
+}
+
+/// A registry of named instruments.
+///
+/// Cloning is cheap (`Arc`); clones share the same instruments.
+/// Registration is idempotent by `(name, kind)`: asking twice for the
+/// same counter returns the same `Arc`.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// A view that prefixes every registered name with `prefix.`.
+    pub fn scoped(&self, prefix: &str) -> ScopedMetrics {
+        ScopedMetrics {
+            registry: self.clone(),
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Register (or fetch) the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        for e in entries.iter() {
+            if e.name == name {
+                if let Instrument::Counter(c) = &e.instrument {
+                    return Arc::clone(c);
+                }
+            }
+        }
+        let c = Arc::new(Counter::new());
+        entries.push(Entry {
+            name: name.to_string(),
+            instrument: Instrument::Counter(Arc::clone(&c)),
+        });
+        c
+    }
+
+    /// Register (or fetch) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        for e in entries.iter() {
+            if e.name == name {
+                if let Instrument::Gauge(g) = &e.instrument {
+                    return Arc::clone(g);
+                }
+            }
+        }
+        let g = Arc::new(Gauge::new());
+        entries.push(Entry {
+            name: name.to_string(),
+            instrument: Instrument::Gauge(Arc::clone(&g)),
+        });
+        g
+    }
+
+    /// Register (or fetch) the histogram `name`. The bounds of the first
+    /// registration win.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        for e in entries.iter() {
+            if e.name == name {
+                if let Instrument::Histogram(h) = &e.instrument {
+                    return Arc::clone(h);
+                }
+            }
+        }
+        let h = Arc::new(Histogram::new(bounds));
+        entries.push(Entry {
+            name: name.to_string(),
+            instrument: Instrument::Histogram(Arc::clone(&h)),
+        });
+        h
+    }
+
+    /// Read every instrument, in registration order.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                value: match &e.instrument {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                },
+            })
+            .collect()
+    }
+
+    /// Render every instrument as `name value` lines (histograms as
+    /// `name_count` / `name_sum`).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for s in self.snapshot() {
+            match s.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{} {v}", s.name);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{} {v}", s.name);
+                }
+                MetricValue::Histogram { count, sum } => {
+                    let _ = writeln!(out, "{}_count {count}", s.name);
+                    let _ = writeln!(out, "{}_sum {sum}", s.name);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A prefixed view over a [`MetricsRegistry`] (per-scheduler scoping).
+#[derive(Debug, Clone)]
+pub struct ScopedMetrics {
+    registry: MetricsRegistry,
+    prefix: String,
+}
+
+impl ScopedMetrics {
+    /// Register (or fetch) the counter `prefix.name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(&format!("{}.{name}", self.prefix))
+    }
+
+    /// Register (or fetch) the gauge `prefix.name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(&format!("{}.{name}", self.prefix))
+    }
+
+    /// Register (or fetch) the histogram `prefix.name`.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.registry
+            .histogram(&format!("{}.{name}", self.prefix), bounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_shared_and_idempotent() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("rounds");
+        let b = r.counter("rounds");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("headroom");
+        g.set(12.5);
+        g.set(-3.0);
+        assert_eq!(g.get(), -3.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(100.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1]);
+        assert!((h.mean() - 105.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoped_names_are_prefixed() {
+        let r = MetricsRegistry::new();
+        let s = r.scoped("sched");
+        s.counter("rounds").inc();
+        let snap = r.snapshot();
+        assert_eq!(snap[0].name, "sched.rounds");
+        assert_eq!(snap[0].value, MetricValue::Counter(1));
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("n");
+        let h = r.histogram("h", &[0.5]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                        h.observe(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+        assert!((h.sum() - 4000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,378 @@
+//! The [`Telemetry`] handle and its pluggable sinks.
+//!
+//! A `Telemetry` is either **disabled** — a `None` inner, so `emit` is a
+//! branch and nothing else (the fast path the counting-allocator proofs
+//! rely on) — or carries one sink:
+//!
+//! - **Memory**: a preallocated ring buffer of [`SchedEvent`]s. Events
+//!   are `Copy`, the buffer never grows, so a steady-state `emit`
+//!   performs zero heap allocations; when full, the oldest events are
+//!   overwritten (and counted as dropped).
+//! - **Jsonl**: buffered line-per-event JSON to a file, formatting into
+//!   a reused `String`.
+//! - **Summary**: per-kind counts and round aggregates, rendered as a
+//!   short human-readable report.
+
+use crate::event::SchedEvent;
+use crate::metrics::MetricsRegistry;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Ring buffer of events: fixed capacity, overwrite-oldest.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<SchedEvent>,
+    head: usize,
+    cap: usize,
+}
+
+impl Ring {
+    fn with_capacity(cap: usize) -> Self {
+        Ring {
+            buf: Vec::with_capacity(cap.max(1)),
+            head: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: SchedEvent) -> bool {
+        if self.buf.len() < self.cap {
+            // Within the preallocated capacity: no growth, no allocation.
+            self.buf.push(ev);
+            false
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            true
+        }
+    }
+
+    fn events(&self) -> Vec<SchedEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// Running aggregates of the summary sink.
+#[derive(Debug, Default, Clone)]
+struct SummaryState {
+    rounds: u64,
+    demotions: u64,
+    full_hits: u64,
+    budget_drops: u64,
+    compliances: u64,
+    violations: u64,
+    clamps: u64,
+    max_wall_ns: u64,
+    total_wall_ns: u64,
+    last_headroom_w: f64,
+    infeasible_rounds: u64,
+}
+
+impl SummaryState {
+    fn record(&mut self, ev: &SchedEvent) {
+        match *ev {
+            SchedEvent::RoundEnd {
+                feasible,
+                demotions,
+                headroom_w,
+                wall_ns,
+                ..
+            } => {
+                self.rounds += 1;
+                self.demotions += u64::from(demotions);
+                self.max_wall_ns = self.max_wall_ns.max(wall_ns);
+                self.total_wall_ns += wall_ns;
+                self.last_headroom_w = headroom_w;
+                if !feasible {
+                    self.infeasible_rounds += 1;
+                }
+            }
+            SchedEvent::CacheOutcome { full_hit: true, .. } => self.full_hits += 1,
+            SchedEvent::BudgetDrop { .. } => self.budget_drops += 1,
+            SchedEvent::BudgetCompliance { .. } => self.compliances += 1,
+            SchedEvent::BudgetViolation { .. } => self.violations += 1,
+            SchedEvent::FeedbackClamp { .. } => self.clamps += 1,
+            _ => {}
+        }
+    }
+
+    fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "telemetry summary:");
+        let _ = writeln!(
+            s,
+            "  rounds: {} ({} full cache hits, {} infeasible)",
+            self.rounds, self.full_hits, self.infeasible_rounds
+        );
+        let _ = writeln!(s, "  demotions: {}", self.demotions);
+        let avg_ns = self.total_wall_ns.checked_div(self.rounds).unwrap_or(0);
+        let _ = writeln!(
+            s,
+            "  round wall time: avg {avg_ns} ns, max {} ns",
+            self.max_wall_ns
+        );
+        let _ = writeln!(
+            s,
+            "  budget: {} drops, {} compliances, {} violations, last headroom {:.1} W",
+            self.budget_drops, self.compliances, self.violations, self.last_headroom_w
+        );
+        let _ = writeln!(s, "  feedback clamps: {}", self.clamps);
+        s
+    }
+}
+
+#[derive(Debug)]
+enum Sink {
+    Memory(Ring),
+    Jsonl { out: BufWriter<File>, line: String },
+    Summary(SummaryState),
+}
+
+#[derive(Debug)]
+struct TelemetryInner {
+    sink: Mutex<Sink>,
+    registry: MetricsRegistry,
+    emitted: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A cloneable handle to one telemetry pipeline (journal sink + metrics
+/// registry), or the disabled no-op.
+///
+/// The default (and [`Telemetry::disabled`]) handle carries nothing:
+/// `emit` tests an `Option` and returns — zero work, zero allocation —
+/// so instrumented code paths keep their zero-alloc steady-state
+/// guarantees without any feature gating.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    fn with_sink(sink: Sink) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                sink: Mutex::new(sink),
+                registry: MetricsRegistry::new(),
+                emitted: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// In-memory capture with a preallocated ring of `capacity` events.
+    /// Pushing into the ring never allocates; once full, the oldest
+    /// events are overwritten (counted by [`events_dropped`]).
+    ///
+    /// [`events_dropped`]: Telemetry::events_dropped
+    pub fn memory(capacity: usize) -> Self {
+        Self::with_sink(Sink::Memory(Ring::with_capacity(capacity)))
+    }
+
+    /// Line-per-event JSON written (buffered) to `path`.
+    pub fn jsonl<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::with_sink(Sink::Jsonl {
+            out: BufWriter::new(file),
+            line: String::with_capacity(256),
+        }))
+    }
+
+    /// Human-readable aggregate summary (render with
+    /// [`summary_text`](Telemetry::summary_text)).
+    pub fn summary() -> Self {
+        Self::with_sink(Sink::Summary(SummaryState::default()))
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The metrics registry backing this handle (None when disabled).
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_ref().map(|i| &i.registry)
+    }
+
+    /// Record one event. No-op (one branch) when disabled.
+    #[inline]
+    pub fn emit(&self, ev: SchedEvent) {
+        let Some(inner) = &self.inner else { return };
+        inner.emitted.fetch_add(1, Ordering::Relaxed);
+        let mut sink = inner.sink.lock().expect("telemetry sink poisoned");
+        match &mut *sink {
+            Sink::Memory(ring) => {
+                if ring.push(ev) {
+                    inner.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Sink::Jsonl { out, line } => {
+                line.clear();
+                ev.write_jsonl(line);
+                line.push('\n');
+                if out.write_all(line.as_bytes()).is_err() {
+                    inner.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Sink::Summary(state) => state.record(&ev),
+        }
+    }
+
+    /// Events emitted through this handle.
+    pub fn events_emitted(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.emitted.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Events lost (ring overwrites, write errors).
+    pub fn events_dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.dropped.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the captured events, oldest first (memory sink only;
+    /// empty otherwise).
+    pub fn events(&self) -> Vec<SchedEvent> {
+        match &self.inner {
+            Some(inner) => match &*inner.sink.lock().expect("telemetry sink poisoned") {
+                Sink::Memory(ring) => ring.events(),
+                _ => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// The rendered summary (summary sink only).
+    pub fn summary_text(&self) -> Option<String> {
+        match &self.inner {
+            Some(inner) => match &*inner.sink.lock().expect("telemetry sink poisoned") {
+                Sink::Summary(state) => Some(state.render()),
+                _ => None,
+            },
+            None => None,
+        }
+    }
+
+    /// Flush buffered output (JSONL sink; no-op otherwise).
+    pub fn flush(&self) -> io::Result<()> {
+        if let Some(inner) = &self.inner {
+            if let Sink::Jsonl { out, .. } =
+                &mut *inner.sink.lock().expect("telemetry sink poisoned")
+            {
+                out.flush()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TriggerKind;
+
+    fn round_end(round: u64) -> SchedEvent {
+        SchedEvent::RoundEnd {
+            round,
+            feasible: true,
+            demotions: 1,
+            predicted_power_w: 280.0,
+            budget_w: 294.0,
+            headroom_w: 14.0,
+            wall_ns: 1000,
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        t.emit(round_end(0));
+        assert!(!t.enabled());
+        assert_eq!(t.events_emitted(), 0);
+        assert!(t.events().is_empty());
+        assert!(t.registry().is_none());
+    }
+
+    #[test]
+    fn memory_ring_preserves_order_and_overwrites_oldest() {
+        let t = Telemetry::memory(3);
+        for i in 0..5 {
+            t.emit(round_end(i));
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        let rounds: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                SchedEvent::RoundEnd { round, .. } => *round,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rounds, vec![2, 3, 4]);
+        assert_eq!(t.events_emitted(), 5);
+        assert_eq!(t.events_dropped(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parseable_line_per_event() {
+        let path = std::env::temp_dir().join("fvsst-telemetry-sink-test.jsonl");
+        let t = Telemetry::jsonl(&path).unwrap();
+        t.emit(SchedEvent::RoundStart {
+            round: 0,
+            t_s: 0.0,
+            trigger: TriggerKind::Timer,
+            budget_w: 294.0,
+        });
+        t.emit(round_end(0));
+        t.flush().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in &lines {
+            let v: serde_json::Value = serde_json::from_str(l).unwrap();
+            assert!(v.get("kind").is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn summary_sink_aggregates() {
+        let t = Telemetry::summary();
+        t.emit(round_end(0));
+        t.emit(round_end(1));
+        t.emit(SchedEvent::BudgetViolation {
+            t_s: 1.0,
+            deadline_s: 0.5,
+        });
+        let text = t.summary_text().unwrap();
+        assert!(text.contains("rounds: 2"), "{text}");
+        assert!(text.contains("1 violations"), "{text}");
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let t = Telemetry::memory(8);
+        let t2 = t.clone();
+        t2.emit(round_end(0));
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events_emitted(), 1);
+    }
+}

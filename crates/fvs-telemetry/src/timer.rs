@@ -1,0 +1,47 @@
+//! Monotonic wall-time measurement.
+
+use std::time::Instant;
+
+/// A started monotonic stopwatch.
+///
+/// Thin wrapper over [`std::time::Instant`] so every crate measures
+/// round/experiment wall time the same way (and the measurement points
+/// are greppable). Reading it allocates nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundTimer {
+    start: Instant,
+}
+
+impl RoundTimer {
+    /// Start timing now.
+    pub fn start() -> Self {
+        RoundTimer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`start`](RoundTimer::start).
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Whole nanoseconds elapsed since [`start`](RoundTimer::start)
+    /// (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let t = RoundTimer::start();
+        let a = t.elapsed_ns();
+        let b = t.elapsed_ns();
+        assert!(b >= a);
+        assert!(t.elapsed_s() >= 0.0);
+    }
+}
