@@ -3,10 +3,12 @@
 use crate::coordinator::{FrequencyCommand, GlobalCoordinator, NodeSummary};
 use crate::message::DelayQueue;
 use crate::node::ClusterNode;
-use fvs_power::BudgetSchedule;
+use fvs_faults::{CounterFaultKind, FaultInjector, SummaryFaultKind};
+use fvs_model::CpiModel;
+use fvs_power::{BudgetEvent, BudgetSchedule};
 use fvs_sched::FvsstAlgorithm;
 use fvs_sim::MachineBuilder;
-use fvs_telemetry::Telemetry;
+use fvs_telemetry::{FaultDomain, SchedEvent, Telemetry};
 use fvs_workloads::{MixConfig, WorkloadGenerator};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -75,6 +77,11 @@ pub struct ClusterReport {
     pub node_mean_mhz: Vec<f64>,
     /// Global scheduling rounds executed.
     pub rounds: u64,
+    /// Faults injected over the run (0 without an injector).
+    pub faults_injected: u64,
+    /// Power the coordinator held in reserve for silent nodes at the end
+    /// of the run (W).
+    pub reserved_w: f64,
 }
 
 /// A scripted node availability change: machines crash, get drained for
@@ -108,6 +115,7 @@ pub struct ClusterSim {
     node_events: Vec<NodeEvent>,
     next_node_event: usize,
     online: Vec<bool>,
+    faults: Option<FaultInjector>,
 }
 
 impl ClusterSim {
@@ -135,6 +143,7 @@ impl ClusterSim {
             node_events: Vec::new(),
             next_node_event: 0,
             online: vec![true; n],
+            faults: None,
         }
     }
 
@@ -143,6 +152,55 @@ impl ClusterSim {
         events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
         self.node_events = events;
         self
+    }
+
+    /// Attach a fault injector.
+    ///
+    /// Scripted node outages in the plan merge into the availability
+    /// events, scripted budget drops merge into the budget schedule (as
+    /// fractions of its initial value), and the probabilistic summary
+    /// faults — loss, duplication, lateness, payload corruption — are
+    /// applied on the uplink each time a node ships a summary. Fault
+    /// events go to the configured telemetry handle.
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        let plan = injector.plan();
+        let initial = self.config.budget.initial_w();
+        for drop in &plan.budget_drops {
+            self.config.budget.push_event(BudgetEvent {
+                at_s: drop.at_s,
+                budget_w: initial * drop.factor,
+            });
+        }
+        let mut events = std::mem::take(&mut self.node_events);
+        for outage in &plan.node_outages {
+            events.push(NodeEvent {
+                at_s: outage.down_s,
+                node: outage.node,
+                online: false,
+            });
+            if outage.up_s.is_finite() {
+                events.push(NodeEvent {
+                    at_s: outage.up_s,
+                    node: outage.node,
+                    online: true,
+                });
+            }
+        }
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        self.node_events = events;
+        self.next_node_event = 0;
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Faults injected so far (0 when no injector is attached).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injected())
+    }
+
+    /// The global coordinator (degradation state: reserve, dead nodes).
+    pub fn coordinator(&self) -> &GlobalCoordinator {
+        &self.coordinator
     }
 
     /// Whether node `i` is currently online.
@@ -283,14 +341,55 @@ impl ClusterSim {
             self.compliance_at = Some(now);
         }
 
-        // Periodic summaries ride the uplink (offline nodes are silent).
+        // Periodic summaries ride the uplink (offline nodes are silent);
+        // the fault injector may lose, duplicate, delay, or corrupt each
+        // one in flight.
         self.tick += 1;
         if self.tick.is_multiple_of(u64::from(self.config.n)) {
             for node in &mut self.nodes {
-                if self.online[node.id] {
-                    let s = node.summarize();
-                    self.uplink.send(now + self.config.latency_s, s);
+                if !self.online[node.id] {
+                    continue;
                 }
+                let mut s = node.summarize();
+                let mut deliver_at = now + self.config.latency_s;
+                if let Some(inj) = &mut self.faults {
+                    if let Some(kind) = inj.counter_fault() {
+                        self.config.telemetry.emit(SchedEvent::FaultInjected {
+                            t_s: now,
+                            domain: FaultDomain::Counter,
+                            target: node.id as u32,
+                        });
+                        corrupt_summary(kind, &mut s);
+                    }
+                    match inj.summary_fault() {
+                        Some(SummaryFaultKind::Loss) => {
+                            self.config.telemetry.emit(SchedEvent::FaultInjected {
+                                t_s: now,
+                                domain: FaultDomain::Cluster,
+                                target: node.id as u32,
+                            });
+                            continue;
+                        }
+                        Some(SummaryFaultKind::Duplicate) => {
+                            self.config.telemetry.emit(SchedEvent::FaultInjected {
+                                t_s: now,
+                                domain: FaultDomain::Cluster,
+                                target: node.id as u32,
+                            });
+                            self.uplink.send(deliver_at, s.clone());
+                        }
+                        Some(SummaryFaultKind::Late) => {
+                            self.config.telemetry.emit(SchedEvent::FaultInjected {
+                                t_s: now,
+                                domain: FaultDomain::Cluster,
+                                target: node.id as u32,
+                            });
+                            deliver_at += inj.plan().summary_late_s;
+                        }
+                        None => {}
+                    }
+                }
+                self.uplink.send(deliver_at, s);
             }
         }
 
@@ -302,7 +401,7 @@ impl ClusterSim {
         let timer_fires = self.tick.is_multiple_of(u64::from(self.config.n));
         if (timer_fires || budget_changed) && self.coordinator.nodes_reporting() > 0 {
             self.rounds += 1;
-            for cmd in self.coordinator.schedule(budget_w) {
+            for cmd in self.coordinator.schedule(budget_w, now) {
                 self.downlink.send(now + self.config.latency_s, cmd);
             }
         }
@@ -342,7 +441,28 @@ impl ClusterSim {
                 .map(|n| n.machine().residency(0).mean_mhz())
                 .collect(),
             rounds: self.rounds,
+            faults_injected: self.faults_injected(),
+            reserved_w: self.coordinator.reserved_w(),
         }
+    }
+}
+
+/// Corrupt an uplink summary payload the way a broken measurement agent
+/// would; the coordinator's ingest validation must contain every shape.
+fn corrupt_summary(kind: CounterFaultKind, s: &mut NodeSummary) {
+    match kind {
+        // Racy read: non-finite power — the whole summary is garbage.
+        CounterFaultKind::Nan => s.power_w = f64::NAN,
+        // One model solved to nonsense.
+        CounterFaultKind::Spike => {
+            if let Some(slot) = s.models.first_mut() {
+                *slot = Some(CpiModel::from_components(f64::INFINITY, 0.0));
+            }
+        }
+        // The agent's windows went uninformative.
+        CounterFaultKind::Stuck => s.models.iter_mut().for_each(|m| *m = None),
+        // A wildly old timestamp: must lose to fresher summaries.
+        CounterFaultKind::Stale => s.sent_at_s -= 1.0e3,
     }
 }
 
@@ -502,6 +622,51 @@ mod tests {
         let f_cpu = sim.node(0).machine().effective_frequency(0);
         let f_mem = sim.node(1).machine().effective_frequency(0);
         assert!(f_cpu > f_mem, "{f_cpu} vs {f_mem}");
+    }
+
+    #[test]
+    fn chaos_cluster_holds_the_dropped_budget() {
+        use fvs_faults::FaultPlan;
+        let mut config = ClusterConfig::default_rack();
+        // 4 nodes × 4 cores; finite budget so the drop fraction bites.
+        config.budget = BudgetSchedule::constant(1600.0);
+        let plan =
+            FaultPlan::parse("loss=0.1, dup=0.05, late=0.05:0.3, drop=0.6@1.0, node=0@1.2:2.4")
+                .unwrap();
+        let mut sim =
+            ClusterSim::three_tier(4, 21, config).with_faults(FaultInjector::new(plan, 42));
+        let report = sim.run_for(4.0);
+        assert!(report.faults_injected > 0, "plan must actually fire");
+        // The scripted supply fault cut the budget to 960 W at t = 1 s;
+        // lost and late summaries plus a node outage must not break
+        // compliance once the response window has passed.
+        assert!(
+            report.final_power_w <= 1600.0 * 0.6 + 1e-9,
+            "final {}",
+            report.final_power_w
+        );
+        assert!(report.final_power_w.is_finite());
+        // The outage ended at 2.4 s: the node reported again well before
+        // the end, so nothing is still charged to the reserve.
+        assert_eq!(report.reserved_w, 0.0);
+    }
+
+    #[test]
+    fn corrupted_uplink_summaries_never_stall_the_coordinator() {
+        use fvs_faults::FaultPlan;
+        let mut config = ClusterConfig::default_rack();
+        config.budget = BudgetSchedule::constant(1200.0);
+        let plan = FaultPlan::parse("counters=0.3").unwrap();
+        let mut sim = ClusterSim::three_tier(4, 3, config).with_faults(FaultInjector::new(plan, 7));
+        let report = sim.run_for(3.0);
+        assert!(report.faults_injected > 0);
+        assert!(report.rounds > 0, "coordinator kept scheduling");
+        assert!(report.final_power_w.is_finite());
+        assert!(
+            report.final_power_w <= 1200.0,
+            "final {}",
+            report.final_power_w
+        );
     }
 
     #[test]

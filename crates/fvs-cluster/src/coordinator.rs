@@ -32,6 +32,15 @@ pub struct FrequencyCommand {
     pub freqs: Vec<FreqMhz>,
 }
 
+/// Default heartbeat timeout: a node silent for longer is presumed dead
+/// and charged conservatively. Five paper-default scheduling periods
+/// (T = 100 ms) — long enough for latency jitter, short against ΔT.
+pub const DEFAULT_HEARTBEAT_TIMEOUT_S: f64 = 0.5;
+
+/// Default conservative charge for a node that has *never* reported: a
+/// full p630 node at maximum frequency (4 × 140 W).
+pub const DEFAULT_WORST_CASE_NODE_W: f64 = 560.0;
+
 /// Runs the two-pass algorithm over every processor of every node under
 /// the single global budget.
 #[derive(Debug)]
@@ -47,6 +56,24 @@ pub struct GlobalCoordinator {
     rounds: u64,
     telemetry: Telemetry,
     metrics: Option<CoordMetrics>,
+    /// A node silent for longer than this is declared dead.
+    heartbeat_timeout_s: f64,
+    /// Conservative charge for a node that has never reported (W).
+    worst_case_node_w: f64,
+    /// One-shot dead declarations (reset when the node reports again).
+    dead: Vec<bool>,
+    /// Power reserved for silent nodes in the last round (W).
+    reserved_w: f64,
+    /// Per-node ceiling of the frequencies last *commanded* (W). A node
+    /// can die after commands were issued but before any summary
+    /// reflects them, so its last report may understate what it is now
+    /// drawing; dead nodes are charged the max of both.
+    commanded_w: Vec<f64>,
+    /// Per-node processor count, learned from any uplink arrival — even
+    /// a rejected one, as long as its vectors agree. Lets the
+    /// coordinator send blind fail-safe commands to a node it can hear
+    /// nothing useful from.
+    shape: Vec<Option<usize>>,
 }
 
 /// Metric handles, created once at construction so scheduling rounds
@@ -56,9 +83,11 @@ struct CoordMetrics {
     rounds: std::sync::Arc<Counter>,
     summaries_ingested: std::sync::Arc<Counter>,
     summaries_stale: std::sync::Arc<Counter>,
+    summaries_rejected: std::sync::Arc<Counter>,
     commands_sent: std::sync::Arc<Counter>,
     reported_power_watts: std::sync::Arc<Gauge>,
     nodes_reporting: std::sync::Arc<Gauge>,
+    reserved_watts: std::sync::Arc<Gauge>,
 }
 
 impl GlobalCoordinator {
@@ -78,9 +107,11 @@ impl GlobalCoordinator {
                 rounds: scope.counter("rounds"),
                 summaries_ingested: scope.counter("summaries_ingested"),
                 summaries_stale: scope.counter("summaries_stale"),
+                summaries_rejected: scope.counter("summaries_rejected"),
                 commands_sent: scope.counter("commands_sent"),
                 reported_power_watts: scope.gauge("reported_power_watts"),
                 nodes_reporting: scope.gauge("nodes_reporting"),
+                reserved_watts: scope.gauge("reserved_watts"),
             }
         });
         GlobalCoordinator {
@@ -92,7 +123,27 @@ impl GlobalCoordinator {
             rounds: 0,
             telemetry,
             metrics,
+            heartbeat_timeout_s: DEFAULT_HEARTBEAT_TIMEOUT_S,
+            worst_case_node_w: DEFAULT_WORST_CASE_NODE_W,
+            dead: vec![false; nodes],
+            reserved_w: 0.0,
+            commanded_w: vec![0.0; nodes],
+            shape: vec![None; nodes],
         }
+    }
+
+    /// Override the heartbeat timeout after which a silent node is
+    /// declared dead and charged conservatively.
+    pub fn with_heartbeat_timeout(mut self, timeout_s: f64) -> Self {
+        self.heartbeat_timeout_s = timeout_s;
+        self
+    }
+
+    /// Override the conservative charge for nodes that have never
+    /// reported (heterogeneous clusters with bigger machines).
+    pub fn with_worst_case_node_w(mut self, watts: f64) -> Self {
+        self.worst_case_node_w = watts;
+        self
     }
 
     /// Cache effectiveness counters for the global computation.
@@ -102,7 +153,56 @@ impl GlobalCoordinator {
 
     /// Ingest a (possibly stale) node summary; newer summaries replace
     /// older ones.
-    pub fn ingest(&mut self, summary: NodeSummary) {
+    ///
+    /// The uplink is not trusted: a summary with a non-finite timestamp
+    /// or power, an out-of-range node index, or mismatched per-processor
+    /// vectors is rejected whole, and any individual model with
+    /// non-finite components is degraded to `None` (the processor is
+    /// scheduled as unmodelled, holding its current frequency). Nothing
+    /// a node ships can make the global computation produce a NaN.
+    pub fn ingest(&mut self, mut summary: NodeSummary) {
+        let n_procs = summary.models.len();
+        // Even a summary rejected for corrupt content reveals the node's
+        // processor count — enough to fail-safe it later.
+        if summary.node < self.latest.len()
+            && summary.idle.len() == n_procs
+            && summary.current.len() == n_procs
+        {
+            self.shape[summary.node] = Some(n_procs);
+        }
+        if summary.node >= self.latest.len()
+            || !summary.sent_at_s.is_finite()
+            || !summary.power_w.is_finite()
+            || summary.power_w < 0.0
+            || summary.idle.len() != n_procs
+            || summary.current.len() != n_procs
+        {
+            if let Some(m) = &self.metrics {
+                m.summaries_rejected.inc();
+            }
+            if self.telemetry.enabled() {
+                self.telemetry.emit(SchedEvent::SampleQuarantined {
+                    t_s: summary.sent_at_s,
+                    proc: summary.node as u32,
+                    value: summary.power_w,
+                });
+            }
+            return;
+        }
+        for (p, slot) in summary.models.iter_mut().enumerate() {
+            if let Some(model) = slot {
+                if !model.is_valid() {
+                    if self.telemetry.enabled() {
+                        self.telemetry.emit(SchedEvent::SampleQuarantined {
+                            t_s: summary.sent_at_s,
+                            proc: p as u32,
+                            value: model.cpi0,
+                        });
+                    }
+                    *slot = None;
+                }
+            }
+        }
         let slot = &mut self.latest[summary.node];
         let newer = slot
             .as_ref()
@@ -131,29 +231,94 @@ impl GlobalCoordinator {
         self.latest.iter().flatten().map(|s| s.power_w).sum()
     }
 
-    /// Run the global computation and emit one command per reporting
-    /// node. Nodes that never reported are skipped and keep their
-    /// current frequencies.
-    pub fn schedule(&mut self, budget_w: f64) -> Vec<FrequencyCommand> {
-        // Flatten all reporting processors into one ProcInput list,
+    /// Power reserved for silent or never-reported nodes in the last
+    /// round (W) — subtracted from the global budget before scheduling
+    /// the live nodes.
+    pub fn reserved_w(&self) -> f64 {
+        self.reserved_w
+    }
+
+    /// Nodes currently presumed dead (silent past the heartbeat
+    /// timeout, or never heard from once the timeout has elapsed).
+    pub fn dead_nodes(&self) -> usize {
+        self.dead.iter().filter(|d| **d).count()
+    }
+
+    /// Run the global computation at time `now_s` and emit one command
+    /// per live node.
+    ///
+    /// Graceful degradation for the silent: a node whose last summary
+    /// is older than the heartbeat timeout cannot be commanded, so its
+    /// last-reported power is *charged against the budget* and the live
+    /// nodes are scheduled under what remains; a node that never
+    /// reported at all is charged the worst-case node power. Either way
+    /// the cluster's true draw cannot exceed the global budget because
+    /// of a node the coordinator cannot see.
+    pub fn schedule(&mut self, budget_w: f64, now_s: f64) -> Vec<FrequencyCommand> {
+        // Flatten the live processors into one ProcInput list,
         // remembering (node, proc) coordinates. Buffers are reused.
         self.coords.clear();
         self.procs.clear();
+        let mut reserved_w = 0.0;
+        let mut blind: Vec<usize> = Vec::new();
         for (node_idx, slot) in self.latest.iter().enumerate() {
-            if let Some(s) = slot {
-                for p in 0..s.models.len() {
-                    self.coords.push((node_idx, p));
-                    self.procs.push(ProcInput {
-                        model: s.models[p],
-                        idle: s.idle[p],
-                        current: s.current[p],
-                    });
+            match slot {
+                Some(s) if now_s - s.sent_at_s <= self.heartbeat_timeout_s => {
+                    self.dead[node_idx] = false;
+                    for p in 0..s.models.len() {
+                        self.coords.push((node_idx, p));
+                        self.procs.push(ProcInput {
+                            model: s.models[p],
+                            idle: s.idle[p],
+                            current: s.current[p],
+                        });
+                    }
+                }
+                Some(s) => {
+                    // Silent past the timeout: hold the larger of what it
+                    // last reported drawing and the ceiling of what it was
+                    // last commanded (it may have gone silent after a
+                    // boost command but before any summary reflected it).
+                    let charged_w = s.power_w.max(self.commanded_w[node_idx]);
+                    reserved_w += charged_w;
+                    blind.push(node_idx);
+                    if !self.dead[node_idx] {
+                        self.dead[node_idx] = true;
+                        self.telemetry.emit(SchedEvent::NodeDeclaredDead {
+                            t_s: now_s,
+                            node: node_idx as u32,
+                            last_seen_s: s.sent_at_s,
+                            charged_w,
+                        });
+                    }
+                }
+                None if now_s > self.heartbeat_timeout_s => {
+                    // Never heard from and overdue: assume the worst.
+                    reserved_w += self.worst_case_node_w;
+                    blind.push(node_idx);
+                    if !self.dead[node_idx] {
+                        self.dead[node_idx] = true;
+                        self.telemetry.emit(SchedEvent::NodeDeclaredDead {
+                            t_s: now_s,
+                            node: node_idx as u32,
+                            last_seen_s: f64::NAN,
+                            charged_w: self.worst_case_node_w,
+                        });
+                    }
+                }
+                None => {
+                    // Startup grace: overdue only once the timeout has
+                    // elapsed, but still charged conservatively so the
+                    // first rounds cannot overshoot on its account.
+                    reserved_w += self.worst_case_node_w;
                 }
             }
         }
+        self.reserved_w = reserved_w;
+        let effective_budget_w = (budget_w - reserved_w).max(0.0);
         let d = self
             .algorithm
-            .schedule_cached(&mut self.cache, &self.procs, budget_w);
+            .schedule_cached(&mut self.cache, &self.procs, effective_budget_w);
         let (feasible, predicted_power_w) = (d.feasible, d.predicted_power_w);
         // Regroup per node (the command vectors are shipped, so they are
         // allocated fresh).
@@ -165,6 +330,30 @@ impl GlobalCoordinator {
                     node: *node,
                     freqs: vec![*f],
                 }),
+            }
+        }
+        // Remember each commanded node's power ceiling for conservative
+        // charging should it go silent before reporting again.
+        for cmd in &commands {
+            self.commanded_w[cmd.node] = cmd
+                .freqs
+                .iter()
+                .map(|f| self.algorithm.power_table.power_interpolated(*f))
+                .sum();
+        }
+        // Blind fail-safe: a charged node may be mute-but-running (its
+        // uplink corrupted while its downlink still works), in which
+        // case nothing we reserve restores *measured* compliance — so
+        // command it to f_min anyway. Unacknowledged, hence it never
+        // lowers `commanded_w`: the conservative charge stands until the
+        // node actually reports again.
+        let f_min = self.algorithm.freq_set.min();
+        for node in blind {
+            if let Some(n_procs) = self.shape[node] {
+                commands.push(FrequencyCommand {
+                    node,
+                    freqs: vec![f_min; n_procs],
+                });
             }
         }
         let round = self.rounds;
@@ -183,6 +372,7 @@ impl GlobalCoordinator {
                 m.commands_sent.add(commands.len() as u64);
                 m.reported_power_watts.set(self.reported_power_w());
                 m.nodes_reporting.set(self.nodes_reporting() as f64);
+                m.reserved_watts.set(reserved_w);
             }
         }
         commands
@@ -212,7 +402,7 @@ mod tests {
         let mut c = GlobalCoordinator::new(FvsstAlgorithm::p630(), 2);
         c.ingest(summary(0, 2.0, &[0.0]));
         c.ingest(summary(0, 1.0, &[10.0e-9])); // older: ignored
-        let cmds = c.schedule(f64::INFINITY);
+        let cmds = c.schedule(f64::INFINITY, 2.0);
         assert_eq!(cmds.len(), 1);
         // The fresh (CPU-bound) summary wins: high frequency.
         assert!(cmds[0].freqs[0] >= FreqMhz(950));
@@ -225,7 +415,7 @@ mod tests {
         c.ingest(summary(0, 1.0, &[0.0, 0.0]));
         c.ingest(summary(1, 1.0, &[10.0e-9, 10.0e-9]));
         // Budget forces trade-offs: 4 procs, 300 W total.
-        let cmds = c.schedule(300.0);
+        let cmds = c.schedule(300.0, 1.0);
         let table = fvs_power::FreqPowerTable::p630_table1();
         let total: f64 = cmds
             .iter()
@@ -241,12 +431,95 @@ mod tests {
     }
 
     #[test]
-    fn missing_nodes_are_skipped() {
+    fn missing_nodes_are_charged_worst_case_not_ignored() {
         let mut c = GlobalCoordinator::new(FvsstAlgorithm::p630(), 3);
         c.ingest(summary(1, 1.0, &[0.0]));
-        let cmds = c.schedule(f64::INFINITY);
+        let cmds = c.schedule(f64::INFINITY, 1.0);
+        // Only the reporting node is commanded...
         assert_eq!(cmds.len(), 1);
         assert_eq!(cmds[0].node, 1);
         assert_eq!(c.nodes_reporting(), 1);
+        // ...but the two silent nodes are *not* free: each reserves the
+        // worst-case node power against the budget.
+        assert_eq!(c.reserved_w(), 2.0 * DEFAULT_WORST_CASE_NODE_W);
+        // Past the heartbeat timeout they are declared dead outright.
+        assert_eq!(c.dead_nodes(), 2);
+    }
+
+    #[test]
+    fn silent_node_is_charged_its_last_known_power() {
+        let mut c = GlobalCoordinator::new(FvsstAlgorithm::p630(), 2);
+        // Both report; node 1 then falls silent.
+        c.ingest(summary(0, 1.0, &[0.0, 0.0]));
+        c.ingest(summary(1, 1.0, &[0.0, 0.0])); // last reported 280 W
+        c.ingest(summary(0, 2.0, &[0.0, 0.0]));
+        let cmds = c.schedule(300.0, 2.0);
+        // Node 1 is a second past the timeout: dead, charged 280 W.
+        assert_eq!(c.reserved_w(), 280.0);
+        assert_eq!(c.dead_nodes(), 1);
+        // Node 0's two CPU-bound procs get only the remaining 20 W:
+        // they are demoted to the floor. Node 1 is not scheduled, but it
+        // does get a blind fail-safe command — it may be mute yet
+        // running, and the downlink might still work.
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(cmds[0].node, 0);
+        for f in &cmds[0].freqs {
+            assert_eq!(*f, FreqMhz(250));
+        }
+        assert_eq!(cmds[1].node, 1);
+        assert_eq!(cmds[1].freqs, vec![FreqMhz(250); 2]);
+        // The blind command is unacknowledged: node 1 stays charged.
+        assert_eq!(c.reserved_w(), 280.0);
+    }
+
+    #[test]
+    fn recovered_node_is_no_longer_charged() {
+        let mut c = GlobalCoordinator::new(FvsstAlgorithm::p630(), 2);
+        c.ingest(summary(0, 1.0, &[0.0]));
+        c.ingest(summary(1, 1.0, &[0.0]));
+        c.ingest(summary(0, 2.0, &[0.0]));
+        c.schedule(300.0, 2.0);
+        assert_eq!(c.dead_nodes(), 1);
+        // Node 1 comes back (and node 0 keeps heartbeating).
+        c.ingest(summary(0, 2.5, &[0.0]));
+        c.ingest(summary(1, 2.5, &[0.0]));
+        let cmds = c.schedule(300.0, 2.6);
+        assert_eq!(c.reserved_w(), 0.0);
+        assert_eq!(c.dead_nodes(), 0);
+        assert_eq!(cmds.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_summaries_are_rejected_whole() {
+        let mut c = GlobalCoordinator::new(FvsstAlgorithm::p630(), 2);
+        c.ingest(summary(0, 1.0, &[0.0]));
+        // NaN power: rejected, the earlier summary survives.
+        let mut bad = summary(0, 2.0, &[10.0e-9]);
+        bad.power_w = f64::NAN;
+        c.ingest(bad);
+        // Mismatched vectors: rejected.
+        let mut bad = summary(0, 2.0, &[10.0e-9]);
+        bad.idle = vec![false; 3];
+        c.ingest(bad);
+        // Out-of-range node index: rejected (not a panic).
+        c.ingest(summary(7, 2.0, &[0.0]));
+        let cmds = c.schedule(f64::INFINITY, 1.0);
+        assert_eq!(cmds.len(), 1);
+        // The surviving summary is the clean CPU-bound one.
+        assert!(cmds[0].freqs[0] >= FreqMhz(950));
+    }
+
+    #[test]
+    fn invalid_models_degrade_to_unmodelled_not_nan() {
+        let mut c = GlobalCoordinator::new(FvsstAlgorithm::p630(), 1);
+        let mut s = summary(0, 1.0, &[0.0, 0.0]);
+        s.models[1] = Some(CpiModel::from_components(f64::NAN, 0.0));
+        s.current[1] = FreqMhz(800);
+        c.ingest(s);
+        let cmds = c.schedule(f64::INFINITY, 1.0);
+        // The corrupt model is quarantined: its processor is scheduled
+        // as unmodelled and holds its current frequency.
+        assert_eq!(cmds[0].freqs[1], FreqMhz(800));
+        assert!(cmds[0].freqs.iter().all(|f| f.0 > 0));
     }
 }

@@ -69,7 +69,10 @@ proptest! {
                 });
             }
         }
-        let cmds = coord.schedule(budget);
+        // Schedule at the send timestamp: every reporting node is live,
+        // and silent nodes only tighten the effective budget (which can
+        // only push frequencies down, never above the budget).
+        let cmds = coord.schedule(budget, 1.0);
         let covered: Vec<usize> = cmds.iter().map(|c| c.node).collect();
         prop_assert_eq!(&covered, &expected_nodes);
         let table = FreqPowerTable::p630_table1();

@@ -1,0 +1,38 @@
+//! Fault injection and graceful degradation for the fvsst stack.
+//!
+//! The paper's hard requirement is that `Σ P(f_p) ≤ P_max` within `ΔT`
+//! of any budget drop — *including* drops caused by a failed supply, and
+//! *despite* the noisy counters and flaky actuation real DVFS stacks
+//! face. This crate provides both sides of that bargain:
+//!
+//! - **Injection**: a declarative [`FaultPlan`] (rates + scripted
+//!   events) driven by a deterministic, seedable [`FaultInjector`].
+//!   Counter corruption ([`CounterFaultKind`]: NaN / spike / stuck /
+//!   stale), actuation faults ([`ActuationFaultKind`]: dropped /
+//!   partial / delayed commands), cluster faults ([`SummaryFaultKind`]:
+//!   lost / duplicate / late summaries, plus scripted node outages) and
+//!   supply faults (scripted budget drops). Same plan + same seed →
+//!   byte-identical fault stream.
+//! - **Degradation**: the [`SampleValidator`], first rung of the
+//!   degradation ladder (quarantine → retry → fail-safe pin →
+//!   conservative charging; see DESIGN.md §11), which refuses
+//!   impossible counter samples and remembers each processor's last
+//!   trusted model fingerprint.
+//!
+//! Everything is zero-cost when quiet: a quiet injector answers every
+//! query with a single branch, and the validator is branch-and-compare
+//! arithmetic on preallocated state — the counting-allocator proofs in
+//! fvs-sched continue to hold with the fault machinery compiled in.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod injector;
+mod plan;
+mod validator;
+
+pub use injector::{
+    apply_counter_fault, ActuationFaultKind, CounterFaultKind, FaultInjector, SummaryFaultKind,
+};
+pub use plan::{BudgetDropSpec, FaultPlan, NodeOutageSpec, PlanParseError};
+pub use validator::{SampleValidator, SampleVerdict};

@@ -1,7 +1,7 @@
 //! `fvsst-exp` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR] [--telemetry DIR] [--jobs N]
+//! fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR] [--telemetry DIR] [--jobs N] [--faults PLAN]
 //! fvsst-exp all [--fast]
 //! fvsst-exp list
 //! ```
@@ -13,11 +13,15 @@
 //! closes the run. `--json DIR` additionally writes
 //! `<DIR>/<experiment>.json` with the structured result, and
 //! `--telemetry DIR` writes `<DIR>/<experiment>.telemetry.jsonl`
-//! scheduling traces for the instrumented experiments (fig9, cluster).
-//! Every artifact written is listed on stdout when the run succeeds.
+//! scheduling traces for the instrumented experiments (fig9, cluster,
+//! chaos). `--faults PLAN` sets the fault plan for the chaos experiment
+//! (`none`, `chaos`, or `counters=R,actuation=R,loss=R,dup=R,late=R:S,`
+//! `drop=F@T,node=I@DOWN:UP`); injectors are seeded from `--seed`, so a
+//! chaos run replays from its command line. Every artifact written is
+//! listed on stdout when the run succeeds.
 //!
 //! Experiments: table1 fig1 table2 fig4 fig5 fig6 fig7 table3 fig8 fig9
-//! example5 ablation predictors migration cluster.
+//! example5 ablation predictors migration cluster chaos.
 
 use fvs_harness::experiments::{run_by_name, ALL_EXPERIMENTS};
 use fvs_harness::runs::RunSettings;
@@ -73,6 +77,24 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--faults" => {
+                i += 1;
+                match args.get(i) {
+                    // Validate eagerly so a typo fails the run instead of
+                    // silently degrading to the chaos preset mid-flight.
+                    Some(spec) => match fvs_faults::FaultPlan::parse(spec) {
+                        Ok(_) => settings.faults = Some(spec.clone()),
+                        Err(e) => {
+                            eprintln!("bad --faults spec: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => {
+                        eprintln!("--faults requires a plan spec (try 'chaos' or 'none')");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--jobs" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
@@ -96,7 +118,7 @@ fn main() -> ExitCode {
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR] [--telemetry DIR] [--jobs N]\n       fvsst-exp all | list\nexperiments: {}",
+            "usage: fvsst-exp <experiment>... [--fast] [--seed N] [--json DIR] [--telemetry DIR] [--jobs N] [--faults PLAN]\n       fvsst-exp all | list\nexperiments: {}",
             ALL_EXPERIMENTS.join(" ")
         );
         return ExitCode::FAILURE;

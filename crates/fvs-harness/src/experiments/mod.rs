@@ -17,8 +17,10 @@
 //! | `predictors` | footnote-1 predictor-variant study |
 //! | `migration` | frequency vs work scheduling comparator |
 //! | `cluster` | budget response vs cluster size and latency |
+//! | `chaos`   | fault injection: budget held under corruption |
 
 pub mod ablations;
+pub mod chaos;
 pub mod cluster_scale;
 pub mod example5;
 pub mod fig1;
@@ -37,7 +39,7 @@ pub mod table3;
 use crate::runs::RunSettings;
 
 /// Experiment ids accepted by the `fvsst-exp` binary, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "table1",
     "fig1",
     "table2",
@@ -53,6 +55,7 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
     "predictors",
     "migration",
     "cluster",
+    "chaos",
 ];
 
 /// Run one experiment by id and return its rendered report.
@@ -73,6 +76,7 @@ pub fn run_by_name(name: &str, settings: &RunSettings) -> Option<String> {
         "predictors" => predictors::run(settings).render(),
         "migration" => migration::run(settings).render(),
         "cluster" => cluster_scale::run(settings).render(),
+        "chaos" => chaos::run(settings).render(),
         _ => return None,
     })
 }

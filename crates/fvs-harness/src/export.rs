@@ -11,7 +11,7 @@
 //! writes `out/table3.json` alongside the text report on stdout.
 
 use crate::experiments::{
-    ablations, cluster_scale, example5, fig1, fig4, fig5, fig6, fig7, fig8, fig9, migration,
+    ablations, chaos, cluster_scale, example5, fig1, fig4, fig5, fig6, fig7, fig8, fig9, migration,
     predictors, table1, table2, table3,
 };
 use crate::runs::RunSettings;
@@ -99,6 +99,10 @@ pub fn run_exported(
         }
         "cluster" => {
             let r = cluster_scale::run(settings);
+            pack(r.render(), &r)
+        }
+        "chaos" => {
+            let r = chaos::run(settings);
             pack(r.render(), &r)
         }
         _ => return None,

@@ -20,6 +20,10 @@ pub struct RunSettings {
     /// entirely. Stored as a `String` because the vendored serde has no
     /// `PathBuf` impl.
     pub telemetry_dir: Option<String>,
+    /// Fault-plan spec for the chaos experiment (`--faults`, the
+    /// [`fvs_faults::FaultPlan::parse`] grammar); `None` uses the chaos
+    /// preset.
+    pub faults: Option<String>,
 }
 
 impl RunSettings {
@@ -29,6 +33,7 @@ impl RunSettings {
             fast: false,
             seed: 0xF05,
             telemetry_dir: None,
+            faults: None,
         }
     }
 
@@ -38,6 +43,18 @@ impl RunSettings {
             fast: true,
             seed: 0xF05,
             telemetry_dir: None,
+            faults: None,
+        }
+    }
+
+    /// The fault plan for chaos runs: parsed from `--faults` when given,
+    /// the chaos preset otherwise. Injectors built from it must be
+    /// seeded with [`seed`](RunSettings::seed) so a chaos run replays
+    /// from its command line.
+    pub fn fault_plan(&self) -> Result<fvs_faults::FaultPlan, fvs_faults::PlanParseError> {
+        match &self.faults {
+            Some(spec) => fvs_faults::FaultPlan::parse(spec),
+            None => Ok(fvs_faults::FaultPlan::chaos()),
         }
     }
 

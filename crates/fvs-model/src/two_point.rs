@@ -33,6 +33,10 @@ pub enum TwoPointError {
     /// The solved model was invalid (negative `M` beyond tolerance or
     /// non-positive `cpi0`) — the workload shifted between windows.
     Inconsistent,
+    /// An observation's instruction or cycle count was non-finite — a
+    /// corrupted counter read. Rejected so a NaN can never propagate
+    /// into a `PerfLossTable`.
+    NonFinite,
 }
 
 impl fmt::Display for TwoPointError {
@@ -47,6 +51,10 @@ impl fmt::Display for TwoPointError {
             TwoPointError::Inconsistent => write!(
                 f,
                 "observations are inconsistent with CPI(f) = cpi0 + M*f (workload shifted?)"
+            ),
+            TwoPointError::NonFinite => write!(
+                f,
+                "an observation's instruction/cycle counts are non-finite (corrupted counter read)"
             ),
         }
     }
@@ -89,6 +97,20 @@ const NEGATIVE_M_TOLERANCE: f64 = 1.0e-10;
 pub fn calibrate_two_point(a: &Observation, b: &Observation) -> Result<CpiModel, TwoPointError> {
     if a.freq == b.freq {
         return Err(TwoPointError::SameFrequency);
+    }
+    // Only instructions and cycles feed the fit; a corrupted read there
+    // (NaN, ±∞, negative) must fail typed instead of dissolving into the
+    // arithmetic below — `NaN < -tol` is false, so without this check a
+    // NaN pair would silently solve to `M = 0` and poison the model.
+    for obs in [a, b] {
+        let d = &obs.delta;
+        if !(d.instructions.is_finite()
+            && d.cycles.is_finite()
+            && d.instructions >= 0.0
+            && d.cycles >= 0.0)
+        {
+            return Err(TwoPointError::NonFinite);
+        }
     }
     let (cpi_a, cpi_b) = match (a.cpi(), b.cpi()) {
         (Some(x), Some(y)) => (x, y),
@@ -183,6 +205,34 @@ mod tests {
             calibrate_two_point(&a, &b),
             Err(TwoPointError::Inconsistent)
         );
+    }
+
+    #[test]
+    fn non_finite_instruction_or_cycle_counts_fail_typed() {
+        let truth = CpiModel::from_components(1.0, 6.0e-9);
+        let clean_a = observe(&truth, FreqMhz(600));
+        let clean_b = observe(&truth, FreqMhz(1000));
+        for corrupt in [
+            |d: &mut CounterDelta| d.cycles = f64::NAN,
+            |d: &mut CounterDelta| d.instructions = f64::INFINITY,
+            |d: &mut CounterDelta| d.cycles = f64::NEG_INFINITY,
+            |d: &mut CounterDelta| d.instructions = -1.0e6,
+        ] {
+            let mut bad = clean_b;
+            corrupt(&mut bad.delta);
+            assert_eq!(
+                calibrate_two_point(&clean_a, &bad),
+                Err(TwoPointError::NonFinite)
+            );
+            // Order must not matter.
+            assert_eq!(
+                calibrate_two_point(&bad, &clean_a),
+                Err(TwoPointError::NonFinite)
+            );
+        }
+        // And the fitted model from clean data is always finite.
+        let fitted = calibrate_two_point(&clean_a, &clean_b).unwrap();
+        assert!(fitted.is_valid());
     }
 
     #[test]

@@ -59,6 +59,19 @@ impl BudgetSchedule {
         [140.0, 75.0, 35.0]
     }
 
+    /// The budget before any event or margin applies — the reference
+    /// point for fault plans that drop to a *fraction* of it.
+    pub fn initial_w(&self) -> f64 {
+        self.initial_w
+    }
+
+    /// Add a scripted change after construction, keeping events sorted
+    /// by time (a fault plan merging its supply drops into a scenario).
+    pub fn push_event(&mut self, event: BudgetEvent) {
+        self.events.push(event);
+        self.events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+    }
+
     /// The budget in force at time `t_s`, margin applied, floored at zero.
     pub fn budget_at(&self, t_s: f64) -> f64 {
         let raw = self
@@ -116,6 +129,23 @@ mod tests {
         assert_eq!(b.budget_at(10.0), 294.0);
         assert_eq!(b.next_change_after(5.0), Some(10.0));
         assert_eq!(b.next_change_after(10.0), None);
+    }
+
+    #[test]
+    fn pushed_events_land_in_time_order() {
+        let mut b = BudgetSchedule::constant(560.0);
+        assert_eq!(b.initial_w(), 560.0);
+        b.push_event(BudgetEvent {
+            at_s: 10.0,
+            budget_w: 294.0,
+        });
+        b.push_event(BudgetEvent {
+            at_s: 5.0,
+            budget_w: 400.0,
+        });
+        assert_eq!(b.budget_at(7.0), 400.0);
+        assert_eq!(b.budget_at(10.0), 294.0);
+        assert_eq!(b.next_change_after(0.0), Some(5.0));
     }
 
     #[test]

@@ -164,9 +164,15 @@ mod tests {
     fn daemon_schedules_on_timer() {
         let daemon = SchedulerDaemon::spawn(1, SchedulerConfig::p630(), PlatformView::p630());
         let mut decisions = 0;
+        // Apply each commanded frequency like a real host would, so the
+        // scheduler's actuation verification sees its commands honored.
+        let mut current = FreqMhz(1000);
         for t in 0..20 {
-            if daemon.tick(tick_data(t, f64::INFINITY, 10.0e-9)).is_some() {
+            let mut data = tick_data(t, f64::INFINITY, 10.0e-9);
+            data.current = vec![current];
+            if let Some(d) = daemon.tick(data) {
                 decisions += 1;
+                current = d.freqs[0];
             }
         }
         let summary = daemon.shutdown();

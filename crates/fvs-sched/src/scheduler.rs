@@ -7,6 +7,7 @@ use crate::algorithm::{
 };
 use crate::policy::{Decision, OverheadModel, Policy, TickContext};
 use crate::predictor::{ErrorStats, PredictionTracker, Predictor};
+use fvs_faults::{SampleValidator, SampleVerdict};
 use fvs_power::BudgetSchedule;
 use fvs_telemetry::{
     BudgetDeadlineTracker, Counter, Gauge, Histogram, RoundTimer, SchedEvent, Telemetry,
@@ -80,6 +81,10 @@ pub struct SchedulerConfig {
     /// telemetry deadline accounting. The paper's section-2 scenario
     /// gives the survivors 1 s of overload tolerance.
     pub deadline_s: f64,
+    /// Failed actuation verifications tolerated (with exponential
+    /// backoff between re-issues) before a processor is pinned at the
+    /// fail-safe minimum frequency and excluded from Pass 1.
+    pub max_actuation_retries: u32,
 }
 
 impl SchedulerConfig {
@@ -100,6 +105,7 @@ impl SchedulerConfig {
             log_triggers: true,
             telemetry: Telemetry::disabled(),
             deadline_s: 1.0,
+            max_actuation_retries: 3,
         }
     }
 
@@ -161,6 +167,13 @@ impl SchedulerConfig {
         self
     }
 
+    /// Set how many failed actuation verifications are retried before
+    /// the fail-safe pin engages.
+    pub fn with_max_actuation_retries(mut self, retries: u32) -> Self {
+        self.max_actuation_retries = retries;
+        self
+    }
+
     /// The scheduling period `T` in seconds.
     pub fn period_s(&self) -> f64 {
         self.t_s * f64::from(self.n)
@@ -178,6 +191,9 @@ struct SchedMetrics {
     budget_violations: Arc<Counter>,
     budget_compliances: Arc<Counter>,
     round_wall_s: Arc<Histogram>,
+    samples_quarantined: Arc<Counter>,
+    actuation_retries: Arc<Counter>,
+    failsafe_pins: Arc<Counter>,
 }
 
 impl SchedMetrics {
@@ -191,8 +207,20 @@ impl SchedMetrics {
             budget_violations: scope.counter("budget_violations"),
             budget_compliances: scope.counter("budget_compliances"),
             round_wall_s: scope.histogram("round_wall_s", &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2]),
+            samples_quarantined: scope.counter("samples_quarantined"),
+            actuation_retries: scope.counter("actuation_retries"),
+            failsafe_pins: scope.counter("failsafe_pins"),
         })
     }
+}
+
+/// Per-processor actuation verify-retry state (degradation-ladder rungs
+/// 2 and 3: retry with backoff, then pin at the fail-safe minimum).
+#[derive(Debug, Clone, Copy, Default)]
+struct FailsafeState {
+    retries: u32,
+    next_retry_tick: u64,
+    pinned: bool,
 }
 
 /// The fvsst scheduling daemon, as a [`Policy`].
@@ -214,6 +242,9 @@ pub struct FvsstScheduler {
     proc_buf: Vec<ProcInput>,
     budget_tracker: BudgetDeadlineTracker,
     metrics: Option<SchedMetrics>,
+    validator: SampleValidator,
+    failsafe: Vec<FailsafeState>,
+    actuation_retries: u64,
 }
 
 impl FvsstScheduler {
@@ -237,6 +268,9 @@ impl FvsstScheduler {
             proc_buf: Vec::with_capacity(n_cores),
             budget_tracker,
             metrics,
+            validator: SampleValidator::new(n_cores),
+            failsafe: vec![FailsafeState::default(); n_cores],
+            actuation_retries: 0,
         }
     }
 
@@ -287,6 +321,120 @@ impl FvsstScheduler {
         &self.budget_tracker
     }
 
+    /// Counter samples refused by the sample validator so far.
+    pub fn quarantined_samples(&self) -> u64 {
+        self.validator.total_quarantined()
+    }
+
+    /// Actuation re-issues performed so far (degradation-ladder rung 2).
+    pub fn actuation_retries(&self) -> u64 {
+        self.actuation_retries
+    }
+
+    /// Whether processor `i` is pinned at the fail-safe minimum.
+    pub fn failsafe_pinned(&self, i: usize) -> bool {
+        self.failsafe[i].pinned
+    }
+
+    /// Processors currently pinned at the fail-safe minimum.
+    pub fn failsafe_pins(&self) -> usize {
+        self.failsafe.iter().filter(|f| f.pinned).count()
+    }
+
+    /// Release every fail-safe pin (e.g. after the platform's actuator
+    /// was repaired); retry accounting restarts from zero.
+    pub fn clear_failsafe_pins(&mut self) {
+        for f in &mut self.failsafe {
+            *f = FailsafeState::default();
+        }
+    }
+
+    /// Verify the decision in force actually took effect on the
+    /// hardware; re-issue with exponential backoff, and after the
+    /// configured retries pin the offender at the fail-safe minimum
+    /// (degradation-ladder rungs 2 and 3). Returns `true` when `out`
+    /// carries a re-issued assignment the host must apply. With healthy
+    /// actuation every comparison matches and this is branch-only.
+    fn verify_actuation(&mut self, ctx: &TickContext<'_>, out: &mut Decision) -> bool {
+        let Some(last) = &self.last_decision else {
+            return false;
+        };
+        let f_min = self.config.algorithm.freq_set.min();
+        let mut reissue = false;
+        for i in 0..ctx.current.len() {
+            let fs = &mut self.failsafe[i];
+            let target = if fs.pinned { f_min } else { last.freqs[i] };
+            if ctx.current[i] == target {
+                if !fs.pinned {
+                    fs.retries = 0;
+                }
+                continue;
+            }
+            if fs.pinned {
+                // Already at the bottom of the ladder: keep nudging the
+                // pin until it lands, without further retry accounting.
+                reissue = true;
+                continue;
+            }
+            if fs.retries >= self.config.max_actuation_retries {
+                fs.pinned = true;
+                let retries = fs.retries;
+                self.config.telemetry.emit(SchedEvent::FailsafePin {
+                    t_s: ctx.now_s,
+                    proc: i as u32,
+                    pinned_mhz: f_min.0,
+                    retries,
+                });
+                if let Some(m) = &self.metrics {
+                    m.failsafe_pins.inc();
+                }
+                reissue = true;
+                continue;
+            }
+            if ctx.tick >= fs.next_retry_tick {
+                fs.retries += 1;
+                // Exponential backoff: 2, 4, 8… ticks between attempts.
+                fs.next_retry_tick = ctx.tick + (1u64 << fs.retries.min(16));
+                let attempt = fs.retries;
+                self.actuation_retries += 1;
+                self.config.telemetry.emit(SchedEvent::ActuationRetry {
+                    t_s: ctx.now_s,
+                    proc: i as u32,
+                    attempt,
+                    requested_mhz: target.0,
+                    actual_mhz: ctx.current[i].0,
+                });
+                if let Some(m) = &self.metrics {
+                    m.actuation_retries.inc();
+                }
+                reissue = true;
+            }
+        }
+        if !reissue {
+            return false;
+        }
+        // Re-issue the decision in force, with fail-safe pins folded in
+        // (the stored decision is updated so the verify loop and any
+        // later full cache hit agree on what was commanded).
+        let last = self
+            .last_decision
+            .as_mut()
+            .expect("reissue implies a stored decision");
+        for (i, fs) in self.failsafe.iter().enumerate() {
+            if fs.pinned {
+                last.freqs[i] = f_min;
+                last.desired[i] = f_min;
+            }
+        }
+        out.freqs.clone_from(&last.freqs);
+        out.desired.clone_from(&last.desired);
+        out.predicted_ipc.clone_from(&last.predicted_ipc);
+        out.powered_on.clear();
+        out.powered_on.resize(ctx.current.len(), true);
+        out.feasible = last.feasible;
+        true
+    }
+
     fn run_schedule(&mut self, ctx: &TickContext<'_>, trigger: Trigger, out: &mut Decision) {
         if self.config.log_triggers {
             self.triggers.push((ctx.now_s, trigger));
@@ -316,9 +464,24 @@ impl FvsstScheduler {
         }
         self.proc_buf.clear();
         for i in 0..n {
+            // The window only ever held validated samples, so a fresh
+            // fit is trustworthy by construction; remember it as the
+            // fallback fingerprint. A processor whose counters have been
+            // quarantined since bootstrap falls back to the last trusted
+            // model. Pinned processors (exhausted actuation retries) are
+            // fed through the idle-pin path: excluded from Pass 1,
+            // assigned the fail-safe minimum.
+            let model = self
+                .predictor
+                .refit(i, ctx.current[i])
+                .or_else(|| self.validator.trusted_model(i));
+            if let Some(m) = model {
+                self.validator.record_trusted(i, m);
+            }
+            let pinned = self.failsafe[i].pinned;
             self.proc_buf.push(ProcInput {
-                model: self.predictor.refit(i, ctx.current[i]),
-                idle: ctx.idle[i],
+                model: if pinned { None } else { model },
+                idle: ctx.idle[i] || pinned,
                 current: ctx.current[i],
             });
         }
@@ -342,6 +505,21 @@ impl FvsstScheduler {
         match &mut self.last_decision {
             Some(prev) => prev.clone_from(d),
             None => self.last_decision = Some(d.clone()),
+        }
+        // Fail-safe pins override whatever the round produced (the
+        // idle-pin path already yields f_min when idle detection is on;
+        // this keeps the pin binding when it is off).
+        if self.failsafe.iter().any(|f| f.pinned) {
+            let f_min = self.config.algorithm.freq_set.min();
+            let last = self.last_decision.as_mut().expect("decision just stored");
+            for (i, fs) in self.failsafe.iter().enumerate() {
+                if fs.pinned {
+                    out.freqs[i] = f_min;
+                    out.desired[i] = f_min;
+                    last.freqs[i] = f_min;
+                    last.desired[i] = f_min;
+                }
+            }
         }
         if telemetry_on {
             // `d`'s borrow of the cache has ended; journal the round from
@@ -407,8 +585,22 @@ impl Policy for FvsstScheduler {
 
     fn decide(&mut self, ctx: &TickContext<'_>, out: &mut Decision) -> bool {
         let n = ctx.samples.len();
+        // Degradation-ladder rung 1: impossible counter samples are
+        // quarantined before they can reach the model-fitting window.
         for (i, s) in ctx.samples.iter().enumerate() {
-            self.predictor.push(i, s);
+            match self.validator.validate(i, s) {
+                SampleVerdict::Trusted => self.predictor.push(i, s),
+                SampleVerdict::Quarantined => {
+                    self.config.telemetry.emit(SchedEvent::SampleQuarantined {
+                        t_s: ctx.now_s,
+                        proc: i as u32,
+                        value: s.observed_ipc(),
+                    });
+                    if let Some(m) = &self.metrics {
+                        m.samples_quarantined.inc();
+                    }
+                }
+            }
         }
         self.ticks_since_schedule += 1;
 
@@ -485,7 +677,9 @@ impl Policy for FvsstScheduler {
             self.run_schedule(ctx, Trigger::Timer, out);
             return true;
         }
-        false
+        // No round fired: verify the standing command actually took
+        // effect (rungs 2–3 of the degradation ladder).
+        self.verify_actuation(ctx, out)
     }
 
     fn overhead(&self) -> OverheadModel {
@@ -540,11 +734,13 @@ mod tests {
         let cfg = SchedulerConfig::p630();
         let mut s = FvsstScheduler::new(1, cfg);
         let model = CpiModel::from_components(1.0, 4.0e-9);
-        let current = [FreqMhz(1000)];
+        // Apply each command like a real host, so actuation verification
+        // sees its decisions honored.
+        let mut current = [FreqMhz(1000)];
         let idle = [false];
         let mut decisions = 0;
         for tick in 0..30u64 {
-            let samples = [sample_for(&model, 4.0e-9 / 393.0e-9, FreqMhz(1000), 0.01)];
+            let samples = [sample_for(&model, 4.0e-9 / 393.0e-9, current[0], 0.01)];
             let c = ctx(
                 tick as f64 * 0.01,
                 tick,
@@ -554,8 +750,9 @@ mod tests {
                 &current,
                 &platform,
             );
-            if s.on_tick(&c).is_some() {
+            if let Some(d) = s.on_tick(&c) {
                 decisions += 1;
+                current = [d.freqs[0]];
             }
         }
         assert_eq!(decisions, 3, "30 ticks / n=10");
@@ -633,11 +830,12 @@ mod tests {
         let platform = PlatformView::p630();
         let mut s = FvsstScheduler::new(1, SchedulerConfig::p630());
         let model = CpiModel::from_components(1.0, 0.0);
-        let current = [FreqMhz(1000)];
+        let mut current = [FreqMhz(1000)];
         let mut decisions = 0u32;
-        // The idle signal flips EVERY tick for 40 ticks.
+        // The idle signal flips EVERY tick for 40 ticks; each command is
+        // applied so actuation verification sees it honored.
         for tick in 0..40u64 {
-            let samples = [sample_for(&model, 0.0, FreqMhz(1000), 0.01)];
+            let samples = [sample_for(&model, 0.0, current[0], 0.01)];
             let idle = [tick % 2 == 0];
             let c = ctx(
                 (tick + 1) as f64 * 0.01,
@@ -648,8 +846,9 @@ mod tests {
                 &current,
                 &platform,
             );
-            if s.on_tick(&c).is_some() {
+            if let Some(d) = s.on_tick(&c) {
                 decisions += 1;
+                current = [d.freqs[0]];
             }
         }
         // Unlimited, this would be ~40 decisions; the 2-tick spacing
@@ -694,5 +893,102 @@ mod tests {
             d.freqs[0]
         );
         assert_eq!(d.desired[0], d.freqs[0], "no budget pressure");
+    }
+
+    /// Quarantine recovery must invalidate the schedule cache: while
+    /// core 0's counters are corrupted it coasts on the last trusted
+    /// fingerprint (stable decisions, cheap rounds), but the first
+    /// post-recovery refit changes the fingerprint and the cache must
+    /// rebuild that processor's pass-1 entry — a stale hit would keep
+    /// scheduling the old workload.
+    #[test]
+    fn quarantine_recovery_invalidates_the_cached_schedule() {
+        let platform = PlatformView::p630();
+        let mut s = FvsstScheduler::new(2, SchedulerConfig::p630());
+        let compute = CpiModel::from_components(1.0, 0.0);
+        // Memory-bound enough that demoting core 0 becomes the cheap
+        // way to meet the budget once its true model is known.
+        let membound = CpiModel::from_components(1.0, 10.0e-9);
+        let mem_rate = 10.0e-9 / 393.0e-9;
+        let budget = 200.0; // forces pass-2 demotion on two cores
+        let idle = [false, false];
+        let mut current = [FreqMhz(1000), FreqMhz(1000)];
+        let mut tick = 0u64;
+        let mut last: Option<Decision> = None;
+        let run = |s: &mut FvsstScheduler,
+                   current: &mut [FreqMhz; 2],
+                   tick: &mut u64,
+                   last: &mut Option<Decision>,
+                   ticks: u64,
+                   sample0: &dyn Fn(FreqMhz) -> fvs_model::CounterDelta| {
+            for _ in 0..ticks {
+                let samples = [
+                    sample0(current[0]),
+                    sample_for(&compute, 0.0, current[1], 0.01),
+                ];
+                let c = ctx(
+                    (*tick + 1) as f64 * 0.01,
+                    *tick,
+                    budget,
+                    &samples,
+                    &idle,
+                    &current[..],
+                    &platform,
+                );
+                if let Some(d) = s.on_tick(&c) {
+                    current[0] = d.freqs[0];
+                    current[1] = d.freqs[1];
+                    *last = Some(d);
+                }
+                *tick += 1;
+            }
+        };
+
+        // Warm-up: both cores compute-bound and symmetric.
+        run(&mut s, &mut current, &mut tick, &mut last, 30, &|f| {
+            sample_for(&compute, 0.0, f, 0.01)
+        });
+        let warm = last.clone().expect("warm-up decided");
+        assert_eq!(warm.freqs[0], warm.freqs[1], "symmetric load");
+        assert_eq!(s.quarantined_samples(), 0);
+
+        // Corruption: core 0's counters go NaN. Every one is
+        // quarantined, the schedule coasts on the trusted fingerprint,
+        // and the rounds stay full cache hits.
+        let hits_before = s.cache_stats().full_hits;
+        run(&mut s, &mut current, &mut tick, &mut last, 20, &|f| {
+            let mut d = sample_for(&compute, 0.0, f, 0.01);
+            d.cycles = f64::NAN;
+            d
+        });
+        assert_eq!(s.quarantined_samples(), 20);
+        let quarantined = last.clone().expect("decision in force");
+        assert_eq!(quarantined.freqs, warm.freqs, "coasts on trusted model");
+        assert!(
+            s.cache_stats().full_hits > hits_before,
+            "quarantined rounds should be full cache hits"
+        );
+
+        // Recovery: core 0 reports healthy counters again — but for a
+        // memory-bound phase. The refit must displace the stale
+        // fingerprint (a pass-1 rebuild, not a hit) and the schedule
+        // must shift: core 0 absorbs the demotion, core 1 climbs.
+        let rebuilds_before = s.cache_stats().proc_rebuilds;
+        run(&mut s, &mut current, &mut tick, &mut last, 20, &|f| {
+            sample_for(&membound, mem_rate, f, 0.01)
+        });
+        assert_eq!(s.quarantined_samples(), 20, "healthy samples trusted");
+        assert!(
+            s.cache_stats().proc_rebuilds > rebuilds_before,
+            "recovery must rebuild the cached pass-1 entry"
+        );
+        let recovered = last.expect("post-recovery decision");
+        assert!(
+            recovered.freqs[0] < recovered.freqs[1],
+            "stale cache: core 0 still scheduled as compute-bound ({} vs {})",
+            recovered.freqs[0],
+            recovered.freqs[1]
+        );
+        assert!(recovered.freqs.iter().all(|f| f.0 > 0));
     }
 }

@@ -3,9 +3,11 @@
 
 use crate::policy::{Decision, PlatformView, Policy, TickContext};
 use crate::scheduler::{FvsstScheduler, SchedulerConfig};
+use fvs_faults::{apply_counter_fault, ActuationFaultKind, FaultInjector};
 use fvs_model::{CounterDelta, CpiModel, FreqMhz};
-use fvs_power::{BudgetSchedule, EnergyMeter, SupplyBank};
+use fvs_power::{BudgetEvent, BudgetSchedule, EnergyMeter, SupplyBank};
 use fvs_sim::{Machine, ResidencyHistogram, TraceRecorder, TraceSample};
+use fvs_telemetry::{FaultDomain, SchedEvent, Telemetry};
 use fvs_workloads::PhaseKind;
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +20,26 @@ enum BudgetSource {
     /// minus the non-processor power draw, and the bank tracks cascade
     /// deadlines against the *actual* total draw.
     Supplies { bank: SupplyBank, non_cpu_w: f64 },
+}
+
+/// How many dispatch ticks late a [`ActuationFaultKind::Delay`]ed
+/// frequency command lands.
+const ACTUATION_DELAY_TICKS: u64 = 2;
+
+/// Fault-injection state for a chaos run: the deterministic injector
+/// plus the scratch needed to corrupt samples and drop / delay
+/// actuations without allocating per tick.
+struct FaultBox {
+    injector: FaultInjector,
+    telemetry: Telemetry,
+    /// Raw (uncorrupted) deltas of the previous tick, so a `Stale`
+    /// fault replays last tick's *true* reading rather than compounding
+    /// an earlier corruption.
+    prev_samples: Vec<CounterDelta>,
+    /// This tick's raw deltas, captured before corruption.
+    raw_scratch: Vec<CounterDelta>,
+    /// Per-core in-flight delayed command: `(apply_at_tick, freq)`.
+    delayed: Vec<Option<(u64, FreqMhz)>>,
 }
 
 /// Outcome summary of a managed run.
@@ -92,6 +114,7 @@ pub struct ScheduledSimulation<P: Policy = FvsstScheduler> {
     transitional_buf: Vec<bool>,
     ground_truth_buf: Vec<CpiModel>,
     decision_buf: Decision,
+    faults: Option<FaultBox>,
 }
 
 impl ScheduledSimulation<FvsstScheduler> {
@@ -144,6 +167,7 @@ impl<P: Policy> ScheduledSimulation<P> {
             transitional_buf: Vec::with_capacity(n),
             ground_truth_buf: Vec::with_capacity(n),
             decision_buf: Decision::default(),
+            faults: None,
         }
     }
 
@@ -153,6 +177,40 @@ impl<P: Policy> ScheduledSimulation<P> {
     pub fn with_supply_bank(mut self, bank: SupplyBank, non_cpu_w: f64) -> Self {
         self.budget = BudgetSource::Supplies { bank, non_cpu_w };
         self
+    }
+
+    /// Attach a fault injector; its events go to `telemetry`.
+    ///
+    /// Counter faults corrupt the sampled deltas before the policy sees
+    /// them; actuation faults drop, halve, or delay frequency commands
+    /// between the policy and the machine. Scripted budget drops in the
+    /// plan are merged into the budget schedule as fractions of its
+    /// initial value (they do not apply when the budget comes from a
+    /// supply bank — there, supply failures model the same thing).
+    pub fn with_faults(mut self, injector: FaultInjector, telemetry: Telemetry) -> Self {
+        let n = self.machine.num_cores();
+        if let BudgetSource::Schedule(schedule) = &mut self.budget {
+            let initial = schedule.initial_w();
+            for drop in &injector.plan().budget_drops {
+                schedule.push_event(BudgetEvent {
+                    at_s: drop.at_s,
+                    budget_w: initial * drop.factor,
+                });
+            }
+        }
+        self.faults = Some(FaultBox {
+            injector,
+            telemetry,
+            prev_samples: vec![CounterDelta::default(); n],
+            raw_scratch: Vec::with_capacity(n),
+            delayed: vec![None; n],
+        });
+        self
+    }
+
+    /// Faults injected so far (0 when no injector is attached).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injector.injected())
     }
 
     /// Disable per-tick trace recording (large sweeps).
@@ -193,6 +251,22 @@ impl<P: Policy> ScheduledSimulation<P> {
     pub fn step_tick(&mut self) {
         let t_s = self.t_s;
         let n = self.machine.num_cores();
+
+        // Delayed actuations land late: apply any command that is due
+        // before the tick runs (it reached the PLL only now).
+        if let Some(fb) = &mut self.faults {
+            for i in 0..n {
+                if let Some((at, f)) = fb.delayed[i] {
+                    if self.tick >= at {
+                        fb.delayed[i] = None;
+                        if self.machine.core(i).requested_frequency() != f {
+                            self.frequency_switches += 1;
+                        }
+                        self.machine.set_frequency(i, f);
+                    }
+                }
+            }
+        }
 
         // Capture ground-truth transitional flags *before* stepping so a
         // window that started in init/exit is flagged.
@@ -246,6 +320,25 @@ impl<P: Policy> ScheduledSimulation<P> {
         // Observe (into reusable buffers: the steady-state tick allocates
         // nothing).
         self.machine.sample_all_into(&mut self.samples_buf);
+        // Corrupt counter samples per the fault plan, keeping the raw
+        // deltas so next tick's `Stale` fault has a true reading to
+        // replay.
+        if let Some(fb) = &mut self.faults {
+            if !fb.injector.is_quiet() {
+                fb.raw_scratch.clone_from(&self.samples_buf);
+                for (i, s) in self.samples_buf.iter_mut().enumerate() {
+                    if let Some(kind) = fb.injector.counter_fault() {
+                        apply_counter_fault(kind, s, &fb.prev_samples[i]);
+                        fb.telemetry.emit(SchedEvent::FaultInjected {
+                            t_s: now,
+                            domain: FaultDomain::Counter,
+                            target: i as u32,
+                        });
+                    }
+                }
+                std::mem::swap(&mut fb.prev_samples, &mut fb.raw_scratch);
+            }
+        }
         self.idle_buf.clear();
         self.current_buf.clear();
         for i in 0..n {
@@ -297,10 +390,48 @@ impl<P: Policy> ScheduledSimulation<P> {
             self.window_transitional.iter_mut().for_each(|f| *f = false);
             self.decisions += 1;
             for (i, f) in self.decision_buf.freqs.iter().enumerate() {
-                if self.machine.core(i).requested_frequency() != *f {
-                    self.frequency_switches += 1;
+                let target = *f;
+                let current = self.machine.core(i).requested_frequency();
+                let mut apply = Some(target);
+                if let Some(fb) = &mut self.faults {
+                    // Only a real transition can misbehave — re-issuing
+                    // the frequency already in force is a no-op at the
+                    // actuator.
+                    if current != target {
+                        if let Some(kind) = fb.injector.actuation_fault() {
+                            fb.telemetry.emit(SchedEvent::FaultInjected {
+                                t_s: now,
+                                domain: FaultDomain::Actuation,
+                                target: i as u32,
+                            });
+                            apply = match kind {
+                                ActuationFaultKind::Drop => None,
+                                ActuationFaultKind::Partial => {
+                                    // The PLL settles halfway; any older
+                                    // in-flight command is superseded by
+                                    // this (partial) register write.
+                                    fb.delayed[i] = None;
+                                    Some(FreqMhz((current.0 + target.0) / 2))
+                                }
+                                ActuationFaultKind::Delay => {
+                                    fb.delayed[i] =
+                                        Some((self.tick + ACTUATION_DELAY_TICKS, target));
+                                    None
+                                }
+                            };
+                        } else {
+                            // A clean write supersedes any in-flight
+                            // delayed command.
+                            fb.delayed[i] = None;
+                        }
+                    }
                 }
-                self.machine.set_frequency(i, *f);
+                if let Some(f) = apply {
+                    if self.machine.core(i).requested_frequency() != f {
+                        self.frequency_switches += 1;
+                    }
+                    self.machine.set_frequency(i, f);
+                }
             }
             for (i, on) in self.decision_buf.powered_on.iter().enumerate() {
                 self.machine.set_powered(i, *on);
@@ -505,6 +636,47 @@ mod tests {
         let mut sim = ScheduledSimulation::new(machine, SchedulerConfig::p630()).without_trace();
         sim.run_for(0.2);
         assert!(sim.trace().is_empty());
+    }
+
+    #[test]
+    fn quiet_injector_is_bit_identical_to_no_injector() {
+        let config = SchedulerConfig::p630();
+        let mut plain = ScheduledSimulation::new(machine_with([100.0, 60.0, 30.0, 10.0]), config);
+        let config = SchedulerConfig::p630();
+        let mut quiet = ScheduledSimulation::new(machine_with([100.0, 60.0, 30.0, 10.0]), config)
+            .with_faults(FaultInjector::disabled(), Telemetry::disabled());
+        let a = plain.run_for(1.0);
+        let b = quiet.run_for(1.0);
+        assert_eq!(a.energy_j, b.energy_j);
+        assert_eq!(a.final_power_w, b.final_power_w);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.frequency_switches, b.frequency_switches);
+        assert_eq!(quiet.faults_injected(), 0);
+    }
+
+    #[test]
+    fn chaos_run_still_honors_the_dropped_budget() {
+        use fvs_faults::FaultPlan;
+        let plan = FaultPlan::parse("counters=0.05, actuation=0.2, drop=0.55@1.0").unwrap();
+        let machine = machine_with([100.0, 100.0, 100.0, 100.0]);
+        let config = SchedulerConfig::p630().with_budget(BudgetSchedule::constant(560.0));
+        let mut sim = ScheduledSimulation::new(machine, config)
+            .with_faults(FaultInjector::new(plan, 42), Telemetry::disabled());
+        let report = sim.run_for(3.0);
+        assert!(sim.faults_injected() > 0, "chaos plan must actually fire");
+        // The scripted supply fault cut the budget to 308 W at t = 1 s;
+        // despite corrupted counters and flaky actuators the run must
+        // end compliant and every reported number must be a number.
+        assert!(
+            report.final_power_w <= 560.0 * 0.55 + 1e-9,
+            "final power {}",
+            report.final_power_w
+        );
+        assert!(report.avg_power_w.is_finite());
+        assert!(report.energy_j.is_finite());
+        for d in &report.completed_at_s {
+            assert!(d.is_none_or(f64::is_finite));
+        }
     }
 
     #[test]

@@ -214,6 +214,49 @@ mod tests {
         assert!(!t.last_compliance().unwrap().within_deadline);
     }
 
+    /// A node dropping out mid-episode makes its *reading* vanish, not
+    /// its power. The caller must feed the tracker the conservative
+    /// estimate (live readings + the dead node's charge) — this pins the
+    /// resulting semantics: the lost reading neither fakes compliance
+    /// nor resets the episode clock, and compliance is judged against
+    /// the conservative sum.
+    #[test]
+    fn mid_episode_node_dropout_does_not_fake_compliance() {
+        let mut t = BudgetDeadlineTracker::new(1.0);
+        // Rack budget 1120 W → 560 W; two 280 W-capable nodes drawing
+        // 450 W each at the drop.
+        t.on_budget_change(1.0, 1120.0, 560.0);
+        t.on_round();
+        assert_eq!(t.on_power_sample(1.01, 900.0), None);
+        // Node 1 goes silent at t=1.2. Its raw reading is gone — naive
+        // accounting would see only the survivor's 450 W and close the
+        // episode under the 560 W budget. The coordinator charges the
+        // dead node its last-known 450 W instead, so the conservative
+        // sum stays at 900 W and the episode stays open.
+        t.on_round();
+        assert_eq!(t.on_power_sample(1.21, 450.0 + 450.0), None);
+        assert!(t.episode_open(), "lost reading must not close the episode");
+        // The survivor is rescheduled down to 100 W; conservative sum
+        // 550 W complies, still inside ΔT — and the episode clock ran
+        // from the drop, not from the dropout.
+        t.on_round();
+        let ev = t.on_power_sample(1.5, 100.0 + 450.0).unwrap();
+        match ev {
+            SchedEvent::BudgetCompliance {
+                rounds,
+                wall_s,
+                within_deadline,
+                ..
+            } => {
+                assert_eq!(rounds, 3);
+                assert!((wall_s - 0.5).abs() < 1e-12, "clock runs from the drop");
+                assert!(within_deadline);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(t.violations(), 0);
+    }
+
     #[test]
     fn budget_raise_cancels_the_episode() {
         let mut t = BudgetDeadlineTracker::new(1.0);

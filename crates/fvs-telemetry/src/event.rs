@@ -30,6 +30,32 @@ impl TriggerKind {
     }
 }
 
+/// Which layer an injected fault targeted (mirror of the fault
+/// taxonomy in fvs-faults, kept dependency-free here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDomain {
+    /// A performance-counter sample was corrupted.
+    Counter,
+    /// A frequency command was dropped, truncated or delayed.
+    Actuation,
+    /// A cluster message or node misbehaved.
+    Cluster,
+    /// The power supply failed (budget drop).
+    Supply,
+}
+
+impl FaultDomain {
+    /// Stable lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultDomain::Counter => "counter",
+            FaultDomain::Actuation => "actuation",
+            FaultDomain::Cluster => "cluster",
+            FaultDomain::Supply => "supply",
+        }
+    }
+}
+
 /// One structured scheduling event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SchedEvent {
@@ -160,6 +186,63 @@ pub enum SchedEvent {
         /// Wall time of the round (ns).
         wall_ns: u64,
     },
+    /// The fault injector fired.
+    FaultInjected {
+        /// When the fault fired (s).
+        t_s: f64,
+        /// Which layer it targeted.
+        domain: FaultDomain,
+        /// Processor or node index it hit.
+        target: u32,
+    },
+    /// The sample validator refused an impossible counter sample.
+    SampleQuarantined {
+        /// When the sample was refused (s).
+        t_s: f64,
+        /// Processor (or, cluster-side, node) whose sample was refused.
+        proc: u32,
+        /// The offending value (observed IPC, or the corrupt summary
+        /// power); non-finite values encode as `null`.
+        value: f64,
+    },
+    /// A commanded frequency did not take effect; the scheduler
+    /// re-issued it.
+    ActuationRetry {
+        /// When the retry fired (s).
+        t_s: f64,
+        /// Processor being retried.
+        proc: u32,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// The frequency that was commanded (MHz).
+        requested_mhz: u32,
+        /// The frequency actually observed (MHz).
+        actual_mhz: u32,
+    },
+    /// A cluster node went silent past the heartbeat timeout; the
+    /// coordinator now charges it conservatively.
+    NodeDeclaredDead {
+        /// When the node was declared dead (s).
+        t_s: f64,
+        /// The silent node.
+        node: u32,
+        /// When it last reported (s); `null` if it never did.
+        last_seen_s: f64,
+        /// Power conservatively charged against the global budget (W).
+        charged_w: f64,
+    },
+    /// Actuation retries were exhausted; the processor is pinned at its
+    /// fail-safe minimum frequency and excluded from Pass 1.
+    FailsafePin {
+        /// When the pin was applied (s).
+        t_s: f64,
+        /// The pinned processor.
+        proc: u32,
+        /// The fail-safe frequency (MHz).
+        pinned_mhz: u32,
+        /// Failed retries that led here.
+        retries: u32,
+    },
 }
 
 /// Write `x` as a JSON number, mapping non-finite values (an unlimited
@@ -187,6 +270,11 @@ impl SchedEvent {
             SchedEvent::FeedbackClamp { .. } => "feedback_clamp",
             SchedEvent::ClusterRound { .. } => "cluster_round",
             SchedEvent::DaemonRound { .. } => "daemon_round",
+            SchedEvent::FaultInjected { .. } => "fault_injected",
+            SchedEvent::SampleQuarantined { .. } => "sample_quarantined",
+            SchedEvent::ActuationRetry { .. } => "actuation_retry",
+            SchedEvent::NodeDeclaredDead { .. } => "node_declared_dead",
+            SchedEvent::FailsafePin { .. } => "failsafe_pin",
         }
     }
 
@@ -335,6 +423,57 @@ impl SchedEvent {
                     ",\"round\":{round},\"procs\":{procs},\"wall_ns\":{wall_ns}"
                 );
             }
+            SchedEvent::FaultInjected {
+                t_s,
+                domain,
+                target,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"t_s\":{t_s},\"domain\":\"{}\",\"target\":{target}",
+                    domain.as_str()
+                );
+            }
+            SchedEvent::SampleQuarantined { t_s, proc, value } => {
+                let _ = write!(buf, ",\"t_s\":{t_s},\"proc\":{proc}");
+                buf.push_str(",\"value\":");
+                jnum(buf, value);
+            }
+            SchedEvent::ActuationRetry {
+                t_s,
+                proc,
+                attempt,
+                requested_mhz,
+                actual_mhz,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"t_s\":{t_s},\"proc\":{proc},\"attempt\":{attempt},\"requested_mhz\":{requested_mhz},\"actual_mhz\":{actual_mhz}"
+                );
+            }
+            SchedEvent::NodeDeclaredDead {
+                t_s,
+                node,
+                last_seen_s,
+                charged_w,
+            } => {
+                let _ = write!(buf, ",\"t_s\":{t_s},\"node\":{node}");
+                buf.push_str(",\"last_seen_s\":");
+                jnum(buf, last_seen_s);
+                buf.push_str(",\"charged_w\":");
+                jnum(buf, charged_w);
+            }
+            SchedEvent::FailsafePin {
+                t_s,
+                proc,
+                pinned_mhz,
+                retries,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"t_s\":{t_s},\"proc\":{proc},\"pinned_mhz\":{pinned_mhz},\"retries\":{retries}"
+                );
+            }
         }
         buf.push('}');
     }
@@ -421,6 +560,35 @@ mod tests {
                 round: 7,
                 procs: 4,
                 wall_ns: 999,
+            },
+            SchedEvent::FaultInjected {
+                t_s: 1.1,
+                domain: FaultDomain::Actuation,
+                target: 2,
+            },
+            SchedEvent::SampleQuarantined {
+                t_s: 1.2,
+                proc: 0,
+                value: f64::NAN,
+            },
+            SchedEvent::ActuationRetry {
+                t_s: 1.3,
+                proc: 2,
+                attempt: 1,
+                requested_mhz: 600,
+                actual_mhz: 1000,
+            },
+            SchedEvent::NodeDeclaredDead {
+                t_s: 1.4,
+                node: 3,
+                last_seen_s: 0.9,
+                charged_w: 412.0,
+            },
+            SchedEvent::FailsafePin {
+                t_s: 1.5,
+                proc: 2,
+                pinned_mhz: 250,
+                retries: 3,
             },
         ]
     }

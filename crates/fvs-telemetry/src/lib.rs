@@ -37,7 +37,7 @@ pub mod sink;
 pub mod timer;
 
 pub use deadline::{BudgetDeadlineTracker, ComplianceRecord};
-pub use event::{SchedEvent, TriggerKind};
+pub use event::{FaultDomain, SchedEvent, TriggerKind};
 pub use metrics::{
     Counter, Gauge, Histogram, MetricSnapshot, MetricValue, MetricsRegistry, ScopedMetrics,
 };

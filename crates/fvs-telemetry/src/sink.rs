@@ -73,6 +73,11 @@ struct SummaryState {
     total_wall_ns: u64,
     last_headroom_w: f64,
     infeasible_rounds: u64,
+    faults_injected: u64,
+    quarantined: u64,
+    actuation_retries: u64,
+    nodes_declared_dead: u64,
+    failsafe_pins: u64,
 }
 
 impl SummaryState {
@@ -99,6 +104,11 @@ impl SummaryState {
             SchedEvent::BudgetCompliance { .. } => self.compliances += 1,
             SchedEvent::BudgetViolation { .. } => self.violations += 1,
             SchedEvent::FeedbackClamp { .. } => self.clamps += 1,
+            SchedEvent::FaultInjected { .. } => self.faults_injected += 1,
+            SchedEvent::SampleQuarantined { .. } => self.quarantined += 1,
+            SchedEvent::ActuationRetry { .. } => self.actuation_retries += 1,
+            SchedEvent::NodeDeclaredDead { .. } => self.nodes_declared_dead += 1,
+            SchedEvent::FailsafePin { .. } => self.failsafe_pins += 1,
             _ => {}
         }
     }
@@ -125,6 +135,19 @@ impl SummaryState {
             self.budget_drops, self.compliances, self.violations, self.last_headroom_w
         );
         let _ = writeln!(s, "  feedback clamps: {}", self.clamps);
+        if self.faults_injected + self.quarantined + self.actuation_retries + self.failsafe_pins > 0
+            || self.nodes_declared_dead > 0
+        {
+            let _ = writeln!(
+                s,
+                "  faults: {} injected, {} quarantined, {} retries, {} failsafe pins, {} dead nodes",
+                self.faults_injected,
+                self.quarantined,
+                self.actuation_retries,
+                self.failsafe_pins,
+                self.nodes_declared_dead
+            );
+        }
         s
     }
 }
