@@ -40,7 +40,7 @@ fn bench_cluster(c: &mut Criterion) {
     for nodes in [4usize, 16] {
         g.bench_function(format!("{nodes}_nodes_1s"), |b| {
             b.iter(|| {
-                let mut sim = ClusterSim::three_tier(nodes, 7, ClusterConfig::default_rack());
+                let mut sim = ClusterSim::three_tier(nodes, 7, ClusterConfig::rack());
                 sim.run_for(1.0)
             })
         });

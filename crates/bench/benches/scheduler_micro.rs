@@ -137,8 +137,8 @@ fn bench_cluster_tick(c: &mut Criterion) {
     for nodes in [8usize, 32, 128] {
         // Budget forces real scheduling work every round (~70 W/core of
         // a 140 W/core unconstrained draw).
-        let mut config = ClusterConfig::default_rack();
-        config.budget = BudgetSchedule::constant(nodes as f64 * 4.0 * 70.0);
+        let config =
+            ClusterConfig::rack().with_budget(BudgetSchedule::constant(nodes as f64 * 4.0 * 70.0));
         let mut sim = ClusterSim::three_tier(nodes, 42, config);
         g.bench_with_input(BenchmarkId::from_parameter(nodes), &(), |b, _| {
             b.iter(|| sim.step_tick())

@@ -36,8 +36,9 @@ pub struct ClusterConfig {
 
 impl ClusterConfig {
     /// Paper-style defaults: t = 10 ms, T = 100 ms, 2 ms one-way latency
-    /// (same-rack TCP), unlimited budget.
-    pub fn default_rack() -> Self {
+    /// (same-rack TCP), unlimited budget. The canonical starting point —
+    /// refine with the `with_*` builders.
+    pub fn rack() -> Self {
         ClusterConfig {
             t_s: 0.010,
             n: 10,
@@ -46,6 +47,46 @@ impl ClusterConfig {
             budget: BudgetSchedule::constant(f64::INFINITY),
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Former name of [`ClusterConfig::rack`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ClusterConfig::rack()` with `with_*` builders"
+    )]
+    pub fn default_rack() -> Self {
+        Self::rack()
+    }
+
+    /// Override the per-node dispatch period `t` (s).
+    pub fn with_t_s(mut self, t_s: f64) -> Self {
+        self.t_s = t_s;
+        self
+    }
+
+    /// Override the scheduling-period multiplier `n` (summaries every
+    /// `n` ticks, so `T = n·t`).
+    pub fn with_n(mut self, n: u32) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Override the one-way node↔coordinator message latency (s).
+    pub fn with_latency_s(mut self, latency_s: f64) -> Self {
+        self.latency_s = latency_s;
+        self
+    }
+
+    /// Swap in a different scheduling algorithm.
+    pub fn with_algorithm(mut self, algorithm: FvsstAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Set the global budget schedule.
+    pub fn with_budget(mut self, budget: BudgetSchedule) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Attach a telemetry handle (journals coordinator rounds and keeps
@@ -473,8 +514,34 @@ mod tests {
     use fvs_workloads::Tier;
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_default_rack_matches_rack() {
+        let old = ClusterConfig::default_rack();
+        let new = ClusterConfig::rack();
+        assert_eq!(old.t_s, new.t_s);
+        assert_eq!(old.n, new.n);
+        assert_eq!(old.latency_s, new.latency_s);
+        assert_eq!(old.budget.initial_w(), new.budget.initial_w());
+    }
+
+    #[test]
+    fn builder_chain_sets_every_field() {
+        let config = ClusterConfig::rack()
+            .with_t_s(0.005)
+            .with_n(20)
+            .with_latency_s(0.05)
+            .with_budget(BudgetSchedule::constant(800.0))
+            .with_telemetry(Telemetry::memory(4));
+        assert_eq!(config.t_s, 0.005);
+        assert_eq!(config.n, 20);
+        assert_eq!(config.latency_s, 0.05);
+        assert_eq!(config.budget.initial_w(), 800.0);
+        assert!(config.telemetry.enabled());
+    }
+
+    #[test]
     fn three_tier_cluster_develops_frequency_diversity() {
-        let mut sim = ClusterSim::three_tier(6, 42, ClusterConfig::default_rack());
+        let mut sim = ClusterSim::three_tier(6, 42, ClusterConfig::rack());
         sim.run_for(2.0);
         let report = sim.report();
         // Db nodes (memory-bound) should sit at lower frequencies than
@@ -509,15 +576,14 @@ mod tests {
 
     #[test]
     fn cluster_meets_global_budget_after_drop() {
-        let mut config = ClusterConfig::default_rack();
         // 6 nodes × 4 cores × 140 W = 3360 W unconstrained.
-        config.budget = BudgetSchedule::with_events(
+        let config = ClusterConfig::rack().with_budget(BudgetSchedule::with_events(
             f64::INFINITY,
             vec![BudgetEvent {
                 at_s: 1.0,
                 budget_w: 1800.0,
             }],
-        );
+        ));
         let mut sim = ClusterSim::three_tier(6, 7, config);
         let report = sim.run_for(3.0);
         assert!(
@@ -533,9 +599,8 @@ mod tests {
 
     #[test]
     fn node_failure_and_rejoin_keep_cluster_compliant() {
-        let mut config = ClusterConfig::default_rack();
         // 4 nodes × 4 cores; budget forces scheduling throughout.
-        config.budget = BudgetSchedule::constant(1200.0);
+        let config = ClusterConfig::rack().with_budget(BudgetSchedule::constant(1200.0));
         let mut sim = ClusterSim::three_tier(4, 21, config).with_node_events(vec![
             NodeEvent {
                 at_s: 1.0,
@@ -576,13 +641,11 @@ mod tests {
     #[test]
     fn offline_node_does_not_execute_work() {
         let mut sim =
-            ClusterSim::three_tier(2, 3, ClusterConfig::default_rack()).with_node_events(vec![
-                NodeEvent {
-                    at_s: 0.5,
-                    node: 1,
-                    online: false,
-                },
-            ]);
+            ClusterSim::three_tier(2, 3, ClusterConfig::rack()).with_node_events(vec![NodeEvent {
+                at_s: 0.5,
+                node: 1,
+                online: false,
+            }]);
         sim.run_for(0.5);
         let before = sim.node(1).machine().core(0).stats().body_instructions;
         sim.run_for(1.0);
@@ -606,9 +669,8 @@ mod tests {
             // 1-core node.
             vec![WorkloadSpec::synthetic(50.0, 1.0e13).looping()],
         ];
-        let mut config = ClusterConfig::default_rack();
         // 11 cores; give them 500 W total — requires real trade-offs.
-        config.budget = BudgetSchedule::constant(500.0);
+        let config = ClusterConfig::rack().with_budget(BudgetSchedule::constant(500.0));
         let mut sim = ClusterSim::heterogeneous(nodes, 5, config);
         let report = sim.run_for(2.0);
         assert!(
@@ -627,9 +689,8 @@ mod tests {
     #[test]
     fn chaos_cluster_holds_the_dropped_budget() {
         use fvs_faults::FaultPlan;
-        let mut config = ClusterConfig::default_rack();
         // 4 nodes × 4 cores; finite budget so the drop fraction bites.
-        config.budget = BudgetSchedule::constant(1600.0);
+        let config = ClusterConfig::rack().with_budget(BudgetSchedule::constant(1600.0));
         let plan =
             FaultPlan::parse("loss=0.1, dup=0.05, late=0.05:0.3, drop=0.6@1.0, node=0@1.2:2.4")
                 .unwrap();
@@ -654,8 +715,7 @@ mod tests {
     #[test]
     fn corrupted_uplink_summaries_never_stall_the_coordinator() {
         use fvs_faults::FaultPlan;
-        let mut config = ClusterConfig::default_rack();
-        config.budget = BudgetSchedule::constant(1200.0);
+        let config = ClusterConfig::rack().with_budget(BudgetSchedule::constant(1200.0));
         let plan = FaultPlan::parse("counters=0.3").unwrap();
         let mut sim = ClusterSim::three_tier(4, 3, config).with_faults(FaultInjector::new(plan, 7));
         let report = sim.run_for(3.0);
@@ -671,19 +731,20 @@ mod tests {
 
     #[test]
     fn message_latency_delays_commands() {
-        let mut slow = ClusterConfig::default_rack();
-        slow.latency_s = 0.2; // pathological WAN latency
-                              // Deep cut well below the unconstrained steady-state draw so both
-                              // clusters must actually demote (response > 0).
-        slow.budget = BudgetSchedule::with_events(
+        // Deep cut well below the unconstrained steady-state draw so both
+        // clusters must actually demote (response > 0); pathological WAN
+        // latency on the slow cluster.
+        let cut = BudgetSchedule::with_events(
             f64::INFINITY,
             vec![BudgetEvent {
                 at_s: 1.0,
                 budget_w: 700.0,
             }],
         );
-        let mut fast = ClusterConfig::default_rack();
-        fast.budget = slow.budget.clone();
+        let slow = ClusterConfig::rack()
+            .with_latency_s(0.2)
+            .with_budget(cut.clone());
+        let fast = ClusterConfig::rack().with_budget(cut);
         let r_slow = ClusterSim::three_tier(6, 7, slow).run_for(3.0);
         let r_fast = ClusterSim::three_tier(6, 7, fast).run_for(3.0);
         assert!(

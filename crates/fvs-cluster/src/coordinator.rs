@@ -6,7 +6,7 @@ use fvs_telemetry::{Counter, Gauge, SchedEvent, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// What a node ships to the coordinator each scheduling period.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeSummary {
     /// Sending node.
     pub node: usize,

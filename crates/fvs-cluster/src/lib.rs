@@ -30,6 +30,9 @@ pub mod message;
 pub mod node;
 
 pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, NodeEvent};
-pub use coordinator::{FrequencyCommand, GlobalCoordinator, NodeSummary};
+pub use coordinator::{
+    FrequencyCommand, GlobalCoordinator, NodeSummary, DEFAULT_HEARTBEAT_TIMEOUT_S,
+    DEFAULT_WORST_CASE_NODE_W,
+};
 pub use message::DelayQueue;
 pub use node::ClusterNode;

@@ -36,8 +36,7 @@ proptest! {
             "counters={counters:.4},loss={loss:.4},dup={dup:.4},late={late:.4}:0.2,\
              drop={drop_factor:.4}@{drop_at:.4},node={victim}@0.2:{up:.4}"
         )).unwrap();
-        let mut config = ClusterConfig::default_rack();
-        config.budget = BudgetSchedule::constant(budget);
+        let config = ClusterConfig::rack().with_budget(BudgetSchedule::constant(budget));
         let mut sim = ClusterSim::three_tier(nodes, seed, config)
             .with_faults(FaultInjector::new(plan, seed));
         let end = drop_at + 1.5;
@@ -105,8 +104,7 @@ proptest! {
         let plan = FaultPlan::parse(&format!(
             "drop={drop_factor:.4}@{drop_at:.4},node={victim}@0.2:{up:.4}"
         )).unwrap();
-        let mut config = ClusterConfig::default_rack();
-        config.budget = BudgetSchedule::constant(budget);
+        let config = ClusterConfig::rack().with_budget(BudgetSchedule::constant(budget));
         let mut sim = ClusterSim::three_tier(nodes, seed, config)
             .with_faults(FaultInjector::new(plan, seed));
         let dropped = budget * drop_factor;

@@ -106,9 +106,8 @@ proptest! {
         budget_frac in 0.2f64..0.9,
         seed in any::<u64>(),
     ) {
-        let mut config = ClusterConfig::default_rack();
         let budget = nodes as f64 * 4.0 * 140.0 * budget_frac;
-        config.budget = BudgetSchedule::constant(budget);
+        let config = ClusterConfig::rack().with_budget(BudgetSchedule::constant(budget));
         let mut sim = ClusterSim::three_tier(nodes, seed, config);
         let report = sim.run_for(2.0);
         prop_assert!(

@@ -150,7 +150,10 @@ fn main() -> ExitCode {
             let timer = RoundTimer::start();
             let outcome = match &json_dir {
                 Some(dir) => match fvs_harness::export::run_and_write_json(t, &settings, dir) {
-                    Ok(rendered) => rendered,
+                    Ok(rendered) => Some(rendered),
+                    // An unknown id is a validation error; everything
+                    // else (serialization, filesystem) is a JSON failure.
+                    Err(e) if e.category() == "validation" => None,
                     Err(e) => return Outcome::JsonError(e.to_string()),
                 },
                 None => run_by_name(t, &settings),

@@ -323,8 +323,7 @@ fn run_period(settings: &RunSettings, dur: f64) -> Vec<(u32, u64, u64, f64, f64)
         .iter()
         .map(|&n| {
             let machine = diverse_machine(settings);
-            let mut config = SchedulerConfig::p630().with_budget(drop_budget());
-            config.n = n;
+            let config = SchedulerConfig::p630().with_budget(drop_budget()).with_n(n);
             let mut sim = ScheduledSimulation::new(machine, config).without_trace();
             let report = sim.run_for(dur);
             (

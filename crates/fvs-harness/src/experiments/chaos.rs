@@ -107,9 +107,10 @@ fn run_machine(plan: &FaultPlan, settings: &RunSettings, telemetry: Telemetry) -
 }
 
 fn run_cluster(plan: &FaultPlan, settings: &RunSettings, telemetry: Telemetry) -> ChaosCell {
-    let mut config = ClusterConfig::default_rack().with_telemetry(telemetry);
     // 4 nodes × 4 cores; finite so the plan's drop fraction bites.
-    config.budget = BudgetSchedule::constant(1600.0);
+    let config = ClusterConfig::rack()
+        .with_telemetry(telemetry)
+        .with_budget(BudgetSchedule::constant(1600.0));
     let mut sim = ClusterSim::three_tier(4, settings.seed, config).with_faults(FaultInjector::new(
         plan.clone(),
         settings.seed.wrapping_add(1),

@@ -58,20 +58,21 @@ fn run_one(nodes: usize, latency_s: f64, settings: &RunSettings) -> ScaleCell {
     let unconstrained_w = nodes as f64 * 4.0 * 140.0;
     // Cut to 40% of flat-out — deep enough that every tier participates.
     let cut_w = unconstrained_w * 0.4;
-    let mut config = ClusterConfig::default_rack();
-    config.latency_s = latency_s;
+    let mut config =
+        ClusterConfig::rack()
+            .with_latency_s(latency_s)
+            .with_budget(BudgetSchedule::with_events(
+                f64::INFINITY,
+                vec![BudgetEvent {
+                    at_s: 1.5,
+                    budget_w: cut_w,
+                }],
+            ));
     // Trace one representative cell; every cell writing to the same
     // JSONL file would interleave the parallel runs.
     if nodes == SIZES[0] && latency_s == LATENCIES[0] {
-        config.telemetry = settings.telemetry_for("cluster");
+        config = config.with_telemetry(settings.telemetry_for("cluster"));
     }
-    config.budget = BudgetSchedule::with_events(
-        f64::INFINITY,
-        vec![BudgetEvent {
-            at_s: 1.5,
-            budget_w: cut_w,
-        }],
-    );
     let dur = if settings.fast { 3.0 } else { 6.0 };
     let mut sim = ClusterSim::three_tier(nodes, settings.seed ^ nodes as u64, config);
     let report = sim.run_for(dur);

@@ -15,11 +15,12 @@ use crate::experiments::{
     predictors, table1, table2, table3,
 };
 use crate::runs::RunSettings;
+use fvs_net::FvsError;
 use serde::Serialize;
-use std::io;
 use std::path::Path;
 
 /// A rendered report plus its JSON form.
+#[derive(Debug)]
 pub struct ExportedResult {
     /// Human-readable report (same as the non-JSON path prints).
     pub rendered: String,
@@ -27,20 +28,19 @@ pub struct ExportedResult {
     pub json: String,
 }
 
-fn pack<T: Serialize>(rendered: String, value: &T) -> serde_json::Result<ExportedResult> {
+fn pack<T: Serialize>(rendered: String, value: &T) -> Result<ExportedResult, FvsError> {
     Ok(ExportedResult {
         rendered,
         json: serde_json::to_string_pretty(value)?,
     })
 }
 
-/// Run one experiment by id, returning both renderings. `None` for an
-/// unknown id.
-pub fn run_exported(
-    name: &str,
-    settings: &RunSettings,
-) -> Option<serde_json::Result<ExportedResult>> {
-    Some(match name {
+/// Run one experiment by id, returning both renderings.
+///
+/// An unknown id is a [`FvsError::Validation`]; a serialization failure
+/// surfaces as [`FvsError::Wire`].
+pub fn run_exported(name: &str, settings: &RunSettings) -> Result<ExportedResult, FvsError> {
+    match name {
         "table1" => {
             let r = table1::run();
             pack(r.render(), &r)
@@ -105,24 +105,21 @@ pub fn run_exported(
             let r = chaos::run(settings);
             pack(r.render(), &r)
         }
-        _ => return None,
-    })
+        _ => Err(FvsError::validation(format!("unknown experiment '{name}'"))),
+    }
 }
 
 /// Run an experiment and write `<dir>/<name>.json`; returns the rendered
-/// text for stdout.
+/// text for stdout. Filesystem failures surface as [`FvsError::Io`].
 pub fn run_and_write_json(
     name: &str,
     settings: &RunSettings,
     dir: &Path,
-) -> io::Result<Option<String>> {
-    let Some(result) = run_exported(name, settings) else {
-        return Ok(None);
-    };
-    let result = result.map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+) -> Result<String, FvsError> {
+    let result = run_exported(name, settings)?;
     std::fs::create_dir_all(dir)?;
     std::fs::write(dir.join(format!("{name}.json")), &result.json)?;
-    Ok(Some(result.rendered))
+    Ok(result.rendered)
 }
 
 #[cfg(test)]
@@ -135,23 +132,21 @@ mod tests {
         // Keep the cheap ones in the unit test; the expensive ones are
         // covered by their own experiment tests and the integration run.
         for name in ["table1", "example5"] {
-            let r = run_exported(name, &settings)
-                .expect("known id")
-                .expect("serializes");
+            let r = run_exported(name, &settings).expect("known id serializes");
             let parsed: serde_json::Value = serde_json::from_str(&r.json).unwrap();
             assert!(parsed.is_object() || parsed.is_array());
             assert!(!r.rendered.is_empty());
         }
-        assert!(run_exported("nope", &settings).is_none());
+        let err = run_exported("nope", &settings).unwrap_err();
+        assert_eq!(err.category(), "validation");
+        assert!(err.to_string().contains("nope"));
     }
 
     #[test]
     fn json_files_land_on_disk() {
         let dir = std::env::temp_dir().join("fvsst-export-test");
         let _ = std::fs::remove_dir_all(&dir);
-        let rendered = run_and_write_json("table1", &RunSettings::fast(), &dir)
-            .unwrap()
-            .expect("known id");
+        let rendered = run_and_write_json("table1", &RunSettings::fast(), &dir).unwrap();
         assert!(rendered.contains("Table 1"));
         let json = std::fs::read_to_string(dir.join("table1.json")).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();

@@ -1,0 +1,363 @@
+//! The node agent: one machine's measurement daemon on a socket.
+//!
+//! A [`NodeAgent`] runs a [`ClusterNode`] (machine + local predictor —
+//! the same per-core sampling path the multi-threaded daemon's
+//! collectors feed) on its own thread: tick the machine, close the
+//! measurement window every `summary_every` ticks, ship the
+//! [`NodeSummary`] upstream, and apply whatever frequency ceilings come
+//! back. When the link drops the agent reconnects with the exponential
+//! backoff discipline of the degradation ladder — base, 2×, 4×, … up to
+//! a ceiling, reset on the first successful handshake — while the
+//! machine keeps running at its last-commanded frequencies (exactly the
+//! mute-but-running scenario the coordinator's conservative charging
+//! defends against).
+
+use crate::error::FvsError;
+use crate::wire::{encode, FrameReader, WireMsg, SCHEMA_VERSION};
+use fvs_cluster::ClusterNode;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of one node agent.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Simulated seconds each machine tick advances.
+    pub tick_s: f64,
+    /// Ticks per summary (the paper's `n`: window per report).
+    pub summary_every: u32,
+    /// Wall-clock pacing per tick (zero = free-running).
+    pub pace: Duration,
+    /// First reconnect delay of the backoff ladder.
+    pub backoff_base: Duration,
+    /// Ceiling of the backoff ladder.
+    pub backoff_max: Duration,
+    /// Schema version to announce (tests speak wrong versions on
+    /// purpose; everything real uses [`SCHEMA_VERSION`]).
+    pub version: u32,
+}
+
+impl AgentConfig {
+    /// Paper-flavoured defaults: 10 ms ticks, summary every 10 ticks,
+    /// 2 ms pacing, 50 ms → 800 ms backoff ladder.
+    pub fn default_lan() -> Self {
+        AgentConfig {
+            tick_s: 0.01,
+            summary_every: 10,
+            pace: Duration::from_millis(2),
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_millis(800),
+            version: SCHEMA_VERSION,
+        }
+    }
+
+    /// Override the simulated tick length.
+    pub fn with_tick_s(mut self, tick_s: f64) -> Self {
+        self.tick_s = tick_s;
+        self
+    }
+
+    /// Override the ticks-per-summary window.
+    pub fn with_summary_every(mut self, ticks: u32) -> Self {
+        self.summary_every = ticks.max(1);
+        self
+    }
+
+    /// Override the wall-clock pacing.
+    pub fn with_pace(mut self, pace: Duration) -> Self {
+        self.pace = pace;
+        self
+    }
+
+    /// Override the backoff ladder.
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_max = max;
+        self
+    }
+
+    /// Announce a different schema version (version-negotiation tests).
+    pub fn with_version(mut self, version: u32) -> Self {
+        self.version = version;
+        self
+    }
+
+    fn validate(&self) -> Result<(), FvsError> {
+        if !(self.tick_s.is_finite() && self.tick_s > 0.0) {
+            return Err(FvsError::config("tick_s must be finite and positive"));
+        }
+        if self.summary_every == 0 {
+            return Err(FvsError::config("summary_every must be at least 1"));
+        }
+        if self.backoff_base > self.backoff_max {
+            return Err(FvsError::config("backoff_base exceeds backoff_max"));
+        }
+        Ok(())
+    }
+}
+
+/// What the agent thread hands back when it exits.
+#[derive(Debug, Clone)]
+pub struct AgentReport {
+    /// The node this agent drove.
+    pub node: usize,
+    /// Summaries shipped upstream.
+    pub summaries_sent: u64,
+    /// Ceiling commands applied to the machine.
+    pub ceilings_applied: u64,
+    /// Times the connection was (re-)established after the first.
+    pub reconnects: u64,
+    /// The coordinator refused our schema version.
+    pub version_rejected: bool,
+    /// Node power when the agent stopped (W).
+    pub final_power_w: f64,
+}
+
+struct Flags {
+    /// Orderly shutdown: send `Bye`, then exit.
+    stop: AtomicBool,
+    /// Crash simulation: drop everything on the floor and exit.
+    kill: AtomicBool,
+}
+
+/// Handle to a running agent thread.
+pub struct NodeAgentHandle {
+    flags: Arc<Flags>,
+    thread: JoinHandle<AgentReport>,
+}
+
+impl NodeAgentHandle {
+    /// Whether the agent thread has already exited on its own (version
+    /// refusal is the one self-terminating path).
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Orderly shutdown: the agent says `Bye` and returns its report.
+    pub fn stop(self) -> AgentReport {
+        self.flags.stop.store(true, Ordering::SeqCst);
+        self.thread.join().expect("agent thread panicked")
+    }
+
+    /// Crash the agent: the socket just goes dead, no goodbye — from
+    /// the coordinator's side this is indistinguishable from a node
+    /// failure, which is the point.
+    pub fn kill(self) -> AgentReport {
+        self.flags.kill.store(true, Ordering::SeqCst);
+        self.thread.join().expect("agent thread panicked")
+    }
+}
+
+/// Spawns and owns one node-agent thread.
+pub struct NodeAgent;
+
+impl NodeAgent {
+    /// Start an agent driving `node` against the coordinator at `addr`.
+    pub fn spawn(
+        node: ClusterNode,
+        addr: impl Into<String>,
+        config: AgentConfig,
+    ) -> Result<NodeAgentHandle, FvsError> {
+        config.validate()?;
+        let addr = addr.into();
+        let flags = Arc::new(Flags {
+            stop: AtomicBool::new(false),
+            kill: AtomicBool::new(false),
+        });
+        let thread_flags = Arc::clone(&flags);
+        let thread = std::thread::spawn(move || agent_loop(node, &addr, config, thread_flags));
+        Ok(NodeAgentHandle { flags, thread })
+    }
+}
+
+/// Sleep `total` in small slices so stop/kill stay responsive.
+fn interruptible_sleep(total: Duration, flags: &Flags) {
+    let slice = Duration::from_millis(5);
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline {
+        if flags.stop.load(Ordering::SeqCst) || flags.kill.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(slice.min(deadline.saturating_duration_since(Instant::now())));
+    }
+}
+
+enum Handshake {
+    Accepted,
+    Refused,
+    Dead,
+}
+
+/// Send `Hello`, wait briefly for the coordinator's verdict.
+fn handshake(stream: &mut TcpStream, node: usize, procs: usize, version: u32) -> Handshake {
+    let hello = WireMsg::Hello {
+        node,
+        procs,
+        version,
+    };
+    let Ok(frame) = encode(&hello) else {
+        return Handshake::Dead;
+    };
+    if stream.write_all(&frame).is_err() {
+        return Handshake::Dead;
+    }
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 1024];
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline {
+        match stream.read(&mut buf) {
+            Ok(0) => return Handshake::Dead,
+            Ok(n) => {
+                reader.feed(&buf[..n]);
+                match reader.next_frame() {
+                    Ok(Some(WireMsg::HelloAck { accepted: true, .. })) => {
+                        return Handshake::Accepted
+                    }
+                    Ok(Some(WireMsg::HelloAck {
+                        accepted: false, ..
+                    })) => return Handshake::Refused,
+                    Ok(Some(_)) | Ok(None) => continue,
+                    Err(_) => return Handshake::Dead,
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return Handshake::Dead,
+        }
+    }
+    Handshake::Dead
+}
+
+fn agent_loop(
+    mut node: ClusterNode,
+    addr: &str,
+    config: AgentConfig,
+    flags: Arc<Flags>,
+) -> AgentReport {
+    let node_id = node.id;
+    let procs = node.machine().num_cores();
+    let mut report = AgentReport {
+        node: node_id,
+        summaries_sent: 0,
+        ceilings_applied: 0,
+        reconnects: 0,
+        version_rejected: false,
+        final_power_w: 0.0,
+    };
+    let mut backoff = config.backoff_base;
+    let mut ever_connected = false;
+
+    'outer: loop {
+        if flags.stop.load(Ordering::SeqCst) || flags.kill.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(_) => {
+                // The reconnect ladder: base, 2×, 4×, … up to the cap.
+                interruptible_sleep(backoff, &flags);
+                backoff = (backoff * 2).min(config.backoff_max);
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
+        match handshake(&mut stream, node_id, procs, config.version) {
+            Handshake::Accepted => {}
+            Handshake::Refused => {
+                // A version refusal is permanent: retrying with the
+                // same schema can never succeed, so don't storm.
+                report.version_rejected = true;
+                break 'outer;
+            }
+            Handshake::Dead => {
+                interruptible_sleep(backoff, &flags);
+                backoff = (backoff * 2).min(config.backoff_max);
+                continue;
+            }
+        }
+        if ever_connected {
+            report.reconnects += 1;
+        }
+        ever_connected = true;
+        backoff = config.backoff_base;
+
+        let mut reader = FrameReader::new();
+        let mut buf = [0u8; 4096];
+        let mut ticks = 0u32;
+        loop {
+            if flags.kill.load(Ordering::SeqCst) {
+                // Crash: no Bye, the socket just stops.
+                break 'outer;
+            }
+            if flags.stop.load(Ordering::SeqCst) {
+                if let Ok(frame) = encode(&WireMsg::Bye { node: node_id }) {
+                    let _ = stream.write_all(&frame);
+                }
+                break 'outer;
+            }
+
+            node.tick(config.tick_s);
+            ticks += 1;
+            if ticks.is_multiple_of(config.summary_every) {
+                let summary = node.summarize();
+                let Ok(frame) = encode(&WireMsg::Summary(summary)) else {
+                    continue;
+                };
+                if stream.write_all(&frame).is_err() {
+                    // Link dropped mid-summary: climb the ladder.
+                    break;
+                }
+                report.summaries_sent += 1;
+            }
+
+            // Drain whatever ceilings arrived; the 1 ms read timeout
+            // doubles as pacing slack.
+            let mut link_dead = false;
+            match stream.read(&mut buf) {
+                Ok(0) => link_dead = true, // coordinator went away
+                Ok(n) => {
+                    reader.feed(&buf[..n]);
+                    loop {
+                        match reader.next_frame() {
+                            Ok(Some(WireMsg::Ceiling(cmd))) => {
+                                if cmd.node == node_id {
+                                    node.apply(&cmd.freqs);
+                                    report.ceilings_applied += 1;
+                                }
+                            }
+                            Ok(Some(_)) => {}
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Desynchronised downlink: reconnect.
+                                link_dead = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => link_dead = true,
+            }
+            if link_dead {
+                break;
+            }
+
+            if !config.pace.is_zero() {
+                std::thread::sleep(config.pace);
+            }
+        }
+    }
+
+    report.final_power_w = node.power_w();
+    report
+}

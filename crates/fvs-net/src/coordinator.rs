@@ -1,0 +1,572 @@
+//! The coordinator's TCP front end.
+//!
+//! A [`CoordinatorServer`] owns the real [`GlobalCoordinator`] and
+//! exposes it over sockets: an accept thread admits agents, one reader
+//! thread per connection decodes uplink frames, and a scheduler thread
+//! runs the global computation on a wall-clock period, pushing
+//! [`FrequencyCommand`]s down whichever connections are still alive.
+//! Heartbeat tracking, silent-node charging and blind f_min commands all
+//! operate on *genuine* socket liveness: a node is whatever its last
+//! frame says it is, and a dead socket simply stops producing frames.
+//!
+//! Timestamps are coordinator-local. Incoming summaries are re-stamped
+//! with their *arrival* time on the server's monotonic clock, so agent
+//! clock skew cannot fake liveness (an agent cannot claim "I reported
+//! in your future") and the heartbeat timeout measures exactly what the
+//! paper's ΔT argument needs: how long since the coordinator last heard
+//! from the node.
+
+use crate::error::FvsError;
+use crate::wire::{encode, FrameReader, WireMsg, SCHEMA_VERSION};
+use fvs_cluster::{FrequencyCommand, GlobalCoordinator};
+use fvs_sched::FvsstAlgorithm;
+use fvs_telemetry::{BudgetDeadlineTracker, ComplianceRecord, Counter, Gauge, Telemetry};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything the server needs beyond the algorithm itself.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Wall-clock scheduling period (s).
+    pub period_s: f64,
+    /// A node silent for longer is declared dead and charged.
+    pub heartbeat_timeout_s: f64,
+    /// Conservative charge for a node that has never reported (W).
+    pub worst_case_node_w: f64,
+    /// The paper's ΔT: budget drops must be honoured within this (s).
+    pub deadline_s: f64,
+    /// Budget in force at startup (W).
+    pub initial_budget_w: f64,
+    /// Where events and `net.*` metrics go.
+    pub telemetry: Telemetry,
+}
+
+impl CoordinatorConfig {
+    /// Paper-flavoured defaults: 100 ms global period, 0.5 s heartbeat
+    /// timeout, one worst-case p630 node, ΔT = 1 s, unlimited budget.
+    pub fn default_lan() -> Self {
+        CoordinatorConfig {
+            period_s: 0.1,
+            heartbeat_timeout_s: fvs_cluster::DEFAULT_HEARTBEAT_TIMEOUT_S,
+            worst_case_node_w: fvs_cluster::DEFAULT_WORST_CASE_NODE_W,
+            deadline_s: 1.0,
+            initial_budget_w: f64::INFINITY,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Override the scheduling period.
+    pub fn with_period_s(mut self, period_s: f64) -> Self {
+        self.period_s = period_s;
+        self
+    }
+
+    /// Override the heartbeat timeout.
+    pub fn with_heartbeat_timeout_s(mut self, timeout_s: f64) -> Self {
+        self.heartbeat_timeout_s = timeout_s;
+        self
+    }
+
+    /// Override the worst-case charge for never-reported nodes.
+    pub fn with_worst_case_node_w(mut self, watts: f64) -> Self {
+        self.worst_case_node_w = watts;
+        self
+    }
+
+    /// Override the compliance deadline ΔT.
+    pub fn with_deadline_s(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = deadline_s;
+        self
+    }
+
+    /// Override the startup budget.
+    pub fn with_initial_budget_w(mut self, watts: f64) -> Self {
+        self.initial_budget_w = watts;
+        self
+    }
+
+    /// Attach a telemetry pipeline.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    fn validate(&self) -> Result<(), FvsError> {
+        if !(self.period_s.is_finite() && self.period_s > 0.0) {
+            return Err(FvsError::config("period_s must be finite and positive"));
+        }
+        if !(self.heartbeat_timeout_s.is_finite() && self.heartbeat_timeout_s > 0.0) {
+            return Err(FvsError::config(
+                "heartbeat_timeout_s must be finite and positive",
+            ));
+        }
+        if !(self.deadline_s.is_finite() && self.deadline_s > 0.0) {
+            return Err(FvsError::config("deadline_s must be finite and positive"));
+        }
+        Ok(())
+    }
+}
+
+/// A point-in-time view of the control plane, for operators and tests.
+#[derive(Debug, Clone, Default)]
+pub struct CoordinatorStatus {
+    /// Global scheduling rounds run.
+    pub rounds: u64,
+    /// Nodes that have reported at least once.
+    pub nodes_reporting: usize,
+    /// Nodes currently presumed dead.
+    pub dead_nodes: usize,
+    /// Power reserved for silent nodes last round (W).
+    pub reserved_w: f64,
+    /// Conservative cluster power: live reports + reserved (W).
+    pub conservative_power_w: f64,
+    /// Budget in force (W).
+    pub budget_w: f64,
+    /// Sockets currently connected.
+    pub connections: usize,
+    /// Compliance episodes closed so far.
+    pub compliances: u64,
+    /// Deadline violations so far.
+    pub violations: u64,
+    /// The most recently closed compliance episode.
+    pub last_compliance: Option<ComplianceRecord>,
+}
+
+enum Uplink {
+    Frame(usize, WireMsg),
+}
+
+struct NetMetrics {
+    frames_rx: Arc<Counter>,
+    frames_tx: Arc<Counter>,
+    bytes_rx: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+    connects: Arc<Counter>,
+    disconnects: Arc<Counter>,
+    version_rejects: Arc<Counter>,
+    connections: Arc<Gauge>,
+}
+
+impl NetMetrics {
+    fn from(telemetry: &Telemetry) -> Option<Self> {
+        telemetry.registry().map(|r| {
+            let scope = r.scoped("net");
+            NetMetrics {
+                frames_rx: scope.counter("frames_rx"),
+                frames_tx: scope.counter("frames_tx"),
+                bytes_rx: scope.counter("bytes_rx"),
+                decode_errors: scope.counter("decode_errors"),
+                connects: scope.counter("connects"),
+                disconnects: scope.counter("disconnects"),
+                version_rejects: scope.counter("version_rejects"),
+                connections: scope.gauge("connections"),
+            }
+        })
+    }
+}
+
+struct Shared {
+    stop: AtomicBool,
+    /// Budget as f64 bits, plus a change epoch so the scheduler thread
+    /// reacts on its next slice instead of waiting out the period.
+    budget_bits: AtomicU64,
+    budget_epoch: AtomicU64,
+    status: Mutex<CoordinatorStatus>,
+    /// Downlink sockets by node id (write half; `try_clone` of the
+    /// reader's stream). Poisoning is impossible: writers only send.
+    writers: Mutex<HashMap<usize, TcpStream>>,
+}
+
+/// The running coordinator server.
+pub struct CoordinatorServer {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    sched_thread: Option<JoinHandle<()>>,
+    telemetry: Telemetry,
+}
+
+impl CoordinatorServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving a cluster
+    /// of `nodes` nodes.
+    pub fn bind(
+        addr: &str,
+        nodes: usize,
+        algorithm: FvsstAlgorithm,
+        config: CoordinatorConfig,
+    ) -> Result<Self, FvsError> {
+        config.validate()?;
+        if nodes == 0 {
+            return Err(FvsError::config("a cluster needs at least one node"));
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let telemetry = config.telemetry.clone();
+        let metrics = Arc::new(NetMetrics::from(&telemetry));
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            budget_bits: AtomicU64::new(config.initial_budget_w.to_bits()),
+            budget_epoch: AtomicU64::new(0),
+            status: Mutex::new(CoordinatorStatus {
+                budget_w: config.initial_budget_w,
+                ..CoordinatorStatus::default()
+            }),
+            writers: Mutex::new(HashMap::new()),
+        });
+        let start = Instant::now();
+        let (uplink_tx, uplink_rx) = crossbeam::channel::unbounded::<Uplink>();
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let metrics = Arc::clone(&metrics);
+            let uplink_tx = uplink_tx.clone();
+            std::thread::spawn(move || {
+                accept_loop(listener, shared, metrics, uplink_tx, start);
+            })
+        };
+
+        let sched_thread = {
+            let shared = Arc::clone(&shared);
+            let metrics = Arc::clone(&metrics);
+            let coordinator =
+                GlobalCoordinator::with_telemetry(algorithm, nodes, telemetry.clone())
+                    .with_heartbeat_timeout(config.heartbeat_timeout_s)
+                    .with_worst_case_node_w(config.worst_case_node_w);
+            let tracker = BudgetDeadlineTracker::new(config.deadline_s);
+            let telemetry = telemetry.clone();
+            let period_s = config.period_s;
+            let heartbeat_timeout_s = config.heartbeat_timeout_s;
+            std::thread::spawn(move || {
+                scheduler_loop(
+                    coordinator,
+                    tracker,
+                    shared,
+                    metrics,
+                    uplink_rx,
+                    telemetry,
+                    period_s,
+                    heartbeat_timeout_s,
+                    nodes,
+                    start,
+                );
+            })
+        };
+
+        Ok(CoordinatorServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            sched_thread: Some(sched_thread),
+            telemetry,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Change the global budget; the scheduler reacts on its next slice
+    /// (a few milliseconds), not its next period.
+    pub fn set_budget(&self, watts: f64) {
+        self.shared
+            .budget_bits
+            .store(watts.to_bits(), Ordering::SeqCst);
+        self.shared.budget_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A snapshot of the control plane right now.
+    pub fn status(&self) -> CoordinatorStatus {
+        self.shared.status.lock().expect("status poisoned").clone()
+    }
+
+    /// Stop the threads, flush telemetry, and return the final status.
+    pub fn shutdown(mut self) -> Result<CoordinatorStatus, FvsError> {
+        self.stop_and_join();
+        self.telemetry.flush()?;
+        Ok(self.status())
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.sched_thread.take() {
+            let _ = t.join();
+        }
+        // Closing the write halves unblocks any agent mid-read.
+        self.shared
+            .writers
+            .lock()
+            .expect("writers poisoned")
+            .clear();
+    }
+}
+
+impl Drop for CoordinatorServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+        let _ = self.telemetry.flush();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    metrics: Arc<Option<NetMetrics>>,
+    uplink_tx: crossbeam::channel::Sender<Uplink>,
+    start: Instant,
+) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                let metrics = Arc::clone(&metrics);
+                let uplink_tx = uplink_tx.clone();
+                readers.push(std::thread::spawn(move || {
+                    reader_loop(stream, shared, metrics, uplink_tx, start);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    for t in readers {
+        let _ = t.join();
+    }
+}
+
+/// One connection's uplink: handshake, then summaries until the socket
+/// dies. The first frame must be a `Hello` carrying an exact schema
+/// version match, otherwise the connection is refused with a negative
+/// `HelloAck` — explicit version negotiation instead of mis-parsing.
+fn reader_loop(
+    mut stream: TcpStream,
+    shared: Arc<Shared>,
+    metrics: Arc<Option<NetMetrics>>,
+    uplink_tx: crossbeam::channel::Sender<Uplink>,
+    start: Instant,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 4096];
+    let mut node_id: Option<usize> = None;
+    if let Some(m) = metrics.as_ref() {
+        m.connects.inc();
+    }
+
+    'conn: while !shared.stop.load(Ordering::SeqCst) {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if let Some(m) = metrics.as_ref() {
+                    m.bytes_rx.add(n as u64);
+                }
+                reader.feed(&buf[..n]);
+                loop {
+                    match reader.next_frame() {
+                        Ok(None) => break,
+                        Ok(Some(msg)) => {
+                            if let Some(m) = metrics.as_ref() {
+                                m.frames_rx.inc();
+                            }
+                            match msg {
+                                WireMsg::Hello { node, version, .. } => {
+                                    let accepted = version == SCHEMA_VERSION;
+                                    let ack = WireMsg::HelloAck {
+                                        accepted,
+                                        version: SCHEMA_VERSION,
+                                    };
+                                    if let Ok(frame) = encode(&ack) {
+                                        let _ = stream.write_all(&frame);
+                                    }
+                                    if !accepted {
+                                        if let Some(m) = metrics.as_ref() {
+                                            m.version_rejects.inc();
+                                        }
+                                        break 'conn;
+                                    }
+                                    node_id = Some(node);
+                                    if let Ok(down) = stream.try_clone() {
+                                        shared
+                                            .writers
+                                            .lock()
+                                            .expect("writers poisoned")
+                                            .insert(node, down);
+                                    }
+                                }
+                                WireMsg::Summary(mut summary) => {
+                                    // Re-stamp with arrival time on the
+                                    // coordinator's clock: liveness is
+                                    // what *we* observed, not what the
+                                    // agent claims.
+                                    summary.sent_at_s = start.elapsed().as_secs_f64();
+                                    let node = summary.node;
+                                    let _ = uplink_tx
+                                        .send(Uplink::Frame(node, WireMsg::Summary(summary)));
+                                }
+                                WireMsg::Bye { node } => {
+                                    let _ =
+                                        uplink_tx.send(Uplink::Frame(node, WireMsg::Bye { node }));
+                                    break 'conn;
+                                }
+                                // Agents never send these; ignore.
+                                WireMsg::HelloAck { .. } | WireMsg::Ceiling(_) => {}
+                            }
+                        }
+                        Err(_) => {
+                            // A desynchronised stream cannot be trusted;
+                            // drop it and let the agent reconnect.
+                            if let Some(m) = metrics.as_ref() {
+                                m.decode_errors.inc();
+                            }
+                            break 'conn;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+
+    if let Some(m) = metrics.as_ref() {
+        m.disconnects.inc();
+    }
+    if let Some(node) = node_id {
+        shared
+            .writers
+            .lock()
+            .expect("writers poisoned")
+            .remove(&node);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scheduler_loop(
+    mut coordinator: GlobalCoordinator,
+    mut tracker: BudgetDeadlineTracker,
+    shared: Arc<Shared>,
+    metrics: Arc<Option<NetMetrics>>,
+    uplink_rx: crossbeam::channel::Receiver<Uplink>,
+    telemetry: Telemetry,
+    period_s: f64,
+    heartbeat_timeout_s: f64,
+    nodes: usize,
+    start: Instant,
+) {
+    let mut last_round = Instant::now();
+    let mut seen_epoch = 0u64;
+    let mut prev_budget = f64::from_bits(shared.budget_bits.load(Ordering::SeqCst));
+    // Last power each node reported, and when (coordinator clock) — the
+    // live half of the conservative power sum.
+    let mut last_power = vec![0.0f64; nodes];
+    let mut last_seen = vec![f64::NEG_INFINITY; nodes];
+
+    loop {
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        // Drain the uplink; ingest re-stamped summaries immediately.
+        for ev in uplink_rx.try_iter() {
+            match ev {
+                Uplink::Frame(node, WireMsg::Summary(summary)) => {
+                    if node < nodes {
+                        last_power[node] = summary.power_w;
+                        last_seen[node] = summary.sent_at_s;
+                    }
+                    coordinator.ingest(summary);
+                }
+                Uplink::Frame(_, _) => {}
+            }
+        }
+
+        let epoch = shared.budget_epoch.load(Ordering::SeqCst);
+        let budget_changed = epoch != seen_epoch;
+        let due = last_round.elapsed().as_secs_f64() >= period_s;
+        if budget_changed || due || stopping {
+            seen_epoch = epoch;
+            last_round = Instant::now();
+            let now_s = start.elapsed().as_secs_f64();
+            let budget = f64::from_bits(shared.budget_bits.load(Ordering::SeqCst));
+            if budget != prev_budget {
+                if let Some(ev) = tracker.on_budget_change(now_s, prev_budget, budget) {
+                    telemetry.emit(ev);
+                }
+                prev_budget = budget;
+            }
+
+            let commands = coordinator.schedule(budget, now_s);
+            tracker.on_round();
+
+            // Conservative power: what the live nodes last reported plus
+            // what the coordinator reserved for the silent — the same
+            // sum the ΔT argument is made against. Liveness here is the
+            // exact rule `schedule()` used, so no node is both counted
+            // live and charged as reserved.
+            let reserved_w = coordinator.reserved_w();
+            let live_w: f64 = (0..nodes)
+                .filter(|&i| now_s - last_seen[i] <= heartbeat_timeout_s)
+                .map(|i| last_power[i])
+                .sum();
+            let conservative_w = live_w + reserved_w;
+            if let Some(ev) = tracker.on_power_sample(now_s, conservative_w) {
+                telemetry.emit(ev);
+            }
+
+            push_commands(&shared, metrics.as_ref().as_ref(), &commands);
+
+            let mut status = shared.status.lock().expect("status poisoned");
+            status.rounds += 1;
+            status.nodes_reporting = coordinator.nodes_reporting();
+            status.dead_nodes = coordinator.dead_nodes();
+            status.reserved_w = reserved_w;
+            status.conservative_power_w = conservative_w;
+            status.budget_w = budget;
+            status.connections = shared.writers.lock().expect("writers poisoned").len();
+            status.compliances = tracker.compliances();
+            status.violations = tracker.violations();
+            status.last_compliance = tracker.last_compliance();
+            if let Some(m) = metrics.as_ref() {
+                m.connections.set(status.connections as f64);
+            }
+        }
+        if stopping {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn push_commands(shared: &Shared, metrics: Option<&NetMetrics>, commands: &[FrequencyCommand]) {
+    let mut writers = shared.writers.lock().expect("writers poisoned");
+    for cmd in commands {
+        let Some(stream) = writers.get_mut(&cmd.node) else {
+            continue;
+        };
+        let msg = WireMsg::Ceiling(cmd.clone());
+        let Ok(frame) = encode(&msg) else { continue };
+        if stream.write_all(&frame).is_err() {
+            writers.remove(&cmd.node);
+            continue;
+        }
+        if let Some(m) = metrics {
+            m.frames_tx.inc();
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The unified error type of the public API surface.
+//!
+//! Everything that can fail across the stack — a malformed frame on the
+//! wire, a socket error, a bad configuration, a summary that fails
+//! validation — funnels into one [`FvsError`], so callers write
+//! `Result<_, FvsError>` once instead of juggling `String`, `Option`
+//! and `io::Error` per layer.
+
+use std::fmt;
+use std::io;
+
+/// Unified error for the fvsst stack.
+#[derive(Debug)]
+pub enum FvsError {
+    /// A frame failed to encode, decode, or version-negotiate.
+    Wire(String),
+    /// An operating-system I/O error (sockets, files).
+    Io(io::Error),
+    /// An invalid configuration (bad address, bad plan, bad settings).
+    Config(String),
+    /// Semantically invalid data that parsed fine (mismatched vectors,
+    /// non-finite power, unknown experiment ids).
+    Validation(String),
+}
+
+impl FvsError {
+    /// A wire-layer error with the given message.
+    pub fn wire(msg: impl Into<String>) -> Self {
+        FvsError::Wire(msg.into())
+    }
+
+    /// A configuration error with the given message.
+    pub fn config(msg: impl Into<String>) -> Self {
+        FvsError::Config(msg.into())
+    }
+
+    /// A validation error with the given message.
+    pub fn validation(msg: impl Into<String>) -> Self {
+        FvsError::Validation(msg.into())
+    }
+
+    /// Stable lowercase category name (for metrics and logs).
+    pub fn category(&self) -> &'static str {
+        match self {
+            FvsError::Wire(_) => "wire",
+            FvsError::Io(_) => "io",
+            FvsError::Config(_) => "config",
+            FvsError::Validation(_) => "validation",
+        }
+    }
+}
+
+impl fmt::Display for FvsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FvsError::Wire(msg) => write!(f, "wire error: {msg}"),
+            FvsError::Io(e) => write!(f, "i/o error: {e}"),
+            FvsError::Config(msg) => write!(f, "config error: {msg}"),
+            FvsError::Validation(msg) => write!(f, "validation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FvsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FvsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FvsError {
+    fn from(e: io::Error) -> Self {
+        FvsError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for FvsError {
+    fn from(e: serde_json::Error) -> Self {
+        FvsError::Wire(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_category_and_message() {
+        let e = FvsError::wire("bad magic");
+        assert_eq!(e.category(), "wire");
+        assert_eq!(e.to_string(), "wire error: bad magic");
+        let e = FvsError::config("port 99999");
+        assert_eq!(e.to_string(), "config error: port 99999");
+        let e = FvsError::validation("power_w not finite");
+        assert_eq!(e.category(), "validation");
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        let io = io::Error::new(io::ErrorKind::ConnectionRefused, "nope");
+        let e: FvsError = io.into();
+        assert_eq!(e.category(), "io");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn json_errors_become_wire_errors() {
+        let bad = serde_json::from_str("{not json").unwrap_err();
+        let e: FvsError = bad.into();
+        assert_eq!(e.category(), "wire");
+    }
+}

@@ -1,0 +1,31 @@
+//! The networked control plane: the paper's node/coordinator split over
+//! real sockets.
+//!
+//! Everything before this crate exchanged [`fvs_cluster::NodeSummary`]
+//! and [`fvs_cluster::FrequencyCommand`] through the in-process
+//! [`fvs_cluster::ClusterSim`] delay queue. Here the same types travel a
+//! length-prefixed, versioned JSON wire protocol ([`wire`]) between a
+//! threaded TCP [`coordinator::CoordinatorServer`] wrapping the real
+//! [`fvs_cluster::GlobalCoordinator`] and per-node
+//! [`agent::NodeAgent`]s, so heartbeat timeouts, silent-node charging
+//! and blind f_min commands run against genuine socket liveness. Built
+//! entirely on `std::net` TCP and crossbeam threads — the vendored,
+//! offline dependency set has no async runtime, and needs none.
+//!
+//! The crate also hosts [`FvsError`], the unified error type of the
+//! public API surface (wire / I/O / config / validation).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agent;
+pub mod coordinator;
+pub mod error;
+pub mod wire;
+
+pub use agent::{AgentConfig, AgentReport, NodeAgent, NodeAgentHandle};
+pub use coordinator::{CoordinatorConfig, CoordinatorServer, CoordinatorStatus};
+pub use error::FvsError;
+pub use wire::{
+    decode_payload, encode, FrameReader, WireMsg, HEADER_LEN, MAGIC, MAX_FRAME_LEN, SCHEMA_VERSION,
+};

@@ -1,0 +1,498 @@
+//! The length-prefixed, versioned wire codec.
+//!
+//! Every frame on the socket is
+//!
+//! ```text
+//! +--------+--------+------------------------+
+//! | magic  | length |       payload          |
+//! | "FVS1" | u32 BE | length bytes of JSON   |
+//! +--------+--------+------------------------+
+//! ```
+//!
+//! and every payload is one JSON object carrying a `schema_version`
+//! field, a `kind` discriminant and a `body`:
+//!
+//! ```text
+//! {"schema_version":1,"kind":"summary","body":{...NodeSummary...}}
+//! ```
+//!
+//! The magic catches stream desynchronisation and non-fvsst peers; the
+//! length prefix bounds each read (frames over [`MAX_FRAME_LEN`] are
+//! rejected before any allocation); the version field lets a coordinator
+//! refuse a newer agent explicitly (see [`WireMsg::HelloAck`]) instead
+//! of mis-parsing it. The vendored serde stand-in has no typed
+//! deserializer, so decoding walks the [`serde::Value`] tree by hand —
+//! every missing field, wrong type, or out-of-range number surfaces as
+//! an [`FvsError::Wire`], never a panic.
+
+use crate::error::FvsError;
+use fvs_cluster::{FrequencyCommand, NodeSummary};
+use fvs_model::{CpiModel, FreqMhz};
+use serde::{Serialize, Value};
+
+/// Leading bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"FVS1";
+
+/// Wire schema version spoken by this build.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Frame header length: 4 bytes magic + 4 bytes big-endian length.
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on a payload, enforced before buffering it. Generous for
+/// summaries (a few dozen bytes per processor) while capping what a
+/// corrupt length prefix can make the reader allocate.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// One control-plane message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Agent → coordinator, first frame on a connection: who am I, how
+    /// many processors do I drive, and which schema do I speak.
+    Hello {
+        /// Node index within the cluster.
+        node: usize,
+        /// Processor count of the node.
+        procs: usize,
+        /// Schema version the agent speaks (the one header field read
+        /// even when it differs from ours).
+        version: u32,
+    },
+    /// Coordinator → agent reply to `Hello`: accepted or refused (with
+    /// the version the server speaks, so the agent can log why).
+    HelloAck {
+        /// Whether the coordinator accepted the connection.
+        accepted: bool,
+        /// Schema version the coordinator speaks.
+        version: u32,
+    },
+    /// Agent → coordinator: one measurement window.
+    Summary(NodeSummary),
+    /// Coordinator → agent: one frequency-ceiling command.
+    Ceiling(FrequencyCommand),
+    /// Agent → coordinator: orderly goodbye (distinguishes a drained
+    /// node from a crashed one).
+    Bye {
+        /// Departing node.
+        node: usize,
+    },
+}
+
+impl WireMsg {
+    /// Stable lowercase kind discriminant (the payload `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireMsg::Hello { .. } => "hello",
+            WireMsg::HelloAck { .. } => "hello_ack",
+            WireMsg::Summary(_) => "summary",
+            WireMsg::Ceiling(_) => "ceiling",
+            WireMsg::Bye { .. } => "bye",
+        }
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn to_payload(msg: &WireMsg) -> Value {
+    let (version, body) = match msg {
+        WireMsg::Hello {
+            node,
+            procs,
+            version,
+        } => (
+            *version,
+            obj(vec![
+                ("node", Value::UInt(*node as u64)),
+                ("procs", Value::UInt(*procs as u64)),
+            ]),
+        ),
+        WireMsg::HelloAck { accepted, version } => {
+            (*version, obj(vec![("accepted", Value::Bool(*accepted))]))
+        }
+        WireMsg::Summary(s) => (SCHEMA_VERSION, s.to_json()),
+        WireMsg::Ceiling(c) => (SCHEMA_VERSION, c.to_json()),
+        WireMsg::Bye { node } => (
+            SCHEMA_VERSION,
+            obj(vec![("node", Value::UInt(*node as u64))]),
+        ),
+    };
+    obj(vec![
+        ("schema_version", Value::UInt(u64::from(version))),
+        ("kind", Value::String(msg.kind().to_string())),
+        ("body", body),
+    ])
+}
+
+/// Encode one message as a complete frame (header + JSON payload).
+pub fn encode(msg: &WireMsg) -> Result<Vec<u8>, FvsError> {
+    let payload = serde_json::to_string(&to_payload(msg))?;
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(FvsError::wire(format!(
+            "payload of {} bytes exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}",
+            bytes.len()
+        )));
+    }
+    let mut frame = Vec::with_capacity(HEADER_LEN + bytes.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    Ok(frame)
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, FvsError> {
+    match v.get(key) {
+        Some(x) if !x.is_null() => Ok(x),
+        _ => Err(FvsError::wire(format!("missing field `{key}`"))),
+    }
+}
+
+fn usize_field(v: &Value, key: &str) -> Result<usize, FvsError> {
+    field(v, key)?
+        .as_u64()
+        .and_then(|x| usize::try_from(x).ok())
+        .ok_or_else(|| FvsError::wire(format!("field `{key}` is not an index")))
+}
+
+fn u32_field(v: &Value, key: &str) -> Result<u32, FvsError> {
+    field(v, key)?
+        .as_u64()
+        .and_then(|x| u32::try_from(x).ok())
+        .ok_or_else(|| FvsError::wire(format!("field `{key}` is not a u32")))
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, FvsError> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| FvsError::wire(format!("field `{key}` is not a bool")))
+}
+
+/// A float field; JSON `null` decodes as NaN (the encoder maps
+/// non-finite floats to `null`, and the coordinator's ingest validation
+/// is what rejects them — the codec round-trips faithfully).
+fn f64_field(v: &Value, key: &str) -> Result<f64, FvsError> {
+    match v.get(key) {
+        Some(Value::Null) => Ok(f64::NAN),
+        Some(x) => x
+            .as_f64()
+            .ok_or_else(|| FvsError::wire(format!("field `{key}` is not a number"))),
+        None => Err(FvsError::wire(format!("missing field `{key}`"))),
+    }
+}
+
+fn array_field<'a>(v: &'a Value, key: &str) -> Result<&'a Vec<Value>, FvsError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| FvsError::wire(format!("field `{key}` is not an array")))
+}
+
+fn decode_freq(v: &Value) -> Result<FreqMhz, FvsError> {
+    v.as_u64()
+        .and_then(|x| u32::try_from(x).ok())
+        .map(FreqMhz)
+        .ok_or_else(|| FvsError::wire("frequency is not a u32"))
+}
+
+fn decode_model(v: &Value) -> Result<Option<CpiModel>, FvsError> {
+    if v.is_null() {
+        return Ok(None);
+    }
+    if !v.is_object() {
+        return Err(FvsError::wire("model is neither null nor an object"));
+    }
+    Ok(Some(CpiModel {
+        cpi0: f64_field(v, "cpi0")?,
+        mem_time_per_instr: f64_field(v, "mem_time_per_instr")?,
+    }))
+}
+
+fn decode_summary(body: &Value) -> Result<NodeSummary, FvsError> {
+    let models = array_field(body, "models")?
+        .iter()
+        .map(decode_model)
+        .collect::<Result<Vec<_>, _>>()?;
+    let idle = array_field(body, "idle")?
+        .iter()
+        .map(|v| {
+            v.as_bool()
+                .ok_or_else(|| FvsError::wire("idle entry is not a bool"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let current = array_field(body, "current")?
+        .iter()
+        .map(decode_freq)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(NodeSummary {
+        node: usize_field(body, "node")?,
+        sent_at_s: f64_field(body, "sent_at_s")?,
+        models,
+        idle,
+        current,
+        power_w: f64_field(body, "power_w")?,
+    })
+}
+
+fn decode_command(body: &Value) -> Result<FrequencyCommand, FvsError> {
+    Ok(FrequencyCommand {
+        node: usize_field(body, "node")?,
+        freqs: array_field(body, "freqs")?
+            .iter()
+            .map(decode_freq)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+/// Decode one frame *payload* (the JSON between headers).
+///
+/// A `hello` decodes under any schema version — the coordinator must be
+/// able to read a newer agent's introduction to refuse it politely —
+/// but every other kind requires an exact [`SCHEMA_VERSION`] match.
+pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, FvsError> {
+    let text =
+        std::str::from_utf8(payload).map_err(|_| FvsError::wire("payload is not valid UTF-8"))?;
+    let v = serde_json::from_str(text)?;
+    let version = u32_field(&v, "schema_version")?;
+    let kind = field(&v, "kind")?
+        .as_str()
+        .ok_or_else(|| FvsError::wire("field `kind` is not a string"))?
+        .to_string();
+    let body = field(&v, "body")?;
+    if kind != "hello" && version != SCHEMA_VERSION {
+        return Err(FvsError::wire(format!(
+            "schema_version {version} not supported (this build speaks {SCHEMA_VERSION})"
+        )));
+    }
+    match kind.as_str() {
+        "hello" => Ok(WireMsg::Hello {
+            node: usize_field(body, "node")?,
+            procs: usize_field(body, "procs")?,
+            version,
+        }),
+        "hello_ack" => Ok(WireMsg::HelloAck {
+            accepted: bool_field(body, "accepted")?,
+            version,
+        }),
+        "summary" => Ok(WireMsg::Summary(decode_summary(body)?)),
+        "ceiling" => Ok(WireMsg::Ceiling(decode_command(body)?)),
+        "bye" => Ok(WireMsg::Bye {
+            node: usize_field(body, "node")?,
+        }),
+        other => Err(FvsError::wire(format!("unknown frame kind `{other}`"))),
+    }
+}
+
+/// Incremental frame parser over a byte stream.
+///
+/// Feed it whatever the socket produced; it buffers partial frames and
+/// yields complete messages. Any framing violation (bad magic,
+/// oversized length, malformed payload) is returned as an error and
+/// poisons nothing — but a desynchronised TCP stream cannot be trusted
+/// past the first bad byte, so callers should drop the connection and
+/// let the agent's reconnect ladder recover.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to extract the next complete message. `Ok(None)` means more
+    /// bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<WireMsg>, FvsError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        if self.buf[..4] != MAGIC {
+            return Err(FvsError::wire(format!(
+                "bad magic {:02x?} (stream desynchronised or not an fvsst peer)",
+                &self.buf[..4]
+            )));
+        }
+        let len = u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FvsError::wire(format!(
+                "frame length {len} exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}"
+            )));
+        }
+        if self.buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let msg = decode_payload(&self.buf[HEADER_LEN..HEADER_LEN + len]);
+        // Consume the frame whether or not the payload decoded: the
+        // framing itself was sound, so the next frame may be fine.
+        self.buf.drain(..HEADER_LEN + len);
+        msg.map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary() -> NodeSummary {
+        NodeSummary {
+            node: 3,
+            sent_at_s: 1.25,
+            models: vec![
+                Some(CpiModel::from_components(1.5, 2.0e-9)),
+                None,
+                Some(CpiModel::from_components(0.75, 0.0)),
+            ],
+            idle: vec![false, true, false],
+            current: vec![FreqMhz(1000), FreqMhz(250), FreqMhz(850)],
+            power_w: 312.5,
+        }
+    }
+
+    #[test]
+    fn summary_round_trips_exactly() {
+        let msg = WireMsg::Summary(sample_summary());
+        let frame = encode(&msg).unwrap();
+        assert_eq!(&frame[..4], &MAGIC);
+        let mut r = FrameReader::new();
+        r.feed(&frame);
+        let back = r.next_frame().unwrap().unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let msgs = vec![
+            WireMsg::Hello {
+                node: 2,
+                procs: 4,
+                version: SCHEMA_VERSION,
+            },
+            WireMsg::HelloAck {
+                accepted: true,
+                version: SCHEMA_VERSION,
+            },
+            WireMsg::Summary(sample_summary()),
+            WireMsg::Ceiling(FrequencyCommand {
+                node: 1,
+                freqs: vec![FreqMhz(600), FreqMhz(1000)],
+            }),
+            WireMsg::Bye { node: 7 },
+        ];
+        let mut r = FrameReader::new();
+        for m in &msgs {
+            r.feed(&encode(m).unwrap());
+        }
+        for m in &msgs {
+            assert_eq!(r.next_frame().unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(r.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let frame = encode(&WireMsg::Bye { node: 1 }).unwrap();
+        let mut r = FrameReader::new();
+        let (head, tail) = frame.split_at(frame.len() - 1);
+        for chunk in head.chunks(3) {
+            r.feed(chunk);
+            assert_eq!(r.next_frame().unwrap(), None);
+        }
+        r.feed(tail);
+        assert_eq!(r.next_frame().unwrap(), Some(WireMsg::Bye { node: 1 }));
+    }
+
+    #[test]
+    fn bad_magic_is_an_error_not_a_panic() {
+        let mut frame = encode(&WireMsg::Bye { node: 1 }).unwrap();
+        frame[0] = b'X';
+        let mut r = FrameReader::new();
+        r.feed(&frame);
+        assert!(matches!(r.next_frame(), Err(FvsError::Wire(_))));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_buffering() {
+        let mut r = FrameReader::new();
+        let mut junk = Vec::new();
+        junk.extend_from_slice(&MAGIC);
+        junk.extend_from_slice(&u32::MAX.to_be_bytes());
+        r.feed(&junk);
+        assert!(matches!(r.next_frame(), Err(FvsError::Wire(_))));
+    }
+
+    #[test]
+    fn corrupt_payload_consumes_the_frame_and_reports() {
+        let good = encode(&WireMsg::Bye { node: 1 }).unwrap();
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] = b'!'; // break the JSON
+        let mut r = FrameReader::new();
+        r.feed(&bad);
+        r.feed(&good);
+        assert!(r.next_frame().is_err());
+        // The stream is not poisoned: the following frame still decodes.
+        assert_eq!(r.next_frame().unwrap(), Some(WireMsg::Bye { node: 1 }));
+    }
+
+    #[test]
+    fn non_hello_frames_require_exact_version() {
+        let frame = encode(&WireMsg::Bye { node: 1 }).unwrap();
+        let text = std::str::from_utf8(&frame[HEADER_LEN..]).unwrap();
+        let bumped = text.replace("\"schema_version\":1", "\"schema_version\":2");
+        let err = decode_payload(bumped.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("schema_version 2"), "{err}");
+    }
+
+    #[test]
+    fn hello_decodes_under_foreign_versions() {
+        let frame = encode(&WireMsg::Hello {
+            node: 0,
+            procs: 4,
+            version: SCHEMA_VERSION,
+        })
+        .unwrap();
+        let text = std::str::from_utf8(&frame[HEADER_LEN..]).unwrap();
+        let bumped = text.replace("\"schema_version\":1", "\"schema_version\":9");
+        match decode_payload(bumped.as_bytes()).unwrap() {
+            WireMsg::Hello { version, .. } => assert_eq!(version, 9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_nan() {
+        let mut s = sample_summary();
+        s.power_w = f64::INFINITY;
+        s.sent_at_s = f64::NAN;
+        let frame = encode(&WireMsg::Summary(s)).unwrap();
+        let mut r = FrameReader::new();
+        r.feed(&frame);
+        match r.next_frame().unwrap().unwrap() {
+            WireMsg::Summary(back) => {
+                // The JSON encoding maps non-finite to null; decode maps
+                // null back to NaN, which ingest validation rejects.
+                assert!(back.power_w.is_nan());
+                assert!(back.sent_at_s.is_nan());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

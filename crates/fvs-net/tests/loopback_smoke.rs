@@ -1,0 +1,126 @@
+//! Socket-level mechanics over 127.0.0.1: handshake, version
+//! negotiation, command flow, and the reconnect ladder. The full
+//! cluster scenario (budget drop + dead node + ΔT compliance) lives in
+//! the workspace-root `net_loopback` integration test.
+
+use fvs_net::{AgentConfig, CoordinatorConfig, CoordinatorServer, NodeAgent, SCHEMA_VERSION};
+use fvs_sched::FvsstAlgorithm;
+use fvs_sim::MachineBuilder;
+use fvs_workloads::WorkloadSpec;
+use std::time::{Duration, Instant};
+
+fn cpu_bound_node(id: usize) -> fvs_cluster::ClusterNode {
+    let mut b = MachineBuilder::p630();
+    for core in 0..4 {
+        b = b.workload(core, WorkloadSpec::synthetic(0.0, 1.0e18));
+    }
+    fvs_cluster::ClusterNode::new(id, b.build(), None)
+}
+
+fn fast_agent() -> AgentConfig {
+    AgentConfig::default_lan()
+        .with_tick_s(0.01)
+        .with_summary_every(2)
+        .with_pace(Duration::from_millis(1))
+        .with_backoff(Duration::from_millis(20), Duration::from_millis(100))
+}
+
+#[test]
+fn agent_reports_and_receives_ceilings() {
+    let server = CoordinatorServer::bind(
+        "127.0.0.1:0",
+        1,
+        FvsstAlgorithm::p630(),
+        CoordinatorConfig::default_lan()
+            .with_period_s(0.02)
+            .with_heartbeat_timeout_s(0.5)
+            .with_initial_budget_w(f64::INFINITY),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let agent = NodeAgent::spawn(cpu_bound_node(0), addr, fast_agent()).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        let st = server.status();
+        if st.nodes_reporting == 1 && st.rounds > 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let st = server.status();
+    assert_eq!(st.nodes_reporting, 1, "agent never reported: {st:?}");
+    assert_eq!(st.dead_nodes, 0);
+
+    let report = agent.stop();
+    assert!(report.summaries_sent > 0);
+    assert!(
+        report.ceilings_applied > 0,
+        "no ceiling ever arrived: {report:?}"
+    );
+    assert!(!report.version_rejected);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn wrong_schema_version_is_refused_not_retried() {
+    let server = CoordinatorServer::bind(
+        "127.0.0.1:0",
+        1,
+        FvsstAlgorithm::p630(),
+        CoordinatorConfig::default_lan().with_period_s(0.05),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let agent = NodeAgent::spawn(
+        cpu_bound_node(0),
+        addr,
+        fast_agent().with_version(SCHEMA_VERSION + 1),
+    )
+    .unwrap();
+    // The refusal is permanent, so the agent exits on its own.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !agent.is_finished() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(agent.is_finished(), "refused agent should self-terminate");
+    let report = agent.stop();
+    assert!(report.version_rejected);
+    assert_eq!(report.summaries_sent, 0);
+    let st = server.shutdown().unwrap();
+    assert_eq!(st.nodes_reporting, 0);
+}
+
+#[test]
+fn agent_survives_a_coordinator_restart() {
+    let config = CoordinatorConfig::default_lan()
+        .with_period_s(0.02)
+        .with_heartbeat_timeout_s(0.5);
+    let server =
+        CoordinatorServer::bind("127.0.0.1:0", 1, FvsstAlgorithm::p630(), config.clone()).unwrap();
+    let addr = server.local_addr().to_string();
+    let agent = NodeAgent::spawn(cpu_bound_node(0), addr.clone(), fast_agent()).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.status().nodes_reporting < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.status().nodes_reporting, 1);
+    // Kill the coordinator; the agent climbs its backoff ladder.
+    drop(server);
+    std::thread::sleep(Duration::from_millis(100));
+    // Rebind the same port and wait for the agent to find us again.
+    let server = CoordinatorServer::bind(&addr, 1, FvsstAlgorithm::p630(), config).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.status().nodes_reporting < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        server.status().nodes_reporting,
+        1,
+        "agent never reconnected"
+    );
+    let report = agent.stop();
+    assert!(report.reconnects >= 1, "ladder never climbed: {report:?}");
+    server.shutdown().unwrap();
+}

@@ -1,0 +1,195 @@
+//! Property tests for the wire codec: arbitrary summaries and commands
+//! round-trip bit-identically, and no amount of truncation or byte
+//! corruption — including the structured corruption streams of
+//! fvs-faults — makes the decoder panic.
+
+use fvs_cluster::{FrequencyCommand, NodeSummary};
+use fvs_faults::{apply_counter_fault, CounterFaultKind, FaultInjector, FaultPlan};
+use fvs_model::{CounterDelta, CpiModel, FreqMhz};
+use fvs_net::{encode, FrameReader, WireMsg, HEADER_LEN};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_model() -> impl Strategy<Value = Option<CpiModel>> {
+    (0.1f64..10.0, 0.0f64..50.0e-9, any::<bool>())
+        .prop_map(|(cpi0, m, has)| has.then(|| CpiModel::from_components(cpi0, m)))
+}
+
+fn arb_freq() -> impl Strategy<Value = FreqMhz> {
+    prop::sample::select(vec![250u32, 500, 650, 800, 950, 1000]).prop_map(FreqMhz)
+}
+
+fn arb_summary() -> impl Strategy<Value = NodeSummary> {
+    (
+        0usize..64,
+        0.0f64..1.0e4,
+        prop::collection::vec((arb_model(), any::<bool>(), arb_freq()), 1..9),
+        0.0f64..5000.0,
+    )
+        .prop_map(|(node, sent_at_s, procs, power_w)| {
+            let models = procs.iter().map(|(m, _, _)| *m).collect();
+            let idle = procs.iter().map(|(_, i, _)| *i).collect();
+            let current = procs.iter().map(|(_, _, f)| *f).collect();
+            NodeSummary {
+                node,
+                sent_at_s,
+                models,
+                idle,
+                current,
+                power_w,
+            }
+        })
+}
+
+fn arb_command() -> impl Strategy<Value = FrequencyCommand> {
+    (0usize..64, prop::collection::vec(arb_freq(), 1..9))
+        .prop_map(|(node, freqs)| FrequencyCommand { node, freqs })
+}
+
+fn decode_one(frame: &[u8]) -> WireMsg {
+    let mut r = FrameReader::new();
+    r.feed(frame);
+    r.next_frame()
+        .expect("clean frame decodes")
+        .expect("complete frame yields a message")
+}
+
+/// Bit-identical equality for the float fields (plain `==` would be
+/// fooled by -0.0 and would reject NaN; the wire must preserve bits of
+/// every finite value exactly).
+fn same_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → frame → decode is the identity on summaries, down to
+    /// the float bit patterns.
+    #[test]
+    fn summary_round_trips_bit_identical(s in arb_summary()) {
+        let msg = WireMsg::Summary(s.clone());
+        let back = decode_one(&encode(&msg).unwrap());
+        let WireMsg::Summary(b) = back else { panic!("wrong kind") };
+        prop_assert_eq!(b.node, s.node);
+        prop_assert!(same_bits(b.sent_at_s, s.sent_at_s));
+        prop_assert!(same_bits(b.power_w, s.power_w));
+        prop_assert_eq!(&b.idle, &s.idle);
+        prop_assert_eq!(&b.current, &s.current);
+        prop_assert_eq!(b.models.len(), s.models.len());
+        for (bm, sm) in b.models.iter().zip(&s.models) {
+            match (bm, sm) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    prop_assert!(same_bits(x.cpi0, y.cpi0));
+                    prop_assert!(same_bits(x.mem_time_per_instr, y.mem_time_per_instr));
+                }
+                _ => prop_assert!(false, "model presence changed in transit"),
+            }
+        }
+    }
+
+    /// encode → frame → decode is the identity on commands.
+    #[test]
+    fn command_round_trips(c in arb_command()) {
+        let msg = WireMsg::Ceiling(c);
+        let back = decode_one(&encode(&msg).unwrap());
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Every truncation of a valid frame either waits for more bytes or
+    /// errors — never panics, never fabricates a message.
+    #[test]
+    fn truncated_frames_never_panic(s in arb_summary(), cut in 0usize..10_000) {
+        let frame = encode(&WireMsg::Summary(s)).unwrap();
+        let cut = cut % frame.len();
+        let mut r = FrameReader::new();
+        r.feed(&frame[..cut]);
+        match r.next_frame() {
+            Ok(None) => {}       // waiting for the rest
+            Ok(Some(_)) => prop_assert!(false, "message out of a truncated frame"),
+            Err(_) => {}         // header happened to be cut mid-magic: fine
+        }
+        // Feeding the remainder completes the frame cleanly when the
+        // reader did not reject the prefix.
+        r.feed(&frame[cut..]);
+        let _ = r.next_frame();
+    }
+
+    /// Random byte flips anywhere in the frame are rejected or decode
+    /// to *something* — but never panic. Uses a seeded RNG so failures
+    /// replay.
+    #[test]
+    fn corrupt_frames_never_panic(s in arb_summary(), seed in 0u64..1_000_000, flips in 1usize..8) {
+        let frame = encode(&WireMsg::Summary(s)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bad = frame.clone();
+        for _ in 0..flips {
+            let i = rng.gen_range(0..bad.len());
+            bad[i] ^= 1 << rng.gen_range(0u32..8);
+        }
+        let mut r = FrameReader::new();
+        r.feed(&bad);
+        // Drain until the reader is done or errors; any outcome but a
+        // panic is acceptable.
+        for _ in 0..4 {
+            match r.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Summaries whose counters went through the fvs-faults corruption
+    /// stream (NaN / spike / stuck / stale deltas feeding the models)
+    /// still encode and decode without panicking: the codec is
+    /// corruption-agnostic, and validation stays the coordinator's job.
+    #[test]
+    fn fault_corrupted_summaries_transit_safely(s in arb_summary(), seed in 0u64..100_000) {
+        let plan = FaultPlan {
+            counter_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, seed);
+        let mut s = s;
+        let prev = CounterDelta::default();
+        for slot in s.models.iter_mut() {
+            if let Some(kind) = inj.counter_fault() {
+                // Drive the model through a corrupted delta the same way
+                // a faulty node would: NaN deltas produce NaN models.
+                let mut delta = CounterDelta {
+                    instructions: 1.0e6,
+                    cycles: 2.0e6,
+                    ..prev
+                };
+                apply_counter_fault(kind, &mut delta, &prev);
+                if matches!(kind, CounterFaultKind::Nan) {
+                    *slot = Some(CpiModel::from_components(delta.cycles, 0.0));
+                }
+            }
+        }
+        // Also corrupt the scalar fields the way a broken sensor would.
+        if seed % 3 == 0 { s.power_w = f64::NAN; }
+        if seed % 5 == 0 { s.sent_at_s = f64::INFINITY; }
+        let frame = encode(&WireMsg::Summary(s)).unwrap();
+        let decoded = decode_one(&frame);
+        prop_assert!(matches!(decoded, WireMsg::Summary(_)));
+    }
+
+    /// A corrupt length prefix can claim any size; the reader must
+    /// reject oversized claims before allocating and never panic on
+    /// undersized ones.
+    #[test]
+    fn corrupt_length_prefix_is_safe(s in arb_summary(), len_bits in any::<u32>()) {
+        let mut frame = encode(&WireMsg::Summary(s)).unwrap();
+        frame[4..HEADER_LEN].copy_from_slice(&len_bits.to_be_bytes());
+        let mut r = FrameReader::new();
+        r.feed(&frame);
+        match r.next_frame() {
+            Ok(None) => {}      // claims more bytes than fed: waits forever, caller's timeout handles it
+            Ok(Some(_)) => {}   // claimed a shorter-but-valid JSON prefix: implausible but harmless
+            Err(_) => {}        // oversized or garbled: rejected
+        }
+    }
+}

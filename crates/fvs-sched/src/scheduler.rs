@@ -109,6 +109,18 @@ impl SchedulerConfig {
         }
     }
 
+    /// Override the dispatch period `t` (s).
+    pub fn with_t_s(mut self, t_s: f64) -> Self {
+        self.t_s = t_s;
+        self
+    }
+
+    /// Override the scheduling-period multiplier `n` (`T = n·t`).
+    pub fn with_n(mut self, n: u32) -> Self {
+        self.n = n;
+        self
+    }
+
     /// Attach a telemetry pipeline (journal sink + metrics registry).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;

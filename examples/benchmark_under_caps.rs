@@ -9,8 +9,7 @@
 //! cargo run --release --example benchmark_under_caps
 //! ```
 
-use fvsst::harness::runs::{run_capped_app, RunSettings};
-use fvsst::workloads::AppBenchmark;
+use fvsst::prelude::*;
 
 fn main() {
     let settings = RunSettings::full();

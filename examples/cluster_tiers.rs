@@ -10,21 +10,19 @@
 //! cargo run --release --example cluster_tiers
 //! ```
 
-use fvsst::cluster::{ClusterConfig, ClusterSim};
-use fvsst::power::{BudgetEvent, BudgetSchedule};
+use fvsst::prelude::*;
 
 fn main() {
     let nodes = 9;
-    let mut config = ClusterConfig::default_rack();
     // 9 nodes × 4 cores × 140 W = 5040 W unconstrained; cut to 2000 W at
     // t = 2 s.
-    config.budget = BudgetSchedule::with_events(
+    let config = ClusterConfig::rack().with_budget(BudgetSchedule::with_events(
         f64::INFINITY,
         vec![BudgetEvent {
             at_s: 2.0,
             budget_w: 2000.0,
         }],
-    );
+    ));
     let mut sim = ClusterSim::three_tier(nodes, 42, config);
     let report = sim.run_for(5.0);
 

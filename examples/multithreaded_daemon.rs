@@ -11,7 +11,6 @@
 //! ```
 
 use fvsst::prelude::*;
-use fvsst::sched::{CoreSample, FvsstAlgorithm, MtDaemon};
 
 fn main() {
     let mut machine = MachineBuilder::p630()

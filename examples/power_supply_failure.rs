@@ -12,8 +12,6 @@
 //! cargo run --release --example power_supply_failure
 //! ```
 
-use fvs_baselines::NoDvfs;
-use fvsst::power::SupplyBank;
 use fvsst::prelude::*;
 
 const NON_CPU_W: f64 = 186.0;

@@ -1,0 +1,225 @@
+//! `fvsst-coordinator` — run the global power-budget coordinator on a
+//! real TCP socket.
+//!
+//! ```text
+//! fvsst-coordinator [--listen ADDR] [--nodes N] [--budget W] [--period S]
+//!                   [--heartbeat S] [--deadline S] [--drop W@T]
+//!                   [--run S] [--telemetry FILE]
+//! ```
+//!
+//! Listens for `fvsst-node` agents, runs the paper's global scheduling
+//! pass every `--period` seconds over whatever summaries arrived, and
+//! pushes per-node frequency ceilings back down the same sockets. Nodes
+//! that go silent past `--heartbeat` are charged at the worst-case node
+//! power and sent blind f_min commands — the conservative accounting of
+//! §6 of the paper. `--drop W@T` lowers the budget to `W` watts `T`
+//! seconds into the run, so a budget-drop drill can be scripted from the
+//! command line; `--telemetry FILE` journals every scheduling event
+//! (rounds, deaths, compliance) as JSONL. `--run 0` serves forever.
+
+use fvsst::prelude::*;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    listen: String,
+    nodes: usize,
+    budget_w: f64,
+    period_s: f64,
+    heartbeat_s: f64,
+    deadline_s: f64,
+    drop: Option<(f64, f64)>, // (watts, at_seconds)
+    run_s: f64,               // 0 = forever
+    telemetry: Option<String>,
+}
+
+fn usage() -> String {
+    "usage: fvsst-coordinator [--listen ADDR] [--nodes N] [--budget W] \
+     [--period S] [--heartbeat S] [--deadline S] [--drop W@T] [--run S] \
+     [--telemetry FILE]"
+        .to_string()
+}
+
+fn parse_f64(flag: &str, value: Option<&String>) -> Result<f64, FvsError> {
+    value
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .ok_or_else(|| FvsError::config(format!("{flag} requires a non-negative number")))
+}
+
+fn parse_args(args: &[String]) -> Result<Args, FvsError> {
+    let mut out = Args {
+        listen: "127.0.0.1:4550".to_string(),
+        nodes: 4,
+        budget_w: f64::INFINITY,
+        period_s: 0.1,
+        heartbeat_s: 0.5,
+        deadline_s: 1.0,
+        drop: None,
+        run_s: 0.0,
+        telemetry: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                i += 1;
+                out.listen = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| FvsError::config("--listen requires an address"))?;
+            }
+            "--nodes" => {
+                i += 1;
+                out.nodes = args
+                    .get(i)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| FvsError::config("--nodes requires an integer >= 1"))?;
+            }
+            "--budget" => {
+                i += 1;
+                out.budget_w = parse_f64("--budget", args.get(i))?;
+            }
+            "--period" => {
+                i += 1;
+                out.period_s = parse_f64("--period", args.get(i))?;
+            }
+            "--heartbeat" => {
+                i += 1;
+                out.heartbeat_s = parse_f64("--heartbeat", args.get(i))?;
+            }
+            "--deadline" => {
+                i += 1;
+                out.deadline_s = parse_f64("--deadline", args.get(i))?;
+            }
+            "--drop" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .ok_or_else(|| FvsError::config("--drop requires W@T"))?;
+                let (w, t) = spec
+                    .split_once('@')
+                    .ok_or_else(|| FvsError::config("--drop takes the form W@T, e.g. 1200@5"))?;
+                let w: f64 = w
+                    .parse()
+                    .map_err(|_| FvsError::config("--drop watts must be a number"))?;
+                let t: f64 = t
+                    .parse()
+                    .map_err(|_| FvsError::config("--drop time must be a number"))?;
+                out.drop = Some((w, t));
+            }
+            "--run" => {
+                i += 1;
+                out.run_s = parse_f64("--run", args.get(i))?;
+            }
+            "--telemetry" => {
+                i += 1;
+                out.telemetry = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| FvsError::config("--telemetry requires a file path"))?,
+                );
+            }
+            "--help" | "-h" => return Err(FvsError::config(usage())),
+            other => {
+                return Err(FvsError::config(format!(
+                    "unknown argument '{other}'\n{}",
+                    usage()
+                )))
+            }
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn run(args: Args) -> Result<(), FvsError> {
+    let telemetry = match &args.telemetry {
+        Some(path) => Telemetry::jsonl(path)?,
+        None => Telemetry::disabled(),
+    };
+    let config = CoordinatorConfig::default_lan()
+        .with_period_s(args.period_s)
+        .with_heartbeat_timeout_s(args.heartbeat_s)
+        .with_deadline_s(args.deadline_s)
+        .with_initial_budget_w(args.budget_w)
+        .with_telemetry(telemetry);
+    let server = CoordinatorServer::bind(
+        args.listen.as_str(),
+        args.nodes,
+        FvsstAlgorithm::p630(),
+        config,
+    )?;
+    println!(
+        "fvsst-coordinator listening on {} ({} node slots, budget {} W, period {} s)",
+        server.local_addr(),
+        args.nodes,
+        args.budget_w,
+        args.period_s
+    );
+
+    let start = Instant::now();
+    let mut dropped = false;
+    let mut last_print = Instant::now();
+    loop {
+        let elapsed = start.elapsed().as_secs_f64();
+        if let Some((watts, at_s)) = args.drop {
+            if !dropped && elapsed >= at_s {
+                println!("[{elapsed:7.2}s] budget drop -> {watts} W");
+                server.set_budget(watts);
+                dropped = true;
+            }
+        }
+        if args.run_s > 0.0 && elapsed >= args.run_s {
+            break;
+        }
+        if last_print.elapsed() >= Duration::from_secs(1) {
+            let st = server.status();
+            println!(
+                "[{elapsed:7.2}s] rounds {} reporting {}/{} dead {} power {:.0} W / budget {:.0} W \
+                 compliance {}/{}",
+                st.rounds,
+                st.nodes_reporting,
+                args.nodes,
+                st.dead_nodes,
+                st.conservative_power_w,
+                st.budget_w,
+                st.compliances,
+                st.compliances + st.violations
+            );
+            last_print = Instant::now();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let st = server.shutdown()?;
+    println!(
+        "final: rounds {} reporting {} dead {} power {:.0} W compliances {} violations {}",
+        st.rounds,
+        st.nodes_reporting,
+        st.dead_nodes,
+        st.conservative_power_w,
+        st.compliances,
+        st.violations
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(&args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fvsst-coordinator: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! `fvsst-node` — run one simulated node's measurement agent against a
+//! coordinator socket.
+//!
+//! ```text
+//! fvsst-node [--connect ADDR] [--node ID] [--workload cpu|mixed|mem]
+//!            [--tick S] [--summary-every N] [--run S]
+//! ```
+//!
+//! Drives the paper's 4-way P630-like machine under a synthetic
+//! workload, ships a `NodeSummary` upstream every `--summary-every`
+//! ticks, and applies whatever frequency ceilings the coordinator sends
+//! back. If the link drops the agent climbs an exponential backoff
+//! ladder until the coordinator returns, while the machine keeps running
+//! at its last-commanded frequencies. `--run 0` runs until killed.
+
+use fvsst::prelude::*;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    connect: String,
+    node: usize,
+    workload: String,
+    tick_s: f64,
+    summary_every: u32,
+    run_s: f64, // 0 = forever
+}
+
+fn usage() -> String {
+    "usage: fvsst-node [--connect ADDR] [--node ID] [--workload cpu|mixed|mem] \
+     [--tick S] [--summary-every N] [--run S]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Args, FvsError> {
+    let mut out = Args {
+        connect: "127.0.0.1:4550".to_string(),
+        node: 0,
+        workload: "mixed".to_string(),
+        tick_s: 0.01,
+        summary_every: 10,
+        run_s: 0.0,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => {
+                i += 1;
+                out.connect = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| FvsError::config("--connect requires an address"))?;
+            }
+            "--node" => {
+                i += 1;
+                out.node = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| FvsError::config("--node requires an integer id"))?;
+            }
+            "--workload" => {
+                i += 1;
+                let w = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| FvsError::config("--workload requires cpu, mixed or mem"))?;
+                if !matches!(w.as_str(), "cpu" | "mixed" | "mem") {
+                    return Err(FvsError::config(format!(
+                        "unknown workload '{w}' (expected cpu, mixed or mem)"
+                    )));
+                }
+                out.workload = w;
+            }
+            "--tick" => {
+                i += 1;
+                out.tick_s = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v > 0.0)
+                    .ok_or_else(|| FvsError::config("--tick requires a positive number"))?;
+            }
+            "--summary-every" => {
+                i += 1;
+                out.summary_every = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| FvsError::config("--summary-every requires an integer >= 1"))?;
+            }
+            "--run" => {
+                i += 1;
+                out.run_s = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .ok_or_else(|| FvsError::config("--run requires a non-negative number"))?;
+            }
+            "--help" | "-h" => return Err(FvsError::config(usage())),
+            other => {
+                return Err(FvsError::config(format!(
+                    "unknown argument '{other}'\n{}",
+                    usage()
+                )))
+            }
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// Build the paper's 4-way machine under the requested workload mix.
+fn build_node(id: usize, workload: &str) -> ClusterNode {
+    let intensities: [f64; 4] = match workload {
+        "cpu" => [100.0, 100.0, 100.0, 100.0],
+        "mem" => [25.0, 25.0, 25.0, 25.0],
+        _ => [100.0, 75.0, 50.0, 25.0],
+    };
+    let mut b = MachineBuilder::p630();
+    for (core, intensity) in intensities.iter().enumerate() {
+        b = b.workload(core, WorkloadSpec::synthetic(*intensity, 1.0e18));
+    }
+    ClusterNode::new(id, b.build(), None)
+}
+
+fn run(args: Args) -> Result<(), FvsError> {
+    let node = build_node(args.node, &args.workload);
+    let config = AgentConfig::default_lan()
+        .with_tick_s(args.tick_s)
+        .with_summary_every(args.summary_every);
+    println!(
+        "fvsst-node {} ({} workload) -> {}",
+        args.node, args.workload, args.connect
+    );
+    let agent = NodeAgent::spawn(node, args.connect.clone(), config)?;
+
+    let start = Instant::now();
+    loop {
+        if agent.is_finished() {
+            // Version refusal is the one self-terminating path.
+            break;
+        }
+        if args.run_s > 0.0 && start.elapsed().as_secs_f64() >= args.run_s {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report = agent.stop();
+    println!(
+        "node {}: {} summaries, {} ceilings applied, {} reconnects, final power {:.1} W",
+        report.node,
+        report.summaries_sent,
+        report.ceilings_applied,
+        report.reconnects,
+        report.final_power_w
+    );
+    if report.version_rejected {
+        return Err(FvsError::wire(
+            "coordinator refused our schema version".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(&args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fvsst-node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

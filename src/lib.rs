@@ -20,6 +20,12 @@
 //!   power-down, utilization-driven, oracle).
 //! - [`cluster`] — multi-node coordination under a global budget with
 //!   message latency.
+//! - [`telemetry`] — metrics registry, event journal and budget-deadline
+//!   accounting.
+//! - [`faults`] — fault plans and injectors (corrupt counters, failed
+//!   actuations, node outages) with graceful degradation.
+//! - [`net`] — the wire protocol and TCP coordinator/agent endpoints
+//!   (`fvsst-coordinator`, `fvsst-node`).
 //! - [`harness`] — the experiment harness that regenerates every table
 //!   and figure of the paper.
 //!
@@ -49,22 +55,42 @@
 
 pub use fvs_baselines as baselines;
 pub use fvs_cluster as cluster;
+pub use fvs_faults as faults;
 pub use fvs_harness as harness;
 pub use fvs_model as model;
+pub use fvs_net as net;
 pub use fvs_power as power;
 pub use fvs_sched as sched;
 pub use fvs_sim as sim;
+pub use fvs_telemetry as telemetry;
 pub use fvs_workloads as workloads;
 
-/// The most common imports in one place.
+/// The most common imports in one place: enough to build a machine,
+/// schedule it, simulate a cluster, inject faults, watch the telemetry,
+/// and run a coordinator/agent pair over real sockets.
 pub mod prelude {
+    pub use fvs_baselines::NoDvfs;
+    pub use fvs_cluster::{
+        ClusterConfig, ClusterNode, ClusterReport, ClusterSim, FrequencyCommand, GlobalCoordinator,
+        NodeSummary,
+    };
+    pub use fvs_faults::{FaultInjector, FaultPlan};
+    pub use fvs_harness::{run_capped_app, RunSettings};
     pub use fvs_model::{
         CounterDelta, CpiModel, Estimator, FreqMhz, FrequencySet, MemoryLatencies, PerfLossTable,
     };
-    pub use fvs_power::{
-        BudgetSchedule, EnergyMeter, FreqPowerTable, PowerSupply, SupplyBank, VoltageTable,
+    pub use fvs_net::{
+        AgentConfig, CoordinatorConfig, CoordinatorServer, CoordinatorStatus, FvsError, NodeAgent,
+        NodeAgentHandle, WireMsg, SCHEMA_VERSION,
     };
-    pub use fvs_sched::{ScheduledSimulation, SchedulerConfig};
+    pub use fvs_power::{
+        BudgetEvent, BudgetSchedule, EnergyMeter, FreqPowerTable, PowerSupply, SupplyBank,
+        VoltageTable,
+    };
+    pub use fvs_sched::{
+        CoreSample, FvsstAlgorithm, FvsstScheduler, MtDaemon, ScheduledSimulation, SchedulerConfig,
+    };
     pub use fvs_sim::{Machine, MachineBuilder};
-    pub use fvs_workloads::{PhaseSpec, WorkloadSpec};
+    pub use fvs_telemetry::{BudgetDeadlineTracker, MetricsRegistry, SchedEvent, Telemetry};
+    pub use fvs_workloads::{AppBenchmark, PhaseSpec, WorkloadSpec};
 }

@@ -145,7 +145,7 @@ fn hot_idle_pathology_and_cure() {
 #[test]
 fn cluster_tiers_develop_stable_diversity() {
     use fvsst::cluster::{ClusterConfig, ClusterSim};
-    let mut sim = ClusterSim::three_tier(9, 11, ClusterConfig::default_rack());
+    let mut sim = ClusterSim::three_tier(9, 11, ClusterConfig::rack());
     sim.run_for(3.0);
     let mhz_of = |i: usize| sim.node(i).machine().effective_frequency(0).0;
     // Nodes 0-2 web, 3-5 app, 6-8 db.
