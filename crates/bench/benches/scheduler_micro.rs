@@ -134,7 +134,7 @@ fn bench_machine_tick(c: &mut Criterion) {
 fn bench_cluster_tick(c: &mut Criterion) {
     let mut g = c.benchmark_group("cluster_tick");
     g.sample_size(10);
-    for nodes in [8usize, 32, 128] {
+    for nodes in [8usize, 32, 128, 512, 1024] {
         // Budget forces real scheduling work every round (~70 W/core of
         // a 140 W/core unconstrained draw).
         let config =

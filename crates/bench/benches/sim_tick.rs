@@ -1,0 +1,90 @@
+//! Core-tick throughput of the simulator substrate: the batched SoA
+//! pass (`Machine::step`) against the scalar per-core reference stepper
+//! (`MachineBuilder::reference_stepping`), at machine sizes from one
+//! p630 to a 1024-core rack aggregate.
+//!
+//! This is the tentpole measurement for `sim_core_ticks_per_sec` in
+//! `BENCH_scheduler.json`: the batched pass must clear >=10x the
+//! reference throughput at 1024 cores. Run
+//! `cargo run -p fvs-bench --bin collect_bench` afterwards to harvest
+//! the medians.
+//!
+//! Both sides run the identical workload mix (looping synthetic bodies
+//! across five intensities, huge budgets so nothing finishes) and the
+//! identical semantics — `tests/batch_parity.rs` proves the two paths
+//! agree (bit-identical under every-tick sampling, <=1e-12 relative for
+//! deferred multi-tick windows), so this is a pure cost comparison.
+//!
+//! Three batched flavours are reported: the bare tick (uniform blocks
+//! advance by a counter bump and commit their windows in closed form),
+//! and the every-tick-sampled loop (`step` + `sample_all_into`, the
+//! scheduler's actual usage, which forces k = 1 windows and a full
+//! materialisation pass per tick).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fvs_sim::{Machine, MachineBuilder, NoiseModel};
+use fvs_workloads::WorkloadSpec;
+
+const CORE_COUNTS: [usize; 4] = [4, 64, 256, 1024];
+
+fn build_machine(cores: usize, reference: bool) -> Machine {
+    let mut b = MachineBuilder::p630().cores(cores).noise(NoiseModel::NONE);
+    for i in 0..cores {
+        b = b.workload(
+            i,
+            WorkloadSpec::synthetic((i % 5) as f64 * 25.0, 1.0e15).looping(),
+        );
+    }
+    if reference {
+        b = b.reference_stepping();
+    }
+    b.build()
+}
+
+fn bench_sim_tick_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_tick_batched");
+    for cores in CORE_COUNTS {
+        let mut machine = build_machine(cores, false);
+        g.bench_with_input(BenchmarkId::from_parameter(cores), &(), |b, _| {
+            b.iter(|| machine.step(0.01))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim_tick_batched_sampled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_tick_batched_sampled");
+    for cores in CORE_COUNTS {
+        let mut machine = build_machine(cores, false);
+        let mut out = Vec::with_capacity(cores);
+        g.bench_with_input(BenchmarkId::from_parameter(cores), &(), |b, _| {
+            b.iter(|| {
+                machine.step(0.01);
+                machine.sample_all_into(&mut out);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim_tick_scalar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_tick_scalar");
+    // The reference stepper at 1024 cores is the slow side by design;
+    // keep the sample count modest so the run stays short.
+    g.sample_size(20);
+    for cores in CORE_COUNTS {
+        let mut machine = build_machine(cores, true);
+        g.bench_with_input(BenchmarkId::from_parameter(cores), &(), |b, _| {
+            b.iter(|| machine.step(0.01))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    sim_tick,
+    bench_sim_tick_batched,
+    bench_sim_tick_batched_sampled,
+    bench_sim_tick_scalar
+);
+criterion_main!(sim_tick);

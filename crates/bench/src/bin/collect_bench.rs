@@ -4,15 +4,19 @@
 //!
 //! ```text
 //! cargo bench -p fvs-bench --bench scheduler_micro
+//! cargo bench -p fvs-bench --bench sim_tick
 //! cargo run -p fvs-bench --bin collect_bench
 //! ```
 //!
 //! Reads `target/criterion/<group>/<id>/estimates.json` for the
 //! `schedule_two_pass`, `schedule_cached_steady` and
-//! `schedule_reference` groups plus `cluster_tick`, times the harness
+//! `schedule_reference` groups plus `cluster_tick` and the
+//! `sim_tick_batched`/`sim_tick_scalar` pair, times the harness
 //! fast suite (every experiment, run in parallel), and writes a flat
-//! summary (median ns/iter, the naive/heap speedup, and the cache-hit
-//! speedup per size) to `BENCH_scheduler.json` in the workspace root.
+//! summary (median ns/iter, the naive/heap speedup, the cache-hit
+//! speedup per size, and core-tick throughput of the batched SoA
+//! simulator pass vs the scalar reference) to `BENCH_scheduler.json`
+//! in the workspace root.
 //!
 //! `collect_bench --check` instead validates an existing
 //! `BENCH_scheduler.json`: it must parse as JSON and carry the expected
@@ -26,7 +30,8 @@ use rayon::prelude::*;
 use std::path::{Path, PathBuf};
 
 const SIZES: &[usize] = &[4, 16, 64, 256, 1024];
-const CLUSTER_SIZES: &[usize] = &[8, 32, 128];
+const CLUSTER_SIZES: &[usize] = &[8, 32, 128, 512, 1024];
+const SIM_CORES: &[usize] = &[4, 64, 256, 1024];
 
 fn workspace_root() -> PathBuf {
     // The binary runs from anywhere inside the workspace; walk upward to
@@ -58,6 +63,19 @@ struct SizeEntry {
     speedup: Option<f64>,
     cached: Option<f64>,
     cache_speedup: Option<f64>,
+}
+
+/// One row of the simulator core-tick throughput table.
+struct SimEntry {
+    cores: usize,
+    batched: f64,
+    /// Core-ticks per wall second through the batched pass.
+    throughput: f64,
+    /// The every-tick-sampled loop (`step` + `sample_all_into`) — the
+    /// scheduler's actual per-round cost, with no window deferral.
+    sampled: Option<f64>,
+    scalar: Option<f64>,
+    speedup: Option<f64>,
 }
 
 /// Validate an existing `BENCH_scheduler.json`: parseable, and shaped
@@ -98,6 +116,28 @@ fn check(root: &Path) -> i32 {
     }
     if v.get("cluster_tick").and_then(|s| s.as_array()).is_none() {
         errors.push("missing array field 'cluster_tick'".to_string());
+    }
+    match v.get("sim_core_ticks_per_sec").and_then(|s| s.as_array()) {
+        None => errors.push("missing array field 'sim_core_ticks_per_sec'".to_string()),
+        Some(rows) if rows.is_empty() => {
+            errors.push("'sim_core_ticks_per_sec' is empty".to_string())
+        }
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                if row.get("cores").and_then(|n| n.as_u64()).is_none() {
+                    errors.push(format!(
+                        "sim_core_ticks_per_sec[{i}] missing integer 'cores'"
+                    ));
+                }
+                for field in ["batched_median_ns", "core_ticks_per_sec"] {
+                    if row.get(field).and_then(|n| n.as_f64()).is_none() {
+                        errors.push(format!(
+                            "sim_core_ticks_per_sec[{i}] missing number '{field}'"
+                        ));
+                    }
+                }
+            }
+        }
     }
     if errors.is_empty() {
         println!("{} OK", path.display());
@@ -166,6 +206,24 @@ fn main() {
             cluster.push((n, ns));
         }
     }
+    let mut sim = Vec::new();
+    for &cores in SIM_CORES {
+        let id = cores.to_string();
+        let batched = median_ns(&criterion_dir, "sim_tick_batched", &id);
+        let sampled = median_ns(&criterion_dir, "sim_tick_batched_sampled", &id);
+        let scalar = median_ns(&criterion_dir, "sim_tick_scalar", &id);
+        match batched {
+            Some(b) => sim.push(SimEntry {
+                cores,
+                batched: b,
+                throughput: cores as f64 / (b * 1e-9),
+                sampled,
+                scalar,
+                speedup: scalar.map(|s| s / b),
+            }),
+            None => missing.push(format!("sim_tick_batched/{cores}")),
+        }
+    }
     if entries.is_empty() {
         eprintln!(
             "no criterion estimates found under {} — run \
@@ -221,6 +279,27 @@ fn main() {
             if i + 1 < cluster.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"sim_core_ticks_per_sec\": [\n");
+    for (i, e) in sim.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cores\": {}, \"batched_median_ns\": {:.1}, \"core_ticks_per_sec\": {:.3e}",
+            e.cores, e.batched, e.throughput
+        ));
+        if let Some(s) = e.sampled {
+            out.push_str(&format!(", \"sampled_median_ns\": {s:.1}"));
+        }
+        if let Some(s) = e.scalar {
+            out.push_str(&format!(", \"scalar_median_ns\": {s:.1}"));
+        }
+        if let Some(s) = e.speedup {
+            out.push_str(&format!(", \"speedup\": {s:.2}"));
+        }
+        out.push('}');
+        if i + 1 < sim.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
     out.push_str("  ],\n  \"harness_fast_suite\": {\n");
     out.push_str(&format!("    \"experiments\": {suite_ran},\n"));
     out.push_str(&format!(
@@ -243,13 +322,35 @@ fn main() {
         }
         println!("{line}");
     }
+    for e in &sim {
+        let mut line = format!(
+            "cores={:<5} batched {:>12.1} ns  {:>10.3e} core-ticks/s",
+            e.cores, e.batched, e.throughput
+        );
+        if let Some(s) = e.sampled {
+            line.push_str(&format!("  sampled {s:>10.1} ns"));
+        }
+        if let (Some(s), Some(x)) = (e.scalar, e.speedup) {
+            line.push_str(&format!("  scalar {s:>14.1} ns  speedup {x:.2}x"));
+        }
+        println!("{line}");
+    }
     println!("harness fast suite: {suite_ran} experiments in {suite_wall_s:.2}s wall");
-    // The tentpole target: a steady-state round with an unchanged model
+    // The steady-state cache target: a round with an unchanged model
     // set must be at least 5x cheaper than rebuilding at n=256.
     if let Some(e) = entries.iter().find(|e| e.n == 256) {
         if let Some(s) = e.cache_speedup {
             if s < 5.0 {
                 eprintln!("warning: cache-hit speedup at n=256 is {s:.2}x (< 5x target)");
+            }
+        }
+    }
+    // The SoA tentpole target: the batched pass must clear 10x the
+    // scalar reference at the 1024-core rack aggregate.
+    if let Some(e) = sim.iter().find(|e| e.cores == 1024) {
+        if let Some(s) = e.speedup {
+            if s < 10.0 {
+                eprintln!("warning: batched speedup at 1024 cores is {s:.2}x (< 10x target)");
             }
         }
     }

@@ -49,15 +49,6 @@ impl ClusterConfig {
         }
     }
 
-    /// Former name of [`ClusterConfig::rack`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `ClusterConfig::rack()` with `with_*` builders"
-    )]
-    pub fn default_rack() -> Self {
-        Self::rack()
-    }
-
     /// Override the per-node dispatch period `t` (s).
     pub fn with_t_s(mut self, t_s: f64) -> Self {
         self.t_s = t_s;
@@ -512,17 +503,6 @@ mod tests {
     use super::*;
     use fvs_power::BudgetEvent;
     use fvs_workloads::Tier;
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_default_rack_matches_rack() {
-        let old = ClusterConfig::default_rack();
-        let new = ClusterConfig::rack();
-        assert_eq!(old.t_s, new.t_s);
-        assert_eq!(old.n, new.n);
-        assert_eq!(old.latency_s, new.latency_s);
-        assert_eq!(old.budget.initial_w(), new.budget.initial_w());
-    }
 
     #[test]
     fn builder_chain_sets_every_field() {

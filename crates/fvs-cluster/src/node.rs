@@ -1,7 +1,7 @@
 //! A cluster node: one machine plus its local measurement agent.
 
 use crate::coordinator::NodeSummary;
-use fvs_model::FreqMhz;
+use fvs_model::{CounterDelta, FreqMhz};
 use fvs_sched::Predictor;
 use fvs_sim::Machine;
 use fvs_workloads::Tier;
@@ -15,17 +15,22 @@ pub struct ClusterNode {
     pub tier: Option<Tier>,
     machine: Machine,
     predictor: Predictor,
+    /// Reused per-tick sample buffer: ticking a node allocates nothing
+    /// in steady state (the cluster zero-alloc proof covers this).
+    samples_buf: Vec<CounterDelta>,
 }
 
 impl ClusterNode {
     /// Wrap a machine as node `id`.
     pub fn new(id: usize, machine: Machine, tier: Option<Tier>) -> Self {
         let predictor = Predictor::new(machine.num_cores(), machine.config().latencies);
+        let samples_buf = Vec::with_capacity(machine.num_cores());
         ClusterNode {
             id,
             tier,
             machine,
             predictor,
+            samples_buf,
         }
     }
 
@@ -43,10 +48,12 @@ impl ClusterNode {
     /// predictor.
     pub fn tick(&mut self, t_s: f64) {
         self.machine.step(t_s);
-        let samples = self.machine.sample_all();
+        let mut samples = std::mem::take(&mut self.samples_buf);
+        self.machine.sample_all_into(&mut samples);
         for (i, s) in samples.iter().enumerate() {
             self.predictor.push(i, s);
         }
+        self.samples_buf = samples;
     }
 
     /// Close the local measurement window and produce the summary the

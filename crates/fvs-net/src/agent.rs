@@ -15,6 +15,7 @@
 use crate::error::FvsError;
 use crate::wire::{encode, FrameReader, WireMsg, SCHEMA_VERSION};
 use fvs_cluster::ClusterNode;
+use fvs_sim::Pacer;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -31,6 +32,11 @@ pub struct AgentConfig {
     pub summary_every: u32,
     /// Wall-clock pacing per tick (zero = free-running).
     pub pace: Duration,
+    /// Real-time mode: pace each tick to exactly `tick_s` of wall time
+    /// (absolute deadlines, drift-free), so one simulated second takes
+    /// one wall second — the honest way to soak a live coordinator on
+    /// the paper's real `t = 10 ms` sampling cadence. Overrides `pace`.
+    pub timed: bool,
     /// First reconnect delay of the backoff ladder.
     pub backoff_base: Duration,
     /// Ceiling of the backoff ladder.
@@ -50,8 +56,16 @@ impl AgentConfig {
             pace: Duration::from_millis(2),
             backoff_base: Duration::from_millis(50),
             backoff_max: Duration::from_millis(800),
+            timed: false,
             version: SCHEMA_VERSION,
         }
+    }
+
+    /// Enable or disable wall-clock real-time pacing (see
+    /// [`AgentConfig::timed`]).
+    pub fn with_timed(mut self, timed: bool) -> Self {
+        self.timed = timed;
+        self
     }
 
     /// Override the simulated tick length.
@@ -292,6 +306,11 @@ fn agent_loop(
         let mut reader = FrameReader::new();
         let mut buf = [0u8; 4096];
         let mut ticks = 0u32;
+        // Real-time mode: anchor the pacer at connection time so every
+        // tick lands on an absolute deadline from here on out.
+        let mut pacer = config
+            .timed
+            .then(|| Pacer::new(Duration::from_secs_f64(config.tick_s)));
         loop {
             if flags.kill.load(Ordering::SeqCst) {
                 // Crash: no Bye, the socket just stops.
@@ -352,7 +371,9 @@ fn agent_loop(
                 break;
             }
 
-            if !config.pace.is_zero() {
+            if let Some(pacer) = pacer.as_mut() {
+                pacer.pace();
+            } else if !config.pace.is_zero() {
                 std::thread::sleep(config.pace);
             }
         }

@@ -22,6 +22,17 @@ impl EnergyMeter {
         Self::default()
     }
 
+    /// Assemble a meter from already-integrated totals. The batched
+    /// simulator accrues joules/seconds/peak in flat per-core arrays
+    /// (one streaming pass per tick) and materialises a meter on demand.
+    pub fn from_parts(joules: f64, seconds: f64, peak_watts: f64) -> Self {
+        EnergyMeter {
+            joules,
+            seconds,
+            peak_watts,
+        }
+    }
+
     /// Add `dt` seconds at `watts`.
     pub fn record(&mut self, watts: f64, dt: f64) {
         debug_assert!(watts >= 0.0 && dt >= 0.0);

@@ -506,7 +506,7 @@ impl<P: Policy> ScheduledSimulation<P> {
                 0.0
             },
             energy_j: self.machine.total_energy_j(),
-            core_energy: (0..n).map(|i| self.machine.energy(i).clone()).collect(),
+            core_energy: (0..n).map(|i| self.machine.energy(i)).collect(),
             violation_s: self.violation_s,
             max_overshoot_w: self.max_overshoot_w,
             completed_at_s: (0..n)

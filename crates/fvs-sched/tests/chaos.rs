@@ -137,6 +137,54 @@ proptest! {
         prop_assert_eq!(quiet.faults_injected(), 0);
     }
 
+    /// The batched SoA machine and the scalar reference stepper drive
+    /// the full faulted pipeline to matching reports: corruption (NaN
+    /// rows, spikes, stales — whatever the plan rolls) rides on the
+    /// sample stream, and the two steppers produce that stream
+    /// bit-identically (every-tick sampling keeps deferred windows at
+    /// one tick), so every downstream decision, switch and violation
+    /// second matches exactly. Only the energy integrals may differ by
+    /// a few ulp: between actuations a core's power is constant, and
+    /// the batched machine commits those multi-tick accrual windows in
+    /// closed form (≤1e-12 relative, see DESIGN.md §13).
+    #[test]
+    fn batched_and_reference_agree_under_faults(
+        counters in 0.1f64..0.6,
+        drop_factor in 0.3f64..1.0,
+        seed in any::<u64>(),
+        hot in 20.0f64..120.0,
+    ) {
+        let run = |reference: bool| {
+            let mut b = MachineBuilder::p630().seed(seed);
+            for (i, c) in [hot, 60.0, 30.0, 10.0].iter().enumerate() {
+                b = b.workload(i, WorkloadSpec::synthetic(*c, 1.0e12));
+            }
+            if reference {
+                b = b.reference_stepping();
+            }
+            let plan = FaultPlan::parse(&format!(
+                "counters={counters:.4},drop={drop_factor:.4}@0.4"
+            ))
+            .unwrap();
+            let config =
+                SchedulerConfig::p630().with_budget(BudgetSchedule::constant(560.0));
+            let mut sim = ScheduledSimulation::new(b.build(), config)
+                .without_trace()
+                .with_faults(FaultInjector::new(plan, seed), Telemetry::disabled());
+            sim.run_for(1.2)
+        };
+        let a = run(false);
+        let b = run(true);
+        let rel = |x: f64, y: f64| (x - y).abs() <= 1.0e-12 * x.abs().max(y.abs()).max(1.0);
+        prop_assert!(rel(a.energy_j, b.energy_j), "{} vs {}", a.energy_j, b.energy_j);
+        prop_assert!(rel(a.avg_power_w, b.avg_power_w));
+        prop_assert_eq!(a.final_power_w.to_bits(), b.final_power_w.to_bits());
+        prop_assert_eq!(a.peak_power_w.to_bits(), b.peak_power_w.to_bits());
+        prop_assert_eq!(a.decisions, b.decisions);
+        prop_assert_eq!(a.frequency_switches, b.frequency_switches);
+        prop_assert_eq!(a.violation_s.to_bits(), b.violation_s.to_bits());
+    }
+
     /// Acceptance (2), asserted at the decision boundary itself: drive
     /// the scheduler directly with corrupted counter deltas and inspect
     /// every `ScheduleDecision` field — frequencies stay in the

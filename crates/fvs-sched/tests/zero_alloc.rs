@@ -10,7 +10,9 @@
 
 use fvs_model::{CpiModel, FreqMhz};
 use fvs_sched::{DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleCache, ScheduleScratch};
+use fvs_sim::MachineBuilder;
 use fvs_telemetry::{SchedEvent, Telemetry};
+use fvs_workloads::WorkloadSpec;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -194,5 +196,34 @@ fn main() {
         );
         assert!(rounds.get() >= 50);
     }
+    // The substrate half of the daemon's hot loop: the batched SoA
+    // machine tick plus the reused-buffer sample sweep the scheduler
+    // consumes each round must be allocation-free once warm, with
+    // frequency changes landing between measured ticks (the actuator
+    // settle list and power cache update in place).
+    let mut machine = MachineBuilder::p630()
+        .workload(0, WorkloadSpec::synthetic(100.0, 1.0e15))
+        .workload(1, WorkloadSpec::synthetic(20.0, 1.0e15))
+        .workload(2, WorkloadSpec::synthetic(5.0, 1.0e15))
+        .workload(3, WorkloadSpec::synthetic(0.5, 1.0e15))
+        .build();
+    let mut samples = Vec::with_capacity(machine.num_cores());
+    let ladder = [1000u32, 850, 650, 450, 250];
+    for k in 0..200 {
+        machine.set_frequency(k % 4, FreqMhz(ladder[k % ladder.len()]));
+        machine.step(0.01);
+        machine.sample_all_into(&mut samples);
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for k in 0..300 {
+        machine.set_frequency(k % 4, FreqMhz(ladder[k % ladder.len()]));
+        machine.step(0.01);
+        machine.sample_all_into(&mut samples);
+        std::hint::black_box(machine.total_power_w());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "steady-state machine tick allocated");
+    assert!(machine.total_energy_j() > 0.0);
+
     println!("zero_alloc: ok");
 }

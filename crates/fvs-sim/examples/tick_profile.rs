@@ -1,0 +1,33 @@
+//! Quick wall-clock cost of `Machine::step` at 1024 cores — a
+//! one-number sanity probe for the batched SoA tick path (see the
+//! `sim_tick` criterion bench for the statistically careful version).
+use fvs_sim::{MachineBuilder, NoiseModel};
+use fvs_workloads::WorkloadSpec;
+use std::time::Instant;
+
+fn main() {
+    let cores = 1024;
+    let mut b = MachineBuilder::p630().cores(cores).noise(NoiseModel::NONE);
+    for i in 0..cores {
+        b = b.workload(
+            i,
+            WorkloadSpec::synthetic((i % 5) as f64 * 25.0, 1.0e15).looping(),
+        );
+    }
+    let mut m = b.build();
+    for _ in 0..100 {
+        m.step(0.01);
+    }
+    let reps = 20000;
+    let t = Instant::now();
+    for _ in 0..reps {
+        m.step(0.01);
+    }
+    let full = t.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "full step: {:.0} ns ({:.2} ns/core)",
+        full * 1e9,
+        full * 1e9 / cores as f64
+    );
+    println!("energy sanity: {:.3e} J", m.total_energy_j());
+}

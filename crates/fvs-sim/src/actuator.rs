@@ -36,6 +36,14 @@ pub trait Actuator: std::fmt::Debug + Send {
 
     /// Processor power (W) at `now_s`, given the platform's power table.
     fn power_w(&self, now_s: f64, table: &FreqPowerTable) -> f64;
+
+    /// The actuator's state as a `(current, target, settle_at_s)` step
+    /// function: the effective frequency is `target` from `settle_at_s`
+    /// onward and `current` before. Every actuator in this crate is
+    /// exactly such a step (throttling settles instantly), which is what
+    /// lets the batched [`crate::CoreBank`] cache effective frequencies
+    /// in flat arrays instead of making a virtual call per core per tick.
+    fn linearize(&self) -> (FreqMhz, FreqMhz, f64);
 }
 
 /// True dynamic frequency/voltage scaling with a settling delay.
@@ -93,6 +101,10 @@ impl Actuator for DvfsActuator {
 
     fn power_w(&self, now_s: f64, table: &FreqPowerTable) -> f64 {
         table.power_interpolated(self.effective(now_s))
+    }
+
+    fn linearize(&self) -> (FreqMhz, FreqMhz, f64) {
+        (self.current, self.target, self.settle_at_s)
     }
 }
 
@@ -180,6 +192,13 @@ impl Actuator for ThrottleActuator {
                 active + self.analytic.static_power(self.v_nom)
             }
         }
+    }
+
+    fn linearize(&self) -> (FreqMhz, FreqMhz, f64) {
+        // Throttling has no settling: the quantised setting is in effect
+        // at every instant, past and future.
+        let q = self.quantised();
+        (q, q, f64::NEG_INFINITY)
     }
 }
 

@@ -1,0 +1,1107 @@
+//! Struct-of-arrays core bank: the batched simulator hot path.
+//!
+//! [`crate::Machine`] historically stepped a `Vec<Core>` of
+//! struct-of-everything cores — per core per tick it made two virtual
+//! actuator calls, rebuilt a `CpiModel` from the phase profile, and
+//! walked a phase list. At the ROADMAP's scales (tens of thousands of
+//! cores, millions of ticks) that scalar loop dominates everything the
+//! scheduler itself costs. `CoreBank` keeps the same ground-truth model
+//! but lays every per-core field out as its own contiguous array so one
+//! [`CoreBank::tick_batch`] pass advances all cores with streaming,
+//! branch-light, SIMD-friendly arithmetic.
+//!
+//! Four ideas make the fast path cheap while preserving the reference
+//! semantics — bit-identical under every-tick observation, and within a
+//! few ulp (≤1e-12 relative) for accumulators left unobserved across
+//! multi-tick windows (see the differential proptests in
+//! `tests/batch_parity.rs`):
+//!
+//! 1. **Linearized actuators.** Every [`crate::Actuator`] is a step
+//!    function `(current, target, settle_at)` ([`Actuator::linearize`]),
+//!    so the effective frequency lives in a flat `eff_hz` array that only
+//!    changes when a request lands or a pending transition settles —
+//!    never inside the tick loop.
+//! 2. **Cached phase coefficients.** The CPI model of the current phase
+//!    (`cpi0`, memory seconds/instruction, access rates, drift scaling)
+//!    is refreshed only at phase boundaries and stored per core, so the
+//!    hot loop is pure array arithmetic: `cpi = cpi0 + m·hz`,
+//!    `rate = hz/cpi`, five fused multiply-adds to retire counters.
+//! 3. **Boundary-crossers compaction.** Cores that would cross a phase
+//!    boundary this tick (or owe stolen daemon time) are *rare*; their
+//!    indices are compacted into a small per-block list and replayed
+//!    through [`TickChunk::step_row_scalar`] — a faithful port of
+//!    `Core::step` — while the common case stays branch-free.
+//! 4. **Deferred uniform windows.** A 128-core block that provably stays
+//!    on the fast path for the next `t` ticks (`block_safe_ticks`: no
+//!    phase boundary within a 4-tick margin, no steal, no actuation)
+//!    advances by a counter bump alone; the pending window of `k` ticks
+//!    commits in closed form (`x += k·d`) at the next observation or
+//!    perturbation. A `k = 1` window commits with exactly the per-tick
+//!    arithmetic, so every-tick sampling is bitwise unchanged.
+//!
+//! Above [`CoreBank::par_threshold`] cores the tick splits the arrays
+//! recursively with `split_at_mut` + [`rayon::join`] so chunks advance on
+//! separate threads; each serial chunk still allocates nothing (the
+//! crossers list is a fixed stack array per 128-core block), which keeps
+//! the zero-alloc-per-tick proofs true for the batched path.
+
+use crate::actuator::Actuator;
+use crate::core::{CoreStats, PhaseCursor};
+use fvs_model::{CounterDelta, ExecutionProfile, FreqMhz, MemoryLatencies};
+use fvs_workloads::{PhaseKind, WorkloadSpec};
+
+/// Golden-angle drift constant — must match `Core::drift_factor`.
+const GOLDEN_ANGLE: f64 = 2.399_963_229_728_653;
+
+/// Cores per serial sub-block; bounds the stack-allocated crossers list.
+const BLOCK: usize = 128;
+
+/// Default core count above which `tick_batch` splits across threads.
+/// The vendored rayon stand-in spawns scoped threads per call (no pool),
+/// so parallelism only pays off for large banks; machines below this run
+/// the serial path, which is also what the allocation proofs measure.
+pub const DEFAULT_PAR_THRESHOLD: usize = 4096;
+
+/// The drift factor for loop iteration `k`: `1 + amp·sin(k·φ)`.
+/// Identical arithmetic to `Core::drift_factor`.
+#[inline]
+fn drift_factor(amp: f64, loop_count: u64) -> f64 {
+    1.0 + amp * (loop_count as f64 * GOLDEN_ANGLE).sin()
+}
+
+/// Per-core cached coefficients of the currently-executing phase.
+struct PhaseCache {
+    cpi0: f64,
+    mem_s_per_instr: f64,
+    l2_per_instr: f64,
+    l3_per_instr: f64,
+    mem_per_instr: f64,
+    /// Instruction budget of the phase (`+inf` once finished, so the
+    /// time-to-boundary test never fires for idle-spinning cores).
+    phase_instr: f64,
+    /// 1.0 while executing the assigned workload, 0.0 in the idle loop.
+    in_workload: f64,
+    /// 1.0 while in a workload *body* phase.
+    in_body: f64,
+    /// 1.0 when the core accrues busy time (not idle).
+    busy: f64,
+}
+
+/// Compute the phase cache for one core. Mirrors the per-tick profile
+/// selection at the top of `Core::step` (including drift scaling), so
+/// cached values equal what the scalar path would recompute.
+fn phase_cache(
+    workload: &WorkloadSpec,
+    idle_profile: &ExecutionProfile,
+    finished: bool,
+    phase_idx: usize,
+    loop_count: u64,
+    lat: &MemoryLatencies,
+) -> PhaseCache {
+    if finished {
+        return PhaseCache {
+            cpi0: idle_profile.cpi0(),
+            mem_s_per_instr: idle_profile.rates.stall_time_per_instr(lat),
+            l2_per_instr: idle_profile.rates.l2_per_instr,
+            l3_per_instr: idle_profile.rates.l3_per_instr,
+            mem_per_instr: idle_profile.rates.mem_per_instr,
+            phase_instr: f64::INFINITY,
+            in_workload: 0.0,
+            in_body: 0.0,
+            busy: 0.0,
+        };
+    }
+    let phase = &workload.phases[phase_idx];
+    let mut profile = phase.profile;
+    if workload.loop_drift_amplitude > 0.0 && phase.kind == PhaseKind::Body {
+        profile.rates = profile
+            .rates
+            .scaled(drift_factor(workload.loop_drift_amplitude, loop_count));
+    }
+    PhaseCache {
+        cpi0: profile.cpi0(),
+        mem_s_per_instr: profile.rates.stall_time_per_instr(lat),
+        l2_per_instr: profile.rates.l2_per_instr,
+        l3_per_instr: profile.rates.l3_per_instr,
+        mem_per_instr: profile.rates.mem_per_instr,
+        phase_instr: phase.instructions,
+        in_workload: 1.0,
+        in_body: if phase.kind == PhaseKind::Body {
+            1.0
+        } else {
+            0.0
+        },
+        busy: if workload.is_idle_loop { 0.0 } else { 1.0 },
+    }
+}
+
+/// Contiguous per-field state for every core of a machine.
+///
+/// The bank is the authoritative simulation state; [`crate::Machine`]
+/// wraps it together with the cold per-core objects (workload specs,
+/// boxed actuators, energy meters) and exposes the familiar per-core
+/// view API on top.
+#[derive(Debug)]
+pub struct CoreBank {
+    n: usize,
+    // --- cumulative ground-truth counters (one array per PMC) ---
+    pub(crate) instructions: Vec<f64>,
+    pub(crate) cycles: Vec<f64>,
+    pub(crate) l2_accesses: Vec<f64>,
+    pub(crate) l3_accesses: Vec<f64>,
+    pub(crate) mem_accesses: Vec<f64>,
+    // --- snapshot at the last sample, for delta computation ---
+    ls_instructions: Vec<f64>,
+    ls_cycles: Vec<f64>,
+    ls_l2: Vec<f64>,
+    ls_l3: Vec<f64>,
+    ls_mem: Vec<f64>,
+    // --- workload cursor + stats ---
+    pub(crate) phase_idx: Vec<u32>,
+    pub(crate) done_in_phase: Vec<f64>,
+    pub(crate) loop_count: Vec<u64>,
+    pub(crate) finished: Vec<bool>,
+    pub(crate) body_instructions: Vec<f64>,
+    pub(crate) busy_s: Vec<f64>,
+    /// Completion time of a non-looping workload; NaN while running.
+    pub(crate) completed_at_s: Vec<f64>,
+    pub(crate) pending_steal_s: Vec<f64>,
+    pub(crate) powered: Vec<bool>,
+    pub(crate) idle_loop_flag: Vec<bool>,
+    // --- linearized actuator state + effective-frequency cache ---
+    pub(crate) lin_cur_mhz: Vec<u32>,
+    pub(crate) lin_tgt_mhz: Vec<u32>,
+    pub(crate) lin_settle_at_s: Vec<f64>,
+    pub(crate) eff_mhz: Vec<u32>,
+    pub(crate) eff_hz: Vec<f64>,
+    /// Cached per-core power (W), valid while the effective frequency and
+    /// power state are unchanged; zero for powered-off cores.
+    pub(crate) power_w: Vec<f64>,
+    /// Rows with an in-flight actuator transition (`settle_at` in the
+    /// future). Kept compact so a machine with no transitions pays
+    /// nothing to check.
+    pub(crate) settling: Vec<u32>,
+    pub(crate) settling_flag: Vec<bool>,
+    /// Seconds accumulated at the current effective frequency since the
+    /// last residency flush (flushed into the histogram on change).
+    pub(crate) stint_s: Vec<f64>,
+    // --- cached coefficients of the current phase ---
+    cur_cpi0: Vec<f64>,
+    cur_m: Vec<f64>,
+    cur_l2r: Vec<f64>,
+    cur_l3r: Vec<f64>,
+    cur_memr: Vec<f64>,
+    cur_phase_instr: Vec<f64>,
+    cur_in_wl: Vec<f64>,
+    cur_in_body: Vec<f64>,
+    cur_busy: Vec<f64>,
+    /// Cached `cpi0 + m·hz` at the current effective frequency. The
+    /// scalar loop recomputes this every tick from the same operands, so
+    /// caching it at refresh points is bit-identical.
+    cur_cpi: Vec<f64>,
+    /// Cached `hz / cur_cpi` — the instruction retire rate. Same
+    /// bit-identity argument; removes both divisions from the fast path.
+    cur_rate: Vec<f64>,
+    /// Per-128-row-block count of ticks the whole block is *provably*
+    /// uniform-fast for (every row powered, no pending steal, far from
+    /// any phase boundary). While positive, the tick runs a completely
+    /// branch-free fused pass over the block — no per-row checks at all.
+    /// Zeroed by any event that could perturb a row (frequency change,
+    /// steal, power toggle, phase refresh, dt change).
+    block_fast_ticks: Vec<u32>,
+    /// Per-block count of uniform ticks accrued but not yet applied to
+    /// the accumulator arrays. While a block is provably uniform, a tick
+    /// costs one counter increment; the `k` pending ticks are committed
+    /// in closed form (`x += k·d`, a single rounding instead of `k`) at
+    /// the next observation or perturbation. A window of `k = 1` commits
+    /// bit-identically to the per-tick fast path, so every-tick sampling
+    /// — the paper's scheduler loop — sees unchanged bits; longer
+    /// unobserved windows agree with the reference to ~`k·2⁻⁵²` relative
+    /// (well inside the 1e-12 differential-test envelope) and are
+    /// strictly *more* accurate.
+    pending_ticks: Vec<u32>,
+    /// The dt the block counters were computed for; counters are only
+    /// trusted while dt is unchanged.
+    fast_dt: f64,
+    /// The platform idle-loop profile shared by all finished cores.
+    pub(crate) idle_profile: ExecutionProfile,
+    /// Core count above which `tick_batch` splits across threads.
+    pub(crate) par_threshold: usize,
+}
+
+impl CoreBank {
+    /// A zeroed bank for `n` cores. Rows still need their actuator
+    /// linearization, idle flags and phase caches initialised (the
+    /// machine builder does this).
+    pub(crate) fn new(n: usize, par_threshold: usize) -> Self {
+        CoreBank {
+            n,
+            instructions: vec![0.0; n],
+            cycles: vec![0.0; n],
+            l2_accesses: vec![0.0; n],
+            l3_accesses: vec![0.0; n],
+            mem_accesses: vec![0.0; n],
+            ls_instructions: vec![0.0; n],
+            ls_cycles: vec![0.0; n],
+            ls_l2: vec![0.0; n],
+            ls_l3: vec![0.0; n],
+            ls_mem: vec![0.0; n],
+            phase_idx: vec![0; n],
+            done_in_phase: vec![0.0; n],
+            loop_count: vec![0; n],
+            finished: vec![false; n],
+            body_instructions: vec![0.0; n],
+            busy_s: vec![0.0; n],
+            completed_at_s: vec![f64::NAN; n],
+            pending_steal_s: vec![0.0; n],
+            powered: vec![true; n],
+            idle_loop_flag: vec![false; n],
+            lin_cur_mhz: vec![0; n],
+            lin_tgt_mhz: vec![0; n],
+            lin_settle_at_s: vec![0.0; n],
+            eff_mhz: vec![0; n],
+            eff_hz: vec![0.0; n],
+            power_w: vec![0.0; n],
+            settling: Vec::with_capacity(n),
+            settling_flag: vec![false; n],
+            stint_s: vec![0.0; n],
+            cur_cpi0: vec![0.0; n],
+            cur_m: vec![0.0; n],
+            cur_l2r: vec![0.0; n],
+            cur_l3r: vec![0.0; n],
+            cur_memr: vec![0.0; n],
+            cur_phase_instr: vec![0.0; n],
+            cur_in_wl: vec![0.0; n],
+            cur_in_body: vec![0.0; n],
+            cur_busy: vec![0.0; n],
+            cur_cpi: vec![0.0; n],
+            cur_rate: vec![0.0; n],
+            block_fast_ticks: vec![0; n.div_ceil(BLOCK)],
+            pending_ticks: vec![0; n.div_ceil(BLOCK)],
+            fast_dt: 0.0,
+            idle_profile: WorkloadSpec::hot_idle().phases[0].profile,
+            par_threshold,
+        }
+    }
+
+    /// Number of cores in the bank.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the bank has no cores.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sync a row's linearized actuator state from its actuator.
+    pub(crate) fn sync_linearization(&mut self, i: usize, actuator: &dyn Actuator) {
+        let (cur, tgt, settle_at) = actuator.linearize();
+        self.lin_cur_mhz[i] = cur.0;
+        self.lin_tgt_mhz[i] = tgt.0;
+        self.lin_settle_at_s[i] = settle_at;
+    }
+
+    /// The effective frequency of row `i` at `now_s`, from the
+    /// linearized actuator state (equals `actuator.effective(now_s)`).
+    pub(crate) fn effective_at(&self, i: usize, now_s: f64) -> FreqMhz {
+        if now_s >= self.lin_settle_at_s[i] {
+            FreqMhz(self.lin_tgt_mhz[i])
+        } else {
+            FreqMhz(self.lin_cur_mhz[i])
+        }
+    }
+
+    /// Recompute the cached phase coefficients of row `i`.
+    pub(crate) fn refresh_row(&mut self, i: usize, workload: &WorkloadSpec, lat: &MemoryLatencies) {
+        let c = phase_cache(
+            workload,
+            &self.idle_profile,
+            self.finished[i],
+            self.phase_idx[i] as usize,
+            self.loop_count[i],
+            lat,
+        );
+        self.cur_cpi0[i] = c.cpi0;
+        self.cur_m[i] = c.mem_s_per_instr;
+        self.cur_l2r[i] = c.l2_per_instr;
+        self.cur_l3r[i] = c.l3_per_instr;
+        self.cur_memr[i] = c.mem_per_instr;
+        self.cur_phase_instr[i] = c.phase_instr;
+        self.cur_in_wl[i] = c.in_workload;
+        self.cur_in_body[i] = c.in_body;
+        self.cur_busy[i] = c.busy;
+        self.recompute_rate_row(i);
+    }
+
+    /// Refresh the cached CPI and retire rate of row `i` from its phase
+    /// coefficients and effective frequency. Must be called whenever
+    /// either changes (phase refresh, frequency taking effect).
+    pub(crate) fn recompute_rate_row(&mut self, i: usize) {
+        // A pending window at the old rate must be committed before the
+        // rate changes (callers go through `perturb_row` first).
+        debug_assert_eq!(self.pending_ticks[i / BLOCK], 0);
+        let hz = self.eff_hz[i];
+        let cpi = self.cur_cpi0[i] + self.cur_m[i] * hz;
+        self.cur_cpi[i] = cpi;
+        self.cur_rate[i] = hz / cpi;
+        self.block_fast_ticks[i / BLOCK] = 0;
+    }
+
+    /// Close the deferred window of the block containing row `i` and
+    /// drop its uniform-fast guarantee. Must precede every mutation that
+    /// could make a row unsafe for the branch-free pass or change its
+    /// rate/phase coefficients (steal, power toggle, frequency change,
+    /// workload reassignment/swap).
+    pub(crate) fn perturb_row(&mut self, i: usize) {
+        let blk = i / BLOCK;
+        self.materialize_block(blk);
+        self.block_fast_ticks[blk] = 0;
+    }
+
+    /// Commit the pending uniform ticks of every block.
+    pub(crate) fn materialize_all(&mut self) {
+        for blk in 0..self.pending_ticks.len() {
+            self.materialize_block(blk);
+        }
+    }
+
+    /// Commit block `blk`'s pending uniform ticks into the accumulator
+    /// arrays in closed form. For a window of one tick this is exactly
+    /// the per-tick fast-path arithmetic (`y·1.0 ≡ y`), hence
+    /// bit-identical; longer windows collapse `k` equal additions into
+    /// one `+ k·d`.
+    fn materialize_block(&mut self, blk: usize) {
+        let k = self.pending_ticks[blk];
+        if k == 0 {
+            return;
+        }
+        self.pending_ticks[blk] = 0;
+        let kf = k as f64;
+        let dt = self.fast_dt;
+        let start = blk * BLOCK;
+        let end = (start + BLOCK).min(self.n);
+        let len = end - start;
+        let cur_rate = &self.cur_rate[start..end];
+        let cur_cpi = &self.cur_cpi[start..end];
+        let cur_l2r = &self.cur_l2r[start..end];
+        let cur_l3r = &self.cur_l3r[start..end];
+        let cur_memr = &self.cur_memr[start..end];
+        let cur_in_wl = &self.cur_in_wl[start..end];
+        let cur_in_body = &self.cur_in_body[start..end];
+        let cur_busy = &self.cur_busy[start..end];
+        let done_in_phase = &mut self.done_in_phase[start..end];
+        let busy_s = &mut self.busy_s[start..end];
+        let instructions = &mut self.instructions[start..end];
+        let cycles = &mut self.cycles[start..end];
+        let l2 = &mut self.l2_accesses[start..end];
+        let l3 = &mut self.l3_accesses[start..end];
+        let mem = &mut self.mem_accesses[start..end];
+        let body = &mut self.body_instructions[start..end];
+        for j in 0..len {
+            let instr = cur_rate[j] * dt;
+            let s = instr * kf;
+            busy_s[j] += (dt * cur_busy[j]) * kf;
+            instructions[j] += s;
+            cycles[j] += cur_cpi[j] * s;
+            l2[j] += cur_l2r[j] * s;
+            l3[j] += cur_l3r[j] * s;
+            mem[j] += cur_memr[j] * s;
+            done_in_phase[j] += s * cur_in_wl[j];
+            body[j] += s * cur_in_body[j];
+        }
+    }
+
+    /// Pending uniform ticks of the block containing row `i`, with the
+    /// per-tick retirement of the row — the read-through adjustment for
+    /// accessors that must not mutate the bank.
+    fn pending_row(&self, i: usize) -> (f64, f64) {
+        let k = self.pending_ticks[i / BLOCK];
+        if k == 0 {
+            (0.0, 0.0)
+        } else {
+            let kf = k as f64;
+            (kf, (self.cur_rate[i] * self.fast_dt) * kf)
+        }
+    }
+
+    /// Ground-truth cumulative counters of row `i`, deferred window
+    /// included (read-through; the same arithmetic a commit would apply).
+    pub(crate) fn counters(&self, i: usize) -> CounterDelta {
+        let (_, s) = self.pending_row(i);
+        CounterDelta {
+            instructions: self.instructions[i] + s,
+            cycles: self.cycles[i] + self.cur_cpi[i] * s,
+            l2_accesses: self.l2_accesses[i] + self.cur_l2r[i] * s,
+            l3_accesses: self.l3_accesses[i] + self.cur_l3r[i] * s,
+            mem_accesses: self.mem_accesses[i] + self.cur_memr[i] * s,
+        }
+    }
+
+    /// Statistics snapshot of row `i` (same shape `Core::stats` returns).
+    pub(crate) fn stats(&self, i: usize) -> CoreStats {
+        let (kf, s) = self.pending_row(i);
+        CoreStats {
+            total_instructions: self.instructions[i] + s,
+            body_instructions: self.body_instructions[i] + s * self.cur_in_body[i],
+            completed_at_s: if self.completed_at_s[i].is_nan() {
+                None
+            } else {
+                Some(self.completed_at_s[i])
+            },
+            busy_s: self.busy_s[i] + (self.fast_dt * self.cur_busy[i]) * kf,
+        }
+    }
+
+    /// Workload cursor of row `i`.
+    pub(crate) fn cursor(&self, i: usize) -> PhaseCursor {
+        let (_, s) = self.pending_row(i);
+        PhaseCursor {
+            phase: self.phase_idx[i] as usize,
+            done_in_phase: self.done_in_phase[i] + s * self.cur_in_wl[i],
+        }
+    }
+
+    /// Counter delta of row `i` since its previous sample.
+    pub(crate) fn sample_raw_row(&mut self, i: usize) -> CounterDelta {
+        self.materialize_block(i / BLOCK);
+        let d = CounterDelta {
+            instructions: self.instructions[i] - self.ls_instructions[i],
+            cycles: self.cycles[i] - self.ls_cycles[i],
+            l2_accesses: self.l2_accesses[i] - self.ls_l2[i],
+            l3_accesses: self.l3_accesses[i] - self.ls_l3[i],
+            mem_accesses: self.mem_accesses[i] - self.ls_mem[i],
+        };
+        self.ls_instructions[i] = self.instructions[i];
+        self.ls_cycles[i] = self.cycles[i];
+        self.ls_l2[i] = self.l2_accesses[i];
+        self.ls_l3[i] = self.l3_accesses[i];
+        self.ls_mem[i] = self.mem_accesses[i];
+        d
+    }
+
+    /// Advance every core by `dt` seconds starting at `now_s`: the
+    /// batched equivalent of calling `Core::step` on each row —
+    /// bit-identical under every-tick observation, ≤1e-12 relative for
+    /// accumulators committed as deferred multi-tick windows, with all
+    /// discrete state (phase boundaries, finishes) exactly preserved.
+    pub(crate) fn tick_batch(
+        &mut self,
+        now_s: f64,
+        dt: f64,
+        lat: &MemoryLatencies,
+        workloads: &[WorkloadSpec],
+    ) {
+        // A dt at or below the scalar loop's epsilon would retire nothing
+        // in `Core::step`; route everything through the faithful port.
+        let force_slow = dt <= 1e-15;
+        let threshold = self.par_threshold.max(1);
+        // The block-uniform counters are only maintained on the
+        // single-serial-chunk path (block indices line up with the bank);
+        // a changed dt or a split/forced-slow tick invalidates them all.
+        let use_counters = !force_slow && self.n <= threshold;
+        if dt != self.fast_dt {
+            // Windows deferred at the old dt must be committed with it.
+            self.materialize_all();
+            self.fast_dt = dt;
+            self.block_fast_ticks.iter_mut().for_each(|c| *c = 0);
+        }
+        if !use_counters {
+            self.materialize_all();
+            self.block_fast_ticks.iter_mut().for_each(|c| *c = 0);
+        }
+        let chunk = TickChunk {
+            instructions: &mut self.instructions,
+            cycles: &mut self.cycles,
+            l2_accesses: &mut self.l2_accesses,
+            l3_accesses: &mut self.l3_accesses,
+            mem_accesses: &mut self.mem_accesses,
+            phase_idx: &mut self.phase_idx,
+            done_in_phase: &mut self.done_in_phase,
+            loop_count: &mut self.loop_count,
+            finished: &mut self.finished,
+            body_instructions: &mut self.body_instructions,
+            busy_s: &mut self.busy_s,
+            completed_at_s: &mut self.completed_at_s,
+            pending_steal_s: &mut self.pending_steal_s,
+            powered: &self.powered,
+            eff_hz: &self.eff_hz,
+            cur_cpi0: &mut self.cur_cpi0,
+            cur_m: &mut self.cur_m,
+            cur_l2r: &mut self.cur_l2r,
+            cur_l3r: &mut self.cur_l3r,
+            cur_memr: &mut self.cur_memr,
+            cur_phase_instr: &mut self.cur_phase_instr,
+            cur_in_wl: &mut self.cur_in_wl,
+            cur_in_body: &mut self.cur_in_body,
+            cur_busy: &mut self.cur_busy,
+            cur_cpi: &mut self.cur_cpi,
+            cur_rate: &mut self.cur_rate,
+            fast: if use_counters {
+                Some(FastBlocks {
+                    ticks: &mut self.block_fast_ticks,
+                    pending: &mut self.pending_ticks,
+                })
+            } else {
+                None
+            },
+            workloads,
+            idle_profile: &self.idle_profile,
+        };
+        tick_split(chunk, threshold, now_s, dt, lat, force_slow);
+    }
+
+    /// Advance every core through the original scalar per-row loop —
+    /// no fast path, no phase-cache reliance, no chunk splitting. This
+    /// is the cost structure (and bit-exact behaviour) of the
+    /// pre-vectorization `Machine::step` core loop, kept as the
+    /// benchmark denominator and differential-test target.
+    pub(crate) fn step_rows_reference(
+        &mut self,
+        now_s: f64,
+        dt: f64,
+        lat: &MemoryLatencies,
+        workloads: &[WorkloadSpec],
+    ) {
+        // Reference stepping advances rows without maintaining the
+        // uniform-block counters; commit any deferred windows and drop
+        // the counts so a later batched tick cannot trust them.
+        self.materialize_all();
+        self.block_fast_ticks.iter_mut().for_each(|c| *c = 0);
+        let mut chunk = TickChunk {
+            instructions: &mut self.instructions,
+            cycles: &mut self.cycles,
+            l2_accesses: &mut self.l2_accesses,
+            l3_accesses: &mut self.l3_accesses,
+            mem_accesses: &mut self.mem_accesses,
+            phase_idx: &mut self.phase_idx,
+            done_in_phase: &mut self.done_in_phase,
+            loop_count: &mut self.loop_count,
+            finished: &mut self.finished,
+            body_instructions: &mut self.body_instructions,
+            busy_s: &mut self.busy_s,
+            completed_at_s: &mut self.completed_at_s,
+            pending_steal_s: &mut self.pending_steal_s,
+            powered: &self.powered,
+            eff_hz: &self.eff_hz,
+            cur_cpi0: &mut self.cur_cpi0,
+            cur_m: &mut self.cur_m,
+            cur_l2r: &mut self.cur_l2r,
+            cur_l3r: &mut self.cur_l3r,
+            cur_memr: &mut self.cur_memr,
+            cur_phase_instr: &mut self.cur_phase_instr,
+            cur_in_wl: &mut self.cur_in_wl,
+            cur_in_body: &mut self.cur_in_body,
+            cur_busy: &mut self.cur_busy,
+            cur_cpi: &mut self.cur_cpi,
+            cur_rate: &mut self.cur_rate,
+            fast: None,
+            workloads,
+            idle_profile: &self.idle_profile,
+        };
+        for i in 0..chunk.len() {
+            if chunk.powered[i] {
+                chunk.step_row_core(i, now_s, dt, lat);
+            }
+        }
+    }
+}
+
+/// Recursively halve the chunk until it fits the threshold, running the
+/// halves through [`rayon::join`]. With a single configured worker the
+/// joins run inline, so the chunked code path is exercised (and provably
+/// allocation-free) even in serial test runs.
+fn tick_split(
+    chunk: TickChunk<'_>,
+    threshold: usize,
+    now_s: f64,
+    dt: f64,
+    lat: &MemoryLatencies,
+    force_slow: bool,
+) {
+    if chunk.len() <= threshold {
+        let mut chunk = chunk;
+        chunk.tick_serial(now_s, dt, lat, force_slow);
+        return;
+    }
+    let mid = chunk.len() / 2;
+    let (lo, hi) = chunk.split_at(mid);
+    rayon::join(
+        || tick_split(lo, threshold, now_s, dt, lat, force_slow),
+        || tick_split(hi, threshold, now_s, dt, lat, force_slow),
+    );
+}
+
+/// Mutable views of the bank's per-block uniform-tick bookkeeping,
+/// lent to the single serial chunk that covers the whole bank.
+struct FastBlocks<'a> {
+    ticks: &'a mut [u32],
+    pending: &'a mut [u32],
+}
+
+/// A borrowed window over the bank's hot arrays, splittable for
+/// parallel ticking.
+struct TickChunk<'a> {
+    instructions: &'a mut [f64],
+    cycles: &'a mut [f64],
+    l2_accesses: &'a mut [f64],
+    l3_accesses: &'a mut [f64],
+    mem_accesses: &'a mut [f64],
+    phase_idx: &'a mut [u32],
+    done_in_phase: &'a mut [f64],
+    loop_count: &'a mut [u64],
+    finished: &'a mut [bool],
+    body_instructions: &'a mut [f64],
+    busy_s: &'a mut [f64],
+    completed_at_s: &'a mut [f64],
+    pending_steal_s: &'a mut [f64],
+    powered: &'a [bool],
+    eff_hz: &'a [f64],
+    cur_cpi0: &'a mut [f64],
+    cur_m: &'a mut [f64],
+    cur_l2r: &'a mut [f64],
+    cur_l3r: &'a mut [f64],
+    cur_memr: &'a mut [f64],
+    cur_phase_instr: &'a mut [f64],
+    cur_in_wl: &'a mut [f64],
+    cur_in_body: &'a mut [f64],
+    cur_busy: &'a mut [f64],
+    cur_cpi: &'a mut [f64],
+    cur_rate: &'a mut [f64],
+    /// Block-uniform fast-tick + pending-window counters; `Some` only
+    /// when this chunk is the whole bank (block indices line up), `None`
+    /// on split chunks.
+    fast: Option<FastBlocks<'a>>,
+    workloads: &'a [WorkloadSpec],
+    idle_profile: &'a ExecutionProfile,
+}
+
+impl<'a> TickChunk<'a> {
+    fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Split the chunk into disjoint `[0, mid)` and `[mid, len)` halves.
+    fn split_at(self, mid: usize) -> (TickChunk<'a>, TickChunk<'a>) {
+        let (i0, i1) = self.instructions.split_at_mut(mid);
+        let (c0, c1) = self.cycles.split_at_mut(mid);
+        let (l2a, l2b) = self.l2_accesses.split_at_mut(mid);
+        let (l3a, l3b) = self.l3_accesses.split_at_mut(mid);
+        let (ma, mb) = self.mem_accesses.split_at_mut(mid);
+        let (pi0, pi1) = self.phase_idx.split_at_mut(mid);
+        let (d0, d1) = self.done_in_phase.split_at_mut(mid);
+        let (lc0, lc1) = self.loop_count.split_at_mut(mid);
+        let (f0, f1) = self.finished.split_at_mut(mid);
+        let (b0, b1) = self.body_instructions.split_at_mut(mid);
+        let (bs0, bs1) = self.busy_s.split_at_mut(mid);
+        let (ca0, ca1) = self.completed_at_s.split_at_mut(mid);
+        let (st0, st1) = self.pending_steal_s.split_at_mut(mid);
+        let (pw0, pw1) = self.powered.split_at(mid);
+        let (eh0, eh1) = self.eff_hz.split_at(mid);
+        let (cc0, cc1) = self.cur_cpi0.split_at_mut(mid);
+        let (cm0, cm1) = self.cur_m.split_at_mut(mid);
+        let (c2a, c2b) = self.cur_l2r.split_at_mut(mid);
+        let (c3a, c3b) = self.cur_l3r.split_at_mut(mid);
+        let (cma, cmb) = self.cur_memr.split_at_mut(mid);
+        let (cp0, cp1) = self.cur_phase_instr.split_at_mut(mid);
+        let (cw0, cw1) = self.cur_in_wl.split_at_mut(mid);
+        let (cb0, cb1) = self.cur_in_body.split_at_mut(mid);
+        let (cu0, cu1) = self.cur_busy.split_at_mut(mid);
+        let (cpi_a, cpi_b) = self.cur_cpi.split_at_mut(mid);
+        let (cr0, cr1) = self.cur_rate.split_at_mut(mid);
+        let (w0, w1) = self.workloads.split_at(mid);
+        (
+            TickChunk {
+                instructions: i0,
+                cycles: c0,
+                l2_accesses: l2a,
+                l3_accesses: l3a,
+                mem_accesses: ma,
+                phase_idx: pi0,
+                done_in_phase: d0,
+                loop_count: lc0,
+                finished: f0,
+                body_instructions: b0,
+                busy_s: bs0,
+                completed_at_s: ca0,
+                pending_steal_s: st0,
+                powered: pw0,
+                eff_hz: eh0,
+                cur_cpi0: cc0,
+                cur_m: cm0,
+                cur_l2r: c2a,
+                cur_l3r: c3a,
+                cur_memr: cma,
+                cur_phase_instr: cp0,
+                cur_in_wl: cw0,
+                cur_in_body: cb0,
+                cur_busy: cu0,
+                cur_cpi: cpi_a,
+                cur_rate: cr0,
+                fast: None,
+                workloads: w0,
+                idle_profile: self.idle_profile,
+            },
+            TickChunk {
+                instructions: i1,
+                cycles: c1,
+                l2_accesses: l2b,
+                l3_accesses: l3b,
+                mem_accesses: mb,
+                phase_idx: pi1,
+                done_in_phase: d1,
+                loop_count: lc1,
+                finished: f1,
+                body_instructions: b1,
+                busy_s: bs1,
+                completed_at_s: ca1,
+                pending_steal_s: st1,
+                powered: pw1,
+                eff_hz: eh1,
+                cur_cpi0: cc1,
+                cur_m: cm1,
+                cur_l2r: c2b,
+                cur_l3r: c3b,
+                cur_memr: cmb,
+                cur_phase_instr: cp1,
+                cur_in_wl: cw1,
+                cur_in_body: cb1,
+                cur_busy: cu1,
+                cur_cpi: cpi_b,
+                cur_rate: cr1,
+                fast: None,
+                workloads: w1,
+                idle_profile: self.idle_profile,
+            },
+        )
+    }
+
+    /// Advance the whole chunk serially: streaming fast path over
+    /// 128-core blocks, crossers compacted into a stack list and
+    /// replayed through the scalar port.
+    fn tick_serial(&mut self, now_s: f64, dt: f64, lat: &MemoryLatencies, force_slow: bool) {
+        let n = self.len();
+        // Division-free boundary guard: `remaining_instr > 2·dt·rate`
+        // guarantees `time_to_boundary > dt` with ulp margin to spare,
+        // so the row provably stays inside its phase for this tick. Rows
+        // within two ticks of a boundary (or with a pending steal) take
+        // the exact scalar path, which is bit-identical by construction.
+        let guard_dt = 2.0 * dt;
+        let mut start = 0;
+        let mut blk = 0usize;
+        while start < n {
+            let end = (start + BLOCK).min(n);
+            // Uniform-fast block: a positive counter proves every row in
+            // the block takes the fast path for at least this many more
+            // ticks, so skip the per-row checks entirely and run the
+            // fused branch-free pass (identical arithmetic to the
+            // per-row fast path below, hence identical bits).
+            // Uniform-fast block: a positive counter proves every row
+            // takes the fast path this tick, so just extend the block's
+            // deferred window — the tick costs one increment. The window
+            // is committed in closed form at the next observation,
+            // perturbation or checked pass.
+            let deferred = match self.fast.as_mut() {
+                Some(f) if f.ticks[blk] > 0 => {
+                    f.ticks[blk] -= 1;
+                    f.pending[blk] += 1;
+                    true
+                }
+                _ => false,
+            };
+            if deferred {
+                start = end;
+                blk += 1;
+                continue;
+            }
+            // Checked pass: first commit the block's deferred window so
+            // the per-row state is current.
+            let pend = match self.fast.as_mut() {
+                Some(f) => std::mem::replace(&mut f.pending[blk], 0),
+                None => 0,
+            };
+            if pend > 0 {
+                self.commit_block(start, end, dt, pend);
+            }
+            let mut crossers = [0u32; BLOCK];
+            let mut n_cross = 0usize;
+            {
+                // Reslice every array to the block so the compiler can
+                // hoist the bounds checks out of the row loop.
+                let len = end - start;
+                let powered = &self.powered[start..end];
+                let pending_steal = &self.pending_steal_s[start..end];
+                let cur_rate = &self.cur_rate[start..end];
+                let cur_cpi = &self.cur_cpi[start..end];
+                let cur_phase_instr = &self.cur_phase_instr[start..end];
+                let cur_l2r = &self.cur_l2r[start..end];
+                let cur_l3r = &self.cur_l3r[start..end];
+                let cur_memr = &self.cur_memr[start..end];
+                let cur_in_wl = &self.cur_in_wl[start..end];
+                let cur_in_body = &self.cur_in_body[start..end];
+                let cur_busy = &self.cur_busy[start..end];
+                let done_in_phase = &mut self.done_in_phase[start..end];
+                let busy_s = &mut self.busy_s[start..end];
+                let instructions = &mut self.instructions[start..end];
+                let cycles = &mut self.cycles[start..end];
+                let l2 = &mut self.l2_accesses[start..end];
+                let l3 = &mut self.l3_accesses[start..end];
+                let mem = &mut self.mem_accesses[start..end];
+                let body = &mut self.body_instructions[start..end];
+                for j in 0..len {
+                    if !powered[j] {
+                        continue;
+                    }
+                    let rate = cur_rate[j];
+                    let remaining_instr = cur_phase_instr[j] - done_in_phase[j];
+                    if force_slow || pending_steal[j] > 0.0 || remaining_instr <= guard_dt * rate {
+                        crossers[n_cross] = (start + j) as u32;
+                        n_cross += 1;
+                        continue;
+                    }
+                    // Common case: the whole tick stays inside one phase.
+                    // Exactly the arithmetic of `Core::step`'s single
+                    // loop iteration with run == dt (the cached rate and
+                    // CPI are the same operands the scalar loop
+                    // recomputes), so results are bit-identical.
+                    let instr = rate * dt;
+                    busy_s[j] += dt * cur_busy[j];
+                    instructions[j] += instr;
+                    cycles[j] += cur_cpi[j] * instr;
+                    l2[j] += cur_l2r[j] * instr;
+                    l3[j] += cur_l3r[j] * instr;
+                    mem[j] += cur_memr[j] * instr;
+                    done_in_phase[j] += instr * cur_in_wl[j];
+                    body[j] += instr * cur_in_body[j];
+                }
+            }
+            for &i in &crossers[..n_cross] {
+                self.step_row_scalar(i as usize, now_s, dt, lat);
+            }
+            // With the block freshly advanced (and crossers refreshed),
+            // re-establish how many future ticks it is provably uniform
+            // for. Skipped on forced-slow ticks: their fast arithmetic
+            // would diverge from the scalar epsilon cutoff.
+            if !force_slow && self.fast.is_some() {
+                let t = self.block_safe_ticks(start, end, dt);
+                if let Some(f) = self.fast.as_mut() {
+                    f.ticks[blk] = t;
+                }
+            }
+            start = end;
+            blk += 1;
+        }
+    }
+
+    /// Commit a deferred window of `k` uniform ticks over rows
+    /// `[start, end)` in closed form — the chunk-local mirror of
+    /// `CoreBank::materialize_block`. A `k = 1` window is bit-identical
+    /// to the per-row guarded fast path.
+    fn commit_block(&mut self, start: usize, end: usize, dt: f64, k: u32) {
+        let kf = k as f64;
+        let len = end - start;
+        let cur_rate = &self.cur_rate[start..end];
+        let cur_cpi = &self.cur_cpi[start..end];
+        let cur_l2r = &self.cur_l2r[start..end];
+        let cur_l3r = &self.cur_l3r[start..end];
+        let cur_memr = &self.cur_memr[start..end];
+        let cur_in_wl = &self.cur_in_wl[start..end];
+        let cur_in_body = &self.cur_in_body[start..end];
+        let cur_busy = &self.cur_busy[start..end];
+        let done_in_phase = &mut self.done_in_phase[start..end];
+        let busy_s = &mut self.busy_s[start..end];
+        let instructions = &mut self.instructions[start..end];
+        let cycles = &mut self.cycles[start..end];
+        let l2 = &mut self.l2_accesses[start..end];
+        let l3 = &mut self.l3_accesses[start..end];
+        let mem = &mut self.mem_accesses[start..end];
+        let body = &mut self.body_instructions[start..end];
+        for j in 0..len {
+            let instr = cur_rate[j] * dt;
+            let s = instr * kf;
+            busy_s[j] += (dt * cur_busy[j]) * kf;
+            instructions[j] += s;
+            cycles[j] += cur_cpi[j] * s;
+            l2[j] += cur_l2r[j] * s;
+            l3[j] += cur_l3r[j] * s;
+            mem[j] += cur_memr[j] * s;
+            done_in_phase[j] += s * cur_in_wl[j];
+            body[j] += s * cur_in_body[j];
+        }
+    }
+
+    /// Number of consecutive future ticks of `dt` for which *every* row
+    /// in `[start, end)` provably stays on the fast path: powered, no
+    /// pending steal, and far enough from its phase boundary that the
+    /// per-row guard (`remaining > 2·dt·rate`) cannot trip. The margin
+    /// of four ticks plus a 1e-12 per-tick relative slack dwarfs the
+    /// ~2⁻⁵² rounding each fast tick can add to `done_in_phase`, so the
+    /// count is conservative.
+    fn block_safe_ticks(&self, start: usize, end: usize, dt: f64) -> u32 {
+        const CAP: f64 = 1.0e9;
+        let mut min_ticks = CAP;
+        for j in start..end {
+            let t = if !self.powered[j] || self.pending_steal_s[j] > 0.0 {
+                0.0
+            } else if self.cur_in_wl[j] == 0.0 {
+                // Idle/finished rows never advance toward a boundary.
+                CAP
+            } else {
+                let d = self.cur_rate[j] * dt;
+                let budget = self.cur_phase_instr[j] - self.done_in_phase[j];
+                let t = (budget - 4.0 * d) / (d * (1.0 + 1.0e-12));
+                if t.is_finite() && t > 0.0 {
+                    t
+                } else {
+                    0.0
+                }
+            };
+            if t < min_ticks {
+                min_ticks = t;
+            }
+        }
+        min_ticks.clamp(0.0, CAP) as u32
+    }
+
+    /// One crosser row: run the faithful scalar port, then refresh the
+    /// phase cache so subsequent fast-path ticks see the new phase.
+    fn step_row_scalar(&mut self, i: usize, now_s: f64, dt: f64, lat: &MemoryLatencies) {
+        self.step_row_core(i, now_s, dt, lat);
+        self.refresh_row(i, lat);
+    }
+
+    /// Faithful port of `Core::step` for one bank row: consumes stolen
+    /// daemon time, walks phase boundaries, handles body looping,
+    /// completion and drift. Does *not* touch the phase cache — the
+    /// reference stepper calls this directly so its per-tick cost
+    /// matches the original scalar loop.
+    fn step_row_core(&mut self, i: usize, now_s: f64, dt: f64, lat: &MemoryLatencies) {
+        debug_assert!(self.powered[i]);
+        let hz = self.eff_hz[i];
+        let workload = &self.workloads[i];
+        let mut remaining = dt;
+        if !(self.finished[i] || workload.is_idle_loop) {
+            self.busy_s[i] += dt;
+        }
+        // Management-software time runs first, displacing the workload.
+        if self.pending_steal_s[i] > 0.0 {
+            let steal = self.pending_steal_s[i].min(remaining);
+            let daemon = ExecutionProfile {
+                alpha: 1.0,
+                l1_stall_cycles_per_instr: 0.3,
+                rates: fvs_model::AccessRates {
+                    l2_per_instr: 0.01,
+                    l3_per_instr: 0.002,
+                    mem_per_instr: 0.002,
+                },
+            };
+            let cpi0 = daemon.cpi0();
+            let m = daemon.rates.stall_time_per_instr(lat);
+            let cpi = cpi0 + m * hz;
+            let rate = hz / cpi;
+            let instr = rate * steal;
+            self.instructions[i] += instr;
+            self.cycles[i] += cpi * instr;
+            self.l2_accesses[i] += daemon.rates.l2_per_instr * instr;
+            self.l3_accesses[i] += daemon.rates.l3_per_instr * instr;
+            self.mem_accesses[i] += daemon.rates.mem_per_instr * instr;
+            self.pending_steal_s[i] -= steal;
+            remaining -= steal;
+        }
+        // Execute across phase boundaries until the tick is used up.
+        while remaining > 1e-15 {
+            let (mut profile, budget_left, in_workload) = if self.finished[i] {
+                (*self.idle_profile, f64::INFINITY, false)
+            } else {
+                let phase = &workload.phases[self.phase_idx[i] as usize];
+                (
+                    phase.profile,
+                    phase.instructions - self.done_in_phase[i],
+                    true,
+                )
+            };
+            if in_workload
+                && workload.loop_drift_amplitude > 0.0
+                && workload.phases[self.phase_idx[i] as usize].kind == PhaseKind::Body
+            {
+                profile.rates = profile.rates.scaled(drift_factor(
+                    workload.loop_drift_amplitude,
+                    self.loop_count[i],
+                ));
+            }
+            let cpi0 = profile.cpi0();
+            let m = profile.rates.stall_time_per_instr(lat);
+            let cpi = cpi0 + m * hz;
+            let rate = hz / cpi;
+            let time_to_boundary = budget_left / rate;
+            let run = remaining.min(time_to_boundary);
+            let instr = rate * run;
+            self.instructions[i] += instr;
+            self.cycles[i] += cpi * instr;
+            self.l2_accesses[i] += profile.rates.l2_per_instr * instr;
+            self.l3_accesses[i] += profile.rates.l3_per_instr * instr;
+            self.mem_accesses[i] += profile.rates.mem_per_instr * instr;
+            if in_workload {
+                self.done_in_phase[i] += instr;
+                if workload.phases[self.phase_idx[i] as usize].kind == PhaseKind::Body {
+                    self.body_instructions[i] += instr;
+                }
+                if time_to_boundary <= remaining {
+                    self.advance_phase_row(i, now_s + (dt - remaining) + time_to_boundary);
+                }
+            }
+            remaining -= run;
+        }
+    }
+
+    /// Port of `Core::advance_phase` for one bank row.
+    fn advance_phase_row(&mut self, i: usize, at_s: f64) {
+        let workload = &self.workloads[i];
+        self.done_in_phase[i] = 0.0;
+        let next = self.phase_idx[i] as usize + 1;
+        if next < workload.phases.len() {
+            self.phase_idx[i] = next as u32;
+            return;
+        }
+        if workload.loop_body {
+            // Restart at the first body phase; init runs once.
+            let first_body = workload
+                .phases
+                .iter()
+                .position(|p| p.kind == PhaseKind::Body)
+                .unwrap_or(0);
+            self.phase_idx[i] = first_body as u32;
+            self.loop_count[i] += 1;
+        } else {
+            self.finished[i] = true;
+            if self.completed_at_s[i].is_nan() {
+                self.completed_at_s[i] = at_s;
+            }
+        }
+    }
+
+    /// Chunk-local mirror of [`CoreBank::refresh_row`].
+    fn refresh_row(&mut self, i: usize, lat: &MemoryLatencies) {
+        let c = phase_cache(
+            &self.workloads[i],
+            self.idle_profile,
+            self.finished[i],
+            self.phase_idx[i] as usize,
+            self.loop_count[i],
+            lat,
+        );
+        self.cur_cpi0[i] = c.cpi0;
+        self.cur_m[i] = c.mem_s_per_instr;
+        self.cur_l2r[i] = c.l2_per_instr;
+        self.cur_l3r[i] = c.l3_per_instr;
+        self.cur_memr[i] = c.mem_per_instr;
+        self.cur_phase_instr[i] = c.phase_instr;
+        self.cur_in_wl[i] = c.in_workload;
+        self.cur_in_body[i] = c.in_body;
+        self.cur_busy[i] = c.busy;
+        let hz = self.eff_hz[i];
+        let cpi = c.cpi0 + c.mem_s_per_instr * hz;
+        self.cur_cpi[i] = cpi;
+        self.cur_rate[i] = hz / cpi;
+    }
+}

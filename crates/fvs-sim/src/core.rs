@@ -320,6 +320,14 @@ impl Core {
         }
     }
 
+    /// Alias for [`Core::step`], named for its role since the machine
+    /// went struct-of-arrays: this scalar loop is the reference
+    /// implementation that `CoreBank::tick_batch` must match bit-for-bit
+    /// (see `tests/batch_parity.rs`).
+    pub fn step_reference(&mut self, now_s: f64, dt: f64, lat: &MemoryLatencies) {
+        self.step(now_s, dt, lat);
+    }
+
     /// Ground-truth cumulative counters (no noise).
     pub fn counters(&self) -> &CounterDelta {
         &self.counters

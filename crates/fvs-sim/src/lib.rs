@@ -23,13 +23,17 @@
 #![forbid(unsafe_code)]
 
 pub mod actuator;
+pub mod bank;
 pub mod core;
 pub mod machine;
 pub mod noise;
+pub mod pacing;
 pub mod trace;
 
 pub use crate::core::{Core, CoreStats, PhaseCursor};
 pub use actuator::{Actuator, DvfsActuator, ThrottleActuator, ThrottlePowerModel};
-pub use machine::{Machine, MachineBuilder, MachineConfig};
+pub use bank::CoreBank;
+pub use machine::{CoreView, CoreViewMut, Machine, MachineBuilder, MachineConfig};
 pub use noise::NoiseModel;
+pub use pacing::{PaceReport, Pacer};
 pub use trace::{ResidencyHistogram, TraceRecorder, TraceSample};

@@ -1,14 +1,26 @@
 //! The simulated machine: cores + platform + bookkeeping.
+//!
+//! Since the batch-vectorization pass, per-core state lives in a
+//! [`CoreBank`] (struct-of-arrays, see `bank.rs`) instead of a
+//! `Vec<Core>`; [`Machine::core`]/[`Machine::core_mut`] hand out
+//! lightweight views with the same method surface the old `&Core`
+//! accessors had, so scheduler and cluster code is unchanged. The
+//! original struct-of-everything scalar stepper survives behind
+//! [`MachineBuilder::reference_stepping`] / [`Machine::step_reference`]
+//! as the differential-testing and benchmarking baseline.
 
 use crate::actuator::{Actuator, DvfsActuator, ThrottleActuator, ThrottlePowerModel};
-use crate::core::Core;
+use crate::bank::{CoreBank, DEFAULT_PAR_THRESHOLD};
+use crate::core::{CoreStats, PhaseCursor};
 use crate::noise::NoiseModel;
+use crate::pacing::{PaceReport, Pacer};
 use crate::trace::ResidencyHistogram;
-use fvs_model::{CounterDelta, FreqMhz, FrequencySet, MemoryLatencies};
+use fvs_model::{CounterDelta, ExecutionProfile, FreqMhz, FrequencySet, MemoryLatencies};
 use fvs_power::{EnergyMeter, FreqPowerTable, VoltageTable};
-use fvs_workloads::WorkloadSpec;
+use fvs_workloads::{PhaseKind, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 /// Platform-level configuration shared by all cores.
 #[derive(Debug, Clone)]
@@ -52,6 +64,8 @@ pub struct MachineBuilder {
     actuator: ActuatorKind,
     seed: u64,
     initial_freq: FreqMhz,
+    reference_stepping: bool,
+    par_threshold: usize,
 }
 
 impl MachineBuilder {
@@ -65,6 +79,8 @@ impl MachineBuilder {
             actuator: ActuatorKind::DvfsInstant,
             seed: 0xF0_55_7E,
             initial_freq: FreqMhz(1000),
+            reference_stepping: false,
+            par_threshold: DEFAULT_PAR_THRESHOLD,
         }
     }
 
@@ -120,14 +136,33 @@ impl MachineBuilder {
         self
     }
 
+    /// Step cores with the original scalar per-core loop instead of the
+    /// batched SoA pass — the baseline side of the differential proptests
+    /// and the denominator of the `sim_core_ticks_per_sec` benchmark.
+    pub fn reference_stepping(mut self) -> Self {
+        self.reference_stepping = true;
+        self
+    }
+
+    /// Core count above which a batched tick splits across threads
+    /// (default [`DEFAULT_PAR_THRESHOLD`]). Also the maximum cores per
+    /// serial chunk when splitting.
+    pub fn parallel_threshold(mut self, n: usize) -> Self {
+        self.par_threshold = n.max(1);
+        self
+    }
+
     /// Materialise the machine.
     pub fn build(self) -> Machine {
-        let cores = self
+        let n = self.n_cores;
+        let workloads: Vec<WorkloadSpec> = self
             .workloads
             .into_iter()
-            .enumerate()
-            .map(|(i, w)| {
-                let actuator: Box<dyn Actuator> = match self.actuator {
+            .map(|w| w.unwrap_or_else(WorkloadSpec::hot_idle))
+            .collect();
+        let actuators: Vec<Box<dyn Actuator>> = (0..n)
+            .map(|_| -> Box<dyn Actuator> {
+                match self.actuator {
                     ActuatorKind::DvfsInstant => Box::new(DvfsActuator::instant(self.initial_freq)),
                     ActuatorKind::Dvfs { settle_s } => {
                         Box::new(DvfsActuator::new(self.initial_freq, settle_s))
@@ -137,18 +172,39 @@ impl MachineBuilder {
                         t.request(self.initial_freq, 0.0);
                         Box::new(t)
                     }
-                };
-                Core::new(i, w.unwrap_or_else(WorkloadSpec::hot_idle), actuator)
+                }
             })
-            .collect::<Vec<_>>();
-        let n = cores.len();
+            .collect();
+        let mut bank = CoreBank::new(n, self.par_threshold);
+        for (i, w) in workloads.iter().enumerate() {
+            debug_assert!(w.is_valid(), "invalid workload for core {i}");
+            bank.idle_loop_flag[i] = w.is_idle_loop;
+            bank.sync_linearization(i, actuators[i].as_ref());
+            let eff = bank.effective_at(i, 0.0);
+            bank.eff_mhz[i] = eff.0;
+            bank.eff_hz[i] = eff.hz();
+            bank.power_w[i] = actuators[i].power_w(0.0, &self.config.power_table);
+            if bank.lin_settle_at_s[i] > 0.0 {
+                bank.settling_flag[i] = true;
+                bank.settling.push(i as u32);
+            }
+            bank.refresh_row(i, w, &self.config.latencies);
+        }
         Machine {
             config: self.config,
-            cores,
+            bank,
+            workloads,
+            actuators,
             now_s: 0.0,
             rng: StdRng::seed_from_u64(self.seed),
-            energy: vec![EnergyMeter::new(); n],
+            energy_j: vec![0.0; n],
+            energy_s: vec![0.0; n],
+            energy_peak_w: vec![0.0; n],
+            acc_ticks: 0,
+            acc_applied: vec![0; n],
+            acc_dt: 0.0,
             residency: vec![ResidencyHistogram::new(); n],
+            reference_stepping: self.reference_stepping,
         }
     }
 }
@@ -157,11 +213,159 @@ impl MachineBuilder {
 #[derive(Debug)]
 pub struct Machine {
     config: MachineConfig,
-    cores: Vec<Core>,
+    bank: CoreBank,
+    workloads: Vec<WorkloadSpec>,
+    actuators: Vec<Box<dyn Actuator>>,
     now_s: f64,
     rng: StdRng,
-    energy: Vec<EnergyMeter>,
+    // Energy accounting in struct-of-arrays form with deferred accrual:
+    // per-core power is constant between actuation events, so a tick
+    // only bumps `acc_ticks`; the `k` pending ticks of a row are flushed
+    // in closed form (`joules += k·w·dt`) before any event that changes
+    // its power and folded into reads on the fly. A window of one tick
+    // flushes with the exact arithmetic of `EnergyMeter::record`.
+    energy_j: Vec<f64>,
+    energy_s: Vec<f64>,
+    energy_peak_w: Vec<f64>,
+    /// Ticks accrued machine-wide at `acc_dt` since the last dt change.
+    acc_ticks: u64,
+    /// Count of accrued ticks already applied to row `i`'s energy and
+    /// stint accumulators; `acc_ticks - acc_applied[i]` is row `i`'s
+    /// pending window.
+    acc_applied: Vec<u64>,
+    /// The dt of the ticks counted by `acc_ticks`.
+    acc_dt: f64,
     residency: Vec<ResidencyHistogram>,
+    reference_stepping: bool,
+}
+
+/// Read-only view of one core's state, assembled from the bank row and
+/// the core's cold data. Carries the method surface `&Core` used to
+/// offer, so call sites read exactly as before the SoA refactor.
+#[derive(Clone, Copy)]
+pub struct CoreView<'a> {
+    bank: &'a CoreBank,
+    workload: &'a WorkloadSpec,
+    actuator: &'a dyn Actuator,
+    i: usize,
+}
+
+impl<'a> CoreView<'a> {
+    /// Core index within its machine.
+    pub fn id(&self) -> usize {
+        self.i
+    }
+
+    /// The workload this core was assigned.
+    pub fn workload(&self) -> &'a WorkloadSpec {
+        self.workload
+    }
+
+    /// Whether a non-looping workload has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.bank.finished[self.i]
+    }
+
+    /// Whether the core is in the idle loop: either its assigned
+    /// workload *is* the idle loop, or the workload has completed.
+    pub fn is_idle(&self) -> bool {
+        self.bank.finished[self.i] || self.workload.is_idle_loop
+    }
+
+    /// Whether the core is powered on.
+    pub fn is_powered(&self) -> bool {
+        self.bank.powered[self.i]
+    }
+
+    /// The ground-truth profile currently executing (idle loop when
+    /// finished). Experiments use this for oracle baselines and error
+    /// measurement; the scheduler must never touch it.
+    pub fn current_profile(&self) -> &'a ExecutionProfile {
+        if self.bank.finished[self.i] {
+            &self.bank.idle_profile
+        } else {
+            &self.workload.phases[self.bank.phase_idx[self.i] as usize].profile
+        }
+    }
+
+    /// Name of the current phase, for traces.
+    pub fn current_phase_name(&self) -> &'a str {
+        if self.bank.finished[self.i] {
+            "idle"
+        } else {
+            &self.workload.phases[self.bank.phase_idx[self.i] as usize].name
+        }
+    }
+
+    /// Kind of the current phase (idle counts as `Body` of the idle
+    /// loop).
+    pub fn current_phase_kind(&self) -> PhaseKind {
+        if self.bank.finished[self.i] {
+            PhaseKind::Body
+        } else {
+            self.workload.phases[self.bank.phase_idx[self.i] as usize].kind
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CoreStats {
+        self.bank.stats(self.i)
+    }
+
+    /// Ground-truth cumulative counters (no noise). Returned by value —
+    /// the counters live in per-field bank arrays, not in one struct.
+    pub fn counters(&self) -> CounterDelta {
+        self.bank.counters(self.i)
+    }
+
+    /// Position within the workload's phase list.
+    pub fn cursor(&self) -> PhaseCursor {
+        self.bank.cursor(self.i)
+    }
+
+    /// The most recently requested frequency.
+    pub fn requested_frequency(&self) -> FreqMhz {
+        self.actuator.requested()
+    }
+}
+
+/// Mutable view of one core, for the few per-core mutations cluster and
+/// scheduler code performs (daemon-time theft, workload reassignment,
+/// power state).
+pub struct CoreViewMut<'a> {
+    machine: &'a mut Machine,
+    i: usize,
+}
+
+impl CoreViewMut<'_> {
+    /// Charge `dt` seconds of management-software CPU time to this
+    /// core (see `Core::steal`).
+    pub fn steal(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.machine.bank.perturb_row(self.i);
+        self.machine.bank.pending_steal_s[self.i] += dt;
+    }
+
+    /// Replace the workload (used by cluster experiments when work
+    /// arrives at a node); resets the cursor, keeps counters and stats.
+    pub fn assign(&mut self, workload: WorkloadSpec) {
+        debug_assert!(workload.is_valid());
+        let i = self.i;
+        let m = &mut *self.machine;
+        m.bank.perturb_row(i);
+        m.bank.idle_loop_flag[i] = workload.is_idle_loop;
+        m.workloads[i] = workload;
+        m.bank.phase_idx[i] = 0;
+        m.bank.done_in_phase[i] = 0.0;
+        m.bank.finished[i] = false;
+        m.bank.refresh_row(i, &m.workloads[i], &m.config.latencies);
+    }
+
+    /// Power the core on or off (see `Core::set_powered`).
+    pub fn set_powered(&mut self, on: bool) {
+        let i = self.i;
+        self.machine.set_powered(i, on);
+    }
 }
 
 impl Machine {
@@ -172,7 +376,7 @@ impl Machine {
 
     /// Number of cores.
     pub fn num_cores(&self) -> usize {
-        self.cores.len()
+        self.bank.len()
     }
 
     /// Platform configuration.
@@ -186,95 +390,270 @@ impl Machine {
     }
 
     /// Immutable core access.
-    pub fn core(&self, i: usize) -> &Core {
-        &self.cores[i]
+    pub fn core(&self, i: usize) -> CoreView<'_> {
+        CoreView {
+            bank: &self.bank,
+            workload: &self.workloads[i],
+            actuator: self.actuators[i].as_ref(),
+            i,
+        }
     }
 
     /// Mutable core access (workload reassignment in cluster tests).
-    pub fn core_mut(&mut self, i: usize) -> &mut Core {
-        &mut self.cores[i]
+    pub fn core_mut(&mut self, i: usize) -> CoreViewMut<'_> {
+        assert!(i < self.bank.len(), "core index {i} out of range");
+        CoreViewMut { machine: self, i }
     }
 
     /// Iterate cores.
-    pub fn cores(&self) -> impl Iterator<Item = &Core> {
-        self.cores.iter()
+    pub fn cores(&self) -> impl Iterator<Item = CoreView<'_>> {
+        (0..self.bank.len()).map(|i| self.core(i))
     }
 
     /// Request frequency `f` on core `i`, effective per its actuator.
     pub fn set_frequency(&mut self, i: usize, f: FreqMhz) {
         let now = self.now_s;
-        self.cores[i].set_frequency(f, now);
+        self.actuators[i].request(f, now);
+        self.bank.sync_linearization(i, self.actuators[i].as_ref());
+        self.apply_effective(i, now);
+        if self.bank.lin_settle_at_s[i] > now && !self.bank.settling_flag[i] {
+            self.bank.settling_flag[i] = true;
+            self.bank.settling.push(i as u32);
+        }
     }
 
     /// Set every core to `f`.
     pub fn set_all_frequencies(&mut self, f: FreqMhz) {
-        for i in 0..self.cores.len() {
+        for i in 0..self.bank.len() {
             self.set_frequency(i, f);
         }
     }
 
     /// Effective frequency of core `i` right now.
     pub fn effective_frequency(&self, i: usize) -> FreqMhz {
-        self.cores[i].effective_frequency(self.now_s)
+        self.bank.effective_at(i, self.now_s)
     }
 
     /// Power core `i` up or down (the node power-down baseline).
     pub fn set_powered(&mut self, i: usize, on: bool) {
-        self.cores[i].set_powered(on);
+        self.flush_accrual_row(i);
+        self.bank.perturb_row(i);
+        self.bank.powered[i] = on;
+        self.bank.power_w[i] = self.live_power(i, self.now_s);
     }
 
     /// Swap the work executing on cores `i` and `j`, charging each
-    /// `penalty_s` of migration cost (see
-    /// [`Core::swap_work_with`]).
+    /// `penalty_s` of migration cost: the job carries its cursor;
+    /// counters, stats, loop drift and the actuator stay with the core
+    /// (see the original `Core::swap_work_with`).
     pub fn swap_workloads(&mut self, i: usize, j: usize, penalty_s: f64) {
         assert_ne!(i, j, "cannot swap a core with itself");
-        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-        let (a, b) = self.cores.split_at_mut(hi);
-        a[lo].swap_work_with(&mut b[0], penalty_s);
+        self.bank.perturb_row(i);
+        self.bank.perturb_row(j);
+        self.workloads.swap(i, j);
+        self.bank.phase_idx.swap(i, j);
+        self.bank.done_in_phase.swap(i, j);
+        self.bank.finished.swap(i, j);
+        self.bank.idle_loop_flag.swap(i, j);
+        self.bank.pending_steal_s[i] += penalty_s;
+        self.bank.pending_steal_s[j] += penalty_s;
+        self.bank
+            .refresh_row(i, &self.workloads[i], &self.config.latencies);
+        self.bank
+            .refresh_row(j, &self.workloads[j], &self.config.latencies);
     }
 
     /// Instantaneous power of core `i` (W).
     pub fn core_power_w(&self, i: usize) -> f64 {
-        self.cores[i].power_w(self.now_s, &self.config.power_table)
+        if self.bank.settling_flag[i] {
+            // An in-flight transition may have settled since the cache
+            // was written; compute live until the next step retires it.
+            self.live_power(i, self.now_s)
+        } else {
+            self.bank.power_w[i]
+        }
     }
 
     /// Instantaneous aggregate processor power (W).
     pub fn total_power_w(&self) -> f64 {
-        (0..self.cores.len()).map(|i| self.core_power_w(i)).sum()
+        (0..self.bank.len()).map(|i| self.core_power_w(i)).sum()
     }
 
     /// The idle signal for core `i` — what the paper's firmware/OS idle
     /// indicator would deliver to the scheduler.
     pub fn idle_signal(&self, i: usize) -> bool {
-        self.cores[i].is_idle()
+        self.bank.finished[i] || self.bank.idle_loop_flag[i]
     }
 
-    /// Per-core accumulated energy.
-    pub fn energy(&self, i: usize) -> &EnergyMeter {
-        &self.energy[i]
+    /// Per-core accumulated energy, materialised from the flat
+    /// accumulator arrays with the row's pending accrual window folded
+    /// in (read-through: the same arithmetic a flush would apply).
+    pub fn energy(&self, i: usize) -> EnergyMeter {
+        let k = self.acc_ticks - self.acc_applied[i];
+        if k == 0 {
+            return EnergyMeter::from_parts(
+                self.energy_j[i],
+                self.energy_s[i],
+                self.energy_peak_w[i],
+            );
+        }
+        let kf = k as f64;
+        let w = self.bank.power_w[i];
+        EnergyMeter::from_parts(
+            self.energy_j[i] + (w * self.acc_dt) * kf,
+            self.energy_s[i] + self.acc_dt * kf,
+            if w > self.energy_peak_w[i] {
+                w
+            } else {
+                self.energy_peak_w[i]
+            },
+        )
     }
 
     /// Total energy across cores.
     pub fn total_energy_j(&self) -> f64 {
-        self.energy.iter().map(EnergyMeter::joules).sum()
+        (0..self.bank.len()).map(|i| self.energy(i).joules()).sum()
     }
 
     /// Per-core frequency residency (time spent at each effective
-    /// frequency).
-    pub fn residency(&self, i: usize) -> &ResidencyHistogram {
-        &self.residency[i]
+    /// frequency). Returned by value: the histogram proper is only
+    /// flushed when the effective frequency changes, so the running
+    /// stint at the current frequency is folded in here.
+    pub fn residency(&self, i: usize) -> ResidencyHistogram {
+        let mut h = self.residency[i].clone();
+        let k = self.acc_ticks - self.acc_applied[i];
+        let stint = self.bank.stint_s[i] + self.acc_dt * k as f64;
+        if stint > 0.0 {
+            h.add(FreqMhz(self.bank.eff_mhz[i]), stint);
+        }
+        h
+    }
+
+    /// Power of core `i` straight from its actuator (zero when off).
+    fn live_power(&self, i: usize, now_s: f64) -> f64 {
+        if self.bank.powered[i] {
+            self.actuators[i].power_w(now_s, &self.config.power_table)
+        } else {
+            0.0
+        }
+    }
+
+    /// Apply row `i`'s pending energy/stint accrual window. Must run
+    /// before anything changes the row's power or reads/writes its stint
+    /// or meters mutably. A one-tick window reproduces
+    /// `EnergyMeter::record` bit for bit; longer windows collapse `k`
+    /// equal additions into one.
+    fn flush_accrual_row(&mut self, i: usize) {
+        let k = self.acc_ticks - self.acc_applied[i];
+        if k == 0 {
+            return;
+        }
+        self.acc_applied[i] = self.acc_ticks;
+        let kf = k as f64;
+        let dt = self.acc_dt;
+        let w = self.bank.power_w[i];
+        self.energy_j[i] += (w * dt) * kf;
+        self.energy_s[i] += dt * kf;
+        if w > self.energy_peak_w[i] {
+            self.energy_peak_w[i] = w;
+        }
+        self.bank.stint_s[i] += dt * kf;
+    }
+
+    /// Flush every row's pending accrual window.
+    fn flush_accrual_all(&mut self) {
+        for i in 0..self.bank.len() {
+            self.flush_accrual_row(i);
+        }
+    }
+
+    /// Commit row `i`'s effective frequency for `now_s`: flush the
+    /// residency stint on change and refresh the power cache.
+    fn apply_effective(&mut self, i: usize, now_s: f64) {
+        let eff = self.bank.effective_at(i, now_s);
+        if eff.0 != self.bank.eff_mhz[i] {
+            // Close the deferred windows at the old frequency before
+            // anything about the row changes.
+            self.flush_accrual_row(i);
+            self.bank.perturb_row(i);
+            let stint = self.bank.stint_s[i];
+            if stint > 0.0 {
+                self.residency[i].add(FreqMhz(self.bank.eff_mhz[i]), stint);
+                self.bank.stint_s[i] = 0.0;
+            }
+            self.bank.eff_mhz[i] = eff.0;
+            self.bank.eff_hz[i] = eff.hz();
+            self.bank.recompute_rate_row(i);
+        }
+        let p = self.live_power(i, now_s);
+        if p != self.bank.power_w[i] {
+            self.flush_accrual_row(i);
+            self.bank.power_w[i] = p;
+        }
+    }
+
+    /// Retire actuator transitions whose settling time has arrived.
+    fn settle_pending(&mut self, now_s: f64) {
+        let mut k = 0;
+        while k < self.bank.settling.len() {
+            let i = self.bank.settling[k] as usize;
+            if now_s >= self.bank.lin_settle_at_s[i] {
+                self.bank.settling.swap_remove(k);
+                self.bank.settling_flag[i] = false;
+                self.apply_effective(i, now_s);
+            } else {
+                k += 1;
+            }
+        }
     }
 
     /// Advance the whole machine by `dt` seconds.
     pub fn step(&mut self, dt: f64) {
+        if self.reference_stepping {
+            self.step_reference(dt);
+            return;
+        }
         debug_assert!(dt > 0.0);
         let now = self.now_s;
-        for (i, core) in self.cores.iter_mut().enumerate() {
-            let p = core.power_w(now, &self.config.power_table);
-            self.energy[i].record(p, dt);
-            self.residency[i].add(core.effective_frequency(now), dt);
-            core.step(now, dt, &self.config.latencies);
+        self.settle_pending(now);
+        // Deferred energy/stint accrual: per-core power is constant
+        // until the next actuation event, so this tick joins the open
+        // machine-wide window instead of touching any per-core array.
+        if dt != self.acc_dt {
+            self.flush_accrual_all();
+            self.acc_dt = dt;
         }
+        self.acc_ticks += 1;
+        self.bank
+            .tick_batch(now, dt, &self.config.latencies, &self.workloads);
+        self.now_s += dt;
+    }
+
+    /// Advance by `dt` seconds through the original scalar per-core
+    /// loop: per core per tick, live virtual actuator calls, a per-tick
+    /// histogram insert, and a CPI-model rebuild from the phase profile.
+    /// Agrees with [`Machine::step`] bit-for-bit when every tick is
+    /// observed and to ≤1e-12 relative otherwise (deferred windows);
+    /// kept as the differential-testing target and benchmark baseline.
+    pub fn step_reference(&mut self, dt: f64) {
+        debug_assert!(dt > 0.0);
+        let now = self.now_s;
+        // A machine stepped both ways must not leave deferred windows
+        // behind before the per-tick reference loop writes the meters.
+        self.flush_accrual_all();
+        self.settle_pending(now);
+        for i in 0..self.bank.len() {
+            let p = self.live_power(i, now);
+            // Same per-meter arithmetic as `EnergyMeter::record`.
+            self.energy_j[i] += p * dt;
+            self.energy_s[i] += dt;
+            if p > self.energy_peak_w[i] {
+                self.energy_peak_w[i] = p;
+            }
+            self.residency[i].add(self.actuators[i].effective(now), dt);
+        }
+        self.bank
+            .step_rows_reference(now, dt, &self.config.latencies, &self.workloads);
         self.now_s += dt;
     }
 
@@ -287,16 +666,31 @@ impl Machine {
         }
     }
 
+    /// Run unmanaged in *wall-clock* real time: each `tick_s` of
+    /// simulation is paced to `tick_s` of wall time (work first, then
+    /// sleep out the remainder of the period), so a simulated node can
+    /// stand in for a live machine on a real `t = 10 ms` sampling
+    /// cadence. Returns the achieved cadence.
+    pub fn run_timed(&mut self, duration_s: f64, tick_s: f64) -> PaceReport {
+        let steps = (duration_s / tick_s).round().max(1.0) as u64;
+        let mut pacer = Pacer::new(Duration::from_secs_f64(tick_s));
+        for _ in 0..steps {
+            self.step(tick_s);
+            pacer.pace();
+        }
+        pacer.report()
+    }
+
     /// Sample core `i`'s counters since the last sample, with platform
     /// noise applied — the scheduler-visible observation.
     pub fn sample(&mut self, i: usize) -> CounterDelta {
-        let raw = self.cores[i].sample_raw();
+        let raw = self.bank.sample_raw_row(i);
         self.config.noise.perturb(&raw, &mut self.rng)
     }
 
     /// Sample every core.
     pub fn sample_all(&mut self) -> Vec<CounterDelta> {
-        let mut out = Vec::with_capacity(self.cores.len());
+        let mut out = Vec::with_capacity(self.bank.len());
         self.sample_all_into(&mut out);
         out
     }
@@ -305,7 +699,7 @@ impl Machine {
     /// so a steady-state sampling loop allocates nothing.
     pub fn sample_all_into(&mut self, out: &mut Vec<CounterDelta>) {
         out.clear();
-        for i in 0..self.cores.len() {
+        for i in 0..self.bank.len() {
             let s = self.sample(i);
             out.push(s);
         }
@@ -458,5 +852,124 @@ mod tests {
             .build();
         m.set_all_frequencies(FreqMhz(700));
         assert_eq!(m.effective_frequency(0), FreqMhz(687));
+    }
+
+    #[test]
+    fn reference_and_batched_agree() {
+        // A quick in-module smoke of the full differential proptest in
+        // tests/batch_parity.rs: mixed workloads, a settling actuator, a
+        // mid-run frequency change and a steal must leave discrete state
+        // identical and every accumulator within 1e-12 relative.
+        let build = |reference: bool| {
+            let mut b = MachineBuilder::p630()
+                .cores(6)
+                .dvfs_settling(0.003)
+                .noise(NoiseModel::NONE)
+                .workload(0, WorkloadSpec::synthetic(100.0, 1.0e8))
+                .workload(1, WorkloadSpec::synthetic(25.0, 5.0e7))
+                .workload(
+                    2,
+                    SyntheticConfig::single(50.0, 1.0e6)
+                        .body_only()
+                        .looping()
+                        .build(),
+                )
+                .workload(3, WorkloadSpec::hot_idle());
+            if reference {
+                b = b.reference_stepping();
+            }
+            b.build()
+        };
+        let mut batched = build(false);
+        let mut reference = build(true);
+        for (m_index, m) in [&mut batched, &mut reference].into_iter().enumerate() {
+            for k in 0..400 {
+                if k == 37 {
+                    m.set_all_frequencies(FreqMhz(650));
+                }
+                if k == 120 {
+                    m.set_frequency(2, FreqMhz(1000));
+                    m.core_mut(1).steal(0.004);
+                }
+                m.step(0.01);
+            }
+            let _ = m_index;
+        }
+        // Deferred windows commit `k` equal additions in closed form, so
+        // end-of-run accumulators may differ from the per-tick reference
+        // by a few ulp (bounded well under 1e-12 relative); everything a
+        // scheduler samples every tick stays bit-identical (k = 1).
+        let rel = |a: f64, b: f64| (a - b).abs() <= 1.0e-12 * a.abs().max(b.abs()).max(1.0);
+        for i in 0..6 {
+            let a = batched.core(i).counters();
+            let b = reference.core(i).counters();
+            assert!(rel(a.instructions, b.instructions), "core {i} instructions");
+            assert!(rel(a.cycles, b.cycles), "core {i} cycles");
+            assert!(rel(a.l2_accesses, b.l2_accesses), "core {i} l2");
+            assert!(rel(a.l3_accesses, b.l3_accesses), "core {i} l3");
+            assert!(rel(a.mem_accesses, b.mem_accesses), "core {i} mem");
+            let sa = batched.core(i).stats();
+            let sb = reference.core(i).stats();
+            assert!(rel(sa.total_instructions, sb.total_instructions));
+            assert!(rel(sa.body_instructions, sb.body_instructions));
+            assert!(rel(sa.busy_s, sb.busy_s));
+            match (sa.completed_at_s, sb.completed_at_s) {
+                (None, None) => {}
+                (Some(x), Some(y)) => assert!(rel(x, y), "core {i} completion"),
+                _ => panic!("core {i} completion presence diverged"),
+            }
+            let ca = batched.core(i).cursor();
+            let cb = reference.core(i).cursor();
+            assert_eq!(ca.phase, cb.phase, "core {i} phase index diverged");
+            assert!(rel(ca.done_in_phase, cb.done_in_phase));
+            assert_eq!(
+                batched.effective_frequency(i),
+                reference.effective_frequency(i)
+            );
+            let ra = batched.residency(i);
+            let rb = reference.residency(i);
+            assert!(
+                (ra.mean_mhz() - rb.mean_mhz()).abs() < 1e-9,
+                "core {i} residency diverged"
+            );
+            assert!((ra.total() - rb.total()).abs() < 1e-9);
+            assert!(rel(
+                batched.energy(i).joules(),
+                reference.energy(i).joules()
+            ));
+            assert_eq!(
+                batched.energy(i).peak_watts(),
+                reference.energy(i).peak_watts()
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_tick_matches_serial() {
+        // Force the parallel split (threshold 8 on a 37-core machine,
+        // odd on purpose) and compare against the default serial pass.
+        let build = |threshold: usize| {
+            let mut b = MachineBuilder::p630().cores(37).noise(NoiseModel::NONE);
+            for i in 0..37 {
+                b = b.workload(
+                    i,
+                    SyntheticConfig::single((i % 5) as f64 * 25.0, 2.0e6)
+                        .body_only()
+                        .looping()
+                        .build(),
+                );
+            }
+            b.parallel_threshold(threshold).build()
+        };
+        let mut chunked = build(8);
+        let mut serial = build(usize::MAX);
+        for _ in 0..300 {
+            chunked.step(0.01);
+            serial.step(0.01);
+        }
+        for i in 0..37 {
+            assert_eq!(chunked.core(i).counters(), serial.core(i).counters());
+            assert_eq!(chunked.core(i).stats(), serial.core(i).stats());
+        }
     }
 }

@@ -1,0 +1,150 @@
+//! Wall-clock pacing: run a discrete-time simulation at real-time rate.
+//!
+//! The paper's prototype daemon woke on a real `t = 10 ms` timer; the
+//! simulator normally free-runs as fast as the CPU allows. [`Pacer`]
+//! bridges the two: do the tick's work, then sleep out the remainder of
+//! the period (the same work-then-sleep idiom game loops use to hold a
+//! constant update rate). Deadlines are absolute — each tick's deadline
+//! is the previous deadline plus the period, not "now plus the period" —
+//! so scheduling jitter does not accumulate into cadence drift. A tick
+//! that overruns its period is recorded and the deadline re-anchored to
+//! the present, so one hiccup costs one tick, not a growing backlog of
+//! sleepless catch-up ticks.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Holds a loop to a constant wall-clock period.
+#[derive(Debug)]
+pub struct Pacer {
+    period: Duration,
+    started: Instant,
+    next_deadline: Instant,
+    ticks: u64,
+    overruns: u64,
+    max_overrun: Duration,
+}
+
+impl Pacer {
+    /// A pacer targeting one tick per `period`, anchored at now.
+    pub fn new(period: Duration) -> Self {
+        let started = Instant::now();
+        Pacer {
+            period,
+            started,
+            next_deadline: started + period,
+            ticks: 0,
+            overruns: 0,
+            max_overrun: Duration::ZERO,
+        }
+    }
+
+    /// The target period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Call once per tick, *after* the tick's work: sleeps until the
+    /// tick's absolute deadline, or records an overrun if the work ran
+    /// past it.
+    pub fn pace(&mut self) {
+        self.ticks += 1;
+        let now = Instant::now();
+        if now >= self.next_deadline {
+            self.overruns += 1;
+            self.max_overrun = self.max_overrun.max(now - self.next_deadline);
+            // Re-anchor: don't sprint through sleepless ticks to repay
+            // the lost time.
+            self.next_deadline = now + self.period;
+        } else {
+            std::thread::sleep(self.next_deadline - now);
+            self.next_deadline += self.period;
+        }
+    }
+
+    /// Cadence achieved so far.
+    pub fn report(&self) -> PaceReport {
+        PaceReport {
+            ticks: self.ticks,
+            overruns: self.overruns,
+            max_overrun_s: self.max_overrun.as_secs_f64(),
+            elapsed_s: self.started.elapsed().as_secs_f64(),
+            target_tick_s: self.period.as_secs_f64(),
+        }
+    }
+}
+
+/// What a paced run actually achieved, for cadence sanity checks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaceReport {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Ticks whose work ran past their deadline.
+    pub overruns: u64,
+    /// Largest single overrun (s).
+    pub max_overrun_s: f64,
+    /// Wall-clock time since the pacer was created (s).
+    pub elapsed_s: f64,
+    /// The target period (s).
+    pub target_tick_s: f64,
+}
+
+impl PaceReport {
+    /// Mean achieved seconds per tick (0.0 before the first tick).
+    pub fn mean_tick_s(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.elapsed_s / self.ticks as f64
+        }
+    }
+
+    /// Whether the mean cadence is within `tolerance` (relative) of the
+    /// target period — the assertion behind the CI pacing smoke test.
+    pub fn cadence_ok(&self, tolerance: f64) -> bool {
+        self.ticks > 0
+            && (self.mean_tick_s() - self.target_tick_s).abs() <= self.target_tick_s * tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pacer_holds_cadence_with_light_work() {
+        let mut p = Pacer::new(Duration::from_millis(5));
+        for _ in 0..20 {
+            // ~no work per tick: cadence should be sleep-dominated.
+            p.pace();
+        }
+        let r = p.report();
+        assert_eq!(r.ticks, 20);
+        assert!(
+            r.cadence_ok(0.5),
+            "mean {:.4} ms vs target 5 ms",
+            r.mean_tick_s() * 1e3
+        );
+    }
+
+    #[test]
+    fn overruns_are_counted_not_repaid() {
+        let mut p = Pacer::new(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(10));
+        p.pace(); // far past the first deadline
+        let r = p.report();
+        assert_eq!(r.overruns, 1);
+        assert!(r.max_overrun_s > 0.005);
+        // The next tick gets a fresh full period.
+        p.pace();
+        assert_eq!(p.report().overruns, 1);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let p = Pacer::new(Duration::from_millis(10));
+        let r = p.report();
+        assert_eq!(r.mean_tick_s(), 0.0);
+        assert!(!r.cadence_ok(0.25));
+    }
+}

@@ -1,0 +1,298 @@
+//! Differential proptest: the batched SoA tick path (`Machine::step`)
+//! must agree with the scalar reference stepper
+//! (`MachineBuilder::reference_stepping`) — across random workloads,
+//! frequencies, tick sizes, actuator settling, steals, swaps and power
+//! gating.
+//!
+//! The agreement contract: everything a scheduler observes every tick
+//! (samples, effective frequencies, power, decisions) is bit-identical,
+//! because a deferred window of one tick commits with exactly the
+//! per-tick arithmetic. End-of-run accumulators may instead have been
+//! committed as closed-form multi-tick windows (`x += k·d` in place of
+//! `k` separate adds), which agrees with the per-tick reference to a
+//! few ulp — asserted here at ≤1e-12 relative. Discrete state (phase
+//! indices, completion times, finished flags, frequencies, peak power)
+//! stays exactly equal: safety margins in the window sizing keep ulp
+//! noise away from every phase boundary.
+//!
+//! The reference path drives each core through the original per-core
+//! scalar `Core::step` (`step_reference`), so any divergence here means
+//! the vectorized pass changed semantics, not just speed.
+
+use fvs_model::{CounterDelta, FreqMhz};
+use fvs_sim::CoreStats;
+use fvs_sim::{MachineBuilder, NoiseModel};
+use fvs_workloads::{SyntheticConfig, WorkloadSpec};
+use proptest::prelude::*;
+
+/// One randomly-placed control-plane action, applied identically to
+/// both machines at the same tick index.
+#[derive(Debug, Clone)]
+enum Action {
+    SetFreq { core: usize, mhz: u32 },
+    SetAll { mhz: u32 },
+    Steal { core: usize, ms: u32 },
+    Swap { a: usize, b: usize },
+    Power { core: usize, on: bool },
+}
+
+#[derive(Debug, Clone)]
+struct CorePlan {
+    intensity: f64,
+    /// Small budgets finish mid-run (exercising phase boundaries and
+    /// the finished→idle transition); huge ones never do.
+    budget: f64,
+    looping: bool,
+    drift: f64,
+}
+
+fn core_plan() -> impl Strategy<Value = CorePlan> {
+    (
+        0.0f64..100.0,
+        prop::sample::select(vec![2.0e6, 5.0e7, 1.0e15]),
+        any::<bool>(),
+        prop::sample::select(vec![0.0f64, 0.02]),
+    )
+        .prop_map(|(intensity, budget, looping, drift)| CorePlan {
+            intensity,
+            budget,
+            looping,
+            drift,
+        })
+}
+
+fn action(cores: usize) -> impl Strategy<Value = Action> {
+    let mhz = || prop::sample::select(vec![250u32, 450, 650, 850, 1000]);
+    prop_oneof![
+        (0..cores, mhz()).prop_map(|(core, mhz)| Action::SetFreq { core, mhz }),
+        mhz().prop_map(|mhz| Action::SetAll { mhz }),
+        (0..cores, 1u32..8).prop_map(|(core, ms)| Action::Steal { core, ms }),
+        (0..cores, 0..cores).prop_map(|(a, b)| Action::Swap { a, b }),
+        (0..cores, any::<bool>()).prop_map(|(core, on)| Action::Power { core, on }),
+    ]
+}
+
+/// ≤1e-12 relative (or absolute near zero) — the accumulator-agreement
+/// bound for closed-form window commits.
+fn rel_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1.0e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn counters_agree(a: &CounterDelta, b: &CounterDelta) -> bool {
+    rel_eq(a.instructions, b.instructions)
+        && rel_eq(a.cycles, b.cycles)
+        && rel_eq(a.l2_accesses, b.l2_accesses)
+        && rel_eq(a.l3_accesses, b.l3_accesses)
+        && rel_eq(a.mem_accesses, b.mem_accesses)
+}
+
+fn stats_agree(a: &CoreStats, b: &CoreStats) -> bool {
+    rel_eq(a.total_instructions, b.total_instructions)
+        && rel_eq(a.body_instructions, b.body_instructions)
+        && rel_eq(a.busy_s, b.busy_s)
+        // Sub-tick completion times are interpolated from `done_in_phase`,
+        // so they carry the same ulp bound; which tick a workload finishes
+        // in never shifts (the window sizing keeps a 4-tick safety margin
+        // from every phase boundary).
+        && match (a.completed_at_s, b.completed_at_s) {
+            (None, None) => true,
+            (Some(x), Some(y)) => rel_eq(x, y),
+            _ => false,
+        }
+}
+
+fn build_pair(plans: &[CorePlan], settle_s: f64) -> (fvs_sim::Machine, fvs_sim::Machine) {
+    let build = |reference: bool| {
+        let mut b = MachineBuilder::p630()
+            .cores(plans.len())
+            .noise(NoiseModel::NONE)
+            .seed(7);
+        if settle_s > 0.0 {
+            b = b.dvfs_settling(settle_s);
+        }
+        for (i, p) in plans.iter().enumerate() {
+            let mut cfg = SyntheticConfig::single(p.intensity, p.budget);
+            if p.budget < 1.0e9 {
+                // Small budgets must actually reach (and cross) the body
+                // phase within the run; the 2e8-instruction init phase of
+                // the full synthetic benchmark would swallow them.
+                cfg = cfg.body_only();
+            }
+            if p.looping {
+                cfg = cfg.looping();
+            }
+            let mut spec = cfg.build();
+            if p.drift > 0.0 {
+                spec = spec.with_drift(p.drift);
+            }
+            b = b.workload(i, spec);
+        }
+        if reference {
+            b = b.reference_stepping();
+        }
+        b.build()
+    };
+    (build(false), build(true))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline differential: random plan in, agreement out —
+    /// exact for discrete state, ≤1e-12 relative for accumulators.
+    #[test]
+    fn batched_matches_reference(
+        plans in prop::collection::vec(core_plan(), 1..6),
+        settle_s in prop::sample::select(vec![0.0f64, 0.003]),
+        tick_us in prop::sample::select(vec![500u32, 1_000, 5_000, 10_000, 13_000]),
+        ticks in 40usize..160,
+        actions in prop::collection::vec((0usize..160, action(6)), 0..8),
+    ) {
+        let n = plans.len();
+        let (mut batched, mut reference) = build_pair(&plans, settle_s);
+        let dt = f64::from(tick_us) * 1e-6;
+        for m in [&mut batched, &mut reference] {
+            for k in 0..ticks {
+                for (at, a) in &actions {
+                    if *at != k {
+                        continue;
+                    }
+                    match a {
+                        Action::SetFreq { core, mhz } => {
+                            m.set_frequency(core % n, FreqMhz(*mhz))
+                        }
+                        Action::SetAll { mhz } => m.set_all_frequencies(FreqMhz(*mhz)),
+                        Action::Steal { core, ms } => {
+                            m.core_mut(core % n).steal(f64::from(*ms) * 1e-3)
+                        }
+                        Action::Swap { a, b } => {
+                            if a % n != b % n {
+                                m.swap_workloads(a % n, b % n, 1e-4);
+                            }
+                        }
+                        Action::Power { core, on } => m.set_powered(core % n, *on),
+                    }
+                }
+                m.step(dt);
+            }
+        }
+        for i in 0..n {
+            let (ca, cb) = (batched.core(i).counters(), reference.core(i).counters());
+            prop_assert!(counters_agree(&ca, &cb), "core {} counters: {:?} vs {:?}", i, ca, cb);
+            let (sa, sb) = (batched.core(i).stats(), reference.core(i).stats());
+            prop_assert!(stats_agree(&sa, &sb), "core {} stats: {:?} vs {:?}", i, sa, sb);
+            let (pa, pb) = (batched.core(i).cursor(), reference.core(i).cursor());
+            prop_assert_eq!(pa.phase, pb.phase, "core {} phase index diverged", i);
+            prop_assert!(rel_eq(pa.done_in_phase, pb.done_in_phase));
+            prop_assert_eq!(batched.core(i).is_finished(), reference.core(i).is_finished());
+            prop_assert_eq!(
+                batched.effective_frequency(i),
+                reference.effective_frequency(i)
+            );
+            prop_assert!(rel_eq(batched.energy(i).joules(), reference.energy(i).joules()));
+            prop_assert_eq!(
+                batched.energy(i).peak_watts(),
+                reference.energy(i).peak_watts()
+            );
+            let (ra, rb) = (batched.residency(i), reference.residency(i));
+            prop_assert!((ra.total() - rb.total()).abs() < 1e-9);
+            prop_assert!((ra.mean_mhz() - rb.mean_mhz()).abs() < 1e-9);
+        }
+        prop_assert_eq!(batched.total_power_w(), reference.total_power_w());
+    }
+
+    /// Noiseless sampling parity: with identical seeds and call order,
+    /// even the perturbed sample stream is identical.
+    #[test]
+    fn sampling_stream_matches_reference(
+        plans in prop::collection::vec(core_plan(), 1..4),
+        tick_us in prop::sample::select(vec![1_000u32, 10_000]),
+    ) {
+        let (mut batched, mut reference) = build_pair(&plans, 0.0);
+        let dt = f64::from(tick_us) * 1e-6;
+        for _ in 0..30 {
+            batched.step(dt);
+            reference.step(dt);
+            prop_assert_eq!(batched.sample_all(), reference.sample_all());
+        }
+    }
+
+    /// The rayon-chunked path agrees with the serial batched pass:
+    /// threshold low enough to force splits vs. `MAX`. (The split path
+    /// materialises deferred windows every tick, so this also checks
+    /// deferral against eager per-tick commits.)
+    #[test]
+    fn chunked_matches_serial_batched(
+        cores in 9usize..48,
+        seed_mix in 0u32..5,
+        ticks in 20usize..120,
+    ) {
+        let build = |threshold: usize| {
+            let mut b = MachineBuilder::p630().cores(cores).noise(NoiseModel::NONE);
+            for i in 0..cores {
+                b = b.workload(
+                    i,
+                    SyntheticConfig::single(
+                        ((i as u32 + seed_mix) % 5) as f64 * 25.0,
+                        3.0e6,
+                    )
+                    .looping()
+                    .build(),
+                );
+            }
+            b.parallel_threshold(threshold).build()
+        };
+        let mut chunked = build(4);
+        let mut serial = build(usize::MAX);
+        for _ in 0..ticks {
+            chunked.step(0.01);
+            serial.step(0.01);
+        }
+        for i in 0..cores {
+            let (ca, cb) = (chunked.core(i).counters(), serial.core(i).counters());
+            prop_assert!(counters_agree(&ca, &cb), "core {}: {:?} vs {:?}", i, ca, cb);
+            let (sa, sb) = (chunked.core(i).stats(), serial.core(i).stats());
+            prop_assert!(stats_agree(&sa, &sb), "core {}: {:?} vs {:?}", i, sa, sb);
+        }
+    }
+}
+
+/// Finished workloads park on the hot-idle profile identically in both
+/// steppers — the boundary the compacted crosser list must respect.
+#[test]
+fn finish_boundary_parity() {
+    let plans = vec![
+        CorePlan {
+            intensity: 80.0,
+            budget: 1.0e6,
+            looping: false,
+            drift: 0.0,
+        },
+        CorePlan {
+            intensity: 20.0,
+            budget: 2.0e6,
+            looping: false,
+            drift: 0.02,
+        },
+    ];
+    let (mut batched, mut reference) = build_pair(&plans, 0.003);
+    for m in [&mut batched, &mut reference] {
+        // Coarse ticks guarantee the finish lands mid-tick.
+        m.run_for(0.2, 0.013);
+    }
+    for i in 0..2 {
+        assert!(batched.core(i).is_finished());
+        let (sa, sb) = (batched.core(i).stats(), reference.core(i).stats());
+        assert!(stats_agree(&sa, &sb), "core {i}: {sa:?} vs {sb:?}");
+        let (ca, cb) = (batched.core(i).counters(), reference.core(i).counters());
+        assert!(counters_agree(&ca, &cb), "core {i}: {ca:?} vs {cb:?}");
+    }
+    let spec = WorkloadSpec::synthetic(60.0, 1.0e15);
+    batched.core_mut(0).assign(spec.clone());
+    reference.core_mut(0).assign(spec);
+    for m in [&mut batched, &mut reference] {
+        m.run_for(0.1, 0.01);
+    }
+    let (ca, cb) = (batched.core(0).counters(), reference.core(0).counters());
+    assert!(counters_agree(&ca, &cb), "{ca:?} vs {cb:?}");
+}

@@ -2,8 +2,8 @@
 //! coordinator socket.
 //!
 //! ```text
-//! fvsst-node [--connect ADDR] [--node ID] [--workload cpu|mixed|mem]
-//!            [--tick S] [--summary-every N] [--run S]
+//! fvsst-node [--connect ADDR|none] [--node ID] [--workload cpu|mixed|mem]
+//!            [--tick S] [--summary-every N] [--run S] [--timed]
 //! ```
 //!
 //! Drives the paper's 4-way P630-like machine under a synthetic
@@ -12,6 +12,15 @@
 //! back. If the link drops the agent climbs an exponential backoff
 //! ladder until the coordinator returns, while the machine keeps running
 //! at its last-commanded frequencies. `--run 0` runs until killed.
+//!
+//! `--timed` switches to wall-clock real-time pacing: each `--tick`
+//! seconds of simulation takes that many wall seconds, so the node can
+//! stand in for live hardware on the paper's real `t = 10 ms` sampling
+//! cadence during long coordinator soaks. With `--connect none` the
+//! timed node runs a standalone pacing drill (no coordinator): it ticks
+//! locally for `--run` seconds, prints the achieved cadence, and fails
+//! if the mean tick strays more than 25 % from target — the CI
+//! sanity check for the pacing loop.
 
 use fvsst::prelude::*;
 use std::process::ExitCode;
@@ -24,11 +33,12 @@ struct Args {
     tick_s: f64,
     summary_every: u32,
     run_s: f64, // 0 = forever
+    timed: bool,
 }
 
 fn usage() -> String {
-    "usage: fvsst-node [--connect ADDR] [--node ID] [--workload cpu|mixed|mem] \
-     [--tick S] [--summary-every N] [--run S]"
+    "usage: fvsst-node [--connect ADDR|none] [--node ID] [--workload cpu|mixed|mem] \
+     [--tick S] [--summary-every N] [--run S] [--timed]"
         .to_string()
 }
 
@@ -40,6 +50,7 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
         tick_s: 0.01,
         summary_every: 10,
         run_s: 0.0,
+        timed: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -95,6 +106,7 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
                     .filter(|v| v.is_finite() && *v >= 0.0)
                     .ok_or_else(|| FvsError::config("--run requires a non-negative number"))?;
             }
+            "--timed" => out.timed = true,
             "--help" | "-h" => return Err(FvsError::config(usage())),
             other => {
                 return Err(FvsError::config(format!(
@@ -122,11 +134,61 @@ fn build_node(id: usize, workload: &str) -> ClusterNode {
     ClusterNode::new(id, b.build(), None)
 }
 
+/// Standalone wall-clock pacing drill: tick the node locally (no
+/// coordinator) at real-time rate and assert the achieved cadence.
+fn run_timed_standalone(args: &Args) -> Result<(), FvsError> {
+    let mut node = build_node(args.node, &args.workload);
+    let run_s = if args.run_s > 0.0 { args.run_s } else { 2.0 };
+    let ticks = (run_s / args.tick_s).round().max(1.0) as u64;
+    println!(
+        "fvsst-node {} ({} workload): standalone timed drill, {} ticks at {:.1} ms",
+        args.node,
+        args.workload,
+        ticks,
+        args.tick_s * 1e3
+    );
+    let mut pacer = Pacer::new(Duration::from_secs_f64(args.tick_s));
+    for _ in 0..ticks {
+        node.tick(args.tick_s);
+        pacer.pace();
+    }
+    let r = pacer.report();
+    println!(
+        "timed run: {} ticks in {:.3} s wall (target {:.2} ms/tick, mean {:.2} ms, \
+         {} overruns, worst {:.2} ms), final power {:.1} W",
+        r.ticks,
+        r.elapsed_s,
+        r.target_tick_s * 1e3,
+        r.mean_tick_s() * 1e3,
+        r.overruns,
+        r.max_overrun_s * 1e3,
+        node.power_w()
+    );
+    if !r.cadence_ok(0.25) {
+        return Err(FvsError::config(format!(
+            "wall-clock cadence off target: mean {:.3} ms vs target {:.3} ms",
+            r.mean_tick_s() * 1e3,
+            r.target_tick_s * 1e3
+        )));
+    }
+    println!("cadence within tolerance");
+    Ok(())
+}
+
 fn run(args: Args) -> Result<(), FvsError> {
+    if args.timed && args.connect == "none" {
+        return run_timed_standalone(&args);
+    }
+    if args.connect == "none" {
+        return Err(FvsError::config(
+            "--connect none only makes sense with --timed (standalone pacing drill)",
+        ));
+    }
     let node = build_node(args.node, &args.workload);
     let config = AgentConfig::default_lan()
         .with_tick_s(args.tick_s)
-        .with_summary_every(args.summary_every);
+        .with_summary_every(args.summary_every)
+        .with_timed(args.timed);
     println!(
         "fvsst-node {} ({} workload) -> {}",
         args.node, args.workload, args.connect

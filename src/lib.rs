@@ -90,7 +90,7 @@ pub mod prelude {
     pub use fvs_sched::{
         CoreSample, FvsstAlgorithm, FvsstScheduler, MtDaemon, ScheduledSimulation, SchedulerConfig,
     };
-    pub use fvs_sim::{Machine, MachineBuilder};
+    pub use fvs_sim::{Machine, MachineBuilder, PaceReport, Pacer};
     pub use fvs_telemetry::{BudgetDeadlineTracker, MetricsRegistry, SchedEvent, Telemetry};
     pub use fvs_workloads::{AppBenchmark, PhaseSpec, WorkloadSpec};
 }

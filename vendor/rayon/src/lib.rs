@@ -76,6 +76,36 @@ pub fn current_num_threads() -> usize {
     worker_count(usize::MAX)
 }
 
+/// `rayon::join` stand-in: runs both closures, potentially in parallel.
+///
+/// With more than one configured worker, `oper_b` runs on a scoped
+/// thread while `oper_a` runs on the caller; with a single worker both
+/// run inline (no spawn, no allocation), which is what allocation-
+/// counting proofs rely on to exercise chunked code paths serially.
+/// Unlike real rayon there is no work-stealing pool — each parallel
+/// `join` spawns one OS thread — so recursive users should split down
+/// to coarse chunks, not single items.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if worker_count(usize::MAX) == 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(oper_b);
+            let ra = oper_a();
+            let rb = hb.join().expect("rayon stand-in join worker panicked");
+            (ra, rb)
+        })
+    }
+}
+
 /// Run `f` on disjoint index chunks of `0..len`, in parallel.
 fn chunked<F: Fn(std::ops::Range<usize>) + Sync>(len: usize, f: F) {
     let workers = worker_count(len);
