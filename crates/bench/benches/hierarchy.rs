@@ -1,0 +1,132 @@
+//! Hierarchy benchmarks: full-cluster dispatch ticks at 10k–100k nodes
+//! coordinated through the budget-delegation tree, and the steady-state
+//! incremental win of per-subtree fingerprint skipping over the flat
+//! coordinator.
+//!
+//! `cluster_tick/{10000,100000}` extends the flat `cluster_tick` table
+//! (8–1024 nodes, `scheduler_micro.rs`) to datacenter scale — at these
+//! sizes the config switches to the delegation tree, which is the whole
+//! point of the tier.
+//!
+//! `hier_steady_state/{flat,hier}/{10000,100000}` is coordinator-only:
+//! pre-built summaries, warm caches, and a handful of nodes whose raw
+//! counters jitter every round without changing any decision — the
+//! telemetry-noise steady state a big cluster actually sits in. The
+//! flat coordinator pays its O(all processors) fingerprint sweep every
+//! round; the tree re-runs only the drifters' racks and skips every
+//! clean subtree, which is the ≥10× `collect_bench` reports as
+//! `hier_vs_flat_speedup`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fvs_cluster::{
+    ClusterConfig, ClusterSim, DelegationTree, GlobalCoordinator, HierTopology, NodeSummary,
+};
+use fvs_model::{CpiModel, FreqMhz};
+use fvs_power::BudgetSchedule;
+use fvs_sched::FvsstAlgorithm;
+use std::hint::black_box;
+
+const PROCS_PER_NODE: usize = 4;
+/// Nodes whose raw counters jitter each round, spread one per rack.
+const DRIFTERS: usize = 4;
+
+/// A node summary drawn from five model classes (0–20 ns of memory time
+/// per instruction) so demotion ladders coalesce the way a real mix
+/// does. `jitter` perturbs one processor's memory time by 1 ps — far
+/// past the model-tolerance quantum, so the per-processor cache must
+/// refit it, but four orders of magnitude below anything that moves a
+/// frequency decision.
+fn summary(node: usize, at: f64, jitter: bool) -> NodeSummary {
+    let mems: Vec<f64> = (0..PROCS_PER_NODE)
+        .map(|p| {
+            let base = ((node * 7 + p * 3) % 5) as f64 * 5.0e-9;
+            if jitter && p == 0 {
+                base + 1.0e-12
+            } else {
+                base
+            }
+        })
+        .collect();
+    NodeSummary {
+        node,
+        sent_at_s: at,
+        models: mems
+            .iter()
+            .map(|m| Some(CpiModel::from_components(1.0, *m)))
+            .collect(),
+        idle: vec![false; PROCS_PER_NODE],
+        current: vec![FreqMhz(1000); PROCS_PER_NODE],
+        power_w: 140.0 * PROCS_PER_NODE as f64,
+    }
+}
+
+fn bench_cluster_tick_hier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_tick");
+    g.sample_size(10);
+    for &nodes in &[10_000usize, 100_000] {
+        // Budget forces real scheduling work every round (~70 W/core of
+        // a 140 W/core unconstrained draw), as in the flat rows.
+        let config = ClusterConfig::rack()
+            .with_hierarchy(HierTopology::default())
+            .with_budget(BudgetSchedule::constant(nodes as f64 * 4.0 * 70.0));
+        let mut sim = ClusterSim::three_tier(nodes, 42, config);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &(), |b, _| {
+            b.iter(|| sim.step_tick())
+        });
+    }
+    g.finish();
+}
+
+fn bench_hier_steady_state(c: &mut Criterion) {
+    let alg = FvsstAlgorithm::p630();
+    let mut g = c.benchmark_group("hier_steady_state");
+    g.sample_size(10);
+    for &nodes in &[10_000usize, 100_000] {
+        let budget = nodes as f64 * PROCS_PER_NODE as f64 * 70.0;
+        let stride = nodes / DRIFTERS;
+        // Flat baseline: every round sweeps all processors.
+        {
+            let mut flat =
+                GlobalCoordinator::new(alg.clone(), nodes).with_heartbeat_timeout(f64::INFINITY);
+            for n in 0..nodes {
+                flat.ingest(summary(n, 1.0, false));
+            }
+            flat.schedule(budget, 1.0);
+            flat.schedule(budget, 1.0);
+            let mut i = 0u64;
+            g.bench_with_input(BenchmarkId::new("flat", nodes), &(), |b, _| {
+                b.iter(|| {
+                    i += 1;
+                    for d in 0..DRIFTERS {
+                        flat.ingest(summary(d * stride, 1.0, i.is_multiple_of(2)));
+                    }
+                    black_box(flat.schedule(budget, 1.0).len())
+                })
+            });
+        }
+        // Delegation tree: only the drifters' racks re-run.
+        {
+            let mut tree = DelegationTree::new(alg.clone(), nodes, HierTopology::default())
+                .with_heartbeat_timeout(f64::INFINITY);
+            for n in 0..nodes {
+                tree.ingest(summary(n, 1.0, false));
+            }
+            tree.schedule(budget, 1.0);
+            tree.schedule(budget, 1.0);
+            let mut i = 0u64;
+            g.bench_with_input(BenchmarkId::new("hier", nodes), &(), |b, _| {
+                b.iter(|| {
+                    i += 1;
+                    for d in 0..DRIFTERS {
+                        tree.ingest(summary(d * stride, 1.0, i.is_multiple_of(2)));
+                    }
+                    black_box(tree.schedule(budget, 1.0).len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(hier, bench_cluster_tick_hier, bench_hier_steady_state);
+criterion_main!(hier);

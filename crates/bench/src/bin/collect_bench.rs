@@ -30,8 +30,9 @@ use rayon::prelude::*;
 use std::path::{Path, PathBuf};
 
 const SIZES: &[usize] = &[4, 16, 64, 256, 1024];
-const CLUSTER_SIZES: &[usize] = &[8, 32, 128, 512, 1024];
+const CLUSTER_SIZES: &[usize] = &[8, 32, 128, 512, 1024, 10_000, 100_000];
 const SIM_CORES: &[usize] = &[4, 64, 256, 1024];
+const HIER_SIZES: &[usize] = &[10_000, 100_000];
 
 fn workspace_root() -> PathBuf {
     // The binary runs from anywhere inside the workspace; walk upward to
@@ -76,6 +77,14 @@ struct SimEntry {
     sampled: Option<f64>,
     scalar: Option<f64>,
     speedup: Option<f64>,
+}
+
+/// One row of the steady-state hierarchy-vs-flat table.
+struct HierEntry {
+    nodes: usize,
+    flat: f64,
+    hier: f64,
+    speedup: f64,
 }
 
 /// Validate an existing `BENCH_scheduler.json`: parseable, and shaped
@@ -134,6 +143,22 @@ fn check(root: &Path) -> i32 {
                         errors.push(format!(
                             "sim_core_ticks_per_sec[{i}] missing number '{field}'"
                         ));
+                    }
+                }
+            }
+        }
+    }
+    match v.get("hier_steady_state").and_then(|s| s.as_array()) {
+        None => errors.push("missing array field 'hier_steady_state'".to_string()),
+        Some(rows) if rows.is_empty() => errors.push("'hier_steady_state' is empty".to_string()),
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                if row.get("nodes").and_then(|n| n.as_u64()).is_none() {
+                    errors.push(format!("hier_steady_state[{i}] missing integer 'nodes'"));
+                }
+                for field in ["flat_median_ns", "hier_median_ns", "hier_vs_flat_speedup"] {
+                    if row.get(field).and_then(|n| n.as_f64()).is_none() {
+                        errors.push(format!("hier_steady_state[{i}] missing number '{field}'"));
                     }
                 }
             }
@@ -224,6 +249,21 @@ fn main() {
             None => missing.push(format!("sim_tick_batched/{cores}")),
         }
     }
+    let mut hier = Vec::new();
+    for &nodes in HIER_SIZES {
+        let id = nodes.to_string();
+        let flat = median_ns(&criterion_dir, "hier_steady_state", &format!("flat/{id}"));
+        let h = median_ns(&criterion_dir, "hier_steady_state", &format!("hier/{id}"));
+        match (flat, h) {
+            (Some(flat), Some(h)) => hier.push(HierEntry {
+                nodes,
+                flat,
+                hier: h,
+                speedup: flat / h,
+            }),
+            _ => missing.push(format!("hier_steady_state/{nodes}")),
+        }
+    }
     if entries.is_empty() {
         eprintln!(
             "no criterion estimates found under {} — run \
@@ -300,6 +340,18 @@ fn main() {
         }
         out.push('\n');
     }
+    out.push_str("  ],\n  \"hier_steady_state\": [\n");
+    for (i, e) in hier.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"flat_median_ns\": {:.1}, \"hier_median_ns\": {:.1}, \
+             \"hier_vs_flat_speedup\": {:.2}}}{}\n",
+            e.nodes,
+            e.flat,
+            e.hier,
+            e.speedup,
+            if i + 1 < hier.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ],\n  \"harness_fast_suite\": {\n");
     out.push_str(&format!("    \"experiments\": {suite_ran},\n"));
     out.push_str(&format!(
@@ -335,6 +387,12 @@ fn main() {
         }
         println!("{line}");
     }
+    for e in &hier {
+        println!(
+            "hier nodes={:<7} flat {:>14.1} ns  hier {:>12.1} ns  speedup {:.2}x",
+            e.nodes, e.flat, e.hier, e.speedup
+        );
+    }
     println!("harness fast suite: {suite_ran} experiments in {suite_wall_s:.2}s wall");
     // The steady-state cache target: a round with an unchanged model
     // set must be at least 5x cheaper than rebuilding at n=256.
@@ -352,6 +410,17 @@ fn main() {
             if s < 10.0 {
                 eprintln!("warning: batched speedup at 1024 cores is {s:.2}x (< 10x target)");
             }
+        }
+    }
+    // The delegation-tree target: a steady-state round with a few
+    // drifting nodes must be at least 10x cheaper through the tree
+    // than through the flat coordinator at 10k nodes.
+    if let Some(e) = hier.iter().find(|e| e.nodes == 10_000) {
+        if e.speedup < 10.0 {
+            eprintln!(
+                "warning: hier steady-state speedup at 10k nodes is {:.2}x (< 10x target)",
+                e.speedup
+            );
         }
     }
 }

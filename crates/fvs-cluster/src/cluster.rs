@@ -1,6 +1,7 @@
 //! The cluster simulation: nodes + coordinator + delayed messaging.
 
 use crate::coordinator::{FrequencyCommand, GlobalCoordinator, NodeSummary};
+use crate::hierarchy::{DelegationTree, HierTopology};
 use crate::message::DelayQueue;
 use crate::node::ClusterNode;
 use fvs_faults::{CounterFaultKind, FaultInjector, SummaryFaultKind};
@@ -13,8 +14,10 @@ use fvs_workloads::{MixConfig, WorkloadGenerator};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// Below this node count the cluster tick runs sequentially: each node's
-/// tick is microseconds of work, and fork/join overhead would dominate.
+/// Default node count below which the cluster tick runs sequentially:
+/// each node's tick is microseconds of work, and fork/join overhead
+/// would dominate. Overridable per config via
+/// [`ClusterConfig::with_parallel_threshold`].
 const PARALLEL_TICK_THRESHOLD: usize = 8;
 
 /// Cluster-wide configuration.
@@ -32,6 +35,11 @@ pub struct ClusterConfig {
     pub budget: BudgetSchedule,
     /// Telemetry handle passed to the coordinator (disabled by default).
     pub telemetry: Telemetry,
+    /// Below this node/rack count, parallel phases run sequentially.
+    pub parallel_threshold: usize,
+    /// `Some(topology)` replaces the flat global coordinator with a
+    /// node → rack → row → root budget-delegation tree.
+    pub hierarchy: Option<HierTopology>,
 }
 
 impl ClusterConfig {
@@ -46,6 +54,8 @@ impl ClusterConfig {
             algorithm: FvsstAlgorithm::p630(),
             budget: BudgetSchedule::constant(f64::INFINITY),
             telemetry: Telemetry::disabled(),
+            parallel_threshold: PARALLEL_TICK_THRESHOLD,
+            hierarchy: None,
         }
     }
 
@@ -84,6 +94,21 @@ impl ClusterConfig {
     /// `cluster.*` metrics).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Override the node/rack count below which parallel phases (node
+    /// ticks, hierarchy rack refresh/finalize) run sequentially.
+    /// Default 8; clamped to at least 1.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold.max(1);
+        self
+    }
+
+    /// Coordinate through a budget-delegation tree of the given shape
+    /// instead of the flat global coordinator.
+    pub fn with_hierarchy(mut self, topology: HierTopology) -> Self {
+        self.hierarchy = Some(topology);
         self
     }
 }
@@ -130,10 +155,47 @@ pub struct NodeEvent {
     pub online: bool,
 }
 
+/// The budget authority: the paper's flat global coordinator, or the
+/// delegation tree when the config asked for one.
+enum Coordination {
+    Flat(Box<GlobalCoordinator>),
+    Hier(Box<DelegationTree>),
+}
+
+impl Coordination {
+    fn ingest(&mut self, summary: NodeSummary) -> bool {
+        match self {
+            Coordination::Flat(c) => c.ingest(summary),
+            Coordination::Hier(t) => t.ingest(summary),
+        }
+    }
+
+    fn nodes_reporting(&self) -> usize {
+        match self {
+            Coordination::Flat(c) => c.nodes_reporting(),
+            Coordination::Hier(t) => t.nodes_reporting(),
+        }
+    }
+
+    fn schedule(&mut self, budget_w: f64, now_s: f64) -> Vec<FrequencyCommand> {
+        match self {
+            Coordination::Flat(c) => c.schedule(budget_w, now_s),
+            Coordination::Hier(t) => t.schedule(budget_w, now_s),
+        }
+    }
+
+    fn reserved_w(&self) -> f64 {
+        match self {
+            Coordination::Flat(c) => c.reserved_w(),
+            Coordination::Hier(t) => t.reserved_w(),
+        }
+    }
+}
+
 /// A cluster of machines under one global budget.
 pub struct ClusterSim {
     nodes: Vec<ClusterNode>,
-    coordinator: GlobalCoordinator,
+    coordinator: Coordination,
     config: ClusterConfig,
     uplink: DelayQueue<NodeSummary>,
     downlink: DelayQueue<FrequencyCommand>,
@@ -153,11 +215,22 @@ pub struct ClusterSim {
 impl ClusterSim {
     /// Build from explicit nodes.
     pub fn new(nodes: Vec<ClusterNode>, config: ClusterConfig) -> Self {
-        let coordinator = GlobalCoordinator::with_telemetry(
-            config.algorithm.clone(),
-            nodes.len(),
-            config.telemetry.clone(),
-        );
+        let coordinator = match config.hierarchy {
+            Some(topology) => Coordination::Hier(Box::new(
+                DelegationTree::with_telemetry(
+                    config.algorithm.clone(),
+                    nodes.len(),
+                    topology,
+                    config.telemetry.clone(),
+                )
+                .with_parallel_threshold(config.parallel_threshold),
+            )),
+            None => Coordination::Flat(Box::new(GlobalCoordinator::with_telemetry(
+                config.algorithm.clone(),
+                nodes.len(),
+                config.telemetry.clone(),
+            ))),
+        };
         let n = nodes.len();
         ClusterSim {
             nodes,
@@ -230,9 +303,38 @@ impl ClusterSim {
         self.faults.as_ref().map_or(0, |f| f.injected())
     }
 
-    /// The global coordinator (degradation state: reserve, dead nodes).
+    /// The flat global coordinator (degradation state: reserve, dead
+    /// nodes).
+    ///
+    /// # Panics
+    ///
+    /// When the config selected a hierarchy
+    /// ([`ClusterConfig::with_hierarchy`]) — use
+    /// [`hierarchy`](Self::hierarchy) there instead.
     pub fn coordinator(&self) -> &GlobalCoordinator {
-        &self.coordinator
+        match &self.coordinator {
+            Coordination::Flat(c) => c,
+            Coordination::Hier(_) => {
+                panic!("coordinator(): cluster is hierarchical; use hierarchy()")
+            }
+        }
+    }
+
+    /// The delegation tree, when the config selected one.
+    pub fn hierarchy(&self) -> Option<&DelegationTree> {
+        match &self.coordinator {
+            Coordination::Flat(_) => None,
+            Coordination::Hier(t) => Some(t.as_ref()),
+        }
+    }
+
+    /// The delegation tree, mutably (chaos drills: killing a rack
+    /// coordinator mid-run).
+    pub fn hierarchy_mut(&mut self) -> Option<&mut DelegationTree> {
+        match &mut self.coordinator {
+            Coordination::Flat(_) => None,
+            Coordination::Hier(t) => Some(t.as_mut()),
+        }
     }
 
     /// Whether node `i` is currently online.
@@ -341,7 +443,7 @@ impl ClusterSim {
         // nothing). Nodes are independent within a tick — they interact
         // only through the coordinator messages handled below — so large
         // clusters fan the per-node work out across threads.
-        if self.nodes.len() >= PARALLEL_TICK_THRESHOLD {
+        if self.nodes.len() >= self.config.parallel_threshold {
             self.nodes.par_iter_mut().for_each(|node| node.tick(t_s));
         } else {
             for node in &mut self.nodes {
@@ -511,12 +613,61 @@ mod tests {
             .with_n(20)
             .with_latency_s(0.05)
             .with_budget(BudgetSchedule::constant(800.0))
-            .with_telemetry(Telemetry::memory(4));
+            .with_telemetry(Telemetry::memory(4))
+            .with_parallel_threshold(16)
+            .with_hierarchy(HierTopology::default().with_nodes_per_rack(8));
         assert_eq!(config.t_s, 0.005);
         assert_eq!(config.n, 20);
         assert_eq!(config.latency_s, 0.05);
         assert_eq!(config.budget.initial_w(), 800.0);
         assert!(config.telemetry.enabled());
+        assert_eq!(config.parallel_threshold, 16);
+        assert_eq!(config.hierarchy.unwrap().nodes_per_rack, 8);
+        // The default stays at 8 and the threshold never hits zero.
+        assert_eq!(ClusterConfig::rack().parallel_threshold, 8);
+        assert_eq!(
+            ClusterConfig::rack()
+                .with_parallel_threshold(0)
+                .parallel_threshold,
+            1
+        );
+    }
+
+    #[test]
+    fn hierarchical_cluster_meets_global_budget_after_drop() {
+        // Same drill as the flat cluster below, but coordinated through
+        // a 2-nodes-per-rack, 2-racks-per-row delegation tree.
+        let config = ClusterConfig::rack()
+            .with_hierarchy(
+                HierTopology::default()
+                    .with_nodes_per_rack(2)
+                    .with_racks_per_row(2),
+            )
+            .with_budget(BudgetSchedule::with_events(
+                f64::INFINITY,
+                vec![BudgetEvent {
+                    at_s: 1.0,
+                    budget_w: 1800.0,
+                }],
+            ));
+        let mut sim = ClusterSim::three_tier(6, 7, config);
+        let report = sim.run_for(3.0);
+        assert!(
+            report.final_power_w <= 1800.0,
+            "final {}",
+            report.final_power_w
+        );
+        let response = report.response_s.expect("compliance reached");
+        assert!(response < 0.5, "response {response}s");
+        let tree = sim.hierarchy().expect("hier mode");
+        assert_eq!(tree.num_racks(), 3);
+        assert_eq!(tree.num_rows(), 2);
+        // Live synthetic workloads re-fit their models every window, so
+        // (exactly like the flat ScheduleCache on this drill) racks stay
+        // busy; the tree must still have delegated every round.
+        let stats = tree.stats();
+        assert!(stats.rack_runs > 0, "{stats:?}");
+        assert_eq!(tree.rounds(), report.rounds);
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub struct GlobalCoordinator {
     /// coordinator send blind fail-safe commands to a node it can hear
     /// nothing useful from.
     shape: Vec<Option<usize>>,
+    /// Nodes charged (not scheduled) in the last computation — they
+    /// receive blind fail-safe commands. Reused across rounds.
+    blind: Vec<usize>,
 }
 
 /// Metric handles, created once at construction so scheduling rounds
@@ -129,6 +132,7 @@ impl GlobalCoordinator {
             reserved_w: 0.0,
             commanded_w: vec![0.0; nodes],
             shape: vec![None; nodes],
+            blind: Vec::new(),
         }
     }
 
@@ -151,8 +155,15 @@ impl GlobalCoordinator {
         self.cache.stats()
     }
 
+    /// The conservative charge for a node that has never reported (W).
+    pub fn worst_case_node_w(&self) -> f64 {
+        self.worst_case_node_w
+    }
+
     /// Ingest a (possibly stale) node summary; newer summaries replace
-    /// older ones.
+    /// older ones. Returns `true` when the summary was accepted and
+    /// stored (fresh and well-formed), `false` when it was rejected or
+    /// lost to a newer one already held.
     ///
     /// The uplink is not trusted: a summary with a non-finite timestamp
     /// or power, an out-of-range node index, or mismatched per-processor
@@ -160,7 +171,7 @@ impl GlobalCoordinator {
     /// non-finite components is degraded to `None` (the processor is
     /// scheduled as unmodelled, holding its current frequency). Nothing
     /// a node ships can make the global computation produce a NaN.
-    pub fn ingest(&mut self, mut summary: NodeSummary) {
+    pub fn ingest(&mut self, mut summary: NodeSummary) -> bool {
         let n_procs = summary.models.len();
         // Even a summary rejected for corrupt content reveals the node's
         // processor count — enough to fail-safe it later.
@@ -187,7 +198,7 @@ impl GlobalCoordinator {
                     value: summary.power_w,
                 });
             }
-            return;
+            return false;
         }
         for (p, slot) in summary.models.iter_mut().enumerate() {
             if let Some(model) = slot {
@@ -218,6 +229,7 @@ impl GlobalCoordinator {
         if newer {
             *slot = Some(summary);
         }
+        newer
     }
 
     /// How many nodes have reported at least once.
@@ -255,12 +267,50 @@ impl GlobalCoordinator {
     /// the cluster's true draw cannot exceed the global budget because
     /// of a node the coordinator cannot see.
     pub fn schedule(&mut self, budget_w: f64, now_s: f64) -> Vec<FrequencyCommand> {
-        // Flatten the live processors into one ProcInput list,
-        // remembering (node, proc) coordinates. Buffers are reused.
+        self.compute(budget_w, now_s);
+        let commands = self.emit_commands();
+        let (feasible, predicted_power_w) = {
+            let d = self.cache.decision();
+            (d.feasible, d.predicted_power_w)
+        };
+        let round = self.rounds;
+        self.rounds += 1;
+        if self.telemetry.enabled() {
+            self.telemetry.emit(SchedEvent::ClusterRound {
+                round,
+                nodes: self.nodes_reporting() as u32,
+                procs: self.procs.len() as u32,
+                budget_w,
+                predicted_power_w,
+                feasible,
+            });
+            if let Some(m) = &self.metrics {
+                m.rounds.inc();
+                m.commands_sent.add(commands.len() as u64);
+                m.reported_power_watts.set(self.reported_power_w());
+                m.nodes_reporting.set(self.nodes_reporting() as f64);
+                m.reserved_watts.set(self.reserved_w);
+            }
+        }
+        commands
+    }
+
+    /// The liveness sweep plus the cached two-pass computation, without
+    /// emitting commands: flattens live processors into the reusable
+    /// `ProcInput` list, charges silent and never-reported nodes against
+    /// the budget, and runs `schedule_cached` under what remains. The
+    /// decision lands in [`schedule_cache`](Self::schedule_cache); the
+    /// hierarchy layer calls this to refresh a rack's aggregate before
+    /// its sub-budget is known, then [`recompute_budget`] +
+    /// [`emit_commands`] once it is.
+    ///
+    /// [`recompute_budget`]: Self::recompute_budget
+    /// [`emit_commands`]: Self::emit_commands
+    pub(crate) fn compute(&mut self, budget_w: f64, now_s: f64) {
         self.coords.clear();
         self.procs.clear();
+        self.blind.clear();
         let mut reserved_w = 0.0;
-        let mut blind: Vec<usize> = Vec::new();
         for (node_idx, slot) in self.latest.iter().enumerate() {
             match slot {
                 Some(s) if now_s - s.sent_at_s <= self.heartbeat_timeout_s => {
@@ -281,7 +331,7 @@ impl GlobalCoordinator {
                     // boost command but before any summary reflected it).
                     let charged_w = s.power_w.max(self.commanded_w[node_idx]);
                     reserved_w += charged_w;
-                    blind.push(node_idx);
+                    self.blind.push(node_idx);
                     if !self.dead[node_idx] {
                         self.dead[node_idx] = true;
                         self.telemetry.emit(SchedEvent::NodeDeclaredDead {
@@ -295,7 +345,7 @@ impl GlobalCoordinator {
                 None if now_s > self.heartbeat_timeout_s => {
                     // Never heard from and overdue: assume the worst.
                     reserved_w += self.worst_case_node_w;
-                    blind.push(node_idx);
+                    self.blind.push(node_idx);
                     if !self.dead[node_idx] {
                         self.dead[node_idx] = true;
                         self.telemetry.emit(SchedEvent::NodeDeclaredDead {
@@ -316,10 +366,26 @@ impl GlobalCoordinator {
         }
         self.reserved_w = reserved_w;
         let effective_budget_w = (budget_w - reserved_w).max(0.0);
-        let d = self
-            .algorithm
+        self.algorithm
             .schedule_cached(&mut self.cache, &self.procs, effective_budget_w);
-        let (feasible, predicted_power_w) = (d.feasible, d.predicted_power_w);
+    }
+
+    /// Re-run passes 2 + 3 under a different budget over the processor
+    /// set of the last [`compute`](Self::compute), skipping the liveness
+    /// sweep (every per-processor fingerprint hits, so only the budget
+    /// passes run). The hierarchy layer uses this when a rack's
+    /// sub-budget changed but nothing inside the rack did.
+    pub(crate) fn recompute_budget(&mut self, budget_w: f64) {
+        let effective_budget_w = (budget_w - self.reserved_w).max(0.0);
+        self.algorithm
+            .schedule_cached(&mut self.cache, &self.procs, effective_budget_w);
+    }
+
+    /// Regroup the last computed decision into per-node commands, record
+    /// the commanded power ceilings, and append blind fail-safe commands
+    /// for charged nodes.
+    pub(crate) fn emit_commands(&mut self) -> Vec<FrequencyCommand> {
+        let d = self.cache.decision();
         // Regroup per node (the command vectors are shipped, so they are
         // allocated fresh).
         let mut commands: Vec<FrequencyCommand> = Vec::new();
@@ -348,7 +414,7 @@ impl GlobalCoordinator {
         // lowers `commanded_w`: the conservative charge stands until the
         // node actually reports again.
         let f_min = self.algorithm.freq_set.min();
-        for node in blind {
+        for &node in &self.blind {
             if let Some(n_procs) = self.shape[node] {
                 commands.push(FrequencyCommand {
                     node,
@@ -356,26 +422,78 @@ impl GlobalCoordinator {
                 });
             }
         }
-        let round = self.rounds;
-        self.rounds += 1;
-        if self.telemetry.enabled() {
-            self.telemetry.emit(SchedEvent::ClusterRound {
-                round,
-                nodes: self.nodes_reporting() as u32,
-                procs: self.procs.len() as u32,
-                budget_w,
-                predicted_power_w,
-                feasible,
-            });
-            if let Some(m) = &self.metrics {
-                m.rounds.inc();
-                m.commands_sent.add(commands.len() as u64);
-                m.reported_power_watts.set(self.reported_power_w());
-                m.nodes_reporting.set(self.nodes_reporting() as f64);
-                m.reserved_watts.set(reserved_w);
-            }
-        }
         commands
+    }
+
+    /// The incremental-scheduling cache behind the global computation —
+    /// the hierarchy layer reads the desired/floor powers and the
+    /// demotion ladder of the last round from it.
+    pub fn schedule_cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// Nodes this coordinator was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Whether node `node` is currently presumed dead.
+    pub fn is_dead(&self, node: usize) -> bool {
+        self.dead.get(node).copied().unwrap_or(false)
+    }
+
+    /// The earliest future time at which a currently-live node could be
+    /// declared dead (its last heartbeat plus the timeout), or the
+    /// startup-grace expiry for nodes never heard from. `+∞` when no
+    /// liveness transition can occur without a new summary arriving.
+    /// A round skipped until this deadline cannot miss a declaration.
+    pub fn next_liveness_deadline_s(&self) -> f64 {
+        let mut deadline = f64::INFINITY;
+        for (node_idx, slot) in self.latest.iter().enumerate() {
+            if self.dead[node_idx] {
+                continue;
+            }
+            let due = match slot {
+                Some(s) => s.sent_at_s + self.heartbeat_timeout_s,
+                // Never reported: the grace period ends at the timeout.
+                None => self.heartbeat_timeout_s,
+            };
+            deadline = deadline.min(due);
+        }
+        deadline
+    }
+
+    /// A conservative ceiling on what this coordinator's nodes can draw
+    /// if the coordinator itself dies right now and can issue no further
+    /// commands: the reserve already charged for silent nodes, plus each
+    /// live node's last-commanded power ceiling (worst case for nodes
+    /// never commanded). A parent tier charges this against its budget
+    /// when the subtree goes dark.
+    pub fn charge_ceiling_w(&self) -> f64 {
+        let mut total = self.reserved_w;
+        for (node_idx, slot) in self.latest.iter().enumerate() {
+            let Some(s) = slot else {
+                // Never-reported nodes are already in the reserve
+                // (grace charges are part of `reserved_w` after any
+                // compute).
+                continue;
+            };
+            if self.dead[node_idx] {
+                continue; // likewise already reserved
+            }
+            // The larger of what the node last reported drawing and the
+            // ceiling of what it was last commanded; a node that was
+            // never commanded cannot ramp past its current draw on its
+            // own, so its report is the honest ceiling. Worst case only
+            // if we know neither.
+            let ceiling = self.commanded_w[node_idx].max(s.power_w);
+            total += if ceiling > 0.0 {
+                ceiling
+            } else {
+                self.worst_case_node_w
+            };
+        }
+        total
     }
 }
 

@@ -1,0 +1,41 @@
+//! The budget-delegation hierarchy: scaling the paper's single global
+//! coordinator to datacenter node counts.
+//!
+//! The paper's cluster algorithm (Figure 3) is flat: one coordinator,
+//! every processor of every node, one budget. That reproduces on a
+//! rack, but a flat pass is O(n) *every* tick — at 100k nodes the
+//! coordinator alone would burn ~100 ms per round. This module
+//! decomposes the budget authority into a three-tier tree:
+//!
+//! ```text
+//! datacenter root          splits budget across rows
+//!   └── row coordinator    splits its sub-budget across racks
+//!         └── rack coordinator   the real two-pass over node summaries
+//!               └── nodes
+//! ```
+//!
+//! Every tier runs the *same* shape of computation — greedy
+//! least-predicted-loss shedding under a budget — but interior tiers
+//! run it over [`aggregate::SubtreeAggregate`]s (three powers plus a
+//! quantized demotion ladder) instead of raw processors, and every
+//! tier caches its children's fingerprints so unchanged subtrees cost
+//! nothing. See the submodule docs for the layering:
+//!
+//! - [`aggregate`]: the exported aggregate, its fingerprint, and the
+//!   shared parent-side sub-budget assignment.
+//! - [`rack`]: the leaf interior tier wrapping a
+//!   [`crate::coordinator::GlobalCoordinator`] with content
+//!   dirty-tracking and a refresh/finalize budget split.
+//! - [`tree`]: the datacenter tree gluing the tiers together with
+//!   rayon-parallel rack phases, delegation telemetry, and dead-rack
+//!   worst-case charging.
+
+pub mod aggregate;
+pub mod rack;
+pub mod tree;
+
+pub use aggregate::{
+    assign_subbudgets, ChildInput, LadderRung, SubtreeAggregate, LOSS_QUANTUM, SUBBUDGET_GRID_W,
+};
+pub use rack::RackCoordinator;
+pub use tree::{DelegationTree, HierStats, HierTopology};

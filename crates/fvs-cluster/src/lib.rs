@@ -26,6 +26,7 @@
 
 pub mod cluster;
 pub mod coordinator;
+pub mod hierarchy;
 pub mod message;
 pub mod node;
 
@@ -34,5 +35,6 @@ pub use coordinator::{
     FrequencyCommand, GlobalCoordinator, NodeSummary, DEFAULT_HEARTBEAT_TIMEOUT_S,
     DEFAULT_WORST_CASE_NODE_W,
 };
+pub use hierarchy::{DelegationTree, HierStats, HierTopology, RackCoordinator, SubtreeAggregate};
 pub use message::DelayQueue;
 pub use node::ClusterNode;

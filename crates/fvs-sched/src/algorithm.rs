@@ -271,7 +271,11 @@ impl ModelTolerance {
         mem_step_s: 1.0e-13,
     };
 
-    fn quantize(x: f64, step: f64) -> u64 {
+    /// Quantize one coefficient to its bucket index (the fingerprint
+    /// primitive). Public so higher layers — e.g. the cluster
+    /// hierarchy's per-subtree fingerprints — bucket summary contents
+    /// with exactly the same rule the per-processor cache uses.
+    pub fn quantize(x: f64, step: f64) -> u64 {
         if step > 0.0 && x.is_finite() {
             let q = (x / step).round();
             // Stay within the exactly-representable integer range; an
@@ -413,6 +417,83 @@ impl ScheduleCache {
     /// Drop all cached state; the next round recomputes everything.
     pub fn invalidate(&mut self) {
         self.valid = false;
+    }
+
+    /// Whether the cache holds a valid pass-1 state (at least one
+    /// [`FvsstAlgorithm::schedule_cached`] round has run since the last
+    /// invalidation). The aggregate exports below are meaningful only
+    /// when this is `true`.
+    pub fn is_warm(&self) -> bool {
+        self.valid
+    }
+
+    /// Σ table power with every processor at its *desired* (pass-1)
+    /// slot — the subtree's power demand before any budget pressure.
+    /// Off-grid processors are fixed loads at their current frequency.
+    /// Returns `0.0` on a cold cache.
+    pub fn desired_power_w(&self) -> f64 {
+        if !self.valid {
+            return 0.0;
+        }
+        let Some(alg) = self.alg.as_ref() else {
+            return 0.0;
+        };
+        let mut total = 0.0;
+        for i in 0..self.keys.len() {
+            total += if self.desired_idx[i] == OFFGRID {
+                alg.power_table.power_interpolated(self.desired_freq[i])
+            } else {
+                self.index.power_w(self.desired_idx[i])
+            };
+        }
+        total
+    }
+
+    /// Σ table power with every demotable processor at `f_min` — the
+    /// floor below which no amount of budget pressure can push this
+    /// processor set. Off-grid processors cannot be demoted and keep
+    /// their current power. Returns `0.0` on a cold cache.
+    pub fn floor_power_w(&self) -> f64 {
+        if !self.valid {
+            return 0.0;
+        }
+        let Some(alg) = self.alg.as_ref() else {
+            return 0.0;
+        };
+        let mut total = 0.0;
+        for i in 0..self.keys.len() {
+            total += if self.desired_idx[i] == OFFGRID {
+                alg.power_table.power_interpolated(self.desired_freq[i])
+            } else {
+                self.index.power_w(0)
+            };
+        }
+        total
+    }
+
+    /// Visit every single-step demotion available below the desired
+    /// slots, exactly the candidate set pass 2 would draw from:
+    /// `f(loss_after_step, shed_w)` where `loss_after_step` is the
+    /// absolute predicted loss vs `f_max` after taking the step (the
+    /// paper's pass-2 key; `0.0` for unmodelled processors) and
+    /// `shed_w` the power the step releases. Rungs of one processor are
+    /// emitted in ascending-loss order (stepping down from the desired
+    /// slot); no-op on a cold cache.
+    pub fn for_each_demotion(&self, mut f: impl FnMut(f64, f64)) {
+        if !self.valid {
+            return;
+        }
+        for i in 0..self.keys.len() {
+            let k = self.desired_idx[i];
+            if k == OFFGRID {
+                continue;
+            }
+            for at in (1..=k).rev() {
+                let loss = demotion_key(self.has_table[i].then(|| &self.tables[i]), at);
+                let shed = self.index.power_w(at) - self.index.power_w(at - 1);
+                f(loss, shed);
+            }
+        }
     }
 }
 
@@ -1064,6 +1145,50 @@ mod tests {
         let d = alg.schedule(&[busy(10.0)], f64::INFINITY);
         assert!(d.freqs[0] <= FreqMhz(650), "got {}", d.freqs[0]);
         assert!(d.predicted_loss[0] < alg.epsilon);
+    }
+
+    #[test]
+    fn cache_aggregate_exports_are_consistent() {
+        let alg = FvsstAlgorithm::p630();
+        // A mix of CPU-bound, memory-bound and unmodelled processors.
+        let mut procs: Vec<ProcInput> = (0..6).map(|i| busy(10.0 + 18.0 * i as f64)).collect();
+        procs.push(ProcInput {
+            model: None,
+            idle: false,
+            current: FreqMhz(800),
+        });
+        let mut cache = ScheduleCache::new();
+        // Cold cache exports nothing.
+        assert!(!cache.is_warm());
+        assert_eq!(cache.desired_power_w(), 0.0);
+        assert_eq!(cache.floor_power_w(), 0.0);
+        let mut rungs = 0;
+        cache.for_each_demotion(|_, _| rungs += 1);
+        assert_eq!(rungs, 0);
+
+        let d = alg
+            .schedule_cached(&mut cache, &procs, f64::INFINITY)
+            .clone();
+        assert!(cache.is_warm());
+        // Unconstrained, the decision sits exactly at the desired power.
+        assert!((cache.desired_power_w() - d.predicted_power_w).abs() < 1e-9);
+        // The ladder's total shed spans desired → floor exactly, and
+        // per-processor rungs arrive with non-negative loss and shed.
+        let mut total_shed = 0.0;
+        cache.for_each_demotion(|loss, shed| {
+            assert!(loss >= 0.0);
+            assert!(shed >= 0.0);
+            total_shed += shed;
+        });
+        let span = cache.desired_power_w() - cache.floor_power_w();
+        assert!(
+            (total_shed - span).abs() < 1e-9,
+            "ladder {total_shed} vs span {span}"
+        );
+        // Floor equals the infeasibly-constrained decision's power.
+        let floor = alg.schedule(&procs, 0.0);
+        assert!(!floor.feasible);
+        assert!((cache.floor_power_w() - floor.predicted_power_w).abs() < 1e-9);
     }
 
     #[test]

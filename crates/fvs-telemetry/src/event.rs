@@ -243,6 +243,40 @@ pub enum SchedEvent {
         /// Failed retries that led here.
         retries: u32,
     },
+    /// One tier of the budget-delegation tree ran (or skipped) a
+    /// delegation round.
+    TierRound {
+        /// When the round ran (s).
+        t_s: f64,
+        /// Tier code: 1 = rack, 2 = row, 3 = datacenter root.
+        tier: u8,
+        /// Subtrees at this tier that recomputed.
+        ran: u32,
+        /// Subtrees at this tier skipped via unchanged fingerprints.
+        skipped: u32,
+    },
+    /// A parent tier handed a child a *different* sub-budget.
+    SubbudgetAssigned {
+        /// When the assignment was made (s).
+        t_s: f64,
+        /// Tier code of the *assigning* parent (2 = row, 3 = root).
+        tier: u8,
+        /// Child index within the parent (rack or row number).
+        child: u32,
+        /// The new sub-budget (W); non-finite encodes as `null`.
+        subbudget_w: f64,
+    },
+    /// Per-tier fingerprint-cache outcome for one delegation round.
+    SubtreeCache {
+        /// When the round ran (s).
+        t_s: f64,
+        /// Tier code: 1 = rack, 2 = row, 3 = datacenter root.
+        tier: u8,
+        /// Subtree fingerprints that matched (work skipped).
+        hits: u32,
+        /// Subtree fingerprints that drifted (work done).
+        misses: u32,
+    },
 }
 
 /// Write `x` as a JSON number, mapping non-finite values (an unlimited
@@ -275,6 +309,9 @@ impl SchedEvent {
             SchedEvent::ActuationRetry { .. } => "actuation_retry",
             SchedEvent::NodeDeclaredDead { .. } => "node_declared_dead",
             SchedEvent::FailsafePin { .. } => "failsafe_pin",
+            SchedEvent::TierRound { .. } => "tier_round",
+            SchedEvent::SubbudgetAssigned { .. } => "subbudget_assigned",
+            SchedEvent::SubtreeCache { .. } => "subtree_cache",
         }
     }
 
@@ -474,6 +511,38 @@ impl SchedEvent {
                     ",\"t_s\":{t_s},\"proc\":{proc},\"pinned_mhz\":{pinned_mhz},\"retries\":{retries}"
                 );
             }
+            SchedEvent::TierRound {
+                t_s,
+                tier,
+                ran,
+                skipped,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"t_s\":{t_s},\"tier\":{tier},\"ran\":{ran},\"skipped\":{skipped}"
+                );
+            }
+            SchedEvent::SubbudgetAssigned {
+                t_s,
+                tier,
+                child,
+                subbudget_w,
+            } => {
+                let _ = write!(buf, ",\"t_s\":{t_s},\"tier\":{tier},\"child\":{child}");
+                buf.push_str(",\"subbudget_w\":");
+                jnum(buf, subbudget_w);
+            }
+            SchedEvent::SubtreeCache {
+                t_s,
+                tier,
+                hits,
+                misses,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"t_s\":{t_s},\"tier\":{tier},\"hits\":{hits},\"misses\":{misses}"
+                );
+            }
         }
         buf.push('}');
     }
@@ -589,6 +658,24 @@ mod tests {
                 proc: 2,
                 pinned_mhz: 250,
                 retries: 3,
+            },
+            SchedEvent::TierRound {
+                t_s: 1.6,
+                tier: 2,
+                ran: 1,
+                skipped: 31,
+            },
+            SchedEvent::SubbudgetAssigned {
+                t_s: 1.6,
+                tier: 3,
+                child: 4,
+                subbudget_w: f64::INFINITY,
+            },
+            SchedEvent::SubtreeCache {
+                t_s: 1.6,
+                tier: 1,
+                hits: 300,
+                misses: 12,
             },
         ]
     }

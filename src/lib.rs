@@ -71,8 +71,8 @@ pub use fvs_workloads as workloads;
 pub mod prelude {
     pub use fvs_baselines::NoDvfs;
     pub use fvs_cluster::{
-        ClusterConfig, ClusterNode, ClusterReport, ClusterSim, FrequencyCommand, GlobalCoordinator,
-        NodeSummary,
+        ClusterConfig, ClusterNode, ClusterReport, ClusterSim, DelegationTree, FrequencyCommand,
+        GlobalCoordinator, HierStats, HierTopology, NodeSummary, RackCoordinator,
     };
     pub use fvs_faults::{FaultInjector, FaultPlan};
     pub use fvs_harness::{run_capped_app, RunSettings};
