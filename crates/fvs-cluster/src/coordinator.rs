@@ -2,7 +2,7 @@
 
 use fvs_model::{CpiModel, FreqMhz};
 use fvs_sched::{CacheStats, FvsstAlgorithm, ModelTolerance, ProcInput, ScheduleCache};
-use fvs_telemetry::{Counter, Gauge, SchedEvent, Telemetry};
+use fvs_telemetry::{Counter, Gauge, SchedEvent, Telemetry, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// What a node ships to the coordinator each scheduling period.
@@ -55,6 +55,7 @@ pub struct GlobalCoordinator {
     procs: Vec<ProcInput>,
     rounds: u64,
     telemetry: Telemetry,
+    tracer: Tracer,
     metrics: Option<CoordMetrics>,
     /// A node silent for longer than this is declared dead.
     heartbeat_timeout_s: f64,
@@ -125,6 +126,7 @@ impl GlobalCoordinator {
             procs: Vec::new(),
             rounds: 0,
             telemetry,
+            tracer: Tracer::disabled(),
             metrics,
             heartbeat_timeout_s: DEFAULT_HEARTBEAT_TIMEOUT_S,
             worst_case_node_w: DEFAULT_WORST_CASE_NODE_W,
@@ -147,6 +149,15 @@ impl GlobalCoordinator {
     /// reported (heterogeneous clusters with bigger machines).
     pub fn with_worst_case_node_w(mut self, watts: f64) -> Self {
         self.worst_case_node_w = watts;
+        self
+    }
+
+    /// Attach a causal span tracer: each global round records
+    /// `cluster.round` with `cluster.liveness_sweep`, the two-pass
+    /// spans (`sched.pass1` / `sched.cache_probe` / `sched.pass2`) and
+    /// `cluster.emit_commands` as children.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -267,8 +278,12 @@ impl GlobalCoordinator {
     /// the cluster's true draw cannot exceed the global budget because
     /// of a node the coordinator cannot see.
     pub fn schedule(&mut self, budget_w: f64, now_s: f64) -> Vec<FrequencyCommand> {
+        let _round_span = self.tracer.span("cluster.round");
         self.compute(budget_w, now_s);
-        let commands = self.emit_commands();
+        let commands = {
+            let _emit_span = self.tracer.span("cluster.emit_commands");
+            self.emit_commands()
+        };
         let (feasible, predicted_power_w) = {
             let d = self.cache.decision();
             (d.feasible, d.predicted_power_w)
@@ -307,6 +322,7 @@ impl GlobalCoordinator {
     /// [`recompute_budget`]: Self::recompute_budget
     /// [`emit_commands`]: Self::emit_commands
     pub(crate) fn compute(&mut self, budget_w: f64, now_s: f64) {
+        let sweep_span = self.tracer.span("cluster.liveness_sweep");
         self.coords.clear();
         self.procs.clear();
         self.blind.clear();
@@ -364,10 +380,15 @@ impl GlobalCoordinator {
                 }
             }
         }
+        drop(sweep_span);
         self.reserved_w = reserved_w;
         let effective_budget_w = (budget_w - reserved_w).max(0.0);
-        self.algorithm
-            .schedule_cached(&mut self.cache, &self.procs, effective_budget_w);
+        self.algorithm.schedule_cached_traced(
+            &mut self.cache,
+            &self.procs,
+            effective_budget_w,
+            &self.tracer,
+        );
     }
 
     /// Re-run passes 2 + 3 under a different budget over the processor

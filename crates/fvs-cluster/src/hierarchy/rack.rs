@@ -102,6 +102,13 @@ impl RackCoordinator {
         self
     }
 
+    /// Forwarded to the inner coordinator: the rack's per-round spans
+    /// nest under whatever `hier.*` span is open on the calling thread.
+    pub fn with_tracer(mut self, tracer: fvs_telemetry::Tracer) -> Self {
+        self.inner = self.inner.with_tracer(tracer);
+        self
+    }
+
     /// First global node index owned by this rack.
     pub fn base(&self) -> usize {
         self.base

@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fvs_sched::FvsstAlgorithm;
-use fvs_telemetry::{Counter, Histogram, SchedEvent, Telemetry};
+use fvs_telemetry::{Counter, Gauge, Histogram, SchedEvent, Telemetry, Tracer};
 use rayon::prelude::*;
 
 use super::aggregate::{assign_subbudgets, coalesce_rungs, ChildInput, SubtreeAggregate};
@@ -145,6 +145,14 @@ struct HierMetrics {
     root_skips: Arc<Counter>,
     subbudget_changes: Arc<Counter>,
     delegation_wall_s: Arc<Histogram>,
+    /// Per-tier phase latency (rack = refresh + finalize, row = merge +
+    /// assign, root = assignment), quantile-estimable.
+    tier_rack_s: Arc<Histogram>,
+    tier_row_s: Arc<Histogram>,
+    tier_root_s: Arc<Histogram>,
+    /// Cumulative rack-tier skip ratio — the live view of the
+    /// subtree-fingerprint cache (96–97% in steady state).
+    subtree_cache_hit_ratio: Arc<Gauge>,
 }
 
 /// The full datacenter tree. See the module docs for the round
@@ -163,6 +171,7 @@ pub struct DelegationTree {
     root_ran_once: bool,
     parallel_threshold: usize,
     telemetry: Telemetry,
+    tracer: Tracer,
     metrics: Option<HierMetrics>,
     rounds: u64,
     stats: HierStats,
@@ -224,7 +233,11 @@ impl DelegationTree {
                 root_skips: scope.counter("root_skips"),
                 subbudget_changes: scope.counter("subbudget_changes"),
                 delegation_wall_s: scope
-                    .histogram("delegation_wall_s", &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1]),
+                    .histogram("delegation_wall_s", &Histogram::latency_bounds()),
+                tier_rack_s: scope.histogram("tier_rack_s", &Histogram::latency_bounds()),
+                tier_row_s: scope.histogram("tier_row_s", &Histogram::latency_bounds()),
+                tier_root_s: scope.histogram("tier_root_s", &Histogram::latency_bounds()),
+                subtree_cache_hit_ratio: scope.gauge("subtree_cache_hit_ratio"),
             }
         });
         DelegationTree {
@@ -237,6 +250,7 @@ impl DelegationTree {
             root_ran_once: false,
             parallel_threshold: 8,
             telemetry,
+            tracer: Tracer::disabled(),
             metrics,
             rounds: 0,
             stats: HierStats::default(),
@@ -276,6 +290,24 @@ impl DelegationTree {
         self
     }
 
+    /// Attach a causal span tracer: each round records `hier.round`
+    /// with per-phase children (`hier.rack_refresh` per rack — parented
+    /// across the rayon fan-out — `hier.row_merge`, `hier.root_assign`,
+    /// `hier.row_assign`, `hier.rack_finalize` per rack).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        // Racks share the tracer so their inner two-pass spans nest
+        // under the per-rack phase spans (root → rack → passes).
+        for cell in &mut self.cells {
+            let rack = std::mem::replace(
+                &mut cell.rack,
+                RackCoordinator::new(FvsstAlgorithm::p630(), 0, 0),
+            );
+            cell.rack = rack.with_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+        self
+    }
+
     /// Route one node summary to its rack. Returns `true` when the rack
     /// coordinator accepted and stored it; summaries for offline racks
     /// are dropped (the rack's whole uplink is dark).
@@ -291,21 +323,30 @@ impl DelegationTree {
     /// return the commands to fan out (only for racks where something
     /// changed; all other nodes hold their last commanded frequencies).
     pub fn schedule(&mut self, budget_w: f64, now_s: f64) -> Vec<FrequencyCommand> {
+        let round_span = self.tracer.span("hier.round");
+        let round_id = round_span.id();
         let t0 = Instant::now();
         let budget_changed = budget_w.to_bits() != self.budget_bits;
         self.budget_bits = budget_w.to_bits();
 
         // Phase 1: rack refresh (each rack decides for itself whether
-        // its fingerprints force a recomputation).
+        // its fingerprints force a recomputation). Per-rack spans are
+        // parented explicitly so the causal chain survives the rayon
+        // fan-out onto worker threads.
+        let t_phase = Instant::now();
         if self.cells.len() >= self.parallel_threshold {
+            let tracer = &self.tracer;
             self.cells.par_iter_mut().for_each(|cell| {
+                let _s = tracer.span_under("hier.rack_refresh", round_id);
                 cell.rack.refresh(now_s);
             });
         } else {
             for cell in &mut self.cells {
+                let _s = self.tracer.span_under("hier.rack_refresh", round_id);
                 cell.rack.refresh(now_s);
             }
         }
+        let mut rack_tier_s = t_phase.elapsed().as_secs_f64();
         let mut rack_ran = 0u32;
         let mut rack_skipped = 0u32;
         let mut rack_fp_moved = 0u32;
@@ -326,6 +367,8 @@ impl DelegationTree {
         self.stats.rack_skips += u64::from(rack_skipped);
 
         // Phase 2: row merges, only where a child fingerprint moved.
+        let t_phase = Instant::now();
+        let merge_span = self.tracer.span("hier.row_merge");
         let mut row_fp_moved = false;
         let mut row_ran = 0u32;
         for ri in 0..self.rows.len() {
@@ -375,9 +418,13 @@ impl DelegationTree {
             row.agg_fp = fp;
         }
         let row_skipped = self.rows.len() as u32 - row_ran;
+        drop(merge_span);
+        let mut row_tier_s = t_phase.elapsed().as_secs_f64();
 
         // Phase 3: root assignment, only when a row fingerprint or the
         // budget moved.
+        let t_phase = Instant::now();
+        let root_span = self.tracer.span("hier.root_assign");
         let mut sub_changes = 0u64;
         let mut row_sub_changed = false;
         let root_ran = row_fp_moved || budget_changed || !self.root_ran_once;
@@ -417,9 +464,13 @@ impl DelegationTree {
         } else {
             self.stats.root_skips += 1;
         }
+        drop(root_span);
+        let root_tier_s = t_phase.elapsed().as_secs_f64();
 
         // Phase 4: row → rack assignment for every row that re-merged
         // or received a different sub-budget.
+        let t_phase = Instant::now();
+        let assign_span = self.tracer.span("hier.row_assign");
         for ri in 0..self.rows.len() {
             if !self.merged[ri] {
                 continue;
@@ -459,18 +510,26 @@ impl DelegationTree {
             }
         }
 
+        drop(assign_span);
+        row_tier_s += t_phase.elapsed().as_secs_f64();
+
         // Phase 5: finalize — racks re-run the cheap budget passes only
         // if their sub-budget moved, and emit commands only if they
         // computed anything this round.
+        let t_phase = Instant::now();
         if self.cells.len() >= self.parallel_threshold {
+            let tracer = &self.tracer;
             self.cells.par_iter_mut().for_each(|cell| {
+                let _s = tracer.span_under("hier.rack_finalize", round_id);
                 cell.commands = cell.rack.finalize(cell.sub_w, now_s);
             });
         } else {
             for cell in &mut self.cells {
+                let _s = self.tracer.span_under("hier.rack_finalize", round_id);
                 cell.commands = cell.rack.finalize(cell.sub_w, now_s);
             }
         }
+        rack_tier_s += t_phase.elapsed().as_secs_f64();
         let mut commands = Vec::new();
         for cell in &mut self.cells {
             commands.append(&mut cell.commands);
@@ -513,6 +572,14 @@ impl DelegationTree {
                 }
                 m.subbudget_changes.add(sub_changes);
                 m.delegation_wall_s.observe(wall_s);
+                m.tier_rack_s.observe(rack_tier_s);
+                m.tier_row_s.observe(row_tier_s);
+                m.tier_root_s.observe(root_tier_s);
+                let probes = self.stats.rack_runs + self.stats.rack_skips;
+                if probes > 0 {
+                    m.subtree_cache_hit_ratio
+                        .set(self.stats.rack_skips as f64 / probes as f64);
+                }
             }
         }
         commands

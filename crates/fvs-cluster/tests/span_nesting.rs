@@ -1,0 +1,134 @@
+//! Concurrency proof for causal span tracing under the rayon rack
+//! fan-out: a traced [`DelegationTree`] round opens its per-rack spans
+//! on worker threads via explicit parenting, and the inner rack
+//! coordinators nest their two-pass spans under those through the
+//! workers' thread-local current-span cells. Whatever the interleaving,
+//! the recorded forest must be *well-formed*: every parent id resolves,
+//! every child's name is legal for its parent, and every child's time
+//! window sits inside its parent's.
+
+use fvs_cluster::{DelegationTree, HierTopology, NodeSummary};
+use fvs_model::{CpiModel, FreqMhz};
+use fvs_sched::FvsstAlgorithm;
+use fvs_telemetry::{SpanRecord, Tracer};
+use std::collections::HashMap;
+
+const PROCS: usize = 4;
+
+fn summary(node: usize, at: f64, jitter: f64) -> NodeSummary {
+    let mems: Vec<f64> = (0..PROCS)
+        .map(|p| ((node * 7 + p * 3) % 5) as f64 * 5.0e-9 + jitter)
+        .collect();
+    NodeSummary {
+        node,
+        sent_at_s: at,
+        models: mems
+            .iter()
+            .map(|m| Some(CpiModel::from_components(1.0, *m)))
+            .collect(),
+        idle: vec![false; PROCS],
+        current: vec![FreqMhz(1000); PROCS],
+        power_w: 140.0 * PROCS as f64,
+    }
+}
+
+/// The parent names each span name may legally hang under. `""` marks
+/// a root (no parent).
+fn legal_parents(name: &str) -> &'static [&'static str] {
+    match name {
+        "hier.round" => &[""],
+        "hier.rack_refresh" | "hier.rack_finalize" | "hier.row_merge" | "hier.root_assign"
+        | "hier.row_assign" => &["hier.round"],
+        // Inner rack coordinators nest under whichever per-rack phase
+        // span was open on that rayon worker.
+        "cluster.liveness_sweep" | "sched.pass1" | "sched.cache_probe" | "sched.pass2" => {
+            &["hier.rack_refresh", "hier.rack_finalize"]
+        }
+        other => panic!("unexpected span name {other:?}"),
+    }
+}
+
+#[test]
+fn rayon_fanout_produces_well_formed_span_forest() {
+    // 256 nodes in racks of 8 → 32 racks: far past the tree's parallel
+    // threshold of 8, so phase 1/5 go through `par_iter_mut` on every
+    // round. Model drift on every node each round keeps all racks
+    // dirty — maximum concurrent span traffic.
+    let nodes = 256;
+    let tracer = Tracer::ring(1 << 14);
+    let mut tree = DelegationTree::new(
+        FvsstAlgorithm::p630(),
+        nodes,
+        HierTopology::default().with_nodes_per_rack(8),
+    )
+    .with_heartbeat_timeout(f64::INFINITY)
+    .with_tracer(tracer.clone());
+    assert_eq!(tree.num_racks(), 32);
+    let budget_w = nodes as f64 * PROCS as f64 * 60.0;
+    for round in 0..10u64 {
+        let now = round as f64 * 0.1;
+        for node in 0..nodes {
+            // Past any cache tolerance: every rack refreshes.
+            tree.ingest(summary(node, now, round as f64 * 1.0e-9));
+        }
+        tree.schedule(budget_w, now);
+    }
+
+    let records = tracer.records();
+    assert!(
+        tracer.spans_dropped() == 0,
+        "ring too small for the proof: {} dropped",
+        tracer.spans_dropped()
+    );
+    let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    assert_eq!(by_id.len(), records.len(), "span ids must be unique");
+
+    let rounds = records.iter().filter(|r| r.name == "hier.round").count();
+    assert_eq!(rounds, 10, "one root span per scheduling round");
+    let refreshes = records
+        .iter()
+        .filter(|r| r.name == "hier.rack_refresh")
+        .count();
+    assert_eq!(refreshes, 320, "32 dirty racks × 10 rounds");
+    let passes = records.iter().filter(|r| r.name == "sched.pass1").count();
+    assert!(passes >= 320, "every refresh runs pass 1, got {passes}");
+
+    let mut tids = std::collections::HashSet::new();
+    for r in &records {
+        tids.insert(r.tid);
+        let legal = legal_parents(r.name);
+        if r.parent == 0 {
+            assert!(
+                legal.contains(&""),
+                "{} must not be a root span ({r:?})",
+                r.name
+            );
+            continue;
+        }
+        let parent = by_id
+            .get(&r.parent)
+            .unwrap_or_else(|| panic!("{} has dangling parent {} ({r:?})", r.name, r.parent));
+        assert!(
+            legal.contains(&parent.name),
+            "{} recorded under {}, legal parents {legal:?}",
+            r.name,
+            parent.name
+        );
+        // Causal containment: a child opens after its parent and its
+        // guard drops before the parent's does.
+        assert!(
+            r.start_ns >= parent.start_ns && r.end_ns() <= parent.end_ns(),
+            "child {} [{}, {}] escapes parent {} [{}, {}]",
+            r.name,
+            r.start_ns,
+            r.end_ns(),
+            parent.name,
+            parent.start_ns,
+            parent.end_ns()
+        );
+    }
+    // Sanity on the explicit-parenting path: the per-rack spans carry
+    // the worker thread's tid, and the same forest stays well-formed
+    // regardless of how many workers the pool actually ran.
+    assert!(!tids.is_empty());
+}

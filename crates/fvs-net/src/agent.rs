@@ -16,9 +16,10 @@ use crate::error::FvsError;
 use crate::wire::{encode, FrameReader, WireMsg, SCHEMA_VERSION};
 use fvs_cluster::ClusterNode;
 use fvs_sim::Pacer;
+use fvs_telemetry::Tracer;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -44,6 +45,9 @@ pub struct AgentConfig {
     /// Schema version to announce (tests speak wrong versions on
     /// purpose; everything real uses [`SCHEMA_VERSION`]).
     pub version: u32,
+    /// Causal span tracer: `node.apply` spans, one per ceiling applied
+    /// to the machine.
+    pub tracer: Tracer,
 }
 
 impl AgentConfig {
@@ -58,6 +62,7 @@ impl AgentConfig {
             backoff_max: Duration::from_millis(800),
             timed: false,
             version: SCHEMA_VERSION,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -99,6 +104,12 @@ impl AgentConfig {
         self
     }
 
+    /// Attach a causal span tracer.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     fn validate(&self) -> Result<(), FvsError> {
         if !(self.tick_s.is_finite() && self.tick_s > 0.0) {
             return Err(FvsError::config("tick_s must be finite and positive"));
@@ -130,6 +141,46 @@ pub struct AgentReport {
     pub final_power_w: f64,
 }
 
+/// Live counters of a running agent, updated in place by the agent
+/// thread and readable from any thread — the node binary's `/healthz`
+/// endpoint reads these without joining the thread.
+#[derive(Debug, Default)]
+pub struct AgentStats {
+    connected: AtomicBool,
+    summaries_sent: AtomicU64,
+    ceilings_applied: AtomicU64,
+    reconnects: AtomicU64,
+    /// Latest node power as f64 bits.
+    power_bits: AtomicU64,
+}
+
+impl AgentStats {
+    /// Currently connected (past a successful handshake).
+    pub fn connected(&self) -> bool {
+        self.connected.load(Ordering::SeqCst)
+    }
+
+    /// Summaries shipped upstream so far.
+    pub fn summaries_sent(&self) -> u64 {
+        self.summaries_sent.load(Ordering::SeqCst)
+    }
+
+    /// Ceiling commands applied to the machine so far.
+    pub fn ceilings_applied(&self) -> u64 {
+        self.ceilings_applied.load(Ordering::SeqCst)
+    }
+
+    /// Times the connection was re-established after the first.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::SeqCst)
+    }
+
+    /// The node's power at the last summary window (W).
+    pub fn power_w(&self) -> f64 {
+        f64::from_bits(self.power_bits.load(Ordering::SeqCst))
+    }
+}
+
 struct Flags {
     /// Orderly shutdown: send `Bye`, then exit.
     stop: AtomicBool,
@@ -140,6 +191,7 @@ struct Flags {
 /// Handle to a running agent thread.
 pub struct NodeAgentHandle {
     flags: Arc<Flags>,
+    stats: Arc<AgentStats>,
     thread: JoinHandle<AgentReport>,
 }
 
@@ -148,6 +200,11 @@ impl NodeAgentHandle {
     /// refusal is the one self-terminating path).
     pub fn is_finished(&self) -> bool {
         self.thread.is_finished()
+    }
+
+    /// The agent's live counters (shareable; plain atomics).
+    pub fn stats(&self) -> Arc<AgentStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Orderly shutdown: the agent says `Bye` and returns its report.
@@ -181,9 +238,16 @@ impl NodeAgent {
             stop: AtomicBool::new(false),
             kill: AtomicBool::new(false),
         });
+        let stats = Arc::new(AgentStats::default());
         let thread_flags = Arc::clone(&flags);
-        let thread = std::thread::spawn(move || agent_loop(node, &addr, config, thread_flags));
-        Ok(NodeAgentHandle { flags, thread })
+        let thread_stats = Arc::clone(&stats);
+        let thread =
+            std::thread::spawn(move || agent_loop(node, &addr, config, thread_flags, thread_stats));
+        Ok(NodeAgentHandle {
+            flags,
+            stats,
+            thread,
+        })
     }
 }
 
@@ -254,6 +318,7 @@ fn agent_loop(
     addr: &str,
     config: AgentConfig,
     flags: Arc<Flags>,
+    stats: Arc<AgentStats>,
 ) -> AgentReport {
     let node_id = node.id;
     let procs = node.machine().num_cores();
@@ -299,8 +364,10 @@ fn agent_loop(
         }
         if ever_connected {
             report.reconnects += 1;
+            stats.reconnects.fetch_add(1, Ordering::SeqCst);
         }
         ever_connected = true;
+        stats.connected.store(true, Ordering::SeqCst);
         backoff = config.backoff_base;
 
         let mut reader = FrameReader::new();
@@ -327,6 +394,9 @@ fn agent_loop(
             ticks += 1;
             if ticks.is_multiple_of(config.summary_every) {
                 let summary = node.summarize();
+                stats
+                    .power_bits
+                    .store(summary.power_w.to_bits(), Ordering::SeqCst);
                 let Ok(frame) = encode(&WireMsg::Summary(summary)) else {
                     continue;
                 };
@@ -335,6 +405,7 @@ fn agent_loop(
                     break;
                 }
                 report.summaries_sent += 1;
+                stats.summaries_sent.fetch_add(1, Ordering::SeqCst);
             }
 
             // Drain whatever ceilings arrived; the 1 ms read timeout
@@ -348,8 +419,10 @@ fn agent_loop(
                         match reader.next_frame() {
                             Ok(Some(WireMsg::Ceiling(cmd))) => {
                                 if cmd.node == node_id {
+                                    let _apply = config.tracer.span("node.apply");
                                     node.apply(&cmd.freqs);
                                     report.ceilings_applied += 1;
+                                    stats.ceilings_applied.fetch_add(1, Ordering::SeqCst);
                                 }
                             }
                             Ok(Some(_)) => {}
@@ -377,8 +450,15 @@ fn agent_loop(
                 std::thread::sleep(config.pace);
             }
         }
+        // Only reachable when the link dropped (exits via 'outer skip
+        // this): reflect the disconnect before climbing the ladder.
+        stats.connected.store(false, Ordering::SeqCst);
     }
 
+    stats.connected.store(false, Ordering::SeqCst);
     report.final_power_w = node.power_w();
+    stats
+        .power_bits
+        .store(report.final_power_w.to_bits(), Ordering::SeqCst);
     report
 }

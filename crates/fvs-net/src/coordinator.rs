@@ -17,10 +17,13 @@
 //! from the node.
 
 use crate::error::FvsError;
+use crate::obs::{HealthReport, ObsHandles, ObsServer};
 use crate::wire::{encode, FrameReader, WireMsg, SCHEMA_VERSION};
 use fvs_cluster::{FrequencyCommand, GlobalCoordinator};
 use fvs_sched::FvsstAlgorithm;
-use fvs_telemetry::{BudgetDeadlineTracker, ComplianceRecord, Counter, Gauge, Telemetry};
+use fvs_telemetry::{
+    BudgetDeadlineTracker, ComplianceRecord, Counter, Gauge, Histogram, Telemetry, Tracer,
+};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -44,6 +47,9 @@ pub struct CoordinatorConfig {
     pub initial_budget_w: f64,
     /// Where events and `net.*` metrics go.
     pub telemetry: Telemetry,
+    /// Causal span tracer: `net.round` → `cluster.round` → two-pass
+    /// spans → `net.push`, all on the scheduler thread.
+    pub tracer: Tracer,
 }
 
 impl CoordinatorConfig {
@@ -57,6 +63,7 @@ impl CoordinatorConfig {
             deadline_s: 1.0,
             initial_budget_w: f64::INFINITY,
             telemetry: Telemetry::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -93,6 +100,12 @@ impl CoordinatorConfig {
     /// Attach a telemetry pipeline.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach a causal span tracer.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -150,6 +163,13 @@ struct NetMetrics {
     disconnects: Arc<Counter>,
     version_rejects: Arc<Counter>,
     connections: Arc<Gauge>,
+    /// Wall time of one scheduler-thread round (drain → schedule →
+    /// push), quantile-estimable for the `/metrics` p99.
+    round_wall_s: Arc<Histogram>,
+    /// Ceiling fan-out latency: time to write all commands downlink.
+    fanout_wall_s: Arc<Histogram>,
+    /// Age of each summary when ingested (arrival-stamped clock).
+    summary_staleness_s: Arc<Histogram>,
 }
 
 impl NetMetrics {
@@ -165,6 +185,10 @@ impl NetMetrics {
                 disconnects: scope.counter("disconnects"),
                 version_rejects: scope.counter("version_rejects"),
                 connections: scope.gauge("connections"),
+                round_wall_s: scope.histogram("round_wall_s", &Histogram::latency_bounds()),
+                fanout_wall_s: scope.histogram("fanout_wall_s", &Histogram::latency_bounds()),
+                summary_staleness_s: scope
+                    .histogram("summary_staleness_s", &Histogram::latency_bounds()),
             }
         })
     }
@@ -180,6 +204,9 @@ struct Shared {
     /// Downlink sockets by node id (write half; `try_clone` of the
     /// reader's stream). Poisoning is impossible: writers only send.
     writers: Mutex<HashMap<usize, TcpStream>>,
+    /// When the last round finished, as f64-bit seconds on the server's
+    /// monotonic clock (`/healthz` serves the age).
+    last_round_bits: AtomicU64,
 }
 
 /// The running coordinator server.
@@ -189,6 +216,8 @@ pub struct CoordinatorServer {
     accept_thread: Option<JoinHandle<()>>,
     sched_thread: Option<JoinHandle<()>>,
     telemetry: Telemetry,
+    tracer: Tracer,
+    start: Instant,
 }
 
 impl CoordinatorServer {
@@ -219,6 +248,7 @@ impl CoordinatorServer {
                 ..CoordinatorStatus::default()
             }),
             writers: Mutex::new(HashMap::new()),
+            last_round_bits: AtomicU64::new(0f64.to_bits()),
         });
         let start = Instant::now();
         let (uplink_tx, uplink_rx) = crossbeam::channel::unbounded::<Uplink>();
@@ -232,15 +262,18 @@ impl CoordinatorServer {
             })
         };
 
+        let tracer = config.tracer.clone();
         let sched_thread = {
             let shared = Arc::clone(&shared);
             let metrics = Arc::clone(&metrics);
             let coordinator =
                 GlobalCoordinator::with_telemetry(algorithm, nodes, telemetry.clone())
                     .with_heartbeat_timeout(config.heartbeat_timeout_s)
-                    .with_worst_case_node_w(config.worst_case_node_w);
+                    .with_worst_case_node_w(config.worst_case_node_w)
+                    .with_tracer(tracer.clone());
             let tracker = BudgetDeadlineTracker::new(config.deadline_s);
             let telemetry = telemetry.clone();
+            let tracer = tracer.clone();
             let period_s = config.period_s;
             let heartbeat_timeout_s = config.heartbeat_timeout_s;
             std::thread::spawn(move || {
@@ -251,6 +284,7 @@ impl CoordinatorServer {
                     metrics,
                     uplink_rx,
                     telemetry,
+                    tracer,
                     period_s,
                     heartbeat_timeout_s,
                     nodes,
@@ -265,6 +299,8 @@ impl CoordinatorServer {
             accept_thread: Some(accept_thread),
             sched_thread: Some(sched_thread),
             telemetry,
+            tracer,
+            start,
         })
     }
 
@@ -285,6 +321,30 @@ impl CoordinatorServer {
     /// A snapshot of the control plane right now.
     pub fn status(&self) -> CoordinatorStatus {
         self.shared.status.lock().expect("status poisoned").clone()
+    }
+
+    /// The health report — the single code path behind the `/healthz`
+    /// endpoint *and* the coordinator binary's status line, so the wire
+    /// and the terminal can never disagree.
+    pub fn health(&self) -> HealthReport {
+        health_from(&self.shared, self.start)
+    }
+
+    /// Mount the observability listener at `addr` (`/metrics`,
+    /// `/healthz`, `/journal`, `/trace`), backed by this server's
+    /// registry, event ring, span ring and health snapshot.
+    pub fn serve_obs(&self, addr: &str) -> Result<ObsServer, FvsError> {
+        let shared = Arc::clone(&self.shared);
+        let start = self.start;
+        ObsServer::bind(
+            addr,
+            ObsHandles {
+                registry: self.telemetry.registry().cloned(),
+                journal: self.telemetry.clone(),
+                tracer: self.tracer.clone(),
+                health: Some(Arc::new(move || health_from(&shared, start))),
+            },
+        )
     }
 
     /// Stop the threads, flush telemetry, and return the final status.
@@ -467,6 +527,7 @@ fn scheduler_loop(
     metrics: Arc<Option<NetMetrics>>,
     uplink_rx: crossbeam::channel::Receiver<Uplink>,
     telemetry: Telemetry,
+    tracer: Tracer,
     period_s: f64,
     heartbeat_timeout_s: f64,
     nodes: usize,
@@ -483,12 +544,17 @@ fn scheduler_loop(
     loop {
         let stopping = shared.stop.load(Ordering::SeqCst);
         // Drain the uplink; ingest re-stamped summaries immediately.
+        let drain_now_s = start.elapsed().as_secs_f64();
         for ev in uplink_rx.try_iter() {
             match ev {
                 Uplink::Frame(node, WireMsg::Summary(summary)) => {
                     if node < nodes {
                         last_power[node] = summary.power_w;
                         last_seen[node] = summary.sent_at_s;
+                    }
+                    if let Some(m) = metrics.as_ref() {
+                        m.summary_staleness_s
+                            .observe((drain_now_s - summary.sent_at_s).max(0.0));
                     }
                     coordinator.ingest(summary);
                 }
@@ -500,6 +566,8 @@ fn scheduler_loop(
         let budget_changed = epoch != seen_epoch;
         let due = last_round.elapsed().as_secs_f64() >= period_s;
         if budget_changed || due || stopping {
+            let _round_span = tracer.span("net.round");
+            let round_started = Instant::now();
             seen_epoch = epoch;
             last_round = Instant::now();
             let now_s = start.elapsed().as_secs_f64();
@@ -529,7 +597,15 @@ fn scheduler_loop(
                 telemetry.emit(ev);
             }
 
-            push_commands(&shared, metrics.as_ref().as_ref(), &commands);
+            {
+                let _push_span = tracer.span("net.push");
+                let push_started = Instant::now();
+                push_commands(&shared, metrics.as_ref().as_ref(), &commands);
+                if let Some(m) = metrics.as_ref() {
+                    m.fanout_wall_s
+                        .observe(push_started.elapsed().as_secs_f64());
+                }
+            }
 
             let mut status = shared.status.lock().expect("status poisoned");
             status.rounds += 1;
@@ -544,12 +620,45 @@ fn scheduler_loop(
             status.last_compliance = tracker.last_compliance();
             if let Some(m) = metrics.as_ref() {
                 m.connections.set(status.connections as f64);
+                m.round_wall_s
+                    .observe(round_started.elapsed().as_secs_f64());
             }
+            drop(status);
+            shared
+                .last_round_bits
+                .store(start.elapsed().as_secs_f64().to_bits(), Ordering::SeqCst);
         }
         if stopping {
             break;
         }
         std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Build a [`HealthReport`] from the shared control-plane state. Budget
+/// compliance is against the *conservative* power sum — the same
+/// quantity the paper's ΔT argument bounds — and an infinite budget is
+/// trivially compliant.
+fn health_from(shared: &Shared, start: Instant) -> HealthReport {
+    let status = shared.status.lock().expect("status poisoned").clone();
+    let now_s = start.elapsed().as_secs_f64();
+    let last_round_s = f64::from_bits(shared.last_round_bits.load(Ordering::SeqCst));
+    let budget_compliant =
+        !status.budget_w.is_finite() || status.conservative_power_w <= status.budget_w;
+    HealthReport {
+        uptime_s: now_s,
+        rounds: status.rounds,
+        last_round_age_s: (now_s - last_round_s).max(0.0),
+        nodes_reporting: status.nodes_reporting,
+        dead_nodes: status.dead_nodes,
+        connections: status.connections,
+        budget_w: status.budget_w,
+        conservative_power_w: status.conservative_power_w,
+        reserved_w: status.reserved_w,
+        budget_compliant,
+        compliances: status.compliances,
+        violations: status.violations,
+        degraded: status.dead_nodes > 0 || !budget_compliant,
     }
 }
 

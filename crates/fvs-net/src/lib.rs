@@ -21,11 +21,13 @@
 pub mod agent;
 pub mod coordinator;
 pub mod error;
+pub mod obs;
 pub mod wire;
 
-pub use agent::{AgentConfig, AgentReport, NodeAgent, NodeAgentHandle};
+pub use agent::{AgentConfig, AgentReport, AgentStats, NodeAgent, NodeAgentHandle};
 pub use coordinator::{CoordinatorConfig, CoordinatorServer, CoordinatorStatus};
 pub use error::FvsError;
+pub use obs::{http_get, HealthReport, ObsHandles, ObsServer};
 pub use wire::{
     decode_payload, encode, FrameReader, WireMsg, HEADER_LEN, MAGIC, MAX_FRAME_LEN, SCHEMA_VERSION,
 };

@@ -724,6 +724,21 @@ impl FvsstAlgorithm {
         procs: &[ProcInput],
         budget_w: f64,
     ) -> &'a ScheduleDecision {
+        self.schedule_cached_traced(cache, procs, budget_w, &fvs_telemetry::Tracer::disabled())
+    }
+
+    /// [`schedule_cached`](Self::schedule_cached) with causal span
+    /// tracing: records `sched.pass1` (incremental fingerprint sweep),
+    /// `sched.cache_probe` (full-hit check) and `sched.pass2` (budget
+    /// demotions + finish) under the caller's current span. A disabled
+    /// tracer costs one branch per span site and allocates nothing.
+    pub fn schedule_cached_traced<'a>(
+        &self,
+        cache: &'a mut ScheduleCache,
+        procs: &[ProcInput],
+        budget_w: f64,
+        tracer: &fvs_telemetry::Tracer,
+    ) -> &'a ScheduleDecision {
         let n = procs.len();
         let set = &self.freq_set;
         cache.stats.rounds += 1;
@@ -756,41 +771,48 @@ impl FvsstAlgorithm {
 
         // ---- Incremental pass 1: rebuild only what moved. ----
         let mut changed = false;
-        for (i, p) in procs.iter().enumerate() {
-            let key = ProcKey::of(p, self.idle_detection, &cache.tolerance);
-            if cache.keys[i] == key {
-                cache.stats.proc_hits += 1;
-                continue;
-            }
-            changed = true;
-            cache.stats.proc_rebuilds += 1;
-            cache.keys[i] = key;
-            let has = match p.model {
-                Some(m) => {
-                    cache.tables[i].rebuild(&m, set);
-                    true
+        {
+            let _pass1 = tracer.span("sched.pass1");
+            for (i, p) in procs.iter().enumerate() {
+                let key = ProcKey::of(p, self.idle_detection, &cache.tolerance);
+                if cache.keys[i] == key {
+                    cache.stats.proc_hits += 1;
+                    continue;
                 }
-                None => false,
-            };
-            cache.has_table[i] = has;
-            let (k, f) = self.desired_slot(p, has.then(|| &cache.tables[i]));
-            cache.desired_idx[i] = k;
-            cache.desired_freq[i] = f;
+                changed = true;
+                cache.stats.proc_rebuilds += 1;
+                cache.keys[i] = key;
+                let has = match p.model {
+                    Some(m) => {
+                        cache.tables[i].rebuild(&m, set);
+                        true
+                    }
+                    None => false,
+                };
+                cache.has_table[i] = has;
+                let (k, f) = self.desired_slot(p, has.then(|| &cache.tables[i]));
+                cache.desired_idx[i] = k;
+                cache.desired_freq[i] = f;
+            }
         }
 
         let budget_bits = budget_w.to_bits();
         // An infeasible round is recomputed even when nothing changed:
         // the caller is expected to escalate, and the cheap re-run keeps
         // the "return cached only when feasible" contract simple.
-        if cache.valid
-            && !changed
-            && budget_bits == cache.last_budget_bits
-            && cache.decision.feasible
-        {
+        let full_hit = {
+            let _probe = tracer.span("sched.cache_probe");
+            cache.valid
+                && !changed
+                && budget_bits == cache.last_budget_bits
+                && cache.decision.feasible
+        };
+        if full_hit {
             cache.stats.full_hits += 1;
             return &cache.decision;
         }
         cache.last_budget_bits = budget_bits;
+        let _pass2 = tracer.span("sched.pass2");
 
         // ---- Passes 2 + 3 from the cached desired state. ----
         // Pass 2 demotes in place, so the cached desired indices are

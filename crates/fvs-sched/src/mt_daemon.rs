@@ -26,7 +26,7 @@
 use crate::algorithm::{FvsstAlgorithm, ModelTolerance, ProcInput, ScheduleCache};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fvs_model::{CounterDelta, CounterWindow, CpiModel, Estimator, FreqMhz, MemoryLatencies};
-use fvs_telemetry::{RoundTimer, SchedEvent, Telemetry};
+use fvs_telemetry::{Histogram, RoundTimer, SchedEvent, Telemetry};
 use std::thread::JoinHandle;
 
 /// One dispatch-tick observation for one processor.
@@ -165,7 +165,7 @@ impl MtDaemon {
                     let scope = r.scoped("mt");
                     (
                         scope.counter("rounds"),
-                        scope.histogram("round_wall_s", &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2]),
+                        scope.histogram("round_wall_s", &Histogram::latency_bounds()),
                     )
                 });
                 let mut run =

@@ -10,7 +10,7 @@ use crate::predictor::{ErrorStats, PredictionTracker, Predictor};
 use fvs_faults::{SampleValidator, SampleVerdict};
 use fvs_power::BudgetSchedule;
 use fvs_telemetry::{
-    BudgetDeadlineTracker, Counter, Gauge, Histogram, RoundTimer, SchedEvent, Telemetry,
+    BudgetDeadlineTracker, Counter, Gauge, Histogram, RoundTimer, SchedEvent, Telemetry, Tracer,
     TriggerKind,
 };
 use serde::{Deserialize, Serialize};
@@ -77,6 +77,11 @@ pub struct SchedulerConfig {
     /// default — the disabled handle costs one branch per emission point
     /// and keeps the zero-allocation steady state intact.
     pub telemetry: Telemetry,
+    /// Causal span tracer: each scheduling round records a
+    /// `sched.round` span with `sched.pass1` / `sched.cache_probe` /
+    /// `sched.pass2` children. Disabled by default — the disabled
+    /// tracer costs one branch per span site and allocates nothing.
+    pub tracer: Tracer,
     /// The budget-drop compliance deadline `ΔT` (s) used by the
     /// telemetry deadline accounting. The paper's section-2 scenario
     /// gives the survivors 1 s of overload tolerance.
@@ -104,6 +109,7 @@ impl SchedulerConfig {
             model_tolerance: ModelTolerance::PHASE_DEFAULT,
             log_triggers: true,
             telemetry: Telemetry::disabled(),
+            tracer: Tracer::disabled(),
             deadline_s: 1.0,
             max_actuation_retries: 3,
         }
@@ -124,6 +130,12 @@ impl SchedulerConfig {
     /// Attach a telemetry pipeline (journal sink + metrics registry).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach a causal span tracer (round → pass1/cache-probe/pass2).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -218,7 +230,7 @@ impl SchedMetrics {
             budget_headroom_watts: scope.gauge("budget_headroom_watts"),
             budget_violations: scope.counter("budget_violations"),
             budget_compliances: scope.counter("budget_compliances"),
-            round_wall_s: scope.histogram("round_wall_s", &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2]),
+            round_wall_s: scope.histogram("round_wall_s", &Histogram::latency_bounds()),
             samples_quarantined: scope.counter("samples_quarantined"),
             actuation_retries: scope.counter("actuation_retries"),
             failsafe_pins: scope.counter("failsafe_pins"),
@@ -448,6 +460,7 @@ impl FvsstScheduler {
     }
 
     fn run_schedule(&mut self, ctx: &TickContext<'_>, trigger: Trigger, out: &mut Decision) {
+        let _round_span = self.config.tracer.span("sched.round");
         if self.config.log_triggers {
             self.triggers.push((ctx.now_s, trigger));
         }
@@ -501,10 +514,12 @@ impl FvsstScheduler {
         // whose fitted model stayed inside the fingerprint tolerance, and
         // skips the round entirely when nothing (and no budget) changed;
         // either way the computation allocates nothing after warm-up.
-        let d =
-            self.config
-                .algorithm
-                .schedule_cached(&mut self.cache, &self.proc_buf, ctx.budget_w);
+        let d = self.config.algorithm.schedule_cached_traced(
+            &mut self.cache,
+            &self.proc_buf,
+            ctx.budget_w,
+            &self.config.tracer,
+        );
         for i in 0..n {
             self.tracker.predict(i, d.predicted_ipc[i]);
         }

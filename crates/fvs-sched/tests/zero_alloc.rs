@@ -1,6 +1,8 @@
 //! Counting-allocator proof of the scheduling paths' steady-state claim:
 //! after warm-up, `schedule_with_scratch` and `schedule_cached` perform
-//! zero heap allocations per call.
+//! zero heap allocations per call — and the traced variant adds nothing,
+//! whether the tracer is disabled (one branch) or an enabled ring
+//! (span records written in place into preallocated slots).
 //!
 //! Runs as a `harness = false` binary: libtest's runner waits on a
 //! channel from the main thread while the test thread measures, and the
@@ -11,7 +13,7 @@
 use fvs_model::{CpiModel, FreqMhz};
 use fvs_sched::{DemotionOrder, FvsstAlgorithm, ProcInput, ScheduleCache, ScheduleScratch};
 use fvs_sim::MachineBuilder;
-use fvs_telemetry::{SchedEvent, Telemetry};
+use fvs_telemetry::{SchedEvent, Telemetry, Tracer};
 use fvs_workloads::WorkloadSpec;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -195,6 +197,38 @@ fn main() {
             telemetry.events_emitted()
         );
         assert!(rounds.get() >= 50);
+
+        // The causal-span path. Disabled: `span()` is a branch on a
+        // `None` and nothing else. Enabled: opening a span bumps an Arc
+        // refcount and closing writes a fixed-size record into a
+        // preallocated ring slot — neither touches the allocator. The
+        // ring wraps within the window (3 spans/round × 100 rounds into
+        // 64 slots), so overwrite steady state is what's measured.
+        let disabled = Tracer::disabled();
+        let ring = Tracer::ring(64);
+        for _ in 0..3 {
+            alg.schedule_cached_traced(&mut cache, &procs, budget, &disabled);
+            alg.schedule_cached_traced(&mut cache, &procs, budget, &ring);
+        }
+        let spans_before = ring.spans_recorded();
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for step in 0..50 {
+            let budget_w = budget + (step % 7) as f64 * 40.0;
+            let d = alg.schedule_cached_traced(&mut cache, &procs, budget_w, &disabled);
+            std::hint::black_box(d.predicted_power_w);
+            let d = alg.schedule_cached_traced(&mut cache, &procs, budget_w, &ring);
+            std::hint::black_box(d.predicted_power_w);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state traced schedule allocated ({order:?})"
+        );
+        assert!(
+            ring.spans_recorded() > spans_before + 50,
+            "ring tracer must actually have recorded spans"
+        );
     }
     // The substrate half of the daemon's hot loop: the batched SoA
     // machine tick plus the reused-buffer sample sweep the scheduler

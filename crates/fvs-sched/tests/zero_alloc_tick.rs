@@ -4,10 +4,12 @@
 //! handling, the cached scheduling computation, and decision application
 //! all run out of reused buffers.
 //!
-//! The proof runs twice: with telemetry disabled (the zero-cost branch)
-//! and with a preallocated in-memory ring sink plus live metrics — the
-//! journal and the instruments must ride the hot path without touching
-//! the allocator either.
+//! The proof runs three ways: with telemetry disabled (the zero-cost
+//! branch), with a preallocated in-memory ring sink plus live metrics —
+//! the journal and the instruments must ride the hot path without
+//! touching the allocator either — and with causal span tracing into a
+//! preallocated ring, whose per-round `sched.round` / pass spans must
+//! likewise stay off the allocator.
 //!
 //! Runs as a `harness = false` binary: libtest's runner waits on a
 //! channel from the main thread while the test thread measures, and the
@@ -18,7 +20,7 @@
 use fvs_power::BudgetSchedule;
 use fvs_sched::{ScheduledSimulation, SchedulerConfig};
 use fvs_sim::{Machine, MachineBuilder, NoiseModel};
-use fvs_telemetry::Telemetry;
+use fvs_telemetry::{Telemetry, Tracer};
 use fvs_workloads::{SyntheticConfig, WorkloadSpec};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -51,7 +53,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
-fn prove(label: &str, telemetry: Telemetry) {
+fn prove(label: &str, telemetry: Telemetry, tracer: Tracer) {
     // A mixed steady load: CPU-bound, memory-bound, and in-between, with
     // instruction budgets far beyond the run length so no workload
     // completes (completion edges are transitions, not steady state).
@@ -67,7 +69,8 @@ fn prove(label: &str, telemetry: Telemetry) {
     let config = SchedulerConfig::p630()
         .with_budget(BudgetSchedule::constant(294.0))
         .without_trigger_log()
-        .with_telemetry(telemetry.clone());
+        .with_telemetry(telemetry.clone())
+        .with_tracer(tracer.clone());
     let mut sim = ScheduledSimulation::new(machine, config).without_trace();
 
     // Warm-up: buffers size themselves, the residency histogram visits
@@ -106,6 +109,14 @@ fn prove(label: &str, telemetry: Telemetry) {
             telemetry.events_emitted() > 300,
             "telemetry recorded: {}",
             telemetry.events_emitted()
+        );
+    }
+    if tracer.enabled() {
+        // Same for the span ring: the measured rounds really traced.
+        assert!(
+            tracer.spans_recorded() >= 70,
+            "spans recorded: {}",
+            tracer.spans_recorded()
         );
     }
 }
@@ -170,10 +181,25 @@ fn main() {
         .num_threads(1)
         .build_global()
         .expect("first and only pool build");
-    prove("telemetry disabled", Telemetry::disabled());
+    prove(
+        "telemetry disabled",
+        Telemetry::disabled(),
+        Tracer::disabled(),
+    );
     // The ring wraps in place once full, so a modest capacity still
     // exercises steady-state overwrites within the measured window.
-    prove("memory-ring telemetry", Telemetry::memory(4096));
+    prove(
+        "memory-ring telemetry",
+        Telemetry::memory(4096),
+        Tracer::disabled(),
+    );
+    // Both rings live: every round journals events *and* writes its
+    // sched.round / pass spans, still without touching the allocator.
+    prove(
+        "span-ring tracing",
+        Telemetry::memory(4096),
+        Tracer::ring(256),
+    );
     prove_batched("serial pass", false);
     prove_batched("chunked pass", true);
     println!("zero_alloc_tick: ok");

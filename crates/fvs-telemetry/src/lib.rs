@@ -20,6 +20,10 @@
 //!   handle costs one branch per emit and allocates nothing — the
 //!   counting-allocator proofs in `fvs-sched` run against both the
 //!   disabled handle and an enabled preallocated ring.
+//! - [`trace`] — causal span tracing: nested RAII spans (cluster round
+//!   → tier round → rack refresh → node apply) recorded into a
+//!   preallocated ring, exportable as chrome://tracing JSON or a text
+//!   flame summary. The disabled [`Tracer`] costs one branch per span.
 //! - [`deadline`] — [`BudgetDeadlineTracker`]: stamps budget drops,
 //!   measures rounds-to-compliance and wall-time-to-compliance against a
 //!   configurable `ΔT`, and counts violations.
@@ -35,11 +39,14 @@ pub mod event;
 pub mod metrics;
 pub mod sink;
 pub mod timer;
+pub mod trace;
 
 pub use deadline::{BudgetDeadlineTracker, ComplianceRecord};
 pub use event::{FaultDomain, SchedEvent, TriggerKind};
 pub use metrics::{
-    Counter, Gauge, Histogram, MetricSnapshot, MetricValue, MetricsRegistry, ScopedMetrics,
+    quantile_from_buckets, Counter, Gauge, Histogram, MetricSnapshot, MetricValue, MetricsRegistry,
+    ScopedMetrics,
 };
 pub use sink::Telemetry;
 pub use timer::RoundTimer;
+pub use trace::{SpanGuard, SpanId, SpanRecord, Tracer};

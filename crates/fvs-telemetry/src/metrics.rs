@@ -83,14 +83,46 @@ impl Histogram {
         }
     }
 
+    /// Log-spaced upper bounds from `lo` to at least `hi` with
+    /// `per_decade` buckets per decade (HDR-style geometric grid). The
+    /// relative quantile-estimation error is bounded by the bucket
+    /// ratio: `10^(1/per_decade) - 1` (≈ 78% at 4/decade, ≈ 33% at
+    /// 8/decade).
+    pub fn log_bounds(lo: f64, hi: f64, per_decade: u32) -> Vec<f64> {
+        assert!(lo > 0.0 && hi > lo && per_decade > 0, "bad log bounds");
+        let ratio = 10f64.powf(1.0 / per_decade as f64);
+        let mut bounds = Vec::new();
+        let mut b = lo;
+        while b < hi * (1.0 + 1e-12) {
+            bounds.push(b);
+            b *= ratio;
+        }
+        bounds.push(b);
+        bounds
+    }
+
+    /// The default latency grid: 1 µs … 10 s, 4 buckets per decade
+    /// (29 buckets + overflow). Covers everything from a cached
+    /// single-machine pass to a cross-rack fan-out round.
+    pub fn latency_bounds() -> Vec<f64> {
+        Self::log_bounds(1e-6, 10.0, 4)
+    }
+
+    /// Histogram on the default latency grid ([`Self::latency_bounds`]).
+    pub fn latency() -> Self {
+        Self::new(&Self::latency_bounds())
+    }
+
     /// Record one observation.
     #[inline]
     pub fn observe(&self, x: f64) {
-        let i = self
-            .bounds
-            .iter()
-            .position(|b| x <= *b)
-            .unwrap_or(self.bounds.len());
+        // Binary search: bucket i counts x <= bounds[i]; NaN goes to
+        // the overflow bucket (matches the old linear-scan behavior).
+        let i = if x.is_nan() {
+            self.bounds.len()
+        } else {
+            self.bounds.partition_point(|b| *b < x)
+        };
         self.buckets[i].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         // Lock-free f64 accumulation: CAS loop over the bit pattern.
@@ -141,6 +173,49 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket holding the target rank. Returns `0.0` when
+    /// empty; ranks landing in the overflow bucket clamp to the last
+    /// bound. On a log grid the relative error is bounded by the
+    /// bucket ratio (see [`Self::log_bounds`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        quantile_from_buckets(&self.bounds, &counts, q)
+    }
+}
+
+/// Quantile estimation over exported bucket counts — the same math
+/// [`Histogram::quantile`] uses, callable on a [`MetricValue`] snapshot.
+pub fn quantile_from_buckets(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Target rank in 1..=total.
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if seen + c >= rank {
+            if i >= bounds.len() {
+                // Overflow bucket: no upper edge to interpolate to.
+                return bounds.last().copied().unwrap_or(f64::INFINITY);
+            }
+            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+            let upper = bounds[i];
+            let frac = (rank - seen) as f64 / c as f64;
+            if frac >= 1.0 {
+                return upper;
+            }
+            return lower + (upper - lower) * frac;
+        }
+        seen += c;
+    }
+    bounds.last().copied().unwrap_or(f64::INFINITY)
 }
 
 /// One registered instrument.
@@ -164,12 +239,18 @@ pub enum MetricValue {
     Counter(u64),
     /// Gauge value.
     Gauge(f64),
-    /// Histogram `(count, sum)`.
+    /// Histogram reading: totals plus the full bucket layout, so a
+    /// snapshot can be rendered (and quantile-estimated) without
+    /// holding the instrument.
     Histogram {
         /// Observations recorded.
         count: u64,
         /// Sum of observations.
         sum: f64,
+        /// Configured upper bounds.
+        bounds: Vec<f64>,
+        /// Raw per-bucket counts (`bounds.len() + 1`; last = overflow).
+        buckets: Vec<u64>,
     },
 }
 
@@ -280,14 +361,19 @@ impl MetricsRegistry {
                     Instrument::Histogram(h) => MetricValue::Histogram {
                         count: h.count(),
                         sum: h.sum(),
+                        bounds: h.bounds().to_vec(),
+                        buckets: h.bucket_counts(),
                     },
                 },
             })
             .collect()
     }
 
-    /// Render every instrument as `name value` lines (histograms as
-    /// `name_count` / `name_sum`).
+    /// Render every instrument in Prometheus-style text exposition:
+    /// counters and gauges as `name value`; histograms as cumulative
+    /// `name_bucket{le="..."}` lines (ending with `le="+Inf"`),
+    /// `name_count`, `name_sum`, and `name{quantile="..."}` estimates
+    /// for p50/p90/p99/p999.
     pub fn render_text(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -299,9 +385,25 @@ impl MetricsRegistry {
                 MetricValue::Gauge(v) => {
                     let _ = writeln!(out, "{} {v}", s.name);
                 }
-                MetricValue::Histogram { count, sum } => {
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    bounds,
+                    buckets,
+                } => {
+                    let mut cumulative = 0u64;
+                    for (b, c) in bounds.iter().zip(buckets.iter()) {
+                        cumulative += c;
+                        let _ = writeln!(out, "{}_bucket{{le=\"{b:e}\"}} {cumulative}", s.name);
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {count}", s.name);
                     let _ = writeln!(out, "{}_count {count}", s.name);
                     let _ = writeln!(out, "{}_sum {sum}", s.name);
+                    for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)]
+                    {
+                        let v = quantile_from_buckets(&bounds, &buckets, q);
+                        let _ = writeln!(out, "{}{{quantile=\"{label}\"}} {v:e}", s.name);
+                    }
                 }
             }
         }
@@ -367,6 +469,55 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert_eq!(h.bucket_counts(), vec![1, 1, 1]);
         assert!((h.mean() - 105.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_bounds_cover_range_geometrically() {
+        let b = Histogram::log_bounds(1e-6, 10.0, 4);
+        assert!(b.first().copied().unwrap() <= 1e-6 + 1e-18);
+        assert!(b.last().copied().unwrap() >= 10.0);
+        for w in b.windows(2) {
+            let ratio = w[1] / w[0];
+            assert!((ratio - 10f64.powf(0.25)).abs() < 1e-9, "ratio {ratio}");
+        }
+        assert_eq!(Histogram::latency_bounds().len(), 30);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        // 100 observations uniformly in (0, 1]: everything in bucket 0.
+        for i in 1..=100 {
+            h.observe(i as f64 / 100.0);
+        }
+        // p50 of a full first bucket interpolates to ~0.5.
+        assert!((h.quantile(0.5) - 0.5).abs() < 0.02, "{}", h.quantile(0.5));
+        assert!((h.quantile(1.0) - 1.0).abs() < 1e-9);
+        // Add a heavy tail: 10 observations in (4, 8].
+        for _ in 0..10 {
+            h.observe(6.0);
+        }
+        let p99 = h.quantile(0.99);
+        assert!((4.0..=8.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        h.observe(100.0); // overflow bucket
+        assert_eq!(h.quantile(0.99), 2.0, "overflow clamps to last bound");
+        h.observe(f64::NAN); // NaN lands in overflow, count still moves
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn observe_binary_search_matches_bucket_semantics() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(1.0); // boundary: x <= bounds[0]
+        h.observe(10.0);
+        h.observe(10.1);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1]);
     }
 
     #[test]

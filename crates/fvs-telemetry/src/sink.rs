@@ -155,8 +155,15 @@ impl SummaryState {
 #[derive(Debug)]
 enum Sink {
     Memory(Ring),
-    Jsonl { out: BufWriter<File>, line: String },
+    Jsonl {
+        out: BufWriter<File>,
+        line: String,
+    },
     Summary(SummaryState),
+    /// Tee: forward every event to each child handle (events are
+    /// `Copy`). Lets one pipeline feed e.g. a JSONL file for offline
+    /// analysis *and* a memory ring the `/journal` endpoint tails.
+    Fanout(Vec<Telemetry>),
 }
 
 #[derive(Debug)]
@@ -220,6 +227,15 @@ impl Telemetry {
         Self::with_sink(Sink::Summary(SummaryState::default()))
     }
 
+    /// Tee every event to each of `children` (disabled children are
+    /// skipped for free; events are `Copy`). The fanout handle carries
+    /// its own metrics registry; [`events`](Telemetry::events) and
+    /// [`summary_text`](Telemetry::summary_text) delegate to the first
+    /// child that can answer.
+    pub fn fanout(children: Vec<Telemetry>) -> Self {
+        Self::with_sink(Sink::Fanout(children))
+    }
+
     /// Whether this handle records anything.
     #[inline]
     pub fn enabled(&self) -> bool {
@@ -252,6 +268,11 @@ impl Telemetry {
                 }
             }
             Sink::Summary(state) => state.record(&ev),
+            Sink::Fanout(children) => {
+                for child in children.iter() {
+                    child.emit(ev);
+                }
+            }
         }
     }
 
@@ -277,6 +298,11 @@ impl Telemetry {
         match &self.inner {
             Some(inner) => match &*inner.sink.lock().expect("telemetry sink poisoned") {
                 Sink::Memory(ring) => ring.events(),
+                Sink::Fanout(children) => children
+                    .iter()
+                    .map(|c| c.events())
+                    .find(|e| !e.is_empty())
+                    .unwrap_or_default(),
                 _ => Vec::new(),
             },
             None => Vec::new(),
@@ -288,19 +314,25 @@ impl Telemetry {
         match &self.inner {
             Some(inner) => match &*inner.sink.lock().expect("telemetry sink poisoned") {
                 Sink::Summary(state) => Some(state.render()),
+                Sink::Fanout(children) => children.iter().find_map(|c| c.summary_text()),
                 _ => None,
             },
             None => None,
         }
     }
 
-    /// Flush buffered output (JSONL sink; no-op otherwise).
+    /// Flush buffered output (JSONL sinks, through fanouts; no-op
+    /// otherwise).
     pub fn flush(&self) -> io::Result<()> {
         if let Some(inner) = &self.inner {
-            if let Sink::Jsonl { out, .. } =
-                &mut *inner.sink.lock().expect("telemetry sink poisoned")
-            {
-                out.flush()?;
+            match &mut *inner.sink.lock().expect("telemetry sink poisoned") {
+                Sink::Jsonl { out, .. } => out.flush()?,
+                Sink::Fanout(children) => {
+                    for child in children.iter() {
+                        child.flush()?;
+                    }
+                }
+                _ => {}
             }
         }
         Ok(())
@@ -388,6 +420,21 @@ mod tests {
         let text = t.summary_text().unwrap();
         assert!(text.contains("rounds: 2"), "{text}");
         assert!(text.contains("1 violations"), "{text}");
+    }
+
+    #[test]
+    fn fanout_tees_to_every_child() {
+        let ring = Telemetry::memory(8);
+        let summary = Telemetry::summary();
+        let t = Telemetry::fanout(vec![ring.clone(), summary.clone(), Telemetry::disabled()]);
+        t.emit(round_end(0));
+        t.emit(round_end(1));
+        assert_eq!(ring.events().len(), 2);
+        assert!(summary.summary_text().unwrap().contains("rounds: 2"));
+        // The fanout handle answers through its children.
+        assert_eq!(t.events().len(), 2);
+        assert!(t.summary_text().unwrap().contains("rounds: 2"));
+        t.flush().unwrap();
     }
 
     #[test]

@@ -1,0 +1,472 @@
+//! Causal span tracing: nested, thread-safe spans in a lock-light ring.
+//!
+//! A [`Tracer`] hands out RAII [`SpanGuard`]s. Each guard stamps a
+//! monotonic start offset on creation and, on drop, writes one `Copy`
+//! [`SpanRecord`] — name, id, parent id, logical thread id, start and
+//! duration — into a preallocated ring of per-slot mutexes (a slot lock
+//! is held only for the record copy, and distinct spans hash to distinct
+//! slots, so recording under a rayon fan-out serializes almost never).
+//!
+//! Parenting is causal, not merely lexical: within one thread a
+//! thread-local cursor makes nested guards parent automatically; across
+//! threads (the rack fan-out) the caller captures [`Tracer::current`]
+//! before spawning and opens children with [`Tracer::span_under`], so a
+//! single cluster round can be followed root → tier → rack → node even
+//! though its phases ran on different workers.
+//!
+//! The disabled tracer costs one branch per `span()` call: no clock
+//! read, no id allocation, no record. The enabled steady state performs
+//! zero heap allocations per span — names are `&'static str`, records
+//! are `Copy`, the ring never grows.
+//!
+//! Exports: [`Tracer::export_chrome_json`] renders the ring in the
+//! chrome://tracing / Perfetto "complete event" JSON format;
+//! [`Tracer::flame_text`] renders a per-name aggregate (count, total,
+//! max, depth-indented) for terminals.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Identity of one span; `SpanId::NONE` means "no parent".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent span (roots have this parent).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this id names a real span.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// One completed span, as stored in the ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// Span id (nonzero; 0 marks an empty slot).
+    pub id: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Static span name (`"hier.round"`, `"rack.refresh"`, …).
+    pub name: &'static str,
+    /// Logical thread id (small dense integers, first-use order).
+    pub tid: u64,
+    /// Start offset from the tracer's epoch (ns).
+    pub start_ns: u64,
+    /// Duration (ns).
+    pub dur_ns: u64,
+}
+
+impl SpanRecord {
+    const EMPTY: SpanRecord = SpanRecord {
+        id: 0,
+        parent: 0,
+        name: "",
+        tid: 0,
+        start_ns: 0,
+        dur_ns: 0,
+    };
+
+    /// End offset from the tracer's epoch (ns).
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Dense logical thread id, allocated on first span from a thread.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// The innermost open span on this thread (implicit parent).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    slots: Box<[Mutex<SpanRecord>]>,
+    /// Total records written; slot = written % slots.len().
+    written: AtomicU64,
+    /// Span id allocator (ids start at 1).
+    ids: AtomicU64,
+    epoch: Instant,
+}
+
+/// A cloneable handle to one span ring, or the disabled no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// The no-op handle: `span()` is one branch, records nothing.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Tracer with a preallocated ring of `capacity` span records.
+    /// Recording never allocates; once full, the oldest records are
+    /// overwritten.
+    pub fn ring(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                slots: (0..cap).map(|_| Mutex::new(SpanRecord::EMPTY)).collect(),
+                written: AtomicU64::new(0),
+                ids: AtomicU64::new(1),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span parented to the innermost open span on this thread
+    /// (or a root if none). Close it by dropping the guard. The guard
+    /// owns an `Arc` to the ring, so it outlives any borrow of the
+    /// tracer (it can be held across `&mut self` calls).
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { active: None };
+        };
+        let parent = CURRENT.with(|c| c.get());
+        Self::open(inner, name, parent)
+    }
+
+    /// Open a span under an explicit parent — the cross-thread form.
+    /// Capture [`Tracer::current`] before handing work to another
+    /// thread (e.g. a rayon fan-out) and open the child there.
+    #[inline]
+    pub fn span_under(&self, name: &'static str, parent: SpanId) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { active: None };
+        };
+        Self::open(inner, name, parent.0)
+    }
+
+    #[inline]
+    fn open(inner: &Arc<TracerInner>, name: &'static str, parent: u64) -> SpanGuard {
+        let id = inner.ids.fetch_add(1, Ordering::Relaxed);
+        let prev = CURRENT.with(|c| c.replace(id));
+        SpanGuard {
+            active: Some(ActiveSpan {
+                inner: Arc::clone(inner),
+                name,
+                id,
+                parent,
+                prev,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// The innermost open span on the calling thread, for parenting
+    /// work handed to other threads. `SpanId::NONE` when nothing is
+    /// open (or the tracer is disabled).
+    pub fn current(&self) -> SpanId {
+        if self.inner.is_none() {
+            return SpanId::NONE;
+        }
+        SpanId(CURRENT.with(|c| c.get()))
+    }
+
+    /// Spans recorded so far (including any overwritten).
+    pub fn spans_recorded(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.written.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Records lost to ring overwrites.
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| {
+                i.written
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(i.slots.len() as u64)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the ring, oldest record first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let written = inner.written.load(Ordering::SeqCst);
+        let cap = inner.slots.len() as u64;
+        let filled = written.min(cap) as usize;
+        let head = (written % cap) as usize;
+        let mut out = Vec::with_capacity(filled);
+        // Oldest slot is `head` when the ring has wrapped, 0 otherwise.
+        let first = if written > cap { head } else { 0 };
+        for k in 0..filled {
+            let slot = (first + k) % inner.slots.len();
+            let rec = *inner.slots[slot].lock().expect("trace slot poisoned");
+            if rec.id != 0 {
+                out.push(rec);
+            }
+        }
+        out.sort_by_key(|r| (r.start_ns, r.id));
+        out
+    }
+
+    /// Render the ring as chrome://tracing JSON (an array of complete
+    /// `"ph":"X"` events; open `chrome://tracing` or Perfetto and load
+    /// it). Span ids and parent ids ride in `args` so the causal chain
+    /// survives the export.
+    pub fn export_chrome_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("[");
+        for (k, r) in self.records().iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"fvsst\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+                r.name,
+                r.tid,
+                r.start_ns as f64 / 1e3,
+                r.dur_ns as f64 / 1e3,
+                r.id,
+                r.parent
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    /// A terminal-friendly flame summary: one line per (depth, name),
+    /// indented by causal depth, with count, total and max duration.
+    pub fn flame_text(&self) -> String {
+        use std::collections::HashMap;
+        use std::fmt::Write;
+        let records = self.records();
+        let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+        let depth_of = |r: &SpanRecord| {
+            let mut d = 0usize;
+            let mut p = r.parent;
+            while p != 0 {
+                match by_id.get(&p) {
+                    // Cap pathological chains (a wrapped ring can lose
+                    // ancestors; treat the break as depth so far).
+                    Some(a) if d < 32 => {
+                        d += 1;
+                        p = a.parent;
+                    }
+                    _ => break,
+                }
+            }
+            d
+        };
+        struct Line {
+            depth: usize,
+            name: &'static str,
+            count: u64,
+            total_ns: u64,
+            max_ns: u64,
+        }
+        let mut agg: Vec<Line> = Vec::new();
+        for r in &records {
+            let depth = depth_of(r);
+            match agg
+                .iter_mut()
+                .find(|l| l.depth == depth && l.name == r.name)
+            {
+                Some(l) => {
+                    l.count += 1;
+                    l.total_ns += r.dur_ns;
+                    l.max_ns = l.max_ns.max(r.dur_ns);
+                }
+                None => agg.push(Line {
+                    depth,
+                    name: r.name,
+                    count: 1,
+                    total_ns: r.dur_ns,
+                    max_ns: r.dur_ns,
+                }),
+            }
+        }
+        agg.sort_by(|a, b| (a.depth, b.total_ns).cmp(&(b.depth, a.total_ns)));
+        let mut out = String::new();
+        let _ = writeln!(out, "trace flame summary ({} spans):", records.len());
+        for l in agg {
+            let _ = writeln!(
+                out,
+                "{:indent$}{}  count={} total={:.3}ms max={:.3}ms",
+                "",
+                l.name,
+                l.count,
+                l.total_ns as f64 / 1e6,
+                l.max_ns as f64 / 1e6,
+                indent = 2 * (l.depth + 1)
+            );
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    inner: Arc<TracerInner>,
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    prev: u64,
+    started: Instant,
+}
+
+/// RAII guard for one open span; dropping it records the span.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// This span's id (NONE when the tracer is disabled) — hand it to
+    /// another thread as the parent for [`Tracer::span_under`].
+    pub fn id(&self) -> SpanId {
+        self.active.as_ref().map_or(SpanId::NONE, |a| SpanId(a.id))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        CURRENT.with(|c| c.set(a.prev));
+        let dur_ns = a.started.elapsed().as_nanos() as u64;
+        let start_ns = a.started.duration_since(a.inner.epoch).as_nanos() as u64;
+        let rec = SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            name: a.name,
+            tid: TID.with(|t| *t),
+            start_ns,
+            dur_ns,
+        };
+        let slot =
+            (a.inner.written.fetch_add(1, Ordering::SeqCst) % a.inner.slots.len() as u64) as usize;
+        *a.inner.slots[slot].lock().expect("trace slot poisoned") = rec;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        {
+            let _g = t.span("outer");
+            let _h = t.span("inner");
+        }
+        assert!(!t.enabled());
+        assert_eq!(t.spans_recorded(), 0);
+        assert!(t.records().is_empty());
+        assert_eq!(t.current(), SpanId::NONE);
+    }
+
+    #[test]
+    fn nested_spans_parent_automatically() {
+        let t = Tracer::ring(16);
+        {
+            let outer = t.span("outer");
+            let outer_id = outer.id();
+            {
+                let inner = t.span("inner");
+                assert_ne!(inner.id(), outer_id);
+            }
+            assert_eq!(t.current(), outer_id);
+        }
+        assert_eq!(t.current(), SpanId::NONE);
+        let recs = t.records();
+        assert_eq!(recs.len(), 2);
+        let outer = recs.iter().find(|r| r.name == "outer").unwrap();
+        let inner = recs.iter().find(|r| r.name == "inner").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        // The child is contained in the parent.
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+    }
+
+    #[test]
+    fn explicit_parenting_crosses_threads() {
+        let t = Tracer::ring(64);
+        let root = t.span("root");
+        let root_id = root.id();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    let _g = t.span_under("worker", root_id);
+                });
+            }
+        });
+        drop(root);
+        let recs = t.records();
+        assert_eq!(recs.iter().filter(|r| r.name == "worker").count(), 4);
+        for r in recs.iter().filter(|r| r.name == "worker") {
+            assert_eq!(r.parent, root_id.0);
+        }
+        // The workers ran on their own logical thread ids.
+        let root_rec = recs.iter().find(|r| r.name == "root").unwrap();
+        assert!(recs
+            .iter()
+            .filter(|r| r.name == "worker")
+            .all(|r| r.tid != root_rec.tid));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let t = Tracer::ring(4);
+        for _ in 0..10 {
+            let _g = t.span("s");
+        }
+        assert_eq!(t.spans_recorded(), 10);
+        assert_eq!(t.spans_dropped(), 6);
+        assert_eq!(t.records().len(), 4);
+    }
+
+    #[test]
+    fn chrome_export_is_parseable_json() {
+        let t = Tracer::ring(16);
+        {
+            let _g = t.span("round");
+            let _h = t.span("phase");
+        }
+        let json = t.export_chrome_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v.as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(|p| p.as_str()), Some("X"));
+            assert!(e.get("args").and_then(|a| a.get("id")).is_some());
+        }
+    }
+
+    #[test]
+    fn flame_text_indents_by_depth() {
+        let t = Tracer::ring(16);
+        {
+            let _g = t.span("round");
+            let _h = t.span("phase");
+        }
+        let text = t.flame_text();
+        assert!(text.contains("  round"), "{text}");
+        assert!(text.contains("    phase"), "{text}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Golden-file test for the Prometheus-style text exposition format.
+//!
+//! The `/metrics` endpoint and the coordinator status line both consume
+//! `MetricsRegistry::render_text`; this pins the exact wire format —
+//! cumulative `_bucket{le="..."}` lines, `_count`/`_sum`, and
+//! `{quantile="..."}` estimates — against `tests/golden/exposition.txt`.
+//! Observations are dyadic (exact in binary) so the rendered sum is
+//! bit-stable across platforms.
+
+use fvs_telemetry::MetricsRegistry;
+
+#[test]
+fn render_text_matches_golden_exposition() {
+    let r = MetricsRegistry::new();
+    let rounds = r.counter("sched.rounds");
+    rounds.add(3);
+    r.gauge("cluster.headroom_w").set(12.5);
+    let h = r.histogram("sched.round_wall_s", &[1e-3, 1e-2, 1e-1]);
+    // One per bucket edge case: first bucket, two mid, one third, one
+    // overflow. All values are powers of two — exactly representable.
+    h.observe(0.0009765625); // 2^-10, bucket le=1e-3
+    h.observe(0.0078125); // 2^-7, bucket le=1e-2
+    h.observe(0.0078125);
+    h.observe(0.0625); // 2^-4, bucket le=1e-1
+    h.observe(2.0); // overflow
+
+    let got = r.render_text();
+    let want = include_str!("golden/exposition.txt");
+    assert_eq!(got, want, "exposition drifted from golden file:\n{got}");
+}

@@ -4,7 +4,7 @@
 //! ```text
 //! fvsst-coordinator [--listen ADDR] [--nodes N] [--budget W] [--period S]
 //!                   [--heartbeat S] [--deadline S] [--drop W@T]
-//!                   [--run S] [--telemetry FILE]
+//!                   [--run S] [--telemetry FILE] [--obs-addr ADDR]
 //! ```
 //!
 //! Listens for `fvsst-node` agents, runs the paper's global scheduling
@@ -16,6 +16,14 @@
 //! seconds into the run, so a budget-drop drill can be scripted from the
 //! command line; `--telemetry FILE` journals every scheduling event
 //! (rounds, deaths, compliance) as JSONL. `--run 0` serves forever.
+//!
+//! `--obs-addr ADDR` mounts the observability plane on a second
+//! listener: `GET /metrics` (Prometheus-style exposition with quantile
+//! estimates), `GET /healthz` (JSON health, `503` when degraded),
+//! `GET /journal?n=K` (event tail as JSONL) and `GET /trace`
+//! (chrome://tracing span export; `?fmt=flame` for text). The once-a-
+//! second status line printed here renders the *same* `HealthReport`
+//! that `/healthz` serves — one code path, two consumers.
 
 use fvsst::prelude::*;
 use std::process::ExitCode;
@@ -31,12 +39,13 @@ struct Args {
     drop: Option<(f64, f64)>, // (watts, at_seconds)
     run_s: f64,               // 0 = forever
     telemetry: Option<String>,
+    obs_addr: Option<String>,
 }
 
 fn usage() -> String {
     "usage: fvsst-coordinator [--listen ADDR] [--nodes N] [--budget W] \
      [--period S] [--heartbeat S] [--deadline S] [--drop W@T] [--run S] \
-     [--telemetry FILE]"
+     [--telemetry FILE] [--obs-addr ADDR]"
         .to_string()
 }
 
@@ -58,6 +67,7 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
         drop: None,
         run_s: 0.0,
         telemetry: None,
+        obs_addr: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -121,6 +131,14 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
                         .ok_or_else(|| FvsError::config("--telemetry requires a file path"))?,
                 );
             }
+            "--obs-addr" => {
+                i += 1;
+                out.obs_addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| FvsError::config("--obs-addr requires an address"))?,
+                );
+            }
             "--help" | "-h" => return Err(FvsError::config(usage())),
             other => {
                 return Err(FvsError::config(format!(
@@ -135,16 +153,28 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
 }
 
 fn run(args: Args) -> Result<(), FvsError> {
-    let telemetry = match &args.telemetry {
-        Some(path) => Telemetry::jsonl(path)?,
-        None => Telemetry::disabled(),
+    // With an observability listener the journal needs a memory ring to
+    // tail (`/journal`) alongside any JSONL file: tee via fanout.
+    let telemetry = match (&args.telemetry, &args.obs_addr) {
+        (Some(path), Some(_)) => {
+            Telemetry::fanout(vec![Telemetry::jsonl(path)?, Telemetry::memory(1024)])
+        }
+        (Some(path), None) => Telemetry::jsonl(path)?,
+        (None, Some(_)) => Telemetry::memory(1024),
+        (None, None) => Telemetry::disabled(),
+    };
+    let tracer = if args.obs_addr.is_some() {
+        Tracer::ring(4096)
+    } else {
+        Tracer::disabled()
     };
     let config = CoordinatorConfig::default_lan()
         .with_period_s(args.period_s)
         .with_heartbeat_timeout_s(args.heartbeat_s)
         .with_deadline_s(args.deadline_s)
         .with_initial_budget_w(args.budget_w)
-        .with_telemetry(telemetry);
+        .with_telemetry(telemetry)
+        .with_tracer(tracer);
     let server = CoordinatorServer::bind(
         args.listen.as_str(),
         args.nodes,
@@ -158,6 +188,17 @@ fn run(args: Args) -> Result<(), FvsError> {
         args.budget_w,
         args.period_s
     );
+    let obs = match &args.obs_addr {
+        Some(addr) => {
+            let obs = server.serve_obs(addr)?;
+            println!(
+                "observability on http://{} (/metrics /healthz /journal /trace)",
+                obs.local_addr()
+            );
+            Some(obs)
+        }
+        None => None,
+    };
 
     let start = Instant::now();
     let mut dropped = false;
@@ -175,24 +216,15 @@ fn run(args: Args) -> Result<(), FvsError> {
             break;
         }
         if last_print.elapsed() >= Duration::from_secs(1) {
-            let st = server.status();
-            println!(
-                "[{elapsed:7.2}s] rounds {} reporting {}/{} dead {} power {:.0} W / budget {:.0} W \
-                 compliance {}/{}",
-                st.rounds,
-                st.nodes_reporting,
-                args.nodes,
-                st.dead_nodes,
-                st.conservative_power_w,
-                st.budget_w,
-                st.compliances,
-                st.compliances + st.violations
-            );
+            // The exact report `/healthz` serves, rendered for the
+            // terminal — the wire and the console cannot disagree.
+            println!("{}", server.health().status_line());
             last_print = Instant::now();
         }
         std::thread::sleep(Duration::from_millis(20));
     }
 
+    drop(obs);
     let st = server.shutdown()?;
     println!(
         "final: rounds {} reporting {} dead {} power {:.0} W compliances {} violations {}",

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! fvsst-hier-drill [--nodes N] [--rounds R] [--seed S] [--max-wall-s S]
+//!                  [--obs-addr ADDR] [--trace-out FILE]
 //! ```
 //!
 //! Builds a delegation tree over `--nodes` simulated nodes (default
@@ -22,6 +23,13 @@
 //! non-zero if the tree ever over-commits a feasible budget, stalls,
 //! fails to charge the dead rack, skips less than half its rack
 //! refreshes, or blows the `--max-wall-s` bound.
+//!
+//! `--obs-addr ADDR` mounts `/metrics` (the `hier.*` tier histograms
+//! and the `subtree_cache_hit_ratio` gauge), `/healthz` and `/trace`
+//! on the drill while it runs. `--trace-out FILE` writes the span ring
+//! as chrome://tracing JSON at exit — each round is one `drill.round`
+//! root whose children run the causal chain root budget decision →
+//! tier phases → per-rack refresh → two-pass schedule → `node.apply`.
 
 use fvsst::model::{CpiModel, FreqMhz};
 use fvsst::prelude::*;
@@ -34,10 +42,14 @@ struct Args {
     rounds: u64,
     seed: u64,
     max_wall_s: f64,
+    obs_addr: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn usage() -> String {
-    "usage: fvsst-hier-drill [--nodes N] [--rounds R] [--seed S] [--max-wall-s S]".to_string()
+    "usage: fvsst-hier-drill [--nodes N] [--rounds R] [--seed S] [--max-wall-s S] \
+     [--obs-addr ADDR] [--trace-out FILE]"
+        .to_string()
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -46,6 +58,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         rounds: 50,
         seed: 3845,
         max_wall_s: 60.0,
+        obs_addr: None,
+        trace_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -59,6 +73,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--max-wall-s" => {
                 out.max_wall_s = val.parse().map_err(|e| format!("--max-wall-s: {e}"))?
             }
+            "--obs-addr" => out.obs_addr = Some(val.clone()),
+            "--trace-out" => out.trace_out = Some(val.clone()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
         i += 1;
@@ -122,12 +138,65 @@ fn main() -> ExitCode {
     let revive_round = (dead_round + 5).min(args.rounds);
     let stride = (args.nodes / DRIFTERS).max(1);
 
+    let observing = args.obs_addr.is_some() || args.trace_out.is_some();
+    let telemetry = if observing {
+        Telemetry::memory(1024)
+    } else {
+        Telemetry::disabled()
+    };
+    let tracer = if observing {
+        // Room for every span of a full default drill: ~12 spans per
+        // rack round across 313 racks times 50 rounds.
+        Tracer::ring(1 << 18)
+    } else {
+        Tracer::disabled()
+    };
+
     let timer = Instant::now();
-    let mut tree = DelegationTree::new(FvsstAlgorithm::p630(), args.nodes, HierTopology::default())
-        .with_heartbeat_timeout(f64::INFINITY);
+    let mut tree = DelegationTree::with_telemetry(
+        FvsstAlgorithm::p630(),
+        args.nodes,
+        HierTopology::default(),
+        telemetry.clone(),
+    )
+    .with_heartbeat_timeout(f64::INFINITY)
+    .with_tracer(tracer.clone());
     for node in 0..args.nodes {
         tree.ingest(summary(node, 0.0, args.seed, false));
     }
+
+    // Live health while the drill runs: round progress and budget
+    // compliance so far, shared with the obs thread through a mutex.
+    let health = std::sync::Arc::new(std::sync::Mutex::new(HealthReport {
+        nodes_reporting: args.nodes,
+        budget_compliant: true,
+        ..HealthReport::default()
+    }));
+    let obs = match &args.obs_addr {
+        Some(addr) => {
+            let health = std::sync::Arc::clone(&health);
+            let obs = ObsServer::bind(
+                addr,
+                ObsHandles {
+                    registry: telemetry.registry().cloned(),
+                    journal: telemetry.clone(),
+                    tracer: tracer.clone(),
+                    health: Some(std::sync::Arc::new(move || {
+                        health.lock().expect("health poisoned").clone()
+                    })),
+                },
+            )
+            .map_err(|e| {
+                eprintln!("fvsst-hier-drill: --obs-addr: {e}");
+            })
+            .ok();
+            if obs.is_none() {
+                return ExitCode::FAILURE;
+            }
+            obs
+        }
+        None => None,
+    };
     eprintln!(
         "hier drill: {} nodes -> {} racks -> {} rows, {} rounds, seed {}",
         args.nodes,
@@ -140,7 +209,12 @@ fn main() -> ExitCode {
     let mut over_budget_rounds = 0u64;
     let mut infeasible_rounds = 0u64;
     let mut dead_rack_charged = false;
+    let mut ceilings_commanded = 0u64;
     for round in 0..args.rounds {
+        // One root span per round: the full causal chain — budget
+        // decision, tier phases, rack refreshes, node actuation — hangs
+        // off this parent in the chrome export.
+        let round_span = tracer.span("drill.round");
         let now = round as f64 * DT_S;
         if round == dead_round {
             tree.set_rack_online(0, false);
@@ -156,7 +230,14 @@ fn main() -> ExitCode {
         } else {
             budget_full_w
         };
-        tree.schedule(budget_w, now);
+        let commands = tree.schedule(budget_w, now);
+        {
+            // The drill's stand-in for per-node actuation: apply means
+            // "accept the ceiling", counted under its own span.
+            let _apply = tracer.span("node.apply");
+            ceilings_commanded += commands.len() as u64;
+        }
+        drop(round_span);
         if tree.feasible() {
             if tree.predicted_power_w() > budget_w + 1e-6 {
                 over_budget_rounds += 1;
@@ -167,8 +248,32 @@ fn main() -> ExitCode {
         if !tree.rack_online(0) && tree.reserved_w() > 0.0 {
             dead_rack_charged = true;
         }
+        {
+            let mut h = health.lock().expect("health poisoned");
+            h.uptime_s = timer.elapsed().as_secs_f64();
+            h.rounds = tree.rounds();
+            h.last_round_age_s = 0.0;
+            h.budget_w = budget_w;
+            h.conservative_power_w = tree.predicted_power_w();
+            h.reserved_w = tree.reserved_w();
+            h.dead_nodes = usize::from(!tree.rack_online(0));
+            h.budget_compliant = over_budget_rounds == 0;
+            h.degraded = !tree.rack_online(0) || over_budget_rounds > 0;
+        }
     }
     let wall_s = timer.elapsed().as_secs_f64();
+    drop(obs);
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::write(path, tracer.export_chrome_json()) {
+            eprintln!("fvsst-hier-drill: --trace-out: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} spans ({} ceilings commanded) to {path}",
+            tracer.spans_recorded(),
+            ceilings_commanded
+        );
+    }
 
     let stats = tree.stats();
     let rack_rate = |runs: u64, skips: u64| {

@@ -4,6 +4,7 @@
 //! ```text
 //! fvsst-node [--connect ADDR|none] [--node ID] [--workload cpu|mixed|mem]
 //!            [--tick S] [--summary-every N] [--run S] [--timed]
+//!            [--obs-addr ADDR]
 //! ```
 //!
 //! Drives the paper's 4-way P630-like machine under a synthetic
@@ -21,6 +22,11 @@
 //! locally for `--run` seconds, prints the achieved cadence, and fails
 //! if the mean tick strays more than 25 % from target — the CI
 //! sanity check for the pacing loop.
+//!
+//! `--obs-addr ADDR` mounts the node-side observability plane:
+//! `GET /healthz` answers from the agent's live counters (degraded =
+//! not currently connected to the coordinator) and `GET /trace` serves
+//! the agent's `node.apply` spans, one per ceiling actuated.
 
 use fvsst::prelude::*;
 use std::process::ExitCode;
@@ -34,11 +40,12 @@ struct Args {
     summary_every: u32,
     run_s: f64, // 0 = forever
     timed: bool,
+    obs_addr: Option<String>,
 }
 
 fn usage() -> String {
     "usage: fvsst-node [--connect ADDR|none] [--node ID] [--workload cpu|mixed|mem] \
-     [--tick S] [--summary-every N] [--run S] [--timed]"
+     [--tick S] [--summary-every N] [--run S] [--timed] [--obs-addr ADDR]"
         .to_string()
 }
 
@@ -51,6 +58,7 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
         summary_every: 10,
         run_s: 0.0,
         timed: false,
+        obs_addr: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -107,6 +115,14 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
                     .ok_or_else(|| FvsError::config("--run requires a non-negative number"))?;
             }
             "--timed" => out.timed = true,
+            "--obs-addr" => {
+                i += 1;
+                out.obs_addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| FvsError::config("--obs-addr requires an address"))?,
+                );
+            }
             "--help" | "-h" => return Err(FvsError::config(usage())),
             other => {
                 return Err(FvsError::config(format!(
@@ -185,10 +201,16 @@ fn run(args: Args) -> Result<(), FvsError> {
         ));
     }
     let node = build_node(args.node, &args.workload);
+    let tracer = if args.obs_addr.is_some() {
+        Tracer::ring(1024)
+    } else {
+        Tracer::disabled()
+    };
     let config = AgentConfig::default_lan()
         .with_tick_s(args.tick_s)
         .with_summary_every(args.summary_every)
-        .with_timed(args.timed);
+        .with_timed(args.timed)
+        .with_tracer(tracer.clone());
     println!(
         "fvsst-node {} ({} workload) -> {}",
         args.node, args.workload, args.connect
@@ -196,6 +218,43 @@ fn run(args: Args) -> Result<(), FvsError> {
     let agent = NodeAgent::spawn(node, args.connect.clone(), config)?;
 
     let start = Instant::now();
+    let obs = match &args.obs_addr {
+        Some(addr) => {
+            // Node-side health: degraded simply means "not connected to
+            // the coordinator right now"; power rides in the same slot
+            // the coordinator reports conservatively.
+            let stats = agent.stats();
+            let obs = ObsServer::bind(
+                addr,
+                ObsHandles {
+                    registry: None,
+                    journal: Telemetry::disabled(),
+                    tracer,
+                    health: Some(std::sync::Arc::new(move || {
+                        let connected = stats.connected();
+                        HealthReport {
+                            uptime_s: start.elapsed().as_secs_f64(),
+                            rounds: stats.summaries_sent(),
+                            nodes_reporting: usize::from(connected),
+                            connections: usize::from(connected),
+                            budget_w: f64::INFINITY,
+                            conservative_power_w: stats.power_w(),
+                            budget_compliant: true,
+                            compliances: stats.ceilings_applied(),
+                            degraded: !connected,
+                            ..HealthReport::default()
+                        }
+                    })),
+                },
+            )?;
+            println!(
+                "observability on http://{} (/healthz /trace)",
+                obs.local_addr()
+            );
+            Some(obs)
+        }
+        None => None,
+    };
     loop {
         if agent.is_finished() {
             // Version refusal is the one self-terminating path.
@@ -206,6 +265,7 @@ fn run(args: Args) -> Result<(), FvsError> {
         }
         std::thread::sleep(Duration::from_millis(20));
     }
+    drop(obs);
     let report = agent.stop();
     println!(
         "node {}: {} summaries, {} ceilings applied, {} reconnects, final power {:.1} W",

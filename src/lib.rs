@@ -80,8 +80,9 @@ pub mod prelude {
         CounterDelta, CpiModel, Estimator, FreqMhz, FrequencySet, MemoryLatencies, PerfLossTable,
     };
     pub use fvs_net::{
-        AgentConfig, CoordinatorConfig, CoordinatorServer, CoordinatorStatus, FvsError, NodeAgent,
-        NodeAgentHandle, WireMsg, SCHEMA_VERSION,
+        http_get, AgentConfig, AgentStats, CoordinatorConfig, CoordinatorServer, CoordinatorStatus,
+        FvsError, HealthReport, NodeAgent, NodeAgentHandle, ObsHandles, ObsServer, WireMsg,
+        SCHEMA_VERSION,
     };
     pub use fvs_power::{
         BudgetEvent, BudgetSchedule, EnergyMeter, FreqPowerTable, PowerSupply, SupplyBank,
@@ -91,6 +92,8 @@ pub mod prelude {
         CoreSample, FvsstAlgorithm, FvsstScheduler, MtDaemon, ScheduledSimulation, SchedulerConfig,
     };
     pub use fvs_sim::{Machine, MachineBuilder, PaceReport, Pacer};
-    pub use fvs_telemetry::{BudgetDeadlineTracker, MetricsRegistry, SchedEvent, Telemetry};
+    pub use fvs_telemetry::{
+        BudgetDeadlineTracker, MetricsRegistry, SchedEvent, Telemetry, Tracer,
+    };
     pub use fvs_workloads::{AppBenchmark, PhaseSpec, WorkloadSpec};
 }

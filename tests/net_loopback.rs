@@ -5,6 +5,13 @@
 //! it at worst-case power, and keeps the conservative power sum under
 //! the budget afterwards. Telemetry lands in a JSONL file (path taken
 //! from `FVSST_NET_TELEMETRY` when set, so CI can grep the journal).
+//!
+//! The same run exercises the wire-served observability plane: mid-run
+//! HTTP scrapes of `/metrics` (quantile lines for round latency and
+//! ceiling fan-out must be present), `/healthz` (must flip to `503
+//! degraded` once the killed agent is declared dead), `/journal` (the
+//! budget drop must be in the tail) and `/trace` (the span ring must
+//! hold a causal `net.round` → `cluster.round` → `sched.pass2` chain).
 
 use fvsst::prelude::*;
 use std::time::{Duration, Instant};
@@ -46,7 +53,13 @@ fn budget_drop_and_node_death_over_loopback() {
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|_| std::env::temp_dir().join("fvsst-net-loopback.telemetry.jsonl"));
     let _ = std::fs::remove_file(&telemetry_path);
-    let telemetry = Telemetry::jsonl(&telemetry_path).expect("telemetry file");
+    // Tee the journal: the JSONL file CI greps *and* a memory ring the
+    // `/journal` endpoint tails.
+    let telemetry = Telemetry::fanout(vec![
+        Telemetry::jsonl(&telemetry_path).expect("telemetry file"),
+        Telemetry::memory(512),
+    ]);
+    let tracer = Tracer::ring(4096);
 
     let server = CoordinatorServer::bind(
         "127.0.0.1:0",
@@ -58,10 +71,13 @@ fn budget_drop_and_node_death_over_loopback() {
             .with_worst_case_node_w(WORST_CASE_NODE_W)
             .with_deadline_s(DEADLINE_S)
             .with_initial_budget_w(f64::INFINITY)
-            .with_telemetry(telemetry),
+            .with_telemetry(telemetry)
+            .with_tracer(tracer),
     )
     .expect("bind");
     let addr = server.local_addr().to_string();
+    let obs = server.serve_obs("127.0.0.1:0").expect("obs bind");
+    let obs_addr = obs.local_addr();
 
     let mut agents: Vec<NodeAgentHandle> = (0..NODES)
         .map(|id| NodeAgent::spawn(cpu_bound_node(id), addr.clone(), fast_agent()).expect("spawn"))
@@ -81,6 +97,24 @@ fn budget_drop_and_node_death_over_loopback() {
         unconstrained_w > 1000.0,
         "four CPU-bound nodes should draw serious power, got {unconstrained_w:.0} W"
     );
+
+    // Mid-run observability scrape while everything is healthy: the
+    // hot-path latency metrics must expose quantile estimates, and the
+    // health endpoint must answer 200 with all nodes live.
+    let (code, metrics) = http_get(obs_addr, "/metrics").expect("scrape /metrics");
+    assert_eq!(code, 200);
+    for line in [
+        "net.round_wall_s{quantile=\"0.99\"}",
+        "net.round_wall_s_bucket{le=\"+Inf\"}",
+        "net.fanout_wall_s{quantile=\"0.99\"}",
+        "net.summary_staleness_s{quantile=\"0.5\"}",
+        "net.frames_rx",
+    ] {
+        assert!(metrics.contains(line), "missing {line} in:\n{metrics}");
+    }
+    let (code, health) = http_get(obs_addr, "/healthz").expect("scrape /healthz");
+    assert_eq!(code, 200, "healthy cluster must answer 200: {health}");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
 
     // Phase 2: drop the budget mid-run to something that forces real
     // throttling but stays feasible for four live nodes.
@@ -125,6 +159,56 @@ fn budget_drop_and_node_death_over_loopback() {
         st.reserved_w
     );
 
+    // The health endpoint must reflect the dead-agent charge: degraded
+    // (503), one dead node, nonzero reservation.
+    let (code, health) = http_get(obs_addr, "/healthz").expect("scrape /healthz");
+    assert_eq!(code, 503, "a dead node must degrade health: {health}");
+    assert!(health.contains("\"status\":\"degraded\""), "{health}");
+    assert!(health.contains("\"dead_nodes\":1"), "{health}");
+
+    // The journal tail served over the wire carries the budget drop.
+    let (code, journal_tail) = http_get(obs_addr, "/journal?n=200").expect("scrape /journal");
+    assert_eq!(code, 200);
+    assert!(
+        journal_tail.contains("\"kind\":\"budget_drop\""),
+        "{journal_tail}"
+    );
+
+    // The span ring must hold a causally-chained round: the scheduler
+    // thread's net.round parents the coordinator's cluster.round, which
+    // parents the two-pass scheduler's sched.pass2.
+    let (code, trace) = http_get(obs_addr, "/trace").expect("scrape /trace");
+    assert_eq!(code, 200);
+    let spans: serde_json::Value = serde_json::from_str(&trace).expect("chrome json");
+    let spans = spans.as_array().expect("span array");
+    let by_id: std::collections::HashMap<u64, &serde_json::Value> = spans
+        .iter()
+        .map(|s| (s["args"]["id"].as_u64().unwrap(), s))
+        .collect();
+    let chain_of = |leaf_name: &str| -> Vec<String> {
+        let leaf = spans
+            .iter()
+            .find(|s| s["name"].as_str() == Some(leaf_name))
+            .unwrap_or_else(|| panic!("no {leaf_name} span in trace"));
+        let mut chain = Vec::new();
+        let mut cur = Some(leaf);
+        while let Some(s) = cur {
+            chain.push(s["name"].as_str().unwrap().to_string());
+            cur = s["args"]["parent"]
+                .as_u64()
+                .and_then(|p| by_id.get(&p))
+                .copied();
+        }
+        chain.reverse();
+        chain
+    };
+    assert_eq!(
+        chain_of("sched.pass2"),
+        ["net.round", "cluster.round", "sched.pass2"],
+        "two-pass schedule must chain up to the network round"
+    );
+    assert_eq!(chain_of("net.push"), ["net.round", "net.push"]);
+
     // Phase 4: after a settling window the conservative sum (live nodes
     // + conservative charge for the dead one) must fit under the budget.
     // `nodes_reporting` counts ever-reported nodes, so it stays at NODES;
@@ -139,10 +223,16 @@ fn budget_drop_and_node_death_over_loopback() {
     );
 
     for agent in agents {
+        let stats = agent.stats();
         let report = agent.stop();
         assert!(report.summaries_sent > 0);
         assert!(report.ceilings_applied > 0, "agent never throttled");
+        // The live counters agree with the final report.
+        assert_eq!(stats.summaries_sent(), report.summaries_sent);
+        assert_eq!(stats.ceilings_applied(), report.ceilings_applied);
+        assert!(!stats.connected(), "stopped agent still marked connected");
     }
+    obs.shutdown();
     let final_status = server.shutdown().expect("shutdown");
     assert!(final_status.rounds > 10);
     assert!(final_status.compliances >= 1);
