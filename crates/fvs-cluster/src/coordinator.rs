@@ -41,6 +41,26 @@ pub const DEFAULT_HEARTBEAT_TIMEOUT_S: f64 = 0.5;
 /// full p630 node at maximum frequency (4 × 140 W).
 pub const DEFAULT_WORST_CASE_NODE_W: f64 = 560.0;
 
+/// One node's coordinator-side charging state, as exported into (and
+/// restored from) a crash-recovery snapshot: the last summary held, the
+/// last-commanded power ceiling, the dead flag and the learned
+/// processor-count shape. Everything conservative charging needs — a
+/// resumed coordinator that restores these keeps charging a silent node
+/// `max(last reported, last commanded)` (or worst-case if it knows
+/// nothing) exactly as if it had never crashed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRestore {
+    /// The newest summary held for the node (its `sent_at_s` is on the
+    /// exporter's clock; rebase before restoring).
+    pub summary: Option<NodeSummary>,
+    /// Ceiling of the frequencies last commanded (W).
+    pub commanded_w: f64,
+    /// Whether the node was already declared dead.
+    pub dead: bool,
+    /// Learned per-node processor count (for blind fail-safe commands).
+    pub shape: Option<usize>,
+}
+
 /// Runs the two-pass algorithm over every processor of every node under
 /// the single global budget.
 #[derive(Debug)]
@@ -484,6 +504,68 @@ impl GlobalCoordinator {
         deadline
     }
 
+    /// The newest summary held for `node` (snapshot export and tests).
+    pub fn latest_summary(&self, node: usize) -> Option<&NodeSummary> {
+        self.latest.get(node).and_then(|s| s.as_ref())
+    }
+
+    /// Export `node`'s charging state for a crash-recovery snapshot, or
+    /// `None` when the index is out of range.
+    pub fn export_node(&self, node: usize) -> Option<NodeRestore> {
+        if node >= self.latest.len() {
+            return None;
+        }
+        Some(NodeRestore {
+            summary: self.latest[node].clone(),
+            commanded_w: self.commanded_w[node],
+            dead: self.dead[node],
+            shape: self.shape[node],
+        })
+    }
+
+    /// Restore `node`'s charging state from a snapshot — the resync
+    /// charging path. The caller rebases `summary.sent_at_s` onto its
+    /// own clock first; a resumed coordinator deliberately stamps it
+    /// stale so the next liveness sweep charges the node
+    /// `max(last reported, last commanded)` (its last-charged ceiling)
+    /// until a fresh summary arrives. Out-of-range indices and
+    /// malformed summaries are ignored (a snapshot cannot widen the
+    /// cluster or inject what [`ingest`](Self::ingest) would refuse).
+    pub fn restore_node(&mut self, node: usize, r: NodeRestore) {
+        if node >= self.latest.len() {
+            return;
+        }
+        if let Some(s) = &r.summary {
+            let n_procs = s.models.len();
+            if s.node != node
+                || s.idle.len() != n_procs
+                || s.current.len() != n_procs
+                || !s.power_w.is_finite()
+                || s.power_w < 0.0
+            {
+                // Keep the flags/ceiling but drop the corrupt summary:
+                // the node degrades to worst-case charging.
+                self.commanded_w[node] = if r.commanded_w.is_finite() && r.commanded_w >= 0.0 {
+                    r.commanded_w
+                } else {
+                    0.0
+                };
+                self.dead[node] = r.dead;
+                self.shape[node] = r.shape;
+                self.latest[node] = None;
+                return;
+            }
+        }
+        self.latest[node] = r.summary;
+        self.commanded_w[node] = if r.commanded_w.is_finite() && r.commanded_w >= 0.0 {
+            r.commanded_w
+        } else {
+            0.0
+        };
+        self.dead[node] = r.dead;
+        self.shape[node] = r.shape;
+    }
+
     /// A conservative ceiling on what this coordinator's nodes can draw
     /// if the coordinator itself dies right now and can issue no further
     /// commands: the reserve already charged for silent nodes, plus each
@@ -626,6 +708,69 @@ mod tests {
         assert_eq!(c.reserved_w(), 0.0);
         assert_eq!(c.dead_nodes(), 0);
         assert_eq!(cmds.len(), 2);
+    }
+
+    /// The resync charging path: a coordinator built from another's
+    /// exported node state charges a still-silent node its last-charged
+    /// ceiling — never less — and releases the charge only when a fresh
+    /// summary arrives.
+    #[test]
+    fn restored_node_state_keeps_the_conservative_charge() {
+        let mut a = GlobalCoordinator::new(FvsstAlgorithm::p630(), 2);
+        a.ingest(summary(0, 1.0, &[0.0, 0.0]));
+        a.ingest(summary(1, 1.0, &[0.0, 0.0]));
+        a.schedule(300.0, 1.0); // records commanded_w ceilings
+        let exported: Vec<NodeRestore> = (0..2).map(|n| a.export_node(n).unwrap()).collect();
+        assert!(exported[1].summary.is_some());
+        assert!(exported[1].commanded_w > 0.0);
+
+        // "Restart": a fresh coordinator restores both nodes with their
+        // summaries re-stamped stale (the resumed clock starts over).
+        let mut b = GlobalCoordinator::new(FvsstAlgorithm::p630(), 2);
+        for (n, mut r) in exported.into_iter().enumerate() {
+            if let Some(s) = &mut r.summary {
+                s.sent_at_s = -10.0; // stale by construction
+            }
+            r.dead = true; // restored charges don't re-announce death
+            b.restore_node(n, r);
+        }
+        b.schedule(300.0, 0.1);
+        // Both nodes are charged max(last power, commanded ceiling) —
+        // the last-charged-ceiling discipline — not scheduled as live.
+        assert_eq!(b.dead_nodes(), 2);
+        assert!(
+            b.reserved_w() >= 2.0 * 280.0f64.min(300.0 / 2.0),
+            "reserved {:.0} W",
+            b.reserved_w()
+        );
+        // A fresh summary releases the charge.
+        b.ingest(summary(1, 0.2, &[0.0, 0.0]));
+        b.schedule(300.0, 0.25);
+        assert_eq!(b.dead_nodes(), 1);
+
+        // Out-of-range and corrupt restores are ignored, not panics.
+        b.restore_node(
+            9,
+            NodeRestore {
+                summary: None,
+                commanded_w: 1.0,
+                dead: false,
+                shape: None,
+            },
+        );
+        let mut bad = summary(0, 0.0, &[0.0]);
+        bad.power_w = f64::NAN;
+        b.restore_node(
+            0,
+            NodeRestore {
+                summary: Some(bad),
+                commanded_w: f64::NAN,
+                dead: true,
+                shape: Some(1),
+            },
+        );
+        assert!(b.latest_summary(0).is_none(), "corrupt summary dropped");
+        assert_eq!(b.export_node(0).unwrap().commanded_w, 0.0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod node;
 
 pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, NodeEvent};
 pub use coordinator::{
-    FrequencyCommand, GlobalCoordinator, NodeSummary, DEFAULT_HEARTBEAT_TIMEOUT_S,
+    FrequencyCommand, GlobalCoordinator, NodeRestore, NodeSummary, DEFAULT_HEARTBEAT_TIMEOUT_S,
     DEFAULT_WORST_CASE_NODE_W,
 };
 pub use hierarchy::{DelegationTree, HierStats, HierTopology, RackCoordinator, SubtreeAggregate};

@@ -30,9 +30,11 @@
 mod injector;
 mod plan;
 mod validator;
+mod wire_plan;
 
 pub use injector::{
     apply_counter_fault, ActuationFaultKind, CounterFaultKind, FaultInjector, SummaryFaultKind,
 };
 pub use plan::{BudgetDropSpec, FaultPlan, NodeOutageSpec, PlanParseError};
 pub use validator::{SampleValidator, SampleVerdict};
+pub use wire_plan::{PartitionDirection, PartitionSpec, WireFaultPlan};

@@ -10,6 +10,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::wire_plan::WireFaultPlan;
+
 /// A scripted supply fault: at `at_s` the budget collapses to
 /// `factor` × the initial budget (a failed supply mid-round).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +62,10 @@ pub struct FaultPlan {
     pub budget_drops: Vec<BudgetDropSpec>,
     /// Scripted node outages.
     pub node_outages: Vec<NodeOutageSpec>,
+    /// Wire-level faults (frame drop/delay/dup/corrupt, resets,
+    /// one-way partitions). Host-level consumers (the simulators)
+    /// ignore this; fvs-net's `ChaosStream` enforces it.
+    pub wire: WireFaultPlan,
 }
 
 impl FaultPlan {
@@ -78,6 +84,7 @@ impl FaultPlan {
             && self.summary_late_rate <= 0.0
             && self.budget_drops.is_empty()
             && self.node_outages.is_empty()
+            && self.wire.is_quiet()
     }
 
     /// The default chaos mix used by the `chaos` experiment: moderate
@@ -100,6 +107,7 @@ impl FaultPlan {
                 down_s: 1.2,
                 up_s: 2.4,
             }],
+            wire: WireFaultPlan::chaos(),
         }
     }
 
@@ -117,6 +125,21 @@ impl FaultPlan {
     /// - `drop=F@T` — budget drops to fraction `F` at `T` s (repeatable)
     /// - `node=I@DOWN:UP` — node `I` offline during `[DOWN, UP)` s; omit
     ///   `:UP` for a permanent outage (repeatable)
+    ///
+    /// Wire-level clauses (enforced by fvs-net's `ChaosStream`; see
+    /// [`WireFaultPlan`]):
+    ///
+    /// - `wire=R` — per-frame drop rate (0–1)
+    /// - `delay=R[:HOLD_S]` — per-frame delay rate and hold time (s,
+    ///   default 0.05)
+    /// - `wdup=R` — per-frame duplication rate (`dup=` is the summary
+    ///   clause above)
+    /// - `corrupt=R` — per-frame truncation/bit-flip rate
+    /// - `reset=R` — per-frame connection-reset rate
+    /// - `partition=I@T[:T2]` — node `I`'s connection blackholed both
+    ///   ways during `[T, T2)` s; omit `:T2` for forever (repeatable)
+    /// - `partition_up=I@T[:T2]` / `partition_down=I@T[:T2]` — one-way
+    ///   variants (uplink = toward the coordinator)
     pub fn parse(spec: &str) -> Result<FaultPlan, PlanParseError> {
         let spec = spec.trim();
         if spec.is_empty() || spec == "none" {
@@ -183,13 +206,15 @@ impl FaultPlan {
                     });
                 }
                 other => {
-                    return Err(PlanParseError::bad(
-                        clause,
-                        match other {
-                            "" => "empty key",
-                            _ => "unknown key",
-                        },
-                    ))
+                    if !plan.wire.parse_clause(other, clause, value)? {
+                        return Err(PlanParseError::bad(
+                            clause,
+                            match other {
+                                "" => "empty key",
+                                _ => "unknown key",
+                            },
+                        ));
+                    }
                 }
             }
         }
@@ -208,7 +233,7 @@ fn parse_f64(clause: &str, s: &str) -> Result<f64, PlanParseError> {
     Ok(x)
 }
 
-fn parse_rate(clause: &str, s: &str) -> Result<f64, PlanParseError> {
+pub(crate) fn parse_rate(clause: &str, s: &str) -> Result<f64, PlanParseError> {
     let x = parse_f64(clause, s)?;
     if !(0.0..=1.0).contains(&x) {
         return Err(PlanParseError::bad(clause, "rate must be in [0, 1]"));
@@ -216,7 +241,7 @@ fn parse_rate(clause: &str, s: &str) -> Result<f64, PlanParseError> {
     Ok(x)
 }
 
-fn parse_nonneg(clause: &str, s: &str) -> Result<f64, PlanParseError> {
+pub(crate) fn parse_nonneg(clause: &str, s: &str) -> Result<f64, PlanParseError> {
     let x = parse_f64(clause, s)?;
     if x < 0.0 {
         return Err(PlanParseError::bad(clause, "must be >= 0"));
@@ -232,7 +257,7 @@ pub struct PlanParseError {
 }
 
 impl PlanParseError {
-    fn bad(clause: &str, reason: &'static str) -> Self {
+    pub(crate) fn bad(clause: &str, reason: &'static str) -> Self {
         PlanParseError {
             clause: clause.to_string(),
             reason,
@@ -288,6 +313,22 @@ mod tests {
         assert_eq!(p.node_outages.len(), 2);
         assert_eq!(p.node_outages[0].up_s, 1.6);
         assert!(p.node_outages[1].up_s.is_infinite());
+    }
+
+    #[test]
+    fn wire_clauses_ride_along_with_host_clauses() {
+        let p = FaultPlan::parse("loss=0.1, wire=0.05, partition=2@5:9, reset=0.01").unwrap();
+        assert_eq!(p.summary_loss_rate, 0.1);
+        assert_eq!(p.wire.drop_rate, 0.05);
+        assert_eq!(p.wire.reset_rate, 0.01);
+        assert_eq!(p.wire.partitions.len(), 1);
+        assert!(!p.is_quiet());
+        // A wire-only plan is not quiet either.
+        assert!(!FaultPlan::parse("wire=0.05").unwrap().is_quiet());
+        // `dup=` stays the summary clause; `wdup=` is the frame clause.
+        let p = FaultPlan::parse("dup=0.2, wdup=0.3").unwrap();
+        assert_eq!(p.summary_duplicate_rate, 0.2);
+        assert_eq!(p.wire.duplicate_rate, 0.3);
     }
 
     #[test]

@@ -6,23 +6,80 @@
 //! measurement window every `summary_every` ticks, ship the
 //! [`NodeSummary`] upstream, and apply whatever frequency ceilings come
 //! back. When the link drops the agent reconnects with the exponential
-//! backoff discipline of the degradation ladder — base, 2×, 4×, … up to
-//! a ceiling, reset on the first successful handshake — while the
+//! backoff discipline of the degradation ladder — a seedable,
+//! equal-jitter [`ReconnectLadder`]: base, 2×, 4×, … up to a ceiling,
+//! each rung drawn uniformly from [rung/2, rung] so a herd of agents
+//! losing one coordinator does not reconnect in lockstep — while the
 //! machine keeps running at its last-commanded frequencies (exactly the
 //! mute-but-running scenario the coordinator's conservative charging
 //! defends against).
+//!
+//! Epoch fencing: the agent remembers the highest coordinator epoch it
+//! has ever acknowledged and refuses to serve a coordinator presenting
+//! a lower one — whether at handshake (a refused hello, or an ack
+//! carrying a stale epoch) or mid-connection (a stale heartbeat). A
+//! fenced coordinator is retried through the ladder, because the fence
+//! is about *which* coordinator is current, not a permanent protocol
+//! mismatch; only a schema-version refusal is terminal.
 
+use crate::chaos::{ChaosSide, ChaosStream};
 use crate::error::FvsError;
 use crate::wire::{encode, FrameReader, WireMsg, SCHEMA_VERSION};
+use crate::WireChaos;
 use fvs_cluster::ClusterNode;
 use fvs_sim::Pacer;
-use fvs_telemetry::Tracer;
+use fvs_telemetry::{Telemetry, Tracer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Seedable equal-jitter exponential backoff: rung `k` sleeps a
+/// uniform draw from `[base·2ᵏ/2, base·2ᵏ]`, capped at `max`. Pure
+/// state machine — the caller does the sleeping — so the jitter
+/// distribution is unit-testable without a clock.
+#[derive(Debug)]
+pub struct ReconnectLadder {
+    base: Duration,
+    max: Duration,
+    rung: Duration,
+    rng: StdRng,
+}
+
+impl ReconnectLadder {
+    /// A ladder climbing from `base` to `max`, jittered by `seed`.
+    pub fn new(base: Duration, max: Duration, seed: u64) -> Self {
+        ReconnectLadder {
+            base,
+            max: max.max(base),
+            rung: base,
+            rng: StdRng::seed_from_u64(seed ^ 0xBACC_0FF5_EED5_0DA5),
+        }
+    }
+
+    /// The next delay to sleep: equal-jitter on the current rung, then
+    /// climb (doubling, capped at the ceiling).
+    pub fn next_delay(&mut self) -> Duration {
+        let jitter = 0.5 + 0.5 * self.rng.gen::<f64>();
+        let delay = self.rung.mul_f64(jitter);
+        self.rung = (self.rung * 2).min(self.max);
+        delay
+    }
+
+    /// The rung the *next* `next_delay` will jitter around.
+    pub fn rung(&self) -> Duration {
+        self.rung
+    }
+
+    /// Back to the bottom rung (called on a successful handshake).
+    pub fn reset(&mut self) {
+        self.rung = self.base;
+    }
+}
 
 /// Tunables of one node agent.
 #[derive(Debug, Clone)]
@@ -42,12 +99,26 @@ pub struct AgentConfig {
     pub backoff_base: Duration,
     /// Ceiling of the backoff ladder.
     pub backoff_max: Duration,
+    /// Seed for the ladder's jitter (mixed with the node id, so a
+    /// fleet sharing one config still spreads out).
+    pub jitter_seed: u64,
+    /// Declare the link dead when nothing — ceiling, heartbeat,
+    /// anything — arrives for this long, and reconnect. Heartbeats
+    /// from the coordinator make this time-bounded even on rounds that
+    /// command the node nothing.
+    pub link_timeout: Duration,
     /// Schema version to announce (tests speak wrong versions on
     /// purpose; everything real uses [`SCHEMA_VERSION`]).
     pub version: u32,
+    /// Wire-chaos injection on this agent's socket (quiet = pure
+    /// passthrough).
+    pub chaos: WireChaos,
     /// Causal span tracer: `node.apply` spans, one per ceiling applied
     /// to the machine.
     pub tracer: Tracer,
+    /// Event journal (wire-fault events injected by `chaos` land
+    /// here).
+    pub telemetry: Telemetry,
 }
 
 impl AgentConfig {
@@ -60,9 +131,13 @@ impl AgentConfig {
             pace: Duration::from_millis(2),
             backoff_base: Duration::from_millis(50),
             backoff_max: Duration::from_millis(800),
+            jitter_seed: 0,
+            link_timeout: Duration::from_secs(3),
             timed: false,
             version: SCHEMA_VERSION,
+            chaos: WireChaos::none(),
             tracer: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -98,15 +173,39 @@ impl AgentConfig {
         self
     }
 
+    /// Seed the reconnect jitter.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Override the dead-link timeout.
+    pub fn with_link_timeout(mut self, timeout: Duration) -> Self {
+        self.link_timeout = timeout;
+        self
+    }
+
     /// Announce a different schema version (version-negotiation tests).
     pub fn with_version(mut self, version: u32) -> Self {
         self.version = version;
         self
     }
 
+    /// Inject wire chaos on this agent's socket.
+    pub fn with_chaos(mut self, chaos: WireChaos) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
     /// Attach a causal span tracer.
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attach an event journal.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -119,6 +218,9 @@ impl AgentConfig {
         }
         if self.backoff_base > self.backoff_max {
             return Err(FvsError::config("backoff_base exceeds backoff_max"));
+        }
+        if self.link_timeout.is_zero() {
+            return Err(FvsError::config("link_timeout must be positive"));
         }
         Ok(())
     }
@@ -135,6 +237,9 @@ pub struct AgentReport {
     pub ceilings_applied: u64,
     /// Times the connection was (re-)established after the first.
     pub reconnects: u64,
+    /// Stale coordinators refused (handshake or heartbeat epoch below
+    /// the highest this agent has acknowledged).
+    pub epochs_fenced: u64,
     /// The coordinator refused our schema version.
     pub version_rejected: bool,
     /// Node power when the agent stopped (W).
@@ -150,6 +255,7 @@ pub struct AgentStats {
     summaries_sent: AtomicU64,
     ceilings_applied: AtomicU64,
     reconnects: AtomicU64,
+    epochs_fenced: AtomicU64,
     /// Latest node power as f64 bits.
     power_bits: AtomicU64,
 }
@@ -173,6 +279,11 @@ impl AgentStats {
     /// Times the connection was re-established after the first.
     pub fn reconnects(&self) -> u64 {
         self.reconnects.load(Ordering::SeqCst)
+    }
+
+    /// Stale coordinators fenced so far.
+    pub fn epochs_fenced(&self) -> u64 {
+        self.epochs_fenced.load(Ordering::SeqCst)
     }
 
     /// The node's power at the last summary window (W).
@@ -264,17 +375,30 @@ fn interruptible_sleep(total: Duration, flags: &Flags) {
 }
 
 enum Handshake {
-    Accepted,
-    Refused,
+    /// Accepted; the coordinator's epoch (to remember as highest-seen).
+    Accepted(u64),
+    /// Refused over schema version: permanent, stop retrying.
+    RefusedVersion,
+    /// Refused (or acked) by a coordinator whose epoch is below our
+    /// highest-seen: a stale survivor. Retry through the ladder — the
+    /// *current* coordinator may come back on this address.
+    Fenced,
     Dead,
 }
 
 /// Send `Hello`, wait briefly for the coordinator's verdict.
-fn handshake(stream: &mut TcpStream, node: usize, procs: usize, version: u32) -> Handshake {
+fn handshake(
+    stream: &mut ChaosStream,
+    node: usize,
+    procs: usize,
+    version: u32,
+    last_epoch: u64,
+) -> Handshake {
     let hello = WireMsg::Hello {
         node,
         procs,
         version,
+        last_epoch,
     };
     let Ok(frame) = encode(&hello) else {
         return Handshake::Dead;
@@ -291,12 +415,30 @@ fn handshake(stream: &mut TcpStream, node: usize, procs: usize, version: u32) ->
             Ok(n) => {
                 reader.feed(&buf[..n]);
                 match reader.next_frame() {
-                    Ok(Some(WireMsg::HelloAck { accepted: true, .. })) => {
-                        return Handshake::Accepted
+                    Ok(Some(WireMsg::HelloAck {
+                        accepted: true,
+                        epoch,
+                        ..
+                    })) => {
+                        if epoch < last_epoch {
+                            // An old-build coordinator (epoch 0) — or a
+                            // stale one that doesn't know to refuse us.
+                            // Either way, not the coordinator we last
+                            // obeyed: fence it ourselves.
+                            return Handshake::Fenced;
+                        }
+                        return Handshake::Accepted(epoch);
                     }
                     Ok(Some(WireMsg::HelloAck {
-                        accepted: false, ..
-                    })) => return Handshake::Refused,
+                        accepted: false,
+                        version: their_version,
+                        epoch,
+                    })) => {
+                        if their_version == version && epoch < last_epoch {
+                            return Handshake::Fenced;
+                        }
+                        return Handshake::RefusedVersion;
+                    }
                     Ok(Some(_)) | Ok(None) => continue,
                     Err(_) => return Handshake::Dead,
                 }
@@ -327,38 +469,67 @@ fn agent_loop(
         summaries_sent: 0,
         ceilings_applied: 0,
         reconnects: 0,
+        epochs_fenced: 0,
         version_rejected: false,
         final_power_w: 0.0,
     };
-    let mut backoff = config.backoff_base;
+    let mut ladder = ReconnectLadder::new(
+        config.backoff_base,
+        config.backoff_max,
+        config.jitter_seed ^ (node_id as u64).wrapping_mul(0x517C_C1B7_2722_0A95),
+    );
     let mut ever_connected = false;
+    // Highest coordinator epoch ever acknowledged: the fence.
+    let mut last_epoch = 0u64;
+    let chaos_start = Instant::now();
+    let mut connect_seq = 0u64;
+    let fence = |report: &mut AgentReport| {
+        report.epochs_fenced += 1;
+        stats.epochs_fenced.fetch_add(1, Ordering::SeqCst);
+    };
 
     'outer: loop {
         if flags.stop.load(Ordering::SeqCst) || flags.kill.load(Ordering::SeqCst) {
             break;
         }
-        let mut stream = match TcpStream::connect(addr) {
+        let raw = match TcpStream::connect(addr) {
             Ok(s) => s,
             Err(_) => {
-                // The reconnect ladder: base, 2×, 4×, … up to the cap.
-                interruptible_sleep(backoff, &flags);
-                backoff = (backoff * 2).min(config.backoff_max);
+                // The reconnect ladder: jittered base, 2×, 4×, … cap.
+                interruptible_sleep(ladder.next_delay(), &flags);
                 continue;
             }
         };
+        connect_seq += 1;
+        let mut stream = ChaosStream::wrap(
+            raw,
+            &config.chaos,
+            ChaosSide::Agent,
+            connect_seq,
+            chaos_start,
+            config.telemetry.clone(),
+            None,
+        );
+        stream.set_node(node_id);
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
-        match handshake(&mut stream, node_id, procs, config.version) {
-            Handshake::Accepted => {}
-            Handshake::Refused => {
+        match handshake(&mut stream, node_id, procs, config.version, last_epoch) {
+            Handshake::Accepted(epoch) => {
+                last_epoch = epoch;
+            }
+            Handshake::RefusedVersion => {
                 // A version refusal is permanent: retrying with the
                 // same schema can never succeed, so don't storm.
                 report.version_rejected = true;
                 break 'outer;
             }
+            Handshake::Fenced => {
+                fence(&mut report);
+                interruptible_sleep(ladder.next_delay(), &flags);
+                continue;
+            }
             Handshake::Dead => {
-                interruptible_sleep(backoff, &flags);
-                backoff = (backoff * 2).min(config.backoff_max);
+                interruptible_sleep(ladder.next_delay(), &flags);
                 continue;
             }
         }
@@ -368,11 +539,14 @@ fn agent_loop(
         }
         ever_connected = true;
         stats.connected.store(true, Ordering::SeqCst);
-        backoff = config.backoff_base;
+        ladder.reset();
 
         let mut reader = FrameReader::new();
         let mut buf = [0u8; 4096];
         let mut ticks = 0u32;
+        // Dead-link detection: any frame (ceiling or heartbeat) feeds
+        // this; silence past `link_timeout` forces a reconnect.
+        let mut last_rx = Instant::now();
         // Real-time mode: anchor the pacer at connection time so every
         // tick lands on an absolute deadline from here on out.
         let mut pacer = config
@@ -414,6 +588,7 @@ fn agent_loop(
             match stream.read(&mut buf) {
                 Ok(0) => link_dead = true, // coordinator went away
                 Ok(n) => {
+                    last_rx = Instant::now();
                     reader.feed(&buf[..n]);
                     loop {
                         match reader.next_frame() {
@@ -424,6 +599,16 @@ fn agent_loop(
                                     report.ceilings_applied += 1;
                                     stats.ceilings_applied.fetch_add(1, Ordering::SeqCst);
                                 }
+                            }
+                            Ok(Some(WireMsg::Heartbeat { epoch })) => {
+                                if epoch < last_epoch {
+                                    // A stale coordinator is feeding
+                                    // this link: fence mid-connection.
+                                    fence(&mut report);
+                                    link_dead = true;
+                                    break;
+                                }
+                                last_epoch = epoch;
                             }
                             Ok(Some(_)) => {}
                             Ok(None) => break,
@@ -439,6 +624,9 @@ fn agent_loop(
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut => {}
                 Err(_) => link_dead = true,
+            }
+            if last_rx.elapsed() > config.link_timeout {
+                link_dead = true;
             }
             if link_dead {
                 break;
@@ -461,4 +649,64 @@ fn agent_loop(
         .power_bits
         .store(report.final_power_w.to_bits(), Ordering::SeqCst);
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_climbs_doubles_and_caps() {
+        let mut ladder =
+            ReconnectLadder::new(Duration::from_millis(50), Duration::from_millis(400), 7);
+        let expected_rungs = [50u64, 100, 200, 400, 400, 400];
+        for &rung_ms in &expected_rungs {
+            let rung = Duration::from_millis(rung_ms);
+            assert_eq!(ladder.rung(), rung);
+            let d = ladder.next_delay();
+            assert!(
+                d >= rung / 2 && d <= rung,
+                "delay {d:?} outside [{rung:?}/2, {rung:?}]"
+            );
+        }
+        ladder.reset();
+        assert_eq!(ladder.rung(), Duration::from_millis(50));
+    }
+
+    /// Satellite: the jitter actually spreads a fleet out. Across many
+    /// seeds the first-rung delays must cover the [base/2, base] range
+    /// instead of clustering — we check both ends of the range get
+    /// hits and that not everyone draws the same delay.
+    #[test]
+    fn jitter_spreads_distinct_seeds_across_the_rung() {
+        let base = Duration::from_millis(100);
+        let max = Duration::from_secs(1);
+        let delays: Vec<Duration> = (0u64..64)
+            .map(|seed| ReconnectLadder::new(base, max, seed).next_delay())
+            .collect();
+        for d in &delays {
+            assert!(*d >= base / 2 && *d <= base);
+        }
+        let lower_half = delays.iter().filter(|d| **d < base * 3 / 4).count();
+        let upper_half = delays.len() - lower_half;
+        assert!(
+            lower_half >= 10 && upper_half >= 10,
+            "jitter is not spreading: {lower_half} low vs {upper_half} high"
+        );
+        let first = delays[0];
+        assert!(
+            delays.iter().any(|d| *d != first),
+            "every seed drew the same delay"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_jitter_sequence() {
+        let mk = || {
+            let mut l =
+                ReconnectLadder::new(Duration::from_millis(80), Duration::from_millis(640), 42);
+            (0..6).map(|_| l.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
 }

@@ -15,18 +15,34 @@
 //! in your future") and the heartbeat timeout measures exactly what the
 //! paper's ΔT argument needs: how long since the coordinator last heard
 //! from the node.
+//!
+//! Crash recovery: with snapshots configured the scheduler persists a
+//! checksummed [`Snapshot`] on a cadence *and* write-ahead on every
+//! budget change, so `--resume` restores the fencing epoch (+1), the
+//! enforced budget (the stricter of snapshot and configured), every
+//! node's last-charged ceiling and any open ΔT episode. Restored
+//! summaries are re-stamped stale on purpose: until a node reports
+//! fresh, the coordinator charges its last-commanded ceiling (or worst
+//! case) — a crash can therefore never *un-enforce* a budget drop. The
+//! resync grace window is visible on `/healthz` as a distinct
+//! `resyncing` 503 until the `resync_complete` event fires.
 
+use crate::chaos::{ChaosSide, ChaosStream};
 use crate::error::FvsError;
 use crate::obs::{HealthReport, ObsHandles, ObsServer};
-use crate::wire::{encode, FrameReader, WireMsg, SCHEMA_VERSION};
-use fvs_cluster::{FrequencyCommand, GlobalCoordinator};
+use crate::snapshot::{Snapshot, SnapshotEpisode, SnapshotNode, SnapshotStore};
+use crate::wire::{encode, FrameFault, FrameReader, WireMsg, SCHEMA_VERSION};
+use crate::WireChaos;
+use fvs_cluster::{FrequencyCommand, GlobalCoordinator, NodeRestore};
 use fvs_sched::FvsstAlgorithm;
 use fvs_telemetry::{
-    BudgetDeadlineTracker, ComplianceRecord, Counter, Gauge, Histogram, Telemetry, Tracer,
+    BudgetDeadlineTracker, ComplianceRecord, Counter, Gauge, Histogram, SchedEvent, Telemetry,
+    Tracer, WireFaultKind,
 };
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -45,6 +61,24 @@ pub struct CoordinatorConfig {
     pub deadline_s: f64,
     /// Budget in force at startup (W).
     pub initial_budget_w: f64,
+    /// Where crash-recovery snapshots live (`None` = no durability).
+    pub snapshot_path: Option<PathBuf>,
+    /// Snapshot cadence (s); budget changes snapshot immediately
+    /// regardless (write-ahead).
+    pub snapshot_every_s: f64,
+    /// Restore from the snapshot at `snapshot_path` on startup; a
+    /// missing or damaged snapshot degrades to a cold start.
+    pub resume: bool,
+    /// After a resume, how long `/healthz` reports `resyncing` at most
+    /// — the window in which restored (stale-by-construction) charges
+    /// are replaced by fresh summaries.
+    pub resync_grace_s: f64,
+    /// Drop a connection when no frame arrives for this long (the
+    /// coordinator-side dead-link bound; agents send summaries far
+    /// more often than this when healthy).
+    pub conn_deadline_s: f64,
+    /// Wire-chaos injection on accepted sockets (quiet = passthrough).
+    pub chaos: WireChaos,
     /// Where events and `net.*` metrics go.
     pub telemetry: Telemetry,
     /// Causal span tracer: `net.round` → `cluster.round` → two-pass
@@ -62,6 +96,12 @@ impl CoordinatorConfig {
             worst_case_node_w: fvs_cluster::DEFAULT_WORST_CASE_NODE_W,
             deadline_s: 1.0,
             initial_budget_w: f64::INFINITY,
+            snapshot_path: None,
+            snapshot_every_s: 1.0,
+            resume: false,
+            resync_grace_s: 2.0,
+            conn_deadline_s: 5.0,
+            chaos: WireChaos::none(),
             telemetry: Telemetry::disabled(),
             tracer: Tracer::disabled(),
         }
@@ -97,6 +137,37 @@ impl CoordinatorConfig {
         self
     }
 
+    /// Persist crash-recovery snapshots at `path`, every `every_s`.
+    pub fn with_snapshots(mut self, path: impl Into<PathBuf>, every_s: f64) -> Self {
+        self.snapshot_path = Some(path.into());
+        self.snapshot_every_s = every_s;
+        self
+    }
+
+    /// Restore from the configured snapshot on startup.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Override the post-resume resync grace window.
+    pub fn with_resync_grace_s(mut self, grace_s: f64) -> Self {
+        self.resync_grace_s = grace_s;
+        self
+    }
+
+    /// Override the per-connection read deadline.
+    pub fn with_conn_deadline_s(mut self, deadline_s: f64) -> Self {
+        self.conn_deadline_s = deadline_s;
+        self
+    }
+
+    /// Inject wire chaos on every accepted socket.
+    pub fn with_chaos(mut self, chaos: WireChaos) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
     /// Attach a telemetry pipeline.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
@@ -120,6 +191,24 @@ impl CoordinatorConfig {
         }
         if !(self.deadline_s.is_finite() && self.deadline_s > 0.0) {
             return Err(FvsError::config("deadline_s must be finite and positive"));
+        }
+        if !(self.snapshot_every_s.is_finite() && self.snapshot_every_s > 0.0) {
+            return Err(FvsError::config(
+                "snapshot_every_s must be finite and positive",
+            ));
+        }
+        if !(self.resync_grace_s.is_finite() && self.resync_grace_s > 0.0) {
+            return Err(FvsError::config(
+                "resync_grace_s must be finite and positive",
+            ));
+        }
+        if !(self.conn_deadline_s.is_finite() && self.conn_deadline_s > 0.0) {
+            return Err(FvsError::config(
+                "conn_deadline_s must be finite and positive",
+            ));
+        }
+        if self.resume && self.snapshot_path.is_none() {
+            return Err(FvsError::config("resume requires a snapshot_path"));
         }
         Ok(())
     }
@@ -146,6 +235,10 @@ pub struct CoordinatorStatus {
     pub compliances: u64,
     /// Deadline violations so far.
     pub violations: u64,
+    /// The fencing epoch this coordinator serves.
+    pub epoch: u64,
+    /// Inside the post-resume resync grace window.
+    pub resyncing: bool,
     /// The most recently closed compliance episode.
     pub last_compliance: Option<ComplianceRecord>,
 }
@@ -162,6 +255,17 @@ struct NetMetrics {
     connects: Arc<Counter>,
     disconnects: Arc<Counter>,
     version_rejects: Arc<Counter>,
+    /// Stale-epoch hellos refused (split-brain fences).
+    epoch_rejects: Arc<Counter>,
+    /// Wire faults observed: injected (chaos) and organic (frame
+    /// decode failures) alike.
+    wire_faults: Arc<Counter>,
+    /// Frames refused for an oversize length prefix specifically.
+    oversize_frames: Arc<Counter>,
+    /// Crash-recovery snapshots persisted.
+    snapshots_written: Arc<Counter>,
+    /// Keep-alive heartbeats pushed downlink.
+    heartbeats_tx: Arc<Counter>,
     connections: Arc<Gauge>,
     /// Wall time of one scheduler-thread round (drain → schedule →
     /// push), quantile-estimable for the `/metrics` p99.
@@ -184,6 +288,11 @@ impl NetMetrics {
                 connects: scope.counter("connects"),
                 disconnects: scope.counter("disconnects"),
                 version_rejects: scope.counter("version_rejects"),
+                epoch_rejects: scope.counter("epoch_rejects"),
+                wire_faults: scope.counter("wire_faults"),
+                oversize_frames: scope.counter("oversize_frames"),
+                snapshots_written: scope.counter("snapshots_written"),
+                heartbeats_tx: scope.counter("heartbeats_tx"),
                 connections: scope.gauge("connections"),
                 round_wall_s: scope.histogram("round_wall_s", &Histogram::latency_bounds()),
                 fanout_wall_s: scope.histogram("fanout_wall_s", &Histogram::latency_bounds()),
@@ -200,10 +309,18 @@ struct Shared {
     /// reacts on its next slice instead of waiting out the period.
     budget_bits: AtomicU64,
     budget_epoch: AtomicU64,
+    /// The fencing epoch this coordinator serves (monotonic across
+    /// resumes: cold start = 1, resume = snapshot + 1).
+    epoch: AtomicU64,
+    /// Post-resume resync deadline in coordinator seconds, as f64
+    /// bits; NaN = not resyncing. Cleared by the scheduler thread when
+    /// it emits `resync_complete`, so `/healthz` flips strictly after
+    /// the event.
+    resync_deadline_bits: AtomicU64,
     status: Mutex<CoordinatorStatus>,
     /// Downlink sockets by node id (write half; `try_clone` of the
     /// reader's stream). Poisoning is impossible: writers only send.
-    writers: Mutex<HashMap<usize, TcpStream>>,
+    writers: Mutex<HashMap<usize, ChaosStream>>,
     /// When the last round finished, as f64-bit seconds on the server's
     /// monotonic clock (`/healthz` serves the age).
     last_round_bits: AtomicU64,
@@ -218,6 +335,31 @@ pub struct CoordinatorServer {
     telemetry: Telemetry,
     tracer: Tracer,
     start: Instant,
+}
+
+/// Everything a connection handler needs, bundled once.
+struct ConnCtx {
+    shared: Arc<Shared>,
+    metrics: Arc<Option<NetMetrics>>,
+    uplink_tx: crossbeam::channel::Sender<Uplink>,
+    start: Instant,
+    telemetry: Telemetry,
+    conn_deadline: Duration,
+    chaos: WireChaos,
+}
+
+/// Scheduler-thread wiring (the loop's share of the config).
+struct SchedCtx {
+    shared: Arc<Shared>,
+    metrics: Arc<Option<NetMetrics>>,
+    telemetry: Telemetry,
+    tracer: Tracer,
+    period_s: f64,
+    heartbeat_timeout_s: f64,
+    nodes: usize,
+    start: Instant,
+    store: Option<SnapshotStore>,
+    snapshot_every_s: f64,
 }
 
 impl CoordinatorServer {
@@ -239,12 +381,83 @@ impl CoordinatorServer {
 
         let telemetry = config.telemetry.clone();
         let metrics = Arc::new(NetMetrics::from(&telemetry));
+        let store = config.snapshot_path.as_ref().map(SnapshotStore::new);
+
+        // Resume path: load the snapshot (a damaged or missing file is
+        // a cold start — worst-case charging is always safe), bump the
+        // epoch past the crashed incarnation, and keep the *stricter*
+        // of the persisted and configured budgets so a pre-crash
+        // budget drop stays enforced.
+        let mut epoch = 1u64;
+        let mut initial_budget = config.initial_budget_w;
+        let mut restored: Option<Snapshot> = None;
+        if config.resume {
+            if let Some(store) = &store {
+                match store.load() {
+                    Ok(snap) => {
+                        epoch = snap.epoch.saturating_add(1);
+                        if snap.budget_w < initial_budget {
+                            initial_budget = snap.budget_w;
+                        }
+                        restored = Some(snap);
+                    }
+                    Err(e) => {
+                        eprintln!("fvsst-coordinator: snapshot unusable ({e}); cold start");
+                    }
+                }
+            }
+        }
+
+        let mut coordinator =
+            GlobalCoordinator::with_telemetry(algorithm, nodes, telemetry.clone())
+                .with_heartbeat_timeout(config.heartbeat_timeout_s)
+                .with_worst_case_node_w(config.worst_case_node_w)
+                .with_tracer(config.tracer.clone());
+        let mut tracker = BudgetDeadlineTracker::new(config.deadline_s);
+        let mut initial_rounds = 0u64;
+        if let Some(snap) = &restored {
+            for (i, n) in snap.nodes.iter().enumerate().take(nodes) {
+                let mut r = n.to_restore();
+                if let Some(s) = &mut r.summary {
+                    // Re-stamp the restored summary *stale by
+                    // construction*: the first liveness sweep charges
+                    // max(reported, commanded) — the last-charged
+                    // ceiling — until a genuinely fresh summary lands.
+                    // (Not `clamp`: a NaN age must sanitize to 0, and
+                    // clamp would pass the NaN through.)
+                    let age_s = if n.age_s.is_finite() {
+                        n.age_s.clamp(0.0, 1e9)
+                    } else {
+                        0.0
+                    };
+                    s.sent_at_s = -(age_s + config.heartbeat_timeout_s + 1.0);
+                }
+                coordinator.restore_node(i, r);
+            }
+            if let Some(ep) = &snap.episode {
+                // Rebase the open ΔT episode onto this process's clock
+                // (which starts near zero): time already burned before
+                // the crash stays burned.
+                tracker.restore_episode(ep.to_open(0.0));
+            }
+            initial_rounds = snap.rounds;
+        }
+
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
-            budget_bits: AtomicU64::new(config.initial_budget_w.to_bits()),
+            budget_bits: AtomicU64::new(initial_budget.to_bits()),
             budget_epoch: AtomicU64::new(0),
+            epoch: AtomicU64::new(epoch),
+            resync_deadline_bits: AtomicU64::new(if restored.is_some() {
+                config.resync_grace_s.to_bits()
+            } else {
+                f64::NAN.to_bits()
+            }),
             status: Mutex::new(CoordinatorStatus {
-                budget_w: config.initial_budget_w,
+                budget_w: initial_budget,
+                rounds: initial_rounds,
+                epoch,
+                resyncing: restored.is_some(),
                 ..CoordinatorStatus::default()
             }),
             writers: Mutex::new(HashMap::new()),
@@ -253,43 +466,47 @@ impl CoordinatorServer {
         let start = Instant::now();
         let (uplink_tx, uplink_rx) = crossbeam::channel::unbounded::<Uplink>();
 
+        if let Some(snap) = &restored {
+            telemetry.emit(SchedEvent::CoordinatorResumed {
+                t_s: 0.0,
+                epoch,
+                budget_w: initial_budget,
+                restored_nodes: snap.nodes.len().min(nodes) as u32,
+                grace_s: config.resync_grace_s,
+            });
+        }
+
         let accept_thread = {
-            let shared = Arc::clone(&shared);
-            let metrics = Arc::clone(&metrics);
-            let uplink_tx = uplink_tx.clone();
+            let ctx = Arc::new(ConnCtx {
+                shared: Arc::clone(&shared),
+                metrics: Arc::clone(&metrics),
+                uplink_tx: uplink_tx.clone(),
+                start,
+                telemetry: telemetry.clone(),
+                conn_deadline: Duration::from_secs_f64(config.conn_deadline_s),
+                chaos: config.chaos.clone(),
+            });
             std::thread::spawn(move || {
-                accept_loop(listener, shared, metrics, uplink_tx, start);
+                accept_loop(listener, ctx);
             })
         };
 
         let tracer = config.tracer.clone();
         let sched_thread = {
-            let shared = Arc::clone(&shared);
-            let metrics = Arc::clone(&metrics);
-            let coordinator =
-                GlobalCoordinator::with_telemetry(algorithm, nodes, telemetry.clone())
-                    .with_heartbeat_timeout(config.heartbeat_timeout_s)
-                    .with_worst_case_node_w(config.worst_case_node_w)
-                    .with_tracer(tracer.clone());
-            let tracker = BudgetDeadlineTracker::new(config.deadline_s);
-            let telemetry = telemetry.clone();
-            let tracer = tracer.clone();
-            let period_s = config.period_s;
-            let heartbeat_timeout_s = config.heartbeat_timeout_s;
+            let ctx = SchedCtx {
+                shared: Arc::clone(&shared),
+                metrics: Arc::clone(&metrics),
+                telemetry: telemetry.clone(),
+                tracer: tracer.clone(),
+                period_s: config.period_s,
+                heartbeat_timeout_s: config.heartbeat_timeout_s,
+                nodes,
+                start,
+                store,
+                snapshot_every_s: config.snapshot_every_s,
+            };
             std::thread::spawn(move || {
-                scheduler_loop(
-                    coordinator,
-                    tracker,
-                    shared,
-                    metrics,
-                    uplink_rx,
-                    telemetry,
-                    tracer,
-                    period_s,
-                    heartbeat_timeout_s,
-                    nodes,
-                    start,
-                );
+                scheduler_loop(coordinator, tracker, ctx, uplink_rx);
             })
         };
 
@@ -307,6 +524,11 @@ impl CoordinatorServer {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.local_addr
+    }
+
+    /// The fencing epoch this coordinator serves.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
     }
 
     /// Change the global budget; the scheduler reacts on its next slice
@@ -378,22 +600,30 @@ impl Drop for CoordinatorServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    shared: Arc<Shared>,
-    metrics: Arc<Option<NetMetrics>>,
-    uplink_tx: crossbeam::channel::Sender<Uplink>,
-    start: Instant,
-) {
+fn accept_loop(listener: TcpListener, ctx: Arc<ConnCtx>) {
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.stop.load(Ordering::SeqCst) {
+    let mut accept_seq = 0u64;
+    while !ctx.shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let shared = Arc::clone(&shared);
-                let metrics = Arc::clone(&metrics);
-                let uplink_tx = uplink_tx.clone();
+                accept_seq += 1;
+                let chaos_counter = ctx
+                    .metrics
+                    .as_ref()
+                    .as_ref()
+                    .map(|m| Arc::clone(&m.wire_faults));
+                let stream = ChaosStream::wrap(
+                    stream,
+                    &ctx.chaos,
+                    ChaosSide::Coordinator,
+                    accept_seq,
+                    ctx.start,
+                    ctx.telemetry.clone(),
+                    chaos_counter,
+                );
+                let ctx = Arc::clone(&ctx);
                 readers.push(std::thread::spawn(move || {
-                    reader_loop(stream, shared, metrics, uplink_tx, start);
+                    reader_loop(stream, ctx);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -409,29 +639,29 @@ fn accept_loop(
 
 /// One connection's uplink: handshake, then summaries until the socket
 /// dies. The first frame must be a `Hello` carrying an exact schema
-/// version match, otherwise the connection is refused with a negative
-/// `HelloAck` — explicit version negotiation instead of mis-parsing.
-fn reader_loop(
-    mut stream: TcpStream,
-    shared: Arc<Shared>,
-    metrics: Arc<Option<NetMetrics>>,
-    uplink_tx: crossbeam::channel::Sender<Uplink>,
-    start: Instant,
-) {
+/// version match *and* an epoch no newer than ours, otherwise the
+/// connection is refused with a negative `HelloAck` — explicit version
+/// negotiation and split-brain fencing instead of mis-parsing.
+fn reader_loop(mut stream: ChaosStream, ctx: Arc<ConnCtx>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
     let mut reader = FrameReader::new();
     let mut buf = [0u8; 4096];
     let mut node_id: Option<usize> = None;
-    if let Some(m) = metrics.as_ref() {
+    let metrics = ctx.metrics.as_ref().as_ref();
+    if let Some(m) = metrics {
         m.connects.inc();
     }
+    // Per-connection read deadline: a link that produces no bytes for
+    // `conn_deadline` is declared dead instead of lingering forever.
+    let mut last_rx = Instant::now();
 
-    'conn: while !shared.stop.load(Ordering::SeqCst) {
+    'conn: while !ctx.shared.stop.load(Ordering::SeqCst) {
         match stream.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => {
-                if let Some(m) = metrics.as_ref() {
+                last_rx = Instant::now();
+                if let Some(m) = metrics {
                     m.bytes_rx.add(n as u64);
                 }
                 reader.feed(&buf[..n]);
@@ -439,28 +669,54 @@ fn reader_loop(
                     match reader.next_frame() {
                         Ok(None) => break,
                         Ok(Some(msg)) => {
-                            if let Some(m) = metrics.as_ref() {
+                            if let Some(m) = metrics {
                                 m.frames_rx.inc();
                             }
                             match msg {
-                                WireMsg::Hello { node, version, .. } => {
-                                    let accepted = version == SCHEMA_VERSION;
+                                WireMsg::Hello {
+                                    node,
+                                    version,
+                                    last_epoch,
+                                    ..
+                                } => {
+                                    let my_epoch = ctx.shared.epoch.load(Ordering::SeqCst);
+                                    let version_ok = version == SCHEMA_VERSION;
+                                    // An agent that has acknowledged a
+                                    // *newer* epoch than ours means we
+                                    // are the stale survivor: refuse,
+                                    // so the split-brain resolves in
+                                    // favour of the current incumbent.
+                                    let epoch_ok = last_epoch <= my_epoch;
                                     let ack = WireMsg::HelloAck {
-                                        accepted,
+                                        accepted: version_ok && epoch_ok,
                                         version: SCHEMA_VERSION,
+                                        epoch: my_epoch,
                                     };
                                     if let Ok(frame) = encode(&ack) {
                                         let _ = stream.write_all(&frame);
                                     }
-                                    if !accepted {
-                                        if let Some(m) = metrics.as_ref() {
+                                    if !version_ok {
+                                        if let Some(m) = metrics {
                                             m.version_rejects.inc();
                                         }
                                         break 'conn;
                                     }
+                                    if !epoch_ok {
+                                        if let Some(m) = metrics {
+                                            m.epoch_rejects.inc();
+                                        }
+                                        ctx.telemetry.emit(SchedEvent::EpochFenced {
+                                            t_s: ctx.start.elapsed().as_secs_f64(),
+                                            node: node as u32,
+                                            peer_epoch: last_epoch,
+                                            local_epoch: my_epoch,
+                                        });
+                                        break 'conn;
+                                    }
                                     node_id = Some(node);
+                                    stream.set_node(node);
                                     if let Ok(down) = stream.try_clone() {
-                                        shared
+                                        ctx.shared
                                             .writers
                                             .lock()
                                             .expect("writers poisoned")
@@ -472,26 +728,51 @@ fn reader_loop(
                                     // coordinator's clock: liveness is
                                     // what *we* observed, not what the
                                     // agent claims.
-                                    summary.sent_at_s = start.elapsed().as_secs_f64();
+                                    summary.sent_at_s = ctx.start.elapsed().as_secs_f64();
                                     let node = summary.node;
-                                    let _ = uplink_tx
+                                    let _ = ctx
+                                        .uplink_tx
                                         .send(Uplink::Frame(node, WireMsg::Summary(summary)));
                                 }
                                 WireMsg::Bye { node } => {
-                                    let _ =
-                                        uplink_tx.send(Uplink::Frame(node, WireMsg::Bye { node }));
+                                    let _ = ctx
+                                        .uplink_tx
+                                        .send(Uplink::Frame(node, WireMsg::Bye { node }));
                                     break 'conn;
                                 }
                                 // Agents never send these; ignore.
-                                WireMsg::HelloAck { .. } | WireMsg::Ceiling(_) => {}
+                                WireMsg::HelloAck { .. }
+                                | WireMsg::Ceiling(_)
+                                | WireMsg::Heartbeat { .. } => {}
                             }
                         }
                         Err(_) => {
-                            // A desynchronised stream cannot be trusted;
-                            // drop it and let the agent reconnect.
-                            if let Some(m) = metrics.as_ref() {
+                            // A desynchronised stream cannot be
+                            // trusted; classify the organic fault for
+                            // the journal and metrics *before*
+                            // dropping it (satellite: oversize / bad
+                            // magic / decode are distinguishable from
+                            // injected chaos via `injected:false`).
+                            let kind = match reader.last_fault() {
+                                Some(FrameFault::Oversize) => {
+                                    if let Some(m) = metrics {
+                                        m.oversize_frames.inc();
+                                    }
+                                    WireFaultKind::Oversize
+                                }
+                                Some(FrameFault::BadMagic) => WireFaultKind::BadMagic,
+                                _ => WireFaultKind::Decode,
+                            };
+                            if let Some(m) = metrics {
                                 m.decode_errors.inc();
+                                m.wire_faults.inc();
                             }
+                            ctx.telemetry.emit(SchedEvent::WireFault {
+                                t_s: ctx.start.elapsed().as_secs_f64(),
+                                node: node_id.map(|n| n as u32).unwrap_or(u32::MAX),
+                                kind,
+                                injected: false,
+                            });
                             break 'conn;
                         }
                     }
@@ -501,17 +782,20 @@ fn reader_loop(
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                if last_rx.elapsed() > ctx.conn_deadline {
+                    break 'conn;
+                }
                 continue;
             }
             Err(_) => break,
         }
     }
 
-    if let Some(m) = metrics.as_ref() {
+    if let Some(m) = metrics {
         m.disconnects.inc();
     }
     if let Some(node) = node_id {
-        shared
+        ctx.shared
             .writers
             .lock()
             .expect("writers poisoned")
@@ -519,27 +803,105 @@ fn reader_loop(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Capture the coordinator's recoverable state as a [`Snapshot`].
+fn take_snapshot(
+    coordinator: &GlobalCoordinator,
+    tracker: &BudgetDeadlineTracker,
+    nodes: usize,
+    epoch: u64,
+    budget_w: f64,
+    now_s: f64,
+    rounds: u64,
+) -> Snapshot {
+    let nodes = (0..nodes)
+        .map(|i| {
+            let r = coordinator.export_node(i).unwrap_or(NodeRestore {
+                summary: None,
+                commanded_w: 0.0,
+                dead: false,
+                shape: None,
+            });
+            let age_s = r
+                .summary
+                .as_ref()
+                .map(|s| (now_s - s.sent_at_s).max(0.0))
+                .unwrap_or(f64::INFINITY);
+            SnapshotNode {
+                summary: r.summary,
+                age_s,
+                commanded_w: r.commanded_w,
+                dead: r.dead,
+                shape: r.shape,
+            }
+        })
+        .collect();
+    Snapshot {
+        epoch,
+        budget_w,
+        taken_at_s: now_s,
+        rounds,
+        nodes,
+        episode: tracker
+            .export_episode()
+            .map(|ep| SnapshotEpisode::from_open(&ep, now_s)),
+    }
+}
+
 fn scheduler_loop(
     mut coordinator: GlobalCoordinator,
     mut tracker: BudgetDeadlineTracker,
-    shared: Arc<Shared>,
-    metrics: Arc<Option<NetMetrics>>,
+    ctx: SchedCtx,
     uplink_rx: crossbeam::channel::Receiver<Uplink>,
-    telemetry: Telemetry,
-    tracer: Tracer,
-    period_s: f64,
-    heartbeat_timeout_s: f64,
-    nodes: usize,
-    start: Instant,
 ) {
+    let SchedCtx {
+        shared,
+        metrics,
+        telemetry,
+        tracer,
+        period_s,
+        heartbeat_timeout_s,
+        nodes,
+        start,
+        store,
+        snapshot_every_s,
+    } = ctx;
     let mut last_round = Instant::now();
     let mut seen_epoch = 0u64;
     let mut prev_budget = f64::from_bits(shared.budget_bits.load(Ordering::SeqCst));
+    let mut rounds = shared.status.lock().expect("status poisoned").rounds;
+    let my_epoch = shared.epoch.load(Ordering::SeqCst);
+    let mut last_snapshot_s = 0.0f64;
     // Last power each node reported, and when (coordinator clock) — the
-    // live half of the conservative power sum.
+    // live half of the conservative power sum. Restored nodes start
+    // with `last_seen = -inf` on purpose: they are *charged* (inside
+    // `reserved_w`) until they report on this incarnation's socket.
     let mut last_power = vec![0.0f64; nodes];
     let mut last_seen = vec![f64::NEG_INFINITY; nodes];
+
+    let write_snapshot = |coordinator: &GlobalCoordinator,
+                          tracker: &BudgetDeadlineTracker,
+                          budget: f64,
+                          now_s: f64,
+                          rounds: u64| {
+        let Some(store) = &store else { return };
+        let snap = take_snapshot(coordinator, tracker, nodes, my_epoch, budget, now_s, rounds);
+        match store.save(&snap) {
+            Ok(()) => {
+                if let Some(m) = metrics.as_ref() {
+                    m.snapshots_written.inc();
+                }
+                telemetry.emit(SchedEvent::SnapshotWritten {
+                    t_s: now_s,
+                    epoch: my_epoch,
+                    budget_w: budget,
+                    nodes: nodes as u32,
+                });
+            }
+            Err(e) => {
+                eprintln!("fvsst-coordinator: snapshot write failed: {e}");
+            }
+        }
+    };
 
     loop {
         let stopping = shared.stop.load(Ordering::SeqCst);
@@ -573,6 +935,11 @@ fn scheduler_loop(
             let now_s = start.elapsed().as_secs_f64();
             let budget = f64::from_bits(shared.budget_bits.load(Ordering::SeqCst));
             if budget != prev_budget {
+                // Write-ahead: persist the new budget *before* acting
+                // on it, so a crash between here and the push can
+                // never resurrect the old, laxer budget.
+                write_snapshot(&coordinator, &tracker, budget, now_s, rounds);
+                last_snapshot_s = now_s;
                 if let Some(ev) = tracker.on_budget_change(now_s, prev_budget, budget) {
                     telemetry.emit(ev);
                 }
@@ -597,18 +964,45 @@ fn scheduler_loop(
                 telemetry.emit(ev);
             }
 
+            // Resync bookkeeping: the grace window ends when every node
+            // has reported fresh on this incarnation, or the deadline
+            // lapses — whichever comes first. Clearing the bits here
+            // (and only here) is what flips `/healthz` to 200, so the
+            // `resync_complete` event strictly precedes the flip.
+            let resync_deadline =
+                f64::from_bits(shared.resync_deadline_bits.load(Ordering::SeqCst));
+            let mut resyncing = !resync_deadline.is_nan();
+            if resyncing {
+                let fresh = (0..nodes)
+                    .filter(|&i| now_s - last_seen[i] <= heartbeat_timeout_s)
+                    .count();
+                if fresh == nodes || now_s >= resync_deadline {
+                    telemetry.emit(SchedEvent::ResyncComplete {
+                        t_s: now_s,
+                        wall_s: now_s,
+                        fresh_nodes: fresh as u32,
+                        charged_nodes: (nodes - fresh) as u32,
+                    });
+                    shared
+                        .resync_deadline_bits
+                        .store(f64::NAN.to_bits(), Ordering::SeqCst);
+                    resyncing = false;
+                }
+            }
+
             {
                 let _push_span = tracer.span("net.push");
                 let push_started = Instant::now();
-                push_commands(&shared, metrics.as_ref().as_ref(), &commands);
+                push_commands(&shared, metrics.as_ref().as_ref(), &commands, my_epoch);
                 if let Some(m) = metrics.as_ref() {
                     m.fanout_wall_s
                         .observe(push_started.elapsed().as_secs_f64());
                 }
             }
 
+            rounds += 1;
             let mut status = shared.status.lock().expect("status poisoned");
-            status.rounds += 1;
+            status.rounds = rounds;
             status.nodes_reporting = coordinator.nodes_reporting();
             status.dead_nodes = coordinator.dead_nodes();
             status.reserved_w = reserved_w;
@@ -617,6 +1011,8 @@ fn scheduler_loop(
             status.connections = shared.writers.lock().expect("writers poisoned").len();
             status.compliances = tracker.compliances();
             status.violations = tracker.violations();
+            status.epoch = my_epoch;
+            status.resyncing = resyncing;
             status.last_compliance = tracker.last_compliance();
             if let Some(m) = metrics.as_ref() {
                 m.connections.set(status.connections as f64);
@@ -627,6 +1023,13 @@ fn scheduler_loop(
             shared
                 .last_round_bits
                 .store(start.elapsed().as_secs_f64().to_bits(), Ordering::SeqCst);
+
+            // Cadence snapshot (budget changes already snapshotted
+            // above, write-ahead).
+            if now_s - last_snapshot_s >= snapshot_every_s {
+                write_snapshot(&coordinator, &tracker, budget, now_s, rounds);
+                last_snapshot_s = now_s;
+            }
         }
         if stopping {
             break;
@@ -645,6 +1048,8 @@ fn health_from(shared: &Shared, start: Instant) -> HealthReport {
     let last_round_s = f64::from_bits(shared.last_round_bits.load(Ordering::SeqCst));
     let budget_compliant =
         !status.budget_w.is_finite() || status.conservative_power_w <= status.budget_w;
+    let resync_deadline = f64::from_bits(shared.resync_deadline_bits.load(Ordering::SeqCst));
+    let resyncing = !resync_deadline.is_nan();
     HealthReport {
         uptime_s: now_s,
         rounds: status.rounds,
@@ -658,12 +1063,29 @@ fn health_from(shared: &Shared, start: Instant) -> HealthReport {
         budget_compliant,
         compliances: status.compliances,
         violations: status.violations,
+        epoch: status.epoch,
+        resyncing,
+        resync_deadline_s: if resyncing {
+            (resync_deadline - now_s).max(0.0)
+        } else {
+            f64::NAN
+        },
         degraded: status.dead_nodes > 0 || !budget_compliant,
     }
 }
 
-fn push_commands(shared: &Shared, metrics: Option<&NetMetrics>, commands: &[FrequencyCommand]) {
+/// Push this round's ceilings, then a keep-alive [`WireMsg::Heartbeat`]
+/// to every connected node the round did not command — so agents can
+/// bound dead-link detection in time, and a stale coordinator gets
+/// fenced mid-connection by the epoch the heartbeat carries.
+fn push_commands(
+    shared: &Shared,
+    metrics: Option<&NetMetrics>,
+    commands: &[FrequencyCommand],
+    epoch: u64,
+) {
     let mut writers = shared.writers.lock().expect("writers poisoned");
+    let mut commanded: Vec<usize> = Vec::with_capacity(commands.len());
     for cmd in commands {
         let Some(stream) = writers.get_mut(&cmd.node) else {
             continue;
@@ -674,8 +1096,30 @@ fn push_commands(shared: &Shared, metrics: Option<&NetMetrics>, commands: &[Freq
             writers.remove(&cmd.node);
             continue;
         }
+        commanded.push(cmd.node);
         if let Some(m) = metrics {
             m.frames_tx.inc();
+        }
+    }
+    let Ok(heartbeat) = encode(&WireMsg::Heartbeat { epoch }) else {
+        return;
+    };
+    let idle: Vec<usize> = writers
+        .keys()
+        .filter(|n| !commanded.contains(n))
+        .copied()
+        .collect();
+    for node in idle {
+        let Some(stream) = writers.get_mut(&node) else {
+            continue;
+        };
+        if stream.write_all(&heartbeat).is_err() {
+            writers.remove(&node);
+            continue;
+        }
+        if let Some(m) = metrics {
+            m.frames_tx.inc();
+            m.heartbeats_tx.inc();
         }
     }
 }

@@ -19,15 +19,22 @@
 #![forbid(unsafe_code)]
 
 pub mod agent;
+pub mod chaos;
 pub mod coordinator;
 pub mod error;
 pub mod obs;
+pub mod snapshot;
 pub mod wire;
 
-pub use agent::{AgentConfig, AgentReport, AgentStats, NodeAgent, NodeAgentHandle};
+pub use agent::{
+    AgentConfig, AgentReport, AgentStats, NodeAgent, NodeAgentHandle, ReconnectLadder,
+};
+pub use chaos::{ChaosSide, ChaosStream, WireChaos};
 pub use coordinator::{CoordinatorConfig, CoordinatorServer, CoordinatorStatus};
 pub use error::FvsError;
 pub use obs::{http_get, HealthReport, ObsHandles, ObsServer};
+pub use snapshot::{Snapshot, SnapshotEpisode, SnapshotNode, SnapshotStore, SNAPSHOT_VERSION};
 pub use wire::{
-    decode_payload, encode, FrameReader, WireMsg, HEADER_LEN, MAGIC, MAX_FRAME_LEN, SCHEMA_VERSION,
+    decode_payload, encode, FrameFault, FrameReader, WireMsg, HEADER_LEN, MAGIC, MAX_FRAME_LEN,
+    SCHEMA_VERSION,
 };

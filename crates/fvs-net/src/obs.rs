@@ -56,14 +56,26 @@ pub struct HealthReport {
     pub compliances: u64,
     /// Budget-drop deadline violations.
     pub violations: u64,
+    /// The coordinator's fencing epoch.
+    pub epoch: u64,
+    /// Inside the post-resume resync grace window: restored charges
+    /// are still being replaced by fresh summaries. Served as its own
+    /// 503 state so operators can tell "resuming" from "broken".
+    pub resyncing: bool,
+    /// Seconds left in the resync grace window (NaN → `null` when not
+    /// resyncing).
+    pub resync_deadline_s: f64,
     /// Degraded: dead nodes exist or the budget is not honoured.
     pub degraded: bool,
 }
 
 impl HealthReport {
-    /// Whether `/healthz` should answer 200.
+    /// Whether `/healthz` should answer 200. A resyncing coordinator
+    /// is *not* healthy yet: its conservative charges are restored,
+    /// not observed, and the flip to 200 happens only after the
+    /// scheduler emits `resync_complete`.
     pub fn healthy(&self) -> bool {
-        !self.degraded
+        !self.degraded && !self.resyncing
     }
 
     /// JSON body of `/healthz` (hand-rolled; non-finite numbers render
@@ -83,9 +95,16 @@ impl HealthReport {
                 "\"dead_nodes\":{},\"connections\":{},\"budget_w\":{},",
                 "\"conservative_power_w\":{},\"reserved_w\":{},",
                 "\"budget_compliant\":{},\"compliances\":{},",
-                "\"violations\":{}}}"
+                "\"violations\":{},\"epoch\":{},\"resyncing\":{},",
+                "\"resync_deadline_s\":{}}}"
             ),
-            if self.degraded { "degraded" } else { "ok" },
+            if self.resyncing {
+                "resyncing"
+            } else if self.degraded {
+                "degraded"
+            } else {
+                "ok"
+            },
             num(self.uptime_s),
             self.rounds,
             num(self.last_round_age_s),
@@ -98,16 +117,30 @@ impl HealthReport {
             self.budget_compliant,
             self.compliances,
             self.violations,
+            self.epoch,
+            self.resyncing,
+            if self.resyncing {
+                num(self.resync_deadline_s)
+            } else {
+                "null".to_string()
+            },
         )
     }
 
     /// One-line operator rendering (the coordinator's status line).
     pub fn status_line(&self) -> String {
         format!(
-            "[{:7.1}s] {} | rounds {} | nodes {} live / {} dead | conn {} | \
+            "[{:7.1}s] {} | epoch {} | rounds {} | nodes {} live / {} dead | conn {} | \
              power {:.1} W / budget {} W (reserved {:.1}) | ΔT {} ok / {} late",
             self.uptime_s,
-            if self.degraded { "DEGRADED" } else { "ok" },
+            if self.resyncing {
+                "RESYNC"
+            } else if self.degraded {
+                "DEGRADED"
+            } else {
+                "ok"
+            },
+            self.epoch,
             self.rounds,
             self.nodes_reporting,
             self.dead_nodes,
@@ -446,6 +479,39 @@ mod tests {
         assert_eq!(code, 503);
         assert!(body.contains("\"status\":\"degraded\""), "{body}");
         assert!(body.contains("\"dead_nodes\":2"), "{body}");
+    }
+
+    /// Satellite: `resyncing` is its own 503 state, distinct from
+    /// `degraded`, and the JSON carries the grace-window deadline.
+    #[test]
+    fn healthz_resyncing_is_a_distinct_503_with_deadline() {
+        let telemetry = Telemetry::disabled();
+        let handles = ObsHandles {
+            registry: None,
+            journal: telemetry.clone(),
+            tracer: Tracer::disabled(),
+            health: Some(Arc::new(|| HealthReport {
+                resyncing: true,
+                resync_deadline_s: 1.75,
+                budget_compliant: true,
+                ..HealthReport::default()
+            })),
+        };
+        let server = ObsServer::bind("127.0.0.1:0", handles).unwrap();
+        let (code, body) = http_get(server.local_addr(), "/healthz").unwrap();
+        assert_eq!(code, 503);
+        assert!(body.contains("\"status\":\"resyncing\""), "{body}");
+        assert!(body.contains("\"resync_deadline_s\":1.75"), "{body}");
+        // Once the window closes the deadline reads null and the
+        // report is healthy again.
+        let done = HealthReport {
+            resyncing: false,
+            resync_deadline_s: f64::NAN,
+            budget_compliant: true,
+            ..HealthReport::default()
+        };
+        assert!(done.healthy());
+        assert!(done.to_json().contains("\"resync_deadline_s\":null"));
     }
 
     #[test]

@@ -57,6 +57,12 @@ pub enum WireMsg {
         /// Schema version the agent speaks (the one header field read
         /// even when it differs from ours).
         version: u32,
+        /// Highest coordinator epoch this agent has acknowledged (0 =
+        /// none yet). A coordinator whose own epoch is *lower* is stale
+        /// — a pre-crash survivor or a cold restart racing a resumed
+        /// one — and must refuse the connection (split-brain guard).
+        /// Decodes as 0 when absent, so older peers interoperate.
+        last_epoch: u64,
     },
     /// Coordinator → agent reply to `Hello`: accepted or refused (with
     /// the version the server speaks, so the agent can log why).
@@ -65,6 +71,10 @@ pub enum WireMsg {
         accepted: bool,
         /// Schema version the coordinator speaks.
         version: u32,
+        /// The coordinator's epoch. Agents record the highest epoch
+        /// ever seen and fence any coordinator presenting a lower one.
+        /// Decodes as 0 when absent, so older peers interoperate.
+        epoch: u64,
     },
     /// Agent → coordinator: one measurement window.
     Summary(NodeSummary),
@@ -75,6 +85,14 @@ pub enum WireMsg {
     Bye {
         /// Departing node.
         node: usize,
+    },
+    /// Coordinator → agent: keep-alive for rounds that commanded the
+    /// node nothing. Makes dead-link detection time-bounded on the
+    /// agent side (no frame for a link-timeout → reconnect) and carries
+    /// the epoch so a stale coordinator is fenced mid-connection too.
+    Heartbeat {
+        /// The sending coordinator's epoch.
+        epoch: u64,
     },
 }
 
@@ -87,11 +105,12 @@ impl WireMsg {
             WireMsg::Summary(_) => "summary",
             WireMsg::Ceiling(_) => "ceiling",
             WireMsg::Bye { .. } => "bye",
+            WireMsg::Heartbeat { .. } => "heartbeat",
         }
     }
 }
 
-fn obj(fields: Vec<(&str, Value)>) -> Value {
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(
         fields
             .into_iter()
@@ -106,22 +125,33 @@ fn to_payload(msg: &WireMsg) -> Value {
             node,
             procs,
             version,
+            last_epoch,
         } => (
             *version,
             obj(vec![
                 ("node", Value::UInt(*node as u64)),
                 ("procs", Value::UInt(*procs as u64)),
+                ("last_epoch", Value::UInt(*last_epoch)),
             ]),
         ),
-        WireMsg::HelloAck { accepted, version } => {
-            (*version, obj(vec![("accepted", Value::Bool(*accepted))]))
-        }
+        WireMsg::HelloAck {
+            accepted,
+            version,
+            epoch,
+        } => (
+            *version,
+            obj(vec![
+                ("accepted", Value::Bool(*accepted)),
+                ("epoch", Value::UInt(*epoch)),
+            ]),
+        ),
         WireMsg::Summary(s) => (SCHEMA_VERSION, s.to_json()),
         WireMsg::Ceiling(c) => (SCHEMA_VERSION, c.to_json()),
         WireMsg::Bye { node } => (
             SCHEMA_VERSION,
             obj(vec![("node", Value::UInt(*node as u64))]),
         ),
+        WireMsg::Heartbeat { epoch } => (SCHEMA_VERSION, obj(vec![("epoch", Value::UInt(*epoch))])),
     };
     obj(vec![
         ("schema_version", Value::UInt(u64::from(version))),
@@ -147,14 +177,14 @@ pub fn encode(msg: &WireMsg) -> Result<Vec<u8>, FvsError> {
     Ok(frame)
 }
 
-fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, FvsError> {
+pub(crate) fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, FvsError> {
     match v.get(key) {
         Some(x) if !x.is_null() => Ok(x),
         _ => Err(FvsError::wire(format!("missing field `{key}`"))),
     }
 }
 
-fn usize_field(v: &Value, key: &str) -> Result<usize, FvsError> {
+pub(crate) fn usize_field(v: &Value, key: &str) -> Result<usize, FvsError> {
     field(v, key)?
         .as_u64()
         .and_then(|x| usize::try_from(x).ok())
@@ -168,7 +198,7 @@ fn u32_field(v: &Value, key: &str) -> Result<u32, FvsError> {
         .ok_or_else(|| FvsError::wire(format!("field `{key}` is not a u32")))
 }
 
-fn bool_field(v: &Value, key: &str) -> Result<bool, FvsError> {
+pub(crate) fn bool_field(v: &Value, key: &str) -> Result<bool, FvsError> {
     field(v, key)?
         .as_bool()
         .ok_or_else(|| FvsError::wire(format!("field `{key}` is not a bool")))
@@ -177,7 +207,7 @@ fn bool_field(v: &Value, key: &str) -> Result<bool, FvsError> {
 /// A float field; JSON `null` decodes as NaN (the encoder maps
 /// non-finite floats to `null`, and the coordinator's ingest validation
 /// is what rejects them — the codec round-trips faithfully).
-fn f64_field(v: &Value, key: &str) -> Result<f64, FvsError> {
+pub(crate) fn f64_field(v: &Value, key: &str) -> Result<f64, FvsError> {
     match v.get(key) {
         Some(Value::Null) => Ok(f64::NAN),
         Some(x) => x
@@ -187,7 +217,19 @@ fn f64_field(v: &Value, key: &str) -> Result<f64, FvsError> {
     }
 }
 
-fn array_field<'a>(v: &'a Value, key: &str) -> Result<&'a Vec<Value>, FvsError> {
+/// A u64 field that defaults when absent or null — schema-version-1
+/// compatible field additions (epochs) decode leniently so frames from
+/// peers predating the field still parse.
+pub(crate) fn u64_field_or(v: &Value, key: &str, default: u64) -> Result<u64, FvsError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| FvsError::wire(format!("field `{key}` is not a u64"))),
+    }
+}
+
+pub(crate) fn array_field<'a>(v: &'a Value, key: &str) -> Result<&'a Vec<Value>, FvsError> {
     field(v, key)?
         .as_array()
         .ok_or_else(|| FvsError::wire(format!("field `{key}` is not an array")))
@@ -213,7 +255,7 @@ fn decode_model(v: &Value) -> Result<Option<CpiModel>, FvsError> {
     }))
 }
 
-fn decode_summary(body: &Value) -> Result<NodeSummary, FvsError> {
+pub(crate) fn decode_summary(body: &Value) -> Result<NodeSummary, FvsError> {
     let models = array_field(body, "models")?
         .iter()
         .map(decode_model)
@@ -274,18 +316,37 @@ pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, FvsError> {
             node: usize_field(body, "node")?,
             procs: usize_field(body, "procs")?,
             version,
+            last_epoch: u64_field_or(body, "last_epoch", 0)?,
         }),
         "hello_ack" => Ok(WireMsg::HelloAck {
             accepted: bool_field(body, "accepted")?,
             version,
+            epoch: u64_field_or(body, "epoch", 0)?,
         }),
         "summary" => Ok(WireMsg::Summary(decode_summary(body)?)),
         "ceiling" => Ok(WireMsg::Ceiling(decode_command(body)?)),
         "bye" => Ok(WireMsg::Bye {
             node: usize_field(body, "node")?,
         }),
+        "heartbeat" => Ok(WireMsg::Heartbeat {
+            epoch: u64_field_or(body, "epoch", 0)?,
+        }),
         other => Err(FvsError::wire(format!("unknown frame kind `{other}`"))),
     }
+}
+
+/// How a frame failed to parse — telemetry needs the class, not just
+/// the error string, so chaos runs can tell an injected bit-flip from
+/// an organic one and count oversized length prefixes separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFault {
+    /// The 4-byte magic was wrong: stream desynchronised or a foreign
+    /// peer.
+    BadMagic,
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversize,
+    /// The framing was sound but the payload did not decode.
+    Payload,
 }
 
 /// Incremental frame parser over a byte stream.
@@ -295,10 +356,15 @@ pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, FvsError> {
 /// oversized length, malformed payload) is returned as an error and
 /// poisons nothing — but a desynchronised TCP stream cannot be trusted
 /// past the first bad byte, so callers should drop the connection and
-/// let the agent's reconnect ladder recover.
+/// let the agent's reconnect ladder recover. [`last_fault`] classifies
+/// the most recent error so the caller can emit a `wire_fault`
+/// telemetry event *before* closing instead of dying silently.
+///
+/// [`last_fault`]: FrameReader::last_fault
 #[derive(Debug, Default)]
 pub struct FrameReader {
     buf: Vec<u8>,
+    last_fault: Option<FrameFault>,
 }
 
 impl FrameReader {
@@ -317,6 +383,14 @@ impl FrameReader {
         self.buf.len()
     }
 
+    /// Classification of the most recent [`next_frame`] error, cleared
+    /// by any successful parse.
+    ///
+    /// [`next_frame`]: FrameReader::next_frame
+    pub fn last_fault(&self) -> Option<FrameFault> {
+        self.last_fault
+    }
+
     /// Try to extract the next complete message. `Ok(None)` means more
     /// bytes are needed.
     pub fn next_frame(&mut self) -> Result<Option<WireMsg>, FvsError> {
@@ -324,6 +398,7 @@ impl FrameReader {
             return Ok(None);
         }
         if self.buf[..4] != MAGIC {
+            self.last_fault = Some(FrameFault::BadMagic);
             return Err(FvsError::wire(format!(
                 "bad magic {:02x?} (stream desynchronised or not an fvsst peer)",
                 &self.buf[..4]
@@ -331,6 +406,7 @@ impl FrameReader {
         }
         let len = u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
         if len > MAX_FRAME_LEN {
+            self.last_fault = Some(FrameFault::Oversize);
             return Err(FvsError::wire(format!(
                 "frame length {len} exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}"
             )));
@@ -342,6 +418,10 @@ impl FrameReader {
         // Consume the frame whether or not the payload decoded: the
         // framing itself was sound, so the next frame may be fine.
         self.buf.drain(..HEADER_LEN + len);
+        self.last_fault = match &msg {
+            Ok(_) => None,
+            Err(_) => Some(FrameFault::Payload),
+        };
         msg.map(Some)
     }
 }
@@ -384,10 +464,12 @@ mod tests {
                 node: 2,
                 procs: 4,
                 version: SCHEMA_VERSION,
+                last_epoch: 3,
             },
             WireMsg::HelloAck {
                 accepted: true,
                 version: SCHEMA_VERSION,
+                epoch: 4,
             },
             WireMsg::Summary(sample_summary()),
             WireMsg::Ceiling(FrequencyCommand {
@@ -395,6 +477,7 @@ mod tests {
                 freqs: vec![FreqMhz(600), FreqMhz(1000)],
             }),
             WireMsg::Bye { node: 7 },
+            WireMsg::Heartbeat { epoch: 9 },
         ];
         let mut r = FrameReader::new();
         for m in &msgs {
@@ -467,6 +550,7 @@ mod tests {
             node: 0,
             procs: 4,
             version: SCHEMA_VERSION,
+            last_epoch: 0,
         })
         .unwrap();
         let text = std::str::from_utf8(&frame[HEADER_LEN..]).unwrap();
@@ -475,6 +559,83 @@ mod tests {
             WireMsg::Hello { version, .. } => assert_eq!(version, 9),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// The epoch fields are version-1-compatible additions: frames from
+    /// peers that predate them (no `last_epoch` / `epoch` key) still
+    /// decode, defaulting to epoch 0.
+    #[test]
+    fn missing_epoch_fields_decode_as_zero() {
+        let frame = encode(&WireMsg::Hello {
+            node: 5,
+            procs: 2,
+            version: SCHEMA_VERSION,
+            last_epoch: 7,
+        })
+        .unwrap();
+        let text = std::str::from_utf8(&frame[HEADER_LEN..]).unwrap();
+        let legacy = text.replace(",\"last_epoch\":7", "");
+        match decode_payload(legacy.as_bytes()).unwrap() {
+            WireMsg::Hello {
+                node, last_epoch, ..
+            } => {
+                assert_eq!(node, 5);
+                assert_eq!(last_epoch, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let frame = encode(&WireMsg::HelloAck {
+            accepted: true,
+            version: SCHEMA_VERSION,
+            epoch: 3,
+        })
+        .unwrap();
+        let text = std::str::from_utf8(&frame[HEADER_LEN..]).unwrap();
+        let legacy = text.replace(",\"epoch\":3", "");
+        match decode_payload(legacy.as_bytes()).unwrap() {
+            WireMsg::HelloAck {
+                accepted, epoch, ..
+            } => {
+                assert!(accepted);
+                assert_eq!(epoch, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Each error path stamps its classification so the reader's owner
+    /// can emit the right `wire_fault` event before dropping the link.
+    #[test]
+    fn frame_faults_are_classified() {
+        // Oversized length prefix.
+        let mut r = FrameReader::new();
+        let mut junk = Vec::new();
+        junk.extend_from_slice(&MAGIC);
+        junk.extend_from_slice(&u32::MAX.to_be_bytes());
+        r.feed(&junk);
+        assert!(r.next_frame().is_err());
+        assert_eq!(r.last_fault(), Some(FrameFault::Oversize));
+
+        // Bad magic.
+        let mut r = FrameReader::new();
+        let mut frame = encode(&WireMsg::Bye { node: 1 }).unwrap();
+        frame[0] = b'X';
+        r.feed(&frame);
+        assert!(r.next_frame().is_err());
+        assert_eq!(r.last_fault(), Some(FrameFault::BadMagic));
+
+        // Corrupt payload, then a clean frame clears the classification.
+        let mut r = FrameReader::new();
+        let good = encode(&WireMsg::Bye { node: 1 }).unwrap();
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] = b'!';
+        r.feed(&bad);
+        r.feed(&good);
+        assert!(r.next_frame().is_err());
+        assert_eq!(r.last_fault(), Some(FrameFault::Payload));
+        assert!(r.next_frame().unwrap().is_some());
+        assert_eq!(r.last_fault(), None);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Property tests for the crash-recovery snapshot codec: arbitrary
+//! snapshots — non-finite floats included — round-trip through
+//! encode/decode, and truncated or bit-flipped files are rejected with
+//! a clean error, never a panic and never a silently different
+//! snapshot.
+
+use fvs_cluster::NodeSummary;
+use fvs_model::{CpiModel, FreqMhz};
+use fvs_net::{Snapshot, SnapshotEpisode, SnapshotNode};
+use proptest::prelude::*;
+
+/// Any f64, with the non-finite specials drawn often enough to matter.
+fn arb_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e6f64..1.0e6,
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+        Just(-0.0f64),
+    ]
+}
+
+fn arb_model() -> impl Strategy<Value = Option<CpiModel>> {
+    (arb_f64(), arb_f64(), any::<bool>()).prop_map(|(cpi0, m, has)| {
+        has.then_some(CpiModel {
+            cpi0,
+            mem_time_per_instr: m,
+        })
+    })
+}
+
+fn arb_summary() -> impl Strategy<Value = Option<NodeSummary>> {
+    (
+        0usize..64,
+        arb_f64(),
+        prop::collection::vec(
+            (
+                arb_model(),
+                any::<bool>(),
+                prop::sample::select(vec![250u32, 650, 1000, 1400]),
+            ),
+            1..6,
+        ),
+        arb_f64(),
+        any::<bool>(),
+    )
+        .prop_map(|(node, sent_at_s, procs, power_w, has)| {
+            has.then(|| NodeSummary {
+                node,
+                sent_at_s,
+                models: procs.iter().map(|(m, _, _)| *m).collect(),
+                idle: procs.iter().map(|(_, i, _)| *i).collect(),
+                current: procs.iter().map(|(_, _, f)| FreqMhz(*f)).collect(),
+                power_w,
+            })
+        })
+}
+
+fn arb_node() -> impl Strategy<Value = SnapshotNode> {
+    (
+        arb_summary(),
+        arb_f64(),
+        arb_f64(),
+        any::<bool>(),
+        (any::<bool>(), 0usize..16),
+    )
+        .prop_map(
+            |(summary, age_s, commanded_w, dead, (has_shape, procs))| SnapshotNode {
+                summary,
+                age_s,
+                commanded_w,
+                dead,
+                shape: has_shape.then_some(procs),
+            },
+        )
+}
+
+fn arb_episode() -> impl Strategy<Value = Option<SnapshotEpisode>> {
+    (
+        arb_f64(),
+        arb_f64(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(age_s, budget_w, rounds, violation_emitted, has)| {
+            has.then_some(SnapshotEpisode {
+                age_s,
+                budget_w,
+                rounds,
+                violation_emitted,
+            })
+        })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        any::<u64>(),
+        arb_f64(),
+        arb_f64(),
+        any::<u64>(),
+        prop::collection::vec(arb_node(), 0..6),
+        arb_episode(),
+    )
+        .prop_map(
+            |(epoch, budget_w, taken_at_s, rounds, nodes, episode)| Snapshot {
+                epoch,
+                budget_w,
+                taken_at_s,
+                rounds,
+                nodes,
+                episode,
+            },
+        )
+}
+
+/// Snapshot-level floats round-trip bit-class-exactly: finite values
+/// keep their bits, ±inf keeps its sign, every NaN comes back NaN.
+fn same_float(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || a.to_bits() == b.to_bits()
+}
+
+/// Summary-internal floats keep wire parity instead: non-finite
+/// collapses to NaN in transit, finite is bit-exact.
+fn same_wire_float(sent: f64, back: f64) -> bool {
+    if sent.is_finite() {
+        sent.to_bits() == back.to_bits()
+    } else {
+        back.is_nan()
+    }
+}
+
+fn assert_summary_matches(sent: &Option<NodeSummary>, back: &Option<NodeSummary>) {
+    match (sent, back) {
+        (None, None) => {}
+        (Some(s), Some(b)) => {
+            assert_eq!(b.node, s.node);
+            assert!(same_wire_float(s.sent_at_s, b.sent_at_s));
+            assert!(same_wire_float(s.power_w, b.power_w));
+            assert_eq!(b.idle, s.idle);
+            assert_eq!(b.current, s.current);
+            assert_eq!(b.models.len(), s.models.len());
+            for (bm, sm) in b.models.iter().zip(&s.models) {
+                match (bm, sm) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert!(same_wire_float(y.cpi0, x.cpi0));
+                        assert!(same_wire_float(y.mem_time_per_instr, x.mem_time_per_instr));
+                    }
+                    _ => panic!("model presence changed across the snapshot"),
+                }
+            }
+        }
+        _ => panic!("summary presence changed across the snapshot"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity on snapshots, with the two-tier
+    /// float contract: top-level floats keep their non-finite class
+    /// (inf stays inf, NaN stays NaN), summary-internal floats keep
+    /// wire parity (non-finite → NaN).
+    #[test]
+    fn snapshot_round_trips(snap in arb_snapshot()) {
+        let text = snap.encode().unwrap();
+        let back = Snapshot::decode(&text).unwrap();
+        prop_assert_eq!(back.epoch, snap.epoch);
+        prop_assert_eq!(back.rounds, snap.rounds);
+        prop_assert!(same_float(snap.budget_w, back.budget_w));
+        prop_assert!(same_float(snap.taken_at_s, back.taken_at_s));
+        prop_assert_eq!(back.nodes.len(), snap.nodes.len());
+        for (b, s) in back.nodes.iter().zip(&snap.nodes) {
+            prop_assert!(same_float(s.age_s, b.age_s));
+            prop_assert!(same_float(s.commanded_w, b.commanded_w));
+            prop_assert_eq!(b.dead, s.dead);
+            prop_assert_eq!(b.shape, s.shape);
+            assert_summary_matches(&s.summary, &b.summary);
+        }
+        match (&snap.episode, &back.episode) {
+            (None, None) => {}
+            (Some(s), Some(b)) => {
+                prop_assert!(same_float(s.age_s, b.age_s));
+                prop_assert!(same_float(s.budget_w, b.budget_w));
+                prop_assert_eq!(b.rounds, s.rounds);
+                prop_assert_eq!(b.violation_emitted, s.violation_emitted);
+            }
+            _ => prop_assert!(false, "episode presence changed across the snapshot"),
+        }
+    }
+
+    /// Every truncation of a valid snapshot file is a clean `Err`: the
+    /// checksum covers the exact body bytes, so a partial write can
+    /// never restore as a shorter-but-valid snapshot.
+    #[test]
+    fn truncated_files_are_rejected_cleanly(snap in arb_snapshot(), cut in 0usize..100_000) {
+        let text = snap.encode().unwrap();
+        let cut = cut % text.len();
+        // Truncating at a char boundary is enough: real torn writes are
+        // byte-aligned and the reader takes &str from read_to_string.
+        if text.is_char_boundary(cut) {
+            prop_assert!(Snapshot::decode(&text[..cut]).is_err());
+        }
+    }
+
+    /// A single flipped bit anywhere in the body fails the checksum —
+    /// decode errors cleanly, never panics, never yields a snapshot.
+    #[test]
+    fn bit_flipped_files_are_rejected_cleanly(
+        snap in arb_snapshot(),
+        at in 0usize..100_000,
+        bit in 0u8..8,
+    ) {
+        let text = snap.encode().unwrap();
+        let body_start = text.find('\n').unwrap() + 1;
+        let mut bytes = text.into_bytes();
+        let at = body_start + (at % (bytes.len() - body_start));
+        bytes[at] ^= 1 << bit;
+        let s = String::from_utf8_lossy(&bytes).into_owned();
+        prop_assert!(Snapshot::decode(&s).is_err(), "flip at {} survived", at);
+    }
+}

@@ -32,6 +32,23 @@ struct Episode {
     violation_emitted: bool,
 }
 
+/// A portable image of an open compliance episode, for crash-recovery
+/// snapshots. The caller owns the clock: it exports `dropped_at_s` on
+/// one timeline and restores it rebased onto another (a resumed
+/// coordinator restores `now − age` so the `ΔT` clock keeps running
+/// across the restart instead of resetting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenEpisode {
+    /// When the budget dropped (s, exporter's clock).
+    pub dropped_at_s: f64,
+    /// The dropped budget awaiting compliance (W).
+    pub budget_w: f64,
+    /// Scheduling rounds counted so far.
+    pub rounds: u32,
+    /// Whether the one-per-episode violation event already fired.
+    pub violation_emitted: bool,
+}
+
 /// Tracks rounds-to-compliance and wall-time-to-compliance for budget
 /// drops against a configurable deadline `ΔT`.
 #[derive(Debug, Clone)]
@@ -79,6 +96,31 @@ impl BudgetDeadlineTracker {
     /// Whether a drop is currently awaiting compliance.
     pub fn episode_open(&self) -> bool {
         self.episode.is_some()
+    }
+
+    /// The open episode as a portable image (crash-recovery snapshots),
+    /// or `None` when no drop is awaiting compliance.
+    pub fn export_episode(&self) -> Option<OpenEpisode> {
+        self.episode.map(|ep| OpenEpisode {
+            dropped_at_s: ep.dropped_at_s,
+            budget_w: ep.budget_w,
+            rounds: ep.rounds,
+            violation_emitted: ep.violation_emitted,
+        })
+    }
+
+    /// Reopen an episode exported by [`Self::export_episode`], replacing
+    /// any open one. The caller must have rebased `dropped_at_s` onto
+    /// its current clock — a resumed coordinator passes `now − age` so
+    /// the time already burned before the crash still counts against
+    /// `ΔT`.
+    pub fn restore_episode(&mut self, ep: OpenEpisode) {
+        self.episode = Some(Episode {
+            dropped_at_s: ep.dropped_at_s,
+            budget_w: ep.budget_w,
+            rounds: ep.rounds,
+            violation_emitted: ep.violation_emitted,
+        });
     }
 
     /// Inform the tracker of a budget change at `now_s`. A *drop* opens
@@ -265,6 +307,46 @@ mod tests {
         assert_eq!(t.on_budget_change(0.6, 294.0, 560.0), None);
         assert!(!t.episode_open());
         assert_eq!(t.on_power_sample(0.7, 400.0), None);
+    }
+
+    /// A coordinator crash mid-episode must not reset the `ΔT` clock:
+    /// the restored episode carries the age already burned, so a
+    /// post-restart compliance is judged against the *original* drop.
+    #[test]
+    fn exported_episode_survives_a_clock_rebase() {
+        let mut t = BudgetDeadlineTracker::new(1.0);
+        t.on_budget_change(5.0, 560.0, 294.0);
+        t.on_round();
+        assert_eq!(t.on_power_sample(5.3, 400.0), None);
+        let ep = t.export_episode().expect("open episode");
+        assert_eq!(ep.budget_w, 294.0);
+        assert_eq!(ep.rounds, 1);
+        assert!(!ep.violation_emitted);
+        // "Crash": a fresh tracker whose clock restarts at zero. The
+        // episode was 0.3 s old at the crash; restore it as now − age.
+        let mut resumed = BudgetDeadlineTracker::new(1.0);
+        assert_eq!(resumed.export_episode(), None);
+        let age_s = 5.3 - ep.dropped_at_s;
+        resumed.restore_episode(OpenEpisode {
+            dropped_at_s: 0.0 - age_s,
+            ..ep
+        });
+        assert!(resumed.episode_open());
+        resumed.on_round();
+        let ev = resumed.on_power_sample(0.2, 290.0).unwrap();
+        match ev {
+            SchedEvent::BudgetCompliance {
+                rounds,
+                wall_s,
+                within_deadline,
+                ..
+            } => {
+                assert_eq!(rounds, 2, "pre-crash rounds still count");
+                assert!((wall_s - 0.5).abs() < 1e-12, "clock runs from the drop");
+                assert!(within_deadline);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -56,6 +56,50 @@ impl FaultDomain {
     }
 }
 
+/// What went wrong on the wire (mirror of the fvs-net frame-fault and
+/// chaos-injection taxonomy, kept dependency-free here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFaultKind {
+    /// A frame was dropped (never written, or never delivered).
+    Drop,
+    /// A frame was held back and delivered late.
+    Delay,
+    /// A frame was delivered twice.
+    Duplicate,
+    /// A frame was truncated or bit-flipped in flight.
+    Corrupt,
+    /// The connection was reset mid-stream.
+    Reset,
+    /// Traffic toward the coordinator was blackholed (uplink partition).
+    PartitionUp,
+    /// Traffic toward the agent was blackholed (downlink partition).
+    PartitionDown,
+    /// A received length prefix exceeded the frame cap.
+    Oversize,
+    /// A received frame header had the wrong magic.
+    BadMagic,
+    /// A received payload failed to decode.
+    Decode,
+}
+
+impl WireFaultKind {
+    /// Stable lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireFaultKind::Drop => "drop",
+            WireFaultKind::Delay => "delay",
+            WireFaultKind::Duplicate => "duplicate",
+            WireFaultKind::Corrupt => "corrupt",
+            WireFaultKind::Reset => "reset",
+            WireFaultKind::PartitionUp => "partition_up",
+            WireFaultKind::PartitionDown => "partition_down",
+            WireFaultKind::Oversize => "oversize",
+            WireFaultKind::BadMagic => "bad_magic",
+            WireFaultKind::Decode => "decode",
+        }
+    }
+}
+
 /// One structured scheduling event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SchedEvent {
@@ -277,6 +321,69 @@ pub enum SchedEvent {
         /// Subtree fingerprints that drifted (work done).
         misses: u32,
     },
+    /// Something went wrong on the wire — a chaos-injected fault (at the
+    /// injection site) or an organic frame fault (at the detection site).
+    WireFault {
+        /// When the fault happened (s).
+        t_s: f64,
+        /// Node the connection belongs to (`u32::MAX` before the hello
+        /// names it).
+        node: u32,
+        /// What went wrong.
+        kind: WireFaultKind,
+        /// `true` when a `ChaosStream` injected it on purpose; `false`
+        /// for organic corruption detected at the frame decoder.
+        injected: bool,
+    },
+    /// The coordinator persisted a recovery snapshot.
+    SnapshotWritten {
+        /// When the snapshot was taken (s, coordinator clock).
+        t_s: f64,
+        /// The coordinator epoch recorded in the snapshot.
+        epoch: u64,
+        /// The budget recorded in the snapshot (W); non-finite encodes
+        /// as `null`.
+        budget_w: f64,
+        /// Node records carried by the snapshot.
+        nodes: u32,
+    },
+    /// A coordinator restarted from a recovery snapshot (`--resume`).
+    CoordinatorResumed {
+        /// When the resumed coordinator came up (s, its own clock).
+        t_s: f64,
+        /// The new (post-bump) coordinator epoch.
+        epoch: u64,
+        /// The restored budget (W); non-finite encodes as `null`.
+        budget_w: f64,
+        /// Node charges restored from the snapshot.
+        restored_nodes: u32,
+        /// Length of the resync grace window (s).
+        grace_s: f64,
+    },
+    /// A stale-epoch peer was fenced (split-brain guard).
+    EpochFenced {
+        /// When the fencing happened (s).
+        t_s: f64,
+        /// The node whose connection carried the stale epoch.
+        node: u32,
+        /// The peer's claimed epoch.
+        peer_epoch: u64,
+        /// The local epoch that won.
+        local_epoch: u64,
+    },
+    /// The post-resume resync window closed: restored charges are now
+    /// either refreshed by live summaries or conservatively retained.
+    ResyncComplete {
+        /// When resync closed (s, coordinator clock).
+        t_s: f64,
+        /// Wall time the resync took (s).
+        wall_s: f64,
+        /// Restored nodes that sent a fresh summary inside the window.
+        fresh_nodes: u32,
+        /// Restored nodes still silent (their conservative charge
+        /// stands).
+        charged_nodes: u32,
+    },
 }
 
 /// Write `x` as a JSON number, mapping non-finite values (an unlimited
@@ -312,6 +419,11 @@ impl SchedEvent {
             SchedEvent::TierRound { .. } => "tier_round",
             SchedEvent::SubbudgetAssigned { .. } => "subbudget_assigned",
             SchedEvent::SubtreeCache { .. } => "subtree_cache",
+            SchedEvent::WireFault { .. } => "wire_fault",
+            SchedEvent::SnapshotWritten { .. } => "snapshot_written",
+            SchedEvent::CoordinatorResumed { .. } => "coordinator_resumed",
+            SchedEvent::EpochFenced { .. } => "epoch_fenced",
+            SchedEvent::ResyncComplete { .. } => "resync_complete",
         }
     }
 
@@ -543,6 +655,66 @@ impl SchedEvent {
                     ",\"t_s\":{t_s},\"tier\":{tier},\"hits\":{hits},\"misses\":{misses}"
                 );
             }
+            SchedEvent::WireFault {
+                t_s,
+                node,
+                kind,
+                injected,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"t_s\":{t_s},\"node\":{node},\"fault\":\"{}\",\"injected\":{injected}",
+                    kind.as_str()
+                );
+            }
+            SchedEvent::SnapshotWritten {
+                t_s,
+                epoch,
+                budget_w,
+                nodes,
+            } => {
+                let _ = write!(buf, ",\"t_s\":{t_s},\"epoch\":{epoch}");
+                buf.push_str(",\"budget_w\":");
+                jnum(buf, budget_w);
+                let _ = write!(buf, ",\"nodes\":{nodes}");
+            }
+            SchedEvent::CoordinatorResumed {
+                t_s,
+                epoch,
+                budget_w,
+                restored_nodes,
+                grace_s,
+            } => {
+                let _ = write!(buf, ",\"t_s\":{t_s},\"epoch\":{epoch}");
+                buf.push_str(",\"budget_w\":");
+                jnum(buf, budget_w);
+                let _ = write!(
+                    buf,
+                    ",\"restored_nodes\":{restored_nodes},\"grace_s\":{grace_s}"
+                );
+            }
+            SchedEvent::EpochFenced {
+                t_s,
+                node,
+                peer_epoch,
+                local_epoch,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"t_s\":{t_s},\"node\":{node},\"peer_epoch\":{peer_epoch},\"local_epoch\":{local_epoch}"
+                );
+            }
+            SchedEvent::ResyncComplete {
+                t_s,
+                wall_s,
+                fresh_nodes,
+                charged_nodes,
+            } => {
+                let _ = write!(
+                    buf,
+                    ",\"t_s\":{t_s},\"wall_s\":{wall_s},\"fresh_nodes\":{fresh_nodes},\"charged_nodes\":{charged_nodes}"
+                );
+            }
         }
         buf.push('}');
     }
@@ -676,6 +848,37 @@ mod tests {
                 tier: 1,
                 hits: 300,
                 misses: 12,
+            },
+            SchedEvent::WireFault {
+                t_s: 1.7,
+                node: u32::MAX,
+                kind: WireFaultKind::Oversize,
+                injected: false,
+            },
+            SchedEvent::SnapshotWritten {
+                t_s: 1.8,
+                epoch: 2,
+                budget_w: f64::INFINITY,
+                nodes: 4,
+            },
+            SchedEvent::CoordinatorResumed {
+                t_s: 0.0,
+                epoch: 3,
+                budget_w: 1200.0,
+                restored_nodes: 4,
+                grace_s: 1.0,
+            },
+            SchedEvent::EpochFenced {
+                t_s: 1.9,
+                node: 2,
+                peer_epoch: 1,
+                local_epoch: 3,
+            },
+            SchedEvent::ResyncComplete {
+                t_s: 2.0,
+                wall_s: 0.4,
+                fresh_nodes: 3,
+                charged_nodes: 1,
             },
         ]
     }

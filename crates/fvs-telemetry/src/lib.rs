@@ -41,8 +41,8 @@ pub mod sink;
 pub mod timer;
 pub mod trace;
 
-pub use deadline::{BudgetDeadlineTracker, ComplianceRecord};
-pub use event::{FaultDomain, SchedEvent, TriggerKind};
+pub use deadline::{BudgetDeadlineTracker, ComplianceRecord, OpenEpisode};
+pub use event::{FaultDomain, SchedEvent, TriggerKind, WireFaultKind};
 pub use metrics::{
     quantile_from_buckets, Counter, Gauge, Histogram, MetricSnapshot, MetricValue, MetricsRegistry,
     ScopedMetrics,

@@ -5,6 +5,8 @@
 //! fvsst-coordinator [--listen ADDR] [--nodes N] [--budget W] [--period S]
 //!                   [--heartbeat S] [--deadline S] [--drop W@T]
 //!                   [--run S] [--telemetry FILE] [--obs-addr ADDR]
+//!                   [--snapshot FILE] [--snapshot-every S] [--resume]
+//!                   [--grace S] [--chaos PLAN] [--chaos-seed N]
 //! ```
 //!
 //! Listens for `fvsst-node` agents, runs the paper's global scheduling
@@ -24,6 +26,16 @@
 //! (chrome://tracing span export; `?fmt=flame` for text). The once-a-
 //! second status line printed here renders the *same* `HealthReport`
 //! that `/healthz` serves — one code path, two consumers.
+//!
+//! Durability: `--snapshot FILE` persists checksummed crash-recovery
+//! snapshots every `--snapshot-every` seconds (and write-ahead on every
+//! budget change); `--resume` restores from that file, bumps the
+//! fencing epoch, and charges every restored node its last-commanded
+//! ceiling until fresh summaries arrive (`--grace` bounds how long
+//! `/healthz` reports `resyncing`). `--chaos PLAN` injects wire faults
+//! on every accepted socket — same grammar as the fault plans, e.g.
+//! `wire=0.05,partition=2@5:9` — seeded by `--chaos-seed` for
+//! deterministic drills.
 
 use fvsst::prelude::*;
 use std::process::ExitCode;
@@ -40,12 +52,20 @@ struct Args {
     run_s: f64,               // 0 = forever
     telemetry: Option<String>,
     obs_addr: Option<String>,
+    snapshot: Option<String>,
+    snapshot_every_s: f64,
+    resume: bool,
+    grace_s: f64,
+    chaos: Option<String>,
+    chaos_seed: u64,
 }
 
 fn usage() -> String {
     "usage: fvsst-coordinator [--listen ADDR] [--nodes N] [--budget W] \
      [--period S] [--heartbeat S] [--deadline S] [--drop W@T] [--run S] \
-     [--telemetry FILE] [--obs-addr ADDR]"
+     [--telemetry FILE] [--obs-addr ADDR] [--snapshot FILE] \
+     [--snapshot-every S] [--resume] [--grace S] [--chaos PLAN] \
+     [--chaos-seed N]"
         .to_string()
 }
 
@@ -68,6 +88,12 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
         run_s: 0.0,
         telemetry: None,
         obs_addr: None,
+        snapshot: None,
+        snapshot_every_s: 1.0,
+        resume: false,
+        grace_s: 2.0,
+        chaos: None,
+        chaos_seed: 0,
     };
     let mut i = 0;
     while i < args.len() {
@@ -139,6 +165,40 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
                         .ok_or_else(|| FvsError::config("--obs-addr requires an address"))?,
                 );
             }
+            "--snapshot" => {
+                i += 1;
+                out.snapshot = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| FvsError::config("--snapshot requires a file path"))?,
+                );
+            }
+            "--snapshot-every" => {
+                i += 1;
+                out.snapshot_every_s = parse_f64("--snapshot-every", args.get(i))?;
+            }
+            "--resume" => {
+                out.resume = true;
+            }
+            "--grace" => {
+                i += 1;
+                out.grace_s = parse_f64("--grace", args.get(i))?;
+            }
+            "--chaos" => {
+                i += 1;
+                out.chaos = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| FvsError::config("--chaos requires a wire-fault plan"))?,
+                );
+            }
+            "--chaos-seed" => {
+                i += 1;
+                out.chaos_seed = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| FvsError::config("--chaos-seed requires an integer"))?;
+            }
             "--help" | "-h" => return Err(FvsError::config(usage())),
             other => {
                 return Err(FvsError::config(format!(
@@ -168,13 +228,25 @@ fn run(args: Args) -> Result<(), FvsError> {
     } else {
         Tracer::disabled()
     };
-    let config = CoordinatorConfig::default_lan()
+    let mut config = CoordinatorConfig::default_lan()
         .with_period_s(args.period_s)
         .with_heartbeat_timeout_s(args.heartbeat_s)
         .with_deadline_s(args.deadline_s)
         .with_initial_budget_w(args.budget_w)
+        .with_resync_grace_s(args.grace_s)
         .with_telemetry(telemetry)
         .with_tracer(tracer);
+    if let Some(path) = &args.snapshot {
+        config = config.with_snapshots(path, args.snapshot_every_s);
+    }
+    if args.resume {
+        config = config.with_resume(true);
+    }
+    if let Some(spec) = &args.chaos {
+        let plan =
+            WireFaultPlan::parse(spec).map_err(|e| FvsError::config(format!("--chaos: {e}")))?;
+        config = config.with_chaos(WireChaos::new(plan, args.chaos_seed));
+    }
     let server = CoordinatorServer::bind(
         args.listen.as_str(),
         args.nodes,
@@ -182,11 +254,12 @@ fn run(args: Args) -> Result<(), FvsError> {
         config,
     )?;
     println!(
-        "fvsst-coordinator listening on {} ({} node slots, budget {} W, period {} s)",
+        "fvsst-coordinator listening on {} ({} node slots, budget {} W, period {} s, epoch {})",
         server.local_addr(),
         args.nodes,
         args.budget_w,
-        args.period_s
+        args.period_s,
+        server.epoch()
     );
     let obs = match &args.obs_addr {
         Some(addr) => {

@@ -4,7 +4,7 @@
 //! ```text
 //! fvsst-node [--connect ADDR|none] [--node ID] [--workload cpu|mixed|mem]
 //!            [--tick S] [--summary-every N] [--run S] [--timed]
-//!            [--obs-addr ADDR]
+//!            [--obs-addr ADDR] [--chaos PLAN] [--chaos-seed N]
 //! ```
 //!
 //! Drives the paper's 4-way P630-like machine under a synthetic
@@ -27,6 +27,11 @@
 //! `GET /healthz` answers from the agent's live counters (degraded =
 //! not currently connected to the coordinator) and `GET /trace` serves
 //! the agent's `node.apply` spans, one per ceiling actuated.
+//!
+//! `--chaos PLAN` wraps the agent's socket in deterministic wire-fault
+//! injection (same grammar as the coordinator's flag, e.g.
+//! `wire=0.05,delay=0.1`), seeded by `--chaos-seed` mixed with the node
+//! id so a fleet launched from one script still diverges per node.
 
 use fvsst::prelude::*;
 use std::process::ExitCode;
@@ -41,11 +46,14 @@ struct Args {
     run_s: f64, // 0 = forever
     timed: bool,
     obs_addr: Option<String>,
+    chaos: Option<String>,
+    chaos_seed: u64,
 }
 
 fn usage() -> String {
     "usage: fvsst-node [--connect ADDR|none] [--node ID] [--workload cpu|mixed|mem] \
-     [--tick S] [--summary-every N] [--run S] [--timed] [--obs-addr ADDR]"
+     [--tick S] [--summary-every N] [--run S] [--timed] [--obs-addr ADDR] \
+     [--chaos PLAN] [--chaos-seed N]"
         .to_string()
 }
 
@@ -59,6 +67,8 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
         run_s: 0.0,
         timed: false,
         obs_addr: None,
+        chaos: None,
+        chaos_seed: 0,
     };
     let mut i = 0;
     while i < args.len() {
@@ -122,6 +132,21 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
                         .cloned()
                         .ok_or_else(|| FvsError::config("--obs-addr requires an address"))?,
                 );
+            }
+            "--chaos" => {
+                i += 1;
+                out.chaos = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| FvsError::config("--chaos requires a wire-fault plan"))?,
+                );
+            }
+            "--chaos-seed" => {
+                i += 1;
+                out.chaos_seed = args
+                    .get(i)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| FvsError::config("--chaos-seed requires an integer"))?;
             }
             "--help" | "-h" => return Err(FvsError::config(usage())),
             other => {
@@ -206,11 +231,20 @@ fn run(args: Args) -> Result<(), FvsError> {
     } else {
         Tracer::disabled()
     };
-    let config = AgentConfig::default_lan()
+    let mut config = AgentConfig::default_lan()
         .with_tick_s(args.tick_s)
         .with_summary_every(args.summary_every)
         .with_timed(args.timed)
+        .with_jitter_seed(args.chaos_seed)
         .with_tracer(tracer.clone());
+    if let Some(spec) = &args.chaos {
+        let plan =
+            WireFaultPlan::parse(spec).map_err(|e| FvsError::config(format!("--chaos: {e}")))?;
+        // Mix the node id in so a fleet sharing one --chaos-seed still
+        // draws distinct fault sequences per node.
+        let seed = args.chaos_seed ^ (args.node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        config = config.with_chaos(WireChaos::new(plan, seed));
+    }
     println!(
         "fvsst-node {} ({} workload) -> {}",
         args.node, args.workload, args.connect
@@ -268,11 +302,13 @@ fn run(args: Args) -> Result<(), FvsError> {
     drop(obs);
     let report = agent.stop();
     println!(
-        "node {}: {} summaries, {} ceilings applied, {} reconnects, final power {:.1} W",
+        "node {}: {} summaries, {} ceilings applied, {} reconnects, {} epoch fences, \
+         final power {:.1} W",
         report.node,
         report.summaries_sent,
         report.ceilings_applied,
         report.reconnects,
+        report.epochs_fenced,
         report.final_power_w
     );
     if report.version_rejected {

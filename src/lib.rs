@@ -74,15 +74,15 @@ pub mod prelude {
         ClusterConfig, ClusterNode, ClusterReport, ClusterSim, DelegationTree, FrequencyCommand,
         GlobalCoordinator, HierStats, HierTopology, NodeSummary, RackCoordinator,
     };
-    pub use fvs_faults::{FaultInjector, FaultPlan};
+    pub use fvs_faults::{FaultInjector, FaultPlan, WireFaultPlan};
     pub use fvs_harness::{run_capped_app, RunSettings};
     pub use fvs_model::{
         CounterDelta, CpiModel, Estimator, FreqMhz, FrequencySet, MemoryLatencies, PerfLossTable,
     };
     pub use fvs_net::{
-        http_get, AgentConfig, AgentStats, CoordinatorConfig, CoordinatorServer, CoordinatorStatus,
-        FvsError, HealthReport, NodeAgent, NodeAgentHandle, ObsHandles, ObsServer, WireMsg,
-        SCHEMA_VERSION,
+        http_get, AgentConfig, AgentStats, ChaosStream, CoordinatorConfig, CoordinatorServer,
+        CoordinatorStatus, FvsError, HealthReport, NodeAgent, NodeAgentHandle, ObsHandles,
+        ObsServer, ReconnectLadder, Snapshot, SnapshotStore, WireChaos, WireMsg, SCHEMA_VERSION,
     };
     pub use fvs_power::{
         BudgetEvent, BudgetSchedule, EnergyMeter, FreqPowerTable, PowerSupply, SupplyBank,
