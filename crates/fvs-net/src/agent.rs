@@ -24,14 +24,14 @@
 
 use crate::chaos::{ChaosSide, ChaosStream};
 use crate::error::FvsError;
-use crate::wire::{encode, FrameReader, WireMsg, SCHEMA_VERSION};
+use crate::transport::{FillStatus, Transport};
+use crate::wire::{WireCodec, WireMsg, CODEC_ALL, CODEC_JSON_BIT, SCHEMA_VERSION};
 use crate::WireChaos;
 use fvs_cluster::ClusterNode;
 use fvs_sim::Pacer;
 use fvs_telemetry::{Telemetry, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -110,6 +110,11 @@ pub struct AgentConfig {
     /// Schema version to announce (tests speak wrong versions on
     /// purpose; everything real uses [`SCHEMA_VERSION`]).
     pub version: u32,
+    /// Preferred wire codec. JSON is always advertised (it is the
+    /// handshake encoding and the floor every peer speaks); preferring
+    /// [`WireCodec::Binary`] additionally advertises the `FVS2` fast
+    /// path, which the coordinator picks when it too prefers binary.
+    pub codec: WireCodec,
     /// Wire-chaos injection on this agent's socket (quiet = pure
     /// passthrough).
     pub chaos: WireChaos,
@@ -135,6 +140,7 @@ impl AgentConfig {
             link_timeout: Duration::from_secs(3),
             timed: false,
             version: SCHEMA_VERSION,
+            codec: WireCodec::Binary,
             chaos: WireChaos::none(),
             tracer: Tracer::disabled(),
             telemetry: Telemetry::disabled(),
@@ -188,6 +194,12 @@ impl AgentConfig {
     /// Announce a different schema version (version-negotiation tests).
     pub fn with_version(mut self, version: u32) -> Self {
         self.version = version;
+        self
+    }
+
+    /// Set the preferred wire codec (see [`AgentConfig::codec`]).
+    pub fn with_codec(mut self, codec: WireCodec) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -258,6 +270,8 @@ pub struct AgentStats {
     epochs_fenced: AtomicU64,
     /// Latest node power as f64 bits.
     power_bits: AtomicU64,
+    /// Codec id negotiated on the current connection (0 = none yet).
+    codec_id: AtomicU64,
 }
 
 impl AgentStats {
@@ -289,6 +303,14 @@ impl AgentStats {
     /// The node's power at the last summary window (W).
     pub fn power_w(&self) -> f64 {
         f64::from_bits(self.power_bits.load(Ordering::SeqCst))
+    }
+
+    /// The codec negotiated on the current connection, if any.
+    pub fn negotiated_codec(&self) -> Option<WireCodec> {
+        match self.codec_id.load(Ordering::SeqCst) as u8 {
+            0 => None,
+            id => Some(WireCodec::from_id(id)),
+        }
     }
 }
 
@@ -374,9 +396,10 @@ fn interruptible_sleep(total: Duration, flags: &Flags) {
     }
 }
 
-enum Handshake {
-    /// Accepted; the coordinator's epoch (to remember as highest-seen).
-    Accepted(u64),
+pub(crate) enum Handshake {
+    /// Accepted; the coordinator's epoch (to remember as highest-seen)
+    /// and the codec it chose from our advertisement.
+    Accepted(u64, WireCodec),
     /// Refused over schema version: permanent, stop retrying.
     RefusedVersion,
     /// Refused (or acked) by a coordinator whose epoch is below our
@@ -386,70 +409,77 @@ enum Handshake {
     Dead,
 }
 
-/// Send `Hello`, wait briefly for the coordinator's verdict.
-fn handshake(
-    stream: &mut ChaosStream,
+/// The codec advertisement bitmask for a preference: JSON is always on
+/// the table; preferring binary adds the `FVS2` bit.
+pub(crate) fn advertised_codecs(prefer: WireCodec) -> u8 {
+    match prefer {
+        WireCodec::Json => CODEC_JSON_BIT,
+        WireCodec::Binary => CODEC_ALL,
+    }
+}
+
+/// Send `Hello`, wait briefly for the coordinator's verdict. On accept,
+/// the transport's write codec is switched to the negotiated one.
+pub(crate) fn handshake(
+    transport: &mut Transport,
     node: usize,
     procs: usize,
     version: u32,
     last_epoch: u64,
+    codecs: u8,
 ) -> Handshake {
     let hello = WireMsg::Hello {
         node,
         procs,
         version,
         last_epoch,
+        codecs,
     };
-    let Ok(frame) = encode(&hello) else {
-        return Handshake::Dead;
-    };
-    if stream.write_all(&frame).is_err() {
+    if transport.send(&hello).is_err() || transport.flush().is_err() {
         return Handshake::Dead;
     }
-    let mut reader = FrameReader::new();
-    let mut buf = [0u8; 1024];
     let deadline = Instant::now() + Duration::from_secs(2);
     while Instant::now() < deadline {
-        match stream.read(&mut buf) {
-            Ok(0) => return Handshake::Dead,
-            Ok(n) => {
-                reader.feed(&buf[..n]);
-                match reader.next_frame() {
-                    Ok(Some(WireMsg::HelloAck {
-                        accepted: true,
-                        epoch,
-                        ..
-                    })) => {
-                        if epoch < last_epoch {
-                            // An old-build coordinator (epoch 0) — or a
-                            // stale one that doesn't know to refuse us.
-                            // Either way, not the coordinator we last
-                            // obeyed: fence it ourselves.
-                            return Handshake::Fenced;
-                        }
-                        return Handshake::Accepted(epoch);
+        match transport.fill() {
+            Ok(FillStatus::Eof) | Err(_) => return Handshake::Dead,
+            Ok(_) => {}
+        }
+        loop {
+            match transport.next_msg() {
+                Ok(Some(WireMsg::HelloAck {
+                    accepted: true,
+                    epoch,
+                    codec,
+                    ..
+                })) => {
+                    if epoch < last_epoch {
+                        // An old-build coordinator (epoch 0) — or a
+                        // stale one that doesn't know to refuse us.
+                        // Either way, not the coordinator we last
+                        // obeyed: fence it ourselves.
+                        return Handshake::Fenced;
                     }
-                    Ok(Some(WireMsg::HelloAck {
-                        accepted: false,
-                        version: their_version,
-                        epoch,
-                    })) => {
-                        if their_version == version && epoch < last_epoch {
-                            return Handshake::Fenced;
-                        }
-                        return Handshake::RefusedVersion;
-                    }
-                    Ok(Some(_)) | Ok(None) => continue,
-                    Err(_) => return Handshake::Dead,
+                    // An unknown codec id from a newer peer degrades to
+                    // JSON — the floor both sides always speak.
+                    let chosen = WireCodec::from_id(codec);
+                    transport.set_codec(chosen);
+                    return Handshake::Accepted(epoch, chosen);
                 }
+                Ok(Some(WireMsg::HelloAck {
+                    accepted: false,
+                    version: their_version,
+                    epoch,
+                    ..
+                })) => {
+                    if their_version == version && epoch < last_epoch {
+                        return Handshake::Fenced;
+                    }
+                    return Handshake::RefusedVersion;
+                }
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(_) => return Handshake::Dead,
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return Handshake::Dead,
         }
     }
     Handshake::Dead
@@ -501,7 +531,7 @@ fn agent_loop(
             }
         };
         connect_seq += 1;
-        let mut stream = ChaosStream::wrap(
+        let stream = ChaosStream::wrap(
             raw,
             &config.chaos,
             ChaosSide::Agent,
@@ -513,9 +543,18 @@ fn agent_loop(
         stream.set_node(node_id);
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(Duration::from_millis(1)));
-        match handshake(&mut stream, node_id, procs, config.version, last_epoch) {
-            Handshake::Accepted(epoch) => {
+        let mut transport = Transport::new(stream);
+        match handshake(
+            &mut transport,
+            node_id,
+            procs,
+            config.version,
+            last_epoch,
+            advertised_codecs(config.codec),
+        ) {
+            Handshake::Accepted(epoch, codec) => {
                 last_epoch = epoch;
+                stats.codec_id.store(codec.id() as u64, Ordering::SeqCst);
             }
             Handshake::RefusedVersion => {
                 // A version refusal is permanent: retrying with the
@@ -541,8 +580,6 @@ fn agent_loop(
         stats.connected.store(true, Ordering::SeqCst);
         ladder.reset();
 
-        let mut reader = FrameReader::new();
-        let mut buf = [0u8; 4096];
         let mut ticks = 0u32;
         // Dead-link detection: any frame (ceiling or heartbeat) feeds
         // this; silence past `link_timeout` forces a reconnect.
@@ -558,9 +595,7 @@ fn agent_loop(
                 break 'outer;
             }
             if flags.stop.load(Ordering::SeqCst) {
-                if let Ok(frame) = encode(&WireMsg::Bye { node: node_id }) {
-                    let _ = stream.write_all(&frame);
-                }
+                transport.send_best_effort(&WireMsg::Bye { node: node_id });
                 break 'outer;
             }
 
@@ -571,27 +606,29 @@ fn agent_loop(
                 stats
                     .power_bits
                     .store(summary.power_w.to_bits(), Ordering::SeqCst);
-                let Ok(frame) = encode(&WireMsg::Summary(summary)) else {
-                    continue;
-                };
-                if stream.write_all(&frame).is_err() {
+                if transport.send(&WireMsg::Summary(summary)).is_err() || transport.flush().is_err()
+                {
                     // Link dropped mid-summary: climb the ladder.
                     break;
                 }
                 report.summaries_sent += 1;
                 stats.summaries_sent.fetch_add(1, Ordering::SeqCst);
+            } else {
+                // Keep chaos-delayed frames moving between summaries.
+                if transport.flush().is_err() {
+                    break;
+                }
             }
 
             // Drain whatever ceilings arrived; the 1 ms read timeout
             // doubles as pacing slack.
             let mut link_dead = false;
-            match stream.read(&mut buf) {
-                Ok(0) => link_dead = true, // coordinator went away
-                Ok(n) => {
+            match transport.fill() {
+                Ok(FillStatus::Eof) => link_dead = true, // coordinator went away
+                Ok(FillStatus::Progress) => {
                     last_rx = Instant::now();
-                    reader.feed(&buf[..n]);
                     loop {
-                        match reader.next_frame() {
+                        match transport.next_msg() {
                             Ok(Some(WireMsg::Ceiling(cmd))) => {
                                 if cmd.node == node_id {
                                     let _apply = config.tracer.span("node.apply");
@@ -620,9 +657,7 @@ fn agent_loop(
                         }
                     }
                 }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Ok(FillStatus::Idle) => {}
                 Err(_) => link_dead = true,
             }
             if last_rx.elapsed() > config.link_timeout {
@@ -641,6 +676,7 @@ fn agent_loop(
         // Only reachable when the link dropped (exits via 'outer skip
         // this): reflect the disconnect before climbing the ladder.
         stats.connected.store(false, Ordering::SeqCst);
+        stats.codec_id.store(0, Ordering::SeqCst);
     }
 
     stats.connected.store(false, Ordering::SeqCst);

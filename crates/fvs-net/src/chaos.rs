@@ -19,6 +19,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -102,8 +103,10 @@ impl ChaosCore {
     /// Record one injected fault: the atomic count, the optional
     /// `net.wire_faults_injected` counter, and a `wire_fault` journal
     /// event flagged `injected` (distinguishing it from organic
-    /// corruption the frame decoder reports).
-    fn note(&self, kind: WireFaultKind) {
+    /// corruption the frame decoder reports). `frame_len`/`codec` are
+    /// the size and sniffed codec of the frame the fault hit (0 when
+    /// no frame was in hand, e.g. a blackholed read).
+    fn note(&self, kind: WireFaultKind, frame_len: u32, codec: u8) {
         self.injected.fetch_add(1, Ordering::Relaxed);
         if let Some(c) = &self.counter {
             c.inc();
@@ -119,6 +122,8 @@ impl ChaosCore {
                 },
                 kind,
                 injected: true,
+                frame_len,
+                codec,
             });
         }
     }
@@ -187,6 +192,48 @@ impl ChaosCore {
         }
         Ok(())
     }
+}
+
+/// Identify a written frame for fault telemetry: its total size and the
+/// codec its magic claims (0 when the buffer is too short or foreign).
+fn sniff_frame(buf: &[u8]) -> (u32, u8) {
+    let len = u32::try_from(buf.len()).unwrap_or(u32::MAX);
+    if buf.len() < 4 {
+        return (len, 0);
+    }
+    let codec = if buf[..4] == crate::wire::MAGIC {
+        crate::wire::WireCodec::Json.id()
+    } else if buf[..4] == crate::wire::MAGIC_V2 {
+        crate::wire::WireCodec::Binary.id()
+    } else {
+        0
+    };
+    (len, codec)
+}
+
+/// The fault a [`ChaosStream`] decided to apply to one outgoing frame.
+///
+/// The blocking [`Write`] impl applies these internally; the
+/// nonblocking `Transport` asks for the decision up front (via
+/// [`ChaosStream::decide_write_fault`]) and applies it at enqueue time,
+/// because a partial write under `WouldBlock` cannot be retried through
+/// a wrapper that re-rolls fault dice per call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write the frame as-is.
+    Deliver,
+    /// Pretend success, send nothing (drop faults and active partition
+    /// windows — the caller cannot tell the difference, as intended).
+    Drop,
+    /// Write these bytes instead (truncated or bit-flipped).
+    Corrupt(Vec<u8>),
+    /// Write the frame twice.
+    Duplicate,
+    /// Hold the frame back this long, then deliver it.
+    Delay(Duration),
+    /// The connection was reset (the socket is already shut down);
+    /// surface `ConnectionReset` to the caller.
+    Reset,
 }
 
 /// A `TcpStream` wrapper that injects [`WireFaultPlan`] faults.
@@ -272,6 +319,89 @@ impl ChaosStream {
         self.inner.set_read_timeout(dur)
     }
 
+    /// Passthrough to [`TcpStream::set_nonblocking`].
+    pub fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        self.inner.set_nonblocking(on)
+    }
+
+    /// Decide what fault (if any) hits one outgoing frame, drawing the
+    /// same RNG sequence the blocking [`Write`] path would — plan +
+    /// seed + frame sequence determinism holds across both paths. The
+    /// fault is journaled here; the caller applies the decision. On
+    /// [`WriteFault::Reset`] the socket has already been shut down.
+    pub fn decide_write_fault(&mut self, frame: &[u8]) -> WriteFault {
+        let Some(core) = self.core.clone() else {
+            return WriteFault::Deliver;
+        };
+        let (len, codec) = sniff_frame(frame);
+        if let Some(kind) = core.write_partition(core.now_s()) {
+            core.note(kind, len, codec);
+            return WriteFault::Drop;
+        }
+        let decision = {
+            let mut rng = core.rng.lock().unwrap();
+            if core.fires(&mut rng, core.plan.reset_rate) {
+                Some(WireFaultKind::Reset)
+            } else if core.fires(&mut rng, core.plan.drop_rate) {
+                Some(WireFaultKind::Drop)
+            } else if core.fires(&mut rng, core.plan.corrupt_rate) {
+                Some(WireFaultKind::Corrupt)
+            } else if core.fires(&mut rng, core.plan.duplicate_rate) {
+                Some(WireFaultKind::Duplicate)
+            } else if core.fires(&mut rng, core.plan.delay_rate) {
+                Some(WireFaultKind::Delay)
+            } else {
+                None
+            }
+        };
+        match decision {
+            Some(WireFaultKind::Reset) => {
+                core.note(WireFaultKind::Reset, len, codec);
+                let _ = self.inner.shutdown(Shutdown::Both);
+                WriteFault::Reset
+            }
+            Some(WireFaultKind::Drop) => {
+                core.note(WireFaultKind::Drop, len, codec);
+                WriteFault::Drop
+            }
+            Some(WireFaultKind::Corrupt) => {
+                core.note(WireFaultKind::Corrupt, len, codec);
+                let corrupted = {
+                    let mut rng = core.rng.lock().unwrap();
+                    let mut bytes = frame.to_vec();
+                    if rng.gen::<f64>() < 0.5 && bytes.len() > 1 {
+                        // Truncate: the tail never arrives.
+                        let keep = rng.gen_range(1..bytes.len());
+                        bytes.truncate(keep);
+                    } else if !bytes.is_empty() {
+                        // Flip one bit somewhere in the frame.
+                        let at = rng.gen_range(0..bytes.len());
+                        let bit = rng.gen_range(0u32..8);
+                        bytes[at] ^= 1 << bit;
+                    }
+                    bytes
+                };
+                WriteFault::Corrupt(corrupted)
+            }
+            Some(WireFaultKind::Duplicate) => {
+                core.note(WireFaultKind::Duplicate, len, codec);
+                WriteFault::Duplicate
+            }
+            Some(WireFaultKind::Delay) => {
+                core.note(WireFaultKind::Delay, len, codec);
+                WriteFault::Delay(Duration::from_secs_f64(core.plan.delay_s.max(0.0)))
+            }
+            _ => WriteFault::Deliver,
+        }
+    }
+
+    /// One raw `write` on the inner socket — no fault logic, no
+    /// `write_all` loop. The nonblocking `Transport` uses this to
+    /// drain its queue, tracking partial-write offsets itself.
+    pub fn write_raw(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
     /// Passthrough to [`TcpStream::set_nodelay`].
     pub fn set_nodelay(&self, on: bool) -> io::Result<()> {
         self.inner.set_nodelay(on)
@@ -301,7 +431,7 @@ impl Read for ChaosStream {
             if let Some(kind) = core.read_partition(core.now_s()) {
                 // Drain-and-discard: the bytes vanish as if the link
                 // were down, and the caller sees its usual timeout.
-                core.note(kind);
+                core.note(kind, 0, 0);
                 return Err(io::Error::new(
                     io::ErrorKind::WouldBlock,
                     "chaos partition blackholed the read",
@@ -316,87 +446,49 @@ impl Write for ChaosStream {
     /// One call = one frame. Always consumes the whole buffer (so the
     /// caller's `write_all` issues exactly one call per frame) and
     /// applies at most one fault class per frame, checked in severity
-    /// order: partition, reset, drop, corrupt, duplicate, delay.
+    /// order: partition, reset, drop, corrupt, duplicate, delay. The
+    /// decision comes from [`ChaosStream::decide_write_fault`], so the
+    /// blocking and nonblocking paths share one fault stream.
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         let Some(core) = self.core.clone() else {
             return self.inner.write(buf);
         };
         core.flush_due(&mut self.inner)?;
-        let now_s = core.now_s();
-        if let Some(kind) = core.write_partition(now_s) {
-            core.note(kind);
-            return Ok(buf.len()); // blackholed
-        }
-        let decision = {
-            let mut rng = core.rng.lock().unwrap();
-            if core.fires(&mut rng, core.plan.reset_rate) {
-                Some(WireFaultKind::Reset)
-            } else if core.fires(&mut rng, core.plan.drop_rate) {
-                Some(WireFaultKind::Drop)
-            } else if core.fires(&mut rng, core.plan.corrupt_rate) {
-                Some(WireFaultKind::Corrupt)
-            } else if core.fires(&mut rng, core.plan.duplicate_rate) {
-                Some(WireFaultKind::Duplicate)
-            } else if core.fires(&mut rng, core.plan.delay_rate) {
-                Some(WireFaultKind::Delay)
-            } else {
-                None
-            }
-        };
-        match decision {
-            Some(WireFaultKind::Reset) => {
-                core.note(WireFaultKind::Reset);
-                let _ = self.inner.shutdown(Shutdown::Both);
-                Err(io::Error::new(
-                    io::ErrorKind::ConnectionReset,
-                    "chaos reset the connection",
-                ))
-            }
-            Some(WireFaultKind::Drop) => {
-                core.note(WireFaultKind::Drop);
+        match self.decide_write_fault(buf) {
+            WriteFault::Deliver => {
+                self.inner.write_all(buf)?;
                 Ok(buf.len())
             }
-            Some(WireFaultKind::Corrupt) => {
-                core.note(WireFaultKind::Corrupt);
-                let corrupted = {
-                    let mut rng = core.rng.lock().unwrap();
-                    let mut bytes = buf.to_vec();
-                    if rng.gen::<f64>() < 0.5 && bytes.len() > 1 {
-                        // Truncate: the tail never arrives.
-                        let keep = rng.gen_range(1..bytes.len());
-                        bytes.truncate(keep);
-                    } else if !bytes.is_empty() {
-                        // Flip one bit somewhere in the frame.
-                        let at = rng.gen_range(0..bytes.len());
-                        let bit = rng.gen_range(0u32..8);
-                        bytes[at] ^= 1 << bit;
-                    }
-                    bytes
-                };
-                self.inner.write_all(&corrupted)?;
+            WriteFault::Drop => Ok(buf.len()), // blackholed or dropped
+            WriteFault::Corrupt(bytes) => {
+                self.inner.write_all(&bytes)?;
                 Ok(buf.len())
             }
-            Some(WireFaultKind::Duplicate) => {
-                core.note(WireFaultKind::Duplicate);
+            WriteFault::Duplicate => {
                 self.inner.write_all(buf)?;
                 self.inner.write_all(buf)?;
                 Ok(buf.len())
             }
-            Some(WireFaultKind::Delay) => {
-                core.note(WireFaultKind::Delay);
-                let due = Instant::now() + Duration::from_secs_f64(core.plan.delay_s.max(0.0));
+            WriteFault::Delay(hold) => {
+                let due = Instant::now() + hold;
                 core.pending.lock().unwrap().push((due, buf.to_vec()));
                 Ok(buf.len())
             }
-            _ => {
-                self.inner.write_all(buf)?;
-                Ok(buf.len())
-            }
+            WriteFault::Reset => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos reset the connection",
+            )),
         }
     }
 
     fn flush(&mut self) -> io::Result<()> {
         self.inner.flush()
+    }
+}
+
+impl AsRawFd for ChaosStream {
+    fn as_raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
     }
 }
 

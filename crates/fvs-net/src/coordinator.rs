@@ -1,22 +1,35 @@
 //! The coordinator's TCP front end.
 //!
 //! A [`CoordinatorServer`] owns the real [`GlobalCoordinator`] and
-//! exposes it over sockets: an accept thread admits agents, one reader
-//! thread per connection decodes uplink frames, and a scheduler thread
-//! runs the global computation on a wall-clock period, pushing
-//! [`FrequencyCommand`]s down whichever connections are still alive.
-//! Heartbeat tracking, silent-node charging and blind f_min commands all
-//! operate on *genuine* socket liveness: a node is whatever its last
-//! frame says it is, and a dead socket simply stops producing frames.
+//! exposes it over sockets — from **one thread**. A readiness-driven
+//! event loop (a [`Reactor`] over the vendored `netpoll` epoll wrapper)
+//! accepts agents, decodes uplink frames through per-connection
+//! [`Transport`] state machines, runs the global scheduling round on a
+//! wall-clock period, and pushes [`FrequencyCommand`]s down whichever
+//! connections are still alive. Thread count is O(1) in connection
+//! count: 10k agents cost file descriptors and slab slots, not stacks.
+//! Heartbeat tracking, silent-node charging and blind f_min commands
+//! all operate on *genuine* socket liveness: a node is whatever its
+//! last frame says it is, and a dead socket simply stops producing
+//! frames.
+//!
+//! Codec negotiation happens per connection at hello time: an agent
+//! advertising the binary `FVS2` codec gets it iff this server's
+//! `preferred_codec` is binary too; everything else stays on JSON
+//! `FVS1`, so a mixed fleet (old agents, new agents, tests speaking
+//! JSON on purpose) connects to one listener. Reads never care — the
+//! frame magic picks the decoder per frame.
 //!
 //! Timestamps are coordinator-local. Incoming summaries are re-stamped
 //! with their *arrival* time on the server's monotonic clock, so agent
 //! clock skew cannot fake liveness (an agent cannot claim "I reported
 //! in your future") and the heartbeat timeout measures exactly what the
 //! paper's ΔT argument needs: how long since the coordinator last heard
-//! from the node.
+//! from the node. With ingest on the event loop itself there is no
+//! reader-to-scheduler queue left to hide latency in — a summary is in
+//! the [`GlobalCoordinator`] the same iteration its bytes arrive.
 //!
-//! Crash recovery: with snapshots configured the scheduler persists a
+//! Crash recovery: with snapshots configured the loop persists a
 //! checksummed [`Snapshot`] on a cadence *and* write-ahead on every
 //! budget change, so `--resume` restores the fencing epoch (+1), the
 //! enforced budget (the stricter of snapshot and configured), every
@@ -30,8 +43,10 @@
 use crate::chaos::{ChaosSide, ChaosStream};
 use crate::error::FvsError;
 use crate::obs::{HealthReport, ObsHandles, ObsServer};
+use crate::reactor::{Reactor, LISTENER_TOKEN};
 use crate::snapshot::{Snapshot, SnapshotEpisode, SnapshotNode, SnapshotStore};
-use crate::wire::{encode, FrameFault, FrameReader, WireMsg, SCHEMA_VERSION};
+use crate::transport::{FillStatus, Transport};
+use crate::wire::{FrameFault, WireCodec, WireMsg, CODEC_BINARY_BIT, SCHEMA_VERSION};
 use crate::WireChaos;
 use fvs_cluster::{FrequencyCommand, GlobalCoordinator, NodeRestore};
 use fvs_sched::FvsstAlgorithm;
@@ -40,7 +55,7 @@ use fvs_telemetry::{
     Tracer, WireFaultKind,
 };
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -76,13 +91,20 @@ pub struct CoordinatorConfig {
     /// Drop a connection when no frame arrives for this long (the
     /// coordinator-side dead-link bound; agents send summaries far
     /// more often than this when healthy).
-    pub conn_deadline_s: f64,
+    pub read_deadline_s: f64,
+    /// The fastest codec this server will negotiate. Binary (the
+    /// default) picks `FVS2` for agents that advertise it; JSON pins
+    /// every connection to `FVS1`.
+    pub preferred_codec: WireCodec,
+    /// Admission limit: sockets accepted beyond this many live
+    /// connections are closed immediately.
+    pub max_conns: usize,
     /// Wire-chaos injection on accepted sockets (quiet = passthrough).
     pub chaos: WireChaos,
     /// Where events and `net.*` metrics go.
     pub telemetry: Telemetry,
     /// Causal span tracer: `net.round` → `cluster.round` → two-pass
-    /// spans → `net.push`, all on the scheduler thread.
+    /// spans → `net.push`, all on the event-loop thread.
     pub tracer: Tracer,
 }
 
@@ -100,7 +122,9 @@ impl CoordinatorConfig {
             snapshot_every_s: 1.0,
             resume: false,
             resync_grace_s: 2.0,
-            conn_deadline_s: 5.0,
+            read_deadline_s: 5.0,
+            preferred_codec: WireCodec::Binary,
+            max_conns: usize::MAX,
             chaos: WireChaos::none(),
             telemetry: Telemetry::disabled(),
             tracer: Tracer::disabled(),
@@ -157,8 +181,29 @@ impl CoordinatorConfig {
     }
 
     /// Override the per-connection read deadline.
-    pub fn with_conn_deadline_s(mut self, deadline_s: f64) -> Self {
-        self.conn_deadline_s = deadline_s;
+    pub fn with_read_deadline_s(mut self, deadline_s: f64) -> Self {
+        self.read_deadline_s = deadline_s;
+        self
+    }
+
+    /// The thread-per-connection server called this knob the "conn
+    /// deadline"; the reactor server has exactly one deadline per
+    /// connection — read silence — so the name says so.
+    #[deprecated(note = "renamed to `with_read_deadline_s`")]
+    pub fn with_conn_deadline_s(self, deadline_s: f64) -> Self {
+        self.with_read_deadline_s(deadline_s)
+    }
+
+    /// Cap the codec this server negotiates (see
+    /// [`CoordinatorConfig::preferred_codec`]).
+    pub fn with_codec(mut self, codec: WireCodec) -> Self {
+        self.preferred_codec = codec;
+        self
+    }
+
+    /// Cap concurrent connections (see [`CoordinatorConfig::max_conns`]).
+    pub fn with_max_conns(mut self, max_conns: usize) -> Self {
+        self.max_conns = max_conns;
         self
     }
 
@@ -168,13 +213,13 @@ impl CoordinatorConfig {
         self
     }
 
-    /// Attach a telemetry pipeline.
+    /// Route events and metrics through `telemetry`.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
     }
 
-    /// Attach a causal span tracer.
+    /// Record causal spans through `tracer`.
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
         self
@@ -202,10 +247,13 @@ impl CoordinatorConfig {
                 "resync_grace_s must be finite and positive",
             ));
         }
-        if !(self.conn_deadline_s.is_finite() && self.conn_deadline_s > 0.0) {
+        if !(self.read_deadline_s.is_finite() && self.read_deadline_s > 0.0) {
             return Err(FvsError::config(
-                "conn_deadline_s must be finite and positive",
+                "read_deadline_s must be finite and positive",
             ));
+        }
+        if self.max_conns == 0 {
+            return Err(FvsError::config("max_conns must be at least 1"));
         }
         if self.resume && self.snapshot_path.is_none() {
             return Err(FvsError::config("resume requires a snapshot_path"));
@@ -229,7 +277,7 @@ pub struct CoordinatorStatus {
     pub conservative_power_w: f64,
     /// Budget in force (W).
     pub budget_w: f64,
-    /// Sockets currently connected.
+    /// Sockets currently past a completed handshake.
     pub connections: usize,
     /// Compliance episodes closed so far.
     pub compliances: u64,
@@ -241,10 +289,6 @@ pub struct CoordinatorStatus {
     pub resyncing: bool,
     /// The most recently closed compliance episode.
     pub last_compliance: Option<ComplianceRecord>,
-}
-
-enum Uplink {
-    Frame(usize, WireMsg),
 }
 
 struct NetMetrics {
@@ -267,8 +311,8 @@ struct NetMetrics {
     /// Keep-alive heartbeats pushed downlink.
     heartbeats_tx: Arc<Counter>,
     connections: Arc<Gauge>,
-    /// Wall time of one scheduler-thread round (drain → schedule →
-    /// push), quantile-estimable for the `/metrics` p99.
+    /// Wall time of one event-loop round (schedule → push),
+    /// quantile-estimable for the `/metrics` p99.
     round_wall_s: Arc<Histogram>,
     /// Ceiling fan-out latency: time to write all commands downlink.
     fanout_wall_s: Arc<Histogram>,
@@ -305,7 +349,7 @@ impl NetMetrics {
 
 struct Shared {
     stop: AtomicBool,
-    /// Budget as f64 bits, plus a change epoch so the scheduler thread
+    /// Budget as f64 bits, plus a change epoch so the event loop
     /// reacts on its next slice instead of waiting out the period.
     budget_bits: AtomicU64,
     budget_epoch: AtomicU64,
@@ -313,14 +357,11 @@ struct Shared {
     /// resumes: cold start = 1, resume = snapshot + 1).
     epoch: AtomicU64,
     /// Post-resume resync deadline in coordinator seconds, as f64
-    /// bits; NaN = not resyncing. Cleared by the scheduler thread when
+    /// bits; NaN = not resyncing. Cleared by the event loop when
     /// it emits `resync_complete`, so `/healthz` flips strictly after
     /// the event.
     resync_deadline_bits: AtomicU64,
     status: Mutex<CoordinatorStatus>,
-    /// Downlink sockets by node id (write half; `try_clone` of the
-    /// reader's stream). Poisoning is impossible: writers only send.
-    writers: Mutex<HashMap<usize, ChaosStream>>,
     /// When the last round finished, as f64-bit seconds on the server's
     /// monotonic clock (`/healthz` serves the age).
     last_round_bits: AtomicU64,
@@ -330,26 +371,30 @@ struct Shared {
 pub struct CoordinatorServer {
     shared: Arc<Shared>,
     local_addr: std::net::SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
-    sched_thread: Option<JoinHandle<()>>,
+    thread: Option<JoinHandle<()>>,
     telemetry: Telemetry,
     tracer: Tracer,
     start: Instant,
 }
 
-/// Everything a connection handler needs, bundled once.
-struct ConnCtx {
-    shared: Arc<Shared>,
-    metrics: Arc<Option<NetMetrics>>,
-    uplink_tx: crossbeam::channel::Sender<Uplink>,
-    start: Instant,
-    telemetry: Telemetry,
-    conn_deadline: Duration,
-    chaos: WireChaos,
+/// Per-connection bookkeeping hung on the reactor next to the
+/// [`Transport`].
+struct Conn {
+    /// The node this socket handshook as (`None` until an accepted
+    /// hello names it).
+    node: Option<usize>,
+    /// Last time a frame (or any bytes) arrived — the read deadline's
+    /// clock.
+    last_rx: Instant,
+    /// [`Transport::bytes_rx`] at the last metrics sample.
+    bytes_seen: u64,
+    /// Round id of the last ceiling pushed to this connection, so the
+    /// heartbeat pass skips freshly-commanded nodes in O(1).
+    last_cmd_round: u64,
 }
 
-/// Scheduler-thread wiring (the loop's share of the config).
-struct SchedCtx {
+/// The event loop's share of the config, bundled once.
+struct LoopCtx {
     shared: Arc<Shared>,
     metrics: Arc<Option<NetMetrics>>,
     telemetry: Telemetry,
@@ -360,6 +405,10 @@ struct SchedCtx {
     start: Instant,
     store: Option<SnapshotStore>,
     snapshot_every_s: f64,
+    read_deadline: Duration,
+    chaos: WireChaos,
+    preferred_codec: WireCodec,
+    max_conns: usize,
 }
 
 impl CoordinatorServer {
@@ -460,11 +509,9 @@ impl CoordinatorServer {
                 resyncing: restored.is_some(),
                 ..CoordinatorStatus::default()
             }),
-            writers: Mutex::new(HashMap::new()),
             last_round_bits: AtomicU64::new(0f64.to_bits()),
         });
         let start = Instant::now();
-        let (uplink_tx, uplink_rx) = crossbeam::channel::unbounded::<Uplink>();
 
         if let Some(snap) = &restored {
             telemetry.emit(SchedEvent::CoordinatorResumed {
@@ -476,45 +523,34 @@ impl CoordinatorServer {
             });
         }
 
-        let accept_thread = {
-            let ctx = Arc::new(ConnCtx {
-                shared: Arc::clone(&shared),
-                metrics: Arc::clone(&metrics),
-                uplink_tx: uplink_tx.clone(),
-                start,
-                telemetry: telemetry.clone(),
-                conn_deadline: Duration::from_secs_f64(config.conn_deadline_s),
-                chaos: config.chaos.clone(),
-            });
-            std::thread::spawn(move || {
-                accept_loop(listener, ctx);
-            })
-        };
-
         let tracer = config.tracer.clone();
-        let sched_thread = {
-            let ctx = SchedCtx {
-                shared: Arc::clone(&shared),
-                metrics: Arc::clone(&metrics),
-                telemetry: telemetry.clone(),
-                tracer: tracer.clone(),
-                period_s: config.period_s,
-                heartbeat_timeout_s: config.heartbeat_timeout_s,
-                nodes,
-                start,
-                store,
-                snapshot_every_s: config.snapshot_every_s,
-            };
-            std::thread::spawn(move || {
-                scheduler_loop(coordinator, tracker, ctx, uplink_rx);
-            })
+        let ctx = LoopCtx {
+            shared: Arc::clone(&shared),
+            metrics,
+            telemetry: telemetry.clone(),
+            tracer: tracer.clone(),
+            period_s: config.period_s,
+            heartbeat_timeout_s: config.heartbeat_timeout_s,
+            nodes,
+            start,
+            store,
+            snapshot_every_s: config.snapshot_every_s,
+            read_deadline: Duration::from_secs_f64(config.read_deadline_s),
+            chaos: config.chaos.clone(),
+            preferred_codec: config.preferred_codec,
+            max_conns: config.max_conns,
         };
+        let thread = std::thread::Builder::new()
+            .name("fvs-coordinator".into())
+            .spawn(move || {
+                event_loop(listener, coordinator, tracker, ctx);
+            })
+            .map_err(FvsError::Io)?;
 
         Ok(CoordinatorServer {
             shared,
             local_addr,
-            accept_thread: Some(accept_thread),
-            sched_thread: Some(sched_thread),
+            thread: Some(thread),
             telemetry,
             tracer,
             start,
@@ -531,8 +567,8 @@ impl CoordinatorServer {
         self.shared.epoch.load(Ordering::SeqCst)
     }
 
-    /// Change the global budget; the scheduler reacts on its next slice
-    /// (a few milliseconds), not its next period.
+    /// Change the global budget; the event loop reacts on its next
+    /// slice (a few milliseconds), not its next period.
     pub fn set_budget(&self, watts: f64) {
         self.shared
             .budget_bits
@@ -569,7 +605,8 @@ impl CoordinatorServer {
         )
     }
 
-    /// Stop the threads, flush telemetry, and return the final status.
+    /// Stop the event loop, flush telemetry, and return the final
+    /// status.
     pub fn shutdown(mut self) -> Result<CoordinatorStatus, FvsError> {
         self.stop_and_join();
         self.telemetry.flush()?;
@@ -578,18 +615,9 @@ impl CoordinatorServer {
 
     fn stop_and_join(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.sched_thread.take() {
-            let _ = t.join();
-        }
-        // Closing the write halves unblocks any agent mid-read.
-        self.shared
-            .writers
-            .lock()
-            .expect("writers poisoned")
-            .clear();
     }
 }
 
@@ -600,206 +628,320 @@ impl Drop for CoordinatorServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, ctx: Arc<ConnCtx>) {
-    let mut readers: Vec<JoinHandle<()>> = Vec::new();
-    let mut accept_seq = 0u64;
-    while !ctx.shared.stop.load(Ordering::SeqCst) {
+/// Tear a connection down: deregister, unmap its node (if this socket
+/// is still the node's current one), count the disconnect. Dropping
+/// the transport closes the socket.
+fn close_conn(
+    reactor: &mut Reactor<Conn>,
+    node_tokens: &mut HashMap<usize, u64>,
+    token: u64,
+    metrics: Option<&NetMetrics>,
+) {
+    let Some((_, conn)) = reactor.remove(token) else {
+        return;
+    };
+    if let Some(node) = conn.node {
+        if node_tokens.get(&node) == Some(&token) {
+            node_tokens.remove(&node);
+        }
+    }
+    if let Some(m) = metrics {
+        m.disconnects.inc();
+    }
+}
+
+/// Accept everything pending on the listener (level-triggered: drain
+/// until `WouldBlock`).
+fn accept_ready(listener: &TcpListener, reactor: &mut Reactor<Conn>, ctx: &LoopCtx, seq: &mut u64) {
+    loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                accept_seq += 1;
-                let chaos_counter = ctx
-                    .metrics
-                    .as_ref()
-                    .as_ref()
-                    .map(|m| Arc::clone(&m.wire_faults));
+                let metrics = ctx.metrics.as_ref().as_ref();
+                if reactor.len() >= ctx.max_conns {
+                    // Admission control: over the cap the kindest
+                    // signal is an immediate close, which the agent's
+                    // backoff ladder turns into a retry.
+                    drop(stream);
+                    continue;
+                }
+                *seq += 1;
+                let chaos_counter = metrics.map(|m| Arc::clone(&m.wire_faults));
                 let stream = ChaosStream::wrap(
                     stream,
                     &ctx.chaos,
                     ChaosSide::Coordinator,
-                    accept_seq,
+                    *seq,
                     ctx.start,
                     ctx.telemetry.clone(),
                     chaos_counter,
                 );
-                let ctx = Arc::clone(&ctx);
-                readers.push(std::thread::spawn(move || {
-                    reader_loop(stream, ctx);
-                }));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => break,
-        }
-    }
-    for t in readers {
-        let _ = t.join();
-    }
-}
-
-/// One connection's uplink: handshake, then summaries until the socket
-/// dies. The first frame must be a `Hello` carrying an exact schema
-/// version match *and* an epoch no newer than ours, otherwise the
-/// connection is refused with a negative `HelloAck` — explicit version
-/// negotiation and split-brain fencing instead of mis-parsing.
-fn reader_loop(mut stream: ChaosStream, ctx: Arc<ConnCtx>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
-    let mut reader = FrameReader::new();
-    let mut buf = [0u8; 4096];
-    let mut node_id: Option<usize> = None;
-    let metrics = ctx.metrics.as_ref().as_ref();
-    if let Some(m) = metrics {
-        m.connects.inc();
-    }
-    // Per-connection read deadline: a link that produces no bytes for
-    // `conn_deadline` is declared dead instead of lingering forever.
-    let mut last_rx = Instant::now();
-
-    'conn: while !ctx.shared.stop.load(Ordering::SeqCst) {
-        match stream.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => {
-                last_rx = Instant::now();
-                if let Some(m) = metrics {
-                    m.bytes_rx.add(n as u64);
-                }
-                reader.feed(&buf[..n]);
-                loop {
-                    match reader.next_frame() {
-                        Ok(None) => break,
-                        Ok(Some(msg)) => {
-                            if let Some(m) = metrics {
-                                m.frames_rx.inc();
-                            }
-                            match msg {
-                                WireMsg::Hello {
-                                    node,
-                                    version,
-                                    last_epoch,
-                                    ..
-                                } => {
-                                    let my_epoch = ctx.shared.epoch.load(Ordering::SeqCst);
-                                    let version_ok = version == SCHEMA_VERSION;
-                                    // An agent that has acknowledged a
-                                    // *newer* epoch than ours means we
-                                    // are the stale survivor: refuse,
-                                    // so the split-brain resolves in
-                                    // favour of the current incumbent.
-                                    let epoch_ok = last_epoch <= my_epoch;
-                                    let ack = WireMsg::HelloAck {
-                                        accepted: version_ok && epoch_ok,
-                                        version: SCHEMA_VERSION,
-                                        epoch: my_epoch,
-                                    };
-                                    if let Ok(frame) = encode(&ack) {
-                                        let _ = stream.write_all(&frame);
-                                    }
-                                    if !version_ok {
-                                        if let Some(m) = metrics {
-                                            m.version_rejects.inc();
-                                        }
-                                        break 'conn;
-                                    }
-                                    if !epoch_ok {
-                                        if let Some(m) = metrics {
-                                            m.epoch_rejects.inc();
-                                        }
-                                        ctx.telemetry.emit(SchedEvent::EpochFenced {
-                                            t_s: ctx.start.elapsed().as_secs_f64(),
-                                            node: node as u32,
-                                            peer_epoch: last_epoch,
-                                            local_epoch: my_epoch,
-                                        });
-                                        break 'conn;
-                                    }
-                                    node_id = Some(node);
-                                    stream.set_node(node);
-                                    if let Ok(down) = stream.try_clone() {
-                                        ctx.shared
-                                            .writers
-                                            .lock()
-                                            .expect("writers poisoned")
-                                            .insert(node, down);
-                                    }
-                                }
-                                WireMsg::Summary(mut summary) => {
-                                    // Re-stamp with arrival time on the
-                                    // coordinator's clock: liveness is
-                                    // what *we* observed, not what the
-                                    // agent claims.
-                                    summary.sent_at_s = ctx.start.elapsed().as_secs_f64();
-                                    let node = summary.node;
-                                    let _ = ctx
-                                        .uplink_tx
-                                        .send(Uplink::Frame(node, WireMsg::Summary(summary)));
-                                }
-                                WireMsg::Bye { node } => {
-                                    let _ = ctx
-                                        .uplink_tx
-                                        .send(Uplink::Frame(node, WireMsg::Bye { node }));
-                                    break 'conn;
-                                }
-                                // Agents never send these; ignore.
-                                WireMsg::HelloAck { .. }
-                                | WireMsg::Ceiling(_)
-                                | WireMsg::Heartbeat { .. } => {}
-                            }
-                        }
-                        Err(_) => {
-                            // A desynchronised stream cannot be
-                            // trusted; classify the organic fault for
-                            // the journal and metrics *before*
-                            // dropping it (satellite: oversize / bad
-                            // magic / decode are distinguishable from
-                            // injected chaos via `injected:false`).
-                            let kind = match reader.last_fault() {
-                                Some(FrameFault::Oversize) => {
-                                    if let Some(m) = metrics {
-                                        m.oversize_frames.inc();
-                                    }
-                                    WireFaultKind::Oversize
-                                }
-                                Some(FrameFault::BadMagic) => WireFaultKind::BadMagic,
-                                _ => WireFaultKind::Decode,
-                            };
-                            if let Some(m) = metrics {
-                                m.decode_errors.inc();
-                                m.wire_faults.inc();
-                            }
-                            ctx.telemetry.emit(SchedEvent::WireFault {
-                                t_s: ctx.start.elapsed().as_secs_f64(),
-                                node: node_id.map(|n| n as u32).unwrap_or(u32::MAX),
-                                kind,
-                                injected: false,
-                            });
-                            break 'conn;
-                        }
+                let _ = stream.set_nodelay(true);
+                let conn = Conn {
+                    node: None,
+                    last_rx: Instant::now(),
+                    bytes_seen: 0,
+                    last_cmd_round: 0,
+                };
+                if reactor.insert(Transport::new(stream), conn).is_ok() {
+                    if let Some(m) = metrics {
+                        m.connects.inc();
                     }
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if last_rx.elapsed() > ctx.conn_deadline {
-                    break 'conn;
-                }
-                continue;
-            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(_) => break,
         }
     }
+}
 
-    if let Some(m) = metrics {
-        m.disconnects.inc();
+/// Service one connection's readiness: flush if writable, then read,
+/// parse and dispatch every complete frame. Summaries are re-stamped
+/// with arrival time and ingested into the [`GlobalCoordinator`] right
+/// here — same thread, same iteration.
+#[allow(clippy::too_many_arguments)]
+fn service_conn(
+    readable: bool,
+    writable: bool,
+    token: u64,
+    reactor: &mut Reactor<Conn>,
+    node_tokens: &mut HashMap<usize, u64>,
+    ctx: &LoopCtx,
+    coordinator: &mut GlobalCoordinator,
+    last_power: &mut [f64],
+    last_seen: &mut [f64],
+    my_epoch: u64,
+) {
+    let metrics = ctx.metrics.as_ref().as_ref();
+    if writable {
+        let Some((transport, _)) = reactor.get_mut(token) else {
+            return;
+        };
+        if transport.flush().is_err() {
+            close_conn(reactor, node_tokens, token, metrics);
+            return;
+        }
+        let _ = reactor.update_interest(token);
     }
-    if let Some(node) = node_id {
-        ctx.shared
-            .writers
-            .lock()
-            .expect("writers poisoned")
-            .remove(&node);
+    if !readable {
+        return;
+    }
+    {
+        let Some((transport, conn)) = reactor.get_mut(token) else {
+            return;
+        };
+        match transport.fill() {
+            Ok(FillStatus::Eof) | Err(_) => {
+                close_conn(reactor, node_tokens, token, metrics);
+                return;
+            }
+            Ok(FillStatus::Progress) => {
+                conn.last_rx = Instant::now();
+                let total = transport.bytes_rx();
+                if let Some(m) = metrics {
+                    m.bytes_rx.add(total - conn.bytes_seen);
+                }
+                conn.bytes_seen = total;
+            }
+            Ok(FillStatus::Idle) => {}
+        }
+    }
+    loop {
+        let Some((transport, conn)) = reactor.get_mut(token) else {
+            return;
+        };
+        match transport.next_msg() {
+            Ok(None) => return,
+            Ok(Some(msg)) => {
+                if let Some(m) = metrics {
+                    m.frames_rx.inc();
+                }
+                match msg {
+                    WireMsg::Hello {
+                        node,
+                        version,
+                        last_epoch,
+                        codecs,
+                        ..
+                    } => {
+                        let version_ok = version == SCHEMA_VERSION;
+                        // An agent that has acknowledged a *newer*
+                        // epoch than ours means we are the stale
+                        // survivor: refuse, so the split-brain resolves
+                        // in favour of the current incumbent.
+                        let epoch_ok = last_epoch <= my_epoch;
+                        let accepted = version_ok && epoch_ok;
+                        // Codec negotiation: binary iff both sides want
+                        // it; the ack itself is always JSON.
+                        let chosen = if accepted
+                            && ctx.preferred_codec == WireCodec::Binary
+                            && codecs & CODEC_BINARY_BIT != 0
+                        {
+                            WireCodec::Binary
+                        } else {
+                            WireCodec::Json
+                        };
+                        let ack = WireMsg::HelloAck {
+                            accepted,
+                            version: SCHEMA_VERSION,
+                            epoch: my_epoch,
+                            codec: chosen.id(),
+                        };
+                        let acked = transport.send(&ack).is_ok() && transport.flush().is_ok();
+                        if acked {
+                            if let Some(m) = metrics {
+                                m.frames_tx.inc();
+                            }
+                        }
+                        if !version_ok {
+                            if let Some(m) = metrics {
+                                m.version_rejects.inc();
+                            }
+                            close_conn(reactor, node_tokens, token, metrics);
+                            return;
+                        }
+                        if !epoch_ok {
+                            if let Some(m) = metrics {
+                                m.epoch_rejects.inc();
+                            }
+                            ctx.telemetry.emit(SchedEvent::EpochFenced {
+                                t_s: ctx.start.elapsed().as_secs_f64(),
+                                node: node as u32,
+                                peer_epoch: last_epoch,
+                                local_epoch: my_epoch,
+                            });
+                            close_conn(reactor, node_tokens, token, metrics);
+                            return;
+                        }
+                        if !acked {
+                            close_conn(reactor, node_tokens, token, metrics);
+                            return;
+                        }
+                        transport.set_codec(chosen);
+                        transport.stream().set_node(node);
+                        conn.node = Some(node);
+                        // A reconnecting node replaces its old socket as
+                        // the push target; the old one dies by deadline.
+                        node_tokens.insert(node, token);
+                        let _ = reactor.update_interest(token);
+                    }
+                    WireMsg::Summary(mut summary) => {
+                        // Re-stamp with arrival time on the
+                        // coordinator's clock: liveness is what *we*
+                        // observed, not what the agent claims.
+                        let arrival_s = conn
+                            .last_rx
+                            .saturating_duration_since(ctx.start)
+                            .as_secs_f64();
+                        summary.sent_at_s = arrival_s;
+                        let node = summary.node;
+                        if node < ctx.nodes {
+                            last_power[node] = summary.power_w;
+                            last_seen[node] = arrival_s;
+                        }
+                        if let Some(m) = metrics {
+                            // Staleness at ingest: parse-to-ingest gap
+                            // on the arrival-stamped clock (there is no
+                            // reader-to-scheduler queue any more).
+                            m.summary_staleness_s
+                                .observe((ctx.start.elapsed().as_secs_f64() - arrival_s).max(0.0));
+                        }
+                        coordinator.ingest(summary);
+                    }
+                    WireMsg::Bye { .. } => {
+                        close_conn(reactor, node_tokens, token, metrics);
+                        return;
+                    }
+                    // Agents never send these; ignore.
+                    WireMsg::HelloAck { .. } | WireMsg::Ceiling(_) | WireMsg::Heartbeat { .. } => {}
+                }
+            }
+            Err(_) => {
+                // A desynchronised stream cannot be trusted; classify
+                // the organic fault for the journal and metrics
+                // *before* dropping it (oversize / bad magic / decode
+                // are distinguishable from injected chaos via
+                // `injected:false`, and the event carries the observed
+                // frame length and codec).
+                let kind = match transport.last_fault() {
+                    Some(FrameFault::Oversize) => {
+                        if let Some(m) = metrics {
+                            m.oversize_frames.inc();
+                        }
+                        WireFaultKind::Oversize
+                    }
+                    Some(FrameFault::BadMagic) => WireFaultKind::BadMagic,
+                    _ => WireFaultKind::Decode,
+                };
+                if let Some(m) = metrics {
+                    m.decode_errors.inc();
+                    m.wire_faults.inc();
+                }
+                ctx.telemetry.emit(SchedEvent::WireFault {
+                    t_s: ctx.start.elapsed().as_secs_f64(),
+                    node: conn.node.map(|n| n as u32).unwrap_or(u32::MAX),
+                    kind,
+                    injected: false,
+                    frame_len: transport.last_fault_len(),
+                    codec: transport.last_fault_codec(),
+                });
+                close_conn(reactor, node_tokens, token, metrics);
+                return;
+            }
+        }
+    }
+}
+
+/// Push this round's ceilings, then a keep-alive [`WireMsg::Heartbeat`]
+/// to every handshaken connection the round did not command — so
+/// agents can bound dead-link detection in time, and a stale
+/// coordinator gets fenced mid-connection by the epoch the heartbeat
+/// carries.
+fn push_round(
+    reactor: &mut Reactor<Conn>,
+    node_tokens: &mut HashMap<usize, u64>,
+    commands: &[FrequencyCommand],
+    epoch: u64,
+    round: u64,
+    metrics: Option<&NetMetrics>,
+) {
+    for cmd in commands {
+        let Some(&token) = node_tokens.get(&cmd.node) else {
+            continue;
+        };
+        let Some((transport, conn)) = reactor.get_mut(token) else {
+            continue;
+        };
+        conn.last_cmd_round = round;
+        let ok =
+            transport.send(&WireMsg::Ceiling(cmd.clone())).is_ok() && transport.flush().is_ok();
+        if !ok {
+            close_conn(reactor, node_tokens, token, metrics);
+            continue;
+        }
+        let _ = reactor.update_interest(token);
+        if let Some(m) = metrics {
+            m.frames_tx.inc();
+        }
+    }
+    let heartbeat = WireMsg::Heartbeat { epoch };
+    let targets: Vec<u64> = node_tokens.values().copied().collect();
+    for token in targets {
+        let Some((transport, conn)) = reactor.get_mut(token) else {
+            continue;
+        };
+        if conn.last_cmd_round == round {
+            continue;
+        }
+        let ok = transport.send(&heartbeat).is_ok() && transport.flush().is_ok();
+        if !ok {
+            close_conn(reactor, node_tokens, token, metrics);
+            continue;
+        }
+        let _ = reactor.update_interest(token);
+        if let Some(m) = metrics {
+            m.frames_tx.inc();
+            m.heartbeats_tx.inc();
+        }
     }
 }
 
@@ -847,54 +989,69 @@ fn take_snapshot(
     }
 }
 
-fn scheduler_loop(
+/// The whole server, one thread: accept, read, schedule, push.
+fn event_loop(
+    listener: TcpListener,
     mut coordinator: GlobalCoordinator,
     mut tracker: BudgetDeadlineTracker,
-    ctx: SchedCtx,
-    uplink_rx: crossbeam::channel::Receiver<Uplink>,
+    ctx: LoopCtx,
 ) {
-    let SchedCtx {
-        shared,
-        metrics,
-        telemetry,
-        tracer,
-        period_s,
-        heartbeat_timeout_s,
-        nodes,
-        start,
-        store,
-        snapshot_every_s,
-    } = ctx;
+    let mut reactor: Reactor<Conn> = match Reactor::new() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fvsst-coordinator: reactor init failed: {e}");
+            return;
+        }
+    };
+    if let Err(e) = reactor.register_listener(&listener) {
+        eprintln!("fvsst-coordinator: listener registration failed: {e}");
+        return;
+    }
+
+    // Map a node id to its current downlink token.
+    let mut node_tokens: HashMap<usize, u64> = HashMap::new();
+    let mut accept_seq = 0u64;
     let mut last_round = Instant::now();
     let mut seen_epoch = 0u64;
-    let mut prev_budget = f64::from_bits(shared.budget_bits.load(Ordering::SeqCst));
-    let mut rounds = shared.status.lock().expect("status poisoned").rounds;
-    let my_epoch = shared.epoch.load(Ordering::SeqCst);
+    let mut prev_budget = f64::from_bits(ctx.shared.budget_bits.load(Ordering::SeqCst));
+    let mut rounds = ctx.shared.status.lock().expect("status poisoned").rounds;
+    let my_epoch = ctx.shared.epoch.load(Ordering::SeqCst);
     let mut last_snapshot_s = 0.0f64;
     // Last power each node reported, and when (coordinator clock) — the
     // live half of the conservative power sum. Restored nodes start
     // with `last_seen = -inf` on purpose: they are *charged* (inside
     // `reserved_w`) until they report on this incarnation's socket.
-    let mut last_power = vec![0.0f64; nodes];
-    let mut last_seen = vec![f64::NEG_INFINITY; nodes];
+    let mut last_power = vec![0.0f64; ctx.nodes];
+    let mut last_seen = vec![f64::NEG_INFINITY; ctx.nodes];
+    // Read-deadline sweeps walk every connection, so amortize them.
+    let sweep_every = (ctx.read_deadline / 4).min(Duration::from_millis(500));
+    let mut last_sweep = Instant::now();
 
     let write_snapshot = |coordinator: &GlobalCoordinator,
                           tracker: &BudgetDeadlineTracker,
                           budget: f64,
                           now_s: f64,
                           rounds: u64| {
-        let Some(store) = &store else { return };
-        let snap = take_snapshot(coordinator, tracker, nodes, my_epoch, budget, now_s, rounds);
+        let Some(store) = &ctx.store else { return };
+        let snap = take_snapshot(
+            coordinator,
+            tracker,
+            ctx.nodes,
+            my_epoch,
+            budget,
+            now_s,
+            rounds,
+        );
         match store.save(&snap) {
             Ok(()) => {
-                if let Some(m) = metrics.as_ref() {
+                if let Some(m) = ctx.metrics.as_ref() {
                     m.snapshots_written.inc();
                 }
-                telemetry.emit(SchedEvent::SnapshotWritten {
+                ctx.telemetry.emit(SchedEvent::SnapshotWritten {
                     t_s: now_s,
                     epoch: my_epoch,
                     budget_w: budget,
-                    nodes: nodes as u32,
+                    nodes: ctx.nodes as u32,
                 });
             }
             Err(e) => {
@@ -904,36 +1061,69 @@ fn scheduler_loop(
     };
 
     loop {
-        let stopping = shared.stop.load(Ordering::SeqCst);
-        // Drain the uplink; ingest re-stamped summaries immediately.
-        let drain_now_s = start.elapsed().as_secs_f64();
-        for ev in uplink_rx.try_iter() {
-            match ev {
-                Uplink::Frame(node, WireMsg::Summary(summary)) => {
-                    if node < nodes {
-                        last_power[node] = summary.power_w;
-                        last_seen[node] = summary.sent_at_s;
-                    }
-                    if let Some(m) = metrics.as_ref() {
-                        m.summary_staleness_s
-                            .observe((drain_now_s - summary.sent_at_s).max(0.0));
-                    }
-                    coordinator.ingest(summary);
+        let stopping = ctx.shared.stop.load(Ordering::SeqCst);
+
+        // Wait for readiness, but never past the scheduler slice: a
+        // budget change (an atomic poke from another thread) must be
+        // noticed within a few milliseconds, not a period.
+        let until_round =
+            Duration::from_secs_f64(ctx.period_s).saturating_sub(last_round.elapsed());
+        let timeout = until_round.min(Duration::from_millis(2));
+        if let Err(e) = reactor.poll(Some(timeout)) {
+            eprintln!("fvsst-coordinator: poll failed: {e}");
+            break;
+        }
+        let events = reactor.drain_events();
+        for ev in &events {
+            if ev.token == LISTENER_TOKEN {
+                accept_ready(&listener, &mut reactor, &ctx, &mut accept_seq);
+            } else {
+                service_conn(
+                    ev.readable || ev.hangup,
+                    ev.writable,
+                    ev.token,
+                    &mut reactor,
+                    &mut node_tokens,
+                    &ctx,
+                    &mut coordinator,
+                    &mut last_power,
+                    &mut last_seen,
+                    my_epoch,
+                );
+            }
+        }
+        reactor.recycle_events(events);
+
+        // Read-deadline sweep: a link that produces no bytes for
+        // `read_deadline` is declared dead instead of lingering.
+        if last_sweep.elapsed() >= sweep_every {
+            last_sweep = Instant::now();
+            for token in reactor.tokens() {
+                let expired = reactor
+                    .get_mut(token)
+                    .map(|(_, c)| c.last_rx.elapsed() > ctx.read_deadline)
+                    .unwrap_or(false);
+                if expired {
+                    close_conn(
+                        &mut reactor,
+                        &mut node_tokens,
+                        token,
+                        ctx.metrics.as_ref().as_ref(),
+                    );
                 }
-                Uplink::Frame(_, _) => {}
             }
         }
 
-        let epoch = shared.budget_epoch.load(Ordering::SeqCst);
+        let epoch = ctx.shared.budget_epoch.load(Ordering::SeqCst);
         let budget_changed = epoch != seen_epoch;
-        let due = last_round.elapsed().as_secs_f64() >= period_s;
+        let due = last_round.elapsed().as_secs_f64() >= ctx.period_s;
         if budget_changed || due || stopping {
-            let _round_span = tracer.span("net.round");
+            let _round_span = ctx.tracer.span("net.round");
             let round_started = Instant::now();
             seen_epoch = epoch;
             last_round = Instant::now();
-            let now_s = start.elapsed().as_secs_f64();
-            let budget = f64::from_bits(shared.budget_bits.load(Ordering::SeqCst));
+            let now_s = ctx.start.elapsed().as_secs_f64();
+            let budget = f64::from_bits(ctx.shared.budget_bits.load(Ordering::SeqCst));
             if budget != prev_budget {
                 // Write-ahead: persist the new budget *before* acting
                 // on it, so a crash between here and the push can
@@ -941,7 +1131,7 @@ fn scheduler_loop(
                 write_snapshot(&coordinator, &tracker, budget, now_s, rounds);
                 last_snapshot_s = now_s;
                 if let Some(ev) = tracker.on_budget_change(now_s, prev_budget, budget) {
-                    telemetry.emit(ev);
+                    ctx.telemetry.emit(ev);
                 }
                 prev_budget = budget;
             }
@@ -955,13 +1145,13 @@ fn scheduler_loop(
             // exact rule `schedule()` used, so no node is both counted
             // live and charged as reserved.
             let reserved_w = coordinator.reserved_w();
-            let live_w: f64 = (0..nodes)
-                .filter(|&i| now_s - last_seen[i] <= heartbeat_timeout_s)
+            let live_w: f64 = (0..ctx.nodes)
+                .filter(|&i| now_s - last_seen[i] <= ctx.heartbeat_timeout_s)
                 .map(|i| last_power[i])
                 .sum();
             let conservative_w = live_w + reserved_w;
             if let Some(ev) = tracker.on_power_sample(now_s, conservative_w) {
-                telemetry.emit(ev);
+                ctx.telemetry.emit(ev);
             }
 
             // Resync bookkeeping: the grace window ends when every node
@@ -970,63 +1160,71 @@ fn scheduler_loop(
             // (and only here) is what flips `/healthz` to 200, so the
             // `resync_complete` event strictly precedes the flip.
             let resync_deadline =
-                f64::from_bits(shared.resync_deadline_bits.load(Ordering::SeqCst));
+                f64::from_bits(ctx.shared.resync_deadline_bits.load(Ordering::SeqCst));
             let mut resyncing = !resync_deadline.is_nan();
             if resyncing {
-                let fresh = (0..nodes)
-                    .filter(|&i| now_s - last_seen[i] <= heartbeat_timeout_s)
+                let fresh = (0..ctx.nodes)
+                    .filter(|&i| now_s - last_seen[i] <= ctx.heartbeat_timeout_s)
                     .count();
-                if fresh == nodes || now_s >= resync_deadline {
-                    telemetry.emit(SchedEvent::ResyncComplete {
+                if fresh == ctx.nodes || now_s >= resync_deadline {
+                    ctx.telemetry.emit(SchedEvent::ResyncComplete {
                         t_s: now_s,
                         wall_s: now_s,
                         fresh_nodes: fresh as u32,
-                        charged_nodes: (nodes - fresh) as u32,
+                        charged_nodes: (ctx.nodes - fresh) as u32,
                     });
-                    shared
+                    ctx.shared
                         .resync_deadline_bits
                         .store(f64::NAN.to_bits(), Ordering::SeqCst);
                     resyncing = false;
                 }
             }
 
+            rounds += 1;
             {
-                let _push_span = tracer.span("net.push");
+                let _push_span = ctx.tracer.span("net.push");
                 let push_started = Instant::now();
-                push_commands(&shared, metrics.as_ref().as_ref(), &commands, my_epoch);
-                if let Some(m) = metrics.as_ref() {
+                push_round(
+                    &mut reactor,
+                    &mut node_tokens,
+                    &commands,
+                    my_epoch,
+                    rounds,
+                    ctx.metrics.as_ref().as_ref(),
+                );
+                if let Some(m) = ctx.metrics.as_ref() {
                     m.fanout_wall_s
                         .observe(push_started.elapsed().as_secs_f64());
                 }
             }
 
-            rounds += 1;
-            let mut status = shared.status.lock().expect("status poisoned");
+            let mut status = ctx.shared.status.lock().expect("status poisoned");
             status.rounds = rounds;
             status.nodes_reporting = coordinator.nodes_reporting();
             status.dead_nodes = coordinator.dead_nodes();
             status.reserved_w = reserved_w;
             status.conservative_power_w = conservative_w;
             status.budget_w = budget;
-            status.connections = shared.writers.lock().expect("writers poisoned").len();
+            status.connections = node_tokens.len();
             status.compliances = tracker.compliances();
             status.violations = tracker.violations();
             status.epoch = my_epoch;
             status.resyncing = resyncing;
             status.last_compliance = tracker.last_compliance();
-            if let Some(m) = metrics.as_ref() {
+            if let Some(m) = ctx.metrics.as_ref() {
                 m.connections.set(status.connections as f64);
                 m.round_wall_s
                     .observe(round_started.elapsed().as_secs_f64());
             }
             drop(status);
-            shared
-                .last_round_bits
-                .store(start.elapsed().as_secs_f64().to_bits(), Ordering::SeqCst);
+            ctx.shared.last_round_bits.store(
+                ctx.start.elapsed().as_secs_f64().to_bits(),
+                Ordering::SeqCst,
+            );
 
             // Cadence snapshot (budget changes already snapshotted
             // above, write-ahead).
-            if now_s - last_snapshot_s >= snapshot_every_s {
+            if now_s - last_snapshot_s >= ctx.snapshot_every_s {
                 write_snapshot(&coordinator, &tracker, budget, now_s, rounds);
                 last_snapshot_s = now_s;
             }
@@ -1034,8 +1232,9 @@ fn scheduler_loop(
         if stopping {
             break;
         }
-        std::thread::sleep(Duration::from_millis(2));
     }
+    // Dropping the reactor closes every socket, unblocking any agent
+    // mid-read.
 }
 
 /// Build a [`HealthReport`] from the shared control-plane state. Budget
@@ -1071,55 +1270,5 @@ fn health_from(shared: &Shared, start: Instant) -> HealthReport {
             f64::NAN
         },
         degraded: status.dead_nodes > 0 || !budget_compliant,
-    }
-}
-
-/// Push this round's ceilings, then a keep-alive [`WireMsg::Heartbeat`]
-/// to every connected node the round did not command — so agents can
-/// bound dead-link detection in time, and a stale coordinator gets
-/// fenced mid-connection by the epoch the heartbeat carries.
-fn push_commands(
-    shared: &Shared,
-    metrics: Option<&NetMetrics>,
-    commands: &[FrequencyCommand],
-    epoch: u64,
-) {
-    let mut writers = shared.writers.lock().expect("writers poisoned");
-    let mut commanded: Vec<usize> = Vec::with_capacity(commands.len());
-    for cmd in commands {
-        let Some(stream) = writers.get_mut(&cmd.node) else {
-            continue;
-        };
-        let msg = WireMsg::Ceiling(cmd.clone());
-        let Ok(frame) = encode(&msg) else { continue };
-        if stream.write_all(&frame).is_err() {
-            writers.remove(&cmd.node);
-            continue;
-        }
-        commanded.push(cmd.node);
-        if let Some(m) = metrics {
-            m.frames_tx.inc();
-        }
-    }
-    let Ok(heartbeat) = encode(&WireMsg::Heartbeat { epoch }) else {
-        return;
-    };
-    let idle: Vec<usize> = writers
-        .keys()
-        .filter(|n| !commanded.contains(n))
-        .copied()
-        .collect();
-    for node in idle {
-        let Some(stream) = writers.get_mut(&node) else {
-            continue;
-        };
-        if stream.write_all(&heartbeat).is_err() {
-            writers.remove(&node);
-            continue;
-        }
-        if let Some(m) = metrics {
-            m.frames_tx.inc();
-            m.heartbeats_tx.inc();
-        }
     }
 }

@@ -1,0 +1,673 @@
+//! The agent fleet: thousands of node agents on one thread.
+//!
+//! [`NodeAgent`](crate::agent::NodeAgent) spends a thread per node —
+//! honest for a handful of machines, hopeless for a 10k-connection
+//! soak on one box. [`AgentFleet`] runs every agent as a small state
+//! machine (connect-backoff → handshaking → running) multiplexed onto
+//! one [`Reactor`], with a timer heap driving wall-clock ticks: each
+//! running agent ticks its [`ClusterNode`] every `tick_s` of wall time
+//! (the fleet is always in real-time mode — that is what makes a soak
+//! against a live coordinator honest) and ships a summary every
+//! `summary_every` ticks over its [`Transport`]. Codec negotiation,
+//! epoch fencing, reconnect-ladder backoff and link timeouts behave
+//! exactly as in the threaded agent — same handshake code, same
+//! fencing rule — so the coordinator cannot tell a fleet member from a
+//! standalone agent.
+//!
+//! Connects are staggered across a ramp window so 10k simultaneous SYNs
+//! don't blow the accept backlog, and the ramp doubles as tick phase
+//! stagger: agents connected at different times summarize at different
+//! times, spreading uplink load across the period.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fvs_cluster::ClusterNode;
+
+use crate::agent::{advertised_codecs, AgentConfig, ReconnectLadder};
+use crate::chaos::{ChaosSide, ChaosStream};
+use crate::error::FvsError;
+use crate::reactor::Reactor;
+use crate::transport::{FillStatus, Transport};
+use crate::wire::{WireCodec, WireMsg};
+
+/// How long a hello may wait for its ack before the connection is
+/// abandoned (matches the threaded agent's handshake deadline).
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(2);
+/// Per-attempt connect timeout: a coordinator that can't even complete
+/// the TCP handshake within this is treated as down.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+/// Disconnect a connection whose outbound queue exceeds this — the
+/// coordinator has stopped reading and the honest move is to reconnect
+/// rather than buffer unboundedly.
+const MAX_QUEUED_BYTES: usize = 1 << 20;
+/// Cap on timers fired per loop iteration, so a backlog of due ticks
+/// can never starve the poller.
+const MAX_TIMERS_PER_ITER: usize = 1024;
+
+/// Live counters of a running fleet, updated by the fleet thread and
+/// readable from anywhere.
+#[derive(Debug, Default)]
+pub struct FleetStats {
+    connected: AtomicU64,
+    summaries_sent: AtomicU64,
+    ceilings_applied: AtomicU64,
+    reconnects: AtomicU64,
+    epochs_fenced: AtomicU64,
+    version_rejects: AtomicU64,
+    connect_failures: AtomicU64,
+    binary_conns: AtomicU64,
+    json_conns: AtomicU64,
+}
+
+impl FleetStats {
+    /// Agents currently past a successful handshake.
+    pub fn connected(&self) -> u64 {
+        self.connected.load(Ordering::SeqCst)
+    }
+
+    /// Summaries shipped upstream across the fleet.
+    pub fn summaries_sent(&self) -> u64 {
+        self.summaries_sent.load(Ordering::SeqCst)
+    }
+
+    /// Ceiling commands applied across the fleet.
+    pub fn ceilings_applied(&self) -> u64 {
+        self.ceilings_applied.load(Ordering::SeqCst)
+    }
+
+    /// Connections re-established after an agent's first.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::SeqCst)
+    }
+
+    /// Stale coordinators fenced across the fleet.
+    pub fn epochs_fenced(&self) -> u64 {
+        self.epochs_fenced.load(Ordering::SeqCst)
+    }
+
+    /// Agents permanently refused over schema version.
+    pub fn version_rejects(&self) -> u64 {
+        self.version_rejects.load(Ordering::SeqCst)
+    }
+
+    /// Failed connect attempts (refused, timed out, unreachable).
+    pub fn connect_failures(&self) -> u64 {
+        self.connect_failures.load(Ordering::SeqCst)
+    }
+
+    /// Handshakes that negotiated the binary codec.
+    pub fn binary_conns(&self) -> u64 {
+        self.binary_conns.load(Ordering::SeqCst)
+    }
+
+    /// Handshakes that settled on JSON.
+    pub fn json_conns(&self) -> u64 {
+        self.json_conns.load(Ordering::SeqCst)
+    }
+}
+
+/// Handle to a running fleet thread.
+pub struct FleetHandle {
+    stop: Arc<AtomicBool>,
+    stats: Arc<FleetStats>,
+    thread: JoinHandle<()>,
+}
+
+impl FleetHandle {
+    /// The fleet's live counters.
+    pub fn stats(&self) -> Arc<FleetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Orderly shutdown: connected agents say `Bye`, the thread joins,
+    /// and the final counters are returned.
+    pub fn stop(self) -> Arc<FleetStats> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.thread.join().expect("fleet thread panicked");
+        self.stats
+    }
+}
+
+enum Phase {
+    /// Waiting for the connect timer (ramp stagger or backoff rung).
+    Backoff,
+    /// Hello sent; the timer is the handshake deadline.
+    Handshaking,
+    /// Ticking and shipping summaries; the timer is the next tick.
+    Running,
+    /// Version-refused: permanently out of the game.
+    Dead,
+}
+
+struct Slot {
+    node: ClusterNode,
+    phase: Phase,
+    /// Bumped on every phase change; stale heap entries are skipped.
+    gen: u64,
+    token: Option<u64>,
+    ladder: ReconnectLadder,
+    last_epoch: u64,
+    ticks: u32,
+    last_rx: Instant,
+    ever_connected: bool,
+    connect_seq: u64,
+}
+
+/// Spawns and owns the one fleet thread. See the module docs.
+pub struct AgentFleet;
+
+impl AgentFleet {
+    /// Launch agents for `nodes` against the coordinator at `addr`,
+    /// staggering first connects across `ramp`.
+    pub fn launch(
+        nodes: Vec<ClusterNode>,
+        addr: impl ToSocketAddrs,
+        config: AgentConfig,
+        ramp: Duration,
+    ) -> Result<FleetHandle, FvsError> {
+        if nodes.is_empty() {
+            return Err(FvsError::config("a fleet needs at least one node"));
+        }
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| FvsError::config("fleet address resolved to nothing"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(FleetStats::default());
+        let thread_stop = Arc::clone(&stop);
+        let thread_stats = Arc::clone(&stats);
+        let thread = std::thread::Builder::new()
+            .name("fvs-fleet".into())
+            .spawn(move || {
+                if let Err(e) = fleet_loop(nodes, addr, config, ramp, thread_stop, thread_stats) {
+                    eprintln!("fvs-fleet: reactor failed: {e}");
+                }
+            })
+            .map_err(FvsError::Io)?;
+        Ok(FleetHandle {
+            stop,
+            stats,
+            thread,
+        })
+    }
+}
+
+fn fleet_loop(
+    nodes: Vec<ClusterNode>,
+    addr: SocketAddr,
+    config: AgentConfig,
+    ramp: Duration,
+    stop: Arc<AtomicBool>,
+    stats: Arc<FleetStats>,
+) -> io::Result<()> {
+    let n = nodes.len();
+    let chaos_start = Instant::now();
+    let mut reactor: Reactor<usize> = Reactor::new()?;
+    let mut slots: Vec<Slot> = nodes
+        .into_iter()
+        .map(|node| {
+            let id = node.id as u64;
+            Slot {
+                node,
+                phase: Phase::Backoff,
+                gen: 0,
+                token: None,
+                ladder: ReconnectLadder::new(
+                    config.backoff_base,
+                    config.backoff_max,
+                    config.jitter_seed ^ id.wrapping_mul(0x517C_C1B7_2722_0A95),
+                ),
+                last_epoch: 0,
+                ticks: 0,
+                last_rx: chaos_start,
+                ever_connected: false,
+                connect_seq: 0,
+            }
+        })
+        .collect();
+
+    // (due, slot index, generation) — min-heap via Reverse.
+    let mut timers: BinaryHeap<Reverse<(Instant, usize, u64)>> = BinaryHeap::with_capacity(n);
+    let start = Instant::now();
+    for (i, slot) in slots.iter().enumerate() {
+        let at = start + ramp.mul_f64(i as f64 / n as f64);
+        timers.push(Reverse((at, i, slot.gen)));
+    }
+    let tick_wall = Duration::from_secs_f64(config.tick_s);
+    let codecs = advertised_codecs(config.codec);
+
+    while !stop.load(Ordering::SeqCst) {
+        // Fire due timers (bounded per iteration; see the const).
+        let mut fired = 0usize;
+        let now = Instant::now();
+        while fired < MAX_TIMERS_PER_ITER {
+            let Some(&Reverse((when, idx, gen))) = timers.peek() else {
+                break;
+            };
+            if when > now {
+                break;
+            }
+            timers.pop();
+            if slots[idx].gen != gen {
+                continue; // the slot changed phase since this was armed
+            }
+            fired += 1;
+            match slots[idx].phase {
+                Phase::Backoff => {
+                    connect_slot(
+                        idx,
+                        &mut slots[idx],
+                        addr,
+                        &config,
+                        codecs,
+                        chaos_start,
+                        &stats,
+                        &mut reactor,
+                        &mut timers,
+                    );
+                }
+                Phase::Handshaking => {
+                    // Hello went unanswered: give up on this socket.
+                    disconnect(idx, &mut slots[idx], &stats, &mut reactor, &mut timers);
+                }
+                Phase::Running => {
+                    run_tick(
+                        idx,
+                        &mut slots[idx],
+                        &config,
+                        tick_wall,
+                        when,
+                        &stats,
+                        &mut reactor,
+                        &mut timers,
+                    );
+                }
+                Phase::Dead => {}
+            }
+        }
+
+        // Sleep until the next timer (or briefly, if timers are
+        // backlogged) while watching for socket readiness.
+        let timeout = if fired >= MAX_TIMERS_PER_ITER {
+            Duration::ZERO
+        } else {
+            timers
+                .peek()
+                .map(|Reverse((when, _, _))| when.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(50))
+                .min(Duration::from_millis(50))
+        };
+        reactor.poll(Some(timeout))?;
+        let events = reactor.drain_events();
+        for ev in &events {
+            let Some((_, &mut idx)) = reactor.get_mut(ev.token) else {
+                continue; // removed earlier this batch
+            };
+            if ev.readable || ev.hangup {
+                handle_readable(
+                    idx,
+                    &mut slots[idx],
+                    &config,
+                    tick_wall,
+                    &stats,
+                    &mut reactor,
+                    &mut timers,
+                );
+            }
+            if ev.writable {
+                if let Some((transport, _)) = reactor.get_mut(ev.token) {
+                    if transport.flush().is_err() {
+                        disconnect(idx, &mut slots[idx], &stats, &mut reactor, &mut timers);
+                    } else {
+                        let _ = reactor.update_interest(ev.token);
+                    }
+                }
+            }
+        }
+        reactor.recycle_events(events);
+    }
+
+    // Orderly exit: running agents say goodbye.
+    for slot in &slots {
+        if !matches!(slot.phase, Phase::Running) {
+            continue;
+        }
+        let Some(token) = slot.token else { continue };
+        if let Some((transport, _)) = reactor.get_mut(token) {
+            transport.stream().set_nonblocking(false).ok();
+            transport.send_best_effort(&WireMsg::Bye { node: slot.node.id });
+        }
+    }
+    Ok(())
+}
+
+/// Arm a slot's next timer under a fresh generation.
+fn arm(
+    timers: &mut BinaryHeap<Reverse<(Instant, usize, u64)>>,
+    slot: &mut Slot,
+    idx: usize,
+    at: Instant,
+) {
+    slot.gen += 1;
+    timers.push(Reverse((at, idx, slot.gen)));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn connect_slot(
+    idx: usize,
+    slot: &mut Slot,
+    addr: SocketAddr,
+    config: &AgentConfig,
+    codecs: u8,
+    chaos_start: Instant,
+    stats: &FleetStats,
+    reactor: &mut Reactor<usize>,
+    timers: &mut BinaryHeap<Reverse<(Instant, usize, u64)>>,
+) {
+    let raw = match TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
+        Ok(s) => s,
+        Err(_) => {
+            stats.connect_failures.fetch_add(1, Ordering::SeqCst);
+            let delay = slot.ladder.next_delay();
+            arm(timers, slot, idx, Instant::now() + delay);
+            return;
+        }
+    };
+    slot.connect_seq += 1;
+    let stream = ChaosStream::wrap(
+        raw,
+        &config.chaos,
+        ChaosSide::Agent,
+        slot.connect_seq,
+        chaos_start,
+        config.telemetry.clone(),
+        None,
+    );
+    stream.set_node(slot.node.id);
+    let _ = stream.set_nodelay(true);
+    let mut transport = Transport::new(stream);
+    let hello = WireMsg::Hello {
+        node: slot.node.id,
+        procs: slot.node.machine().num_cores(),
+        version: config.version,
+        last_epoch: slot.last_epoch,
+        codecs,
+    };
+    // Socket is still blocking here, so hello + flush go out whole;
+    // `Reactor::insert` flips it nonblocking.
+    if transport.send(&hello).is_err() || transport.flush().is_err() {
+        stats.connect_failures.fetch_add(1, Ordering::SeqCst);
+        let delay = slot.ladder.next_delay();
+        arm(timers, slot, idx, Instant::now() + delay);
+        return;
+    }
+    match reactor.insert(transport, idx) {
+        Ok(token) => {
+            slot.token = Some(token);
+            slot.phase = Phase::Handshaking;
+            arm(timers, slot, idx, Instant::now() + HANDSHAKE_DEADLINE);
+        }
+        Err(_) => {
+            stats.connect_failures.fetch_add(1, Ordering::SeqCst);
+            let delay = slot.ladder.next_delay();
+            arm(timers, slot, idx, Instant::now() + delay);
+        }
+    }
+}
+
+/// Tear a slot's connection down and climb the backoff ladder.
+fn disconnect(
+    idx: usize,
+    slot: &mut Slot,
+    stats: &FleetStats,
+    reactor: &mut Reactor<usize>,
+    timers: &mut BinaryHeap<Reverse<(Instant, usize, u64)>>,
+) {
+    if let Some(token) = slot.token.take() {
+        reactor.remove(token);
+    }
+    if matches!(slot.phase, Phase::Running) {
+        stats.connected.fetch_sub(1, Ordering::SeqCst);
+    }
+    slot.phase = Phase::Backoff;
+    let delay = slot.ladder.next_delay();
+    arm(timers, slot, idx, Instant::now() + delay);
+}
+
+/// Park a version-refused slot permanently.
+fn park_dead(slot: &mut Slot, stats: &FleetStats, reactor: &mut Reactor<usize>) {
+    if let Some(token) = slot.token.take() {
+        reactor.remove(token);
+    }
+    if matches!(slot.phase, Phase::Running) {
+        stats.connected.fetch_sub(1, Ordering::SeqCst);
+    }
+    slot.phase = Phase::Dead;
+    slot.gen += 1; // orphan any armed timer
+    stats.version_rejects.fetch_add(1, Ordering::SeqCst);
+}
+
+/// One wall-clock tick of a running agent: advance the machine, ship a
+/// summary when the window closes, enforce backpressure and the link
+/// timeout, re-arm the next tick.
+#[allow(clippy::too_many_arguments)]
+fn run_tick(
+    idx: usize,
+    slot: &mut Slot,
+    config: &AgentConfig,
+    tick_wall: Duration,
+    when: Instant,
+    stats: &FleetStats,
+    reactor: &mut Reactor<usize>,
+    timers: &mut BinaryHeap<Reverse<(Instant, usize, u64)>>,
+) {
+    let Some(token) = slot.token else {
+        disconnect(idx, slot, stats, reactor, timers);
+        return;
+    };
+    slot.node.tick(config.tick_s);
+    slot.ticks += 1;
+    let mut dead = slot.last_rx.elapsed() > config.link_timeout;
+    if !dead {
+        if let Some((transport, _)) = reactor.get_mut(token) {
+            if slot.ticks.is_multiple_of(config.summary_every) {
+                let summary = slot.node.summarize();
+                if transport.send(&WireMsg::Summary(summary)).is_err() {
+                    dead = true;
+                } else {
+                    stats.summaries_sent.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            if !dead {
+                dead = transport.flush().is_err() || transport.queued_bytes() > MAX_QUEUED_BYTES;
+            }
+            if !dead {
+                let _ = reactor.update_interest(token);
+            }
+        } else {
+            dead = true;
+        }
+    }
+    if dead {
+        disconnect(idx, slot, stats, reactor, timers);
+    } else {
+        // Drift-free cadence: schedule off the previous deadline, but
+        // never pile further into the past than "now".
+        let next = (when + tick_wall).max(Instant::now());
+        arm(timers, slot, idx, next);
+    }
+}
+
+/// Drain everything readable on a slot's socket and dispatch by phase.
+#[allow(clippy::too_many_arguments)]
+fn handle_readable(
+    idx: usize,
+    slot: &mut Slot,
+    config: &AgentConfig,
+    tick_wall: Duration,
+    stats: &FleetStats,
+    reactor: &mut Reactor<usize>,
+    timers: &mut BinaryHeap<Reverse<(Instant, usize, u64)>>,
+) {
+    let Some(token) = slot.token else {
+        return;
+    };
+    let Some((transport, _)) = reactor.get_mut(token) else {
+        return;
+    };
+    match transport.fill() {
+        Ok(FillStatus::Eof) | Err(_) => {
+            disconnect(idx, slot, stats, reactor, timers);
+            return;
+        }
+        Ok(_) => {}
+    }
+    loop {
+        let Some((transport, _)) = reactor.get_mut(token) else {
+            return;
+        };
+        match transport.next_msg() {
+            Ok(Some(WireMsg::HelloAck {
+                accepted,
+                version,
+                epoch,
+                codec,
+            })) => {
+                if !matches!(slot.phase, Phase::Handshaking) {
+                    continue;
+                }
+                if accepted {
+                    if epoch < slot.last_epoch {
+                        stats.epochs_fenced.fetch_add(1, Ordering::SeqCst);
+                        disconnect(idx, slot, stats, reactor, timers);
+                        return;
+                    }
+                    slot.last_epoch = epoch;
+                    slot.last_rx = Instant::now();
+                    let chosen = WireCodec::from_id(codec);
+                    transport.set_codec(chosen);
+                    match chosen {
+                        WireCodec::Binary => stats.binary_conns.fetch_add(1, Ordering::SeqCst),
+                        WireCodec::Json => stats.json_conns.fetch_add(1, Ordering::SeqCst),
+                    };
+                    if slot.ever_connected {
+                        stats.reconnects.fetch_add(1, Ordering::SeqCst);
+                    }
+                    slot.ever_connected = true;
+                    slot.ladder.reset();
+                    slot.phase = Phase::Running;
+                    slot.ticks = 0;
+                    stats.connected.fetch_add(1, Ordering::SeqCst);
+                    arm(timers, slot, idx, Instant::now() + tick_wall);
+                } else if version == config.version && epoch < slot.last_epoch {
+                    // Refused by a *stale* survivor speaking our schema:
+                    // fence it and retry — the current coordinator may
+                    // come back on this address.
+                    stats.epochs_fenced.fetch_add(1, Ordering::SeqCst);
+                    disconnect(idx, slot, stats, reactor, timers);
+                    return;
+                } else {
+                    // A schema-version refusal is permanent.
+                    park_dead(slot, stats, reactor);
+                    return;
+                }
+            }
+            Ok(Some(WireMsg::Ceiling(cmd))) => {
+                if matches!(slot.phase, Phase::Running) && cmd.node == slot.node.id {
+                    slot.last_rx = Instant::now();
+                    slot.node.apply(&cmd.freqs);
+                    stats.ceilings_applied.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            Ok(Some(WireMsg::Heartbeat { epoch })) => {
+                if epoch < slot.last_epoch {
+                    stats.epochs_fenced.fetch_add(1, Ordering::SeqCst);
+                    disconnect(idx, slot, stats, reactor, timers);
+                    return;
+                }
+                slot.last_epoch = epoch;
+                slot.last_rx = Instant::now();
+            }
+            Ok(Some(_)) => {}
+            Ok(None) => return,
+            Err(_) => {
+                disconnect(idx, slot, stats, reactor, timers);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::{CoordinatorConfig, CoordinatorServer};
+    use fvs_sched::FvsstAlgorithm;
+    use fvs_sim::MachineBuilder;
+    use fvs_workloads::WorkloadSpec;
+
+    fn wait_until(deadline_s: u64, mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(deadline_s);
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        false
+    }
+
+    #[test]
+    fn fleet_connects_reports_and_applies_ceilings() {
+        let n = 8;
+        let server = CoordinatorServer::bind(
+            "127.0.0.1:0",
+            n,
+            FvsstAlgorithm::p630(),
+            CoordinatorConfig::default_lan().with_period_s(0.05),
+        )
+        .unwrap();
+        let nodes: Vec<ClusterNode> = (0..n)
+            .map(|i| {
+                let mut b = MachineBuilder::p630();
+                for core in 0..4 {
+                    b = b.workload(core, WorkloadSpec::synthetic(0.0, 1.0e18));
+                }
+                ClusterNode::new(i, b.build(), None)
+            })
+            .collect();
+        let config = AgentConfig::default_lan()
+            .with_tick_s(0.02)
+            .with_summary_every(2);
+        let fleet = AgentFleet::launch(
+            nodes,
+            server.local_addr(),
+            config,
+            Duration::from_millis(100),
+        )
+        .unwrap();
+        let stats = fleet.stats();
+        assert!(
+            wait_until(20, || stats.connected() == n as u64
+                && stats.summaries_sent() > 2 * n as u64
+                && stats.ceilings_applied() > 0),
+            "fleet never converged: connected={} summaries={} ceilings={}",
+            stats.connected(),
+            stats.summaries_sent(),
+            stats.ceilings_applied()
+        );
+        // Default preferences on both sides negotiate the binary path.
+        assert_eq!(stats.binary_conns() + stats.json_conns(), n as u64);
+        let final_stats = fleet.stop();
+        let status = server.shutdown().unwrap();
+        assert!(status.nodes_reporting > 0);
+        assert_eq!(final_stats.version_rejects(), 0);
+    }
+}

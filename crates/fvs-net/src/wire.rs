@@ -1,20 +1,30 @@
-//! The length-prefixed, versioned wire codec.
+//! The length-prefixed, versioned wire codec — two negotiated payload
+//! encodings behind one frame shape.
 //!
 //! Every frame on the socket is
 //!
 //! ```text
 //! +--------+--------+------------------------+
 //! | magic  | length |       payload          |
-//! | "FVS1" | u32 BE | length bytes of JSON   |
+//! | 4 bytes| u32 BE | length bytes           |
 //! +--------+--------+------------------------+
 //! ```
 //!
-//! and every payload is one JSON object carrying a `schema_version`
-//! field, a `kind` discriminant and a `body`:
+//! The magic selects the payload encoding *per frame*:
 //!
-//! ```text
-//! {"schema_version":1,"kind":"summary","body":{...NodeSummary...}}
-//! ```
+//! * `"FVS1"` — one JSON object carrying a `schema_version` field, a
+//!   `kind` discriminant and a `body`:
+//!   `{"schema_version":1,"kind":"summary","body":{...NodeSummary...}}`
+//! * `"FVS2"` — a fixed-layout big-endian binary payload: one kind byte
+//!   followed by the fields in declaration order, floats as raw IEEE-754
+//!   bits (so NaN payloads survive bit-exactly). See [`WireCodec`] and
+//!   the per-kind layouts in this module's binary section.
+//!
+//! Handshake frames (`hello` / `hello_ack`) are **always** JSON so that
+//! peers predating the binary codec can still read the introduction;
+//! the hello carries a codec bitmask and the ack picks one, after which
+//! each side writes whatever it negotiated. Readers accept both magics
+//! unconditionally — negotiation controls only what a peer *writes*.
 //!
 //! The magic catches stream desynchronisation and non-fvsst peers; the
 //! length prefix bounds each read (frames over [`MAX_FRAME_LEN`] are
@@ -23,18 +33,81 @@
 //! of mis-parsing it. The vendored serde stand-in has no typed
 //! deserializer, so decoding walks the [`serde::Value`] tree by hand —
 //! every missing field, wrong type, or out-of-range number surfaces as
-//! an [`FvsError::Wire`], never a panic.
+//! an [`FvsError::Wire`], never a panic. The binary decoder is a
+//! bounds-checked cursor with the same guarantee.
 
 use crate::error::FvsError;
 use fvs_cluster::{FrequencyCommand, NodeSummary};
 use fvs_model::{CpiModel, FreqMhz};
 use serde::{Serialize, Value};
 
-/// Leading bytes of every frame.
+/// Leading bytes of every JSON (`FVS1`) frame.
 pub const MAGIC: [u8; 4] = *b"FVS1";
+
+/// Leading bytes of every binary (`FVS2`) frame.
+pub const MAGIC_V2: [u8; 4] = *b"FVS2";
 
 /// Wire schema version spoken by this build.
 pub const SCHEMA_VERSION: u32 = 1;
+
+/// The payload encoding a transport writes with.
+///
+/// Advertised in the hello as a bitmask ([`WireCodec::bit`]), chosen by
+/// the coordinator in the hello ack ([`WireCodec::id`]). Readers do not
+/// care: [`FrameReader`] dispatches on the frame magic, so both
+/// encodings are always understood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// `FVS1`: self-describing JSON. The fallback every build speaks.
+    #[default]
+    Json,
+    /// `FVS2`: fixed-layout big-endian binary. Roughly an order of
+    /// magnitude cheaper to encode/decode for summaries.
+    Binary,
+}
+
+impl WireCodec {
+    /// Stable one-byte identifier used in the hello ack (1 = JSON,
+    /// 2 = binary; 0 is reserved for "unknown" in telemetry).
+    pub fn id(self) -> u8 {
+        match self {
+            WireCodec::Json => 1,
+            WireCodec::Binary => 2,
+        }
+    }
+
+    /// The codec's bit in the hello `codecs` bitmask.
+    pub fn bit(self) -> u8 {
+        match self {
+            WireCodec::Json => CODEC_JSON_BIT,
+            WireCodec::Binary => CODEC_BINARY_BIT,
+        }
+    }
+
+    /// Decode a hello-ack identifier; unknown ids fall back to JSON,
+    /// which every peer speaks.
+    pub fn from_id(id: u8) -> WireCodec {
+        match id {
+            2 => WireCodec::Binary,
+            _ => WireCodec::Json,
+        }
+    }
+
+    /// Lowercase name for logs and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireCodec::Json => "json",
+            WireCodec::Binary => "binary",
+        }
+    }
+}
+
+/// Hello bitmask bit advertising `FVS1` JSON support.
+pub const CODEC_JSON_BIT: u8 = 0b01;
+/// Hello bitmask bit advertising `FVS2` binary support.
+pub const CODEC_BINARY_BIT: u8 = 0b10;
+/// Bitmask advertising every codec this build speaks.
+pub const CODEC_ALL: u8 = CODEC_JSON_BIT | CODEC_BINARY_BIT;
 
 /// Frame header length: 4 bytes magic + 4 bytes big-endian length.
 pub const HEADER_LEN: usize = 8;
@@ -63,6 +136,11 @@ pub enum WireMsg {
         /// one — and must refuse the connection (split-brain guard).
         /// Decodes as 0 when absent, so older peers interoperate.
         last_epoch: u64,
+        /// Bitmask of payload codecs the agent can read and write
+        /// ([`CODEC_JSON_BIT`] | [`CODEC_BINARY_BIT`]). Decodes as
+        /// JSON-only when absent, so agents predating the binary codec
+        /// negotiate down automatically.
+        codecs: u8,
     },
     /// Coordinator → agent reply to `Hello`: accepted or refused (with
     /// the version the server speaks, so the agent can log why).
@@ -75,6 +153,11 @@ pub enum WireMsg {
         /// ever seen and fence any coordinator presenting a lower one.
         /// Decodes as 0 when absent, so older peers interoperate.
         epoch: u64,
+        /// [`WireCodec::id`] of the codec the coordinator chose for
+        /// this connection. Decodes as JSON when absent, so acks from
+        /// coordinators predating the binary codec keep the connection
+        /// on the fallback encoding.
+        codec: u8,
     },
     /// Agent → coordinator: one measurement window.
     Summary(NodeSummary),
@@ -126,23 +209,27 @@ fn to_payload(msg: &WireMsg) -> Value {
             procs,
             version,
             last_epoch,
+            codecs,
         } => (
             *version,
             obj(vec![
                 ("node", Value::UInt(*node as u64)),
                 ("procs", Value::UInt(*procs as u64)),
                 ("last_epoch", Value::UInt(*last_epoch)),
+                ("codecs", Value::UInt(u64::from(*codecs))),
             ]),
         ),
         WireMsg::HelloAck {
             accepted,
             version,
             epoch,
+            codec,
         } => (
             *version,
             obj(vec![
                 ("accepted", Value::Bool(*accepted)),
                 ("epoch", Value::UInt(*epoch)),
+                ("codec", Value::UInt(u64::from(*codec))),
             ]),
         ),
         WireMsg::Summary(s) => (SCHEMA_VERSION, s.to_json()),
@@ -175,6 +262,306 @@ pub fn encode(msg: &WireMsg) -> Result<Vec<u8>, FvsError> {
     frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
     frame.extend_from_slice(bytes);
     Ok(frame)
+}
+
+/// Encode one message under the negotiated codec.
+///
+/// Handshake frames (`hello` / `hello_ack`) always go out as JSON —
+/// they are exchanged *before* negotiation completes, and a peer
+/// predating the binary codec must be able to read them.
+pub fn encode_with(msg: &WireMsg, codec: WireCodec) -> Result<Vec<u8>, FvsError> {
+    match (codec, msg) {
+        (WireCodec::Json, _) | (_, WireMsg::Hello { .. }) | (_, WireMsg::HelloAck { .. }) => {
+            encode(msg)
+        }
+        (WireCodec::Binary, _) => encode_binary(msg),
+    }
+}
+
+// --- FVS2 binary payloads -------------------------------------------------
+//
+// One kind byte, then fixed-layout fields, everything big-endian:
+//
+//   kind 1  hello      version u32 · node u64 · procs u64 · last_epoch u64
+//                      · codecs u8
+//   kind 2  hello_ack  version u32 · accepted u8 · epoch u64 · codec u8
+//   kind 3  summary    node u64 · sent_at_s f64 · power_w f64 · nproc u16
+//                      · nproc × { flags u8 · [cpi0 f64 · mem f64] ·
+//                                  current u32 }
+//                      flags bit0 = model present, bit1 = idle
+//   kind 4  ceiling    node u64 · n u16 · n × freq u32
+//   kind 5  bye        node u64
+//   kind 6  heartbeat  epoch u64
+//
+// Floats travel as raw IEEE-754 bits (`f64::to_bits`), so NaN and
+// infinity — which the JSON codec can only collapse to `null`/NaN —
+// round-trip bit-exactly. Ingest-side validation stays where it was.
+
+const BK_HELLO: u8 = 1;
+const BK_HELLO_ACK: u8 = 2;
+const BK_SUMMARY: u8 = 3;
+const BK_CEILING: u8 = 4;
+const BK_BYE: u8 = 5;
+const BK_HEARTBEAT: u8 = 6;
+
+const FLAG_MODEL: u8 = 0b01;
+const FLAG_IDLE: u8 = 0b10;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Encode one message as a complete `FVS2` frame.
+pub fn encode_binary(msg: &WireMsg) -> Result<Vec<u8>, FvsError> {
+    let mut p = Vec::with_capacity(64);
+    match msg {
+        WireMsg::Hello {
+            node,
+            procs,
+            version,
+            last_epoch,
+            codecs,
+        } => {
+            p.push(BK_HELLO);
+            put_u32(&mut p, *version);
+            put_u64(&mut p, *node as u64);
+            put_u64(&mut p, *procs as u64);
+            put_u64(&mut p, *last_epoch);
+            p.push(*codecs);
+        }
+        WireMsg::HelloAck {
+            accepted,
+            version,
+            epoch,
+            codec,
+        } => {
+            p.push(BK_HELLO_ACK);
+            put_u32(&mut p, *version);
+            p.push(u8::from(*accepted));
+            put_u64(&mut p, *epoch);
+            p.push(*codec);
+        }
+        WireMsg::Summary(s) => {
+            let nproc = s.models.len();
+            if s.idle.len() != nproc || s.current.len() != nproc {
+                return Err(FvsError::wire(format!(
+                    "summary processor arrays disagree: {} models, {} idle, {} current",
+                    nproc,
+                    s.idle.len(),
+                    s.current.len()
+                )));
+            }
+            let nproc = u16::try_from(nproc)
+                .map_err(|_| FvsError::wire("more than 65535 processors in one summary"))?;
+            p.push(BK_SUMMARY);
+            put_u64(&mut p, s.node as u64);
+            put_f64(&mut p, s.sent_at_s);
+            put_f64(&mut p, s.power_w);
+            put_u16(&mut p, nproc);
+            for i in 0..usize::from(nproc) {
+                let mut flags = 0u8;
+                if s.models[i].is_some() {
+                    flags |= FLAG_MODEL;
+                }
+                if s.idle[i] {
+                    flags |= FLAG_IDLE;
+                }
+                p.push(flags);
+                if let Some(m) = &s.models[i] {
+                    put_f64(&mut p, m.cpi0);
+                    put_f64(&mut p, m.mem_time_per_instr);
+                }
+                put_u32(&mut p, s.current[i].0);
+            }
+        }
+        WireMsg::Ceiling(c) => {
+            let n = u16::try_from(c.freqs.len())
+                .map_err(|_| FvsError::wire("more than 65535 frequencies in one command"))?;
+            p.push(BK_CEILING);
+            put_u64(&mut p, c.node as u64);
+            put_u16(&mut p, n);
+            for f in &c.freqs {
+                put_u32(&mut p, f.0);
+            }
+        }
+        WireMsg::Bye { node } => {
+            p.push(BK_BYE);
+            put_u64(&mut p, *node as u64);
+        }
+        WireMsg::Heartbeat { epoch } => {
+            p.push(BK_HEARTBEAT);
+            put_u64(&mut p, *epoch);
+        }
+    }
+    if p.len() > MAX_FRAME_LEN {
+        return Err(FvsError::wire(format!(
+            "payload of {} bytes exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}",
+            p.len()
+        )));
+    }
+    let mut frame = Vec::with_capacity(HEADER_LEN + p.len());
+    frame.extend_from_slice(&MAGIC_V2);
+    frame.extend_from_slice(&(p.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&p);
+    Ok(frame)
+}
+
+/// Bounds-checked reader over a binary payload: every take is length-
+/// guarded, so truncated or bit-flipped frames surface as `Err`, never
+/// a slice panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FvsError> {
+        if self.remaining() < n {
+            return Err(FvsError::wire(format!(
+                "binary payload truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FvsError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FvsError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, FvsError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FvsError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, FvsError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn index(&mut self) -> Result<usize, FvsError> {
+        usize::try_from(self.u64()?).map_err(|_| FvsError::wire("index exceeds usize"))
+    }
+
+    fn finish(self) -> Result<(), FvsError> {
+        if self.remaining() != 0 {
+            return Err(FvsError::wire(format!(
+                "{} trailing bytes after binary payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decode one `FVS2` binary frame *payload*.
+pub fn decode_payload_binary(payload: &[u8]) -> Result<WireMsg, FvsError> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8()?;
+    let msg = match kind {
+        BK_HELLO => WireMsg::Hello {
+            version: c.u32()?,
+            node: c.index()?,
+            procs: c.index()?,
+            last_epoch: c.u64()?,
+            codecs: c.u8()?,
+        },
+        BK_HELLO_ACK => WireMsg::HelloAck {
+            version: c.u32()?,
+            accepted: c.u8()? != 0,
+            epoch: c.u64()?,
+            codec: c.u8()?,
+        },
+        BK_SUMMARY => {
+            let node = c.index()?;
+            let sent_at_s = c.f64()?;
+            let power_w = c.f64()?;
+            let nproc = usize::from(c.u16()?);
+            // Each processor is at least 5 bytes (flags + current), so a
+            // fuzzed count larger than the payload is refused before any
+            // allocation sized by it.
+            if c.remaining() < nproc * 5 {
+                return Err(FvsError::wire(format!(
+                    "summary claims {nproc} processors but only {} bytes remain",
+                    c.remaining()
+                )));
+            }
+            let mut models = Vec::with_capacity(nproc);
+            let mut idle = Vec::with_capacity(nproc);
+            let mut current = Vec::with_capacity(nproc);
+            for _ in 0..nproc {
+                let flags = c.u8()?;
+                models.push(if flags & FLAG_MODEL != 0 {
+                    Some(CpiModel {
+                        cpi0: c.f64()?,
+                        mem_time_per_instr: c.f64()?,
+                    })
+                } else {
+                    None
+                });
+                idle.push(flags & FLAG_IDLE != 0);
+                current.push(FreqMhz(c.u32()?));
+            }
+            WireMsg::Summary(NodeSummary {
+                node,
+                sent_at_s,
+                models,
+                idle,
+                current,
+                power_w,
+            })
+        }
+        BK_CEILING => {
+            let node = c.index()?;
+            let n = usize::from(c.u16()?);
+            if c.remaining() < n * 4 {
+                return Err(FvsError::wire(format!(
+                    "ceiling claims {n} frequencies but only {} bytes remain",
+                    c.remaining()
+                )));
+            }
+            let mut freqs = Vec::with_capacity(n);
+            for _ in 0..n {
+                freqs.push(FreqMhz(c.u32()?));
+            }
+            WireMsg::Ceiling(FrequencyCommand { node, freqs })
+        }
+        BK_BYE => WireMsg::Bye { node: c.index()? },
+        BK_HEARTBEAT => WireMsg::Heartbeat { epoch: c.u64()? },
+        other => return Err(FvsError::wire(format!("unknown binary kind byte {other}"))),
+    };
+    c.finish()?;
+    Ok(msg)
 }
 
 pub(crate) fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, FvsError> {
@@ -317,11 +704,14 @@ pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, FvsError> {
             procs: usize_field(body, "procs")?,
             version,
             last_epoch: u64_field_or(body, "last_epoch", 0)?,
+            // Agents predating FVS2 send no mask: they speak JSON only.
+            codecs: u64_field_or(body, "codecs", u64::from(CODEC_JSON_BIT))? as u8,
         }),
         "hello_ack" => Ok(WireMsg::HelloAck {
             accepted: bool_field(body, "accepted")?,
             version,
             epoch: u64_field_or(body, "epoch", 0)?,
+            codec: u64_field_or(body, "codec", u64::from(WireCodec::Json.id()))? as u8,
         }),
         "summary" => Ok(WireMsg::Summary(decode_summary(body)?)),
         "ceiling" => Ok(WireMsg::Ceiling(decode_command(body)?)),
@@ -365,6 +755,8 @@ pub enum FrameFault {
 pub struct FrameReader {
     buf: Vec<u8>,
     last_fault: Option<FrameFault>,
+    last_fault_len: u32,
+    last_fault_codec: u8,
 }
 
 impl FrameReader {
@@ -391,22 +783,47 @@ impl FrameReader {
         self.last_fault
     }
 
+    /// Observed length-prefix of the faulting frame (0 when the header
+    /// itself was untrustworthy, e.g. on bad magic). For oversize
+    /// faults this is the claimed — rejected — length.
+    pub fn last_fault_len(&self) -> u32 {
+        self.last_fault_len
+    }
+
+    /// Codec of the faulting frame as a [`WireCodec::id`] (0 when the
+    /// magic matched neither codec).
+    pub fn last_fault_codec(&self) -> u8 {
+        self.last_fault_codec
+    }
+
+    fn fault(&mut self, kind: FrameFault, len: u32, codec: u8) {
+        self.last_fault = Some(kind);
+        self.last_fault_len = len;
+        self.last_fault_codec = codec;
+    }
+
     /// Try to extract the next complete message. `Ok(None)` means more
     /// bytes are needed.
     pub fn next_frame(&mut self) -> Result<Option<WireMsg>, FvsError> {
         if self.buf.len() < HEADER_LEN {
             return Ok(None);
         }
-        if self.buf[..4] != MAGIC {
-            self.last_fault = Some(FrameFault::BadMagic);
+        let codec = if self.buf[..4] == MAGIC {
+            WireCodec::Json
+        } else if self.buf[..4] == MAGIC_V2 {
+            WireCodec::Binary
+        } else {
+            // The length bytes of a desynchronised stream are garbage;
+            // report 0 rather than a misleading number.
+            self.fault(FrameFault::BadMagic, 0, 0);
             return Err(FvsError::wire(format!(
                 "bad magic {:02x?} (stream desynchronised or not an fvsst peer)",
                 &self.buf[..4]
             )));
-        }
+        };
         let len = u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
         if len > MAX_FRAME_LEN {
-            self.last_fault = Some(FrameFault::Oversize);
+            self.fault(FrameFault::Oversize, len as u32, codec.id());
             return Err(FvsError::wire(format!(
                 "frame length {len} exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}"
             )));
@@ -414,14 +831,22 @@ impl FrameReader {
         if self.buf.len() < HEADER_LEN + len {
             return Ok(None);
         }
-        let msg = decode_payload(&self.buf[HEADER_LEN..HEADER_LEN + len]);
+        let payload = &self.buf[HEADER_LEN..HEADER_LEN + len];
+        let msg = match codec {
+            WireCodec::Json => decode_payload(payload),
+            WireCodec::Binary => decode_payload_binary(payload),
+        };
         // Consume the frame whether or not the payload decoded: the
         // framing itself was sound, so the next frame may be fine.
         self.buf.drain(..HEADER_LEN + len);
-        self.last_fault = match &msg {
-            Ok(_) => None,
-            Err(_) => Some(FrameFault::Payload),
-        };
+        match &msg {
+            Ok(_) => {
+                self.last_fault = None;
+                self.last_fault_len = 0;
+                self.last_fault_codec = 0;
+            }
+            Err(_) => self.fault(FrameFault::Payload, len as u32, codec.id()),
+        }
         msg.map(Some)
     }
 }
@@ -465,11 +890,13 @@ mod tests {
                 procs: 4,
                 version: SCHEMA_VERSION,
                 last_epoch: 3,
+                codecs: CODEC_ALL,
             },
             WireMsg::HelloAck {
                 accepted: true,
                 version: SCHEMA_VERSION,
                 epoch: 4,
+                codec: WireCodec::Binary.id(),
             },
             WireMsg::Summary(sample_summary()),
             WireMsg::Ceiling(FrequencyCommand {
@@ -551,6 +978,7 @@ mod tests {
             procs: 4,
             version: SCHEMA_VERSION,
             last_epoch: 0,
+            codecs: CODEC_ALL,
         })
         .unwrap();
         let text = std::str::from_utf8(&frame[HEADER_LEN..]).unwrap();
@@ -571,6 +999,7 @@ mod tests {
             procs: 2,
             version: SCHEMA_VERSION,
             last_epoch: 7,
+            codecs: CODEC_ALL,
         })
         .unwrap();
         let text = std::str::from_utf8(&frame[HEADER_LEN..]).unwrap();
@@ -588,6 +1017,7 @@ mod tests {
             accepted: true,
             version: SCHEMA_VERSION,
             epoch: 3,
+            codec: WireCodec::Json.id(),
         })
         .unwrap();
         let text = std::str::from_utf8(&frame[HEADER_LEN..]).unwrap();
@@ -636,6 +1066,198 @@ mod tests {
         assert_eq!(r.last_fault(), Some(FrameFault::Payload));
         assert!(r.next_frame().unwrap().is_some());
         assert_eq!(r.last_fault(), None);
+    }
+
+    #[test]
+    fn binary_every_kind_round_trips() {
+        let msgs = vec![
+            WireMsg::Hello {
+                node: 2,
+                procs: 4,
+                version: SCHEMA_VERSION,
+                last_epoch: 3,
+                codecs: CODEC_ALL,
+            },
+            WireMsg::HelloAck {
+                accepted: false,
+                version: SCHEMA_VERSION,
+                epoch: 4,
+                codec: WireCodec::Binary.id(),
+            },
+            WireMsg::Summary(sample_summary()),
+            WireMsg::Ceiling(FrequencyCommand {
+                node: 1,
+                freqs: vec![FreqMhz(600), FreqMhz(1000)],
+            }),
+            WireMsg::Bye { node: 7 },
+            WireMsg::Heartbeat { epoch: 9 },
+        ];
+        let mut r = FrameReader::new();
+        for m in &msgs {
+            let frame = encode_binary(m).unwrap();
+            assert_eq!(&frame[..4], &MAGIC_V2);
+            r.feed(&frame);
+        }
+        for m in &msgs {
+            assert_eq!(r.next_frame().unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(r.next_frame().unwrap(), None);
+    }
+
+    /// The binary codec carries floats as raw bits, so even non-finite
+    /// values — which JSON collapses to `null` — survive bit-exactly.
+    #[test]
+    fn binary_non_finite_floats_round_trip_bit_exactly() {
+        let mut s = sample_summary();
+        s.power_w = f64::NEG_INFINITY;
+        s.sent_at_s = f64::from_bits(0x7ff8_dead_beef_0001); // payload NaN
+        let bits = (s.power_w.to_bits(), s.sent_at_s.to_bits());
+        let frame = encode_binary(&WireMsg::Summary(s)).unwrap();
+        let mut r = FrameReader::new();
+        r.feed(&frame);
+        match r.next_frame().unwrap().unwrap() {
+            WireMsg::Summary(back) => {
+                assert_eq!(back.power_w.to_bits(), bits.0);
+                assert_eq!(back.sent_at_s.to_bits(), bits.1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_codec_stream_decodes_frame_by_frame() {
+        let a = WireMsg::Summary(sample_summary());
+        let b = WireMsg::Heartbeat { epoch: 12 };
+        let mut r = FrameReader::new();
+        r.feed(&encode(&a).unwrap());
+        r.feed(&encode_binary(&b).unwrap());
+        r.feed(&encode_binary(&a).unwrap());
+        r.feed(&encode(&b).unwrap());
+        assert_eq!(r.next_frame().unwrap(), Some(a.clone()));
+        assert_eq!(r.next_frame().unwrap(), Some(b.clone()));
+        assert_eq!(r.next_frame().unwrap(), Some(a));
+        assert_eq!(r.next_frame().unwrap(), Some(b));
+    }
+
+    /// `encode_with` pins the handshake to JSON regardless of the
+    /// negotiated codec — a pre-FVS2 peer must be able to read it.
+    #[test]
+    fn handshake_frames_always_encode_as_json() {
+        let hello = WireMsg::Hello {
+            node: 1,
+            procs: 4,
+            version: SCHEMA_VERSION,
+            last_epoch: 0,
+            codecs: CODEC_ALL,
+        };
+        let ack = WireMsg::HelloAck {
+            accepted: true,
+            version: SCHEMA_VERSION,
+            epoch: 1,
+            codec: WireCodec::Binary.id(),
+        };
+        for m in [&hello, &ack] {
+            let frame = encode_with(m, WireCodec::Binary).unwrap();
+            assert_eq!(&frame[..4], &MAGIC);
+        }
+        let frame = encode_with(&WireMsg::Heartbeat { epoch: 1 }, WireCodec::Binary).unwrap();
+        assert_eq!(&frame[..4], &MAGIC_V2);
+    }
+
+    /// Frames from peers predating negotiation carry no codec fields;
+    /// they decode as JSON-only speakers.
+    #[test]
+    fn missing_codec_fields_default_to_json() {
+        let frame = encode(&WireMsg::Hello {
+            node: 5,
+            procs: 2,
+            version: SCHEMA_VERSION,
+            last_epoch: 0,
+            codecs: CODEC_ALL,
+        })
+        .unwrap();
+        let text = std::str::from_utf8(&frame[HEADER_LEN..]).unwrap();
+        let legacy = text.replace(&format!(",\"codecs\":{CODEC_ALL}"), "");
+        match decode_payload(legacy.as_bytes()).unwrap() {
+            WireMsg::Hello { codecs, .. } => assert_eq!(codecs, CODEC_JSON_BIT),
+            other => panic!("unexpected {other:?}"),
+        }
+        let frame = encode(&WireMsg::HelloAck {
+            accepted: true,
+            version: SCHEMA_VERSION,
+            epoch: 3,
+            codec: WireCodec::Binary.id(),
+        })
+        .unwrap();
+        let text = std::str::from_utf8(&frame[HEADER_LEN..]).unwrap();
+        let legacy = text.replace(",\"codec\":2", "");
+        match decode_payload(legacy.as_bytes()).unwrap() {
+            WireMsg::HelloAck { codec, .. } => assert_eq!(codec, WireCodec::Json.id()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Truncating a binary frame anywhere yields an error (or a wait
+    /// for more bytes) — never a panic — and the claimed proc count of
+    /// a fuzzed summary cannot force an oversized allocation.
+    #[test]
+    fn binary_truncation_and_fuzz_are_safe() {
+        let frame = encode_binary(&WireMsg::Summary(sample_summary())).unwrap();
+        for cut in HEADER_LEN..frame.len() {
+            let mut truncated = frame[..cut].to_vec();
+            // Patch the length so the reader treats it as complete.
+            let len = (cut - HEADER_LEN) as u32;
+            truncated[4..8].copy_from_slice(&len.to_be_bytes());
+            let mut r = FrameReader::new();
+            r.feed(&truncated);
+            let _ = r.next_frame(); // must not panic
+        }
+        // An absurd proc count over a tiny payload is refused.
+        let mut p = vec![BK_SUMMARY];
+        put_u64(&mut p, 1);
+        put_f64(&mut p, 0.0);
+        put_f64(&mut p, 100.0);
+        put_u16(&mut p, u16::MAX);
+        assert!(decode_payload_binary(&p).is_err());
+    }
+
+    #[test]
+    fn fault_diagnostics_carry_length_and_codec() {
+        // Oversize binary frame: claimed length and codec id captured.
+        let mut r = FrameReader::new();
+        let mut junk = Vec::new();
+        junk.extend_from_slice(&MAGIC_V2);
+        junk.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_be_bytes());
+        r.feed(&junk);
+        assert!(r.next_frame().is_err());
+        assert_eq!(r.last_fault(), Some(FrameFault::Oversize));
+        assert_eq!(r.last_fault_len(), (MAX_FRAME_LEN as u32) + 1);
+        assert_eq!(r.last_fault_codec(), WireCodec::Binary.id());
+
+        // Bad magic: neither length nor codec is trustworthy.
+        let mut r = FrameReader::new();
+        r.feed(b"XXXX\x00\x00\x00\x01z");
+        assert!(r.next_frame().is_err());
+        assert_eq!(r.last_fault_len(), 0);
+        assert_eq!(r.last_fault_codec(), 0);
+
+        // Torn binary payload: observed length + binary codec id.
+        let good = encode_binary(&WireMsg::Heartbeat { epoch: 1 }).unwrap();
+        let mut bad = good.clone();
+        bad[HEADER_LEN] = 0xEE; // unknown kind byte
+        let mut r = FrameReader::new();
+        r.feed(&bad);
+        assert!(r.next_frame().is_err());
+        assert_eq!(r.last_fault(), Some(FrameFault::Payload));
+        assert_eq!(r.last_fault_len(), (good.len() - HEADER_LEN) as u32);
+        assert_eq!(r.last_fault_codec(), WireCodec::Binary.id());
+
+        // A clean parse clears all three diagnostics.
+        r.feed(&good);
+        assert!(r.next_frame().unwrap().is_some());
+        assert_eq!(r.last_fault(), None);
+        assert_eq!(r.last_fault_len(), 0);
+        assert_eq!(r.last_fault_codec(), 0);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Cross-codec interop: the negotiated binary codec (`FVS2`) and the
+//! JSON fallback (`FVS1`) must agree on every message.
+//!
+//! Three layers of proof, mirroring how a mixed-version fleet actually
+//! exercises the wire:
+//!
+//! 1. **Property tests** (256 cases each): any summary or command
+//!    encodes under both codecs and decodes back bit-identically —
+//!    same node ids, same float bit patterns including `-0.0`. For
+//!    non-finite floats the codecs' documented contracts diverge and
+//!    both are pinned here: binary preserves the exact NaN payload
+//!    bits, JSON canonicalizes every non-finite value to quiet NaN.
+//! 2. **Fuzz**: truncating or bit-flipping binary frames through the
+//!    same [`FrameReader`] the transport uses never panics.
+//! 3. **A mixed fleet over real sockets**: JSON-pinned and
+//!    binary-preferring agents against one coordinator, verifying the
+//!    per-connection negotiation lands every agent on the right codec
+//!    (and that a JSON-pinned coordinator downgrades everyone).
+
+use fvs_cluster::{ClusterNode, FrequencyCommand, NodeSummary};
+use fvs_model::{CpiModel, FreqMhz};
+use fvs_net::{
+    decode_payload, decode_payload_binary, encode_with, AgentConfig, AgentFleet, CoordinatorConfig,
+    CoordinatorServer, FrameReader, WireCodec, WireMsg, HEADER_LEN,
+};
+use fvs_sched::FvsstAlgorithm;
+use fvs_sim::MachineBuilder;
+use fvs_workloads::WorkloadSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Finite floats with awkward bit patterns the wire must not normalise:
+/// negative zero, subnormals, and full-precision values.
+fn arb_finite() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e6f64..1.0e6,
+        Just(-0.0),
+        Just(0.0),
+        Just(f64::MIN_POSITIVE / 2.0), // subnormal
+        Just(f64::MAX),
+    ]
+}
+
+/// Non-finite floats with distinguishable payloads, to pin the codecs'
+/// divergent contracts.
+fn arb_nonfinite() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::from_bits(0x7ff8_dead_beef_0001)), // payload NaN
+    ]
+}
+
+fn arb_freq() -> impl Strategy<Value = FreqMhz> {
+    prop::sample::select(vec![250u32, 500, 650, 800, 950, 1000]).prop_map(FreqMhz)
+}
+
+fn arb_summary<F>(mk_float: fn() -> F) -> impl Strategy<Value = NodeSummary>
+where
+    F: Strategy<Value = f64> + 'static,
+{
+    (
+        0usize..1024,
+        mk_float(),
+        prop::collection::vec(
+            // (has_model, cpi0, mem, idle, freq): a hand-rolled Option
+            // since the vendored proptest has no `prop::option`.
+            (
+                any::<bool>(),
+                mk_float(),
+                mk_float(),
+                any::<bool>(),
+                arb_freq(),
+            ),
+            1..9,
+        ),
+        mk_float(),
+    )
+        .prop_map(|(node, sent_at_s, procs, power_w)| NodeSummary {
+            node,
+            sent_at_s,
+            models: procs
+                .iter()
+                .map(|(has, cpi0, mem, _, _)| has.then(|| CpiModel::from_components(*cpi0, *mem)))
+                .collect(),
+            idle: procs.iter().map(|(_, _, _, i, _)| *i).collect(),
+            current: procs.iter().map(|(_, _, _, _, f)| *f).collect(),
+            power_w,
+        })
+}
+
+fn arb_command() -> impl Strategy<Value = FrequencyCommand> {
+    (0usize..1024, prop::collection::vec(arb_freq(), 1..9))
+        .prop_map(|(node, freqs)| FrequencyCommand { node, freqs })
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Decode one frame through the codec-specific payload path, the same
+/// split the transport makes after reading the magic.
+fn transcode(msg: &WireMsg, codec: WireCodec) -> WireMsg {
+    let frame = encode_with(msg, codec).expect("encode");
+    let payload = &frame[HEADER_LEN..];
+    match codec {
+        WireCodec::Binary => decode_payload_binary(payload).expect("binary decode"),
+        WireCodec::Json => decode_payload(payload).expect("json decode"),
+    }
+}
+
+fn same_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// Bit-exact summary equality (plain `==` is fooled by -0.0 / NaN).
+fn assert_summary_bits(got: &WireMsg, want: &NodeSummary) {
+    let WireMsg::Summary(got) = got else {
+        panic!("kind changed in transit");
+    };
+    assert_eq!(got.node, want.node);
+    assert!(same_bits(got.sent_at_s, want.sent_at_s));
+    assert!(same_bits(got.power_w, want.power_w));
+    assert_eq!(got.idle, want.idle);
+    assert_eq!(got.current, want.current);
+    assert_eq!(got.models.len(), want.models.len());
+    for (g, w) in got.models.iter().zip(&want.models) {
+        match (g, w) {
+            (None, None) => {}
+            (Some(g), Some(w)) => {
+                assert!(same_bits(g.cpi0, w.cpi0));
+                assert!(same_bits(g.mem_time_per_instr, w.mem_time_per_instr));
+            }
+            _ => panic!("model presence changed in transit"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Cross-codec property tests
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Finite summaries round-trip bit-identically under BOTH codecs:
+    /// a fleet mixing FVS1 and FVS2 connections feeds the coordinator
+    /// byte-for-byte the same numbers.
+    #[test]
+    fn finite_summaries_agree_across_codecs(s in arb_summary(arb_finite)) {
+        let msg = WireMsg::Summary(s.clone());
+        assert_summary_bits(&transcode(&msg, WireCodec::Binary), &s);
+        assert_summary_bits(&transcode(&msg, WireCodec::Json), &s);
+    }
+
+    /// Commands (the fan-out direction) agree across codecs too; their
+    /// fields are integral so plain equality is exact.
+    #[test]
+    fn commands_agree_across_codecs(c in arb_command()) {
+        let msg = WireMsg::Ceiling(c);
+        prop_assert_eq!(transcode(&msg, WireCodec::Binary), msg.clone());
+        prop_assert_eq!(transcode(&msg, WireCodec::Json), msg);
+    }
+
+    /// Non-finite floats: binary preserves the exact bit pattern
+    /// (payload NaNs included); JSON canonicalizes every non-finite
+    /// value to quiet NaN via `null`. Both outcomes are contracts —
+    /// ingest validation treats any NaN the same — and this pins them.
+    #[test]
+    fn nonfinite_contracts_hold(s in arb_summary(arb_nonfinite)) {
+        let msg = WireMsg::Summary(s.clone());
+        assert_summary_bits(&transcode(&msg, WireCodec::Binary), &s);
+        let WireMsg::Summary(j) = transcode(&msg, WireCodec::Json) else {
+            panic!("kind changed in transit");
+        };
+        let json_ok = |got: f64, sent: f64| {
+            if sent.is_finite() { same_bits(got, sent) } else { got.is_nan() }
+        };
+        prop_assert!(json_ok(j.sent_at_s, s.sent_at_s));
+        prop_assert!(json_ok(j.power_w, s.power_w));
+        for (g, w) in j.models.iter().zip(&s.models) {
+            if let (Some(g), Some(w)) = (g, w) {
+                prop_assert!(json_ok(g.cpi0, w.cpi0));
+                prop_assert!(json_ok(g.mem_time_per_instr, w.mem_time_per_instr));
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // 2. Fuzz: the binary frame path never panics
+    // -----------------------------------------------------------------------
+
+    /// Every truncation of a binary frame either waits for more bytes
+    /// or errors — never panics, never fabricates a message — and the
+    /// remainder completes cleanly when the prefix was accepted.
+    #[test]
+    fn truncated_binary_frames_never_panic(
+        s in arb_summary(arb_finite),
+        cut in 0usize..10_000,
+    ) {
+        let frame = encode_with(&WireMsg::Summary(s), WireCodec::Binary).unwrap();
+        let cut = cut % frame.len();
+        let mut r = FrameReader::new();
+        r.feed(&frame[..cut]);
+        match r.next_frame() {
+            Ok(None) => {}
+            Ok(Some(_)) => prop_assert!(false, "message out of a truncated frame"),
+            Err(_) => {}
+        }
+        r.feed(&frame[cut..]);
+        let _ = r.next_frame();
+    }
+
+    /// Random bit flips anywhere in a binary frame — magic, length,
+    /// kind, float bodies — are rejected or decode to something, but
+    /// never panic and never loop. Seeded so failures replay.
+    #[test]
+    fn corrupt_binary_frames_never_panic(
+        s in arb_summary(arb_finite),
+        seed in 0u64..1_000_000,
+        flips in 1usize..8,
+    ) {
+        let frame = encode_with(&WireMsg::Summary(s), WireCodec::Binary).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bad = frame.clone();
+        for _ in 0..flips {
+            let i = rng.gen_range(0..bad.len());
+            bad[i] ^= 1 << rng.gen_range(0u32..8);
+        }
+        let mut r = FrameReader::new();
+        r.feed(&bad);
+        for _ in 0..4 {
+            match r.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// A frame re-tagged with the *other* codec's magic must not decode
+    /// as a valid message by accident — the payload formats are
+    /// disjoint enough that misnegotiation surfaces as an error, not
+    /// silent garbage. (Empty-body frames are exempt: a zero-length
+    /// payload is invalid under both codecs.)
+    #[test]
+    fn cross_tagged_frames_do_not_silently_decode(s in arb_summary(arb_finite)) {
+        let frame = encode_with(&WireMsg::Summary(s), WireCodec::Binary).unwrap();
+        // Binary payload pushed through the JSON decoder: the payload
+        // starts with a kind byte (1..=4), never the '{' JSON needs.
+        prop_assert!(decode_payload(&frame[HEADER_LEN..]).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Mixed fleet over real sockets
+// ---------------------------------------------------------------------------
+
+fn nodes(ids: std::ops::Range<usize>) -> Vec<ClusterNode> {
+    ids.map(|i| {
+        let mut b = MachineBuilder::p630();
+        for core in 0..4 {
+            b = b.workload(core, WorkloadSpec::synthetic(50.0, 1.0e18));
+        }
+        ClusterNode::new(i, b.build(), None)
+    })
+    .collect()
+}
+
+fn wait_until(deadline_s: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(deadline_s);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+/// A coordinator preferring binary, fed by one JSON-pinned fleet and
+/// one binary-preferring fleet: each connection lands on exactly the
+/// codec its hello advertised, and summaries from both dialects ingest
+/// into the same scheduling rounds.
+#[test]
+fn mixed_fleet_negotiates_per_connection() {
+    let per_fleet = 6;
+    let server = CoordinatorServer::bind(
+        "127.0.0.1:0",
+        2 * per_fleet,
+        FvsstAlgorithm::p630(),
+        CoordinatorConfig::default_lan().with_period_s(0.05),
+    )
+    .unwrap();
+
+    let base = AgentConfig::default_lan()
+        .with_tick_s(0.02)
+        .with_summary_every(2);
+    let json_fleet = AgentFleet::launch(
+        nodes(0..per_fleet),
+        server.local_addr(),
+        base.clone().with_codec(WireCodec::Json),
+        Duration::from_millis(50),
+    )
+    .unwrap();
+    let bin_fleet = AgentFleet::launch(
+        nodes(per_fleet..2 * per_fleet),
+        server.local_addr(),
+        base.with_codec(WireCodec::Binary),
+        Duration::from_millis(50),
+    )
+    .unwrap();
+
+    let (js, bs) = (json_fleet.stats(), bin_fleet.stats());
+    assert!(
+        wait_until(20, || js.connected() == per_fleet as u64
+            && bs.connected() == per_fleet as u64
+            && js.ceilings_applied() > 0
+            && bs.ceilings_applied() > 0),
+        "mixed fleet never converged: json={} binary={}",
+        js.connected(),
+        bs.connected(),
+    );
+
+    let js = json_fleet.stop();
+    let bs = bin_fleet.stop();
+    let status = server.shutdown().unwrap();
+
+    // The negotiation split: JSON-pinned agents never got binary, and
+    // binary-preferring agents all got the fast path.
+    assert_eq!(js.json_conns(), per_fleet as u64);
+    assert_eq!(js.binary_conns(), 0);
+    assert_eq!(bs.binary_conns(), per_fleet as u64);
+    assert_eq!(bs.json_conns(), 0);
+    assert_eq!(js.version_rejects() + bs.version_rejects(), 0);
+    assert!(status.nodes_reporting > 0);
+}
+
+/// A JSON-pinned coordinator (`--codec json`) downgrades even
+/// binary-preferring agents: preference is coordinator-side policy,
+/// the agent's advertisement is only a capability mask.
+#[test]
+fn json_pinned_coordinator_downgrades_everyone() {
+    let n = 4;
+    let server = CoordinatorServer::bind(
+        "127.0.0.1:0",
+        n,
+        FvsstAlgorithm::p630(),
+        CoordinatorConfig::default_lan()
+            .with_period_s(0.05)
+            .with_codec(WireCodec::Json),
+    )
+    .unwrap();
+    let fleet = AgentFleet::launch(
+        nodes(0..n),
+        server.local_addr(),
+        AgentConfig::default_lan()
+            .with_tick_s(0.02)
+            .with_summary_every(2)
+            .with_codec(WireCodec::Binary),
+        Duration::from_millis(50),
+    )
+    .unwrap();
+    let stats = fleet.stats();
+    assert!(
+        wait_until(20, || stats.connected() == n as u64
+            && stats.ceilings_applied() > 0),
+        "fleet never converged: connected={}",
+        stats.connected(),
+    );
+    let stats = fleet.stop();
+    server.shutdown().unwrap();
+    assert_eq!(stats.json_conns(), n as u64);
+    assert_eq!(stats.binary_conns(), 0);
+}

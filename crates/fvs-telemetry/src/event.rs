@@ -334,6 +334,14 @@ pub enum SchedEvent {
         /// `true` when a `ChaosStream` injected it on purpose; `false`
         /// for organic corruption detected at the frame decoder.
         injected: bool,
+        /// Observed frame length (payload bytes): the length prefix of
+        /// a faulting frame at the decoder, or the written frame size
+        /// at an injection site. 0 when unknowable (bad magic makes
+        /// the header garbage).
+        frame_len: u32,
+        /// Wire codec of the faulting frame: 1 = `FVS1` JSON, 2 =
+        /// `FVS2` binary, 0 = unknown.
+        codec: u8,
     },
     /// The coordinator persisted a recovery snapshot.
     SnapshotWritten {
@@ -660,10 +668,12 @@ impl SchedEvent {
                 node,
                 kind,
                 injected,
+                frame_len,
+                codec,
             } => {
                 let _ = write!(
                     buf,
-                    ",\"t_s\":{t_s},\"node\":{node},\"fault\":\"{}\",\"injected\":{injected}",
+                    ",\"t_s\":{t_s},\"node\":{node},\"fault\":\"{}\",\"injected\":{injected},\"frame_len\":{frame_len},\"codec\":{codec}",
                     kind.as_str()
                 );
             }
@@ -854,6 +864,8 @@ mod tests {
                 node: u32::MAX,
                 kind: WireFaultKind::Oversize,
                 injected: false,
+                frame_len: 2048,
+                codec: 2,
             },
             SchedEvent::SnapshotWritten {
                 t_s: 1.8,

@@ -7,6 +7,7 @@
 //!                   [--run S] [--telemetry FILE] [--obs-addr ADDR]
 //!                   [--snapshot FILE] [--snapshot-every S] [--resume]
 //!                   [--grace S] [--chaos PLAN] [--chaos-seed N]
+//!                   [--codec json|binary] [--max-conns N]
 //! ```
 //!
 //! Listens for `fvsst-node` agents, runs the paper's global scheduling
@@ -37,6 +38,7 @@
 //! `wire=0.05,partition=2@5:9` — seeded by `--chaos-seed` for
 //! deterministic drills.
 
+use fvsst::net::args::parse_f64;
 use fvsst::prelude::*;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -50,30 +52,26 @@ struct Args {
     deadline_s: f64,
     drop: Option<(f64, f64)>, // (watts, at_seconds)
     run_s: f64,               // 0 = forever
-    telemetry: Option<String>,
-    obs_addr: Option<String>,
-    snapshot: Option<String>,
-    snapshot_every_s: f64,
-    resume: bool,
-    grace_s: f64,
-    chaos: Option<String>,
-    chaos_seed: u64,
+    net: NetArgs,
 }
 
 fn usage() -> String {
-    "usage: fvsst-coordinator [--listen ADDR] [--nodes N] [--budget W] \
-     [--period S] [--heartbeat S] [--deadline S] [--drop W@T] [--run S] \
-     [--telemetry FILE] [--obs-addr ADDR] [--snapshot FILE] \
-     [--snapshot-every S] [--resume] [--grace S] [--chaos PLAN] \
-     [--chaos-seed N]"
-        .to_string()
+    format!(
+        "usage: fvsst-coordinator [--listen ADDR] [--nodes N] [--budget W] \
+         [--period S] [--heartbeat S] [--deadline S] [--drop W@T] [--run S] {}",
+        net_args().usage_fragment()
+    )
 }
 
-fn parse_f64(flag: &str, value: Option<&String>) -> Result<f64, FvsError> {
-    value
-        .and_then(|s| s.parse::<f64>().ok())
-        .filter(|v| v.is_finite() && *v >= 0.0)
-        .ok_or_else(|| FvsError::config(format!("{flag} requires a non-negative number")))
+/// The shared flag groups this binary supports.
+fn net_args() -> NetArgs {
+    NetArgs::new()
+        .with_telemetry()
+        .with_obs()
+        .with_snapshots()
+        .with_chaos()
+        .with_codec()
+        .with_max_conns()
 }
 
 fn parse_args(args: &[String]) -> Result<Args, FvsError> {
@@ -86,17 +84,14 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
         deadline_s: 1.0,
         drop: None,
         run_s: 0.0,
-        telemetry: None,
-        obs_addr: None,
-        snapshot: None,
-        snapshot_every_s: 1.0,
-        resume: false,
-        grace_s: 2.0,
-        chaos: None,
-        chaos_seed: 0,
+        net: net_args(),
     };
     let mut i = 0;
     while i < args.len() {
+        if let Some(next) = out.net.accept(args, i)? {
+            i = next;
+            continue;
+        }
         match args[i].as_str() {
             "--listen" => {
                 i += 1;
@@ -149,56 +144,6 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
                 i += 1;
                 out.run_s = parse_f64("--run", args.get(i))?;
             }
-            "--telemetry" => {
-                i += 1;
-                out.telemetry = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or_else(|| FvsError::config("--telemetry requires a file path"))?,
-                );
-            }
-            "--obs-addr" => {
-                i += 1;
-                out.obs_addr = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or_else(|| FvsError::config("--obs-addr requires an address"))?,
-                );
-            }
-            "--snapshot" => {
-                i += 1;
-                out.snapshot = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or_else(|| FvsError::config("--snapshot requires a file path"))?,
-                );
-            }
-            "--snapshot-every" => {
-                i += 1;
-                out.snapshot_every_s = parse_f64("--snapshot-every", args.get(i))?;
-            }
-            "--resume" => {
-                out.resume = true;
-            }
-            "--grace" => {
-                i += 1;
-                out.grace_s = parse_f64("--grace", args.get(i))?;
-            }
-            "--chaos" => {
-                i += 1;
-                out.chaos = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or_else(|| FvsError::config("--chaos requires a wire-fault plan"))?,
-                );
-            }
-            "--chaos-seed" => {
-                i += 1;
-                out.chaos_seed = args
-                    .get(i)
-                    .and_then(|s| s.parse::<u64>().ok())
-                    .ok_or_else(|| FvsError::config("--chaos-seed requires an integer"))?;
-            }
             "--help" | "-h" => return Err(FvsError::config(usage())),
             other => {
                 return Err(FvsError::config(format!(
@@ -213,39 +158,22 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
 }
 
 fn run(args: Args) -> Result<(), FvsError> {
-    // With an observability listener the journal needs a memory ring to
-    // tail (`/journal`) alongside any JSONL file: tee via fanout.
-    let telemetry = match (&args.telemetry, &args.obs_addr) {
-        (Some(path), Some(_)) => {
-            Telemetry::fanout(vec![Telemetry::jsonl(path)?, Telemetry::memory(1024)])
-        }
-        (Some(path), None) => Telemetry::jsonl(path)?,
-        (None, Some(_)) => Telemetry::memory(1024),
-        (None, None) => Telemetry::disabled(),
-    };
-    let tracer = if args.obs_addr.is_some() {
-        Tracer::ring(4096)
-    } else {
-        Tracer::disabled()
-    };
     let mut config = CoordinatorConfig::default_lan()
         .with_period_s(args.period_s)
         .with_heartbeat_timeout_s(args.heartbeat_s)
         .with_deadline_s(args.deadline_s)
         .with_initial_budget_w(args.budget_w)
-        .with_resync_grace_s(args.grace_s)
-        .with_telemetry(telemetry)
-        .with_tracer(tracer);
-    if let Some(path) = &args.snapshot {
-        config = config.with_snapshots(path, args.snapshot_every_s);
+        .with_resync_grace_s(args.net.grace_s)
+        .with_codec(args.net.codec)
+        .with_max_conns(args.net.max_conns)
+        .with_telemetry(args.net.telemetry()?)
+        .with_tracer(args.net.tracer())
+        .with_chaos(args.net.wire_chaos(0)?);
+    if let Some(path) = &args.net.snapshot_path {
+        config = config.with_snapshots(path, args.net.snapshot_every_s);
     }
-    if args.resume {
+    if args.net.resume {
         config = config.with_resume(true);
-    }
-    if let Some(spec) = &args.chaos {
-        let plan =
-            WireFaultPlan::parse(spec).map_err(|e| FvsError::config(format!("--chaos: {e}")))?;
-        config = config.with_chaos(WireChaos::new(plan, args.chaos_seed));
     }
     let server = CoordinatorServer::bind(
         args.listen.as_str(),
@@ -261,7 +189,7 @@ fn run(args: Args) -> Result<(), FvsError> {
         args.period_s,
         server.epoch()
     );
-    let obs = match &args.obs_addr {
+    let obs = match &args.net.obs_addr {
         Some(addr) => {
             let obs = server.serve_obs(addr)?;
             println!(

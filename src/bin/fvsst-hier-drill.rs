@@ -42,14 +42,21 @@ struct Args {
     rounds: u64,
     seed: u64,
     max_wall_s: f64,
-    obs_addr: Option<String>,
     trace_out: Option<String>,
+    net: NetArgs,
 }
 
 fn usage() -> String {
-    "usage: fvsst-hier-drill [--nodes N] [--rounds R] [--seed S] [--max-wall-s S] \
-     [--obs-addr ADDR] [--trace-out FILE]"
-        .to_string()
+    format!(
+        "usage: fvsst-hier-drill [--nodes N] [--rounds R] [--seed S] \
+         [--max-wall-s S] [--trace-out FILE] {}",
+        net_args().usage_fragment()
+    )
+}
+
+/// The shared flag groups this binary supports.
+fn net_args() -> NetArgs {
+    NetArgs::new().with_obs()
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -58,11 +65,19 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         rounds: 50,
         seed: 3845,
         max_wall_s: 60.0,
-        obs_addr: None,
         trace_out: None,
+        net: net_args(),
     };
     let mut i = 0;
     while i < args.len() {
+        match out.net.accept(args, i) {
+            Ok(Some(next)) => {
+                i = next;
+                continue;
+            }
+            Ok(None) => {}
+            Err(e) => return Err(e.to_string()),
+        }
         let key = args[i].as_str();
         i += 1;
         let val = args.get(i).ok_or_else(|| format!("{key} needs a value"))?;
@@ -73,7 +88,6 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--max-wall-s" => {
                 out.max_wall_s = val.parse().map_err(|e| format!("--max-wall-s: {e}"))?
             }
-            "--obs-addr" => out.obs_addr = Some(val.clone()),
             "--trace-out" => out.trace_out = Some(val.clone()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -138,7 +152,7 @@ fn main() -> ExitCode {
     let revive_round = (dead_round + 5).min(args.rounds);
     let stride = (args.nodes / DRIFTERS).max(1);
 
-    let observing = args.obs_addr.is_some() || args.trace_out.is_some();
+    let observing = args.net.obs_addr.is_some() || args.trace_out.is_some();
     let telemetry = if observing {
         Telemetry::memory(1024)
     } else {
@@ -172,7 +186,7 @@ fn main() -> ExitCode {
         budget_compliant: true,
         ..HealthReport::default()
     }));
-    let obs = match &args.obs_addr {
+    let obs = match &args.net.obs_addr {
         Some(addr) => {
             let health = std::sync::Arc::clone(&health);
             let obs = ObsServer::bind(

@@ -5,6 +5,7 @@
 //! fvsst-node [--connect ADDR|none] [--node ID] [--workload cpu|mixed|mem]
 //!            [--tick S] [--summary-every N] [--run S] [--timed]
 //!            [--obs-addr ADDR] [--chaos PLAN] [--chaos-seed N]
+//!            [--codec json|binary]
 //! ```
 //!
 //! Drives the paper's 4-way P630-like machine under a synthetic
@@ -45,16 +46,21 @@ struct Args {
     summary_every: u32,
     run_s: f64, // 0 = forever
     timed: bool,
-    obs_addr: Option<String>,
-    chaos: Option<String>,
-    chaos_seed: u64,
+    net: NetArgs,
 }
 
 fn usage() -> String {
-    "usage: fvsst-node [--connect ADDR|none] [--node ID] [--workload cpu|mixed|mem] \
-     [--tick S] [--summary-every N] [--run S] [--timed] [--obs-addr ADDR] \
-     [--chaos PLAN] [--chaos-seed N]"
-        .to_string()
+    format!(
+        "usage: fvsst-node [--connect ADDR|none] [--node ID] \
+         [--workload cpu|mixed|mem] [--tick S] [--summary-every N] [--run S] \
+         [--timed] {}",
+        net_args().usage_fragment()
+    )
+}
+
+/// The shared flag groups this binary supports.
+fn net_args() -> NetArgs {
+    NetArgs::new().with_obs().with_chaos().with_codec()
 }
 
 fn parse_args(args: &[String]) -> Result<Args, FvsError> {
@@ -66,12 +72,14 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
         summary_every: 10,
         run_s: 0.0,
         timed: false,
-        obs_addr: None,
-        chaos: None,
-        chaos_seed: 0,
+        net: net_args(),
     };
     let mut i = 0;
     while i < args.len() {
+        if let Some(next) = out.net.accept(args, i)? {
+            i = next;
+            continue;
+        }
         match args[i].as_str() {
             "--connect" => {
                 i += 1;
@@ -125,29 +133,6 @@ fn parse_args(args: &[String]) -> Result<Args, FvsError> {
                     .ok_or_else(|| FvsError::config("--run requires a non-negative number"))?;
             }
             "--timed" => out.timed = true,
-            "--obs-addr" => {
-                i += 1;
-                out.obs_addr = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or_else(|| FvsError::config("--obs-addr requires an address"))?,
-                );
-            }
-            "--chaos" => {
-                i += 1;
-                out.chaos = Some(
-                    args.get(i)
-                        .cloned()
-                        .ok_or_else(|| FvsError::config("--chaos requires a wire-fault plan"))?,
-                );
-            }
-            "--chaos-seed" => {
-                i += 1;
-                out.chaos_seed = args
-                    .get(i)
-                    .and_then(|s| s.parse::<u64>().ok())
-                    .ok_or_else(|| FvsError::config("--chaos-seed requires an integer"))?;
-            }
             "--help" | "-h" => return Err(FvsError::config(usage())),
             other => {
                 return Err(FvsError::config(format!(
@@ -226,25 +211,24 @@ fn run(args: Args) -> Result<(), FvsError> {
         ));
     }
     let node = build_node(args.node, &args.workload);
-    let tracer = if args.obs_addr.is_some() {
+    let tracer = if args.net.obs_addr.is_some() {
         Tracer::ring(1024)
     } else {
         Tracer::disabled()
     };
-    let mut config = AgentConfig::default_lan()
+    // Mix the node id into the chaos seed so a fleet sharing one
+    // --chaos-seed still draws distinct fault sequences per node.
+    let chaos = args
+        .net
+        .wire_chaos((args.node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))?;
+    let config = AgentConfig::default_lan()
         .with_tick_s(args.tick_s)
         .with_summary_every(args.summary_every)
         .with_timed(args.timed)
-        .with_jitter_seed(args.chaos_seed)
+        .with_jitter_seed(args.net.chaos_seed)
+        .with_codec(args.net.codec)
+        .with_chaos(chaos)
         .with_tracer(tracer.clone());
-    if let Some(spec) = &args.chaos {
-        let plan =
-            WireFaultPlan::parse(spec).map_err(|e| FvsError::config(format!("--chaos: {e}")))?;
-        // Mix the node id in so a fleet sharing one --chaos-seed still
-        // draws distinct fault sequences per node.
-        let seed = args.chaos_seed ^ (args.node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        config = config.with_chaos(WireChaos::new(plan, seed));
-    }
     println!(
         "fvsst-node {} ({} workload) -> {}",
         args.node, args.workload, args.connect
@@ -252,7 +236,7 @@ fn run(args: Args) -> Result<(), FvsError> {
     let agent = NodeAgent::spawn(node, args.connect.clone(), config)?;
 
     let start = Instant::now();
-    let obs = match &args.obs_addr {
+    let obs = match &args.net.obs_addr {
         Some(addr) => {
             // Node-side health: degraded simply means "not connected to
             // the coordinator right now"; power rides in the same slot
